@@ -1,0 +1,212 @@
+// Package autonetkit is a Go implementation of the automated emulated
+// network experimentation system of Knight et al. (CoNEXT 2013): a pipeline
+// that turns a high-level network design — an annotated attribute graph —
+// into concrete device configurations, deploys them onto an emulation
+// platform, and measures the running network.
+//
+// The pipeline stages mirror the paper's architecture (Fig. 2):
+//
+//	topology file ──Load──▶ input overlay
+//	            ──Design──▶ protocol overlays (ospf/ebgp/ibgp/isis, §4.2)
+//	          ──Allocate──▶ ipv4 overlay + address table (§5.3)
+//	           ──Compile──▶ Resource Database / NIDB (§5.4)
+//	            ──Render──▶ configuration file tree (§4.1, §5.5)
+//	            ──Deploy──▶ running emulated lab (§5.7)
+//	           ──Measure──▶ traceroutes, adjacency graphs, validation
+//
+// A minimal end-to-end run:
+//
+//	net, _ := autonetkit.LoadGraph(topogen.SmallInternet())
+//	_ = net.Build(autonetkit.BuildOptions{})
+//	dep, _ := net.Deploy(deploy.Options{})
+//	client := net.Measure(dep.Lab())
+//	tr, _ := client.RunTraceroute("as1r1", dst)
+package autonetkit
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"net/netip"
+
+	"autonetkit/internal/compile"
+	"autonetkit/internal/core"
+	"autonetkit/internal/deploy"
+	"autonetkit/internal/design"
+	"autonetkit/internal/emul"
+	"autonetkit/internal/graph"
+	"autonetkit/internal/ipalloc"
+	"autonetkit/internal/measure"
+	"autonetkit/internal/nidb"
+	"autonetkit/internal/render"
+	"autonetkit/internal/services/dns"
+	"autonetkit/internal/topoio"
+	"autonetkit/internal/verify"
+	"autonetkit/internal/viz"
+)
+
+// Network carries one experiment through the pipeline.
+type Network struct {
+	ANM   *core.ANM
+	Alloc *ipalloc.Result
+	DB    *nidb.DB
+	Files *render.FileSet
+}
+
+// Load reads a topology file (format inferred from the extension), applies
+// the standard defaults (§6.1: device_type=router, platform=netkit,
+// syntax=quagga) and validates it.
+func Load(path string) (*Network, error) {
+	format, err := topoio.FormatForPath(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("autonetkit: %w", err)
+	}
+	defer f.Close()
+	return LoadReader(f, format)
+}
+
+// LoadReader reads a topology from a stream in the given format.
+func LoadReader(r io.Reader, format topoio.Format) (*Network, error) {
+	g, err := topoio.Read(r, format)
+	if err != nil {
+		return nil, err
+	}
+	return LoadGraph(g)
+}
+
+// LoadGraph installs an in-memory topology as the input overlay.
+func LoadGraph(g *graph.Graph) (*Network, error) {
+	topoio.StandardDefaults().Apply(g)
+	if err := topoio.Validate(g); err != nil {
+		return nil, err
+	}
+	anm := core.NewANM()
+	if _, err := anm.AddOverlayGraph(core.OverlayInput, g); err != nil {
+		return nil, err
+	}
+	return &Network{ANM: anm}, nil
+}
+
+// BuildOptions parameterises the design-through-render chain.
+type BuildOptions struct {
+	Design  design.Options
+	IP      ipalloc.Config
+	Compile compile.Options
+}
+
+// Design builds the protocol overlays (§4.2).
+func (n *Network) Design(opts design.Options) error {
+	return design.BuildAll(n.ANM, opts)
+}
+
+// Allocate runs automatic IP allocation (§5.3), creating the ipv4 overlay.
+func (n *Network) Allocate(cfg ipalloc.Config) error {
+	alloc := &ipalloc.Default{Config: cfg}
+	res, err := alloc.Allocate(n.ANM)
+	if err != nil {
+		return err
+	}
+	n.Alloc = res
+	return nil
+}
+
+// Compile condenses the overlays into the Resource Database (§5.4).
+func (n *Network) Compile(opts compile.Options) error {
+	if n.Alloc == nil {
+		return fmt.Errorf("autonetkit: Allocate before Compile")
+	}
+	db, err := compile.Compile(n.ANM, n.Alloc, opts)
+	if err != nil {
+		return err
+	}
+	n.DB = db
+	return nil
+}
+
+// Render pushes the database through the template sets (§5.5).
+func (n *Network) Render() error {
+	if n.DB == nil {
+		return fmt.Errorf("autonetkit: Compile before Render")
+	}
+	fs, err := render.Render(n.DB)
+	if err != nil {
+		return err
+	}
+	n.Files = fs
+	return nil
+}
+
+// Build runs Design, Allocate, Compile and Render in sequence.
+func (n *Network) Build(opts BuildOptions) error {
+	if err := n.Design(opts.Design); err != nil {
+		return err
+	}
+	if err := n.Allocate(opts.IP); err != nil {
+		return err
+	}
+	if err := n.Compile(opts.Compile); err != nil {
+		return err
+	}
+	return n.Render()
+}
+
+// Deploy archives, transfers and launches the rendered lab (§5.7).
+func (n *Network) Deploy(opts deploy.Options) (*deploy.Deployment, error) {
+	if n.Files == nil {
+		return nil, fmt.Errorf("autonetkit: Render before Deploy")
+	}
+	return deploy.Run(n.Files, opts)
+}
+
+// Measure returns a measurement client for a running lab, resolving
+// addresses through this network's IP allocation table (§6.1).
+func (n *Network) Measure(lab *emul.Lab) *measure.Client {
+	resolve := measure.Resolver(nil)
+	if n.Alloc != nil {
+		table := n.Alloc.Table
+		resolve = func(a netip.Addr) string { return string(table.HostForIP(a)) }
+	}
+	return measure.NewClient(lab, resolve)
+}
+
+// ExportOverlay renders an overlay as a D3-style visualization document
+// (§5.6).
+func (n *Network) ExportOverlay(name string, opts viz.Options) (*viz.Doc, error) {
+	ov := n.ANM.Overlay(name)
+	if ov == nil {
+		return nil, fmt.Errorf("autonetkit: no overlay %q", name)
+	}
+	return viz.ExportOverlay(ov, opts), nil
+}
+
+// SaveConfigs writes the rendered configuration tree under dir.
+func (n *Network) SaveConfigs(dir string) error {
+	if n.Files == nil {
+		return fmt.Errorf("autonetkit: Render before SaveConfigs")
+	}
+	return n.Files.WriteToDisk(dir)
+}
+
+// Verify runs the pre-deployment static checks (§8: "offline verification
+// systems could be applied prior to deployment") over the compiled
+// Resource Database.
+func (n *Network) Verify() (verify.Report, error) {
+	if n.DB == nil {
+		return verify.Report{}, fmt.Errorf("autonetkit: Compile before Verify")
+	}
+	return verify.Static(n.DB), nil
+}
+
+// DNS generates the allocation-consistent DNS zones for the network
+// (§3.3).
+func (n *Network) DNS(cfg dns.Config) (dns.Zones, error) {
+	if n.Alloc == nil {
+		return dns.Zones{}, fmt.Errorf("autonetkit: Allocate before DNS")
+	}
+	return dns.Generate(n.ANM, n.Alloc, cfg)
+}

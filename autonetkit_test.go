@@ -1,0 +1,305 @@
+package autonetkit
+
+import (
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"autonetkit/internal/core"
+	"autonetkit/internal/deploy"
+	"autonetkit/internal/design"
+	"autonetkit/internal/ipalloc"
+	"autonetkit/internal/topogen"
+	"autonetkit/internal/topoio"
+	"autonetkit/internal/viz"
+)
+
+func TestLoadGraphAppliesDefaults(t *testing.T) {
+	net, err := LoadGraph(topogen.Fig5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := net.ANM.Overlay(core.OverlayInput)
+	if in.Node("r1").GetString(core.AttrSyntax, "") != "quagga" {
+		t.Error("defaults not applied")
+	}
+}
+
+func TestLoadReader(t *testing.T) {
+	gml := `graph [ node [ id 0 label "a" asn 1 ] node [ id 1 label "b" asn 1 ] edge [ source 0 target 1 ] ]`
+	net, err := LoadReader(strings.NewReader(gml), topoio.FormatGML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.ANM.Overlay(core.OverlayInput).NumNodes() != 2 {
+		t.Error("load failed")
+	}
+	if _, err := LoadReader(strings.NewReader("junk["), topoio.FormatGML); err == nil {
+		t.Error("junk accepted")
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/lab.gml"
+	g := topogen.Fig5()
+	f, err := osCreate(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topoio.WriteGML(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	net, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.ANM.Overlay(core.OverlayInput).NumNodes() != 5 {
+		t.Error("file load failed")
+	}
+	if _, err := Load(dir + "/missing.gml"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := Load(dir + "/unknown.zzz"); err == nil {
+		t.Error("unknown extension accepted")
+	}
+}
+
+func TestStageOrderEnforced(t *testing.T) {
+	net, _ := LoadGraph(topogen.Fig5())
+	if err := net.Compile(compileOptions()); err == nil {
+		t.Error("Compile before Allocate accepted")
+	}
+	if err := net.Render(); err == nil {
+		t.Error("Render before Compile accepted")
+	}
+	if _, err := net.Deploy(deploy.Options{}); err == nil {
+		t.Error("Deploy before Render accepted")
+	}
+	if err := net.SaveConfigs(t.TempDir()); err == nil {
+		t.Error("SaveConfigs before Render accepted")
+	}
+}
+
+// The facade's end-to-end quickstart: load, build, deploy, measure.
+func TestEndToEnd(t *testing.T) {
+	net, err := LoadGraph(topogen.SmallInternet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Build(BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if net.Files.Len() == 0 {
+		t.Fatal("no files rendered")
+	}
+	dep, err := net.Deploy(deploy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := dep.Lab()
+	if !lab.BGPResult().Converged {
+		t.Fatalf("bgp = %+v", lab.BGPResult())
+	}
+	client := net.Measure(lab)
+	// The §6.1 experiment: traceroute to as100r2's first interface.
+	var dst netip.Addr
+	for _, e := range net.Alloc.Table.Entries() {
+		if e.Node == "as100r2" && !e.Loopback {
+			dst = e.Addr
+			break
+		}
+	}
+	tr, err := client.RunTraceroute("as300r2", dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Reached {
+		t.Fatalf("traceroute failed: %+v", tr)
+	}
+	path := tr.Path()
+	if path[0] != "as300r2" || path[len(path)-1] != "as100r2" {
+		t.Errorf("path = %v", path)
+	}
+}
+
+func TestExportOverlay(t *testing.T) {
+	net, _ := LoadGraph(topogen.Fig5())
+	if err := net.Build(BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := net.ExportOverlay(design.OverlayEBGP, viz.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Nodes) != 5 {
+		t.Errorf("nodes = %d", len(doc.Nodes))
+	}
+	if _, err := net.ExportOverlay("phantom", viz.Options{}); err == nil {
+		t.Error("phantom overlay accepted")
+	}
+}
+
+func TestSaveConfigs(t *testing.T) {
+	net, _ := LoadGraph(topogen.Fig5())
+	if err := net.Build(BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := net.SaveConfigs(dir); err != nil {
+		t.Fatal(err)
+	}
+	if !fileExists(dir + "/localhost/netkit/lab.conf") {
+		t.Error("lab.conf not written")
+	}
+}
+
+func TestCustomIPBlocks(t *testing.T) {
+	net, _ := LoadGraph(topogen.Fig5())
+	err := net.Build(BuildOptions{IP: ipalloc.Config{
+		InfraBlock:    mustPrefix("172.20.0.0/16"),
+		LoopbackBlock: mustPrefix("172.31.0.0/16"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range net.Alloc.Table.Entries() {
+		if e.Loopback {
+			if !mustPrefix("172.31.0.0/16").Contains(e.Addr) {
+				t.Errorf("loopback %v outside custom block", e.Addr)
+			}
+		} else if !mustPrefix("172.20.0.0/16").Contains(e.Addr) {
+			t.Errorf("infra %v outside custom block", e.Addr)
+		}
+	}
+}
+
+func TestLoadGraphRejectsInvalid(t *testing.T) {
+	g := topogen.Fig5()
+	g.Node("r1").Set("asn", -3)
+	if _, err := LoadGraph(g); err == nil {
+		t.Error("invalid asn accepted")
+	}
+}
+
+func TestBuildPropagatesStageErrors(t *testing.T) {
+	// A topology that allocates fine but fails compile: unknown platform.
+	g := topogen.Fig5()
+	g.Node("r1").Set("platform", "exotic")
+	net, err := LoadGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Build(BuildOptions{}); err == nil {
+		t.Error("unknown platform accepted by Build")
+	}
+	// Allocation failure: tiny infra block.
+	net2, _ := LoadGraph(topogen.Fig5())
+	err = net2.Build(BuildOptions{IP: ipalloc.Config{
+		InfraBlock:    mustPrefix("198.51.100.0/30"),
+		LoopbackBlock: mustPrefix("10.0.0.0/8"),
+	}})
+	if err == nil {
+		t.Error("exhausted infra block accepted by Build")
+	}
+}
+
+func TestDNSBeforeAllocate(t *testing.T) {
+	net, _ := LoadGraph(topogen.Fig5())
+	if _, err := net.DNS(dnsConfig()); err == nil {
+		t.Error("DNS before Allocate accepted")
+	}
+	if err := net.Build(BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	zones, err := net.DNS(dnsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zones.Forward) == 0 || len(zones.Reverse) == 0 {
+		t.Error("zones empty")
+	}
+}
+
+// The §6.1 walkthrough's exact first step: load_graphml("small_internet.
+// graphml") — shipped as a fixture — and run it to the paper's traceroute.
+func TestSmallInternetGraphMLFixture(t *testing.T) {
+	net, err := Load("testdata/small_internet.graphml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := net.ANM.Overlay(core.OverlayInput)
+	if in.NumNodes() != 14 || in.NumEdges() != 17 {
+		t.Fatalf("fixture shape: %d nodes %d edges", in.NumNodes(), in.NumEdges())
+	}
+	if err := net.Build(BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := net.Deploy(deploy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := net.Measure(dep.Lab())
+	var dst netip.Addr
+	for _, e := range net.Alloc.Table.Entries() {
+		if e.Node == "as100r2" && !e.Loopback {
+			dst = e.Addr
+			break
+		}
+	}
+	tr, err := client.RunTraceroute("as300r2", dst)
+	if err != nil || !tr.Reached {
+		t.Fatalf("%v %+v", err, tr)
+	}
+	want := "as300r2,as40r1,as1r1,as20r3,as20r2,as100r1,as100r2"
+	if got := strings.Join(tr.Path(), ","); got != want {
+		t.Errorf("path = %s, want the paper's %s", got, want)
+	}
+}
+
+// Golden regression anchor: the Fig. 5 pipeline output is byte-identical
+// to the committed tree in testdata/golden_fig5 (regenerate deliberately
+// with examples in DESIGN.md if behaviour is intentionally changed).
+func TestGoldenFig5Tree(t *testing.T) {
+	net, err := LoadGraph(topogen.Fig5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Build(BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	goldenRoot := "testdata/golden_fig5"
+	seen := 0
+	err = filepath.WalkDir(goldenRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(goldenRoot, path)
+		if err != nil {
+			return err
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		got, ok := net.Files.Read(filepath.ToSlash(rel))
+		if !ok {
+			t.Errorf("pipeline no longer renders %s", rel)
+			return nil
+		}
+		if got != string(want) {
+			t.Errorf("%s differs from golden output", rel)
+		}
+		seen++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != net.Files.Len() {
+		t.Errorf("golden tree has %d files, pipeline renders %d", seen, net.Files.Len())
+	}
+}

@@ -1,0 +1,698 @@
+package autonetkit
+
+// The benchmark harness regenerates every quantitative artifact of the
+// paper's evaluation (see DESIGN.md's experiment index and EXPERIMENTS.md
+// for paper-vs-measured numbers). One benchmark per experiment:
+//
+//	E1  Fig. 5 overlay rules            BenchmarkE1_Fig5Rules
+//	E2  Small-Internet pipeline (§3.1)  BenchmarkE2_SmallInternetPipeline
+//	E3  NREN scale table (§3.2)         BenchmarkE3_NREN{Design,Compile,Render}
+//	E5  eBGP visualization (Fig. 6)     BenchmarkE5_VizExport
+//	E6  traceroute measurement (§6.1)   BenchmarkE6_Traceroute
+//	E8  iBGP mesh vs RR (§7.1)          BenchmarkE8_IBGP{FullMesh,RouteReflectors}
+//	E9  oscillation gadget (§7.2)       BenchmarkE9_BadGadget{Quagga,IOS}
+//	E10 RPKI deployment (§3.3)          BenchmarkE10_RPKIDeploy
+//	E11 DNS zone generation (§3.3)      BenchmarkE11_ZoneGen
+//	E12 design-vs-measured validation   BenchmarkE12_Validate
+//	A1  logic in templates vs compiler  BenchmarkA1_{CompilerCondensed,FatTemplate}
+//	A3  deterministic render            BenchmarkA3_RenderDeterminism
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"os"
+	"testing"
+
+	"autonetkit/internal/compile"
+	"autonetkit/internal/core"
+	"autonetkit/internal/dataplane"
+	"autonetkit/internal/deploy"
+	"autonetkit/internal/design"
+	"autonetkit/internal/emul"
+	"autonetkit/internal/graph"
+	"autonetkit/internal/ipalloc"
+	"autonetkit/internal/measure"
+	"autonetkit/internal/netaddr"
+	"autonetkit/internal/render"
+	"autonetkit/internal/routing"
+	"autonetkit/internal/services/dns"
+	"autonetkit/internal/services/rpki"
+	"autonetkit/internal/tmpl"
+	"autonetkit/internal/topogen"
+	"autonetkit/internal/topoio"
+	"autonetkit/internal/verify"
+	"autonetkit/internal/viz"
+)
+
+// --- E1: the Fig. 5 design rules (eqs. 1-3) ---
+
+func BenchmarkE1_Fig5Rules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net, err := LoadGraph(topogen.Fig5())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := net.Design(design.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2: the Small-Internet lab, GraphML-equivalent input to configs
+// (§3.1: "took under a second"; manual configuration took days) ---
+
+func BenchmarkE2_SmallInternetPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net, err := LoadGraph(topogen.SmallInternet())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := net.Build(BuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2_SmallInternetDeploy(b *testing.B) {
+	net, err := LoadGraph(topogen.SmallInternet())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Build(BuildOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := deploy.Run(net.Files, deploy.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3: the §3.2 scale table, per stage, at full NREN scale ---
+
+func nrenInput(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := topogen.NREN(topogen.DefaultNREN())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkE3_NRENDesign(b *testing.B) {
+	g := nrenInput(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := LoadGraph(g.Copy())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := net.Design(design.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		if err := net.Allocate(ipalloc.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3_NRENCompile(b *testing.B) {
+	net, err := LoadGraph(nrenInput(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Design(design.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Allocate(ipalloc.Config{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.Compile(compile.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3_NRENRender(b *testing.B) {
+	net, err := LoadGraph(nrenInput(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Design(design.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Allocate(ipalloc.Config{}); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Compile(compile.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs, err := render.Render(net.DB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(fs.Len()), "files")
+			b.ReportMetric(float64(fs.TotalBytes()), "bytes")
+		}
+	}
+}
+
+// Scaling series for the crossover shape: pipeline time vs network size.
+func BenchmarkE3_ScaleSweep(b *testing.B) {
+	for _, scale := range []struct {
+		name                 string
+		ases, routers, links int
+	}{
+		{"small", 4, 50, 65},
+		{"medium", 12, 300, 380},
+		{"full", 42, 1158, 1470},
+	} {
+		b.Run(scale.name, func(b *testing.B) {
+			g, err := topogen.NREN(topogen.NRENConfig{ASes: scale.ases, Routers: scale.routers, Links: scale.links})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net, err := LoadGraph(g.Copy())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := net.Build(BuildOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E5: Fig. 6 eBGP visualization export ---
+
+func BenchmarkE5_VizExport(b *testing.B) {
+	net, err := LoadGraph(topogen.SmallInternet())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Design(design.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	ebgp := net.ANM.Overlay(design.OverlayEBGP)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doc := viz.ExportOverlay(ebgp, viz.Options{})
+		if _, err := doc.JSON(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E6: the §6.1 traceroute measurement over the deployed lab ---
+
+func deployedSmallInternet(b *testing.B) (*Network, *emul.Lab) {
+	b.Helper()
+	net, err := LoadGraph(topogen.SmallInternet())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Build(BuildOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	dep, err := net.Deploy(deploy.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net, dep.Lab()
+}
+
+func BenchmarkE6_Traceroute(b *testing.B) {
+	net, lab := deployedSmallInternet(b)
+	client := net.Measure(lab)
+	var dst netip.Addr
+	for _, e := range net.Alloc.Table.Entries() {
+		if e.Node == "as100r2" && !e.Loopback {
+			dst = e.Addr
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := client.RunTraceroute("as300r2", dst)
+		if err != nil || !tr.Reached {
+			b.Fatalf("traceroute failed: %v %v", err, tr)
+		}
+	}
+}
+
+// --- E8: iBGP full mesh vs route reflectors (§7.1), session scaling ---
+
+func chainInput(n int) *graph.Graph {
+	g := graph.New()
+	var prev graph.ID
+	for i := 0; i < n; i++ {
+		id := graph.ID(fmt.Sprintf("r%03d", i))
+		g.AddNode(id, graph.Attrs{core.AttrASN: 1, core.AttrDeviceType: core.DeviceRouter})
+		if prev != "" {
+			g.AddEdge(prev, id, graph.Attrs{"type": "physical"})
+		}
+		prev = id
+	}
+	return g
+}
+
+func BenchmarkE8_IBGPFullMesh(b *testing.B) {
+	for _, n := range []int{20, 60, 120} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			g := chainInput(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net, err := LoadGraph(g.Copy())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := net.Design(design.Options{}); err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(net.ANM.Overlay(design.OverlayIBGP).NumEdges()), "sessions")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE8_IBGPRouteReflectors(b *testing.B) {
+	for _, n := range []int{20, 60, 120} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			g := chainInput(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net, err := LoadGraph(g.Copy())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := net.Design(design.Options{RouteReflectors: true}); err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(net.ANM.Overlay(design.OverlayIBGP).NumEdges()), "sessions")
+				}
+			}
+		})
+	}
+}
+
+// --- E9: the §7.2 oscillation gadget on two decision processes ---
+
+func benchGadget(b *testing.B, platform, syntax string, wantOscillation bool) {
+	b.Helper()
+	g := topogen.OscillationGadget()
+	for _, n := range g.Nodes() {
+		n.Set(core.AttrPlatform, platform)
+		n.Set(core.AttrSyntax, syntax)
+	}
+	net, err := LoadGraph(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Build(BuildOptions{Design: design.Options{RouteReflectors: true}}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dep, err := deploy.Run(net.Files, deploy.Options{Platform: platform, MaxBGPRounds: 60})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := dep.Lab().BGPResult().Oscillating; got != wantOscillation {
+			b.Fatalf("%s oscillating = %v, want %v", platform, got, wantOscillation)
+		}
+	}
+}
+
+func BenchmarkE9_BadGadgetQuagga(b *testing.B) { benchGadget(b, "netkit", "quagga", false) }
+func BenchmarkE9_BadGadgetIOS(b *testing.B)    { benchGadget(b, "dynagen", "ios", true) }
+
+// --- E10: RPKI hierarchy, placement and propagation at StarBed scale ---
+
+func BenchmarkE10_RPKIDeploy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := rpki.NewHierarchy("rir", netaddr.MustPrefix("10.0.0.0/8"))
+		dist := rpki.NewDistribution(h)
+		var points []string
+		for asn := 1; asn <= 42; asn++ {
+			name := fmt.Sprintf("ca%d", asn)
+			block, err := netaddr.NthSubnet(netaddr.MustPrefix("10.0.0.0/8"), 16, asn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := h.AddCA(name, "rir", block); err != nil {
+				b.Fatal(err)
+			}
+			roa, err := h.SignROA(name, block, 24, asn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pp, err := dist.AddPublicationPoint("pp" + name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pp.Publish(roa)
+			points = append(points, "pp"+name)
+		}
+		if _, err := dist.AddCache("top", "", points...); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 10; j++ {
+			if _, err := dist.AddCache(fmt.Sprintf("leaf%d", j), "top"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := dist.Propagate(0); err != nil {
+			b.Fatal(err)
+		}
+		// 800+ VM placement.
+		vms := make([]string, 820)
+		for j := range vms {
+			vms[j] = fmt.Sprintf("vm%03d", j)
+		}
+		pool, err := deploy.NewHostPool(
+			&deploy.Host{Name: "a", Capacity: 300},
+			&deploy.Host{Name: "b", Capacity: 300},
+			&deploy.Host{Name: "c", Capacity: 300},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pool.Place(vms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E11: DNS zone generation consistent with the allocation ---
+
+func BenchmarkE11_ZoneGen(b *testing.B) {
+	net, err := LoadGraph(topogen.SmallInternet())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Design(design.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Allocate(ipalloc.Config{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		zones, err := dns.Generate(net.ANM, net.Alloc, dns.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, z := range zones.All() {
+			_ = z.Render()
+		}
+	}
+}
+
+// --- E12: measured-vs-designed validation over the running lab ---
+
+func BenchmarkE12_Validate(b *testing.B) {
+	net, lab := deployedSmallInternet(b)
+	client := net.Measure(lab)
+	designed := net.ANM.Overlay(design.OverlayOSPF).Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		measured, err := client.MeasuredOSPFGraph(lab.VMNames())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if diff := measure.Compare(designed, measured); !diff.OK() {
+			b.Fatalf("validation failed: %v", diff)
+		}
+	}
+}
+
+// --- A1: the §4.2 design choice — network logic condensed by the compiler
+// versus evaluated inside a "fat" template. Both render identical neighbor
+// stanzas; the fat variant filters the whole router list with template
+// conditionals on every execution. ---
+
+var a1Fat = tmpl.MustParse("fat", `% for peer in routers:
+% if peer.asn == node.asn and peer.name != node.name:
+  neighbor ${peer.loopback} remote-as ${peer.asn}
+% endif
+% endfor
+`)
+
+var a1Thin = tmpl.MustParse("thin", `% for nbr in node.neighbors:
+  neighbor ${nbr.loopback} remote-as ${nbr.asn}
+% endfor
+`)
+
+func a1Context(n int) (fat, thin map[string]any) {
+	var routers []any
+	var neighbors []any
+	for i := 0; i < n; i++ {
+		r := map[string]any{"name": fmt.Sprintf("r%d", i), "asn": 1 + i%4, "loopback": fmt.Sprintf("10.0.0.%d", i+1)}
+		routers = append(routers, r)
+		if i%4 == 0 && i != 0 {
+			neighbors = append(neighbors, r)
+		}
+	}
+	self := map[string]any{"name": "r0", "asn": 1}
+	fat = map[string]any{"routers": routers, "node": self}
+	thin = map[string]any{"node": map[string]any{"neighbors": neighbors}}
+	return fat, thin
+}
+
+func BenchmarkA1_FatTemplate(b *testing.B) {
+	fat, _ := a1Context(400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a1Fat.Execute(fat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkA1_CompilerCondensed(b *testing.B) {
+	_, thin := a1Context(400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a1Thin.Execute(thin); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- A3: byte-stable rendering (determinism the experiments rely on) ---
+
+func BenchmarkA3_RenderDeterminism(b *testing.B) {
+	net, err := LoadGraph(topogen.SmallInternet())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Build(BuildOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	ref := map[string]string{}
+	for _, p := range net.Files.Paths() {
+		c, _ := net.Files.Read(p)
+		ref[p] = c
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs, err := render.Render(net.DB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range fs.Paths() {
+			c, _ := fs.Read(p)
+			if ref[p] != c {
+				b.Fatalf("render of %s not deterministic", p)
+			}
+		}
+	}
+}
+
+// --- E15: incident injection + re-convergence ---
+
+func BenchmarkE15_IncidentReconvergence(b *testing.B) {
+	net, err := LoadGraph(topogen.SmallInternet())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Build(BuildOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dep, err := deploy.Run(net.Files, deploy.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lab := dep.Lab()
+		b.StartTimer()
+		if err := lab.FailLink("as40r1", "as300r2"); err != nil {
+			b.Fatal(err)
+		}
+		if !lab.BGPResult().Converged {
+			b.Fatal("did not re-converge")
+		}
+	}
+}
+
+// --- E16: pre-deployment verification ---
+
+func BenchmarkE16_VerifyStatic(b *testing.B) {
+	net, err := LoadGraph(topogen.SmallInternet())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Build(BuildOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report, err := net.Verify()
+		if err != nil || !report.OK() {
+			b.Fatalf("%v %v", err, report)
+		}
+	}
+}
+
+func BenchmarkE16_StabilityWhatIf(b *testing.B) {
+	g := topogen.OscillationGadget()
+	net, err := LoadGraph(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Build(BuildOptions{Design: design.Options{RouteReflectors: true}}); err != nil {
+		b.Fatal(err)
+	}
+	lab, err := emul.Load(net.Files, "localhost", "netkit")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := lab.Start(60); err != nil {
+		b.Fatal(err)
+	}
+	var devices []*routing.DeviceConfig
+	for _, name := range lab.VMNames() {
+		vm, _ := lab.VM(name)
+		devices = append(devices, vm.Config)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := verify.Stability(devices, routing.ProfileIOS, 60)
+		if !res.Oscillating {
+			b.Fatal("what-if missed the oscillation")
+		}
+	}
+}
+
+// --- substrate micro-benchmarks (ns/op scale, for profiling the pipeline
+// hot paths the §6 performance discussion identifies) ---
+
+func BenchmarkSubstrate_DijkstraNREN(b *testing.B) {
+	g := nrenInput(b)
+	ids := g.NodeIDs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := ids[i%len(ids)]
+		dist, _ := g.Dijkstra(src, graph.UnitWeight)
+		if len(dist) == 0 {
+			b.Fatal("no distances")
+		}
+	}
+}
+
+func BenchmarkSubstrate_FIBLookup(b *testing.B) {
+	f := dataplane.NewFIB()
+	for i := 0; i < 1000; i++ {
+		p, err := netaddr.NthSubnet(netaddr.MustPrefix("10.0.0.0/8"), 22, i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Insert(dataplane.FIBEntry{Prefix: p, OutIf: "eth0"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dst := netip.MustParseAddr("10.1.2.3")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := f.Lookup(dst); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkSubstrate_TemplateRender(b *testing.B) {
+	// The paper's §4.1 template over a realistic context.
+	tpl := tmpl.MustParse("ospfd", `hostname ${node.zebra.hostname}
+password ${node.zebra.password}
+% for interface in node.interfaces:
+interface ${interface.id}
+  ip ospf cost ${interface.ospf_cost}
+% endfor
+router ospf
+% for link in node.ospf.ospf_links:
+  network ${link.network.cidr} area ${link.area}
+% endfor
+`)
+	var ifaces, links []any
+	for i := 0; i < 8; i++ {
+		ifaces = append(ifaces, map[string]any{"id": fmt.Sprintf("eth%d", i), "ospf_cost": 1})
+		p, _ := netaddr.NthSubnet(netaddr.MustPrefix("192.168.0.0/16"), 30, i)
+		links = append(links, map[string]any{"network": p, "area": 0})
+	}
+	ctx := map[string]any{"node": map[string]any{
+		"zebra":      map[string]any{"hostname": "as100r1", "password": "1234"},
+		"interfaces": ifaces,
+		"ospf":       map[string]any{"ospf_links": links},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tpl.Execute(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrate_TextFSMParse(b *testing.B) {
+	net, lab := deployedSmallInternet(b)
+	client := net.Measure(lab)
+	raw, err := client.Run("as1r1", "show ip ospf neighbor")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.OSPFAdjacencies("as1r1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = raw
+}
+
+func BenchmarkSubstrate_GraphMLLoad(b *testing.B) {
+	data, err := os.ReadFile("testdata/small_internet.graphml")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := topoio.ReadGraphML(bytes.NewReader(data))
+		if err != nil || g.NumNodes() != 14 {
+			b.Fatalf("%v %v", err, g)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Command ankdeploy builds a topology and deploys it onto the emulation
+// platform, streaming the launch progress (§5.7).
+//
+//	ankdeploy -in lab.graphml [-platform netkit] [-host localhost]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autonetkit"
+	"autonetkit/internal/deploy"
+)
+
+func main() {
+	in := flag.String("in", "", "input topology file")
+	platform := flag.String("platform", "netkit", "emulation platform (netkit/dynagen/junosphere/cbgp)")
+	host := flag.String("host", "localhost", "emulation host")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "ankdeploy: -in is required")
+		os.Exit(2)
+	}
+	net, err := autonetkit.Load(*in)
+	if err != nil {
+		fatal(err)
+	}
+	// Route every device onto the requested platform.
+	for _, n := range net.ANM.Overlay("input").Nodes() {
+		n.MustSet("platform", *platform)
+		n.MustSet("syntax", syntaxFor(*platform))
+		n.MustSet("host", *host)
+	}
+	if err := net.Build(autonetkit.BuildOptions{}); err != nil {
+		fatal(err)
+	}
+	dep, err := net.Deploy(deploy.Options{
+		Host: *host, Platform: *platform,
+		OnEvent: func(e deploy.Event) { fmt.Printf("[%s] %s\n", e.Stage, e.Detail) },
+	})
+	if err != nil {
+		fatal(err)
+	}
+	lab := dep.Lab()
+	res := lab.BGPResult()
+	switch {
+	case res.Converged:
+		fmt.Printf("lab running: %d machines, BGP converged in %d rounds\n", len(lab.VMNames()), res.Rounds)
+	case res.Oscillating:
+		fmt.Printf("lab running: %d machines, BGP OSCILLATING (cycle length %d)\n", len(lab.VMNames()), res.CycleLen)
+	}
+}
+
+func syntaxFor(platform string) string {
+	switch platform {
+	case "dynagen":
+		return "ios"
+	case "junosphere":
+		return "junos"
+	case "cbgp":
+		return "cbgp"
+	default:
+		return "quagga"
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ankdeploy:", err)
+	os.Exit(1)
+}

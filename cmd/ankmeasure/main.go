@@ -1,0 +1,98 @@
+// Command ankmeasure builds, deploys and measures a topology: traceroutes
+// with reverse name mapping, OSPF adjacency collection, and design-vs-
+// measured validation (§5.7, §6.1).
+//
+//	ankmeasure -in lab.graphml -src as300r2 -dst as100r2
+//	ankmeasure -in lab.graphml -validate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"strings"
+
+	"autonetkit"
+	"autonetkit/internal/deploy"
+	"autonetkit/internal/design"
+	"autonetkit/internal/measure"
+)
+
+func main() {
+	in := flag.String("in", "", "input topology file")
+	src := flag.String("src", "", "traceroute source device")
+	dst := flag.String("dst", "", "traceroute destination device (first interface) or address")
+	validate := flag.Bool("validate", false, "compare measured OSPF topology against the design")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "ankmeasure: -in is required")
+		os.Exit(2)
+	}
+	net, err := autonetkit.Load(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if err := net.Build(autonetkit.BuildOptions{}); err != nil {
+		fatal(err)
+	}
+	dep, err := net.Deploy(deploy.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	lab := dep.Lab()
+	client := net.Measure(lab)
+
+	if *validate {
+		measured, err := client.MeasuredOSPFGraph(lab.VMNames())
+		if err != nil {
+			fatal(err)
+		}
+		diff := measure.Compare(net.ANM.Overlay(design.OverlayOSPF).Graph(), measured)
+		fmt.Println(diff)
+		if !diff.OK() {
+			for _, e := range diff.MissingEdges {
+				fmt.Printf("  missing adjacency: %s -- %s\n", e[0], e[1])
+			}
+			for _, e := range diff.ExtraEdges {
+				fmt.Printf("  unexpected adjacency: %s -- %s\n", e[0], e[1])
+			}
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *src == "" || *dst == "" {
+		fmt.Fprintln(os.Stderr, "ankmeasure: need -src and -dst (or -validate)")
+		os.Exit(2)
+	}
+	dstAddr, err := netip.ParseAddr(*dst)
+	if err != nil {
+		// Destination by device name: its first interface address (§6.1).
+		found := false
+		for _, e := range net.Alloc.Table.Entries() {
+			if string(e.Node) == *dst && !e.Loopback {
+				dstAddr, found = e.Addr, true
+				break
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("no interface address for device %q", *dst))
+		}
+	}
+	tr, err := client.RunTraceroute(*src, dstAddr)
+	if err != nil {
+		fatal(err)
+	}
+	raw, _ := client.Run(*src, "traceroute -naU "+dstAddr.String())
+	fmt.Print(raw)
+	fmt.Printf("[%s]\n", strings.Join(tr.Path(), ", "))
+	if !tr.Reached {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ankmeasure:", err)
+	os.Exit(1)
+}

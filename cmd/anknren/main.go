@@ -1,0 +1,92 @@
+// Command anknren regenerates the paper's §3.2 scale experiment: build the
+// European-NREN-scale model (42 ASes, 1158 routers, 1470 links by default),
+// run it through the pipeline, and report per-stage timings plus the size
+// of the generated configuration set — the row the paper states as "15
+// seconds to load and build, 27 seconds to compile, 2 minutes to render;
+// 20MB with 16,144 items".
+//
+//	anknren [-ases 42] [-routers 1158] [-links 1470] [-sweep]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"autonetkit"
+	"autonetkit/internal/topogen"
+)
+
+func main() {
+	ases := flag.Int("ases", 42, "autonomous systems")
+	routers := flag.Int("routers", 1158, "routers")
+	links := flag.Int("links", 1470, "links")
+	sweep := flag.Bool("sweep", false, "additionally sweep smaller sizes for the scaling series")
+	flag.Parse()
+
+	fmt.Printf("%8s %8s %8s | %10s %10s %10s | %8s %10s\n",
+		"ases", "routers", "links", "load+build", "compile", "render", "files", "bytes")
+	if *sweep {
+		for _, scale := range []int{10, 25, 50, 100} {
+			cfg := topogen.NRENConfig{
+				ASes:    max(2, *ases*scale/100),
+				Routers: max(4, *routers*scale/100),
+				Links:   max(4, *links*scale/100),
+			}
+			if err := run(cfg); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	if err := run(topogen.NRENConfig{ASes: *ases, Routers: *routers, Links: *links}); err != nil {
+		fatal(err)
+	}
+}
+
+func run(cfg topogen.NRENConfig) error {
+	t0 := time.Now()
+	g, err := topogen.NREN(cfg)
+	if err != nil {
+		return err
+	}
+	net, err := autonetkit.LoadGraph(g)
+	if err != nil {
+		return err
+	}
+	if err := net.Design(autonetkit.BuildOptions{}.Design); err != nil {
+		return err
+	}
+	if err := net.Allocate(autonetkit.BuildOptions{}.IP); err != nil {
+		return err
+	}
+	t1 := time.Now() // load + build overlays (the paper's "load and build")
+	if err := net.Compile(autonetkit.BuildOptions{}.Compile); err != nil {
+		return err
+	}
+	t2 := time.Now()
+	if err := net.Render(); err != nil {
+		return err
+	}
+	t3 := time.Now()
+	fmt.Printf("%8d %8d %8d | %10v %10v %10v | %8d %10d\n",
+		cfg.ASes, cfg.Routers, cfg.Links,
+		t1.Sub(t0).Round(time.Millisecond),
+		t2.Sub(t1).Round(time.Millisecond),
+		t3.Sub(t2).Round(time.Millisecond),
+		net.Files.Len(), net.Files.TotalBytes())
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "anknren:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Command ankviz exports overlay topologies as D3-style JSON or a
+// self-contained HTML viewer (§5.6), optionally serving them over HTTP for
+// the paper's real-time feedback loop.
+//
+//	ankviz -in lab.graphml -overlay ebgp -out ebgp.html
+//	ankviz -in lab.graphml -serve :8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"autonetkit"
+	"autonetkit/internal/viz"
+)
+
+func main() {
+	in := flag.String("in", "", "input topology file")
+	overlay := flag.String("overlay", "input", "overlay to export (input/phy/ospf/ebgp/ibgp/ipv4)")
+	out := flag.String("out", "", "output file (.json or .html); default stdout JSON")
+	serve := flag.String("serve", "", "serve all overlays over HTTP at this address instead")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "ankviz: -in is required")
+		os.Exit(2)
+	}
+	net, err := autonetkit.Load(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if err := net.Build(autonetkit.BuildOptions{}); err != nil {
+		fatal(err)
+	}
+
+	if *serve != "" {
+		mux := http.NewServeMux()
+		for _, name := range net.ANM.OverlayNames() {
+			name := name
+			mux.HandleFunc("/"+name, func(w http.ResponseWriter, r *http.Request) {
+				doc, err := net.ExportOverlay(name, viz.Options{})
+				if err != nil {
+					http.Error(w, err.Error(), 500)
+					return
+				}
+				html, err := doc.HTML()
+				if err != nil {
+					http.Error(w, err.Error(), 500)
+					return
+				}
+				w.Header().Set("Content-Type", "text/html")
+				fmt.Fprint(w, html)
+			})
+		}
+		mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+			for _, name := range net.ANM.OverlayNames() {
+				fmt.Fprintf(w, "<a href=\"/%s\">%s</a><br>\n", name, name)
+			}
+		})
+		fmt.Printf("serving overlays on %s\n", *serve)
+		fatal(http.ListenAndServe(*serve, mux))
+	}
+
+	doc, err := net.ExportOverlay(*overlay, viz.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	var payload string
+	if strings.HasSuffix(*out, ".html") {
+		payload, err = doc.HTML()
+	} else {
+		var b []byte
+		b, err = doc.JSON()
+		payload = string(b)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Println(payload)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(payload), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, len(payload))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ankviz:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,134 @@
+package autonetkit
+
+// Smoke tests for the executables: each command is compiled and run against
+// the shipped Small-Internet GraphML fixture, asserting on its output.
+// Gated behind -short because compiling five binaries takes a few seconds.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles one command into a temp dir and returns the binary
+// path.
+func buildCmd(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runCmd(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+const fixture = "testdata/small_internet.graphml"
+
+func TestCmdAnkbuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test")
+	}
+	bin := buildCmd(t, "ankbuild")
+	outDir := t.TempDir()
+	out, err := runCmd(t, bin, "-in", fixture, "-out", outDir, "-verify")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"loaded 14 devices", "verification passed", "rendered"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(outDir, "localhost", "netkit", "lab.conf")); err != nil {
+		t.Errorf("lab.conf not written: %v", err)
+	}
+	// Missing -in exits non-zero.
+	if _, err := runCmd(t, bin); err == nil {
+		t.Error("ankbuild without -in succeeded")
+	}
+}
+
+func TestCmdAnkdeploy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test")
+	}
+	bin := buildCmd(t, "ankdeploy")
+	out, err := runCmd(t, bin, "-in", fixture)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"[archive]", "[lstart]", "lab running: 14 machines", "BGP converged"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdAnkmeasure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test")
+	}
+	bin := buildCmd(t, "ankmeasure")
+	out, err := runCmd(t, bin, "-in", fixture, "-src", "as300r2", "-dst", "as100r2")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "[as300r2, as40r1, as1r1, as20r3, as20r2, as100r1, as100r2]") {
+		t.Errorf("paper path missing:\n%s", out)
+	}
+	out, err = runCmd(t, bin, "-in", fixture, "-validate")
+	if err != nil {
+		t.Fatalf("validate: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "matches design") {
+		t.Errorf("validation output:\n%s", out)
+	}
+}
+
+func TestCmdAnkviz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test")
+	}
+	bin := buildCmd(t, "ankviz")
+	htmlPath := filepath.Join(t.TempDir(), "ebgp.html")
+	out, err := runCmd(t, bin, "-in", fixture, "-overlay", "ebgp", "-out", htmlPath)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	b, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "<!DOCTYPE html>") || !strings.Contains(string(b), "as1r1") {
+		t.Error("html output wrong")
+	}
+	// JSON to stdout.
+	out, err = runCmd(t, bin, "-in", fixture, "-overlay", "ospf")
+	if err != nil || !strings.Contains(out, `"name": "ospf"`) {
+		t.Errorf("json output: %v\n%s", err, out)
+	}
+}
+
+func TestCmdAnknren(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test")
+	}
+	bin := buildCmd(t, "anknren")
+	out, err := runCmd(t, bin, "-ases", "4", "-routers", "24", "-links", "30")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "24") || !strings.Contains(out, "30") {
+		t.Errorf("table missing sizes:\n%s", out)
+	}
+}

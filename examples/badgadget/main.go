@@ -1,0 +1,67 @@
+// Validating theory in emulation (paper §7.2): an RFC 3345-class MED/IGP
+// oscillation gadget — two route-reflector clusters, with the contested
+// prefix arriving from one AS at cluster 1 and twice (different MEDs,
+// different IGP distances) from another AS at cluster 2 — is compiled once
+// and deployed onto all four target platforms. The IOS, JunOS and C-BGP
+// decision processes include the IGP-cost tie-break and oscillate
+// persistently; Quagga's 2013 default skips it and converges. "A simulated
+// model of the idealised BGP decision process would not have shown this
+// behaviour."
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autonetkit"
+	"autonetkit/internal/deploy"
+	"autonetkit/internal/design"
+	"autonetkit/internal/topogen"
+)
+
+func main() {
+	fmt.Println("platform    syntax   result")
+	fmt.Println("--------    ------   ------")
+	for _, target := range []struct{ platform, syntax string }{
+		{"netkit", "quagga"},
+		{"dynagen", "ios"},
+		{"junosphere", "junos"},
+		{"cbgp", "cbgp"},
+	} {
+		g := topogen.OscillationGadget()
+		// Route the same model onto a different platform: the paper's "easy
+		// to implement the same network model on different types of router".
+		for _, n := range g.Nodes() {
+			n.Set("platform", target.platform)
+			n.Set("syntax", target.syntax)
+		}
+		net, err := autonetkit.LoadGraph(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := net.Build(autonetkit.BuildOptions{
+			Design: design.Options{RouteReflectors: true},
+		}); err != nil {
+			log.Fatal(err)
+		}
+		dep, err := net.Deploy(deploy.Options{Platform: target.platform, MaxBGPRounds: 60})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := dep.Lab().BGPResult()
+		verdict := fmt.Sprintf("converged in %d rounds", res.Rounds)
+		if res.Oscillating {
+			verdict = fmt.Sprintf("OSCILLATES (cycle length %d)", res.CycleLen)
+		}
+		fmt.Printf("%-11s %-8s %s\n", target.platform, target.syntax, verdict)
+	}
+
+	fmt.Println()
+	fmt.Println("The gadget is an RFC 3345-class MED/IGP oscillation condition: two exits")
+	fmt.Println("from the same neighbour AS land in different reflector clusters, the")
+	fmt.Println("IGP-far exit carrying the better MED. With the IGP-cost tie-break in the")
+	fmt.Println("decision process (IOS/JunOS/C-BGP) no stable route assignment exists and")
+	fmt.Println("the reflectors flap persistently — even under asynchronous processing.")
+	fmt.Println("Quagga's 2013 default skips the IGP comparison and converges, exactly the")
+	fmt.Println("vendor split the paper observed in emulation.")
+}

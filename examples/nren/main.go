@@ -1,0 +1,62 @@
+// Large-scale model (paper §3.2): the European-NREN-scale network — 42
+// ASes, 1158 routers, 1470 links — run through the pipeline with per-stage
+// timings and output-size statistics, plus a demonstration that the same
+// design rules apply unchanged at this scale (§6 reusability claim).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"autonetkit"
+	"autonetkit/internal/design"
+	"autonetkit/internal/topogen"
+)
+
+func main() {
+	cfg := topogen.DefaultNREN()
+	fmt.Printf("synthesising NREN-scale model: %d ASes, %d routers, %d links\n",
+		cfg.ASes, cfg.Routers, cfg.Links)
+
+	t0 := time.Now()
+	g, err := topogen.NREN(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := autonetkit.LoadGraph(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The identical design rules used for the 14-router Small-Internet lab.
+	if err := net.Design(design.Options{}); err != nil {
+		log.Fatal(err)
+	}
+	if err := net.Allocate(autonetkit.BuildOptions{}.IP); err != nil {
+		log.Fatal(err)
+	}
+	t1 := time.Now()
+	if err := net.Compile(autonetkit.BuildOptions{}.Compile); err != nil {
+		log.Fatal(err)
+	}
+	t2 := time.Now()
+	if err := net.Render(); err != nil {
+		log.Fatal(err)
+	}
+	t3 := time.Now()
+
+	fmt.Printf("\npaper §3.2 table (shape comparison; absolute times differ by substrate):\n")
+	fmt.Printf("  %-28s %12s %12s\n", "stage", "paper (2013)", "this repo")
+	fmt.Printf("  %-28s %12s %12v\n", "load + build topologies", "15 s", t1.Sub(t0).Round(time.Millisecond))
+	fmt.Printf("  %-28s %12s %12v\n", "compile network model", "27 s", t2.Sub(t1).Round(time.Millisecond))
+	fmt.Printf("  %-28s %12s %12v\n", "render configurations", "2 min", t3.Sub(t2).Round(time.Millisecond))
+	fmt.Printf("  %-28s %12s %12d\n", "configuration items", "16,144", net.Files.Len())
+	fmt.Printf("  %-28s %12s %11.1fMB\n", "uncompressed size", "20MB", float64(net.Files.TotalBytes())/1e6)
+
+	ibgp := net.ANM.Overlay(design.OverlayIBGP)
+	ebgp := net.ANM.Overlay(design.OverlayEBGP)
+	ospf := net.ANM.Overlay(design.OverlayOSPF)
+	fmt.Printf("\noverlay sizes: ospf %d edges, ibgp %d sessions, ebgp %d sessions\n",
+		ospf.NumEdges(), ibgp.NumEdges(), ebgp.NumEdges())
+	fmt.Println("\nsame rules, zero code changes — only the input topology grew (paper §6)")
+}

@@ -1,0 +1,90 @@
+// What-if analysis (paper §8: emulation supports "experimentation, testing
+// and what-if analysis"; the future-work section proposes incident tooling
+// and test-driven network development). This example:
+//
+//  1. verifies the compiled network statically before deployment,
+//  2. deploys the Small-Internet lab and records the baseline traceroute,
+//  3. injects incidents — a core link failure, then a full router outage —
+//     re-converging and re-measuring after each,
+//  4. shows the partition when a stub AS loses its only remaining uplink.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"strings"
+
+	"autonetkit"
+	"autonetkit/internal/deploy"
+	"autonetkit/internal/topogen"
+)
+
+func main() {
+	net, err := autonetkit.LoadGraph(topogen.SmallInternet())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := net.Build(autonetkit.BuildOptions{}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Pre-deployment verification (§8).
+	report, err := net.Verify()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pre-deployment verification:", report)
+
+	dep, err := net.Deploy(deploy.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lab := dep.Lab()
+	client := net.Measure(lab)
+
+	var dst netip.Addr
+	for _, e := range net.Alloc.Table.Entries() {
+		if e.Node == "as100r2" && !e.Loopback {
+			dst = e.Addr
+			break
+		}
+	}
+	show := func(label string) {
+		tr, err := client.RunTraceroute("as300r2", dst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "reached"
+		if !tr.Reached {
+			status = "UNREACHABLE"
+		}
+		fmt.Printf("%-34s %-11s [%s]\n", label, status, strings.Join(tr.Path(), ", "))
+	}
+
+	show("baseline:")
+
+	// Incident 1: as300r2 loses its uplink to AS40. AS300 still reaches
+	// the core through as300r1 -- as30r1, so the path re-routes.
+	if err := lab.FailLink("as40r1", "as300r2"); err != nil {
+		log.Fatal(err)
+	}
+	show("as40r1--as300r2 down:")
+
+	// Incident 2: the remaining border router as30r1 dies: AS300 is now
+	// partitioned from the rest of the internet.
+	if err := lab.FailNode("as30r1"); err != nil {
+		log.Fatal(err)
+	}
+	show("as30r1 down too:")
+
+	fmt.Println()
+	fmt.Println("post-incident BGP state:", summarize(lab.BGPResult().Converged, lab.BGPResult().Rounds))
+}
+
+func summarize(converged bool, rounds int) string {
+	if converged {
+		return fmt.Sprintf("re-converged in %d rounds", rounds)
+	}
+	return "did not re-converge"
+}

@@ -1,0 +1,3 @@
+module autonetkit
+
+go 1.22

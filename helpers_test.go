@@ -1,0 +1,24 @@
+package autonetkit
+
+import (
+	"net/netip"
+	"os"
+
+	"autonetkit/internal/compile"
+	"autonetkit/internal/services/dns"
+)
+
+// Small helpers keeping the facade tests terse.
+
+func osCreate(path string) (*os.File, error) { return os.Create(path) }
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+func mustPrefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func compileOptions() compile.Options { return compile.Options{} }
+
+func dnsConfig() dns.Config { return dns.Config{} }

@@ -1,0 +1,286 @@
+package compile
+
+import (
+	"fmt"
+	"net/netip"
+	"regexp"
+	"sort"
+	"strings"
+
+	"autonetkit/internal/netaddr"
+	"autonetkit/internal/nidb"
+)
+
+// Platform describes one emulation platform's conventions (paper §5.4: the
+// platform compiler allocates interface names, management addresses and
+// performs platform formatting). New targets register with
+// RegisterPlatform.
+type Platform interface {
+	// Name is the platform attribute value this compiler serves.
+	Name() string
+	// InterfaceName formats the i-th data-plane interface (0-based).
+	InterfaceName(i int) string
+	// LoopbackName is the loopback interface identifier.
+	LoopbackName() string
+	// SanitizeHostname rewrites a node label into a hostname the platform
+	// accepts.
+	SanitizeHostname(label string) string
+	// FinalizeLab builds the platform-wide lab data (e.g. Netkit lab.conf
+	// machine/collision-domain table) for the devices placed on one host.
+	FinalizeLab(db *nidb.DB, host string, devices []*nidb.Device) error
+}
+
+var platformRegistry = map[string]Platform{}
+
+// RegisterPlatform installs a platform compiler; later registrations for
+// the same name override earlier ones (user extension point).
+func RegisterPlatform(p Platform) { platformRegistry[p.Name()] = p }
+
+// PlatformFor returns the registered platform compiler.
+func PlatformFor(name string) (Platform, error) {
+	p, ok := platformRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("compile: no platform compiler registered for %q", name)
+	}
+	return p, nil
+}
+
+// Platforms returns the registered platform names, sorted.
+func Platforms() []string {
+	out := make([]string, 0, len(platformRegistry))
+	for k := range platformRegistry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var hostnameRe = regexp.MustCompile(`[^a-zA-Z0-9_-]`)
+
+func sanitizeBasic(label string) string {
+	s := hostnameRe.ReplaceAllString(label, "")
+	if s == "" {
+		s = "device"
+	}
+	return s
+}
+
+// NetkitPlatform implements the paper's primary target (§1, §6.1): Linux
+// VMs, eth interfaces, a TAP management network, and a lab.conf describing
+// machines and collision domains.
+type NetkitPlatform struct {
+	// TapSubnet is the management network; the host side takes the first
+	// usable address. Defaults to 172.16.0.0/16.
+	TapSubnet netip.Prefix
+}
+
+// Name implements Platform.
+func (NetkitPlatform) Name() string { return "netkit" }
+
+// InterfaceName implements Platform: eth0, eth1, ...
+func (NetkitPlatform) InterfaceName(i int) string { return fmt.Sprintf("eth%d", i) }
+
+// LoopbackName implements Platform.
+func (NetkitPlatform) LoopbackName() string { return "lo" }
+
+// SanitizeHostname implements Platform: Netkit machine names are lower-case
+// alphanumerics, dashes and underscores.
+func (NetkitPlatform) SanitizeHostname(label string) string {
+	return strings.ToLower(sanitizeBasic(label))
+}
+
+// FinalizeLab implements Platform: allocates TAP management addresses and
+// assembles the lab.conf data (machine -> interface -> collision domain).
+func (p NetkitPlatform) FinalizeLab(db *nidb.DB, host string, devices []*nidb.Device) error {
+	tap := p.TapSubnet
+	if !tap.IsValid() {
+		tap = netaddr.MustPrefix("172.16.0.0/16")
+	}
+	lab := db.Lab(host, p.Name())
+	lab["tap_subnet"] = tap
+	hostIP, err := netaddr.NthHost(tap, 0)
+	if err != nil {
+		return fmt.Errorf("compile: netkit tap host address: %w", err)
+	}
+	lab["tap_host"] = hostIP
+
+	var machines []any
+	cdSet := map[string]bool{}
+	var cds []string
+	for i, d := range devices {
+		tapIP, err := netaddr.NthHost(tap, i+1)
+		if err != nil {
+			return fmt.Errorf("compile: tap address for %s: %w", d.ID, err)
+		}
+		d.MustSet("tap.ip", tapIP)
+		d.MustSet("tap.interface", p.InterfaceName(interfaceCount(d)))
+
+		var ifaces []any
+		for _, ifc := range interfaceList(d) {
+			m := ifc.(map[string]any)
+			cd := fmt.Sprint(m["cd"])
+			ifaces = append(ifaces, map[string]any{"id": m["id"], "cd": cd})
+			if !cdSet[cd] {
+				cdSet[cd] = true
+				cds = append(cds, cd)
+			}
+		}
+		machines = append(machines, map[string]any{
+			"name":   d.Hostname(),
+			"ifaces": ifaces,
+			"tap":    map[string]any{"ip": tapIP, "interface": d.GetString("tap.interface", "")},
+		})
+	}
+	lab["machines"] = machines
+	sort.Strings(cds)
+	cdList := make([]any, len(cds))
+	for i, cd := range cds {
+		cdList[i] = cd
+	}
+	lab["collision_domains"] = cdList
+	lab["description"] = fmt.Sprintf("autonetkit generated lab (%d machines)", len(devices))
+	return nil
+}
+
+// DynagenPlatform targets Dynagen/Dynamips (IOS images).
+type DynagenPlatform struct{}
+
+// Name implements Platform.
+func (DynagenPlatform) Name() string { return "dynagen" }
+
+// InterfaceName implements Platform: f0/0, f0/1, ...
+func (DynagenPlatform) InterfaceName(i int) string { return fmt.Sprintf("f0/%d", i) }
+
+// LoopbackName implements Platform.
+func (DynagenPlatform) LoopbackName() string { return "Loopback0" }
+
+// SanitizeHostname implements Platform: IOS hostnames must not contain
+// underscores.
+func (DynagenPlatform) SanitizeHostname(label string) string {
+	return strings.ReplaceAll(sanitizeBasic(label), "_", "-")
+}
+
+// FinalizeLab implements Platform: assembles the lab.net data.
+func (p DynagenPlatform) FinalizeLab(db *nidb.DB, host string, devices []*nidb.Device) error {
+	lab := db.Lab(host, p.Name())
+	var routers []any
+	for _, d := range devices {
+		var links []any
+		for _, ifc := range interfaceList(d) {
+			m := ifc.(map[string]any)
+			links = append(links, map[string]any{"id": m["id"], "cd": m["cd"]})
+		}
+		routers = append(routers, map[string]any{
+			"name":  d.Hostname(),
+			"model": "7200",
+			"links": links,
+		})
+	}
+	lab["routers"] = routers
+	return nil
+}
+
+// JunospherePlatform targets Juniper's Junosphere (§5.4 reference
+// implementation list).
+type JunospherePlatform struct{}
+
+// Name implements Platform.
+func (JunospherePlatform) Name() string { return "junosphere" }
+
+// InterfaceName implements Platform: em0, em1, ...
+func (JunospherePlatform) InterfaceName(i int) string { return fmt.Sprintf("em%d", i) }
+
+// LoopbackName implements Platform.
+func (JunospherePlatform) LoopbackName() string { return "lo0" }
+
+// SanitizeHostname implements Platform.
+func (JunospherePlatform) SanitizeHostname(label string) string { return sanitizeBasic(label) }
+
+// FinalizeLab implements Platform: assembles the topology.vmm data.
+func (p JunospherePlatform) FinalizeLab(db *nidb.DB, host string, devices []*nidb.Device) error {
+	lab := db.Lab(host, p.Name())
+	var vms []any
+	for _, d := range devices {
+		vms = append(vms, map[string]any{"name": d.Hostname()})
+	}
+	lab["vms"] = vms
+	return nil
+}
+
+// CBGPPlatform targets the C-BGP route solver: no VMs, a single script, so
+// lab finalisation only records the node list.
+type CBGPPlatform struct{}
+
+// Name implements Platform.
+func (CBGPPlatform) Name() string { return "cbgp" }
+
+// InterfaceName implements Platform (C-BGP is link-based; names are
+// informational).
+func (CBGPPlatform) InterfaceName(i int) string { return fmt.Sprintf("if%d", i) }
+
+// LoopbackName implements Platform.
+func (CBGPPlatform) LoopbackName() string { return "lo" }
+
+// SanitizeHostname implements Platform.
+func (CBGPPlatform) SanitizeHostname(label string) string { return sanitizeBasic(label) }
+
+// FinalizeLab implements Platform: C-BGP scripts identify routers by
+// loopback, so the lab records loopback-endpoint links with their IGP
+// weights (max of the two attached interface costs, matching the OSPF
+// compiler).
+func (p CBGPPlatform) FinalizeLab(db *nidb.DB, host string, devices []*nidb.Device) error {
+	lab := db.Lab(host, p.Name())
+	var nodes []any
+	onHost := map[string]*nidb.Device{}
+	for _, d := range devices {
+		nodes = append(nodes, d.Hostname())
+		onHost[string(d.ID)] = d
+	}
+	lab["nodes"] = nodes
+	var links []any
+	for _, l := range db.Links() {
+		da, db2 := onHost[string(l.A)], onHost[string(l.B)]
+		if da == nil || db2 == nil {
+			continue
+		}
+		loA, okA := da.Get("loopback.ip")
+		loB, okB := db2.Get("loopback.ip")
+		if !okA || !okB {
+			continue
+		}
+		w := 1
+		for _, dev := range []*nidb.Device{da, db2} {
+			for _, ifc := range interfaceList(dev) {
+				m := ifc.(map[string]any)
+				if fmt.Sprint(m["cd"]) == string(l.CD) {
+					if c, ok := m["ospf_cost"].(int); ok && c > w {
+						w = c
+					}
+				}
+			}
+		}
+		links = append(links, map[string]any{"src": loA, "dst": loB, "weight": w})
+	}
+	lab["links"] = links
+	return nil
+}
+
+func init() {
+	RegisterPlatform(NetkitPlatform{})
+	RegisterPlatform(DynagenPlatform{})
+	RegisterPlatform(JunospherePlatform{})
+	RegisterPlatform(CBGPPlatform{})
+}
+
+// interfaceList returns the device's interfaces tree as a slice (empty when
+// unset).
+func interfaceList(d *nidb.Device) []any {
+	v, ok := d.Get("interfaces")
+	if !ok {
+		return nil
+	}
+	l, _ := v.([]any)
+	return l
+}
+
+func interfaceCount(d *nidb.Device) int { return len(interfaceList(d)) }

@@ -1,0 +1,409 @@
+// Package core implements the paper's primary contribution: the Abstract
+// Network Model (ANM, §5.2) — a set of named overlay graphs over a shared
+// node universe, with lightweight node and edge accessor objects that give
+// network design code a clean syntax:
+//
+//	anm := core.NewANM()
+//	gIn, _ := anm.AddOverlay("input")
+//	...
+//	gOspf, _ := anm.AddOverlay("ospf")
+//	gOspf.AddNodesFrom(gIn.Routers(), "asn")
+//	gOspf.AddEdgesFromWhere(gIn.Edges(), func(e core.EdgeView) bool {
+//	    return e.Src().ASN() == e.Dst().ASN()
+//	}, core.EdgeOpts{})
+//
+// Because every overlay shares node identifiers, cross-layer access (§5.2.3)
+// is a constant-time lookup: gIP.Node(ibgpNode.ID()).Get("loopback").
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"autonetkit/internal/graph"
+)
+
+// Well-known overlay names created by default.
+const (
+	OverlayInput = "input"
+	OverlayPhy   = "phy"
+)
+
+// Common attribute keys used across the design layers.
+const (
+	AttrASN        = "asn"
+	AttrDeviceType = "device_type"
+	AttrPlatform   = "platform"
+	AttrSyntax     = "syntax"
+	AttrHost       = "host"
+	AttrLabel      = "label"
+)
+
+// Device types understood by the design rules; arbitrary further types are
+// allowed (§5.2.2: user-definable device types).
+const (
+	DeviceRouter          = "router"
+	DeviceServer          = "server"
+	DeviceSwitch          = "switch"
+	DeviceCollisionDomain = "collision_domain"
+)
+
+// ANM is the Abstract Network Model: an ordered collection of overlay
+// graphs. The zero value is not usable; construct with NewANM.
+type ANM struct {
+	overlays map[string]*Overlay
+	order    []string
+}
+
+// NewANM returns a model pre-populated with an empty physical overlay
+// (paper: anm['phy'] exists from the start).
+func NewANM() *ANM {
+	anm := &ANM{overlays: map[string]*Overlay{}}
+	_, _ = anm.AddOverlay(OverlayPhy)
+	return anm
+}
+
+// AddOverlay creates a new undirected overlay with the given name.
+func (a *ANM) AddOverlay(name string) (*Overlay, error) {
+	return a.addOverlay(name, graph.New())
+}
+
+// AddOverlayDirected creates a new directed overlay (BGP sessions, RPKI
+// hierarchies).
+func (a *ANM) AddOverlayDirected(name string) (*Overlay, error) {
+	return a.addOverlay(name, graph.NewDirected())
+}
+
+// AddOverlayGraph installs an existing graph as an overlay, as the paper's
+// add_overlay("input", graph=data) does with loaded topologies.
+func (a *ANM) AddOverlayGraph(name string, g *graph.Graph) (*Overlay, error) {
+	return a.addOverlay(name, g)
+}
+
+func (a *ANM) addOverlay(name string, g *graph.Graph) (*Overlay, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: overlay name must not be empty")
+	}
+	if _, exists := a.overlays[name]; exists {
+		return nil, fmt.Errorf("core: overlay %q already exists", name)
+	}
+	ov := &Overlay{name: name, anm: a, g: g}
+	a.overlays[name] = ov
+	a.order = append(a.order, name)
+	return ov, nil
+}
+
+// Overlay returns the named overlay, or nil when absent. This is the
+// paper's anm['ospf'] accessor.
+func (a *ANM) Overlay(name string) *Overlay { return a.overlays[name] }
+
+// HasOverlay reports whether the named overlay exists.
+func (a *ANM) HasOverlay(name string) bool { _, ok := a.overlays[name]; return ok }
+
+// MustOverlay returns the named overlay or panics; for design scripts where
+// the overlay is known to exist.
+func (a *ANM) MustOverlay(name string) *Overlay {
+	ov := a.overlays[name]
+	if ov == nil {
+		panic(fmt.Sprintf("core: no overlay %q", name))
+	}
+	return ov
+}
+
+// OverlayNames returns overlay names in creation order.
+func (a *ANM) OverlayNames() []string {
+	out := make([]string, len(a.order))
+	copy(out, a.order)
+	return out
+}
+
+// RemoveOverlay deletes an overlay; absent names are a no-op.
+func (a *ANM) RemoveOverlay(name string) {
+	if _, ok := a.overlays[name]; !ok {
+		return
+	}
+	delete(a.overlays, name)
+	for i, n := range a.order {
+		if n == name {
+			a.order = append(a.order[:i], a.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Overlay is one layer of the model: a named attribute graph plus the API
+// the design rules use.
+type Overlay struct {
+	name string
+	anm  *ANM
+	g    *graph.Graph
+}
+
+// Name returns the overlay's name.
+func (o *Overlay) Name() string { return o.name }
+
+// ANM returns the owning model.
+func (o *Overlay) ANM() *ANM { return o.anm }
+
+// Graph exposes the underlying attribute graph — the paper's
+// unwrap_graph(), used to run graph algorithms (§7.1).
+func (o *Overlay) Graph() *graph.Graph { return o.g }
+
+// Directed reports whether the overlay's graph is directed.
+func (o *Overlay) Directed() bool { return o.g.Directed() }
+
+// Data returns the overlay-level attribute map (paper §5.2.1:
+// G_ip.data.infra_blocks).
+func (o *Overlay) Data() graph.Attrs { return o.g.Attrs() }
+
+// Set assigns an overlay-level attribute.
+func (o *Overlay) Set(key string, v any) { o.g.Set(key, v) }
+
+// Get reads an overlay-level attribute.
+func (o *Overlay) Get(key string) any { return o.g.Get(key) }
+
+// NumNodes returns the overlay's node count.
+func (o *Overlay) NumNodes() int { return o.g.NumNodes() }
+
+// NumEdges returns the overlay's edge count.
+func (o *Overlay) NumEdges() int { return o.g.NumEdges() }
+
+// HasNode reports whether the node exists in this overlay.
+func (o *Overlay) HasNode(id graph.ID) bool { return o.g.HasNode(id) }
+
+// Node returns a view of the node in this overlay. The view is valid even
+// if the node is absent (IsValid reports false), enabling optional
+// cross-layer lookups.
+func (o *Overlay) Node(id graph.ID) NodeView { return NodeView{ov: o, id: id} }
+
+// AddNode inserts a node with attributes and returns its view.
+func (o *Overlay) AddNode(id graph.ID, attrs ...graph.Attrs) NodeView {
+	o.g.AddNode(id, attrs...)
+	return NodeView{ov: o, id: id}
+}
+
+// RemoveNode removes a node and incident edges from this overlay only.
+func (o *Overlay) RemoveNode(id graph.ID) { o.g.RemoveNode(id) }
+
+// Nodes returns views of every node, in insertion order.
+func (o *Overlay) Nodes() []NodeView {
+	ids := o.g.NodeIDs()
+	out := make([]NodeView, len(ids))
+	for i, id := range ids {
+		out[i] = NodeView{ov: o, id: id}
+	}
+	return out
+}
+
+// NodesWhere returns the nodes whose attribute key equals value — the
+// paper's G_in.nodes(device_type="router") selector.
+func (o *Overlay) NodesWhere(key string, value any) []NodeView {
+	var out []NodeView
+	for _, n := range o.Nodes() {
+		if looseEq(n.Get(key), value) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Routers is the paper's G_in.routers() shortcut.
+func (o *Overlay) Routers() []NodeView { return o.NodesWhere(AttrDeviceType, DeviceRouter) }
+
+// Servers returns the server nodes.
+func (o *Overlay) Servers() []NodeView { return o.NodesWhere(AttrDeviceType, DeviceServer) }
+
+// Switches returns the switch nodes.
+func (o *Overlay) Switches() []NodeView { return o.NodesWhere(AttrDeviceType, DeviceSwitch) }
+
+// AddEdge inserts an edge between two node IDs (adding missing endpoints)
+// and returns its view.
+func (o *Overlay) AddEdge(u, v graph.ID, attrs ...graph.Attrs) EdgeView {
+	e := o.g.AddEdge(u, v, attrs...)
+	return EdgeView{ov: o, e: e}
+}
+
+// RemoveEdge removes the edge u-v (u->v when directed).
+func (o *Overlay) RemoveEdge(u, v graph.ID) { o.g.RemoveEdge(u, v) }
+
+// HasEdge reports whether the edge exists.
+func (o *Overlay) HasEdge(u, v graph.ID) bool { return o.g.HasEdge(u, v) }
+
+// Edge returns a view of the edge u-v; IsValid is false when absent.
+func (o *Overlay) Edge(u, v graph.ID) EdgeView { return EdgeView{ov: o, e: o.g.Edge(u, v)} }
+
+// Edges returns views of every edge in insertion order.
+func (o *Overlay) Edges() []EdgeView {
+	es := o.g.Edges()
+	out := make([]EdgeView, len(es))
+	for i, e := range es {
+		out[i] = EdgeView{ov: o, e: e}
+	}
+	return out
+}
+
+// EdgesWhere returns the edges whose attribute key equals value — the
+// paper's G_in.edges(type="physical").
+func (o *Overlay) EdgesWhere(key string, value any) []EdgeView {
+	var out []EdgeView
+	for _, e := range o.Edges() {
+		if looseEq(e.Get(key), value) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EdgeOpts controls AddEdgesFrom behaviour.
+type EdgeOpts struct {
+	// Bidirected adds the reverse edge too (directed overlays; paper's
+	// bidirected=1 for BGP sessions).
+	Bidirected bool
+	// Retain lists source-edge attribute keys to copy onto the new edges.
+	Retain []string
+	// Attrs are extra attributes set on every new edge.
+	Attrs graph.Attrs
+}
+
+// AddNodesFrom copies nodes (by ID) from another overlay's views into this
+// one, retaining the listed attribute keys (paper §5.2.1).
+func (o *Overlay) AddNodesFrom(nodes []NodeView, retain ...string) []NodeView {
+	out := make([]NodeView, 0, len(nodes))
+	for _, n := range nodes {
+		attrs := graph.Attrs{}
+		for _, key := range retain {
+			if v := n.Get(key); v != nil {
+				attrs[key] = v
+			}
+		}
+		out = append(out, o.AddNode(n.ID(), attrs))
+	}
+	return out
+}
+
+// AddEdgesFrom copies edges (by endpoint IDs) from other overlays' views,
+// implicitly creating endpoints that are missing here.
+func (o *Overlay) AddEdgesFrom(edges []EdgeView, opts EdgeOpts) []EdgeView {
+	var out []EdgeView
+	for _, src := range edges {
+		attrs := graph.Attrs{}
+		for _, key := range opts.Retain {
+			if v := src.Get(key); v != nil {
+				attrs[key] = v
+			}
+		}
+		attrs.Merge(opts.Attrs)
+		out = append(out, o.AddEdge(src.SrcID(), src.DstID(), attrs))
+		if opts.Bidirected && o.g.Directed() {
+			out = append(out, o.AddEdge(src.DstID(), src.SrcID(), attrs.Clone()))
+		}
+	}
+	return out
+}
+
+// AddEdgesFromWhere copies only the edges passing pred — the idiom used by
+// every design rule (eqs. 1 and 3 of the paper).
+func (o *Overlay) AddEdgesFromWhere(edges []EdgeView, pred func(EdgeView) bool, opts EdgeOpts) []EdgeView {
+	return o.AddEdgesFrom(filterEdgeViews(edges, pred), opts)
+}
+
+// AddEdgePairs inserts edges for explicit ID pairs — the idiom of eq. 2
+// (iBGP full mesh over the node product).
+func (o *Overlay) AddEdgePairs(pairs [][2]graph.ID, opts EdgeOpts) []EdgeView {
+	var out []EdgeView
+	for _, p := range pairs {
+		attrs := graph.Attrs{}
+		attrs.Merge(opts.Attrs)
+		out = append(out, o.AddEdge(p[0], p[1], attrs))
+		if opts.Bidirected && o.g.Directed() {
+			out = append(out, o.AddEdge(p[1], p[0], attrs.Clone()))
+		}
+	}
+	return out
+}
+
+// RemoveEdgesWhere removes the edges matching pred (paper §5.2.3: building
+// an IGP graph by deleting inter-AS links).
+func (o *Overlay) RemoveEdgesWhere(pred func(EdgeView) bool) int {
+	removed := 0
+	for _, e := range o.Edges() {
+		if pred(e) {
+			o.g.RemoveEdge(e.SrcID(), e.DstID())
+			removed++
+		}
+	}
+	return removed
+}
+
+// CopyAttrFrom copies node attribute srcAttr from overlay src onto the
+// nodes of this overlay under dstAttr (paper's copy_attr_from).
+func (o *Overlay) CopyAttrFrom(src *Overlay, srcAttr, dstAttr string) {
+	for _, n := range o.Nodes() {
+		if sv := src.Node(n.ID()); sv.IsValid() {
+			if v := sv.Get(srcAttr); v != nil {
+				n.Set(dstAttr, v)
+			}
+		}
+	}
+}
+
+// GroupBy buckets this overlay's nodes by an attribute (paper §5.2.4).
+func (o *Overlay) GroupBy(key string) []NodeGroup {
+	raw := graph.GroupBy(o.g.Nodes(), key)
+	out := make([]NodeGroup, len(raw))
+	for i, g := range raw {
+		grp := NodeGroup{Key: g.Key}
+		for _, n := range g.Members {
+			grp.Members = append(grp.Members, NodeView{ov: o, id: n.ID()})
+		}
+		out[i] = grp
+	}
+	return out
+}
+
+// NodeGroup is one GroupBy bucket of node views.
+type NodeGroup struct {
+	Key     any
+	Members []NodeView
+}
+
+// ASNs returns the sorted distinct ASN values present on this overlay's
+// nodes.
+func (o *Overlay) ASNs() []int {
+	set := map[int]bool{}
+	for _, n := range o.Nodes() {
+		if asn, ok := n.TryASN(); ok {
+			set[asn] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String summarises the overlay.
+func (o *Overlay) String() string {
+	return fmt.Sprintf("overlay %q: %v", o.name, o.g)
+}
+
+func looseEq(a, b any) bool {
+	if a == b {
+		return true
+	}
+	af, aok := graph.ToFloat(a)
+	bf, bok := graph.ToFloat(b)
+	return aok && bok && af == bf
+}
+
+func filterEdgeViews(edges []EdgeView, pred func(EdgeView) bool) []EdgeView {
+	var out []EdgeView
+	for _, e := range edges {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,524 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"autonetkit/internal/graph"
+)
+
+// buildInput mirrors the paper's Fig. 5 input topology: five routers, ASNs
+// {1,1,1,1,2}, six physical edges.
+func buildInput(t *testing.T) (*ANM, *Overlay) {
+	t.Helper()
+	anm := NewANM()
+	gIn, err := anm.AddOverlay(OverlayInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []struct {
+		id  graph.ID
+		asn int
+	}{{"r1", 1}, {"r2", 1}, {"r3", 1}, {"r4", 1}, {"r5", 2}} {
+		gIn.AddNode(n.id, graph.Attrs{AttrASN: n.asn, AttrDeviceType: DeviceRouter})
+	}
+	for _, e := range [][2]graph.ID{{"r1", "r2"}, {"r1", "r3"}, {"r2", "r4"}, {"r3", "r4"}, {"r3", "r5"}, {"r4", "r5"}} {
+		gIn.AddEdge(e[0], e[1], graph.Attrs{"type": "physical"})
+	}
+	return anm, gIn
+}
+
+func TestNewANMHasPhy(t *testing.T) {
+	anm := NewANM()
+	if !anm.HasOverlay(OverlayPhy) {
+		t.Fatal("phy overlay missing")
+	}
+	if got := anm.OverlayNames(); !reflect.DeepEqual(got, []string{"phy"}) {
+		t.Errorf("names = %v", got)
+	}
+}
+
+func TestAddOverlayErrors(t *testing.T) {
+	anm := NewANM()
+	if _, err := anm.AddOverlay(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := anm.AddOverlay("phy"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestMustOverlayPanics(t *testing.T) {
+	anm := NewANM()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustOverlay on absent overlay should panic")
+		}
+	}()
+	anm.MustOverlay("nope")
+}
+
+func TestRemoveOverlay(t *testing.T) {
+	anm := NewANM()
+	if _, err := anm.AddOverlay("tmp"); err != nil {
+		t.Fatal(err)
+	}
+	anm.RemoveOverlay("tmp")
+	if anm.HasOverlay("tmp") {
+		t.Error("overlay not removed")
+	}
+	anm.RemoveOverlay("tmp") // no-op
+	if !reflect.DeepEqual(anm.OverlayNames(), []string{"phy"}) {
+		t.Errorf("names = %v", anm.OverlayNames())
+	}
+}
+
+func TestAddNodesFromRetain(t *testing.T) {
+	anm, gIn := buildInput(t)
+	phy := anm.Overlay(OverlayPhy)
+	phy.AddNodesFrom(gIn.Nodes(), AttrASN, AttrDeviceType)
+	if phy.NumNodes() != 5 {
+		t.Fatalf("phy nodes = %d", phy.NumNodes())
+	}
+	if phy.Node("r5").ASN() != 2 {
+		t.Errorf("retained asn = %v", phy.Node("r5").Get(AttrASN))
+	}
+	// Attributes not in retain list must not be copied.
+	gIn.Node("r1").MustSet("secret", 42)
+	ospf, _ := anm.AddOverlay("ospf")
+	ospf.AddNodesFrom(gIn.Nodes(), AttrASN)
+	if ospf.Node("r1").Get("secret") != nil {
+		t.Error("unretained attribute leaked")
+	}
+	if ospf.Node("r1").Get(AttrDeviceType) != nil {
+		t.Error("device_type copied without retain")
+	}
+}
+
+func TestAddEdgesFromWhere(t *testing.T) {
+	anm, gIn := buildInput(t)
+	ospf, _ := anm.AddOverlay("ospf")
+	ospf.AddNodesFrom(gIn.Routers())
+	ospf.AddEdgesFromWhere(gIn.Edges(), func(e EdgeView) bool {
+		return e.Src().ASN() == e.Dst().ASN()
+	}, EdgeOpts{})
+	if ospf.NumEdges() != 4 {
+		t.Errorf("intra-AS edges = %d, want 4", ospf.NumEdges())
+	}
+	if ospf.HasEdge("r3", "r5") || ospf.HasEdge("r4", "r5") {
+		t.Error("inter-AS edge leaked into OSPF overlay")
+	}
+}
+
+func TestDirectedBidirected(t *testing.T) {
+	anm, gIn := buildInput(t)
+	ebgp, _ := anm.AddOverlayDirected("ebgp")
+	ebgp.AddNodesFrom(gIn.Routers())
+	ebgp.AddEdgesFromWhere(gIn.Edges(), func(e EdgeView) bool {
+		return e.Src().ASN() != e.Dst().ASN()
+	}, EdgeOpts{Bidirected: true})
+	if !ebgp.Directed() {
+		t.Fatal("overlay not directed")
+	}
+	if ebgp.NumEdges() != 4 { // 2 inter-AS links x 2 directions
+		t.Errorf("ebgp edges = %d, want 4", ebgp.NumEdges())
+	}
+	for _, p := range [][2]graph.ID{{"r3", "r5"}, {"r5", "r3"}, {"r4", "r5"}, {"r5", "r4"}} {
+		if !ebgp.HasEdge(p[0], p[1]) {
+			t.Errorf("session %v missing", p)
+		}
+	}
+}
+
+func TestAddEdgePairs(t *testing.T) {
+	anm, _ := buildInput(t)
+	ibgp, _ := anm.AddOverlayDirected("ibgp")
+	ibgp.AddEdgePairs([][2]graph.ID{{"r1", "r2"}}, EdgeOpts{Bidirected: true, Attrs: graph.Attrs{"kind": "peer"}})
+	if ibgp.NumEdges() != 2 {
+		t.Errorf("edges = %d", ibgp.NumEdges())
+	}
+	if ibgp.Edge("r2", "r1").Get("kind") != "peer" {
+		t.Error("edge attrs lost")
+	}
+}
+
+func TestEdgeRetainAttrs(t *testing.T) {
+	anm, gIn := buildInput(t)
+	gIn.Edge("r1", "r2").Set("ospf_cost", 20)
+	ospf, _ := anm.AddOverlay("ospf")
+	ospf.AddEdgesFrom(gIn.Edges(), EdgeOpts{Retain: []string{"ospf_cost"}})
+	if ospf.Edge("r1", "r2").GetInt("ospf_cost", 0) != 20 {
+		t.Error("retained edge attr missing")
+	}
+	if ospf.Edge("r3", "r4").Get("ospf_cost") != nil {
+		t.Error("absent attr invented")
+	}
+	if ospf.Edge("r1", "r2").Get("type") != nil {
+		t.Error("unretained attr leaked")
+	}
+}
+
+func TestRemoveEdgesWhere(t *testing.T) {
+	anm, gIn := buildInput(t)
+	igp, _ := anm.AddOverlay("igp")
+	igp.AddNodesFrom(gIn.Nodes(), AttrASN)
+	igp.AddEdgesFrom(gIn.Edges(), EdgeOpts{})
+	removed := igp.RemoveEdgesWhere(func(e EdgeView) bool {
+		return e.Src().ASN() != e.Dst().ASN()
+	})
+	if removed != 2 || igp.NumEdges() != 4 {
+		t.Errorf("removed=%d remaining=%d", removed, igp.NumEdges())
+	}
+}
+
+func TestNodesWhereAndShortcuts(t *testing.T) {
+	anm := NewANM()
+	gIn, _ := anm.AddOverlay(OverlayInput)
+	gIn.AddNode("r1", graph.Attrs{AttrDeviceType: DeviceRouter})
+	gIn.AddNode("s1", graph.Attrs{AttrDeviceType: DeviceServer})
+	gIn.AddNode("sw1", graph.Attrs{AttrDeviceType: DeviceSwitch})
+	if len(gIn.Routers()) != 1 || len(gIn.Servers()) != 1 || len(gIn.Switches()) != 1 {
+		t.Error("device type shortcuts wrong")
+	}
+	n := gIn.Node("r1")
+	if !n.IsRouter() || n.IsServer() || n.IsSwitch() {
+		t.Error("type predicates wrong")
+	}
+}
+
+func TestNodesWhereNumericCoercion(t *testing.T) {
+	anm := NewANM()
+	ov, _ := anm.AddOverlay("x")
+	ov.AddNode("a", graph.Attrs{"asn": 100})
+	ov.AddNode("b", graph.Attrs{"asn": 100.0}) // e.g. loaded from JSON
+	if got := len(ov.NodesWhere("asn", 100)); got != 2 {
+		t.Errorf("numeric coercion: got %d matches, want 2", got)
+	}
+}
+
+func TestCrossLayerAccess(t *testing.T) {
+	anm, gIn := buildInput(t)
+	ip, _ := anm.AddOverlay("ip")
+	ip.AddNodesFrom(gIn.Routers())
+	ip.Node("r1").MustSet("loopback", "10.0.0.1")
+	ibgp, _ := anm.AddOverlayDirected("ibgp")
+	ibgp.AddNodesFrom(gIn.Routers())
+	// paper §5.2.3: loopback = G_ip.node(ibgp_node).loopback
+	n := ibgp.Node("r1").In(ip)
+	if n.Get("loopback") != "10.0.0.1" {
+		t.Errorf("cross-layer loopback = %v", n.Get("loopback"))
+	}
+	if got := ibgp.Node("r1").InName("ip").Get("loopback"); got != "10.0.0.1" {
+		t.Errorf("InName = %v", got)
+	}
+}
+
+func TestCopyAttrFrom(t *testing.T) {
+	anm, gIn := buildInput(t)
+	gIn.Node("r1").MustSet("ospf_area", 0)
+	gIn.Node("r2").MustSet("ospf_area", 1)
+	ospf, _ := anm.AddOverlay("ospf")
+	ospf.AddNodesFrom(gIn.Routers())
+	ospf.CopyAttrFrom(gIn, "ospf_area", "area")
+	if ospf.Node("r1").GetInt("area", -1) != 0 || ospf.Node("r2").GetInt("area", -1) != 1 {
+		t.Error("copy_attr_from failed")
+	}
+	if ospf.Node("r3").Get("area") != nil {
+		t.Error("attr invented for node lacking source attr")
+	}
+}
+
+func TestGroupByOverlay(t *testing.T) {
+	_, gIn := buildInput(t)
+	groups := gIn.GroupBy(AttrASN)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	if groups[0].Key != 1 || len(groups[0].Members) != 4 {
+		t.Errorf("group[0] = %v with %d members", groups[0].Key, len(groups[0].Members))
+	}
+	if groups[1].Key != 2 || groups[1].Members[0].ID() != "r5" {
+		t.Errorf("group[1] wrong")
+	}
+}
+
+func TestASNs(t *testing.T) {
+	_, gIn := buildInput(t)
+	if got := gIn.ASNs(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("ASNs = %v", got)
+	}
+}
+
+func TestNodeViewBasics(t *testing.T) {
+	anm, gIn := buildInput(t)
+	n := gIn.Node("r1")
+	if n.Label() != "r1" {
+		t.Errorf("label = %q", n.Label())
+	}
+	n.MustSet(AttrLabel, "router-one")
+	if n.Label() != "router-one" {
+		t.Errorf("label = %q", n.Label())
+	}
+	if n.Degree() != 2 {
+		t.Errorf("degree = %d", n.Degree())
+	}
+	nbs := n.Neighbors()
+	if len(nbs) != 2 || nbs[0].ID() != "r2" {
+		t.Errorf("neighbors = %v", nbs)
+	}
+	if len(n.Edges()) != 2 {
+		t.Errorf("edges = %v", n.Edges())
+	}
+	invalid := gIn.Node("nope")
+	if invalid.IsValid() {
+		t.Error("absent node is valid")
+	}
+	if invalid.Get("x") != nil {
+		t.Error("get on absent node should be nil")
+	}
+	if err := invalid.Set("x", 1); err == nil {
+		t.Error("set on absent node should error")
+	}
+	if n.String() != "input:r1" {
+		t.Errorf("String = %q", n.String())
+	}
+	_ = anm
+}
+
+func TestNodeViewGetters(t *testing.T) {
+	anm := NewANM()
+	ov, _ := anm.AddOverlay("x")
+	n := ov.AddNode("a", graph.Attrs{"s": "str", "i": 7, "f": 7.0, "b": true})
+	if n.GetString("s", "") != "str" || n.GetString("missing", "d") != "d" {
+		t.Error("GetString wrong")
+	}
+	if n.GetInt("i", 0) != 7 || n.GetInt("f", 0) != 7 || n.GetInt("missing", -1) != -1 {
+		t.Error("GetInt wrong")
+	}
+	if !n.GetBool("b") || n.GetBool("missing") {
+		t.Error("GetBool wrong")
+	}
+	if _, ok := n.TryASN(); ok {
+		t.Error("TryASN should be false when unset")
+	}
+}
+
+func TestEdgeViewBasics(t *testing.T) {
+	_, gIn := buildInput(t)
+	e := gIn.Edge("r1", "r2")
+	if !e.IsValid() {
+		t.Fatal("edge invalid")
+	}
+	if e.Src().ID() != "r1" || e.Dst().ID() != "r2" {
+		t.Error("endpoints wrong")
+	}
+	if e.Other("r1").ID() != "r2" {
+		t.Error("Other wrong")
+	}
+	if e.GetString("type", "") != "physical" {
+		t.Error("edge attr missing")
+	}
+	if err := e.Set("weight", 5); err != nil || e.GetInt("weight", 0) != 5 {
+		t.Error("edge set/get failed")
+	}
+	bad := gIn.Edge("r1", "r5")
+	if bad.IsValid() {
+		t.Error("absent edge valid")
+	}
+	if err := bad.Set("x", 1); err == nil {
+		t.Error("set on invalid edge should error")
+	}
+	if bad.String() != "invalid-edge" {
+		t.Errorf("String = %q", bad.String())
+	}
+	if e.String() != "input:r1--r2" {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestOverlayTransforms(t *testing.T) {
+	anm := NewANM()
+	ov, _ := anm.AddOverlay("ip")
+	ov.AddEdge("r1", "r2")
+	mid, err := ov.SplitEdge("r1", "r2", "cd0", graph.Attrs{AttrDeviceType: DeviceCollisionDomain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.DeviceType() != DeviceCollisionDomain {
+		t.Error("mid attrs wrong")
+	}
+	if _, err := ov.SplitEdge("r1", "r2", "cd1", nil); err == nil {
+		t.Error("split of removed edge accepted")
+	}
+
+	ov.AddEdge("sw1", "r3")
+	ov.AddEdge("sw2", "r4")
+	ov.AddEdge("sw1", "sw2")
+	if _, err := ov.AggregateNodes([]graph.ID{"sw1", "sw2"}, "cdX", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !ov.HasEdge("cdX", "r3") || !ov.HasEdge("cdX", "r4") {
+		t.Error("aggregate lost edges")
+	}
+
+	ov.AddEdge("h1", "hub")
+	ov.AddEdge("h2", "hub")
+	if err := ov.ExplodeNode("hub", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !ov.HasEdge("h1", "h2") {
+		t.Error("explode did not form clique")
+	}
+}
+
+// The full paper Fig. 5 pipeline expressed through the ANM API, asserting
+// the exact edge sets of eqs. (1), (2), (3).
+func TestFig5OverlayConstruction(t *testing.T) {
+	anm, gIn := buildInput(t)
+
+	rtrs := gIn.Routers()
+
+	ospf, _ := anm.AddOverlay("ospf")
+	ospf.AddNodesFrom(rtrs)
+	ospf.AddEdgesFromWhere(gIn.Edges(), func(e EdgeView) bool {
+		return e.Src().ASN() == e.Dst().ASN()
+	}, EdgeOpts{})
+
+	ebgp, _ := anm.AddOverlayDirected("ebgp")
+	ebgp.AddNodesFrom(rtrs)
+	ebgp.AddEdgesFromWhere(gIn.Edges(), func(e EdgeView) bool {
+		return e.Src().ASN() != e.Dst().ASN()
+	}, EdgeOpts{Bidirected: true})
+
+	ibgp, _ := anm.AddOverlayDirected("ibgp")
+	ibgp.AddNodesFrom(rtrs)
+	var pairs [][2]graph.ID
+	for _, s := range rtrs {
+		for _, d := range rtrs {
+			if s.ID() != d.ID() && s.ASN() == d.ASN() {
+				pairs = append(pairs, [2]graph.ID{s.ID(), d.ID()})
+			}
+		}
+	}
+	ibgp.AddEdgePairs(pairs, EdgeOpts{})
+
+	wantOspf := map[string]bool{"r1-r2": true, "r1-r3": true, "r2-r4": true, "r3-r4": true}
+	if ospf.NumEdges() != len(wantOspf) {
+		t.Errorf("ospf edges = %d, want %d", ospf.NumEdges(), len(wantOspf))
+	}
+	for _, e := range ospf.Edges() {
+		if !wantOspf[string(e.SrcID())+"-"+string(e.DstID())] {
+			t.Errorf("unexpected ospf edge %v", e)
+		}
+	}
+	// eq. 2: 4 routers in AS1 -> 12 directed pairs; r5 alone has none.
+	if ibgp.NumEdges() != 12 {
+		t.Errorf("ibgp sessions = %d, want 12", ibgp.NumEdges())
+	}
+	// eq. 3: two inter-AS links, both directions.
+	if ebgp.NumEdges() != 4 {
+		t.Errorf("ebgp sessions = %d, want 4", ebgp.NumEdges())
+	}
+}
+
+func TestOverlayAccessors(t *testing.T) {
+	anm, gIn := buildInput(t)
+	if gIn.Name() != "input" {
+		t.Errorf("Name = %q", gIn.Name())
+	}
+	if gIn.ANM() != anm {
+		t.Error("ANM backref wrong")
+	}
+	if gIn.Graph().NumNodes() != 5 {
+		t.Error("Graph unwrap wrong")
+	}
+	gIn.Set("infra_blocks", "x")
+	if gIn.Get("infra_blocks") != "x" || gIn.Data()["infra_blocks"] != "x" {
+		t.Error("overlay data accessors wrong")
+	}
+	if !gIn.HasNode("r1") || gIn.HasNode("zz") {
+		t.Error("HasNode wrong")
+	}
+	if !strings.Contains(gIn.String(), "input") {
+		t.Errorf("String = %q", gIn.String())
+	}
+	gIn.RemoveEdge("r1", "r2")
+	if gIn.HasEdge("r1", "r2") {
+		t.Error("RemoveEdge failed")
+	}
+	gIn.RemoveNode("r5")
+	if gIn.HasNode("r5") {
+		t.Error("RemoveNode failed")
+	}
+}
+
+func TestAddOverlayGraph(t *testing.T) {
+	anm := NewANM()
+	g := graph.New()
+	g.AddEdge("a", "b")
+	ov, err := anm.AddOverlayGraph("loaded", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.NumNodes() != 2 || ov.Graph() != g {
+		t.Error("graph not installed")
+	}
+	if _, err := anm.AddOverlayGraph("loaded", g); err == nil {
+		t.Error("duplicate overlay accepted")
+	}
+}
+
+func TestEdgesWhere(t *testing.T) {
+	_, gIn := buildInput(t)
+	gIn.Edge("r1", "r2").Set("type", "virtual")
+	phys := gIn.EdgesWhere("type", "physical")
+	if len(phys) != 5 {
+		t.Errorf("physical edges = %d, want 5", len(phys))
+	}
+	virt := gIn.EdgesWhere("type", "virtual")
+	if len(virt) != 1 {
+		t.Errorf("virtual edges = %d", len(virt))
+	}
+}
+
+func TestViewAttrsAndOverlayBackrefs(t *testing.T) {
+	_, gIn := buildInput(t)
+	n := gIn.Node("r1")
+	if n.Overlay() != gIn {
+		t.Error("node Overlay backref wrong")
+	}
+	if n.Attrs()["asn"] != 1 {
+		t.Errorf("node attrs = %v", n.Attrs())
+	}
+	if gIn.Node("zz").Attrs() != nil {
+		t.Error("absent node attrs should be nil")
+	}
+	e := gIn.Edge("r1", "r2")
+	if e.Overlay() != gIn {
+		t.Error("edge Overlay backref wrong")
+	}
+	if e.Attrs()["type"] != "physical" {
+		t.Errorf("edge attrs = %v", e.Attrs())
+	}
+	var bad EdgeView
+	if bad.Attrs() != nil {
+		t.Error("invalid edge attrs should be nil")
+	}
+	if bad.Get("x") != nil {
+		t.Error("invalid edge get should be nil")
+	}
+	if bad.GetInt("x", 7) != 7 || bad.GetString("x", "d") != "d" {
+		t.Error("invalid edge typed getters should default")
+	}
+}
+
+func TestMustSetPanics(t *testing.T) {
+	_, gIn := buildInput(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSet on absent node should panic")
+		}
+	}()
+	gIn.Node("ghost").MustSet("k", 1)
+}

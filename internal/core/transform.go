@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+
+	"autonetkit/internal/graph"
+)
+
+// Overlay-level wrappers for the attribute-based design functions of
+// §5.2.4. They operate on this overlay's graph only; other overlays are
+// unaffected (node universes are shared by ID, not by storage).
+
+// SplitEdge inserts a new node mid-way along the edge u-v, returning its
+// view. Used to insert collision domains on point-to-point links.
+func (o *Overlay) SplitEdge(u, v graph.ID, mid graph.ID, midAttrs graph.Attrs) (NodeView, error) {
+	e := o.g.Edge(u, v)
+	if e == nil {
+		return NodeView{}, fmt.Errorf("core: overlay %q has no edge %s-%s", o.name, u, v)
+	}
+	n, err := o.g.Split(e, mid, midAttrs)
+	if err != nil {
+		return NodeView{}, err
+	}
+	return NodeView{ov: o, id: n.ID()}, nil
+}
+
+// AggregateNodes collapses the listed nodes into a single new node,
+// re-homing external edges. Used to merge switch clusters into one
+// collision domain.
+func (o *Overlay) AggregateNodes(ids []graph.ID, agg graph.ID, attrs graph.Attrs) (NodeView, error) {
+	n, err := o.g.Aggregate(ids, agg, attrs)
+	if err != nil {
+		return NodeView{}, err
+	}
+	return NodeView{ov: o, id: n.ID()}, nil
+}
+
+// ExplodeNode removes a node, forming a clique of its neighbours. Used to
+// recover router adjacency through a switch.
+func (o *Overlay) ExplodeNode(id graph.ID, edgeAttrs graph.Attrs) error {
+	return o.g.Explode(id, edgeAttrs)
+}

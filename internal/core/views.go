@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+
+	"autonetkit/internal/graph"
+)
+
+// NodeView is a lightweight accessor for a node within a specific overlay
+// (paper §5.2: "wrapping each of the graphs, nodes, and edges with a
+// lightweight accessor object"). Views are values; copying is free.
+type NodeView struct {
+	ov *Overlay
+	id graph.ID
+}
+
+// ID returns the node identifier, shared across overlays.
+func (n NodeView) ID() graph.ID { return n.id }
+
+// Overlay returns the overlay this view reads from.
+func (n NodeView) Overlay() *Overlay { return n.ov }
+
+// IsValid reports whether the node currently exists in the overlay.
+func (n NodeView) IsValid() bool { return n.ov != nil && n.ov.g.HasNode(n.id) }
+
+// Get reads a node attribute, or nil when the node or key is absent.
+func (n NodeView) Get(key string) any {
+	node := n.ov.g.Node(n.id)
+	if node == nil {
+		return nil
+	}
+	return node.Get(key)
+}
+
+// Set assigns a node attribute; it is an error to set on an absent node.
+func (n NodeView) Set(key string, v any) error {
+	node := n.ov.g.Node(n.id)
+	if node == nil {
+		return fmt.Errorf("core: node %q not in overlay %q", n.id, n.ov.name)
+	}
+	node.Set(key, v)
+	return nil
+}
+
+// MustSet assigns an attribute, panicking on absent nodes; for design
+// scripts.
+func (n NodeView) MustSet(key string, v any) {
+	if err := n.Set(key, v); err != nil {
+		panic(err)
+	}
+}
+
+// GetString reads a string attribute with a default.
+func (n NodeView) GetString(key, def string) string {
+	if s, ok := n.Get(key).(string); ok {
+		return s
+	}
+	return def
+}
+
+// GetInt reads an integer attribute with a default; float values holding
+// whole numbers (e.g. from JSON) are narrowed.
+func (n NodeView) GetInt(key string, def int) int {
+	if f, ok := graph.ToFloat(n.Get(key)); ok {
+		return int(f)
+	}
+	return def
+}
+
+// GetBool reads a boolean attribute, defaulting to false.
+func (n NodeView) GetBool(key string) bool {
+	b, _ := n.Get(key).(bool)
+	return b
+}
+
+// ASN returns the node's AS number, 0 when unset.
+func (n NodeView) ASN() int { return n.GetInt(AttrASN, 0) }
+
+// TryASN returns the AS number and whether it is present.
+func (n NodeView) TryASN() (int, bool) {
+	f, ok := graph.ToFloat(n.Get(AttrASN))
+	return int(f), ok
+}
+
+// DeviceType returns the node's device_type attribute.
+func (n NodeView) DeviceType() string { return n.GetString(AttrDeviceType, "") }
+
+// IsRouter reports device_type == "router".
+func (n NodeView) IsRouter() bool { return n.DeviceType() == DeviceRouter }
+
+// IsServer reports device_type == "server".
+func (n NodeView) IsServer() bool { return n.DeviceType() == DeviceServer }
+
+// IsSwitch reports device_type == "switch".
+func (n NodeView) IsSwitch() bool { return n.DeviceType() == DeviceSwitch }
+
+// Label returns the display label, defaulting to the ID.
+func (n NodeView) Label() string { return n.GetString(AttrLabel, string(n.id)) }
+
+// Degree returns the node's degree in this overlay.
+func (n NodeView) Degree() int { return n.ov.g.Degree(n.id) }
+
+// Edges returns the node's incident (outgoing, for directed overlays)
+// edges in this overlay — the paper's node.edges().
+func (n NodeView) Edges() []EdgeView {
+	es := n.ov.g.EdgesOf(n.id)
+	out := make([]EdgeView, len(es))
+	for i, e := range es {
+		out[i] = EdgeView{ov: n.ov, e: e}
+	}
+	return out
+}
+
+// Neighbors returns views of the adjacent nodes in this overlay.
+func (n NodeView) Neighbors() []NodeView {
+	ids := n.ov.g.Neighbors(n.id)
+	out := make([]NodeView, len(ids))
+	for i, id := range ids {
+		out[i] = NodeView{ov: n.ov, id: id}
+	}
+	return out
+}
+
+// In returns the same node viewed in another overlay — the cross-layer
+// access of §5.2.3 (e.g. loopback := node.In(gIP).Get("loopback")).
+func (n NodeView) In(other *Overlay) NodeView { return NodeView{ov: other, id: n.id} }
+
+// InName is In by overlay name, resolved through the owning ANM.
+func (n NodeView) InName(name string) NodeView {
+	return NodeView{ov: n.ov.anm.Overlay(name), id: n.id}
+}
+
+// Attrs returns the node's attribute map in this overlay (nil if absent).
+func (n NodeView) Attrs() graph.Attrs {
+	node := n.ov.g.Node(n.id)
+	if node == nil {
+		return nil
+	}
+	return node.Attrs()
+}
+
+// String renders as overlay:id for debugging.
+func (n NodeView) String() string { return fmt.Sprintf("%s:%s", n.ov.name, n.id) }
+
+// EdgeView is a lightweight accessor for an edge within an overlay.
+type EdgeView struct {
+	ov *Overlay
+	e  *graph.Edge
+}
+
+// IsValid reports whether the view refers to an existing edge.
+func (e EdgeView) IsValid() bool { return e.e != nil }
+
+// Overlay returns the overlay this edge belongs to.
+func (e EdgeView) Overlay() *Overlay { return e.ov }
+
+// SrcID returns the source endpoint's ID.
+func (e EdgeView) SrcID() graph.ID { return e.e.Src() }
+
+// DstID returns the destination endpoint's ID.
+func (e EdgeView) DstID() graph.ID { return e.e.Dst() }
+
+// Src returns a view of the source node — the paper's e.src.asn idiom is
+// e.Src().ASN().
+func (e EdgeView) Src() NodeView { return NodeView{ov: e.ov, id: e.e.Src()} }
+
+// Dst returns a view of the destination node.
+func (e EdgeView) Dst() NodeView { return NodeView{ov: e.ov, id: e.e.Dst()} }
+
+// Get reads an edge attribute.
+func (e EdgeView) Get(key string) any {
+	if e.e == nil {
+		return nil
+	}
+	return e.e.Get(key)
+}
+
+// Set assigns an edge attribute.
+func (e EdgeView) Set(key string, v any) error {
+	if e.e == nil {
+		return fmt.Errorf("core: invalid edge view")
+	}
+	e.e.Set(key, v)
+	return nil
+}
+
+// GetInt reads an integer edge attribute with a default.
+func (e EdgeView) GetInt(key string, def int) int {
+	if f, ok := graph.ToFloat(e.Get(key)); ok {
+		return int(f)
+	}
+	return def
+}
+
+// GetString reads a string edge attribute with a default.
+func (e EdgeView) GetString(key, def string) string {
+	if s, ok := e.Get(key).(string); ok {
+		return s
+	}
+	return def
+}
+
+// Other returns the endpoint opposite id.
+func (e EdgeView) Other(id graph.ID) NodeView {
+	return NodeView{ov: e.ov, id: e.e.Other(id)}
+}
+
+// Attrs returns the edge's attribute map.
+func (e EdgeView) Attrs() graph.Attrs {
+	if e.e == nil {
+		return nil
+	}
+	return e.e.Attrs()
+}
+
+// String renders as overlay:src-dst.
+func (e EdgeView) String() string {
+	if e.e == nil {
+		return "invalid-edge"
+	}
+	sep := "--"
+	if e.ov != nil && e.ov.Directed() {
+		sep = "->"
+	}
+	return fmt.Sprintf("%s:%s%s%s", e.ov.name, e.e.Src(), sep, e.e.Dst())
+}

@@ -1,0 +1,191 @@
+package dataplane
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Node is one forwarding element: its addresses and its FIB.
+type Node struct {
+	Hostname string
+	// Addrs maps every local address to the owning interface name.
+	Addrs map[netip.Addr]string
+	FIB   *FIB
+}
+
+// NewNode returns an empty node.
+func NewNode(hostname string) *Node {
+	return &Node{Hostname: hostname, Addrs: map[netip.Addr]string{}, FIB: NewFIB()}
+}
+
+// AddAddr registers a local address.
+func (n *Node) AddAddr(a netip.Addr, iface string) { n.Addrs[a] = iface }
+
+// IsLocal reports whether addr terminates at this node.
+func (n *Node) IsLocal(addr netip.Addr) bool { _, ok := n.Addrs[addr]; return ok }
+
+// Network is the emulated forwarding plane: all nodes plus the global
+// address ownership map (which models L2 delivery on shared subnets).
+type Network struct {
+	nodes map[string]*Node
+	owner map[netip.Addr]string
+}
+
+// NewNetwork returns an empty plane.
+func NewNetwork() *Network {
+	return &Network{nodes: map[string]*Node{}, owner: map[netip.Addr]string{}}
+}
+
+// AddNode registers a node and indexes its addresses.
+func (net *Network) AddNode(n *Node) error {
+	if _, dup := net.nodes[n.Hostname]; dup {
+		return fmt.Errorf("dataplane: duplicate node %q", n.Hostname)
+	}
+	net.nodes[n.Hostname] = n
+	for a := range n.Addrs {
+		if prev, dup := net.owner[a]; dup {
+			return fmt.Errorf("dataplane: address %v on both %s and %s", a, prev, n.Hostname)
+		}
+		net.owner[a] = n.Hostname
+	}
+	return nil
+}
+
+// Node returns a registered node.
+func (net *Network) Node(hostname string) (*Node, bool) {
+	n, ok := net.nodes[hostname]
+	return n, ok
+}
+
+// Owner returns the node owning an address.
+func (net *Network) Owner(addr netip.Addr) (string, bool) {
+	h, ok := net.owner[addr]
+	return h, ok
+}
+
+// maxResolveDepth bounds recursive next-hop resolution (BGP routes whose
+// next hop is reached via an IGP route).
+const maxResolveDepth = 4
+
+// resolveNextHop returns the immediate neighbour address a packet to dst
+// leaves towards, resolving recursive routes.
+func (net *Network) resolveNextHop(n *Node, dst netip.Addr, depth int) (netip.Addr, error) {
+	if depth > maxResolveDepth {
+		return netip.Addr{}, fmt.Errorf("dataplane: %s: next-hop recursion too deep for %v", n.Hostname, dst)
+	}
+	e, ok := n.FIB.Lookup(dst)
+	if !ok {
+		return netip.Addr{}, fmt.Errorf("dataplane: %s: no route to %v", n.Hostname, dst)
+	}
+	if e.Connected {
+		// Direct delivery on the attached subnet.
+		return dst, nil
+	}
+	if !e.NextHop.IsValid() {
+		return netip.Addr{}, fmt.Errorf("dataplane: %s: route %v has no next hop", n.Hostname, e.Prefix)
+	}
+	// If the next hop is itself directly reachable we are done; otherwise
+	// recurse (e.g. BGP next hop via IGP).
+	if nhEntry, ok := n.FIB.Lookup(e.NextHop); ok && nhEntry.Connected {
+		return e.NextHop, nil
+	}
+	return net.resolveNextHop(n, e.NextHop, depth+1)
+}
+
+// Hop is one traceroute step.
+type Hop struct {
+	Addr netip.Addr
+	Node string
+}
+
+// TraceResult is the outcome of a traceroute.
+type TraceResult struct {
+	Src, Dst netip.Addr
+	Hops     []Hop
+	Reached  bool
+	// Reason describes why the trace stopped when Reached is false
+	// ("ttl exceeded", "no route at <n>", "loop detected").
+	Reason string
+}
+
+// Forward delivers a probe from srcHost to dst, returning each hop's
+// responding address (the address the probe arrived on), like real
+// traceroute output.
+func (net *Network) Forward(srcHost string, dst netip.Addr, maxTTL int) TraceResult {
+	if maxTTL <= 0 {
+		maxTTL = 30
+	}
+	res := TraceResult{Dst: dst}
+	cur, ok := net.nodes[srcHost]
+	if !ok {
+		res.Reason = fmt.Sprintf("unknown source host %q", srcHost)
+		return res
+	}
+	if cur.IsLocal(dst) {
+		res.Reached = true
+		return res
+	}
+	visited := map[string]bool{}
+	for ttl := 0; ttl < maxTTL; ttl++ {
+		if visited[cur.Hostname] {
+			res.Reason = fmt.Sprintf("loop detected at %s", cur.Hostname)
+			return res
+		}
+		visited[cur.Hostname] = true
+		nh, err := net.resolveNextHop(cur, dst, 0)
+		if err != nil {
+			res.Reason = err.Error()
+			return res
+		}
+		nextHost, ok := net.owner[nh]
+		if !ok {
+			res.Reason = fmt.Sprintf("next hop %v owned by no device", nh)
+			return res
+		}
+		next := net.nodes[nextHost]
+		if next.IsLocal(dst) {
+			// Final hop: the destination answers with the probed address.
+			res.Hops = append(res.Hops, Hop{Addr: dst, Node: nextHost})
+			res.Reached = true
+			return res
+		}
+		// Transit hop: the probe arrives on nh; that address answers the
+		// TTL-exceeded.
+		res.Hops = append(res.Hops, Hop{Addr: nh, Node: nextHost})
+		cur = next
+	}
+	res.Reason = "ttl exceeded"
+	return res
+}
+
+// Ping reports whether dst is reachable from srcHost.
+func (net *Network) Ping(srcHost string, dst netip.Addr) bool {
+	return net.Forward(srcHost, dst, 30).Reached
+}
+
+// TracerouteText renders a TraceResult in the format of the Linux
+// traceroute the paper's measurement client parses (§6.1):
+//
+//	1  192.168.1.34  0 ms
+//	2  192.168.1.25  0 ms
+func (res TraceResult) TracerouteText() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "traceroute to %v, 30 hops max\n", res.Dst)
+	for i, h := range res.Hops {
+		fmt.Fprintf(&sb, "%2d  %s  0 ms\n", i+1, h.Addr)
+	}
+	if !res.Reached {
+		fmt.Fprintf(&sb, "%2d  * * *\n", len(res.Hops)+1)
+	}
+	return sb.String()
+}
+
+// NodeNames returns the hostnames of all registered nodes (unordered).
+func (net *Network) NodeNames() []string {
+	out := make([]string, 0, len(net.nodes))
+	for h := range net.nodes {
+		out = append(out, h)
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package deploy
+
+import (
+	"strings"
+	"testing"
+
+	"autonetkit/internal/compile"
+	"autonetkit/internal/core"
+	"autonetkit/internal/design"
+	"autonetkit/internal/graph"
+	"autonetkit/internal/ipalloc"
+	"autonetkit/internal/render"
+)
+
+func renderedLab(t *testing.T) *render.FileSet {
+	t.Helper()
+	anm := core.NewANM()
+	in, err := anm.AddOverlay(core.OverlayInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []struct {
+		id  graph.ID
+		asn int
+	}{{"r1", 1}, {"r2", 1}, {"r3", 2}} {
+		in.AddNode(n.id, graph.Attrs{core.AttrASN: n.asn, core.AttrDeviceType: core.DeviceRouter})
+	}
+	in.AddEdge("r1", "r2", graph.Attrs{"type": "physical"})
+	in.AddEdge("r2", "r3", graph.Attrs{"type": "physical"})
+	if err := design.BuildAll(anm, design.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := ipalloc.NewDefault().Allocate(anm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := compile.Compile(anm, alloc, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := render.Render(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestArchiveExtractRoundTrip(t *testing.T) {
+	fs := renderedLab(t)
+	bundle, err := Archive(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Extract(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != fs.Len() {
+		t.Fatalf("files: %d vs %d", back.Len(), fs.Len())
+	}
+	for _, p := range fs.Paths() {
+		a, _ := fs.Read(p)
+		b, ok := back.Read(p)
+		if !ok || a != b {
+			t.Errorf("file %s corrupted in transit", p)
+		}
+	}
+}
+
+func TestArchiveDeterministic(t *testing.T) {
+	fs := renderedLab(t)
+	a, err := Archive(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Archive(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("archive bytes differ across runs")
+	}
+}
+
+func TestExtractRejectsEscapes(t *testing.T) {
+	fs := render.NewFileSet()
+	fs.Write("../evil", "x")
+	bundle, err := Archive(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Extract(bundle); err == nil {
+		t.Error("path escape accepted")
+	}
+	if _, err := Extract([]byte("not a gzip")); err == nil {
+		t.Error("garbage archive accepted")
+	}
+}
+
+func TestRunDeployment(t *testing.T) {
+	fs := renderedLab(t)
+	var live []Event
+	dep, err := Run(fs, Options{OnEvent: func(e Event) { live = append(live, e) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := dep.Lab()
+	if lab == nil || len(lab.VMNames()) != 3 {
+		t.Fatalf("lab = %v", lab)
+	}
+	if !lab.BGPResult().Converged {
+		t.Errorf("bgp = %+v", lab.BGPResult())
+	}
+	stages := map[string]bool{}
+	for _, e := range dep.Events() {
+		stages[e.Stage] = true
+	}
+	for _, want := range []string{"archive", "transfer", "extract", "lstart", "machine", "done"} {
+		if !stages[want] {
+			t.Errorf("missing stage %q in %v", want, dep.Events())
+		}
+	}
+	if len(live) != len(dep.Events()) {
+		t.Error("live event callback missed events")
+	}
+	// The running lab answers measurement commands.
+	out, err := lab.Exec("r1", "show ip ospf neighbor")
+	if err != nil || !strings.Contains(out, "r2") && !strings.Contains(out, "Full") {
+		t.Errorf("lab not responsive: %v\n%s", err, out)
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	fs := renderedLab(t)
+	dep, err := Run(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Host != "localhost" || dep.Platform != "netkit" {
+		t.Errorf("defaults = %s/%s", dep.Host, dep.Platform)
+	}
+}
+
+func TestHostPoolPlacement(t *testing.T) {
+	pool, err := NewHostPool(
+		&Host{Name: "h1", Capacity: 2},
+		&Host{Name: "h2", Capacity: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.TotalCapacity() != 5 {
+		t.Errorf("capacity = %d", pool.TotalCapacity())
+	}
+	placement, err := pool.Place([]string{"e", "d", "c", "b", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic: sorted fill order.
+	if placement["a"] != "h1" || placement["b"] != "h1" {
+		t.Errorf("placement = %v", placement)
+	}
+	if placement["c"] != "h2" || placement["e"] != "h2" {
+		t.Errorf("placement = %v", placement)
+	}
+	if got := pool.Hosts()[0].Assigned(); len(got) != 2 {
+		t.Errorf("h1 assigned = %v", got)
+	}
+	if _, err := pool.Place([]string{"overflow"}); err == nil {
+		t.Error("over-capacity placement accepted")
+	}
+}
+
+func TestHostPoolErrors(t *testing.T) {
+	if _, err := NewHostPool(); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := NewHostPool(&Host{Name: "h", Capacity: 0}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewHostPool(&Host{Name: "h", Capacity: 1}, &Host{Name: "h", Capacity: 1}); err == nil {
+		t.Error("duplicate host accepted")
+	}
+}
+
+func TestCrossHostLinks(t *testing.T) {
+	placement := Placement{"a": "h1", "b": "h1", "c": "h2"}
+	links := [][2]string{{"a", "b"}, {"b", "c"}, {"a", "c"}}
+	cross := CrossHostLinks(placement, links)
+	if len(cross) != 2 {
+		t.Fatalf("cross = %v", cross)
+	}
+	if cross[0] != [2]string{"a", "c"} || cross[1] != [2]string{"b", "c"} {
+		t.Errorf("cross = %v (want sorted)", cross)
+	}
+}

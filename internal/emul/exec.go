@@ -1,0 +1,175 @@
+package emul
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+)
+
+// Exec runs a command on a machine and returns its textual output — the
+// interface the measurement client drives (§5.7). The emulated commands
+// produce the same output formats as their real counterparts, so the
+// measurement system parses text exactly as it would against Netkit.
+//
+// Supported commands:
+//
+//	traceroute -naU <dst>       Linux traceroute (numeric, no DNS)
+//	ping -c 1 <dst>             reachability probe
+//	show ip ospf neighbor       Quagga vtysh
+//	show ip bgp                 Quagga vtysh
+//	show ip route               kernel/zebra table
+func (l *Lab) Exec(machine, command string) (string, error) {
+	if !l.started {
+		return "", fmt.Errorf("emul: lab not started")
+	}
+	vm, ok := l.vms[machine]
+	if !ok {
+		return "", fmt.Errorf("emul: no machine %q", machine)
+	}
+	fields := strings.Fields(command)
+	if len(fields) == 0 {
+		return "", fmt.Errorf("emul: empty command")
+	}
+	switch fields[0] {
+	case "traceroute":
+		return l.execTraceroute(vm, fields[1:])
+	case "ping":
+		return l.execPing(vm, fields[1:])
+	case "show":
+		return l.execShow(vm, fields[1:])
+	}
+	return "", fmt.Errorf("emul: %s: command not found: %s", machine, fields[0])
+}
+
+func (l *Lab) execTraceroute(vm *VM, args []string) (string, error) {
+	if l.net == nil {
+		return "", fmt.Errorf("emul: platform %s has no data plane", l.Platform)
+	}
+	var dst netip.Addr
+	maxTTL := 30
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") {
+			continue // -n -a -U etc: output is already numeric
+		}
+		d, err := netip.ParseAddr(a)
+		if err != nil {
+			return "", fmt.Errorf("emul: traceroute: bad destination %q", a)
+		}
+		dst = d
+	}
+	if !dst.IsValid() {
+		return "", fmt.Errorf("emul: traceroute: no destination")
+	}
+	res := l.net.Forward(vm.Name, dst, maxTTL)
+	return res.TracerouteText(), nil
+}
+
+func (l *Lab) execPing(vm *VM, args []string) (string, error) {
+	if l.net == nil {
+		return "", fmt.Errorf("emul: platform %s has no data plane", l.Platform)
+	}
+	var dst netip.Addr
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") || a == "1" {
+			continue
+		}
+		d, err := netip.ParseAddr(a)
+		if err != nil {
+			return "", fmt.Errorf("emul: ping: bad destination %q", a)
+		}
+		dst = d
+	}
+	if !dst.IsValid() {
+		return "", fmt.Errorf("emul: ping: no destination")
+	}
+	if l.net.Ping(vm.Name, dst) {
+		return fmt.Sprintf("PING %v: 1 packets transmitted, 1 received, 0%% packet loss\n", dst), nil
+	}
+	return fmt.Sprintf("PING %v: 1 packets transmitted, 0 received, 100%% packet loss\n", dst), nil
+}
+
+func (l *Lab) execShow(vm *VM, args []string) (string, error) {
+	cmd := strings.Join(args, " ")
+	switch cmd {
+	case "ip ospf neighbor":
+		return l.showOSPFNeighbors(vm), nil
+	case "isis neighbor":
+		return l.showISISNeighbors(vm), nil
+	case "ip bgp":
+		return l.showBGP(vm), nil
+	case "ip route":
+		return l.showRoutes(vm), nil
+	}
+	return "", fmt.Errorf("emul: unknown show command %q", cmd)
+}
+
+// showOSPFNeighbors mirrors Quagga's `show ip ospf neighbor` column layout.
+func (l *Lab) showOSPFNeighbors(vm *VM) string {
+	var sb strings.Builder
+	sb.WriteString("Neighbor ID     Pri State           Dead Time Address         Interface\n")
+	for _, nbr := range l.OSPFNeighbors(vm.Name) {
+		fmt.Fprintf(&sb, "%-15s   1 Full/DR         00:00:33 %-15s %s\n",
+			nbr.RouterID, nbr.Addr, nbr.Iface)
+	}
+	return sb.String()
+}
+
+// showISISNeighbors mirrors Quagga's `show isis neighbor` layout.
+func (l *Lab) showISISNeighbors(vm *VM) string {
+	var sb strings.Builder
+	sb.WriteString("System Id       Interface   State  Type\n")
+	for _, nbr := range l.ISISNeighbors(vm.Name) {
+		fmt.Fprintf(&sb, "%-15s %-11s Up     L2\n", nbr.Hostname, nbr.Iface)
+	}
+	return sb.String()
+}
+
+// showBGP mirrors the `show ip bgp` table shape.
+func (l *Lab) showBGP(vm *VM) string {
+	var sb strings.Builder
+	sb.WriteString("   Network          Next Hop            Metric LocPrf Path\n")
+	for _, rt := range l.BGPRoutes(vm.Name) {
+		path := make([]string, len(rt.ASPath))
+		for i, a := range rt.ASPath {
+			path[i] = fmt.Sprint(a)
+		}
+		nh := "0.0.0.0"
+		if rt.NextHop.IsValid() {
+			nh = rt.NextHop.String()
+		}
+		fmt.Fprintf(&sb, "*> %-16s %-19s %6d %6d %s i\n",
+			rt.Prefix, nh, rt.MED, rt.LocalPref, strings.Join(path, " "))
+	}
+	return sb.String()
+}
+
+// showRoutes lists the FIB in `show ip route`-like lines.
+func (l *Lab) showRoutes(vm *VM) string {
+	if l.net == nil {
+		return ""
+	}
+	node, ok := l.net.Node(vm.Name)
+	if !ok {
+		return ""
+	}
+	entries := node.FIB.Entries()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Prefix.Addr() != entries[j].Prefix.Addr() {
+			return entries[i].Prefix.Addr().Less(entries[j].Prefix.Addr())
+		}
+		return entries[i].Prefix.Bits() < entries[j].Prefix.Bits()
+	})
+	var sb strings.Builder
+	for _, e := range entries {
+		switch {
+		case e.Connected:
+			fmt.Fprintf(&sb, "C>* %s is directly connected, %s\n", e.Prefix, e.OutIf)
+		case e.OutIf != "":
+			fmt.Fprintf(&sb, "O>* %s via %s, %s\n", e.Prefix, e.NextHop, e.OutIf)
+		default:
+			fmt.Fprintf(&sb, "B>* %s via %s\n", e.Prefix, e.NextHop)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,103 @@
+package emul
+
+import (
+	"fmt"
+	"net/netip"
+
+	"autonetkit/internal/routing"
+)
+
+// Incident injection (paper §8: "creating tools to emulate workflow, or
+// incidents"). Failing a link or a machine removes the affected interfaces
+// from the booted configurations and re-converges the control plane, so
+// subsequent measurements observe the post-incident network — the
+// what-if experiments the paper motivates.
+
+// FailLink brings down the link between two machines: both interfaces on
+// their shared subnet are removed and the lab re-converges. When the
+// machines share several subnets, the first (lowest) one fails.
+func (l *Lab) FailLink(a, b string) error {
+	if !l.started {
+		return fmt.Errorf("emul: lab not started")
+	}
+	if l.Platform == "cbgp" {
+		return fmt.Errorf("emul: incident injection is not supported on the C-BGP route solver")
+	}
+	va, ok := l.vms[a]
+	if !ok {
+		return fmt.Errorf("emul: no machine %q", a)
+	}
+	vb, ok := l.vms[b]
+	if !ok {
+		return fmt.Errorf("emul: no machine %q", b)
+	}
+	shared, ok := sharedSubnet(va.Config, vb.Config)
+	if !ok {
+		return fmt.Errorf("emul: %s and %s share no subnet", a, b)
+	}
+	removeSubnet(va.Config, shared)
+	removeSubnet(vb.Config, shared)
+	l.logf("INCIDENT: link %s -- %s (%v) failed", a, b, shared)
+	return l.converge()
+}
+
+// FailNode takes a machine down entirely: all its data-plane interfaces
+// are removed (the loopback stays, unreachable), and the lab re-converges.
+func (l *Lab) FailNode(name string) error {
+	if !l.started {
+		return fmt.Errorf("emul: lab not started")
+	}
+	if l.Platform == "cbgp" {
+		return fmt.Errorf("emul: incident injection is not supported on the C-BGP route solver")
+	}
+	vm, ok := l.vms[name]
+	if !ok {
+		return fmt.Errorf("emul: no machine %q", name)
+	}
+	var kept []routing.InterfaceConfig
+	removed := 0
+	for _, ic := range vm.Config.Interfaces {
+		if ic.Name == "lo" {
+			kept = append(kept, ic)
+			continue
+		}
+		removed++
+	}
+	if removed == 0 {
+		return fmt.Errorf("emul: %s has no data-plane interfaces to fail", name)
+	}
+	vm.Config.Interfaces = kept
+	l.logf("INCIDENT: machine %s down (%d interfaces removed)", name, removed)
+	return l.converge()
+}
+
+// sharedSubnet returns the lowest subnet both devices attach to.
+func sharedSubnet(a, b *routing.DeviceConfig) (netip.Prefix, bool) {
+	var best netip.Prefix
+	found := false
+	for _, ia := range a.Interfaces {
+		if ia.Prefix.Bits() >= 31 && ia.Name == "lo" {
+			continue
+		}
+		for _, ib := range b.Interfaces {
+			if ia.Prefix == ib.Prefix && ia.Name != "lo" && ib.Name != "lo" {
+				if !found || ia.Prefix.Addr().Less(best.Addr()) {
+					best = ia.Prefix
+					found = true
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+func removeSubnet(dc *routing.DeviceConfig, p netip.Prefix) {
+	var kept []routing.InterfaceConfig
+	for _, ic := range dc.Interfaces {
+		if ic.Prefix == p && ic.Name != "lo" {
+			continue
+		}
+		kept = append(kept, ic)
+	}
+	dc.Interfaces = kept
+}

@@ -1,0 +1,149 @@
+package emul
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"autonetkit/internal/ipalloc"
+)
+
+// incidentLab deploys the fig5 network and returns it with the allocation.
+func incidentLab(t *testing.T) (*Lab, *ipalloc.Result) {
+	t.Helper()
+	return startedLab(t, "netkit", "quagga")
+}
+
+func TestFailLinkReroutes(t *testing.T) {
+	lab, alloc := incidentLab(t)
+	lb3 := alloc.Overlay.Node("r3").Get(ipalloc.AttrLoopback).(netip.Addr)
+
+	// Before: r1 reaches r3's loopback directly (one hop).
+	before, err := lab.Exec("r1", "traceroute -naU "+lb3.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(before, " ms") != 1 {
+		t.Fatalf("pre-incident path not direct:\n%s", before)
+	}
+
+	if err := lab.FailLink("r1", "r3"); err != nil {
+		t.Fatal(err)
+	}
+
+	// After: still reachable, but via a longer path (r2-r4-r3 or similar).
+	after, err := lab.Exec("r1", "traceroute -naU "+lb3.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(after, "* * *") {
+		t.Fatalf("post-incident unreachable:\n%s", after)
+	}
+	if hops := strings.Count(after, " ms"); hops < 2 {
+		t.Errorf("post-incident path should be longer, got %d hops:\n%s", hops, after)
+	}
+	// OSPF adjacency between r1 and r3 is gone.
+	for _, nbr := range lab.OSPFNeighbors("r1") {
+		if nbr.Hostname == "r3" {
+			t.Error("adjacency survived link failure")
+		}
+	}
+	// The incident is in the event log.
+	if !strings.Contains(strings.Join(lab.Events(), "\n"), "INCIDENT: link r1 -- r3") {
+		t.Error("incident not logged")
+	}
+}
+
+func TestFailLinkPartitionsEBGP(t *testing.T) {
+	lab, alloc := incidentLab(t)
+	// Fail both inter-AS links: AS2 (r5) becomes unreachable from AS1.
+	if err := lab.FailLink("r3", "r5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.FailLink("r4", "r5"); err != nil {
+		t.Fatal(err)
+	}
+	lb5 := alloc.Overlay.Node("r5").Get(ipalloc.AttrLoopback).(netip.Addr)
+	out, err := lab.Exec("r1", "ping -c 1 "+lb5.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "100% packet loss") {
+		t.Errorf("partitioned AS still reachable:\n%s", out)
+	}
+	// r1 no longer holds AS2 routes.
+	for _, rt := range lab.BGPRoutes("r1") {
+		if len(rt.ASPath) > 0 && rt.ASPath[0] == 2 {
+			t.Errorf("stale AS2 route survived partition: %+v", rt)
+		}
+	}
+}
+
+func TestFailNode(t *testing.T) {
+	lab, alloc := incidentLab(t)
+	// r3 down: r1 still reaches r4 via r2.
+	if err := lab.FailNode("r3"); err != nil {
+		t.Fatal(err)
+	}
+	lb4 := alloc.Overlay.Node("r4").Get(ipalloc.AttrLoopback).(netip.Addr)
+	out, err := lab.Exec("r1", "ping -c 1 "+lb4.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, " 1 received") {
+		t.Errorf("r4 unreachable after r3 failure:\n%s", out)
+	}
+	// And r3's loopback is gone from everyone's view.
+	lb3 := alloc.Overlay.Node("r3").Get(ipalloc.AttrLoopback).(netip.Addr)
+	out, _ = lab.Exec("r1", "ping -c 1 "+lb3.String())
+	if !strings.Contains(out, "100% packet loss") {
+		t.Errorf("failed node still reachable:\n%s", out)
+	}
+}
+
+func TestIncidentErrors(t *testing.T) {
+	lab, _ := buildLab(t, "netkit", "quagga")
+	if err := lab.FailLink("r1", "r2"); err == nil {
+		t.Error("incident before start accepted")
+	}
+	if err := lab.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.FailLink("r1", "ghost"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if err := lab.FailLink("ghost", "r1"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if err := lab.FailLink("r1", "r5"); err == nil {
+		t.Error("non-adjacent pair accepted")
+	}
+	if err := lab.FailNode("ghost"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	// Double failure of the same link: the subnet is gone.
+	if err := lab.FailLink("r1", "r2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.FailLink("r1", "r2"); err == nil {
+		t.Error("re-failing a dead link accepted")
+	}
+	// Node with no remaining data interfaces.
+	if err := lab.FailNode("r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.FailNode("r1"); err == nil {
+		t.Error("re-failing a dead node accepted")
+	}
+}
+
+func TestIncidentUnsupportedOnCBGP(t *testing.T) {
+	lab, _ := startedLab(t, "cbgp", "cbgp")
+	names := lab.VMNames()
+	if err := lab.FailLink(names[0], names[1]); err == nil {
+		t.Error("cbgp incident accepted")
+	}
+	if err := lab.FailNode(names[0]); err == nil {
+		t.Error("cbgp node failure accepted")
+	}
+}

@@ -1,0 +1,257 @@
+package emul
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"autonetkit/internal/routing"
+)
+
+// parseIOSConfig recovers a DeviceConfig from a rendered IOS configuration
+// (one file per router, as produced for the Dynagen platform).
+func parseIOSConfig(hostname, conf string) (*routing.DeviceConfig, error) {
+	dc := &routing.DeviceConfig{Hostname: hostname}
+	var bgp *routing.BGPConfig
+	var ospf *routing.OSPFConfig
+	type rmapRef struct {
+		nbr  netip.Addr
+		name string
+		out  bool
+	}
+	var rmapRefs []rmapRef
+	rmapValues := map[string][2]int{}
+	nbrIndex := map[netip.Addr]int{}
+	getNbr := func(addr netip.Addr) *routing.BGPNeighbor {
+		if i, ok := nbrIndex[addr]; ok {
+			return &bgp.Neighbors[i]
+		}
+		bgp.Neighbors = append(bgp.Neighbors, routing.BGPNeighbor{Addr: addr})
+		nbrIndex[addr] = len(bgp.Neighbors) - 1
+		return &bgp.Neighbors[len(bgp.Neighbors)-1]
+	}
+
+	section := "" // "", "interface", "ospf", "bgp", "route-map"
+	curIface := -1
+	curRmap := ""
+	isLoopback := false
+
+	for lineNo, raw := range strings.Split(conf, "\n") {
+		line := strings.TrimRight(raw, " \r")
+		trimmed := strings.TrimSpace(line)
+		fields := strings.Fields(trimmed)
+		if len(fields) == 0 || trimmed == "!" {
+			continue
+		}
+		fail := func(msg string) error {
+			return fmt.Errorf("emul: %s ios line %d: %s in %q", hostname, lineNo+1, msg, trimmed)
+		}
+		// Top-level statements reset the section.
+		if !strings.HasPrefix(line, " ") {
+			section = ""
+			curIface = -1
+			switch fields[0] {
+			case "hostname":
+				if len(fields) >= 2 {
+					dc.Hostname = fields[1]
+				}
+			case "interface":
+				if len(fields) < 2 {
+					return nil, fail("interface without name")
+				}
+				section = "interface"
+				isLoopback = strings.HasPrefix(strings.ToLower(fields[1]), "lo")
+				if !isLoopback {
+					dc.Interfaces = append(dc.Interfaces, routing.InterfaceConfig{Name: fields[1], Cost: 1})
+					curIface = len(dc.Interfaces) - 1
+				}
+			case "router":
+				if len(fields) < 2 {
+					return nil, fail("bare router")
+				}
+				switch fields[1] {
+				case "ospf":
+					pid := 1
+					if len(fields) >= 3 {
+						pid, _ = strconv.Atoi(fields[2])
+					}
+					ospf = &routing.OSPFConfig{ProcessID: pid}
+					section = "ospf"
+				case "bgp":
+					if len(fields) < 3 {
+						return nil, fail("router bgp without ASN")
+					}
+					asn, err := strconv.Atoi(fields[2])
+					if err != nil {
+						return nil, fail("bad ASN")
+					}
+					bgp = &routing.BGPConfig{ASN: asn}
+					section = "bgp"
+				}
+			case "route-map":
+				if len(fields) < 2 {
+					return nil, fail("bare route-map")
+				}
+				curRmap = fields[1]
+				if _, ok := rmapValues[curRmap]; !ok {
+					rmapValues[curRmap] = [2]int{}
+				}
+				section = "route-map"
+			}
+			continue
+		}
+		// Indented statements belong to the current section.
+		switch section {
+		case "interface":
+			switch {
+			case fields[0] == "ip" && len(fields) >= 4 && fields[1] == "address":
+				addr, err := netip.ParseAddr(fields[2])
+				if err != nil {
+					return nil, fail("bad address")
+				}
+				bits, err := maskBits(fields[3])
+				if err != nil {
+					return nil, fail(err.Error())
+				}
+				if isLoopback {
+					dc.Loopback = addr
+					dc.Interfaces = append(dc.Interfaces, routing.InterfaceConfig{
+						Name: "lo", Addr: addr, Prefix: netip.PrefixFrom(addr, 32), Cost: 1,
+					})
+				} else if curIface >= 0 {
+					dc.Interfaces[curIface].Addr = addr
+					dc.Interfaces[curIface].Prefix = netip.PrefixFrom(addr, bits).Masked()
+				}
+			case fields[0] == "ip" && len(fields) == 4 && fields[1] == "ospf" && fields[2] == "cost":
+				cost, err := strconv.Atoi(fields[3])
+				if err != nil {
+					return nil, fail("bad cost")
+				}
+				if curIface >= 0 {
+					dc.Interfaces[curIface].Cost = cost
+				}
+			}
+		case "ospf":
+			if fields[0] == "passive-interface" && len(fields) == 2 {
+				for i := range dc.Interfaces {
+					if dc.Interfaces[i].Name == fields[1] {
+						dc.Interfaces[i].Passive = true
+					}
+				}
+			}
+			if fields[0] == "network" && len(fields) == 5 && fields[3] == "area" {
+				base, err := netip.ParseAddr(fields[1])
+				if err != nil {
+					return nil, fail("bad network address")
+				}
+				bits, err := wildcardBits(fields[2])
+				if err != nil {
+					return nil, fail(err.Error())
+				}
+				area, err := strconv.Atoi(fields[4])
+				if err != nil {
+					return nil, fail("bad area")
+				}
+				ospf.Networks = append(ospf.Networks, routing.OSPFNetwork{
+					Prefix: netip.PrefixFrom(base, bits).Masked(), Area: area,
+				})
+			}
+		case "bgp":
+			switch {
+			case fields[0] == "bgp" && len(fields) == 3 && fields[1] == "router-id":
+				rid, err := netip.ParseAddr(fields[2])
+				if err != nil {
+					return nil, fail("bad router-id")
+				}
+				bgp.RouterID = rid
+			case fields[0] == "network" && len(fields) == 4 && fields[2] == "mask":
+				base, err := netip.ParseAddr(fields[1])
+				if err != nil {
+					return nil, fail("bad network")
+				}
+				bits, err := maskBits(fields[3])
+				if err != nil {
+					return nil, fail(err.Error())
+				}
+				bgp.Networks = append(bgp.Networks, netip.PrefixFrom(base, bits).Masked())
+			case fields[0] == "neighbor" && len(fields) >= 3:
+				addr, err := netip.ParseAddr(fields[1])
+				if err != nil {
+					return nil, fail("bad neighbor")
+				}
+				nbr := getNbr(addr)
+				switch fields[2] {
+				case "remote-as":
+					asn, err := strconv.Atoi(fields[3])
+					if err != nil {
+						return nil, fail("bad remote-as")
+					}
+					nbr.RemoteASN = asn
+				case "update-source":
+					nbr.UpdateSource = fields[3]
+				case "route-reflector-client":
+					nbr.RRClient = true
+				case "description":
+					nbr.Description = strings.Join(fields[3:], " ")
+				case "route-map":
+					rmapRefs = append(rmapRefs, rmapRef{addr, fields[3], len(fields) > 4 && fields[4] == "out"})
+				}
+			}
+		case "route-map":
+			if fields[0] == "set" && len(fields) >= 3 {
+				v, err := strconv.Atoi(fields[len(fields)-1])
+				if err != nil {
+					return nil, fail("bad set value")
+				}
+				vals := rmapValues[curRmap]
+				switch fields[1] {
+				case "metric":
+					vals[0] = v
+				case "local-preference":
+					vals[1] = v
+				}
+				rmapValues[curRmap] = vals
+			}
+		}
+	}
+	if bgp != nil {
+		for _, ref := range rmapRefs {
+			vals, ok := rmapValues[ref.name]
+			if !ok {
+				return nil, fmt.Errorf("emul: %s: undefined route-map %q", hostname, ref.name)
+			}
+			nbr := getNbr(ref.nbr)
+			if ref.out {
+				nbr.MEDOut = vals[0]
+			} else {
+				nbr.LocalPrefIn = vals[1]
+			}
+		}
+	}
+	dc.OSPF = ospf
+	dc.BGP = bgp
+	if err := dc.Validate(); err != nil {
+		return nil, err
+	}
+	return dc, nil
+}
+
+// wildcardBits converts an IOS wildcard mask (0.0.0.3) to a prefix length.
+func wildcardBits(wc string) (int, error) {
+	a, err := netip.ParseAddr(wc)
+	if err != nil || !a.Is4() {
+		return 0, fmt.Errorf("bad wildcard %q", wc)
+	}
+	b := a.As4()
+	v := ^(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+	bits := 0
+	for v&0x80000000 != 0 {
+		bits++
+		v <<= 1
+	}
+	if v != 0 {
+		return 0, fmt.Errorf("non-contiguous wildcard %q", wc)
+	}
+	return bits, nil
+}

@@ -1,0 +1,401 @@
+package emul
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"autonetkit/internal/dataplane"
+	"autonetkit/internal/render"
+	"autonetkit/internal/routing"
+)
+
+// VM is one emulated machine: its file tree, the protocol state parsed from
+// it at boot, and its management (TAP) address.
+type VM struct {
+	Name   string
+	Files  map[string]string // paths relative to the machine root
+	Config *routing.DeviceConfig
+	TapIP  netip.Addr
+	Booted bool
+}
+
+// Lab is a running emulation: a set of VMs, the converged protocol engines
+// and the data plane.
+type Lab struct {
+	Host     string
+	Platform string
+
+	vms   map[string]*VM
+	order []string
+
+	domain    *routing.OSPFDomain
+	isis      *routing.OSPFDomain
+	igp       routing.IGPCoster
+	bgp       *routing.BGPEngine
+	bgpResult routing.BGPResult
+	net       *dataplane.Network
+
+	flatParse    flatParser
+	started      bool
+	maxBGPRounds int
+	events       []string
+}
+
+// Events returns the boot/progress log (the deployment monitor's view).
+func (l *Lab) Events() []string {
+	out := make([]string, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+func (l *Lab) logf(format string, args ...any) {
+	l.events = append(l.events, fmt.Sprintf(format, args...))
+}
+
+// VMNames returns machine names in lab.conf order.
+func (l *Lab) VMNames() []string {
+	out := make([]string, len(l.order))
+	copy(out, l.order)
+	return out
+}
+
+// VM returns a machine by name.
+func (l *Lab) VM(name string) (*VM, bool) {
+	vm, ok := l.vms[name]
+	return vm, ok
+}
+
+// BGPResult returns the control-plane outcome after Start.
+func (l *Lab) BGPResult() routing.BGPResult { return l.bgpResult }
+
+// BGPRoutes returns a machine's selected BGP routes.
+func (l *Lab) BGPRoutes(name string) []routing.BGPRoute {
+	if l.bgp == nil {
+		return nil
+	}
+	return l.bgp.BestRoutes(name)
+}
+
+// OSPFNeighbors returns a machine's OSPF adjacencies.
+func (l *Lab) OSPFNeighbors(name string) []routing.OSPFNeighbor {
+	if l.domain == nil {
+		return nil
+	}
+	return l.domain.Neighbors(name)
+}
+
+// ISISNeighbors returns a machine's IS-IS adjacencies (for labs whose IGP
+// is IS-IS, §7).
+func (l *Lab) ISISNeighbors(name string) []routing.OSPFNeighbor {
+	if l.isis == nil {
+		return nil
+	}
+	return l.isis.Neighbors(name)
+}
+
+// Network exposes the data plane (nil for C-BGP labs).
+func (l *Lab) Network() *dataplane.Network { return l.net }
+
+// Load parses a rendered configuration tree for one (host, platform) lab
+// and returns the un-started lab. Supported platforms: netkit, dynagen,
+// junosphere, cbgp.
+func Load(fs *render.FileSet, host, platform string) (*Lab, error) {
+	l := &Lab{Host: host, Platform: platform, vms: map[string]*VM{}}
+	root := host + "/" + platform + "/"
+	sub := fs.WithPrefix(host + "/" + platform)
+	if sub.Len() == 0 {
+		return nil, fmt.Errorf("emul: no files under %s", root)
+	}
+	switch platform {
+	case "netkit":
+		if err := l.loadNetkit(sub, root); err != nil {
+			return nil, err
+		}
+	case "dynagen":
+		if err := l.loadFlatConfigs(sub, root, ".cfg", parseIOSConfig); err != nil {
+			return nil, err
+		}
+	case "junosphere":
+		if err := l.loadFlatConfigs(sub, root, ".conf", parseJunosConfig); err != nil {
+			return nil, err
+		}
+	case "cbgp":
+		if err := l.loadCBGP(sub, root); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("emul: unsupported platform %q", platform)
+	}
+	if len(l.order) == 0 {
+		return nil, fmt.Errorf("emul: lab %s/%s has no machines", host, platform)
+	}
+	return l, nil
+}
+
+// loadNetkit reads lab.conf and each machine's file tree.
+func (l *Lab) loadNetkit(sub *render.FileSet, root string) error {
+	labConf, ok := sub.Read(root + "lab.conf")
+	if !ok {
+		return fmt.Errorf("emul: netkit lab has no lab.conf")
+	}
+	machineOrder := []string{}
+	seen := map[string]bool{}
+	tapIPs := map[string]netip.Addr{}
+	for _, line := range strings.Split(labConf, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "LAB_") {
+			continue
+		}
+		name, rest, ok := strings.Cut(line, "[")
+		if !ok {
+			continue
+		}
+		if !seen[name] {
+			seen[name] = true
+			machineOrder = append(machineOrder, name)
+		}
+		// TAP lines: name[ethN]=tap,<host_ip>,<vm_ip>
+		if _, val, ok := strings.Cut(rest, "="); ok && strings.HasPrefix(val, "tap,") {
+			parts := strings.Split(val, ",")
+			if len(parts) == 3 {
+				if ip, err := netip.ParseAddr(parts[2]); err == nil {
+					tapIPs[name] = ip
+				}
+			}
+		}
+	}
+	for _, name := range machineOrder {
+		files := map[string]string{}
+		prefix := root + name + "/"
+		for _, p := range sub.Paths() {
+			if strings.HasPrefix(p, prefix) {
+				c, _ := sub.Read(p)
+				files[strings.TrimPrefix(p, prefix)] = c
+			}
+		}
+		if startup, ok := sub.Read(root + name + ".startup"); ok {
+			files[name+".startup"] = startup
+		}
+		l.vms[name] = &VM{Name: name, Files: files, TapIP: tapIPs[name]}
+		l.order = append(l.order, name)
+	}
+	return nil
+}
+
+// loadFlatConfigs handles single-file-per-router platforms (Dynagen IOS,
+// Junosphere JunOS).
+func (l *Lab) loadFlatConfigs(sub *render.FileSet, root, ext string, parse func(name, conf string) (*routing.DeviceConfig, error)) error {
+	var names []string
+	for _, p := range sub.Paths() {
+		rel := strings.TrimPrefix(p, root)
+		if strings.Contains(rel, "/") || !strings.HasSuffix(rel, ext) {
+			continue
+		}
+		names = append(names, strings.TrimSuffix(rel, ext))
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		conf, _ := sub.Read(root + name + ext)
+		l.vms[name] = &VM{Name: name, Files: map[string]string{name + ext: conf}}
+		l.order = append(l.order, name)
+	}
+	l.flatParse = parse
+	return nil
+}
+
+// loadCBGP parses the single lab.cli script.
+func (l *Lab) loadCBGP(sub *render.FileSet, root string) error {
+	script, ok := sub.Read(root + "lab.cli")
+	if !ok {
+		return fmt.Errorf("emul: cbgp lab has no lab.cli")
+	}
+	parsed, err := parseCBGPScript(script)
+	if err != nil {
+		return err
+	}
+	for _, dc := range parsed.devices {
+		vm := &VM{Name: dc.Hostname, Files: map[string]string{"lab.cli": script}, Config: dc, Booted: true}
+		l.vms[dc.Hostname] = vm
+		l.order = append(l.order, dc.Hostname)
+	}
+	l.igp = parsed.igp
+	return nil
+}
+
+// flatParse is the per-file parser for flat-config platforms.
+type flatParser = func(name, conf string) (*routing.DeviceConfig, error)
+
+// Start boots every machine (parsing its configuration), converges OSPF,
+// runs BGP to convergence or detected oscillation, and builds the data
+// plane. maxBGPRounds <= 0 selects the default.
+func (l *Lab) Start(maxBGPRounds int) error {
+	if l.started {
+		return fmt.Errorf("emul: lab already started")
+	}
+	l.logf("starting lab %s/%s (%d machines)", l.Host, l.Platform, len(l.order))
+	for _, name := range l.order {
+		vm := l.vms[name]
+		if vm.Config == nil {
+			dc, err := l.bootVM(vm)
+			if err != nil {
+				return fmt.Errorf("emul: booting %s: %w", name, err)
+			}
+			vm.Config = dc
+		}
+		vm.Booted = true
+		l.logf("machine %s booted (%d interfaces)", name, len(vm.Config.Interfaces))
+	}
+	l.maxBGPRounds = maxBGPRounds
+	if err := l.converge(); err != nil {
+		return err
+	}
+	l.started = true
+	return nil
+}
+
+// converge (re)runs the control plane and rebuilds the data plane over the
+// machines' current configurations; called at Start and after incident
+// injection (FailLink/FailNode).
+func (l *Lab) converge() error {
+	var devices []*routing.DeviceConfig
+	for _, name := range l.order {
+		devices = append(devices, l.vms[name].Config)
+	}
+	// IGP convergence. C-BGP labs carry a pre-parsed link-graph IGP that
+	// is preserved across reconvergence. OSPF and IS-IS devices each get
+	// their own link-state domain (§7: IS-IS as the substituted IGP).
+	if l.Platform != "cbgp" {
+		l.domain = routing.NewOSPFDomain(devices)
+		if err := l.domain.Converge(); err != nil {
+			return fmt.Errorf("emul: ospf: %w", err)
+		}
+		l.isis = routing.NewISISDomain(devices)
+		if err := l.isis.Converge(); err != nil {
+			return fmt.Errorf("emul: isis: %w", err)
+		}
+		comp := routing.NewCompositeIGP()
+		for _, dc := range devices {
+			switch {
+			case dc.OSPF != nil:
+				comp.AddDevice(dc, l.domain)
+			case dc.ISIS != nil:
+				comp.AddDevice(dc, l.isis)
+			default:
+				comp.AddDevice(dc, nil)
+			}
+		}
+		l.igp = comp
+		l.logf("igp converged")
+	}
+	// BGP.
+	profile := routing.ProfileFor(syntaxOfPlatform(l.Platform))
+	bgp, err := routing.NewBGPEngine(devices, func(string) routing.VendorProfile { return profile }, l.igp)
+	if err != nil {
+		return fmt.Errorf("emul: bgp: %w", err)
+	}
+	// Labs model asynchronous routers: sequential (Gauss-Seidel)
+	// processing, so a detected oscillation is a genuine RFC 3345-class
+	// persistent one, not a lockstep-timing artifact.
+	bgp.SetSequential(true)
+	l.bgp = bgp
+	l.bgpResult = bgp.Run(l.maxBGPRounds)
+	switch {
+	case l.bgpResult.Converged:
+		l.logf("bgp converged in %d rounds (%d sessions)", l.bgpResult.Rounds, bgp.SessionsUp())
+	case l.bgpResult.Oscillating:
+		l.logf("bgp OSCILLATING after %d rounds (cycle %d)", l.bgpResult.Rounds, l.bgpResult.CycleLen)
+	}
+	for _, down := range bgp.SessionsDown() {
+		l.logf("bgp session down: %s", down)
+	}
+	// Data plane (not for C-BGP, which is a route solver).
+	if l.Platform != "cbgp" {
+		if err := l.buildDataplane(devices); err != nil {
+			return err
+		}
+		l.logf("data plane ready")
+	}
+	return nil
+}
+
+func syntaxOfPlatform(platform string) string {
+	switch platform {
+	case "dynagen":
+		return "ios"
+	case "junosphere":
+		return "junos"
+	case "cbgp":
+		return "cbgp"
+	default:
+		return "quagga"
+	}
+}
+
+// bootVM parses a machine's configuration files per platform.
+func (l *Lab) bootVM(vm *VM) (*routing.DeviceConfig, error) {
+	switch l.Platform {
+	case "netkit":
+		return parseQuaggaVM(vm.Name, vm.Files)
+	case "dynagen":
+		return l.flatParse(vm.Name, vm.Files[vm.Name+".cfg"])
+	case "junosphere":
+		return l.flatParse(vm.Name, vm.Files[vm.Name+".conf"])
+	}
+	return nil, fmt.Errorf("emul: cannot boot on platform %q", l.Platform)
+}
+
+// buildDataplane installs connected, OSPF and BGP routes into per-VM FIBs.
+func (l *Lab) buildDataplane(devices []*routing.DeviceConfig) error {
+	net := dataplane.NewNetwork()
+	for _, dc := range devices {
+		node := dataplane.NewNode(dc.Hostname)
+		// Collect candidate routes into a RIB so administrative distance is
+		// honoured (connected < OSPF < BGP): a BGP-originated loopback /32
+		// must not shadow the OSPF route that actually resolves it.
+		rib := routing.NewRIB()
+		for _, ic := range dc.Interfaces {
+			node.AddAddr(ic.Addr, ic.Name)
+			rib.Install(routing.Route{Prefix: ic.Prefix, Origin: routing.OriginConnected, OutIf: ic.Name})
+		}
+		if dc.Gateway.IsValid() {
+			rib.Install(routing.Route{
+				Prefix:  netip.MustParsePrefix("0.0.0.0/0"),
+				NextHop: dc.Gateway,
+				Origin:  routing.OriginBGP, // static default: lowest preference
+				Metric:  1,
+			})
+		}
+		if l.domain != nil {
+			for _, rt := range l.domain.Routes(dc.Hostname) {
+				rib.Install(rt)
+			}
+		}
+		if l.isis != nil {
+			for _, rt := range l.isis.Routes(dc.Hostname) {
+				rib.Install(rt)
+			}
+		}
+		if l.bgp != nil {
+			for _, rt := range l.bgp.BestRoutes(dc.Hostname) {
+				if rt.Local || !rt.NextHop.IsValid() {
+					continue
+				}
+				rib.Install(routing.Route{Prefix: rt.Prefix, Origin: routing.OriginBGP, NextHop: rt.NextHop})
+			}
+		}
+		for _, p := range rib.Prefixes() {
+			best, _ := rib.Best(p)
+			entry := dataplane.FIBEntry{Prefix: best.Prefix, NextHop: best.NextHop, OutIf: best.OutIf, Connected: best.Origin == routing.OriginConnected}
+			if err := node.FIB.Insert(entry); err != nil {
+				return fmt.Errorf("emul: %s: %w", dc.Hostname, err)
+			}
+		}
+		if err := net.AddNode(node); err != nil {
+			return err
+		}
+	}
+	l.net = net
+	return nil
+}

@@ -1,0 +1,240 @@
+package emul
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+
+	"autonetkit/internal/routing"
+)
+
+// cbgpLab is the parsed form of a C-BGP script: router configs (keyed by
+// loopback, which is the node identity in C-BGP) plus the weighted link
+// graph used as the IGP.
+type cbgpLab struct {
+	devices []*routing.DeviceConfig
+	igp     *cbgpIGP
+}
+
+// parseCBGPScript parses the lab.cli script the renderer produces.
+func parseCBGPScript(script string) (*cbgpLab, error) {
+	lab := &cbgpLab{igp: newCBGPIGP()}
+	byAddr := map[netip.Addr]*routing.DeviceConfig{}
+	var current *routing.DeviceConfig
+	var currentPeer netip.Addr
+
+	for lineNo, raw := range strings.Split(script, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(msg string) error {
+			return fmt.Errorf("emul: cbgp line %d: %s in %q", lineNo+1, msg, line)
+		}
+		switch {
+		case fields[0] == "net" && len(fields) >= 4 && fields[1] == "add" && fields[2] == "node":
+			addr, err := netip.ParseAddr(fields[3])
+			if err != nil {
+				return nil, fail("bad node address")
+			}
+			dc := &routing.DeviceConfig{
+				Hostname: addr.String(),
+				Loopback: addr,
+				Interfaces: []routing.InterfaceConfig{
+					{Name: "lo", Addr: addr, Prefix: netip.PrefixFrom(addr, 32), Cost: 1},
+				},
+			}
+			byAddr[addr] = dc
+			lab.devices = append(lab.devices, dc)
+			lab.igp.addNode(addr)
+		case fields[0] == "net" && len(fields) >= 5 && fields[1] == "add" && fields[2] == "link":
+			a, err1 := netip.ParseAddr(fields[3])
+			b, err2 := netip.ParseAddr(fields[4])
+			if err1 != nil || err2 != nil {
+				return nil, fail("bad link endpoints")
+			}
+			w := 1
+			if len(fields) >= 6 {
+				w, err1 = strconv.Atoi(fields[5])
+				if err1 != nil {
+					return nil, fail("bad link weight")
+				}
+			}
+			lab.igp.addLink(a, b, w)
+		case fields[0] == "bgp" && len(fields) >= 4 && fields[1] == "add" && fields[2] == "router":
+			asn, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fail("bad ASN")
+			}
+			addr, err := netip.ParseAddr(fields[4])
+			if err != nil {
+				return nil, fail("bad router address")
+			}
+			dc, ok := byAddr[addr]
+			if !ok {
+				return nil, fail("bgp router for undeclared node")
+			}
+			dc.BGP = &routing.BGPConfig{ASN: asn, RouterID: addr}
+		case fields[0] == "bgp" && len(fields) >= 3 && fields[1] == "router":
+			addr, err := netip.ParseAddr(fields[2])
+			if err != nil {
+				return nil, fail("bad router address")
+			}
+			current = byAddr[addr]
+			if current == nil || current.BGP == nil {
+				return nil, fail("router block for undeclared bgp router")
+			}
+		case fields[0] == "add" && len(fields) >= 3 && fields[1] == "network" && current != nil:
+			p, err := netip.ParsePrefix(fields[2])
+			if err != nil {
+				return nil, fail("bad network")
+			}
+			current.BGP.Networks = append(current.BGP.Networks, p.Masked())
+		case fields[0] == "add" && len(fields) >= 4 && fields[1] == "peer" && current != nil:
+			asn, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fail("bad peer ASN")
+			}
+			addr, err := netip.ParseAddr(fields[3])
+			if err != nil {
+				return nil, fail("bad peer address")
+			}
+			current.BGP.Neighbors = append(current.BGP.Neighbors, routing.BGPNeighbor{Addr: addr, RemoteASN: asn})
+			currentPeer = addr
+		case fields[0] == "peer" && len(fields) >= 3 && current != nil:
+			addr, err := netip.ParseAddr(fields[1])
+			if err != nil {
+				return nil, fail("bad peer address")
+			}
+			currentPeer = addr
+			nbr := findNeighbor(current.BGP, currentPeer)
+			if nbr == nil {
+				return nil, fail("statement for undeclared peer")
+			}
+			switch fields[2] {
+			case "rr-client":
+				nbr.RRClient = true
+			case "up":
+				// Session activation: implicit in the engine.
+			case "filter":
+				// filter in|out add-rule action "local-pref N" / "metric N"
+				rest := strings.Join(fields[3:], " ")
+				isIn := strings.HasPrefix(rest, "in ")
+				if i := strings.Index(rest, `action "`); i >= 0 {
+					action := rest[i+len(`action "`):]
+					action = strings.TrimSuffix(action, `"`)
+					av := strings.Fields(action)
+					if len(av) == 2 {
+						n, err := strconv.Atoi(av[1])
+						if err != nil {
+							return nil, fail("bad filter action value")
+						}
+						switch av[0] {
+						case "local-pref":
+							if isIn {
+								nbr.LocalPrefIn = n
+							}
+						case "metric":
+							if !isIn {
+								nbr.MEDOut = n
+							}
+						}
+					}
+				}
+			}
+		case fields[0] == "exit":
+			current = nil
+		case fields[0] == "sim" || fields[0] == "net":
+			// sim run / net node domain declarations: no engine state.
+		}
+	}
+	// C-BGP has no interface subnets; sessions are loopback-to-loopback and
+	// "connectivity" is the link graph. Validate basic consistency.
+	for _, dc := range lab.devices {
+		if err := dc.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return lab, nil
+}
+
+func findNeighbor(bgp *routing.BGPConfig, addr netip.Addr) *routing.BGPNeighbor {
+	for i := range bgp.Neighbors {
+		if bgp.Neighbors[i].Addr == addr {
+			return &bgp.Neighbors[i]
+		}
+	}
+	return nil
+}
+
+// cbgpIGP computes shortest-path costs over the script's weighted link
+// graph (the `net add link a b w` statements).
+type cbgpIGP struct {
+	nodes map[netip.Addr]bool
+	adj   map[netip.Addr]map[netip.Addr]int
+}
+
+func newCBGPIGP() *cbgpIGP {
+	return &cbgpIGP{nodes: map[netip.Addr]bool{}, adj: map[netip.Addr]map[netip.Addr]int{}}
+}
+
+func (g *cbgpIGP) addNode(a netip.Addr) { g.nodes[a] = true }
+
+func (g *cbgpIGP) addLink(a, b netip.Addr, w int) {
+	if g.adj[a] == nil {
+		g.adj[a] = map[netip.Addr]int{}
+	}
+	if g.adj[b] == nil {
+		g.adj[b] = map[netip.Addr]int{}
+	}
+	g.adj[a][b] = w
+	g.adj[b][a] = w
+}
+
+// IGPCost implements routing.IGPCoster; host is the node's loopback string.
+func (g *cbgpIGP) IGPCost(host string, addr netip.Addr) int {
+	src, err := netip.ParseAddr(host)
+	if err != nil {
+		return -1
+	}
+	if src == addr {
+		return 0
+	}
+	// Dijkstra with deterministic tie-break by address.
+	dist := map[netip.Addr]int{src: 0}
+	done := map[netip.Addr]bool{}
+	for {
+		var cur netip.Addr
+		curDist := -1
+		var keys []netip.Addr
+		for a := range dist {
+			keys = append(keys, a)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+		for _, a := range keys {
+			if done[a] {
+				continue
+			}
+			if curDist < 0 || dist[a] < curDist {
+				cur, curDist = a, dist[a]
+			}
+		}
+		if curDist < 0 {
+			break
+		}
+		if cur == addr {
+			return curDist
+		}
+		done[cur] = true
+		for nb, w := range g.adj[cur] {
+			nd := curDist + w
+			if old, ok := dist[nb]; !ok || nd < old {
+				dist[nb] = nd
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,271 @@
+package emul
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"autonetkit/internal/routing"
+)
+
+// JunOS configurations are brace-structured; parse into a generic tree and
+// extract the protocol state from it.
+
+type junosNode struct {
+	name     string
+	children []*junosNode
+	leaves   []string // terminal statements (semicolon-terminated)
+}
+
+func (n *junosNode) child(name string) *junosNode {
+	for _, c := range n.children {
+		if c.name == name || strings.HasPrefix(c.name, name+" ") {
+			return c
+		}
+	}
+	return nil
+}
+
+func (n *junosNode) childrenWithPrefix(prefix string) []*junosNode {
+	var out []*junosNode
+	for _, c := range n.children {
+		if strings.HasPrefix(c.name, prefix) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// leafValue returns the remainder of the first leaf starting with key.
+func (n *junosNode) leafValue(key string) (string, bool) {
+	for _, l := range n.leaves {
+		if strings.HasPrefix(l, key+" ") {
+			return strings.TrimSpace(strings.TrimPrefix(l, key+" ")), true
+		}
+		if l == key {
+			return "", true
+		}
+	}
+	return "", false
+}
+
+// parseJunosTree converts brace-structured text into a tree.
+func parseJunosTree(conf string) (*junosNode, error) {
+	root := &junosNode{name: "(root)"}
+	stack := []*junosNode{root}
+	for lineNo, raw := range strings.Split(conf, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(line, "{"):
+			name := strings.TrimSpace(strings.TrimSuffix(line, "{"))
+			node := &junosNode{name: name}
+			top := stack[len(stack)-1]
+			top.children = append(top.children, node)
+			stack = append(stack, node)
+		case line == "}":
+			if len(stack) == 1 {
+				return nil, fmt.Errorf("emul: junos line %d: unbalanced '}'", lineNo+1)
+			}
+			stack = stack[:len(stack)-1]
+		case strings.HasSuffix(line, ";"):
+			top := stack[len(stack)-1]
+			top.leaves = append(top.leaves, strings.TrimSuffix(line, ";"))
+		default:
+			return nil, fmt.Errorf("emul: junos line %d: unterminated statement %q", lineNo+1, line)
+		}
+	}
+	if len(stack) != 1 {
+		return nil, fmt.Errorf("emul: junos config has %d unclosed blocks", len(stack)-1)
+	}
+	return root, nil
+}
+
+// parseJunosConfig recovers a DeviceConfig from a rendered JunOS
+// configuration.
+func parseJunosConfig(hostname, conf string) (*routing.DeviceConfig, error) {
+	root, err := parseJunosTree(conf)
+	if err != nil {
+		return nil, err
+	}
+	dc := &routing.DeviceConfig{Hostname: hostname}
+	if sys := root.child("system"); sys != nil {
+		if hn, ok := sys.leafValue("host-name"); ok {
+			dc.Hostname = hn
+		}
+	}
+	// Interfaces.
+	if ifs := root.child("interfaces"); ifs != nil {
+		for _, ifNode := range ifs.children {
+			name := ifNode.name
+			unit := ifNode.child("unit 0")
+			if unit == nil {
+				continue
+			}
+			inet := unit.child("family inet")
+			if inet == nil {
+				continue
+			}
+			addrStr, ok := inet.leafValue("address")
+			if !ok {
+				continue
+			}
+			p, err := netip.ParsePrefix(addrStr)
+			if err != nil {
+				return nil, fmt.Errorf("emul: %s: junos interface %s: bad address %q", hostname, name, addrStr)
+			}
+			if strings.HasPrefix(name, "lo") {
+				dc.Loopback = p.Addr()
+				dc.Interfaces = append(dc.Interfaces, routing.InterfaceConfig{
+					Name: "lo", Addr: p.Addr(), Prefix: netip.PrefixFrom(p.Addr(), 32), Cost: 1,
+				})
+				continue
+			}
+			dc.Interfaces = append(dc.Interfaces, routing.InterfaceConfig{
+				Name: name, Addr: p.Addr(), Prefix: p.Masked(), Cost: 1,
+			})
+		}
+	}
+	protocols := root.child("protocols")
+	// OSPF.
+	if protocols != nil {
+		if ospf := protocols.child("ospf"); ospf != nil {
+			cfg := &routing.OSPFConfig{ProcessID: 1}
+			for _, area := range ospf.childrenWithPrefix("area ") {
+				areaNum, err := strconv.Atoi(strings.TrimPrefix(area.name, "area "))
+				if err != nil {
+					return nil, fmt.Errorf("emul: %s: bad ospf area %q", hostname, area.name)
+				}
+				for _, ifn := range area.childrenWithPrefix("interface ") {
+					pStr := strings.TrimPrefix(ifn.name, "interface ")
+					p, err := netip.ParsePrefix(pStr)
+					if err != nil {
+						return nil, fmt.Errorf("emul: %s: bad ospf interface %q", hostname, pStr)
+					}
+					cfg.Networks = append(cfg.Networks, routing.OSPFNetwork{Prefix: p.Masked(), Area: areaNum})
+					if _, ok := ifn.leafValue("passive"); ok {
+						for i := range dc.Interfaces {
+							if dc.Interfaces[i].Prefix == p.Masked() {
+								dc.Interfaces[i].Passive = true
+							}
+						}
+					}
+					if mStr, ok := ifn.leafValue("metric"); ok {
+						m, err := strconv.Atoi(mStr)
+						if err != nil {
+							return nil, fmt.Errorf("emul: %s: bad ospf metric %q", hostname, mStr)
+						}
+						for i := range dc.Interfaces {
+							if dc.Interfaces[i].Prefix == p.Masked() {
+								dc.Interfaces[i].Cost = m
+							}
+						}
+					}
+				}
+				// Bare interface statements (no metric block).
+				for _, l := range area.leaves {
+					if strings.HasPrefix(l, "interface ") {
+						pStr := strings.TrimPrefix(l, "interface ")
+						p, err := netip.ParsePrefix(pStr)
+						if err != nil {
+							return nil, fmt.Errorf("emul: %s: bad ospf interface %q", hostname, pStr)
+						}
+						cfg.Networks = append(cfg.Networks, routing.OSPFNetwork{Prefix: p.Masked(), Area: areaNum})
+					}
+				}
+			}
+			dc.OSPF = cfg
+		}
+	}
+	// BGP.
+	var asn int
+	var routerID netip.Addr
+	if ro := root.child("routing-options"); ro != nil {
+		if v, ok := ro.leafValue("autonomous-system"); ok {
+			asn, err = strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("emul: %s: bad autonomous-system %q", hostname, v)
+			}
+		}
+		if v, ok := ro.leafValue("router-id"); ok {
+			routerID, err = netip.ParseAddr(v)
+			if err != nil {
+				return nil, fmt.Errorf("emul: %s: bad router-id %q", hostname, v)
+			}
+		}
+	}
+	if protocols != nil {
+		if bgpNode := protocols.child("bgp"); bgpNode != nil {
+			if asn == 0 {
+				return nil, fmt.Errorf("emul: %s: bgp configured without autonomous-system", hostname)
+			}
+			cfg := &routing.BGPConfig{ASN: asn, RouterID: routerID}
+			for _, grp := range bgpNode.childrenWithPrefix("group ") {
+				typ, _ := grp.leafValue("type")
+				peerAS := asn
+				if v, ok := grp.leafValue("peer-as"); ok {
+					peerAS, err = strconv.Atoi(v)
+					if err != nil {
+						return nil, fmt.Errorf("emul: %s: bad peer-as %q", hostname, v)
+					}
+				}
+				med := 0
+				if v, ok := grp.leafValue("metric-out"); ok {
+					med, _ = strconv.Atoi(v)
+				}
+				lp := 0
+				if v, ok := grp.leafValue("local-preference"); ok {
+					lp, _ = strconv.Atoi(v)
+				}
+				_, isRRGroup := grp.leafValue("cluster")
+				updateSource := ""
+				if _, ok := grp.leafValue("local-address"); ok {
+					updateSource = "lo"
+				}
+				for _, l := range grp.leaves {
+					if !strings.HasPrefix(l, "neighbor ") {
+						continue
+					}
+					addr, err := netip.ParseAddr(strings.TrimPrefix(l, "neighbor "))
+					if err != nil {
+						return nil, fmt.Errorf("emul: %s: bad neighbor in %q", hostname, l)
+					}
+					cfg.Neighbors = append(cfg.Neighbors, routing.BGPNeighbor{
+						Addr: addr, RemoteASN: peerAS,
+						MEDOut: med, LocalPrefIn: lp,
+						RRClient:     isRRGroup && typ == "internal",
+						UpdateSource: updateSource,
+					})
+				}
+			}
+			cfg.Networks = junosAdvertisedNetworks(root, dc)
+			dc.BGP = cfg
+		}
+	}
+	if err := dc.Validate(); err != nil {
+		return nil, err
+	}
+	return dc, nil
+}
+
+// junosAdvertisedNetworks reads the routing-options static advertisements
+// rendered by the template (the JunOS equivalent of `network` statements is
+// an export policy; the template renders them as annotated statics).
+func junosAdvertisedNetworks(root *junosNode, dc *routing.DeviceConfig) []netip.Prefix {
+	var out []netip.Prefix
+	ro := root.child("routing-options")
+	if ro == nil {
+		return nil
+	}
+	for _, l := range ro.leaves {
+		if strings.HasPrefix(l, "advertise ") {
+			if p, err := netip.ParsePrefix(strings.TrimPrefix(l, "advertise ")); err == nil {
+				out = append(out, p.Masked())
+			}
+		}
+	}
+	return out
+}

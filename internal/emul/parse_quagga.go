@@ -1,0 +1,333 @@
+// Package emul implements the emulation platform substrate: labs of
+// virtual machines that boot from the *rendered configuration tree*
+// (lab.conf, startup scripts, per-daemon config files), recover their
+// protocol state by parsing those files, and run the routing engines and
+// data plane of internal/routing and internal/dataplane. This substitutes
+// for the paper's Netkit/UML deployment while preserving the property that
+// matters: the generated configurations are executed, so generation errors
+// surface as network misbehaviour.
+package emul
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"autonetkit/internal/routing"
+)
+
+// parseQuaggaVM recovers a DeviceConfig from a Netkit/Quagga machine's
+// files: the .startup script (interface addressing) plus
+// etc/quagga/{daemons,ospfd.conf,bgpd.conf}.
+func parseQuaggaVM(hostname string, files map[string]string) (*routing.DeviceConfig, error) {
+	dc := &routing.DeviceConfig{Hostname: hostname}
+	startup, ok := files[hostname+".startup"]
+	if !ok {
+		return nil, fmt.Errorf("emul: %s: no startup script", hostname)
+	}
+	if err := parseStartup(dc, startup); err != nil {
+		return nil, err
+	}
+	daemons := files["etc/quagga/daemons"]
+	enabled := map[string]bool{}
+	for _, line := range strings.Split(daemons, "\n") {
+		line = strings.TrimSpace(line)
+		if name, val, ok := strings.Cut(line, "="); ok && strings.TrimSpace(val) == "yes" {
+			enabled[strings.TrimSpace(name)] = true
+		}
+	}
+	if enabled["ospfd"] {
+		conf, ok := files["etc/quagga/ospfd.conf"]
+		if !ok {
+			return nil, fmt.Errorf("emul: %s: ospfd enabled but ospfd.conf missing", hostname)
+		}
+		if err := parseQuaggaOspfd(dc, conf); err != nil {
+			return nil, err
+		}
+	}
+	if enabled["bgpd"] {
+		conf, ok := files["etc/quagga/bgpd.conf"]
+		if !ok {
+			return nil, fmt.Errorf("emul: %s: bgpd enabled but bgpd.conf missing", hostname)
+		}
+		if err := parseQuaggaBgpd(dc, conf); err != nil {
+			return nil, err
+		}
+	}
+	if enabled["isisd"] {
+		conf, ok := files["etc/quagga/isisd.conf"]
+		if !ok {
+			return nil, fmt.Errorf("emul: %s: isisd enabled but isisd.conf missing", hostname)
+		}
+		if err := parseQuaggaIsisd(dc, conf); err != nil {
+			return nil, err
+		}
+	}
+	if err := dc.Validate(); err != nil {
+		return nil, err
+	}
+	return dc, nil
+}
+
+// parseStartup reads `/sbin/ifconfig <if> <addr> netmask <mask> ... up`
+// lines — the interface addressing of the booted machine.
+func parseStartup(dc *routing.DeviceConfig, startup string) error {
+	for lineNo, line := range strings.Split(startup, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 5 && strings.HasSuffix(fields[0], "route") &&
+			fields[1] == "add" && fields[2] == "default" && fields[3] == "gw" {
+			gw, err := netip.ParseAddr(fields[4])
+			if err != nil {
+				return fmt.Errorf("emul: %s startup line %d: bad gateway %q", dc.Hostname, lineNo+1, fields[4])
+			}
+			dc.Gateway = gw
+			continue
+		}
+		if len(fields) < 3 || !strings.HasSuffix(fields[0], "ifconfig") {
+			continue
+		}
+		ifName := fields[1]
+		addr, err := netip.ParseAddr(fields[2])
+		if err != nil {
+			return fmt.Errorf("emul: %s startup line %d: bad address %q", dc.Hostname, lineNo+1, fields[2])
+		}
+		bits := 32
+		for i := 3; i+1 < len(fields); i++ {
+			if fields[i] == "netmask" {
+				b, err := maskBits(fields[i+1])
+				if err != nil {
+					return fmt.Errorf("emul: %s startup line %d: %w", dc.Hostname, lineNo+1, err)
+				}
+				bits = b
+			}
+		}
+		if strings.HasPrefix(ifName, "lo") {
+			dc.Loopback = addr
+			dc.Interfaces = append(dc.Interfaces, routing.InterfaceConfig{
+				Name: "lo", Addr: addr, Prefix: netip.PrefixFrom(addr, 32), Cost: 1,
+			})
+			continue
+		}
+		dc.Interfaces = append(dc.Interfaces, routing.InterfaceConfig{
+			Name: ifName, Addr: addr,
+			Prefix: netip.PrefixFrom(addr, bits).Masked(), Cost: 1,
+		})
+	}
+	return nil
+}
+
+// maskBits converts a dotted netmask to a prefix length.
+func maskBits(mask string) (int, error) {
+	a, err := netip.ParseAddr(mask)
+	if err != nil || !a.Is4() {
+		return 0, fmt.Errorf("bad netmask %q", mask)
+	}
+	b := a.As4()
+	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	bits := 0
+	for v&0x80000000 != 0 {
+		bits++
+		v <<= 1
+	}
+	if v != 0 {
+		return 0, fmt.Errorf("non-contiguous netmask %q", mask)
+	}
+	return bits, nil
+}
+
+// parseQuaggaOspfd reads interface costs and `router ospf` network
+// statements.
+func parseQuaggaOspfd(dc *routing.DeviceConfig, conf string) error {
+	dc.OSPF = &routing.OSPFConfig{ProcessID: 1}
+	curIface := ""
+	inRouter := false
+	for lineNo, raw := range strings.Split(conf, "\n") {
+		line := strings.TrimSpace(raw)
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch {
+		case fields[0] == "interface" && len(fields) >= 2:
+			curIface = fields[1]
+			inRouter = false
+		case fields[0] == "router" && len(fields) >= 2 && fields[1] == "ospf":
+			inRouter = true
+			curIface = ""
+		case curIface != "" && strings.HasPrefix(line, "ip ospf cost") && len(fields) == 4:
+			cost, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return fmt.Errorf("emul: %s ospfd line %d: bad cost %q", dc.Hostname, lineNo+1, fields[3])
+			}
+			for i := range dc.Interfaces {
+				if dc.Interfaces[i].Name == curIface {
+					dc.Interfaces[i].Cost = cost
+				}
+			}
+		case inRouter && fields[0] == "passive-interface" && len(fields) == 2:
+			for i := range dc.Interfaces {
+				if dc.Interfaces[i].Name == fields[1] {
+					dc.Interfaces[i].Passive = true
+				}
+			}
+		case inRouter && fields[0] == "network" && len(fields) == 4 && fields[2] == "area":
+			p, err := netip.ParsePrefix(fields[1])
+			if err != nil {
+				return fmt.Errorf("emul: %s ospfd line %d: bad network %q", dc.Hostname, lineNo+1, fields[1])
+			}
+			area, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return fmt.Errorf("emul: %s ospfd line %d: bad area %q", dc.Hostname, lineNo+1, fields[3])
+			}
+			dc.OSPF.Networks = append(dc.OSPF.Networks, routing.OSPFNetwork{Prefix: p.Masked(), Area: area})
+		}
+	}
+	return nil
+}
+
+// parseQuaggaIsisd reads the `router isis` block (NET address) and the
+// interfaces enabled with `ip router isis`.
+func parseQuaggaIsisd(dc *routing.DeviceConfig, conf string) error {
+	cfg := &routing.ISISConfig{}
+	curIface := ""
+	for lineNo, raw := range strings.Split(conf, "\n") {
+		line := strings.TrimSpace(raw)
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch {
+		case fields[0] == "interface" && len(fields) >= 2:
+			curIface = fields[1]
+		case fields[0] == "router" && len(fields) >= 3 && fields[1] == "isis":
+			curIface = ""
+		case fields[0] == "net" && len(fields) == 2:
+			cfg.NET = fields[1]
+		case curIface != "" && strings.HasPrefix(line, "ip router isis"):
+			cfg.Interfaces = append(cfg.Interfaces, curIface)
+		case fields[0] == "hostname", fields[0] == "password", fields[0] == "metric-style":
+			// header / cosmetic statements
+		default:
+			if strings.HasPrefix(line, "net ") {
+				return fmt.Errorf("emul: %s isisd line %d: malformed net %q", dc.Hostname, lineNo+1, line)
+			}
+		}
+	}
+	if cfg.NET == "" {
+		return fmt.Errorf("emul: %s: isisd.conf has no NET address", dc.Hostname)
+	}
+	dc.ISIS = cfg
+	return nil
+}
+
+// parseQuaggaBgpd reads the `router bgp` block plus route-maps for MED and
+// local-pref policies.
+func parseQuaggaBgpd(dc *routing.DeviceConfig, conf string) error {
+	bgp := &routing.BGPConfig{}
+	type rmapRef struct {
+		nbr  netip.Addr
+		name string
+		out  bool
+	}
+	var rmapRefs []rmapRef
+	rmapValues := map[string][2]int{} // name -> {med, localpref}
+	curRmap := ""
+	nbrIndex := map[netip.Addr]int{}
+
+	getNbr := func(addr netip.Addr) *routing.BGPNeighbor {
+		if i, ok := nbrIndex[addr]; ok {
+			return &bgp.Neighbors[i]
+		}
+		bgp.Neighbors = append(bgp.Neighbors, routing.BGPNeighbor{Addr: addr})
+		nbrIndex[addr] = len(bgp.Neighbors) - 1
+		return &bgp.Neighbors[len(bgp.Neighbors)-1]
+	}
+
+	for lineNo, raw := range strings.Split(conf, "\n") {
+		line := strings.TrimSpace(raw)
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch {
+		case fields[0] == "router" && len(fields) >= 3 && fields[1] == "bgp":
+			asn, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return fmt.Errorf("emul: %s bgpd line %d: bad ASN %q", dc.Hostname, lineNo+1, fields[2])
+			}
+			bgp.ASN = asn
+			curRmap = ""
+		case fields[0] == "bgp" && len(fields) == 3 && fields[1] == "router-id":
+			rid, err := netip.ParseAddr(fields[2])
+			if err != nil {
+				return fmt.Errorf("emul: %s bgpd line %d: bad router-id", dc.Hostname, lineNo+1)
+			}
+			bgp.RouterID = rid
+		case fields[0] == "network" && len(fields) == 2:
+			p, err := netip.ParsePrefix(fields[1])
+			if err != nil {
+				return fmt.Errorf("emul: %s bgpd line %d: bad network %q", dc.Hostname, lineNo+1, fields[1])
+			}
+			bgp.Networks = append(bgp.Networks, p.Masked())
+		case fields[0] == "neighbor" && len(fields) >= 3:
+			addr, err := netip.ParseAddr(fields[1])
+			if err != nil {
+				return fmt.Errorf("emul: %s bgpd line %d: bad neighbor %q", dc.Hostname, lineNo+1, fields[1])
+			}
+			nbr := getNbr(addr)
+			switch fields[2] {
+			case "remote-as":
+				asn, err := strconv.Atoi(fields[3])
+				if err != nil {
+					return fmt.Errorf("emul: %s bgpd line %d: bad remote-as", dc.Hostname, lineNo+1)
+				}
+				nbr.RemoteASN = asn
+			case "update-source":
+				nbr.UpdateSource = fields[3]
+			case "route-reflector-client":
+				nbr.RRClient = true
+			case "description":
+				nbr.Description = strings.Join(fields[3:], " ")
+			case "route-map":
+				rmapRefs = append(rmapRefs, rmapRef{addr, fields[3], len(fields) > 4 && fields[4] == "out"})
+			}
+		case fields[0] == "route-map" && len(fields) >= 2:
+			curRmap = fields[1]
+			if _, ok := rmapValues[curRmap]; !ok {
+				rmapValues[curRmap] = [2]int{}
+			}
+		case curRmap != "" && fields[0] == "set" && len(fields) >= 3:
+			v, err := strconv.Atoi(fields[len(fields)-1])
+			if err != nil {
+				return fmt.Errorf("emul: %s bgpd line %d: bad set value", dc.Hostname, lineNo+1)
+			}
+			vals := rmapValues[curRmap]
+			switch fields[1] {
+			case "metric":
+				vals[0] = v
+			case "local-preference":
+				vals[1] = v
+			}
+			rmapValues[curRmap] = vals
+		}
+	}
+	// Apply route-maps to neighbors.
+	for _, ref := range rmapRefs {
+		vals, ok := rmapValues[ref.name]
+		if !ok {
+			return fmt.Errorf("emul: %s: neighbor %v references undefined route-map %q", dc.Hostname, ref.nbr, ref.name)
+		}
+		nbr := getNbr(ref.nbr)
+		if ref.out {
+			nbr.MEDOut = vals[0]
+		} else {
+			nbr.LocalPrefIn = vals[1]
+		}
+	}
+	if bgp.ASN == 0 {
+		return fmt.Errorf("emul: %s: bgpd.conf has no router bgp block", dc.Hostname)
+	}
+	dc.BGP = bgp
+	return nil
+}

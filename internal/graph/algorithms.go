@@ -1,0 +1,318 @@
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BFSOrder returns the nodes reachable from start in breadth-first order.
+func (g *Graph) BFSOrder(start ID) []ID {
+	if !g.HasNode(start) {
+		return nil
+	}
+	visited := map[ID]bool{start: true}
+	queue := []ID{start}
+	var out []ID
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		out = append(out, cur)
+		for _, nb := range g.Neighbors(cur) {
+			if !visited[nb] {
+				visited[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return out
+}
+
+// ConnectedComponents returns the connected components of an undirected
+// graph (weakly connected components for directed graphs), each as a slice
+// of IDs, in deterministic order.
+func (g *Graph) ConnectedComponents() [][]ID {
+	und := g
+	if g.directed {
+		und = New()
+		for _, id := range g.order {
+			und.AddNode(id)
+		}
+		for _, e := range g.edgeOrder {
+			und.AddEdge(e.src, e.dst)
+		}
+	}
+	seen := map[ID]bool{}
+	var comps [][]ID
+	for _, id := range und.order {
+		if seen[id] {
+			continue
+		}
+		comp := und.BFSOrder(id)
+		for _, c := range comp {
+			seen[c] = true
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether every node is reachable from every other
+// (ignoring edge direction).
+func (g *Graph) IsConnected() bool {
+	if g.NumNodes() == 0 {
+		return true
+	}
+	return len(g.ConnectedComponents()) == 1
+}
+
+// WeightFunc returns the traversal cost of an edge. Costs must be
+// non-negative for Dijkstra.
+type WeightFunc func(*Edge) float64
+
+// UnitWeight assigns cost 1 to every edge.
+func UnitWeight(*Edge) float64 { return 1 }
+
+// AttrWeight returns a WeightFunc reading a numeric attribute, defaulting to
+// def when the attribute is absent or non-numeric.
+func AttrWeight(key string, def float64) WeightFunc {
+	return func(e *Edge) float64 {
+		if v, ok := ToFloat(e.Get(key)); ok {
+			return v
+		}
+		return def
+	}
+}
+
+// ToFloat converts common numeric attribute representations to float64.
+func ToFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case uint:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+type pqItem struct {
+	id   ID
+	dist float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int      { return len(p) }
+func (p pq) Swap(i, j int) { p[i], p[j] = p[j], p[i] }
+func (p pq) Less(i, j int) bool {
+	if p[i].dist != p[j].dist {
+		return p[i].dist < p[j].dist
+	}
+	return p[i].id < p[j].id // deterministic tie-break
+}
+func (p *pq) Push(x any) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() any {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// Dijkstra computes single-source shortest path distances and predecessor
+// links from start under w. Unreachable nodes are absent from both maps.
+func (g *Graph) Dijkstra(start ID, w WeightFunc) (dist map[ID]float64, prev map[ID]ID) {
+	dist = map[ID]float64{}
+	prev = map[ID]ID{}
+	if !g.HasNode(start) {
+		return dist, prev
+	}
+	dist[start] = 0
+	q := &pq{{start, 0}}
+	done := map[ID]bool{}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.id] {
+			continue
+		}
+		done[it.id] = true
+		for _, e := range g.EdgesOf(it.id) {
+			nb := e.Other(it.id)
+			if g.directed && e.src != it.id {
+				continue
+			}
+			nd := it.dist + w(e)
+			if cur, ok := dist[nb]; !ok || nd < cur || (nd == cur && it.id < prev[nb]) {
+				dist[nb] = nd
+				prev[nb] = it.id
+				heap.Push(q, pqItem{nb, nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+// ShortestPath returns the minimum-cost path from src to dst under w, or an
+// error when dst is unreachable.
+func (g *Graph) ShortestPath(src, dst ID, w WeightFunc) ([]ID, float64, error) {
+	dist, prev := g.Dijkstra(src, w)
+	d, ok := dist[dst]
+	if !ok {
+		return nil, 0, fmt.Errorf("graph: no path from %q to %q", src, dst)
+	}
+	var path []ID
+	for cur := dst; ; {
+		path = append([]ID{cur}, path...)
+		if cur == src {
+			break
+		}
+		cur = prev[cur]
+	}
+	return path, d, nil
+}
+
+// DegreeCentrality returns degree/(n-1) per node, as used by the paper's
+// automated route-reflector selection (§7.1).
+func (g *Graph) DegreeCentrality() map[ID]float64 {
+	out := map[ID]float64{}
+	n := g.NumNodes()
+	if n <= 1 {
+		for _, id := range g.order {
+			out[id] = 0
+		}
+		return out
+	}
+	for _, id := range g.order {
+		out[id] = float64(g.Degree(id)) / float64(n-1)
+	}
+	return out
+}
+
+// ClosenessCentrality returns (reachable)/(sum of distances) per node under
+// unit weights, normalised by the reachable fraction (Wasserman–Faust).
+func (g *Graph) ClosenessCentrality() map[ID]float64 {
+	out := map[ID]float64{}
+	n := g.NumNodes()
+	for _, id := range g.order {
+		dist, _ := g.Dijkstra(id, UnitWeight)
+		sum := 0.0
+		reach := 0
+		for other, d := range dist {
+			if other == id {
+				continue
+			}
+			sum += d
+			reach++
+		}
+		if sum == 0 || n <= 1 {
+			out[id] = 0
+			continue
+		}
+		out[id] = (float64(reach) / sum) * (float64(reach) / float64(n-1))
+	}
+	return out
+}
+
+// BetweennessCentrality computes shortest-path betweenness (Brandes'
+// algorithm, unit weights, normalised by 2/((n-1)(n-2)) for undirected
+// graphs). An alternative to degree centrality for automated
+// route-reflector placement (§7.1's "a centrality algorithm such as ...").
+func (g *Graph) BetweennessCentrality() map[ID]float64 {
+	cb := map[ID]float64{}
+	for _, id := range g.order {
+		cb[id] = 0
+	}
+	for _, s := range g.order {
+		// BFS from s, accumulating predecessor lists and path counts.
+		var stack []ID
+		pred := map[ID][]ID{}
+		sigma := map[ID]float64{s: 1}
+		dist := map[ID]int{s: 0}
+		queue := []ID{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			stack = append(stack, v)
+			for _, w := range g.Neighbors(v) {
+				if _, seen := dist[w]; !seen {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					pred[w] = append(pred[w], v)
+				}
+			}
+		}
+		delta := map[ID]float64{}
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, v := range pred[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != s {
+				cb[w] += delta[w]
+			}
+		}
+	}
+	// Normalise: undirected accumulation counts each pair twice, so
+	// 1/((n-1)(n-2)) yields the conventional [0,1] scale for both kinds.
+	n := float64(g.NumNodes())
+	if n > 2 {
+		norm := 1.0 / ((n - 1) * (n - 2))
+		for id := range cb {
+			cb[id] *= norm
+		}
+	}
+	return cb
+}
+
+// TopKByCentrality returns the k node IDs with the highest scores,
+// tie-broken lexically for determinism.
+func TopKByCentrality(scores map[ID]float64, k int) []ID {
+	ids := make([]ID, 0, len(scores))
+	for id := range scores {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if scores[ids[i]] != scores[ids[j]] {
+			return scores[ids[i]] > scores[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return ids[:k]
+}
+
+// Diameter returns the longest shortest-path length (unit weights) in the
+// graph, or +Inf when disconnected, or 0 for graphs with fewer than 2 nodes.
+func (g *Graph) Diameter() float64 {
+	if g.NumNodes() < 2 {
+		return 0
+	}
+	max := 0.0
+	for _, id := range g.order {
+		dist, _ := g.Dijkstra(id, UnitWeight)
+		if len(dist) < g.NumNodes() {
+			return math.Inf(1)
+		}
+		for _, d := range dist {
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

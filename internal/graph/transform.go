@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Transform functions mirror the paper's attribute-based design helpers
+// (§5.2.4): Split inserts an intermediate node on an edge, Aggregate
+// collapses a node set into one node, Explode removes a node and forms a
+// clique of its neighbours, and GroupBy buckets nodes by an attribute.
+// They are used to build the IP-addressing overlay: point-to-point links are
+// split to insert collision domains, switches are aggregated into a single
+// collision domain, and Explode recovers adjacency through a switch.
+
+// Split removes edge e and inserts a new node mid between its endpoints,
+// connected to both. The new node receives midAttrs; the two new edges each
+// receive a copy of e's attributes. It returns the new node.
+func (g *Graph) Split(e *Edge, mid ID, midAttrs Attrs) (*Node, error) {
+	if g.Edge(e.src, e.dst) != e {
+		return nil, fmt.Errorf("graph: split: edge %s-%s not in graph", e.src, e.dst)
+	}
+	if g.HasNode(mid) {
+		return nil, fmt.Errorf("graph: split: node %q already exists", mid)
+	}
+	src, dst, attrs := e.src, e.dst, e.attrs.Clone()
+	g.removeEdgePtr(e)
+	n := g.AddNode(mid, midAttrs)
+	g.AddEdge(src, mid, attrs.Clone())
+	g.AddEdge(mid, dst, attrs.Clone())
+	return n, nil
+}
+
+// Aggregate collapses the listed nodes into a single new node with the given
+// id and attributes. Edges from the collapsed set to outside nodes are
+// re-attached to the aggregate (duplicates merge); edges internal to the set
+// vanish. It returns the aggregate node.
+func (g *Graph) Aggregate(ids []ID, agg ID, aggAttrs Attrs) (*Node, error) {
+	set := map[ID]bool{}
+	for _, id := range ids {
+		if !g.HasNode(id) {
+			return nil, fmt.Errorf("graph: aggregate: node %q not in graph", id)
+		}
+		set[id] = true
+	}
+	if g.HasNode(agg) && !set[agg] {
+		return nil, fmt.Errorf("graph: aggregate: target %q already exists", agg)
+	}
+	type pending struct {
+		outside ID
+		inbound bool // outside -> aggregate (directed graphs)
+		attrs   Attrs
+	}
+	var edges []pending
+	for _, e := range g.Edges() {
+		sIn, dIn := set[e.src], set[e.dst]
+		switch {
+		case sIn && dIn:
+			// internal edge: dropped
+		case sIn:
+			edges = append(edges, pending{outside: e.dst, inbound: false, attrs: e.attrs.Clone()})
+		case dIn:
+			edges = append(edges, pending{outside: e.src, inbound: true, attrs: e.attrs.Clone()})
+		}
+	}
+	for _, id := range ids {
+		g.RemoveNode(id)
+	}
+	n := g.AddNode(agg, aggAttrs)
+	for _, p := range edges {
+		if g.directed && p.inbound {
+			g.AddEdge(p.outside, agg, p.attrs)
+		} else {
+			g.AddEdge(agg, p.outside, p.attrs)
+		}
+	}
+	return n, nil
+}
+
+// Explode removes node id and connects every pair of its former neighbours
+// (a clique), as used to derive adjacency through a switch. New edges
+// receive edgeAttrs. Existing edges between neighbours are preserved.
+func (g *Graph) Explode(id ID, edgeAttrs Attrs) error {
+	if !g.HasNode(id) {
+		return fmt.Errorf("graph: explode: node %q not in graph", id)
+	}
+	nbs := g.Neighbors(id)
+	g.RemoveNode(id)
+	for i := 0; i < len(nbs); i++ {
+		for j := i + 1; j < len(nbs); j++ {
+			if !g.HasEdge(nbs[i], nbs[j]) {
+				g.AddEdge(nbs[i], nbs[j], edgeAttrs.Clone())
+			}
+		}
+	}
+	return nil
+}
+
+// Group is one bucket returned by GroupBy: the shared attribute value and
+// the member nodes.
+type Group struct {
+	Key     any
+	Members []*Node
+}
+
+// GroupBy buckets the given nodes by the value of attribute key, returning
+// groups sorted by the string form of the key for determinism. Nodes missing
+// the attribute are grouped under nil.
+func GroupBy(nodes []*Node, key string) []Group {
+	buckets := map[string]*Group{}
+	var order []string
+	for _, n := range nodes {
+		v := n.Get(key)
+		ks := fmt.Sprint(v)
+		b, ok := buckets[ks]
+		if !ok {
+			b = &Group{Key: v}
+			buckets[ks] = b
+			order = append(order, ks)
+		}
+		b.Members = append(b.Members, n)
+	}
+	sort.Strings(order)
+	out := make([]Group, 0, len(order))
+	for _, ks := range order {
+		out = append(out, *buckets[ks])
+	}
+	return out
+}
+
+// FilterNodes returns the nodes for which pred is true, preserving order.
+func FilterNodes(nodes []*Node, pred func(*Node) bool) []*Node {
+	var out []*Node
+	for _, n := range nodes {
+		if pred(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// FilterEdges returns the edges for which pred is true, preserving order.
+func FilterEdges(edges []*Edge, pred func(*Edge) bool) []*Edge {
+	var out []*Edge
+	for _, e := range edges {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitEdge(t *testing.T) {
+	g := New()
+	e := g.AddEdge("r1", "r2", Attrs{"speed": 100})
+	mid, err := g.Split(e, "cd_r1_r2", Attrs{"device_type": "collision_domain"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Get("device_type") != "collision_domain" {
+		t.Error("mid attrs lost")
+	}
+	if g.HasEdge("r1", "r2") {
+		t.Error("original edge survives split")
+	}
+	if !g.HasEdge("r1", "cd_r1_r2") || !g.HasEdge("cd_r1_r2", "r2") {
+		t.Error("split edges missing")
+	}
+	if g.Edge("r1", "cd_r1_r2").Get("speed") != 100 {
+		t.Error("edge attrs not propagated")
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Errorf("counts: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	g := New()
+	e := g.AddEdge("a", "b")
+	g.AddNode("mid")
+	if _, err := g.Split(e, "mid", nil); err == nil {
+		t.Error("split onto existing node should fail")
+	}
+	g.RemoveEdge("a", "b")
+	if _, err := g.Split(e, "m2", nil); err == nil {
+		t.Error("split of removed edge should fail")
+	}
+}
+
+func TestAggregateSwitches(t *testing.T) {
+	// sw1-sw2 switch pair with routers hanging off each: aggregating the
+	// switches forms one collision domain attached to all three routers.
+	g := New()
+	g.AddEdge("r1", "sw1")
+	g.AddEdge("r2", "sw1")
+	g.AddEdge("sw1", "sw2")
+	g.AddEdge("sw2", "r3")
+	agg, err := g.Aggregate([]ID{"sw1", "sw2"}, "cd0", Attrs{"device_type": "collision_domain"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Get("device_type") != "collision_domain" {
+		t.Error("agg attrs lost")
+	}
+	if g.HasNode("sw1") || g.HasNode("sw2") {
+		t.Error("aggregated nodes survive")
+	}
+	for _, r := range []ID{"r1", "r2", "r3"} {
+		if !g.HasEdge("cd0", r) {
+			t.Errorf("edge cd0-%s missing", r)
+		}
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("edges = %d, want 3", g.NumEdges())
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	g := New()
+	g.AddNode("a")
+	g.AddNode("t")
+	if _, err := g.Aggregate([]ID{"missing"}, "x", nil); err == nil {
+		t.Error("aggregate of absent node should fail")
+	}
+	if _, err := g.Aggregate([]ID{"a"}, "t", nil); err == nil {
+		t.Error("aggregate onto existing outside node should fail")
+	}
+}
+
+func TestAggregateDirectedPreservesOrientation(t *testing.T) {
+	g := NewDirected()
+	g.AddEdge("x", "m1") // inbound to the set
+	g.AddEdge("m2", "y") // outbound from the set
+	if _, err := g.Aggregate([]ID{"m1", "m2"}, "agg", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge("x", "agg") {
+		t.Error("inbound orientation lost")
+	}
+	if !g.HasEdge("agg", "y") {
+		t.Error("outbound orientation lost")
+	}
+}
+
+func TestExplodeSwitch(t *testing.T) {
+	g := New()
+	g.AddEdge("r1", "sw")
+	g.AddEdge("r2", "sw")
+	g.AddEdge("r3", "sw")
+	if err := g.Explode("sw", Attrs{"via": "sw"}); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasNode("sw") {
+		t.Error("exploded node survives")
+	}
+	want := [][2]ID{{"r1", "r2"}, {"r1", "r3"}, {"r2", "r3"}}
+	for _, p := range want {
+		e := g.Edge(p[0], p[1])
+		if e == nil {
+			t.Fatalf("clique edge %v missing", p)
+		}
+		if e.Get("via") != "sw" {
+			t.Error("clique edge attrs missing")
+		}
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("edges = %d, want 3", g.NumEdges())
+	}
+	if err := g.Explode("absent", nil); err == nil {
+		t.Error("explode of absent node should fail")
+	}
+}
+
+func TestExplodePreservesExistingEdges(t *testing.T) {
+	g := New()
+	g.AddEdge("r1", "sw")
+	g.AddEdge("r2", "sw")
+	g.AddEdge("r1", "r2", Attrs{"direct": true})
+	if err := g.Explode("sw", nil); err != nil {
+		t.Fatal(err)
+	}
+	if g.Edge("r1", "r2").Get("direct") != true {
+		t.Error("existing edge overwritten by explode")
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	g := New()
+	g.AddNode("r1", Attrs{"asn": 1})
+	g.AddNode("r2", Attrs{"asn": 2})
+	g.AddNode("r3", Attrs{"asn": 1})
+	g.AddNode("srv")
+	groups := GroupBy(g.Nodes(), "asn")
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3 (asn 1, asn 2, nil)", len(groups))
+	}
+	// Sorted by string form: "1" < "2" < "<nil>".
+	if groups[0].Key != 1 || len(groups[0].Members) != 2 {
+		t.Errorf("group[0] = %+v", groups[0])
+	}
+	if groups[2].Key != nil || groups[2].Members[0].ID() != "srv" {
+		t.Errorf("nil group wrong: %+v", groups[2])
+	}
+}
+
+func TestFilterNodesAndEdges(t *testing.T) {
+	g := New()
+	g.AddNode("r1", Attrs{"device_type": "router"})
+	g.AddNode("s1", Attrs{"device_type": "server"})
+	g.AddEdge("r1", "s1", Attrs{"type": "physical"})
+	g.AddEdge("s1", "s1", Attrs{"type": "virtual"})
+	routers := FilterNodes(g.Nodes(), func(n *Node) bool { return n.Get("device_type") == "router" })
+	if len(routers) != 1 || routers[0].ID() != "r1" {
+		t.Errorf("router filter = %v", routers)
+	}
+	phys := FilterEdges(g.Edges(), func(e *Edge) bool { return e.Get("type") == "physical" })
+	if len(phys) != 1 {
+		t.Errorf("physical filter = %d", len(phys))
+	}
+	ids := []ID{}
+	for _, n := range routers {
+		ids = append(ids, n.ID())
+	}
+	if !reflect.DeepEqual(ids, []ID{"r1"}) {
+		t.Errorf("ids = %v", ids)
+	}
+}

@@ -1,0 +1,367 @@
+// Package ipalloc implements automatic IP address allocation (paper §5.3).
+// Allocation is "compiler territory": the concrete values are
+// inconsequential as long as they are unique and consistent, so the system
+// assigns them the way a compiler assigns memory.
+//
+// Allocate builds the "ipv4" overlay from the physical topology:
+//
+//  1. Collision domains are derived with the attribute-based functions of
+//     §5.2.4 — point-to-point links are Split with an intermediate
+//     collision-domain node, and connected clusters of switches are
+//     Aggregated into a single collision-domain node.
+//  2. Each AS receives a contiguous infrastructure block, recorded in the
+//     overlay-level data (G_ip.data.infra_blocks), and each collision
+//     domain receives a subnet sized for its member count.
+//  3. Each router receives a /32 loopback from a separate loopback block.
+//
+// The resulting overlay carries, per collision domain, the subnet on the
+// node ("network") and per device-to-domain edge the interface address
+// ("ip"). A Table maps every allocated address back to its owner, which the
+// measurement system uses to translate traceroute output into node names
+// (§6.1).
+package ipalloc
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"autonetkit/internal/core"
+	"autonetkit/internal/graph"
+	"autonetkit/internal/netaddr"
+)
+
+// OverlayIPv4 is the name of the overlay Allocate creates.
+const OverlayIPv4 = "ipv4"
+
+// Node and edge attribute keys written by the allocator.
+const (
+	AttrNetwork  = "network"  // collision domain node: netip.Prefix
+	AttrIP       = "ip"       // device-cd edge: netip.Addr (device side)
+	AttrLoopback = "loopback" // router node: netip.Addr
+	AttrCDID     = "cd"       // device-cd edge: collision domain id
+)
+
+// Config parameterises the default allocator. Zero values select the
+// paper's conventions: infrastructure from 192.168.0.0/16 and loopbacks
+// from 10.0.0.0/8.
+type Config struct {
+	InfraBlock    netip.Prefix
+	LoopbackBlock netip.Prefix
+}
+
+// DefaultConfig returns the paper's default blocks.
+func DefaultConfig() Config {
+	return Config{
+		InfraBlock:    netaddr.MustPrefix("192.168.0.0/16"),
+		LoopbackBlock: netaddr.MustPrefix("10.0.0.0/8"),
+	}
+}
+
+// Entry describes one allocated address.
+type Entry struct {
+	Addr     netip.Addr
+	Node     graph.ID // owning device
+	CD       graph.ID // collision domain ("" for loopbacks)
+	Loopback bool
+}
+
+// Table maps allocated addresses back to their owners.
+type Table struct {
+	byAddr map[netip.Addr]Entry
+}
+
+// Lookup returns the entry for an address.
+func (t *Table) Lookup(a netip.Addr) (Entry, bool) {
+	e, ok := t.byAddr[a]
+	return e, ok
+}
+
+// HostForIP returns the owning node for an address, or "" when unknown.
+func (t *Table) HostForIP(a netip.Addr) graph.ID {
+	if e, ok := t.byAddr[a]; ok {
+		return e.Node
+	}
+	return ""
+}
+
+// Len returns the number of allocated addresses.
+func (t *Table) Len() int { return len(t.byAddr) }
+
+// Entries returns all entries sorted by address, for deterministic dumps.
+func (t *Table) Entries() []Entry {
+	out := make([]Entry, 0, len(t.byAddr))
+	for _, e := range t.byAddr {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Less(out[j].Addr) })
+	return out
+}
+
+// Result is the outcome of an allocation run.
+type Result struct {
+	Overlay *core.Overlay
+	Table   *Table
+	// InfraBlocks maps ASN -> the AS's infrastructure block, also stored in
+	// the overlay data under "infra_blocks".
+	InfraBlocks map[int]netip.Prefix
+}
+
+// Allocator is the plugin interface of §5.3: users can substitute a custom
+// scheme (e.g. the Duerig et al. assignment) without touching the pipeline.
+type Allocator interface {
+	Allocate(anm *core.ANM) (*Result, error)
+}
+
+// Default is the built-in allocator.
+type Default struct {
+	Config Config
+}
+
+// NewDefault returns the built-in allocator with the paper's default blocks.
+func NewDefault() *Default { return &Default{Config: DefaultConfig()} }
+
+// Allocate implements Allocator.
+func (d *Default) Allocate(anm *core.ANM) (*Result, error) {
+	cfg := d.Config
+	if !cfg.InfraBlock.IsValid() {
+		cfg.InfraBlock = DefaultConfig().InfraBlock
+	}
+	if !cfg.LoopbackBlock.IsValid() {
+		cfg.LoopbackBlock = DefaultConfig().LoopbackBlock
+	}
+	if cfg.InfraBlock.Overlaps(cfg.LoopbackBlock) {
+		return nil, fmt.Errorf("ipalloc: infrastructure block %v overlaps loopback block %v", cfg.InfraBlock, cfg.LoopbackBlock)
+	}
+	phy := anm.Overlay(core.OverlayPhy)
+	if phy == nil || phy.NumNodes() == 0 {
+		return nil, fmt.Errorf("ipalloc: physical overlay is missing or empty")
+	}
+	if anm.HasOverlay(OverlayIPv4) {
+		anm.RemoveOverlay(OverlayIPv4)
+	}
+	ip, err := anm.AddOverlay(OverlayIPv4)
+	if err != nil {
+		return nil, err
+	}
+
+	// Mirror the physical topology, then rewrite it into devices +
+	// collision domains.
+	ip.AddNodesFrom(phy.Nodes(), core.AttrASN, core.AttrDeviceType)
+	ip.AddEdgesFrom(phy.Edges(), core.EdgeOpts{})
+	if err := buildCollisionDomains(ip); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Overlay: ip, Table: &Table{byAddr: map[netip.Addr]Entry{}}, InfraBlocks: map[int]netip.Prefix{}}
+	if err := allocateInfra(ip, cfg.InfraBlock, res); err != nil {
+		return nil, err
+	}
+	if err := allocateLoopbacks(ip, phy, cfg.LoopbackBlock, res); err != nil {
+		return nil, err
+	}
+
+	blocks := map[string]any{}
+	for asn, p := range res.InfraBlocks {
+		blocks[fmt.Sprint(asn)] = p
+	}
+	ip.Set("infra_blocks", blocks)
+	ip.Set("loopback_block", cfg.LoopbackBlock)
+	return res, nil
+}
+
+// buildCollisionDomains rewrites the mirrored physical graph: switch
+// clusters aggregate into one collision domain; remaining device-device
+// links are split with a fresh collision-domain node.
+func buildCollisionDomains(ip *core.Overlay) error {
+	// Aggregate each connected cluster of switches.
+	g := ip.Graph()
+	var swIDs []graph.ID
+	for _, n := range ip.Switches() {
+		swIDs = append(swIDs, n.ID())
+	}
+	if len(swIDs) > 0 {
+		swSet := map[graph.ID]bool{}
+		for _, id := range swIDs {
+			swSet[id] = true
+		}
+		sub := g.Subgraph(swIDs)
+		for i, comp := range sub.ConnectedComponents() {
+			cdID := graph.ID(fmt.Sprintf("cd_sw%d", i))
+			asn := ip.Node(comp[0]).ASN()
+			if _, err := ip.AggregateNodes(comp, cdID, graph.Attrs{
+				core.AttrDeviceType: core.DeviceCollisionDomain,
+				core.AttrASN:        asn,
+			}); err != nil {
+				return fmt.Errorf("ipalloc: aggregating switch cluster: %w", err)
+			}
+		}
+	}
+	// Split every remaining device-device edge.
+	for _, e := range ip.Edges() {
+		if e.Src().DeviceType() == core.DeviceCollisionDomain || e.Dst().DeviceType() == core.DeviceCollisionDomain {
+			continue
+		}
+		cdID := graph.ID(fmt.Sprintf("cd_%s_%s", e.SrcID(), e.DstID()))
+		asn := minInt(e.Src().ASN(), e.Dst().ASN())
+		if asn == 0 {
+			asn = maxInt(e.Src().ASN(), e.Dst().ASN())
+		}
+		if _, err := ip.SplitEdge(e.SrcID(), e.DstID(), cdID, graph.Attrs{
+			core.AttrDeviceType: core.DeviceCollisionDomain,
+			core.AttrASN:        asn,
+		}); err != nil {
+			return fmt.Errorf("ipalloc: splitting %v-%v: %w", e.SrcID(), e.DstID(), err)
+		}
+	}
+	return nil
+}
+
+// allocateInfra assigns per-AS blocks and per-collision-domain subnets.
+func allocateInfra(ip *core.Overlay, infra netip.Prefix, res *Result) error {
+	carver, err := netaddr.NewCarver(infra)
+	if err != nil {
+		return err
+	}
+	// Deterministic order: group collision domains by ASN, sorted.
+	type cdInfo struct {
+		id      graph.ID
+		members []core.NodeView
+		bits    int
+	}
+	byASN := map[int][]cdInfo{}
+	var asns []int
+	for _, n := range ip.Nodes() {
+		if n.DeviceType() != core.DeviceCollisionDomain {
+			continue
+		}
+		members := n.Neighbors()
+		bits, err := subnetBitsFor(len(members))
+		if err != nil {
+			return fmt.Errorf("ipalloc: collision domain %s: %w", n.ID(), err)
+		}
+		asn := n.ASN()
+		if _, seen := byASN[asn]; !seen {
+			asns = append(asns, asn)
+		}
+		byASN[asn] = append(byASN[asn], cdInfo{id: n.ID(), members: members, bits: bits})
+	}
+	sort.Ints(asns)
+	for _, asn := range asns {
+		cds := byASN[asn]
+		// Size the AS block: total addresses rounded up to a power of two.
+		need := 0
+		for _, cd := range cds {
+			need += 1 << (32 - cd.bits)
+		}
+		blockBits := 32
+		for (1 << (32 - blockBits)) < need {
+			blockBits--
+		}
+		if blockBits < infra.Bits() {
+			return fmt.Errorf("ipalloc: AS%d needs %d addresses, more than block %v holds", asn, need, infra)
+		}
+		asBlock, err := carver.Next(blockBits)
+		if err != nil {
+			return fmt.Errorf("ipalloc: AS%d: %w", asn, err)
+		}
+		res.InfraBlocks[asn] = asBlock
+		asCarver, err := netaddr.NewCarver(asBlock)
+		if err != nil {
+			return err
+		}
+		for _, cd := range cds {
+			subnet, err := asCarver.Next(cd.bits)
+			if err != nil {
+				return fmt.Errorf("ipalloc: AS%d collision domain %s: %w", asn, cd.id, err)
+			}
+			if err := ip.Node(cd.id).Set(AttrNetwork, subnet); err != nil {
+				return err
+			}
+			for i, m := range cd.members {
+				addr, err := netaddr.NthHost(subnet, i)
+				if err != nil {
+					return fmt.Errorf("ipalloc: %s member %s: %w", cd.id, m.ID(), err)
+				}
+				edge := ip.Edge(cd.id, m.ID())
+				if !edge.IsValid() {
+					edge = ip.Edge(m.ID(), cd.id)
+				}
+				if !edge.IsValid() {
+					return fmt.Errorf("ipalloc: missing edge %s-%s", cd.id, m.ID())
+				}
+				if err := edge.Set(AttrIP, addr); err != nil {
+					return err
+				}
+				if err := edge.Set(AttrCDID, string(cd.id)); err != nil {
+					return err
+				}
+				if prev, dup := res.Table.byAddr[addr]; dup {
+					return fmt.Errorf("ipalloc: address %v allocated twice (%s and %s)", addr, prev.Node, m.ID())
+				}
+				res.Table.byAddr[addr] = Entry{Addr: addr, Node: m.ID(), CD: cd.id}
+			}
+		}
+	}
+	return nil
+}
+
+// allocateLoopbacks assigns /32 loopbacks to routers, in ASN-then-insertion
+// order for stable output.
+func allocateLoopbacks(ip, phy *core.Overlay, block netip.Prefix, res *Result) error {
+	carver, err := netaddr.NewCarver(block)
+	if err != nil {
+		return err
+	}
+	// Skip the all-zeros address for readability (10.0.0.1 first).
+	if _, err := carver.Next(32); err != nil {
+		return err
+	}
+	groups := phy.GroupBy(core.AttrASN)
+	for _, grp := range groups {
+		for _, n := range grp.Members {
+			if !n.IsRouter() {
+				continue
+			}
+			p, err := carver.Next(32)
+			if err != nil {
+				return fmt.Errorf("ipalloc: loopback for %s: %w", n.ID(), err)
+			}
+			addr := p.Addr()
+			if err := ip.Node(n.ID()).Set(AttrLoopback, addr); err != nil {
+				return err
+			}
+			res.Table.byAddr[addr] = Entry{Addr: addr, Node: n.ID(), Loopback: true}
+		}
+	}
+	return nil
+}
+
+// subnetBitsFor returns the prefix length for a collision domain with n
+// members: /30 point-to-point, larger LANs get the smallest prefix with
+// n usable hosts.
+func subnetBitsFor(n int) (int, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("empty collision domain")
+	}
+	for bits := 30; bits >= 2; bits-- {
+		if netaddr.HostCount(netip.PrefixFrom(netip.AddrFrom4([4]byte{}), bits)) >= n {
+			return bits, nil
+		}
+	}
+	return 0, fmt.Errorf("%d members cannot fit any IPv4 subnet", n)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,373 @@
+package ipalloc
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"autonetkit/internal/core"
+	"autonetkit/internal/graph"
+	"autonetkit/internal/netaddr"
+)
+
+// buildPhy creates a physical overlay: Fig. 5's five routers plus an extra
+// server and a switch pair to exercise aggregation.
+func buildPhy(t *testing.T) *core.ANM {
+	t.Helper()
+	anm := core.NewANM()
+	phy := anm.Overlay(core.OverlayPhy)
+	add := func(id graph.ID, asn int, dt string) {
+		phy.AddNode(id, graph.Attrs{core.AttrASN: asn, core.AttrDeviceType: dt})
+	}
+	add("r1", 1, core.DeviceRouter)
+	add("r2", 1, core.DeviceRouter)
+	add("r3", 1, core.DeviceRouter)
+	add("r4", 1, core.DeviceRouter)
+	add("r5", 2, core.DeviceRouter)
+	for _, e := range [][2]graph.ID{{"r1", "r2"}, {"r1", "r3"}, {"r2", "r4"}, {"r3", "r4"}, {"r3", "r5"}, {"r4", "r5"}} {
+		phy.AddEdge(e[0], e[1])
+	}
+	return anm
+}
+
+func allocate(t *testing.T, anm *core.ANM) *Result {
+	t.Helper()
+	res, err := NewDefault().Allocate(anm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCollisionDomainsForP2PLinks(t *testing.T) {
+	anm := buildPhy(t)
+	res := allocate(t, anm)
+	ip := res.Overlay
+	// Six physical links -> six collision domains.
+	cds := ip.NodesWhere(core.AttrDeviceType, core.DeviceCollisionDomain)
+	if len(cds) != 6 {
+		t.Fatalf("collision domains = %d, want 6", len(cds))
+	}
+	// No device-device edges remain.
+	for _, e := range ip.Edges() {
+		sType, dType := e.Src().DeviceType(), e.Dst().DeviceType()
+		if sType != core.DeviceCollisionDomain && dType != core.DeviceCollisionDomain {
+			t.Errorf("device-device edge survived: %v", e)
+		}
+	}
+}
+
+func TestSubnetsAssigned(t *testing.T) {
+	anm := buildPhy(t)
+	res := allocate(t, anm)
+	ip := res.Overlay
+	seen := map[netip.Prefix]graph.ID{}
+	for _, cd := range ip.NodesWhere(core.AttrDeviceType, core.DeviceCollisionDomain) {
+		p, ok := cd.Get(AttrNetwork).(netip.Prefix)
+		if !ok {
+			t.Fatalf("cd %s has no network", cd.ID())
+		}
+		if p.Bits() != 30 {
+			t.Errorf("p2p cd %s subnet = %v, want /30", cd.ID(), p)
+		}
+		if prev, dup := seen[p]; dup {
+			t.Errorf("subnet %v reused by %s and %s", p, prev, cd.ID())
+		}
+		seen[p] = cd.ID()
+		// Members carry in-subnet addresses.
+		for _, m := range cd.Neighbors() {
+			edge := ip.Edge(cd.ID(), m.ID())
+			if !edge.IsValid() {
+				edge = ip.Edge(m.ID(), cd.ID())
+			}
+			a, ok := edge.Get(AttrIP).(netip.Addr)
+			if !ok {
+				t.Fatalf("edge %s-%s has no ip", cd.ID(), m.ID())
+			}
+			if !p.Contains(a) {
+				t.Errorf("interface %v outside subnet %v", a, p)
+			}
+		}
+	}
+}
+
+func TestPerASBlocks(t *testing.T) {
+	anm := buildPhy(t)
+	// Give AS2 an intra-AS link so it owns collision domains of its own
+	// (inter-AS domains are charged to the lower ASN).
+	phy := anm.Overlay(core.OverlayPhy)
+	phy.AddNode("r6", graph.Attrs{core.AttrASN: 2, core.AttrDeviceType: core.DeviceRouter})
+	phy.AddEdge("r5", "r6")
+	res := allocate(t, anm)
+	if len(res.InfraBlocks) != 2 {
+		t.Fatalf("infra blocks = %v", res.InfraBlocks)
+	}
+	b1, b2 := res.InfraBlocks[1], res.InfraBlocks[2]
+	if b1.Overlaps(b2) {
+		t.Errorf("AS blocks overlap: %v %v", b1, b2)
+	}
+	infra := netaddr.MustPrefix("192.168.0.0/16")
+	if !netaddr.Contains(infra, b1) || !netaddr.Contains(infra, b2) {
+		t.Errorf("blocks outside infra: %v %v", b1, b2)
+	}
+	// Every cd subnet sits inside its AS block.
+	for _, cd := range res.Overlay.NodesWhere(core.AttrDeviceType, core.DeviceCollisionDomain) {
+		p := cd.Get(AttrNetwork).(netip.Prefix)
+		asn := cd.ASN()
+		if !netaddr.Contains(res.InfraBlocks[asn], p) {
+			t.Errorf("cd %s subnet %v outside AS%d block %v", cd.ID(), p, asn, res.InfraBlocks[asn])
+		}
+	}
+	// Overlay data mirrors the allocation (paper §5.2.1).
+	blocks, ok := res.Overlay.Get("infra_blocks").(map[string]any)
+	if !ok || blocks["1"] != b1 {
+		t.Errorf("overlay data infra_blocks = %v", res.Overlay.Get("infra_blocks"))
+	}
+}
+
+func TestLoopbacks(t *testing.T) {
+	anm := buildPhy(t)
+	res := allocate(t, anm)
+	seen := map[netip.Addr]bool{}
+	lbBlock := netaddr.MustPrefix("10.0.0.0/8")
+	for _, r := range []graph.ID{"r1", "r2", "r3", "r4", "r5"} {
+		a, ok := res.Overlay.Node(r).Get(AttrLoopback).(netip.Addr)
+		if !ok {
+			t.Fatalf("router %s has no loopback", r)
+		}
+		if seen[a] {
+			t.Errorf("loopback %v duplicated", a)
+		}
+		seen[a] = true
+		if !lbBlock.Contains(a) {
+			t.Errorf("loopback %v outside block", a)
+		}
+	}
+	// First loopback is 10.0.0.1 (all-zeros skipped).
+	if res.Overlay.Node("r1").Get(AttrLoopback).(netip.Addr).String() != "10.0.0.1" {
+		t.Errorf("first loopback = %v", res.Overlay.Node("r1").Get(AttrLoopback))
+	}
+}
+
+func TestServersGetInfraNotLoopback(t *testing.T) {
+	anm := buildPhy(t)
+	phy := anm.Overlay(core.OverlayPhy)
+	phy.AddNode("srv1", graph.Attrs{core.AttrASN: 1, core.AttrDeviceType: core.DeviceServer})
+	phy.AddEdge("srv1", "r1")
+	res := allocate(t, anm)
+	if res.Overlay.Node("srv1").Get(AttrLoopback) != nil {
+		t.Error("server got a loopback")
+	}
+	found := false
+	for _, e := range res.Overlay.Node("srv1").Edges() {
+		if e.Get(AttrIP) != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("server got no infrastructure address")
+	}
+}
+
+func TestSwitchAggregation(t *testing.T) {
+	anm := core.NewANM()
+	phy := anm.Overlay(core.OverlayPhy)
+	for _, r := range []graph.ID{"r1", "r2", "r3"} {
+		phy.AddNode(r, graph.Attrs{core.AttrASN: 1, core.AttrDeviceType: core.DeviceRouter})
+	}
+	phy.AddNode("sw1", graph.Attrs{core.AttrASN: 1, core.AttrDeviceType: core.DeviceSwitch})
+	phy.AddNode("sw2", graph.Attrs{core.AttrASN: 1, core.AttrDeviceType: core.DeviceSwitch})
+	phy.AddEdge("r1", "sw1")
+	phy.AddEdge("r2", "sw1")
+	phy.AddEdge("sw1", "sw2")
+	phy.AddEdge("sw2", "r3")
+	res := allocate(t, anm)
+	ip := res.Overlay
+	cds := ip.NodesWhere(core.AttrDeviceType, core.DeviceCollisionDomain)
+	if len(cds) != 1 {
+		t.Fatalf("collision domains = %d, want 1 (switches merged)", len(cds))
+	}
+	cd := cds[0]
+	if len(cd.Neighbors()) != 3 {
+		t.Errorf("cd members = %d, want 3", len(cd.Neighbors()))
+	}
+	p := cd.Get(AttrNetwork).(netip.Prefix)
+	if p.Bits() != 29 {
+		t.Errorf("3-member cd subnet = /%d, want /29", p.Bits())
+	}
+	// All three routers share the subnet with distinct addresses.
+	addrs := map[netip.Addr]bool{}
+	for _, m := range cd.Neighbors() {
+		e := ip.Edge(cd.ID(), m.ID())
+		if !e.IsValid() {
+			e = ip.Edge(m.ID(), cd.ID())
+		}
+		a := e.Get(AttrIP).(netip.Addr)
+		if addrs[a] {
+			t.Errorf("duplicate member address %v", a)
+		}
+		addrs[a] = true
+		if !p.Contains(a) {
+			t.Errorf("member address %v outside %v", a, p)
+		}
+	}
+}
+
+func TestTableLookups(t *testing.T) {
+	anm := buildPhy(t)
+	res := allocate(t, anm)
+	// 6 cds x 2 members + 5 loopbacks = 17 addresses.
+	if res.Table.Len() != 17 {
+		t.Errorf("table entries = %d, want 17", res.Table.Len())
+	}
+	lb := res.Overlay.Node("r3").Get(AttrLoopback).(netip.Addr)
+	e, ok := res.Table.Lookup(lb)
+	if !ok || e.Node != "r3" || !e.Loopback {
+		t.Errorf("loopback lookup = %+v, %v", e, ok)
+	}
+	if res.Table.HostForIP(lb) != "r3" {
+		t.Error("HostForIP wrong")
+	}
+	if res.Table.HostForIP(netip.MustParseAddr("203.0.113.1")) != "" {
+		t.Error("unknown IP should map to empty")
+	}
+	entries := res.Table.Entries()
+	for i := 1; i < len(entries); i++ {
+		if !entries[i-1].Addr.Less(entries[i].Addr) {
+			t.Fatal("entries not sorted")
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := allocate(t, buildPhy(t))
+	b := allocate(t, buildPhy(t))
+	ea, eb := a.Table.Entries(), b.Table.Entries()
+	if len(ea) != len(eb) {
+		t.Fatal("table sizes differ")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestReallocationReplacesOverlay(t *testing.T) {
+	anm := buildPhy(t)
+	allocate(t, anm)
+	res2 := allocate(t, anm) // second run must not fail on existing overlay
+	if res2.Overlay.NumNodes() == 0 {
+		t.Error("re-allocation produced empty overlay")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	// Empty phy.
+	if _, err := NewDefault().Allocate(core.NewANM()); err == nil {
+		t.Error("empty phy accepted")
+	}
+	// Overlapping blocks.
+	anm := buildPhy(t)
+	bad := &Default{Config: Config{
+		InfraBlock:    netaddr.MustPrefix("10.0.0.0/8"),
+		LoopbackBlock: netaddr.MustPrefix("10.1.0.0/16"),
+	}}
+	if _, err := bad.Allocate(anm); err == nil {
+		t.Error("overlapping blocks accepted")
+	}
+	// Exhaustion: tiny infra block.
+	tiny := &Default{Config: Config{
+		InfraBlock:    netaddr.MustPrefix("198.51.100.0/30"),
+		LoopbackBlock: netaddr.MustPrefix("10.0.0.0/8"),
+	}}
+	if _, err := tiny.Allocate(buildPhy(t)); err == nil {
+		t.Error("exhausted infra block accepted")
+	}
+}
+
+func TestSubnetBitsFor(t *testing.T) {
+	cases := []struct{ n, want int }{{1, 30}, {2, 30}, {3, 29}, {6, 29}, {7, 28}, {14, 28}, {15, 27}}
+	for _, c := range cases {
+		got, err := subnetBitsFor(c.n)
+		if err != nil || got != c.want {
+			t.Errorf("subnetBitsFor(%d) = %d, %v; want %d", c.n, got, err, c.want)
+		}
+	}
+	if _, err := subnetBitsFor(0); err == nil {
+		t.Error("empty cd accepted")
+	}
+}
+
+// Property: on random connected router topologies, every allocated address
+// is unique and every collision domain subnet is disjoint (the paper's
+// "primarily uniqueness and consistency" invariant).
+func TestPropertyUniqueAllocation(t *testing.T) {
+	f := func(edges [][2]uint8, asns []uint8) bool {
+		anm := core.NewANM()
+		phy := anm.Overlay(core.OverlayPhy)
+		if len(edges) == 0 {
+			return true
+		}
+		asnOf := func(i uint8) int {
+			if len(asns) == 0 {
+				return 1
+			}
+			return int(asns[int(i)%len(asns)])%4 + 1
+		}
+		for _, e := range edges {
+			u := graph.ID(rune('a' + e[0]%12))
+			v := graph.ID(rune('a' + e[1]%12))
+			if u == v {
+				continue
+			}
+			phy.AddNode(u, graph.Attrs{core.AttrASN: asnOf(e[0] % 12), core.AttrDeviceType: core.DeviceRouter})
+			phy.AddNode(v, graph.Attrs{core.AttrASN: asnOf(e[1] % 12), core.AttrDeviceType: core.DeviceRouter})
+			phy.AddEdge(u, v)
+		}
+		if phy.NumNodes() == 0 {
+			return true
+		}
+		res, err := NewDefault().Allocate(anm)
+		if err != nil {
+			return false
+		}
+		// Subnet disjointness.
+		var nets []netip.Prefix
+		for _, cd := range res.Overlay.NodesWhere(core.AttrDeviceType, core.DeviceCollisionDomain) {
+			nets = append(nets, cd.Get(AttrNetwork).(netip.Prefix))
+		}
+		for i := range nets {
+			for j := i + 1; j < len(nets); j++ {
+				if nets[i].Overlaps(nets[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterASDomainWithMissingASN(t *testing.T) {
+	// One endpoint lacks an ASN (0): the domain is charged to the other
+	// side's AS rather than AS 0.
+	anm := core.NewANM()
+	phy := anm.Overlay(core.OverlayPhy)
+	phy.AddNode("r1", graph.Attrs{core.AttrASN: 5, core.AttrDeviceType: core.DeviceRouter})
+	phy.AddNode("srv", graph.Attrs{core.AttrDeviceType: core.DeviceServer})
+	phy.AddEdge("r1", "srv")
+	res := allocate(t, anm)
+	cds := res.Overlay.NodesWhere(core.AttrDeviceType, core.DeviceCollisionDomain)
+	if len(cds) != 1 {
+		t.Fatalf("cds = %d", len(cds))
+	}
+	if cds[0].ASN() != 5 {
+		t.Errorf("cd asn = %d, want 5", cds[0].ASN())
+	}
+	if _, ok := res.InfraBlocks[5]; !ok {
+		t.Errorf("blocks = %v", res.InfraBlocks)
+	}
+}

@@ -1,0 +1,374 @@
+package measure
+
+import (
+	"net/netip"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"autonetkit/internal/compile"
+	"autonetkit/internal/core"
+	"autonetkit/internal/design"
+	"autonetkit/internal/emul"
+	"autonetkit/internal/graph"
+	"autonetkit/internal/ipalloc"
+	"autonetkit/internal/render"
+)
+
+// lab builds and starts the Fig. 5 network, returning lab + allocation +
+// the design-time ANM.
+func lab(t *testing.T) (*emul.Lab, *ipalloc.Result, *core.ANM) {
+	t.Helper()
+	anm := core.NewANM()
+	in, err := anm.AddOverlay(core.OverlayInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []struct {
+		id  graph.ID
+		asn int
+	}{{"r1", 1}, {"r2", 1}, {"r3", 1}, {"r4", 1}, {"r5", 2}} {
+		in.AddNode(n.id, graph.Attrs{core.AttrASN: n.asn, core.AttrDeviceType: core.DeviceRouter})
+	}
+	for _, e := range [][2]graph.ID{{"r1", "r2"}, {"r1", "r3"}, {"r2", "r4"}, {"r3", "r4"}, {"r3", "r5"}, {"r4", "r5"}} {
+		in.AddEdge(e[0], e[1], graph.Attrs{"type": "physical"})
+	}
+	if err := design.BuildAll(anm, design.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := ipalloc.NewDefault().Allocate(anm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := compile.Compile(anm, alloc, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := render.Render(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := emul.Load(fs, "localhost", "netkit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	return l, alloc, anm
+}
+
+func client(t *testing.T) (*Client, *ipalloc.Result, *core.ANM, *emul.Lab) {
+	t.Helper()
+	l, alloc, anm := lab(t)
+	c := NewClient(l, func(a netip.Addr) string { return string(alloc.Table.HostForIP(a)) })
+	return c, alloc, anm, l
+}
+
+func TestRunAllParallel(t *testing.T) {
+	c, _, _, l := client(t)
+	results := c.RunAll(l.VMNames(), "show ip ospf neighbor")
+	if len(results) != 5 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Machine, r.Err)
+		}
+	}
+	// Sorted by machine.
+	for i := 1; i < len(results); i++ {
+		if results[i-1].Machine > results[i].Machine {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+// E6: the §6.1 measurement flow — run a traceroute, parse it, translate
+// each hop back into router names.
+func TestE6_TracerouteNameMapping(t *testing.T) {
+	c, alloc, _, _ := client(t)
+	var dst netip.Addr
+	for _, e := range alloc.Table.Entries() {
+		if e.Node == "r5" && !e.Loopback {
+			dst = e.Addr
+			break
+		}
+	}
+	tr, err := c.RunTraceroute("r1", dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Reached {
+		t.Fatalf("traceroute failed: %+v", tr)
+	}
+	path := tr.Path()
+	if path[0] != "r1" {
+		t.Errorf("path[0] = %s", path[0])
+	}
+	if path[len(path)-1] != "r5" {
+		t.Errorf("path end = %s", path[len(path)-1])
+	}
+	// Every hop resolved to a hostname, not a raw address.
+	for _, p := range path {
+		if strings.Contains(p, ".") {
+			t.Errorf("unresolved hop %q in %v", p, path)
+		}
+	}
+}
+
+// §6.1: the hop path collapses to the AS path.
+func TestTracerouteASPath(t *testing.T) {
+	c, alloc, anm, _ := client(t)
+	phy := anm.Overlay(core.OverlayPhy)
+	var dst netip.Addr
+	for _, e := range alloc.Table.Entries() {
+		if e.Node == "r5" && !e.Loopback {
+			dst = e.Addr
+			break
+		}
+	}
+	tr, err := c.RunTraceroute("r1", dst)
+	if err != nil || !tr.Reached {
+		t.Fatalf("%v %+v", err, tr)
+	}
+	asPath := tr.ASPath(func(host string) int {
+		return phy.Node(graph.ID(host)).ASN()
+	})
+	if !reflect.DeepEqual(asPath, []int{1, 2}) {
+		t.Errorf("AS path = %v, want [1 2]", asPath)
+	}
+	// Unknown hosts are skipped.
+	empty := tr.ASPath(func(string) int { return 0 })
+	if len(empty) != 0 {
+		t.Errorf("unknown-only AS path = %v", empty)
+	}
+}
+
+func TestParseTracerouteText(t *testing.T) {
+	c := NewClient(stubTarget{}, func(a netip.Addr) string {
+		if a == netip.MustParseAddr("192.168.1.34") {
+			return "as300r2"
+		}
+		return ""
+	})
+	// The paper's §6.1 output snippet shape.
+	text := " 1  192.168.1.34  0 ms\n 2  192.168.1.25  0 ms\n"
+	tr, err := c.ParseTraceroute("as300r3", netip.MustParseAddr("192.168.1.25"), text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Hops) != 2 || !tr.Reached {
+		t.Fatalf("tr = %+v", tr)
+	}
+	if tr.Hops[0].Host != "as300r2" {
+		t.Errorf("hop host = %q", tr.Hops[0].Host)
+	}
+	if got := tr.Path(); !reflect.DeepEqual(got, []string{"as300r3", "as300r2", "192.168.1.25"}) {
+		t.Errorf("path = %v", got)
+	}
+}
+
+type stubTarget struct{}
+
+func (stubTarget) Exec(machine, command string) (string, error) { return "", nil }
+func (stubTarget) VMNames() []string                            { return nil }
+
+func TestOSPFAdjacencies(t *testing.T) {
+	c, _, _, _ := client(t)
+	adjs, err := c.OSPFAdjacencies("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adjs) != 2 {
+		t.Fatalf("adjacencies = %+v", adjs)
+	}
+	remotes := map[string]bool{}
+	for _, a := range adjs {
+		remotes[a.Remote] = true
+		if a.Interface == "" {
+			t.Error("interface missing")
+		}
+	}
+	if !remotes["r2"] || !remotes["r3"] {
+		t.Errorf("remotes = %v", remotes)
+	}
+}
+
+// E12: design-vs-measured validation — the measured OSPF graph equals the
+// design overlay; a sabotaged lab is detected.
+func TestE12_Validation(t *testing.T) {
+	c, _, anm, l := client(t)
+	measured, err := c.MeasuredOSPFGraph(l.VMNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	designed := anm.Overlay(design.OverlayOSPF).Graph()
+	diff := Compare(designed, measured)
+	if !diff.OK() {
+		t.Fatalf("validation failed: %v", diff)
+	}
+	if diff.String() != "measured topology matches design" {
+		t.Errorf("diff string = %q", diff.String())
+	}
+}
+
+func TestValidationDetectsMissingAdjacency(t *testing.T) {
+	c, _, anm, l := client(t)
+	measured, err := c.MeasuredOSPFGraph(l.VMNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the measurement: drop one adjacency.
+	measured.RemoveEdge("r1", "r2")
+	measured.AddEdge("r1", "r4") // and add a phantom one
+	diff := Compare(anm.Overlay(design.OverlayOSPF).Graph(), measured)
+	if diff.OK() {
+		t.Fatal("sabotage undetected")
+	}
+	if len(diff.MissingEdges) != 1 || diff.MissingEdges[0] != [2]graph.ID{"r1", "r2"} {
+		t.Errorf("missing = %v", diff.MissingEdges)
+	}
+	if len(diff.ExtraEdges) != 1 || diff.ExtraEdges[0] != [2]graph.ID{"r1", "r4"} {
+		t.Errorf("extra = %v", diff.ExtraEdges)
+	}
+	if !strings.Contains(diff.String(), "1 missing edges") {
+		t.Errorf("diff string = %q", diff.String())
+	}
+}
+
+func TestCompareMissingNodes(t *testing.T) {
+	a := graph.New()
+	a.AddEdge("x", "y")
+	b := graph.New()
+	b.AddNode("x")
+	d := Compare(a, b)
+	if len(d.MissingNodes) != 1 || d.MissingNodes[0] != "y" {
+		t.Errorf("missing nodes = %v", d.MissingNodes)
+	}
+}
+
+func TestNilResolver(t *testing.T) {
+	c := NewClient(stubTarget{}, nil)
+	tr, err := c.ParseTraceroute("src", netip.MustParseAddr("10.0.0.1"), " 1  10.0.0.1  0 ms\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Hops[0].Host != "" {
+		t.Error("nil resolver should yield empty hosts")
+	}
+	if got := tr.Path(); got[1] != "10.0.0.1" {
+		t.Errorf("path falls back to address: %v", got)
+	}
+}
+
+func TestBGPTableParsing(t *testing.T) {
+	c, _, _, _ := client(t)
+	entries, err := c.BGPTable("r5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no entries")
+	}
+	foundAS1 := false
+	for _, e := range entries {
+		if len(e.ASPath) == 1 && e.ASPath[0] == 1 {
+			foundAS1 = true
+			if !e.NextHop.IsValid() {
+				t.Error("next hop missing")
+			}
+		}
+	}
+	if !foundAS1 {
+		t.Errorf("AS1 routes missing from r5's table: %+v", entries)
+	}
+}
+
+// AS-level validation: the measured AS graph (from BGP tables) is a
+// subgraph of the designed eBGP AS adjacency, and covers the ASes that
+// actually carry routes.
+func TestMeasuredASGraph(t *testing.T) {
+	c, _, anm, l := client(t)
+	phy := anm.Overlay(core.OverlayPhy)
+	asnOf := func(host string) int { return phy.Node(graph.ID(host)).ASN() }
+	measured, err := c.MeasuredASGraph(l.VMNames(), asnOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Design-side AS adjacency from the ebgp overlay.
+	designed := graph.New()
+	for _, e := range anm.Overlay(design.OverlayEBGP).Edges() {
+		designed.AddEdge(
+			graph.ID(strconv.Itoa(e.Src().ASN())),
+			graph.ID(strconv.Itoa(e.Dst().ASN())))
+	}
+	// Measured edges must be designed edges (no phantom AS adjacency).
+	for _, e := range measured.Edges() {
+		if !designed.HasEdge(e.Src(), e.Dst()) {
+			t.Errorf("measured AS edge %v-%v not in design", e.Src(), e.Dst())
+		}
+	}
+	// The single inter-AS link is used in both directions.
+	if !measured.HasEdge("1", "2") {
+		t.Errorf("AS1-AS2 adjacency missing: %v", measured)
+	}
+}
+
+// IS-IS lab validation: measured IS-IS adjacencies equal the design
+// IS-IS overlay (the §7 extension closed through the §8 loop).
+func TestMeasuredISISGraph(t *testing.T) {
+	anm := core.NewANM()
+	in, err := anm.AddOverlay(core.OverlayInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []struct {
+		id  graph.ID
+		asn int
+	}{{"r1", 1}, {"r2", 1}, {"r3", 1}} {
+		in.AddNode(n.id, graph.Attrs{core.AttrASN: n.asn, core.AttrDeviceType: core.DeviceRouter})
+	}
+	in.AddEdge("r1", "r2", graph.Attrs{"type": "physical"})
+	in.AddEdge("r2", "r3", graph.Attrs{"type": "physical"})
+	if err := design.BuildAll(anm, design.Options{IGP: design.IGPISIS}); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := ipalloc.NewDefault().Allocate(anm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := compile.Compile(anm, alloc, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := render.Render(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := emul.Load(fs, "localhost", "netkit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(l, nil)
+	measured, err := c.MeasuredISISGraph(l.VMNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if measured.NumEdges() != 2 || !measured.HasEdge("r1", "r2") || !measured.HasEdge("r2", "r3") {
+		t.Errorf("measured isis graph wrong: %v", measured)
+	}
+	// The design IS-IS overlay (directed, bidirected) agrees after
+	// folding to undirected form.
+	designed := graph.New()
+	for _, e := range anm.Overlay(design.OverlayISIS).Edges() {
+		designed.AddEdge(e.SrcID(), e.DstID())
+	}
+	if diff := Compare(designed, measured); !diff.OK() {
+		t.Errorf("isis validation failed: %v", diff)
+	}
+}

@@ -1,0 +1,282 @@
+// Package textfsm implements the subset of Google's TextFSM template
+// language the paper's measurement system uses (§5.7) to parse command
+// output back into structured records. A template declares typed values and
+// a state machine of regular-expression rules:
+//
+//	Value HOP (\d+)
+//	Value ADDRESS (\d+\.\d+\.\d+\.\d+)
+//
+//	Start
+//	  ^\s*${HOP}\s+${ADDRESS} -> Record
+//
+// Supported Value options: Required, Filldown, List. Supported rule
+// actions: Record, Clear, Next (default), and state transitions.
+package textfsm
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Value is one declared capture.
+type Value struct {
+	Name     string
+	Pattern  string
+	Required bool
+	Filldown bool
+	List     bool
+}
+
+type rule struct {
+	re      *regexp.Regexp
+	names   []string // value names captured by this rule
+	record  bool
+	clear   bool
+	toState string
+}
+
+// Template is a compiled TextFSM template.
+type Template struct {
+	values map[string]Value
+	order  []string
+	states map[string][]rule
+}
+
+// Record is one emitted row: value name to captured string (or []string for
+// List values).
+type Record map[string]any
+
+// Parse compiles template source.
+func Parse(src string) (*Template, error) {
+	t := &Template{values: map[string]Value{}, states: map[string][]rule{}}
+	lines := strings.Split(src, "\n")
+	i := 0
+	// Value declarations.
+	for ; i < len(lines); i++ {
+		line := strings.TrimRight(lines[i], " \r")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if trimmed != "Value" && !strings.HasPrefix(trimmed, "Value ") {
+			break
+		}
+		fields := strings.Fields(trimmed)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("textfsm: malformed Value line %d: %q", i+1, trimmed)
+		}
+		v := Value{}
+		idx := 1
+		// Options are the known keywords; the first other token is the
+		// value name (patterns may contain spaces, so they cannot bound
+		// the scan).
+	optionScan:
+		for ; idx < len(fields)-1; idx++ {
+			switch fields[idx] {
+			case "Required":
+				v.Required = true
+			case "Filldown":
+				v.Filldown = true
+			case "List":
+				v.List = true
+			default:
+				break optionScan
+			}
+		}
+		if idx > len(fields)-2 {
+			return nil, fmt.Errorf("textfsm: malformed Value line %d: %q", i+1, trimmed)
+		}
+		v.Name = fields[idx]
+		pat := strings.Join(fields[idx+1:], " ")
+		if !strings.HasPrefix(pat, "(") || !strings.HasSuffix(pat, ")") {
+			return nil, fmt.Errorf("textfsm: Value pattern must be parenthesised on line %d: %q", i+1, pat)
+		}
+		v.Pattern = pat
+		if _, dup := t.values[v.Name]; dup {
+			return nil, fmt.Errorf("textfsm: duplicate Value %q", v.Name)
+		}
+		t.values[v.Name] = v
+		t.order = append(t.order, v.Name)
+	}
+	// States.
+	curState := ""
+	for ; i < len(lines); i++ {
+		line := strings.TrimRight(lines[i], " \r")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, " ") && !strings.HasPrefix(line, "\t") {
+			curState = trimmed
+			if _, dup := t.states[curState]; dup {
+				return nil, fmt.Errorf("textfsm: duplicate state %q", curState)
+			}
+			t.states[curState] = nil
+			continue
+		}
+		if curState == "" {
+			return nil, fmt.Errorf("textfsm: rule before any state on line %d", i+1)
+		}
+		r, err := t.compileRule(trimmed)
+		if err != nil {
+			return nil, fmt.Errorf("textfsm: line %d: %w", i+1, err)
+		}
+		t.states[curState] = append(t.states[curState], r)
+	}
+	if _, ok := t.states["Start"]; !ok {
+		return nil, fmt.Errorf("textfsm: template has no Start state")
+	}
+	return t, nil
+}
+
+// MustParse panics on error; for embedded reference templates.
+func MustParse(src string) *Template {
+	t, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Template) compileRule(src string) (rule, error) {
+	pattern := src
+	action := ""
+	if idx := strings.LastIndex(src, "->"); idx >= 0 {
+		pattern = strings.TrimSpace(src[:idx])
+		action = strings.TrimSpace(src[idx+2:])
+	}
+	r := rule{}
+	// Substitute ${NAME} with named capture groups.
+	var names []string
+	expanded := pattern
+	for _, name := range t.order {
+		placeholder := "${" + name + "}"
+		if strings.Contains(expanded, placeholder) {
+			v := t.values[name]
+			group := fmt.Sprintf("(?P<%s>%s)", name, v.Pattern[1:len(v.Pattern)-1])
+			expanded = strings.ReplaceAll(expanded, placeholder, group)
+			names = append(names, name)
+		}
+	}
+	if strings.Contains(expanded, "${") {
+		return rule{}, fmt.Errorf("rule references undeclared value: %q", pattern)
+	}
+	re, err := regexp.Compile(expanded)
+	if err != nil {
+		return rule{}, fmt.Errorf("bad rule regexp %q: %w", expanded, err)
+	}
+	r.re = re
+	r.names = names
+	for _, a := range strings.Fields(action) {
+		switch a {
+		case "Record":
+			r.record = true
+		case "Clear":
+			r.clear = true
+		case "Next", "":
+		default:
+			r.toState = a
+		}
+	}
+	if r.toState != "" {
+		if _, ok := t.states[r.toState]; !ok {
+			// Allow forward references; verified at run time instead.
+			_ = r.toState
+		}
+	}
+	return r, nil
+}
+
+// ParseText runs input through the state machine, returning the emitted
+// records.
+func (t *Template) ParseText(input string) ([]Record, error) {
+	state := "Start"
+	current := t.freshRow()
+	var out []Record
+
+	emit := func() {
+		// Required values must be present.
+		for _, name := range t.order {
+			v := t.values[name]
+			if v.Required {
+				if val, ok := current[name]; !ok || val == "" {
+					return
+				}
+			}
+		}
+		rec := Record{}
+		for _, name := range t.order {
+			if v, ok := current[name]; ok {
+				rec[name] = v
+			} else if t.values[name].List {
+				rec[name] = []string{}
+			} else {
+				rec[name] = ""
+			}
+		}
+		out = append(out, rec)
+		next := t.freshRow()
+		// Filldown values persist.
+		for _, name := range t.order {
+			if t.values[name].Filldown {
+				if v, ok := current[name]; ok {
+					next[name] = v
+				}
+			}
+		}
+		current = next
+	}
+
+	for _, line := range strings.Split(input, "\n") {
+		rules, ok := t.states[state]
+		if !ok {
+			return nil, fmt.Errorf("textfsm: transition to undefined state %q", state)
+		}
+		for _, r := range rules {
+			m := r.re.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for gi, gname := range r.re.SubexpNames() {
+				if gname == "" || gi >= len(m) {
+					continue
+				}
+				if t.values[gname].List {
+					lst, _ := current[gname].([]string)
+					current[gname] = append(lst, m[gi])
+				} else {
+					current[gname] = m[gi]
+				}
+			}
+			if r.clear {
+				current = t.freshRow()
+			}
+			if r.record {
+				emit()
+			}
+			if r.toState != "" {
+				state = r.toState
+			}
+			break // first matching rule wins
+		}
+	}
+	return out, nil
+}
+
+func (t *Template) freshRow() map[string]any {
+	row := map[string]any{}
+	for _, name := range t.order {
+		if t.values[name].List {
+			row[name] = []string{}
+		}
+	}
+	return row
+}
+
+// ValueNames returns the declared value names in order.
+func (t *Template) ValueNames() []string {
+	out := make([]string, len(t.order))
+	copy(out, t.order)
+	return out
+}

@@ -1,0 +1,220 @@
+package textfsm
+
+import (
+	"reflect"
+	"testing"
+)
+
+const tracerouteTemplate = `Value HOP (\d+)
+Value ADDRESS (\d+\.\d+\.\d+\.\d+)
+
+Start
+  ^\s*${HOP}\s+${ADDRESS} -> Record
+`
+
+func TestTracerouteTemplate(t *testing.T) {
+	tpl, err := Parse(tracerouteTemplate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := `traceroute to 192.168.1.2, 30 hops max
+ 1  192.168.1.34  0 ms
+ 2  192.168.1.25  0 ms
+ 3  192.168.1.82  0 ms
+`
+	recs, err := tpl.ParseText(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d: %v", len(recs), recs)
+	}
+	if recs[0]["HOP"] != "1" || recs[0]["ADDRESS"] != "192.168.1.34" {
+		t.Errorf("rec[0] = %v", recs[0])
+	}
+	if recs[2]["ADDRESS"] != "192.168.1.82" {
+		t.Errorf("rec[2] = %v", recs[2])
+	}
+}
+
+func TestValueOptions(t *testing.T) {
+	src := `Value Filldown INTERFACE (\S+)
+Value Required NEIGHBOR (\d+\.\d+\.\d+\.\d+)
+
+Start
+  ^Interface ${INTERFACE}
+  ^\s+neighbor ${NEIGHBOR} -> Record
+`
+	tpl, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := `Interface eth0
+  neighbor 10.0.0.1
+  neighbor 10.0.0.2
+Interface eth1
+  neighbor 10.0.0.3
+  no neighbor here
+`
+	recs, err := tpl.ParseText(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %v", recs)
+	}
+	if recs[1]["INTERFACE"] != "eth0" {
+		t.Errorf("filldown failed: %v", recs[1])
+	}
+	if recs[2]["INTERFACE"] != "eth1" {
+		t.Errorf("filldown not updated: %v", recs[2])
+	}
+}
+
+func TestRequiredSuppressesEmptyRecord(t *testing.T) {
+	src := `Value Required X (\d+)
+
+Start
+  ^go -> Record
+  ^x=${X}
+`
+	tpl := MustParse(src)
+	recs, err := tpl.ParseText("go\nx=5\ngo\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First "go" has no X captured yet -> suppressed; second has X=5.
+	if len(recs) != 1 || recs[0]["X"] != "5" {
+		t.Errorf("records = %v", recs)
+	}
+}
+
+func TestListValues(t *testing.T) {
+	src := `Value List AS_PATH (\d+)
+Value PREFIX (\S+/\d+)
+
+Start
+  ^prefix ${PREFIX}
+  ^as ${AS_PATH}
+  ^end -> Record
+`
+	tpl := MustParse(src)
+	recs, err := tpl.ParseText("prefix 10.0.0.0/8\nas 100\nas 200\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("records = %v", recs)
+	}
+	if !reflect.DeepEqual(recs[0]["AS_PATH"], []string{"100", "200"}) {
+		t.Errorf("list = %v", recs[0]["AS_PATH"])
+	}
+}
+
+func TestStateTransitions(t *testing.T) {
+	src := `Value NAME (\S+)
+
+Start
+  ^BEGIN -> Body
+
+Body
+  ^item ${NAME} -> Record
+  ^END -> Start
+`
+	tpl := MustParse(src)
+	recs, err := tpl.ParseText("item skipped\nBEGIN\nitem one\nitem two\nEND\nitem alsoskipped\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0]["NAME"] != "one" || recs[1]["NAME"] != "two" {
+		t.Errorf("records = %v", recs)
+	}
+}
+
+func TestClearAction(t *testing.T) {
+	src := `Value A (\d+)
+
+Start
+  ^a=${A}
+  ^reset -> Clear
+  ^emit -> Record
+`
+	tpl := MustParse(src)
+	recs, err := tpl.ParseText("a=1\nreset\nemit\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0]["A"] != "" {
+		t.Errorf("clear failed: %v", recs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"Value\n\nStart\n",                              // malformed Value
+		"Value Bogus X (\\d+)\n\nStart\n",               // unknown option
+		"Value X \\d+\n\nStart\n",                       // unparenthesised pattern
+		"Value X (\\d+)\nValue X (\\d+)\n\nStart\n",     // duplicate
+		"Value X (\\d+)\n\nBody\n  ^x\n",                // no Start state
+		"  ^orphan rule\n",                              // rule before state
+		"Value X (\\d+)\n\nStart\n  ^${Y} -> Record\n",  // undeclared value
+		"Value X (\\d+)\n\nStart\n  ^${X}[ -> Record\n", // bad regexp
+		"Value X (\\d+)\n\nStart\n  ^a\nStart\n  ^b\n",  // duplicate state
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestRuntimeUndefinedState(t *testing.T) {
+	tpl := MustParse("Value X (\\d+)\n\nStart\n  ^go -> Elsewhere\n")
+	if _, err := tpl.ParseText("go\n"); err == nil {
+		t.Error("undefined state transition accepted")
+	}
+}
+
+func TestValueNames(t *testing.T) {
+	tpl := MustParse(tracerouteTemplate)
+	if !reflect.DeepEqual(tpl.ValueNames(), []string{"HOP", "ADDRESS"}) {
+		t.Errorf("names = %v", tpl.ValueNames())
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	src := `Value X (\S+)
+
+Start
+  ^stop -> Record
+  ^${X}
+`
+	tpl := MustParse(src)
+	recs, err := tpl.ParseText("word\nstop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0]["X"] != "word" {
+		t.Errorf("records = %v", recs)
+	}
+}
+
+func TestValuePatternWithSpaces(t *testing.T) {
+	src := "Value PATH ([\\d ]*?)\n\nStart\n  ^path ${PATH}$ -> Record\n"
+	tpl, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := tpl.ParseText("path 1 2 3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0]["PATH"] != "1 2 3" {
+		t.Errorf("records = %v", recs)
+	}
+	// Options still recognised before a spaced pattern.
+	src2 := "Value Required PATH ([\\d ]*)\n\nStart\n  ^p ${PATH}$ -> Record\n"
+	if _, err := Parse(src2); err != nil {
+		t.Errorf("option + spaced pattern rejected: %v", err)
+	}
+}

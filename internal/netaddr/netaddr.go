@@ -1,0 +1,224 @@
+// Package netaddr provides the IPv4 prefix arithmetic the allocation and
+// service layers need: carving sub-blocks out of a parent prefix, iterating
+// hosts, and producing reverse-DNS names. The paper's implementation leans
+// on Python's netaddr library (§5.3); this is the required subset built on
+// net/netip.
+package netaddr
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// MustPrefix parses a CIDR prefix and panics on error; intended for
+// constants and tests.
+func MustPrefix(s string) netip.Prefix {
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p.Masked()
+}
+
+// addrToUint32 converts an IPv4 address to its integer form.
+func addrToUint32(a netip.Addr) uint32 {
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// uint32ToAddr converts an integer to an IPv4 address.
+func uint32ToAddr(v uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// AddOffset returns addr + n (IPv4 arithmetic, wrapping is an error).
+func AddOffset(addr netip.Addr, n uint32) (netip.Addr, error) {
+	if !addr.Is4() {
+		return netip.Addr{}, fmt.Errorf("netaddr: %v is not IPv4", addr)
+	}
+	v := addrToUint32(addr)
+	if v+n < v {
+		return netip.Addr{}, fmt.Errorf("netaddr: %v + %d overflows IPv4 space", addr, n)
+	}
+	return uint32ToAddr(v + n), nil
+}
+
+// NthSubnet returns the i-th (0-based) subnet of the given newBits length
+// carved from parent: NthSubnet(10.0.0.0/8, 16, 2) = 10.2.0.0/16.
+func NthSubnet(parent netip.Prefix, newBits int, i int) (netip.Prefix, error) {
+	parent = parent.Masked()
+	if !parent.Addr().Is4() {
+		return netip.Prefix{}, fmt.Errorf("netaddr: parent %v is not IPv4", parent)
+	}
+	if newBits < parent.Bits() || newBits > 32 {
+		return netip.Prefix{}, fmt.Errorf("netaddr: cannot carve /%d from %v", newBits, parent)
+	}
+	count := 1 << (newBits - parent.Bits())
+	if i < 0 || i >= count {
+		return netip.Prefix{}, fmt.Errorf("netaddr: subnet index %d out of range (%v has %d /%d subnets)", i, parent, count, newBits)
+	}
+	base := addrToUint32(parent.Addr())
+	step := uint32(1) << (32 - newBits)
+	return netip.PrefixFrom(uint32ToAddr(base+uint32(i)*step), newBits), nil
+}
+
+// SubnetCount returns how many /newBits subnets fit inside parent.
+func SubnetCount(parent netip.Prefix, newBits int) int {
+	if newBits < parent.Bits() || newBits > 32 {
+		return 0
+	}
+	return 1 << (newBits - parent.Bits())
+}
+
+// HostCount returns the number of usable host addresses in an IPv4 prefix
+// (excludes network and broadcast for prefixes shorter than /31; /31 and
+// /32 follow point-to-point conventions).
+func HostCount(p netip.Prefix) int {
+	switch bits := p.Bits(); {
+	case bits == 32:
+		return 1
+	case bits == 31:
+		return 2
+	default:
+		return (1 << (32 - bits)) - 2
+	}
+}
+
+// NthHost returns the i-th (0-based) usable host address of an IPv4 prefix.
+// For /31 and /32 the raw addresses are used; otherwise the network and
+// broadcast addresses are skipped.
+func NthHost(p netip.Prefix, i int) (netip.Addr, error) {
+	p = p.Masked()
+	n := HostCount(p)
+	if i < 0 || i >= n {
+		return netip.Addr{}, fmt.Errorf("netaddr: host index %d out of range for %v (%d hosts)", i, p, n)
+	}
+	off := uint32(i)
+	if p.Bits() < 31 {
+		off++ // skip network address
+	}
+	return AddOffset(p.Addr(), off)
+}
+
+// Broadcast returns the broadcast (highest) address of an IPv4 prefix.
+func Broadcast(p netip.Prefix) netip.Addr {
+	p = p.Masked()
+	base := addrToUint32(p.Addr())
+	size := uint32(1) << (32 - p.Bits())
+	return uint32ToAddr(base + size - 1)
+}
+
+// Netmask returns the dotted-quad netmask of the prefix, e.g. /24 →
+// 255.255.255.0, as required by Quagga/IOS interface syntax.
+func Netmask(p netip.Prefix) string {
+	var m uint32
+	if p.Bits() > 0 {
+		m = ^uint32(0) << (32 - p.Bits())
+	}
+	return uint32ToAddr(m).String()
+}
+
+// WildcardMask returns the inverse mask (e.g. /24 → 0.0.0.255), as used by
+// IOS `network ... area` statements.
+func WildcardMask(p netip.Prefix) string {
+	var m uint32
+	if p.Bits() > 0 {
+		m = ^uint32(0) << (32 - p.Bits())
+	}
+	return uint32ToAddr(^m).String()
+}
+
+// Contains reports whether sub is fully contained in parent.
+func Contains(parent, sub netip.Prefix) bool {
+	return parent.Bits() <= sub.Bits() && parent.Contains(sub.Addr())
+}
+
+// Overlaps reports whether the two prefixes share any address.
+func Overlaps(a, b netip.Prefix) bool { return a.Overlaps(b) }
+
+// ReverseName returns the in-addr.arpa PTR name for an IPv4 address, e.g.
+// 192.168.1.5 → "5.1.168.192.in-addr.arpa".
+func ReverseName(a netip.Addr) string {
+	b := a.As4()
+	return fmt.Sprintf("%d.%d.%d.%d.in-addr.arpa", b[3], b[2], b[1], b[0])
+}
+
+// ReverseZone returns the in-addr.arpa zone name covering an IPv4 prefix at
+// the enclosing /8, /16 or /24 boundary, e.g. 192.168.1.0/30 →
+// "1.168.192.in-addr.arpa".
+func ReverseZone(p netip.Prefix) string {
+	b := p.Masked().Addr().As4()
+	switch {
+	case p.Bits() > 16:
+		return fmt.Sprintf("%d.%d.%d.in-addr.arpa", b[2], b[1], b[0])
+	case p.Bits() > 8:
+		return fmt.Sprintf("%d.%d.in-addr.arpa", b[1], b[0])
+	default:
+		return fmt.Sprintf("%d.in-addr.arpa", b[0])
+	}
+}
+
+// Carver hands out consecutive, non-overlapping child prefixes from a
+// parent block. It is the core primitive of the IP allocator (§5.3).
+type Carver struct {
+	parent netip.Prefix
+	next   uint32 // offset (in addresses) of the next free byte of space
+}
+
+// NewCarver returns a Carver over the given IPv4 parent block.
+func NewCarver(parent netip.Prefix) (*Carver, error) {
+	parent = parent.Masked()
+	if !parent.Addr().Is4() {
+		return nil, fmt.Errorf("netaddr: carver parent %v is not IPv4", parent)
+	}
+	return &Carver{parent: parent}, nil
+}
+
+// Parent returns the block being carved.
+func (c *Carver) Parent() netip.Prefix { return c.parent }
+
+// Remaining returns how many addresses are still unallocated.
+func (c *Carver) Remaining() uint32 {
+	size := uint32(1) << (32 - c.parent.Bits())
+	return size - c.next
+}
+
+// Next carves the next aligned /bits prefix from the parent, or errors when
+// the block is exhausted.
+func (c *Carver) Next(bits int) (netip.Prefix, error) {
+	if bits < c.parent.Bits() || bits > 32 {
+		return netip.Prefix{}, fmt.Errorf("netaddr: cannot carve /%d from %v", bits, c.parent)
+	}
+	size := uint32(1) << (32 - bits)
+	// Align the cursor up to the subnet size.
+	aligned := (c.next + size - 1) &^ (size - 1)
+	total := uint32(1) << (32 - c.parent.Bits())
+	if aligned+size > total || aligned+size < aligned {
+		return netip.Prefix{}, fmt.Errorf("netaddr: block %v exhausted carving /%d", c.parent, bits)
+	}
+	addr, err := AddOffset(c.parent.Addr(), aligned)
+	if err != nil {
+		return netip.Prefix{}, err
+	}
+	c.next = aligned + size
+	return netip.PrefixFrom(addr, bits), nil
+}
+
+// PrefixLessThan orders prefixes by address then by length; used to emit
+// deterministic allocation tables.
+func PrefixLessThan(a, b netip.Prefix) bool {
+	if a.Addr() != b.Addr() {
+		return a.Addr().Less(b.Addr())
+	}
+	return a.Bits() < b.Bits()
+}
+
+// FormatCIDRList renders prefixes space-separated, for log and debug output.
+func FormatCIDRList(ps []netip.Prefix) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " ")
+}

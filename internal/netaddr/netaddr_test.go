@@ -1,0 +1,269 @@
+package netaddr
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMustPrefixMasks(t *testing.T) {
+	p := MustPrefix("192.168.1.77/24")
+	if p.String() != "192.168.1.0/24" {
+		t.Errorf("MustPrefix did not mask: %v", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad prefix should panic")
+		}
+	}()
+	MustPrefix("not-a-prefix")
+}
+
+func TestAddOffset(t *testing.T) {
+	a := netip.MustParseAddr("10.0.0.250")
+	got, err := AddOffset(a, 10)
+	if err != nil || got.String() != "10.0.1.4" {
+		t.Errorf("AddOffset = %v, %v", got, err)
+	}
+	if _, err := AddOffset(netip.MustParseAddr("255.255.255.255"), 1); err == nil {
+		t.Error("overflow not detected")
+	}
+	if _, err := AddOffset(netip.MustParseAddr("::1"), 1); err == nil {
+		t.Error("IPv6 should be rejected")
+	}
+}
+
+func TestNthSubnet(t *testing.T) {
+	p := MustPrefix("10.0.0.0/8")
+	cases := []struct {
+		bits, i int
+		want    string
+	}{
+		{16, 0, "10.0.0.0/16"},
+		{16, 2, "10.2.0.0/16"},
+		{16, 255, "10.255.0.0/16"},
+		{30, 1, "10.0.0.4/30"},
+		{8, 0, "10.0.0.0/8"},
+	}
+	for _, c := range cases {
+		got, err := NthSubnet(p, c.bits, c.i)
+		if err != nil || got.String() != c.want {
+			t.Errorf("NthSubnet(%d,%d) = %v, %v; want %s", c.bits, c.i, got, err, c.want)
+		}
+	}
+	if _, err := NthSubnet(p, 16, 256); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := NthSubnet(p, 4, 0); err == nil {
+		t.Error("shorter-than-parent accepted")
+	}
+}
+
+func TestSubnetCount(t *testing.T) {
+	if n := SubnetCount(MustPrefix("10.0.0.0/8"), 16); n != 256 {
+		t.Errorf("count = %d", n)
+	}
+	if n := SubnetCount(MustPrefix("10.0.0.0/24"), 16); n != 0 {
+		t.Errorf("invalid count = %d", n)
+	}
+}
+
+func TestHostCountAndNthHost(t *testing.T) {
+	p30 := MustPrefix("192.168.1.0/30")
+	if HostCount(p30) != 2 {
+		t.Errorf("/30 hosts = %d", HostCount(p30))
+	}
+	h0, _ := NthHost(p30, 0)
+	h1, _ := NthHost(p30, 1)
+	if h0.String() != "192.168.1.1" || h1.String() != "192.168.1.2" {
+		t.Errorf("/30 hosts = %v %v", h0, h1)
+	}
+	if _, err := NthHost(p30, 2); err == nil {
+		t.Error("broadcast handed out as host")
+	}
+
+	p31 := MustPrefix("10.0.0.0/31")
+	if HostCount(p31) != 2 {
+		t.Errorf("/31 hosts = %d", HostCount(p31))
+	}
+	h0, _ = NthHost(p31, 0)
+	if h0.String() != "10.0.0.0" {
+		t.Errorf("/31 first host = %v", h0)
+	}
+
+	p32 := MustPrefix("10.1.1.1/32")
+	if HostCount(p32) != 1 {
+		t.Errorf("/32 hosts = %d", HostCount(p32))
+	}
+	h0, _ = NthHost(p32, 0)
+	if h0.String() != "10.1.1.1" {
+		t.Errorf("/32 host = %v", h0)
+	}
+}
+
+func TestBroadcastNetmaskWildcard(t *testing.T) {
+	p := MustPrefix("192.168.1.0/24")
+	if Broadcast(p).String() != "192.168.1.255" {
+		t.Errorf("broadcast = %v", Broadcast(p))
+	}
+	if Netmask(p) != "255.255.255.0" {
+		t.Errorf("netmask = %v", Netmask(p))
+	}
+	if WildcardMask(p) != "0.0.0.255" {
+		t.Errorf("wildcard = %v", WildcardMask(p))
+	}
+	if Netmask(MustPrefix("0.0.0.0/0")) != "0.0.0.0" {
+		t.Error("zero-length netmask")
+	}
+	if Netmask(MustPrefix("1.2.3.4/32")) != "255.255.255.255" {
+		t.Error("/32 netmask")
+	}
+}
+
+func TestContains(t *testing.T) {
+	if !Contains(MustPrefix("10.0.0.0/8"), MustPrefix("10.5.0.0/16")) {
+		t.Error("containment missed")
+	}
+	if Contains(MustPrefix("10.5.0.0/16"), MustPrefix("10.0.0.0/8")) {
+		t.Error("reverse containment accepted")
+	}
+	if !Overlaps(MustPrefix("10.0.0.0/8"), MustPrefix("10.255.0.0/16")) {
+		t.Error("overlap missed")
+	}
+}
+
+func TestReverseNames(t *testing.T) {
+	if got := ReverseName(netip.MustParseAddr("192.168.1.5")); got != "5.1.168.192.in-addr.arpa" {
+		t.Errorf("ReverseName = %s", got)
+	}
+	cases := []struct{ p, want string }{
+		{"192.168.1.0/30", "1.168.192.in-addr.arpa"},
+		{"192.168.0.0/16", "168.192.in-addr.arpa"},
+		{"10.0.0.0/8", "10.in-addr.arpa"},
+	}
+	for _, c := range cases {
+		if got := ReverseZone(MustPrefix(c.p)); got != c.want {
+			t.Errorf("ReverseZone(%s) = %s, want %s", c.p, got, c.want)
+		}
+	}
+}
+
+func TestCarverSequential(t *testing.T) {
+	c, err := NewCarver(MustPrefix("192.168.0.0/16"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for i := 0; i < 3; i++ {
+		p, err := c.Next(30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, p.String())
+	}
+	want := "192.168.0.0/30 192.168.0.4/30 192.168.0.8/30"
+	if strings.Join(got, " ") != want {
+		t.Errorf("carved %v, want %v", got, want)
+	}
+}
+
+func TestCarverAlignment(t *testing.T) {
+	c, _ := NewCarver(MustPrefix("10.0.0.0/8"))
+	if _, err := c.Next(30); err != nil { // consumes 4 addresses
+		t.Fatal(err)
+	}
+	p, err := c.Next(24) // must align up to next /24 boundary
+	if err != nil || p.String() != "10.0.1.0/24" {
+		t.Errorf("aligned carve = %v, %v", p, err)
+	}
+	p, err = c.Next(16) // align up to the next /16
+	if err != nil || p.String() != "10.1.0.0/16" {
+		t.Errorf("aligned carve = %v, %v", p, err)
+	}
+}
+
+func TestCarverExhaustion(t *testing.T) {
+	c, _ := NewCarver(MustPrefix("10.0.0.0/30"))
+	if _, err := c.Next(30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Next(32); err == nil {
+		t.Error("exhaustion not detected")
+	}
+	if c.Remaining() != 0 {
+		t.Errorf("remaining = %d", c.Remaining())
+	}
+	if _, err := c.Next(2); err == nil {
+		t.Error("carving shorter than parent accepted")
+	}
+	if _, err := NewCarver(netip.MustParsePrefix("2001:db8::/32")); err == nil {
+		t.Error("IPv6 carver accepted")
+	}
+}
+
+// Property: every pair of prefixes carved from the same parent is
+// non-overlapping and contained in the parent.
+func TestPropertyCarverDisjoint(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		c, _ := NewCarver(MustPrefix("10.0.0.0/8"))
+		var carved []netip.Prefix
+		for _, s := range sizes {
+			bits := 16 + int(s%17) // /16../32
+			p, err := c.Next(bits)
+			if err != nil {
+				break // exhaustion is fine
+			}
+			carved = append(carved, p)
+		}
+		for i := range carved {
+			if !Contains(MustPrefix("10.0.0.0/8"), carved[i]) {
+				return false
+			}
+			for j := i + 1; j < len(carved); j++ {
+				if Overlaps(carved[i], carved[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NthSubnet results for distinct indexes never overlap.
+func TestPropertyNthSubnetDisjoint(t *testing.T) {
+	f := func(i, j uint8) bool {
+		a, err1 := NthSubnet(MustPrefix("172.16.0.0/12"), 24, int(i))
+		b, err2 := NthSubnet(MustPrefix("172.16.0.0/12"), 24, int(j))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if i == j {
+			return a == b
+		}
+		return !Overlaps(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixLessThan(t *testing.T) {
+	a := MustPrefix("10.0.0.0/8")
+	b := MustPrefix("10.0.0.0/16")
+	c := MustPrefix("11.0.0.0/8")
+	if !PrefixLessThan(a, b) || !PrefixLessThan(b, c) || PrefixLessThan(c, a) {
+		t.Error("ordering wrong")
+	}
+}
+
+func TestFormatCIDRList(t *testing.T) {
+	got := FormatCIDRList([]netip.Prefix{MustPrefix("10.0.0.0/8"), MustPrefix("192.168.0.0/16")})
+	if got != "10.0.0.0/8 192.168.0.0/16" {
+		t.Errorf("got %q", got)
+	}
+}

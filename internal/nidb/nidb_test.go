@@ -1,0 +1,183 @@
+package nidb
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"autonetkit/internal/graph"
+)
+
+func TestSetGetPaths(t *testing.T) {
+	d := NewDevice("r1")
+	if err := d.Set("zebra.password", "1234"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set("zebra.hostname", "as100r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set("ospf.process_id", 1); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := d.Get("zebra.password")
+	if !ok || v != "1234" {
+		t.Errorf("get = %v, %v", v, ok)
+	}
+	if d.GetString("zebra.hostname", "") != "as100r1" {
+		t.Error("GetString wrong")
+	}
+	if d.GetInt("ospf.process_id", 0) != 1 {
+		t.Error("GetInt wrong")
+	}
+	if _, ok := d.Get("zebra.missing"); ok {
+		t.Error("missing leaf found")
+	}
+	if _, ok := d.Get("nothere.at.all"); ok {
+		t.Error("missing path found")
+	}
+	if d.GetString("missing", "dflt") != "dflt" || d.GetInt("missing", 9) != 9 {
+		t.Error("defaults wrong")
+	}
+}
+
+func TestSetThroughLeafErrors(t *testing.T) {
+	d := NewDevice("r1")
+	d.MustSet("a", 1)
+	if err := d.Set("a.b", 2); err == nil {
+		t.Error("descending through leaf accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSet should panic")
+		}
+	}()
+	d.MustSet("a.b", 2)
+}
+
+func TestHostnameDefault(t *testing.T) {
+	d := NewDevice("r9")
+	if d.Hostname() != "r9" {
+		t.Error("hostname default wrong")
+	}
+	d.MustSet("hostname", "as1r9")
+	if d.Hostname() != "as1r9" {
+		t.Error("hostname override wrong")
+	}
+}
+
+func TestDBDevices(t *testing.T) {
+	db := New()
+	db.AddDevice("r2")
+	db.AddDevice("r1")
+	again := db.AddDevice("r2") // idempotent
+	if db.Len() != 2 {
+		t.Fatalf("len = %d", db.Len())
+	}
+	if again != db.Device("r2") {
+		t.Error("AddDevice not idempotent")
+	}
+	devs := db.Devices()
+	if devs[0].ID != "r2" || devs[1].ID != "r1" {
+		t.Error("insertion order lost")
+	}
+	if db.Device("zz") != nil {
+		t.Error("absent device non-nil")
+	}
+}
+
+func TestDevicesWhere(t *testing.T) {
+	db := New()
+	db.AddDevice("r1").MustSet("device_type", "router")
+	db.AddDevice("s1").MustSet("device_type", "server")
+	db.AddDevice("r2").MustSet("device_type", "router")
+	if got := len(db.Routers()); got != 2 {
+		t.Errorf("routers = %d", got)
+	}
+	if got := len(db.DevicesWhere("device_type", "server")); got != 1 {
+		t.Errorf("servers = %d", got)
+	}
+}
+
+func TestLinks(t *testing.T) {
+	db := New()
+	db.AddLink(Link{A: "r1", B: "r2", AIface: "eth0", BIface: "eth1", CD: "cd0"})
+	db.AddLink(Link{A: "r2", B: "r3", AIface: "eth0", BIface: "eth0", CD: "cd1"})
+	if len(db.Links()) != 2 {
+		t.Fatal("links lost")
+	}
+	of := db.LinksOf("r2")
+	if len(of) != 2 {
+		t.Errorf("LinksOf(r2) = %d", len(of))
+	}
+	if len(db.LinksOf("r1")) != 1 || len(db.LinksOf("zz")) != 0 {
+		t.Error("LinksOf filter wrong")
+	}
+}
+
+func TestLabs(t *testing.T) {
+	db := New()
+	lab := db.Lab("localhost", "netkit")
+	lab["machines"] = []any{"r1"}
+	again := db.Lab("localhost", "netkit")
+	if len(again["machines"].([]any)) != 1 {
+		t.Error("lab data not shared")
+	}
+	db.Lab("hostB", "netkit")
+	keys := db.LabKeys()
+	if len(keys) != 2 || keys[0] != "hostB/netkit" {
+		t.Errorf("lab keys = %v", keys)
+	}
+}
+
+func TestMarshalJSON(t *testing.T) {
+	db := New()
+	d := db.AddDevice("as100r1")
+	d.MustSet("zebra.hostname", "as100r1")
+	d.MustSet("ospf.process_id", 1)
+	db.AddLink(Link{A: "as100r1", B: "as100r2", AIface: "eth1", BIface: "eth0", CD: "cd0"})
+	b, err := json.Marshal(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{`"as100r1"`, `"process_id":1`, `"eth1"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %s:\n%s", want, s)
+		}
+	}
+}
+
+func TestDumpDevice(t *testing.T) {
+	db := New()
+	d := db.AddDevice("as100r1")
+	d.MustSet("zebra.password", "1234")
+	s, err := db.DumpDevice("as100r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, `"password": "1234"`) {
+		t.Errorf("dump = %s", s)
+	}
+	if _, err := db.DumpDevice("zz"); err == nil {
+		t.Error("dump of absent device accepted")
+	}
+}
+
+func TestDeterministicMarshal(t *testing.T) {
+	build := func() *DB {
+		db := New()
+		for _, id := range []string{"r3", "r1", "r2"} {
+			d := db.AddDevice(graphID(id))
+			d.MustSet("hostname", id)
+			d.MustSet("bgp.asn", 100)
+		}
+		return db
+	}
+	a, _ := json.Marshal(build())
+	b, _ := json.Marshal(build())
+	if string(a) != string(b) {
+		t.Error("marshal not deterministic")
+	}
+}
+
+func graphID(s string) graph.ID { return graph.ID(s) }

@@ -1,0 +1,131 @@
+package render
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"autonetkit/internal/compile"
+	"autonetkit/internal/core"
+	"autonetkit/internal/design"
+	"autonetkit/internal/graph"
+	"autonetkit/internal/ipalloc"
+)
+
+// §7.3: routing-policy configlets stored on session edges pass through the
+// compiler and appear verbatim in the rendered configuration.
+func TestPolicyConfigletPassthrough(t *testing.T) {
+	anm := core.NewANM()
+	in, err := anm.AddOverlay(core.OverlayInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.AddNode("r1", graph.Attrs{core.AttrASN: 1, core.AttrDeviceType: core.DeviceRouter})
+	in.AddNode("r2", graph.Attrs{core.AttrASN: 2, core.AttrDeviceType: core.DeviceRouter})
+	in.AddEdge("r1", "r2", graph.Attrs{"type": "physical"})
+	if err := design.BuildAll(anm, design.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// The external-tool output (e.g. RtConfig) stored on the directed
+	// session edge, after the eBGP overlay is built (§7.3).
+	ebgp := anm.Overlay(design.OverlayEBGP)
+	if err := ebgp.Edge("r1", "r2").Set("policy", "ip as-path access-list 1 permit ^2$"); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := ipalloc.NewDefault().Allocate(anm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := compile.Compile(anm, alloc, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Render(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, _ := fs.Read("localhost/netkit/r1/etc/quagga/bgpd.conf")
+	if !strings.Contains(conf, "ip as-path access-list 1 permit ^2$") {
+		t.Errorf("configlet not rendered:\n%s", conf)
+	}
+	if !strings.Contains(conf, "! policy configlet for") {
+		t.Errorf("configlet marker missing:\n%s", conf)
+	}
+	// The other side has no policy and no marker.
+	conf2, _ := fs.Read("localhost/netkit/r2/etc/quagga/bgpd.conf")
+	if strings.Contains(conf2, "configlet") {
+		t.Errorf("policy leaked to the wrong side:\n%s", conf2)
+	}
+}
+
+// §5.5: user service folders are copied under a device directory without
+// writing code.
+func TestMergeUnderFolderCopy(t *testing.T) {
+	fs := NewFileSet()
+	fs.Write("localhost/netkit/r1/etc/quagga/zebra.conf", "hostname r1\n")
+
+	service := NewFileSet()
+	service.Write("etc/bind/named.conf", "options {};\n")
+	service.Write("etc/bind/zones/as1.lab", "$ORIGIN as1.lab.\n")
+
+	fs.MergeUnder("localhost/netkit/r1", service)
+	if got, ok := fs.Read("localhost/netkit/r1/etc/bind/named.conf"); !ok || got != "options {};\n" {
+		t.Errorf("named.conf = %q %v", got, ok)
+	}
+	if _, ok := fs.Read("localhost/netkit/r1/etc/bind/zones/as1.lab"); !ok {
+		t.Error("nested service file missing")
+	}
+	if fs.Len() != 3 {
+		t.Errorf("files = %d", fs.Len())
+	}
+}
+
+func TestFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "etc", "bind"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "etc", "bind", "named.conf"), []byte("x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "top.txt"), []byte("y\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := FromDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Len() != 2 {
+		t.Fatalf("files = %d: %v", fs.Len(), fs.Paths())
+	}
+	if got, _ := fs.Read("etc/bind/named.conf"); got != "x\n" {
+		t.Errorf("content = %q", got)
+	}
+	if _, err := FromDisk(dir + "/missing"); err == nil {
+		t.Error("missing dir accepted")
+	}
+}
+
+// Round trip: a service tree read from disk, merged under a device, and
+// written back out lands in the right place.
+func TestServiceFolderRoundTrip(t *testing.T) {
+	src := t.TempDir()
+	if err := os.WriteFile(filepath.Join(src, "rpki.conf"), []byte("trust-anchor true\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	service, err := FromDisk(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFileSet()
+	fs.MergeUnder("localhost/netkit/ca1", service)
+	dst := t.TempDir()
+	if err := fs.WriteToDisk(dst); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dst, "localhost", "netkit", "ca1", "rpki.conf"))
+	if err != nil || string(b) != "trust-anchor true\n" {
+		t.Errorf("round trip: %q %v", b, err)
+	}
+}

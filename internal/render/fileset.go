@@ -1,0 +1,146 @@
+// Package render pushes the Resource Database through the device-syntax
+// template sets (paper §4.1, §5.5), producing the configuration file tree
+// that deployment ships to the emulation hosts. Output is collected in an
+// in-memory FileSet — the unit the §3.2 scale experiment measures (file
+// count and total bytes) — which can also be written to disk.
+package render
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FileSet is an ordered, in-memory configuration file tree.
+type FileSet struct {
+	files map[string]string
+	order []string
+}
+
+// NewFileSet returns an empty file set.
+func NewFileSet() *FileSet {
+	return &FileSet{files: map[string]string{}}
+}
+
+// Write stores content at a slash-separated relative path, replacing any
+// previous content.
+func (fs *FileSet) Write(path, content string) {
+	if _, ok := fs.files[path]; !ok {
+		fs.order = append(fs.order, path)
+	}
+	fs.files[path] = content
+}
+
+// Read returns the content at path.
+func (fs *FileSet) Read(path string) (string, bool) {
+	c, ok := fs.files[path]
+	return c, ok
+}
+
+// Paths returns all file paths in write order.
+func (fs *FileSet) Paths() []string {
+	out := make([]string, len(fs.order))
+	copy(out, fs.order)
+	return out
+}
+
+// SortedPaths returns all file paths sorted lexically.
+func (fs *FileSet) SortedPaths() []string {
+	out := fs.Paths()
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of files (the paper's "items").
+func (fs *FileSet) Len() int { return len(fs.files) }
+
+// TotalBytes returns the uncompressed size of all content.
+func (fs *FileSet) TotalBytes() int {
+	n := 0
+	for _, c := range fs.files {
+		n += len(c)
+	}
+	return n
+}
+
+// WithPrefix returns the subset of files under a path prefix (prefix is
+// interpreted as a directory).
+func (fs *FileSet) WithPrefix(prefix string) *FileSet {
+	out := NewFileSet()
+	p := strings.TrimSuffix(prefix, "/") + "/"
+	for _, path := range fs.order {
+		if strings.HasPrefix(path, p) {
+			out.Write(path, fs.files[path])
+		}
+	}
+	return out
+}
+
+// Merge copies all files of other into fs.
+func (fs *FileSet) Merge(other *FileSet) {
+	for _, p := range other.order {
+		fs.Write(p, other.files[p])
+	}
+}
+
+// MergeUnder copies all files of other into fs below a path prefix —
+// the paper's §5.5 folder-copy semantics, used to drop user-supplied
+// service trees (static files plus extra templates' output) into a device
+// directory without writing code.
+func (fs *FileSet) MergeUnder(prefix string, other *FileSet) {
+	p := strings.TrimSuffix(prefix, "/")
+	for _, path := range other.order {
+		fs.Write(p+"/"+path, other.files[path])
+	}
+}
+
+// FromDisk loads a directory tree into a file set (paths relative to dir,
+// slash-separated) — the input side of the §5.5 folder-copy workflow.
+func FromDisk(dir string) (*FileSet, error) {
+	fs := NewFileSet()
+	root := filepath.Clean(dir)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		fs.Write(filepath.ToSlash(rel), string(b))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("render: reading %s: %w", dir, err)
+	}
+	return fs, nil
+}
+
+// WriteToDisk materialises the tree under dir, creating directories as
+// needed.
+func (fs *FileSet) WriteToDisk(dir string) error {
+	for _, p := range fs.order {
+		full := filepath.Join(dir, filepath.FromSlash(p))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			return fmt.Errorf("render: mkdir for %s: %w", p, err)
+		}
+		if err := os.WriteFile(full, []byte(fs.files[p]), 0o644); err != nil {
+			return fmt.Errorf("render: writing %s: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// String summarises the set.
+func (fs *FileSet) String() string {
+	return fmt.Sprintf("fileset(%d files, %d bytes)", fs.Len(), fs.TotalBytes())
+}

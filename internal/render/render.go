@@ -1,0 +1,108 @@
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"autonetkit/internal/nidb"
+)
+
+// Render pushes every device in the Resource Database through its syntax's
+// template set, and every (host, platform) lab through the platform's
+// lab-level templates, returning the complete configuration file tree.
+func Render(db *nidb.DB) (*FileSet, error) {
+	fs := NewFileSet()
+	if err := RenderInto(db, fs); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// RenderInto renders into an existing file set (so callers can merge
+// several databases, e.g. cross-platform experiments).
+func RenderInto(db *nidb.DB, fs *FileSet) error {
+	// Per-device files.
+	for _, d := range db.Devices() {
+		syntax := d.GetString("syntax", "")
+		set, ok := syntaxTemplates[syntax]
+		if !ok {
+			// Syntaxes without per-device files (e.g. cbgp) render only at
+			// lab level.
+			continue
+		}
+		dst := d.GetString("render.dst_folder", "")
+		if dst == "" {
+			return fmt.Errorf("render: device %s has no render.dst_folder", d.ID)
+		}
+		for _, t := range set {
+			if t.When != "" {
+				if _, ok := d.Get(t.When); !ok {
+					continue
+				}
+			}
+			out, err := t.Template.Execute(map[string]any{"node": d.Data})
+			if err != nil {
+				return fmt.Errorf("render: device %s, template %s: %w", d.ID, t.Template.Name(), err)
+			}
+			var path string
+			if t.AtLabRoot {
+				parent := dst
+				if i := strings.LastIndex(dst, "/"); i >= 0 {
+					parent = dst[:i]
+				}
+				path = parent + "/" + d.Hostname() + t.RelPath
+			} else {
+				path = dst + "/" + t.RelPath
+			}
+			fs.Write(path, out)
+		}
+	}
+	// Lab-level files.
+	for _, key := range db.LabKeys() {
+		parts := strings.SplitN(key, "/", 2)
+		host, platform := parts[0], parts[1]
+		set, ok := labTemplates[platform]
+		if !ok {
+			continue
+		}
+		lab := db.Lab(host, platform)
+		var nodes []any
+		for _, d := range db.Devices() {
+			if d.GetString("host", "") == host && d.GetString("platform", "") == platform {
+				nodes = append(nodes, d.Data)
+			}
+		}
+		ctx := map[string]any{"lab": lab, "nodes": nodes}
+		for _, t := range set {
+			out, err := t.Template.Execute(ctx)
+			if err != nil {
+				return fmt.Errorf("render: lab %s, template %s: %w", key, t.Template.Name(), err)
+			}
+			fs.Write(host+"/"+platform+"/"+t.RelPath, out)
+		}
+	}
+	return nil
+}
+
+// DeviceConfig renders a single named template for one device — used by
+// tests and by tooling that wants one config without the whole tree.
+func DeviceConfig(d *nidb.Device, templateName string) (string, error) {
+	syntax := d.GetString("syntax", "")
+	for _, t := range syntaxTemplates[syntax] {
+		if t.Template.Name() == templateName {
+			return t.Template.Execute(map[string]any{"node": d.Data})
+		}
+	}
+	return "", fmt.Errorf("render: syntax %q has no template %q", syntax, templateName)
+}
+
+// TemplateNames lists the template names registered for a syntax, sorted.
+func TemplateNames(syntax string) []string {
+	var out []string
+	for _, t := range syntaxTemplates[syntax] {
+		out = append(out, t.Template.Name())
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,728 @@
+package routing
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+	"sort"
+	"strings"
+)
+
+// VendorProfile captures the decision-process differences between BGP
+// implementations that §7.2 exploits: the 2013 Quagga default skipped the
+// IGP-cost tie-break, so the Bad-Gadget style oscillation visible on IOS,
+// JunOS and C-BGP did not appear on Quagga.
+type VendorProfile struct {
+	Name string
+	// UseIGPTieBreak enables decision step "prefer lowest IGP metric to
+	// next hop".
+	UseIGPTieBreak bool
+	// AlwaysCompareMED compares MED between routes from different
+	// neighbouring ASes (off everywhere by default).
+	AlwaysCompareMED bool
+}
+
+// The reference implementations of §5.4/§7.2.
+var (
+	ProfileQuagga = VendorProfile{Name: "quagga", UseIGPTieBreak: false}
+	ProfileIOS    = VendorProfile{Name: "ios", UseIGPTieBreak: true}
+	ProfileJunos  = VendorProfile{Name: "junos", UseIGPTieBreak: true}
+	ProfileCBGP   = VendorProfile{Name: "cbgp", UseIGPTieBreak: true}
+)
+
+// ProfileFor maps a syntax name to its vendor profile, defaulting to
+// Quagga.
+func ProfileFor(syntax string) VendorProfile {
+	switch strings.ToLower(syntax) {
+	case "ios":
+		return ProfileIOS
+	case "junos":
+		return ProfileJunos
+	case "cbgp":
+		return ProfileCBGP
+	default:
+		return ProfileQuagga
+	}
+}
+
+// BGPRoute is one path with its attributes.
+type BGPRoute struct {
+	Prefix       netip.Prefix
+	NextHop      netip.Addr
+	ASPath       []int
+	LocalPref    int // default 100
+	MED          int
+	FromEBGP     bool       // learned over an eBGP session
+	LearnedFrom  netip.Addr // peer the route came from (zero when local)
+	Local        bool       // locally originated
+	OriginatorID netip.Addr // router-id of the injecting router (RR loop prevention)
+	FromRRClient bool       // learned from one of my clients
+}
+
+func (r BGPRoute) pathString() string {
+	parts := make([]string, len(r.ASPath))
+	for i, a := range r.ASPath {
+		parts[i] = fmt.Sprint(a)
+	}
+	return strings.Join(parts, " ")
+}
+
+// String renders like a `show ip bgp` line.
+func (r BGPRoute) String() string {
+	return fmt.Sprintf("%v via %v path [%s] lp %d med %d", r.Prefix, r.NextHop, r.pathString(), r.LocalPref, r.MED)
+}
+
+// IGPCoster supplies IGP metrics for the decision process's tie-break.
+type IGPCoster interface {
+	// IGPCost returns the metric from host to addr, 0 when connected,
+	// negative when unreachable.
+	IGPCost(host string, addr netip.Addr) int
+}
+
+// zeroIGP reports every destination connected; used when no IGP runs.
+type zeroIGP struct{}
+
+func (zeroIGP) IGPCost(string, netip.Addr) int { return 0 }
+
+type session struct {
+	peerHost string
+	peerAddr netip.Addr // address I send to / receive from
+	cfg      BGPNeighbor
+	ebgp     bool
+}
+
+type speaker struct {
+	host     string
+	dc       *DeviceConfig
+	profile  VendorProfile
+	routerID netip.Addr
+	sessions []session
+	// adjIn[peerAddr] is the current set of routes heard from that peer.
+	adjIn map[netip.Addr][]BGPRoute
+	// locRIB is the selected best route per prefix.
+	locRIB map[netip.Prefix]BGPRoute
+}
+
+// BGPEngine runs the path-vector computation over a set of speakers.
+type BGPEngine struct {
+	speakers map[string]*speaker
+	order    []string
+	igp      IGPCoster
+	// addrOwner maps every configured address to its host, for session
+	// establishment.
+	addrOwner map[netip.Addr]string
+
+	sequential  bool
+	rounds      int
+	stateHashes map[uint64]int
+	oscillating bool
+	cycleLen    int
+	converged   bool
+	// SessionsUp lists established sessions after New.
+	sessionsUp   int
+	sessionsDown []string
+}
+
+// NewBGPEngine wires up sessions between the given devices. profileOf maps
+// hostname to vendor profile (nil means Quagga everywhere); igp supplies
+// metrics (nil means all destinations connected).
+func NewBGPEngine(devices []*DeviceConfig, profileOf func(host string) VendorProfile, igp IGPCoster) (*BGPEngine, error) {
+	if igp == nil {
+		igp = zeroIGP{}
+	}
+	e := &BGPEngine{
+		speakers:    map[string]*speaker{},
+		igp:         igp,
+		addrOwner:   map[netip.Addr]string{},
+		stateHashes: map[uint64]int{},
+	}
+	for _, dc := range devices {
+		if dc.BGP == nil {
+			continue
+		}
+		prof := ProfileQuagga
+		if profileOf != nil {
+			prof = profileOf(dc.Hostname)
+		}
+		rid := dc.BGP.RouterID
+		if !rid.IsValid() && dc.HasLoopback() {
+			rid = dc.Loopback
+		}
+		if !rid.IsValid() && len(dc.Interfaces) > 0 {
+			rid = dc.Interfaces[0].Addr
+		}
+		sp := &speaker{
+			host: dc.Hostname, dc: dc, profile: prof, routerID: rid,
+			adjIn:  map[netip.Addr][]BGPRoute{},
+			locRIB: map[netip.Prefix]BGPRoute{},
+		}
+		e.speakers[dc.Hostname] = sp
+		e.order = append(e.order, dc.Hostname)
+		for _, ic := range dc.Interfaces {
+			e.addrOwner[ic.Addr] = dc.Hostname
+		}
+		if dc.HasLoopback() {
+			e.addrOwner[dc.Loopback] = dc.Hostname
+		}
+	}
+	sort.Strings(e.order)
+	// Establish sessions: a neighbor statement whose address belongs to a
+	// device that has a matching reverse session.
+	for _, host := range e.order {
+		sp := e.speakers[host]
+		for _, nbr := range sp.dc.BGP.Neighbors {
+			peerHost, ok := e.addrOwner[nbr.Addr]
+			if !ok {
+				e.sessionsDown = append(e.sessionsDown, fmt.Sprintf("%s -> %v (address unknown)", host, nbr.Addr))
+				continue
+			}
+			peer := e.speakers[peerHost]
+			if peer == nil {
+				e.sessionsDown = append(e.sessionsDown, fmt.Sprintf("%s -> %v (%s runs no BGP)", host, nbr.Addr, peerHost))
+				continue
+			}
+			if peer.dc.BGP.ASN != nbr.RemoteASN {
+				e.sessionsDown = append(e.sessionsDown, fmt.Sprintf("%s -> %s (remote-as %d, actual %d)", host, peerHost, nbr.RemoteASN, peer.dc.BGP.ASN))
+				continue
+			}
+			sp.sessions = append(sp.sessions, session{
+				peerHost: peerHost,
+				peerAddr: nbr.Addr,
+				cfg:      nbr,
+				ebgp:     nbr.RemoteASN != sp.dc.BGP.ASN,
+			})
+			e.sessionsUp++
+		}
+	}
+	return e, nil
+}
+
+// SessionsUp returns the number of configured sessions that matched a
+// reachable, correctly-numbered peer.
+func (e *BGPEngine) SessionsUp() int { return e.sessionsUp }
+
+// SessionsDown describes the neighbor statements that could not form a
+// session — the configuration errors emulation is meant to surface.
+func (e *BGPEngine) SessionsDown() []string { return e.sessionsDown }
+
+// myAddressOn returns the local address used for the session to peerAddr
+// (the interface sharing the peer's subnet, or the loopback for
+// loopback-peered iBGP sessions).
+func (e *BGPEngine) myAddressOn(sp *speaker, s session) netip.Addr {
+	for _, ic := range sp.dc.Interfaces {
+		if ic.Prefix.Contains(s.peerAddr) && ic.Prefix.Bits() < 32 {
+			return ic.Addr
+		}
+	}
+	if sp.dc.HasLoopback() {
+		return sp.dc.Loopback
+	}
+	if len(sp.dc.Interfaces) > 0 {
+		return sp.dc.Interfaces[0].Addr
+	}
+	return netip.Addr{}
+}
+
+// SetSequential switches the processing model. The default is synchronous
+// rounds (Jacobi): all speakers select, then all advertisements exchange at
+// once — modelling MRAI-timer-locked routers updating in lockstep, the
+// regime in which timing-sensitive oscillations manifest. Sequential mode
+// (Gauss–Seidel) processes one speaker at a time against its peers' current
+// state, modelling asynchronous routers; oscillation under sequential
+// processing therefore indicates a configuration with no stable route
+// assignment at all (an RFC 3345-class persistent oscillation), not a
+// timing artifact.
+func (e *BGPEngine) SetSequential(on bool) { e.sequential = on }
+
+// Step runs one processing round (see SetSequential for the two models).
+// It returns true when the round changed nothing (convergence).
+func (e *BGPEngine) Step() bool {
+	if e.sequential {
+		return e.stepSequential()
+	}
+	e.rounds++
+	// Phase 1: selection.
+	for _, host := range e.order {
+		e.selectBest(e.speakers[host])
+	}
+	// Phase 2: advertisement into fresh adj-RIB-ins.
+	next := map[string]map[netip.Addr][]BGPRoute{}
+	for _, host := range e.order {
+		next[host] = map[netip.Addr][]BGPRoute{}
+	}
+	for _, host := range e.order {
+		sp := e.speakers[host]
+		for _, s := range e.sessionsOf(sp) {
+			peer := e.speakers[s.peerHost]
+			myAddr := e.myAddressOn(sp, s)
+			var out []BGPRoute
+			for _, prefix := range sortedPrefixes(sp.locRIB) {
+				rt := sp.locRIB[prefix]
+				adv, ok := sp.advertise(rt, s, myAddr)
+				if ok {
+					out = append(out, adv)
+				}
+			}
+			// The peer indexes the session by the address it configured for
+			// me.
+			peerSideAddr := e.addrFor(peer, sp, myAddr)
+			if peerSideAddr.IsValid() {
+				next[s.peerHost][peerSideAddr] = filterReceived(peer, out, peerSideAddr)
+			}
+		}
+	}
+	changed := false
+	for _, host := range e.order {
+		sp := e.speakers[host]
+		if !adjEqual(sp.adjIn, next[host]) {
+			changed = true
+		}
+		sp.adjIn = next[host]
+	}
+	if changed {
+		// Re-select so observers see the post-round state.
+		for _, host := range e.order {
+			e.selectBest(e.speakers[host])
+		}
+	}
+	return !changed
+}
+
+// stepSequential processes speakers one at a time (Gauss–Seidel): each
+// speaker pulls its peers' current advertisements, rebuilds its adj-RIB-in
+// and re-selects before the next speaker runs.
+func (e *BGPEngine) stepSequential() bool {
+	e.rounds++
+	changed := false
+	for _, host := range e.order {
+		sp := e.speakers[host]
+		newIn := map[netip.Addr][]BGPRoute{}
+		for _, s := range e.sessionsOf(sp) {
+			peer := e.speakers[s.peerHost]
+			ps, ok := e.reverseSession(peer, sp)
+			if !ok {
+				continue
+			}
+			peerSrcAddr := e.myAddressOn(peer, ps)
+			var out []BGPRoute
+			for _, prefix := range sortedPrefixes(peer.locRIB) {
+				rt := peer.locRIB[prefix]
+				if adv, ok := peer.advertise(rt, ps, peerSrcAddr); ok {
+					out = append(out, adv)
+				}
+			}
+			newIn[s.peerAddr] = filterReceived(sp, out, s.peerAddr)
+		}
+		if !adjEqual(sp.adjIn, newIn) {
+			changed = true
+		}
+		sp.adjIn = newIn
+		old := sp.locRIB
+		e.selectBest(sp)
+		if !locRIBEqual(old, sp.locRIB) {
+			changed = true
+		}
+	}
+	return !changed
+}
+
+// reverseSession finds peer's established session back to sp.
+func (e *BGPEngine) reverseSession(peer, sp *speaker) (session, bool) {
+	for _, s := range peer.sessions {
+		if s.peerHost == sp.host {
+			return s, true
+		}
+	}
+	return session{}, false
+}
+
+func locRIBEqual(a, b map[netip.Prefix]BGPRoute) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p, ra := range a {
+		rb, ok := b[p]
+		if !ok || !routeEqual(ra, rb) {
+			return false
+		}
+	}
+	return true
+}
+
+// addrFor finds which established session address the peer uses for the
+// sender (preferring the sender's exact session address). A session only
+// carries routes when BOTH ends configured it consistently — a remote-as
+// mismatch on either side leaves it down, exactly as in a real lab.
+func (e *BGPEngine) addrFor(peer, sender *speaker, senderAddr netip.Addr) netip.Addr {
+	for _, s := range peer.sessions {
+		if s.peerHost == sender.host && s.peerAddr == senderAddr {
+			return s.peerAddr
+		}
+	}
+	for _, s := range peer.sessions {
+		if s.peerHost == sender.host {
+			return s.peerAddr
+		}
+	}
+	return netip.Addr{}
+}
+
+// filterReceived applies inbound processing: loop prevention and local-pref
+// assignment.
+func filterReceived(sp *speaker, routes []BGPRoute, fromAddr netip.Addr) []BGPRoute {
+	var cfg *BGPNeighbor
+	for i := range sp.dc.BGP.Neighbors {
+		if sp.dc.BGP.Neighbors[i].Addr == fromAddr {
+			cfg = &sp.dc.BGP.Neighbors[i]
+			break
+		}
+	}
+	var out []BGPRoute
+	for _, r := range routes {
+		if containsASN(r.ASPath, sp.dc.BGP.ASN) && cfg != nil && cfg.RemoteASN != sp.dc.BGP.ASN {
+			continue // eBGP AS-path loop
+		}
+		if r.OriginatorID.IsValid() && r.OriginatorID == sp.routerID {
+			continue // RR originator loop
+		}
+		r.LearnedFrom = fromAddr
+		if cfg != nil && cfg.RemoteASN != sp.dc.BGP.ASN {
+			r.FromEBGP = true
+			if cfg.LocalPrefIn > 0 {
+				r.LocalPref = cfg.LocalPrefIn
+			} else {
+				r.LocalPref = 100
+			}
+		} else {
+			r.FromEBGP = false
+			r.FromRRClient = cfg != nil && cfg.RRClient
+		}
+		r.Local = false
+		out = append(out, r)
+	}
+	return out
+}
+
+// advertise applies outbound policy for one route on one session.
+func (sp *speaker) advertise(rt BGPRoute, s session, myAddr netip.Addr) (BGPRoute, bool) {
+	out := rt
+	if s.ebgp {
+		if containsASN(rt.ASPath, s.cfg.RemoteASN) {
+			return BGPRoute{}, false
+		}
+		out.ASPath = append([]int{sp.dc.BGP.ASN}, rt.ASPath...)
+		out.NextHop = myAddr
+		out.MED = s.cfg.MEDOut
+		out.LocalPref = 0
+		out.OriginatorID = netip.Addr{}
+		out.FromRRClient = false
+		return out, true
+	}
+	// iBGP advertisement rules.
+	switch {
+	case rt.Local, rt.FromEBGP:
+		// Locally known routes go to every iBGP peer, with next-hop-self
+		// (the loopback) so the IGP can resolve it.
+		if sp.dc.HasLoopback() {
+			out.NextHop = sp.dc.Loopback
+		} else {
+			out.NextHop = myAddr
+		}
+		out.OriginatorID = sp.routerID
+	case rt.FromRRClient:
+		// Reflected from a client: to all iBGP peers.
+	default:
+		// From a non-client iBGP peer: only to my clients.
+		if !s.cfg.RRClient {
+			return BGPRoute{}, false
+		}
+	}
+	out.ASPath = append([]int{}, rt.ASPath...)
+	out.FromRRClient = false
+	if !out.OriginatorID.IsValid() {
+		out.OriginatorID = rt.OriginatorID
+	}
+	return out, true
+}
+
+func (e *BGPEngine) sessionsOf(sp *speaker) []session {
+	out := make([]session, len(sp.sessions))
+	copy(out, sp.sessions)
+	sort.Slice(out, func(i, j int) bool { return out[i].peerAddr.Less(out[j].peerAddr) })
+	return out
+}
+
+// selectBest runs the decision process for every known prefix.
+func (e *BGPEngine) selectBest(sp *speaker) {
+	candidates := map[netip.Prefix][]BGPRoute{}
+	// Locally originated networks.
+	for _, p := range sp.dc.BGP.Networks {
+		nh := netip.Addr{}
+		candidates[p] = append(candidates[p], BGPRoute{
+			Prefix: p, NextHop: nh, LocalPref: 100, Local: true,
+		})
+	}
+	peers := make([]netip.Addr, 0, len(sp.adjIn))
+	for a := range sp.adjIn {
+		peers = append(peers, a)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].Less(peers[j]) })
+	for _, peer := range peers {
+		for _, r := range sp.adjIn[peer] {
+			// Next-hop reachability check.
+			if r.NextHop.IsValid() && e.igp.IGPCost(sp.host, r.NextHop) < 0 {
+				continue
+			}
+			candidates[r.Prefix] = append(candidates[r.Prefix], r)
+		}
+	}
+	newRIB := map[netip.Prefix]BGPRoute{}
+	for p, cands := range candidates {
+		best, ok := e.decide(sp, cands)
+		if ok {
+			newRIB[p] = best
+		}
+	}
+	sp.locRIB = newRIB
+}
+
+// decide implements the BGP decision process with the speaker's vendor
+// profile.
+func (e *BGPEngine) decide(sp *speaker, cands []BGPRoute) (BGPRoute, bool) {
+	if len(cands) == 0 {
+		return BGPRoute{}, false
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if e.better(sp, c, best) {
+			best = c
+		}
+	}
+	return best, true
+}
+
+// better reports whether a beats b under the decision process.
+func (e *BGPEngine) better(sp *speaker, a, b BGPRoute) bool {
+	// 1. Highest local-pref.
+	if a.LocalPref != b.LocalPref {
+		return a.LocalPref > b.LocalPref
+	}
+	// 2. Locally originated.
+	if a.Local != b.Local {
+		return a.Local
+	}
+	// 3. Shortest AS path.
+	if len(a.ASPath) != len(b.ASPath) {
+		return len(a.ASPath) < len(b.ASPath)
+	}
+	// 4. Lowest MED, comparable only between routes from the same
+	// neighbouring AS (unless always-compare-med).
+	sameNeighborAS := len(a.ASPath) > 0 && len(b.ASPath) > 0 && a.ASPath[0] == b.ASPath[0]
+	if (sameNeighborAS || sp.profile.AlwaysCompareMED) && a.MED != b.MED {
+		return a.MED < b.MED
+	}
+	// 5. eBGP over iBGP.
+	if a.FromEBGP != b.FromEBGP {
+		return a.FromEBGP
+	}
+	// 6. Lowest IGP metric to next hop (vendor-dependent, §7.2).
+	if sp.profile.UseIGPTieBreak {
+		ca, cb := e.igpCostOf(sp, a), e.igpCostOf(sp, b)
+		if ca != cb {
+			return ca < cb
+		}
+	}
+	// 7. Lowest originator router-id (RFC 4456: the ORIGINATOR_ID
+	// substitutes for the router-id of reflected routes). This comparison
+	// is route-intrinsic — every viewer ranks candidates identically — so
+	// a decision process that stops here (Quagga without the IGP
+	// tie-break) reaches a globally consistent, stable choice where the
+	// viewer-dependent IGP comparison of step 6 can oscillate.
+	ra, rb := a.OriginatorID, b.OriginatorID
+	if !ra.IsValid() {
+		ra = a.LearnedFrom
+	}
+	if !rb.IsValid() {
+		rb = b.LearnedFrom
+	}
+	switch {
+	case !ra.IsValid() && rb.IsValid():
+		return true
+	case ra.IsValid() && !rb.IsValid():
+		return false
+	case ra.IsValid() && rb.IsValid() && ra != rb:
+		return ra.Less(rb)
+	}
+	// 8. Lowest peer address.
+	al, bl := a.LearnedFrom, b.LearnedFrom
+	switch {
+	case !al.IsValid() && bl.IsValid():
+		return true
+	case al.IsValid() && !bl.IsValid():
+		return false
+	case al.IsValid() && bl.IsValid() && al != bl:
+		return al.Less(bl)
+	}
+	return false
+}
+
+func (e *BGPEngine) igpCostOf(sp *speaker, r BGPRoute) int {
+	if !r.NextHop.IsValid() {
+		return 0
+	}
+	c := e.igp.IGPCost(sp.host, r.NextHop)
+	if c < 0 {
+		return 1 << 30
+	}
+	return c
+}
+
+// Run executes rounds until convergence, a repeated state (oscillation), or
+// maxRounds. It returns the outcome.
+func (e *BGPEngine) Run(maxRounds int) BGPResult {
+	if maxRounds <= 0 {
+		maxRounds = 100
+	}
+	e.stateHashes = map[uint64]int{}
+	for r := 0; r < maxRounds; r++ {
+		if e.Step() {
+			e.converged = true
+			break
+		}
+		h := e.stateHash()
+		if prev, seen := e.stateHashes[h]; seen {
+			e.oscillating = true
+			e.cycleLen = e.rounds - prev
+			break
+		}
+		e.stateHashes[h] = e.rounds
+	}
+	if !e.converged && !e.oscillating {
+		e.oscillating = true // ran out of rounds without stabilising
+		e.cycleLen = -1
+	}
+	return BGPResult{
+		Converged:   e.converged,
+		Oscillating: e.oscillating,
+		Rounds:      e.rounds,
+		CycleLen:    e.cycleLen,
+	}
+}
+
+// BGPResult summarises a Run.
+type BGPResult struct {
+	Converged   bool
+	Oscillating bool
+	Rounds      int
+	CycleLen    int
+}
+
+// stateHash hashes the complete protocol state — every speaker's
+// adj-RIB-in and selection. Selections alone are insufficient: during
+// initial propagation the selected routes can be momentarily stable while
+// longer paths are still flooding, which must not register as a cycle.
+func (e *BGPEngine) stateHash() uint64 {
+	h := fnv.New64a()
+	for _, host := range e.order {
+		sp := e.speakers[host]
+		fmt.Fprintf(h, "%s|", host)
+		peers := make([]netip.Addr, 0, len(sp.adjIn))
+		for a := range sp.adjIn {
+			peers = append(peers, a)
+		}
+		sort.Slice(peers, func(i, j int) bool { return peers[i].Less(peers[j]) })
+		for _, peer := range peers {
+			fmt.Fprintf(h, "<%v:", peer)
+			for _, rt := range sp.adjIn[peer] {
+				fmt.Fprintf(h, "%v>%v[%s]lp%dm%do%v;", rt.Prefix, rt.NextHop, rt.pathString(), rt.LocalPref, rt.MED, rt.OriginatorID)
+			}
+		}
+		for _, p := range sortedPrefixes(sp.locRIB) {
+			rt := sp.locRIB[p]
+			fmt.Fprintf(h, "%v>%v[%s];", p, rt.NextHop, rt.pathString())
+		}
+	}
+	return h.Sum64()
+}
+
+// BestRoutes returns a speaker's selected routes, sorted by prefix (the
+// emulated `show ip bgp`).
+func (e *BGPEngine) BestRoutes(host string) []BGPRoute {
+	sp, ok := e.speakers[host]
+	if !ok {
+		return nil
+	}
+	var out []BGPRoute
+	for _, p := range sortedPrefixes(sp.locRIB) {
+		out = append(out, sp.locRIB[p])
+	}
+	return out
+}
+
+// Speakers returns the hostnames running BGP, sorted.
+func (e *BGPEngine) Speakers() []string {
+	out := make([]string, len(e.order))
+	copy(out, e.order)
+	return out
+}
+
+func sortedPrefixes(m map[netip.Prefix]BGPRoute) []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr() != out[j].Addr() {
+			return out[i].Addr().Less(out[j].Addr())
+		}
+		return out[i].Bits() < out[j].Bits()
+	})
+	return out
+}
+
+// adjEqual compares two adj-RIB-in states, treating absent and empty peer
+// entries as equal.
+func adjEqual(a, b map[netip.Addr][]BGPRoute) bool {
+	keys := map[netip.Addr]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	for k := range keys {
+		ra, rb := a[k], b[k]
+		if len(ra) != len(rb) {
+			return false
+		}
+		for i := range ra {
+			if !routeEqual(ra[i], rb[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func routeEqual(a, b BGPRoute) bool {
+	if a.Prefix != b.Prefix || a.NextHop != b.NextHop || a.LocalPref != b.LocalPref ||
+		a.MED != b.MED || a.FromEBGP != b.FromEBGP || a.Local != b.Local ||
+		a.OriginatorID != b.OriginatorID || len(a.ASPath) != len(b.ASPath) {
+		return false
+	}
+	for i := range a.ASPath {
+		if a.ASPath[i] != b.ASPath[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsASN(path []int, asn int) bool {
+	for _, a := range path {
+		if a == asn {
+			return true
+		}
+	}
+	return false
+}

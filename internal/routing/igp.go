@@ -1,0 +1,45 @@
+package routing
+
+import "net/netip"
+
+// CompositeIGP combines per-AS OSPF domains into one IGPCoster for the BGP
+// engine: directly connected destinations cost 0 regardless of any IGP;
+// otherwise the host's own OSPF domain answers; destinations outside both
+// are unreachable.
+type CompositeIGP struct {
+	devices map[string]*DeviceConfig
+	domains map[string]*OSPFDomain // hostname -> its domain
+}
+
+// NewCompositeIGP returns an empty composite.
+func NewCompositeIGP() *CompositeIGP {
+	return &CompositeIGP{devices: map[string]*DeviceConfig{}, domains: map[string]*OSPFDomain{}}
+}
+
+// AddDevice registers a device (with or without an OSPF domain).
+func (c *CompositeIGP) AddDevice(dc *DeviceConfig, domain *OSPFDomain) {
+	c.devices[dc.Hostname] = dc
+	if domain != nil {
+		c.domains[dc.Hostname] = domain
+	}
+}
+
+// IGPCost implements IGPCoster.
+func (c *CompositeIGP) IGPCost(host string, addr netip.Addr) int {
+	dc, ok := c.devices[host]
+	if !ok {
+		return -1
+	}
+	for _, ic := range dc.Interfaces {
+		if ic.Prefix.Contains(addr) {
+			return 0
+		}
+	}
+	if dc.HasLoopback() && dc.Loopback == addr {
+		return 0
+	}
+	if d, ok := c.domains[host]; ok {
+		return d.IGPCost(host, addr)
+	}
+	return -1
+}

@@ -1,0 +1,329 @@
+package routing
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// The OSPF engine: routers whose configurations advertise the same subnet
+// (via `network` statements) and share that subnet on an interface become
+// adjacent. Each router then runs Dijkstra over the resulting link-state
+// view and installs one route per advertised prefix.
+//
+// Simplifications versus a full OSPFv2 implementation, none of which
+// affect the experiments: areas are honoured as labels but SPF runs over
+// the whole domain (all labs use backbone-only or congruent areas); no
+// designated-router election (collision domains are modelled directly);
+// timers are not simulated (the engine computes the converged state).
+
+// OSPFNeighbor is one adjacency, as reported by `show ip ospf neighbor`.
+type OSPFNeighbor struct {
+	Hostname string
+	RouterID netip.Addr
+	Addr     netip.Addr // neighbor's address on the shared subnet
+	Iface    string     // local interface
+	Area     int
+}
+
+// OSPFDomain computes link-state routing for a set of device configs that
+// share an OSPF domain (one AS).
+type OSPFDomain struct {
+	devices map[string]*DeviceConfig
+	order   []string
+
+	neighbors map[string][]OSPFNeighbor
+	routes    map[string][]Route
+}
+
+// NewOSPFDomain builds the domain from the participating devices.
+func NewOSPFDomain(devices []*DeviceConfig) *OSPFDomain {
+	d := &OSPFDomain{
+		devices:   map[string]*DeviceConfig{},
+		neighbors: map[string][]OSPFNeighbor{},
+		routes:    map[string][]Route{},
+	}
+	for _, dc := range devices {
+		if dc.OSPF == nil {
+			continue
+		}
+		d.devices[dc.Hostname] = dc
+		d.order = append(d.order, dc.Hostname)
+	}
+	sort.Strings(d.order)
+	return d
+}
+
+// ospfIfaces returns the interfaces of a device that fall inside one of its
+// OSPF network statements, with the matching area.
+func ospfIfaces(dc *DeviceConfig) []struct {
+	ic   InterfaceConfig
+	area int
+} {
+	var out []struct {
+		ic   InterfaceConfig
+		area int
+	}
+	for _, ic := range dc.Interfaces {
+		for _, n := range dc.OSPF.Networks {
+			if n.Prefix == ic.Prefix || (n.Prefix.Contains(ic.Addr) && n.Prefix.Bits() <= ic.Prefix.Bits()) {
+				out = append(out, struct {
+					ic   InterfaceConfig
+					area int
+				}{ic, n.Area})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Converge computes adjacencies and per-router routes.
+func (d *OSPFDomain) Converge() error {
+	// Subnet -> attached (hostname, iface, area).
+	type attach struct {
+		host string
+		ic   InterfaceConfig
+		area int
+	}
+	bySubnet := map[netip.Prefix][]attach{}
+	for _, host := range d.order {
+		dc := d.devices[host]
+		for _, x := range ospfIfaces(dc) {
+			bySubnet[x.ic.Prefix] = append(bySubnet[x.ic.Prefix], attach{host, x.ic, x.area})
+		}
+	}
+	// Adjacencies: all pairs on a shared advertised subnet.
+	type edge struct {
+		a, b     string
+		aIC, bIC InterfaceConfig
+		area     int
+	}
+	var edges []edge
+	subnets := make([]netip.Prefix, 0, len(bySubnet))
+	for p := range bySubnet {
+		subnets = append(subnets, p)
+	}
+	sort.Slice(subnets, func(i, j int) bool { return subnets[i].Addr().Less(subnets[j].Addr()) })
+	for _, p := range subnets {
+		atts := bySubnet[p]
+		for i := 0; i < len(atts); i++ {
+			for j := i + 1; j < len(atts); j++ {
+				if atts[i].host == atts[j].host {
+					continue
+				}
+				// Passive interfaces advertise the subnet but form no
+				// adjacency (eBGP-facing links).
+				if atts[i].ic.Passive || atts[j].ic.Passive {
+					continue
+				}
+				edges = append(edges, edge{atts[i].host, atts[j].host, atts[i].ic, atts[j].ic, atts[i].area})
+				d.neighbors[atts[i].host] = append(d.neighbors[atts[i].host], OSPFNeighbor{
+					Hostname: atts[j].host, RouterID: d.routerID(atts[j].host),
+					Addr: atts[j].ic.Addr, Iface: atts[i].ic.Name, Area: atts[i].area,
+				})
+				d.neighbors[atts[j].host] = append(d.neighbors[atts[j].host], OSPFNeighbor{
+					Hostname: atts[i].host, RouterID: d.routerID(atts[i].host),
+					Addr: atts[i].ic.Addr, Iface: atts[j].ic.Name, Area: atts[j].area,
+				})
+			}
+		}
+	}
+	// Per-router Dijkstra over (host) graph; cost = outgoing interface cost.
+	type nbrLink struct {
+		to      string
+		cost    int
+		viaIf   string     // local outgoing interface
+		nextHop netip.Addr // neighbor address on the shared subnet
+	}
+	adj := map[string][]nbrLink{}
+	for _, e := range edges {
+		ca, cb := e.aIC.Cost, e.bIC.Cost
+		if ca <= 0 {
+			ca = 1
+		}
+		if cb <= 0 {
+			cb = 1
+		}
+		adj[e.a] = append(adj[e.a], nbrLink{e.b, ca, e.aIC.Name, e.bIC.Addr})
+		adj[e.b] = append(adj[e.b], nbrLink{e.a, cb, e.bIC.Name, e.aIC.Addr})
+	}
+	for _, src := range d.order {
+		dist := map[string]int{src: 0}
+		type firstHop struct {
+			nextHop netip.Addr
+			outIf   string
+		}
+		first := map[string]firstHop{}
+		visited := map[string]bool{}
+		for {
+			// Deterministic minimum selection.
+			cur, curDist := "", -1
+			for h, ds := range dist {
+				if visited[h] {
+					continue
+				}
+				if curDist < 0 || ds < curDist || (ds == curDist && h < cur) {
+					cur, curDist = h, ds
+				}
+			}
+			if cur == "" {
+				break
+			}
+			visited[cur] = true
+			links := adj[cur]
+			sort.Slice(links, func(i, j int) bool { return links[i].to < links[j].to })
+			for _, l := range links {
+				nd := curDist + l.cost
+				old, seen := dist[l.to]
+				if !seen || nd < old {
+					dist[l.to] = nd
+					if cur == src {
+						first[l.to] = firstHop{l.nextHop, l.viaIf}
+					} else {
+						first[l.to] = first[cur]
+					}
+				}
+			}
+		}
+		// Install routes: every advertised prefix of every reachable router.
+		var routes []Route
+		srcDC := d.devices[src]
+		for _, dst := range d.order {
+			if dst == src {
+				continue
+			}
+			total, reachable := dist[dst]
+			if !reachable {
+				continue
+			}
+			fh := first[dst]
+			for _, x := range ospfIfaces(d.devices[dst]) {
+				// Skip prefixes the source is directly attached to.
+				if srcAttached(srcDC, x.ic.Prefix) {
+					continue
+				}
+				routes = append(routes, Route{
+					Prefix:  x.ic.Prefix,
+					NextHop: fh.nextHop,
+					OutIf:   fh.outIf,
+					Origin:  OriginOSPF,
+					Metric:  total + x.ic.Cost,
+				})
+			}
+		}
+		// Deduplicate to lowest metric per prefix.
+		best := map[netip.Prefix]Route{}
+		for _, rt := range routes {
+			if old, ok := best[rt.Prefix]; !ok || rt.Metric < old.Metric {
+				best[rt.Prefix] = rt
+			}
+		}
+		var final []Route
+		prefixes := make([]netip.Prefix, 0, len(best))
+		for p := range best {
+			prefixes = append(prefixes, p)
+		}
+		sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Addr().Less(prefixes[j].Addr()) })
+		for _, p := range prefixes {
+			final = append(final, best[p])
+		}
+		d.routes[src] = final
+	}
+	return nil
+}
+
+func srcAttached(dc *DeviceConfig, p netip.Prefix) bool {
+	for _, ic := range dc.Interfaces {
+		if ic.Prefix == p {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *OSPFDomain) routerID(host string) netip.Addr {
+	dc := d.devices[host]
+	if dc.HasLoopback() {
+		return dc.Loopback
+	}
+	if len(dc.Interfaces) > 0 {
+		return dc.Interfaces[0].Addr
+	}
+	return netip.Addr{}
+}
+
+// Neighbors returns a router's adjacencies (the emulated `show ip ospf
+// neighbor`).
+func (d *OSPFDomain) Neighbors(host string) []OSPFNeighbor {
+	out := make([]OSPFNeighbor, len(d.neighbors[host]))
+	copy(out, d.neighbors[host])
+	sort.Slice(out, func(i, j int) bool { return out[i].Hostname < out[j].Hostname })
+	return out
+}
+
+// Routes returns a router's computed OSPF routes.
+func (d *OSPFDomain) Routes(host string) []Route { return d.routes[host] }
+
+// IGPCost returns the metric from a router to an address (used by the BGP
+// decision process's IGP tie-break): the metric of the best route covering
+// the address, 0 when directly connected, -1 when unreachable.
+func (d *OSPFDomain) IGPCost(host string, addr netip.Addr) int {
+	dc, ok := d.devices[host]
+	if !ok {
+		return -1
+	}
+	for _, ic := range dc.Interfaces {
+		if ic.Prefix.Contains(addr) {
+			return 0
+		}
+	}
+	if dc.HasLoopback() && dc.Loopback == addr {
+		return 0
+	}
+	best := -1
+	for _, rt := range d.routes[host] {
+		if rt.Prefix.Contains(addr) {
+			if best < 0 || rt.Metric < best {
+				best = rt.Metric
+			}
+		}
+	}
+	return best
+}
+
+// String summarises the domain.
+func (d *OSPFDomain) String() string {
+	return fmt.Sprintf("ospf-domain(%d routers)", len(d.order))
+}
+
+// NewISISDomain maps IS-IS configurations onto the link-state engine: both
+// protocols compute SPF over shared-subnet adjacencies, so an IS-IS domain
+// is an OSPFDomain over synthesized configs whose advertised networks are
+// the subnets of the IS-IS-enabled interfaces plus the loopback. Metrics
+// come from the interface costs.
+func NewISISDomain(devices []*DeviceConfig) *OSPFDomain {
+	var synth []*DeviceConfig
+	for _, dc := range devices {
+		if dc.ISIS == nil {
+			continue
+		}
+		enabled := map[string]bool{"lo": true}
+		for _, name := range dc.ISIS.Interfaces {
+			enabled[name] = true
+		}
+		clone := &DeviceConfig{
+			Hostname: dc.Hostname,
+			Loopback: dc.Loopback,
+			OSPF:     &OSPFConfig{ProcessID: 0},
+		}
+		for _, ic := range dc.Interfaces {
+			clone.Interfaces = append(clone.Interfaces, ic)
+			if enabled[ic.Name] {
+				clone.OSPF.Networks = append(clone.OSPF.Networks, OSPFNetwork{Prefix: ic.Prefix, Area: 0})
+			}
+		}
+		synth = append(synth, clone)
+	}
+	return NewOSPFDomain(synth)
+}

@@ -1,0 +1,225 @@
+// Package dns implements the DNS service of §3.3: zone generation that is
+// consistent-by-construction with the IP allocation (forward zones per AS,
+// reverse in-addr.arpa zones for infrastructure and loopback blocks),
+// BIND-style zone file rendering, and an in-memory resolver used by the
+// measurement system to translate traceroute addresses into names.
+package dns
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"autonetkit/internal/core"
+	"autonetkit/internal/ipalloc"
+	"autonetkit/internal/netaddr"
+)
+
+// Record is one resource record.
+type Record struct {
+	Name  string // fully qualified, without trailing dot
+	Type  string // A, PTR, NS, SOA
+	Value string
+}
+
+// Zone is one generated zone.
+type Zone struct {
+	Name    string // e.g. "as1.lab" or "1.168.192.in-addr.arpa"
+	Reverse bool
+	Records []Record
+}
+
+// Render writes the zone as a BIND-style zone file.
+func (z Zone) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "$ORIGIN %s.\n$TTL 86400\n", z.Name)
+	fmt.Fprintf(&sb, "@ IN SOA ns.%s. admin.%s. ( 1 3600 900 604800 86400 )\n", z.Name, z.Name)
+	fmt.Fprintf(&sb, "@ IN NS ns.%s.\n", z.Name)
+	for _, r := range z.Records {
+		name := r.Name
+		if strings.HasSuffix(name, "."+z.Name) {
+			name = strings.TrimSuffix(name, "."+z.Name)
+		}
+		val := r.Value
+		if r.Type == "PTR" && !strings.HasSuffix(val, ".") {
+			val += "."
+		}
+		fmt.Fprintf(&sb, "%s IN %s %s\n", name, r.Type, val)
+	}
+	return sb.String()
+}
+
+// Config parameterises zone generation.
+type Config struct {
+	// Domain is the lab's base domain, default "lab".
+	Domain string
+}
+
+// Zones is the complete generated DNS state.
+type Zones struct {
+	Forward []Zone
+	Reverse []Zone
+}
+
+// All returns forward then reverse zones.
+func (z Zones) All() []Zone {
+	out := append([]Zone{}, z.Forward...)
+	return append(out, z.Reverse...)
+}
+
+// Generate builds forward and reverse zones from the model and allocation.
+// Forward zones are per-AS ("as<N>.<domain>"): each router's loopback under
+// its hostname, plus one name per interface ("<host>-<cd>"). Reverse zones
+// cover every allocated address with a PTR back to the forward name — this
+// is the consistency the paper stresses ("configuration has to be
+// consistent with the name and IP address allocations").
+func Generate(anm *core.ANM, alloc *ipalloc.Result, cfg Config) (Zones, error) {
+	if cfg.Domain == "" {
+		cfg.Domain = "lab"
+	}
+	phy := anm.Overlay(core.OverlayPhy)
+	if phy == nil || alloc == nil {
+		return Zones{}, fmt.Errorf("dns: need phy overlay and allocation")
+	}
+	fwdByASN := map[int]*Zone{}
+	var asns []int
+	fwdZone := func(asn int) *Zone {
+		z, ok := fwdByASN[asn]
+		if !ok {
+			z = &Zone{Name: fmt.Sprintf("as%d.%s", asn, cfg.Domain)}
+			fwdByASN[asn] = z
+			asns = append(asns, asn)
+		}
+		return z
+	}
+	revRecords := map[string][]Record{} // reverse zone name -> records
+	addPTR := func(addr netip.Addr, fqdn string) {
+		zoneName := netaddr.ReverseZone(netip.PrefixFrom(addr, 32))
+		revRecords[zoneName] = append(revRecords[zoneName], Record{
+			Name: netaddr.ReverseName(addr), Type: "PTR", Value: fqdn,
+		})
+	}
+
+	for _, e := range alloc.Table.Entries() {
+		node := alloc.Overlay.Node(e.Node)
+		asn := node.ASN()
+		z := fwdZone(asn)
+		var fqdn string
+		if e.Loopback {
+			fqdn = fmt.Sprintf("%s.%s", e.Node, z.Name)
+		} else {
+			// Interface names keep the device as the first label so
+			// traceroute reverse lookups display the router (§6.1), with
+			// the collision domain as a sub-label.
+			fqdn = fmt.Sprintf("%s.%s.%s", e.Node, sanitizeLabel(string(e.CD)), z.Name)
+		}
+		z.Records = append(z.Records, Record{Name: fqdn, Type: "A", Value: e.Addr.String()})
+		addPTR(e.Addr, fqdn)
+	}
+
+	var out Zones
+	sort.Ints(asns)
+	for _, asn := range asns {
+		z := fwdByASN[asn]
+		sort.Slice(z.Records, func(i, j int) bool { return z.Records[i].Name < z.Records[j].Name })
+		out.Forward = append(out.Forward, *z)
+	}
+	var revNames []string
+	for name := range revRecords {
+		revNames = append(revNames, name)
+	}
+	sort.Strings(revNames)
+	for _, name := range revNames {
+		recs := revRecords[name]
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
+		out.Reverse = append(out.Reverse, Zone{Name: name, Reverse: true, Records: recs})
+	}
+	return out, nil
+}
+
+func sanitizeLabel(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		case r == '_':
+			return '-'
+		default:
+			return -1
+		}
+	}, s)
+}
+
+// Resolver answers forward and reverse queries over a set of zones — the
+// emulated DNS server the measurement client can point at.
+type Resolver struct {
+	byName map[string]netip.Addr
+	byAddr map[netip.Addr]string
+}
+
+// NewResolver indexes the zones.
+func NewResolver(zones Zones) *Resolver {
+	r := &Resolver{byName: map[string]netip.Addr{}, byAddr: map[netip.Addr]string{}}
+	for _, z := range zones.All() {
+		for _, rec := range z.Records {
+			switch rec.Type {
+			case "A":
+				if a, err := netip.ParseAddr(rec.Value); err == nil {
+					r.byName[rec.Name] = a
+				}
+			case "PTR":
+				// rec.Name is the in-addr.arpa name.
+				if a, ok := addrFromReverseName(rec.Name); ok {
+					r.byAddr[a] = strings.TrimSuffix(rec.Value, ".")
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Lookup resolves a name to an address.
+func (r *Resolver) Lookup(name string) (netip.Addr, bool) {
+	a, ok := r.byName[name]
+	return a, ok
+}
+
+// ReverseLookup resolves an address to its PTR name.
+func (r *Resolver) ReverseLookup(a netip.Addr) (string, bool) {
+	n, ok := r.byAddr[a]
+	return n, ok
+}
+
+// HostPart returns the first label of the PTR name for an address —
+// "as100r1" from "as100r1.as100.lab" — for traceroute display.
+func (r *Resolver) HostPart(a netip.Addr) string {
+	n, ok := r.byAddr[a]
+	if !ok {
+		return ""
+	}
+	if i := strings.Index(n, "."); i >= 0 {
+		return n[:i]
+	}
+	return n
+}
+
+func addrFromReverseName(name string) (netip.Addr, bool) {
+	rest, ok := strings.CutSuffix(name, ".in-addr.arpa")
+	if !ok {
+		return netip.Addr{}, false
+	}
+	parts := strings.Split(rest, ".")
+	if len(parts) != 4 {
+		return netip.Addr{}, false
+	}
+	// Reverse the octet order.
+	flipped := parts[3] + "." + parts[2] + "." + parts[1] + "." + parts[0]
+	a, err := netip.ParseAddr(flipped)
+	if err != nil {
+		return netip.Addr{}, false
+	}
+	return a, true
+}

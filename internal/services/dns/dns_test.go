@@ -1,0 +1,145 @@
+package dns
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"autonetkit/internal/core"
+	"autonetkit/internal/graph"
+	"autonetkit/internal/ipalloc"
+)
+
+func model(t *testing.T) (*core.ANM, *ipalloc.Result) {
+	t.Helper()
+	anm := core.NewANM()
+	phy := anm.Overlay(core.OverlayPhy)
+	for _, n := range []struct {
+		id  graph.ID
+		asn int
+	}{{"r1", 1}, {"r2", 1}, {"r3", 2}} {
+		phy.AddNode(n.id, graph.Attrs{core.AttrASN: n.asn, core.AttrDeviceType: core.DeviceRouter})
+	}
+	phy.AddEdge("r1", "r2")
+	phy.AddEdge("r2", "r3")
+	alloc, err := ipalloc.NewDefault().Allocate(anm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return anm, alloc
+}
+
+func TestGenerateZones(t *testing.T) {
+	anm, alloc := model(t)
+	zones, err := Generate(anm, alloc, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zones.Forward) != 2 {
+		t.Fatalf("forward zones = %d, want 2 (as1, as2)", len(zones.Forward))
+	}
+	if zones.Forward[0].Name != "as1.lab" || zones.Forward[1].Name != "as2.lab" {
+		t.Errorf("zone names = %s, %s", zones.Forward[0].Name, zones.Forward[1].Name)
+	}
+	if len(zones.Reverse) == 0 {
+		t.Fatal("no reverse zones")
+	}
+}
+
+// E11: every allocated address has a PTR record and every PTR maps back to
+// a forward A record — full consistency with the allocation.
+func TestE11_ZoneConsistency(t *testing.T) {
+	anm, alloc := model(t)
+	zones, err := Generate(anm, alloc, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewResolver(zones)
+	for _, e := range alloc.Table.Entries() {
+		name, ok := r.ReverseLookup(e.Addr)
+		if !ok {
+			t.Errorf("address %v has no PTR", e.Addr)
+			continue
+		}
+		if !strings.HasPrefix(name, string(e.Node)) {
+			t.Errorf("PTR for %v = %q, want prefix %q", e.Addr, name, e.Node)
+		}
+		back, ok := r.Lookup(name)
+		if !ok || back != e.Addr {
+			t.Errorf("A record for %q = %v, want %v", name, back, e.Addr)
+		}
+	}
+	// Loopback gets the bare hostname.
+	lb := alloc.Overlay.Node("r1").Get(ipalloc.AttrLoopback).(netip.Addr)
+	if name, _ := r.ReverseLookup(lb); name != "r1.as1.lab" {
+		t.Errorf("loopback PTR = %q", name)
+	}
+	if r.HostPart(lb) != "r1" {
+		t.Errorf("host part = %q", r.HostPart(lb))
+	}
+}
+
+func TestZoneRender(t *testing.T) {
+	anm, alloc := model(t)
+	zones, err := Generate(anm, alloc, Config{Domain: "example.test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := zones.Forward[0].Render()
+	for _, want := range []string{"$ORIGIN as1.example.test.", "IN SOA", "IN NS", "IN A "} {
+		if !strings.Contains(text, want) {
+			t.Errorf("zone file missing %q:\n%s", want, text)
+		}
+	}
+	rev := zones.Reverse[0].Render()
+	if !strings.Contains(rev, "IN PTR ") || !strings.Contains(rev, "in-addr.arpa.") {
+		t.Errorf("reverse zone:\n%s", rev)
+	}
+	// PTR targets are fully qualified.
+	for _, line := range strings.Split(rev, "\n") {
+		if strings.Contains(line, "IN PTR") && !strings.HasSuffix(line, ".") {
+			t.Errorf("unqualified PTR target: %q", line)
+		}
+	}
+}
+
+func TestResolverMisses(t *testing.T) {
+	r := NewResolver(Zones{})
+	if _, ok := r.Lookup("nope.lab"); ok {
+		t.Error("phantom forward hit")
+	}
+	if _, ok := r.ReverseLookup(netip.MustParseAddr("203.0.113.1")); ok {
+		t.Error("phantom reverse hit")
+	}
+	if r.HostPart(netip.MustParseAddr("203.0.113.1")) != "" {
+		t.Error("phantom host part")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(core.NewANM(), nil, Config{}); err == nil {
+		t.Error("nil allocation accepted")
+	}
+}
+
+func TestAddrFromReverseName(t *testing.T) {
+	a, ok := addrFromReverseName("5.1.168.192.in-addr.arpa")
+	if !ok || a != netip.MustParseAddr("192.168.1.5") {
+		t.Errorf("got %v %v", a, ok)
+	}
+	if _, ok := addrFromReverseName("not-a-ptr"); ok {
+		t.Error("garbage accepted")
+	}
+	if _, ok := addrFromReverseName("1.2.3.in-addr.arpa"); ok {
+		t.Error("short name accepted")
+	}
+}
+
+func TestSanitizeLabel(t *testing.T) {
+	if got := sanitizeLabel("cd_r1_r2"); got != "cd-r1-r2" {
+		t.Errorf("got %q", got)
+	}
+	if got := sanitizeLabel("UPPER.case!"); got != "uppercase" {
+		t.Errorf("got %q", got)
+	}
+}

@@ -1,0 +1,450 @@
+// Package rpki implements the Resource Public Key Infrastructure service
+// network of §3.3: a hierarchy of certificate authorities with resources
+// (address space) assigned down the tree, Route Origin Authorisations
+// signed by the owning CA, publication points where signed objects are made
+// available, and a distribution hierarchy of caches that fetch and
+// cryptographically check objects before feeding them to routers.
+//
+// The paper's deployment used real RPKI daemons on 800+ KVM machines; here
+// the cryptography is a hash-chain stand-in (object identity and tamper
+// detection, not confidentiality) and the fetch protocol is simulated
+// rounds, but the structure — CA tree validity, propagation depth, origin
+// validation outcomes — is preserved, which is what the experiment
+// measures.
+package rpki
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"autonetkit/internal/netaddr"
+)
+
+// CA is one certificate authority in the hierarchy.
+type CA struct {
+	Name      string
+	Parent    *CA // nil for the trust anchor
+	Resources []netip.Prefix
+	children  []*CA
+	fp        string // certificate fingerprint (hash chain)
+}
+
+// ROA is a signed Route Origin Authorisation.
+type ROA struct {
+	Prefix    netip.Prefix
+	MaxLength int
+	ASN       int
+	Issuer    string // CA name
+	Signature string
+}
+
+// Key returns a stable identity for the object.
+func (r ROA) Key() string {
+	return fmt.Sprintf("%v-%d-%d@%s", r.Prefix, r.MaxLength, r.ASN, r.Issuer)
+}
+
+// Hierarchy is the CA tree plus issued objects.
+type Hierarchy struct {
+	root *CA
+	cas  map[string]*CA
+	roas []ROA
+}
+
+// NewHierarchy creates a trust anchor holding the given resources.
+func NewHierarchy(rootName string, resources ...netip.Prefix) *Hierarchy {
+	root := &CA{Name: rootName, Resources: resources}
+	root.fp = fingerprint(rootName, "", resources)
+	return &Hierarchy{root: root, cas: map[string]*CA{rootName: root}}
+}
+
+// Root returns the trust anchor.
+func (h *Hierarchy) Root() *CA { return h.root }
+
+// CAs returns all CA names, sorted.
+func (h *Hierarchy) CAs() []string {
+	out := make([]string, 0, len(h.cas))
+	for name := range h.cas {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CA returns a CA by name.
+func (h *Hierarchy) CA(name string) (*CA, bool) {
+	ca, ok := h.cas[name]
+	return ca, ok
+}
+
+// AddCA creates a child CA under parent with a subset of its resources.
+// Resource containment is enforced, as in real RPKI certification.
+func (h *Hierarchy) AddCA(name, parentName string, resources ...netip.Prefix) (*CA, error) {
+	if _, dup := h.cas[name]; dup {
+		return nil, fmt.Errorf("rpki: CA %q already exists", name)
+	}
+	parent, ok := h.cas[parentName]
+	if !ok {
+		return nil, fmt.Errorf("rpki: parent CA %q unknown", parentName)
+	}
+	for _, r := range resources {
+		if !coveredBy(r, parent.Resources) {
+			return nil, fmt.Errorf("rpki: resource %v of %s not covered by parent %s", r, name, parentName)
+		}
+	}
+	ca := &CA{Name: name, Parent: parent, Resources: resources}
+	ca.fp = fingerprint(name, parent.fp, resources)
+	parent.children = append(parent.children, ca)
+	h.cas[name] = ca
+	return ca, nil
+}
+
+// SignROA issues a ROA from the named CA; the prefix must be within the
+// CA's resources and maxLength within [prefix length, 32].
+func (h *Hierarchy) SignROA(caName string, prefix netip.Prefix, maxLength, asn int) (ROA, error) {
+	ca, ok := h.cas[caName]
+	if !ok {
+		return ROA{}, fmt.Errorf("rpki: CA %q unknown", caName)
+	}
+	if !coveredBy(prefix, ca.Resources) {
+		return ROA{}, fmt.Errorf("rpki: %s does not hold %v", caName, prefix)
+	}
+	if maxLength < prefix.Bits() || maxLength > 32 {
+		return ROA{}, fmt.Errorf("rpki: maxLength %d invalid for %v", maxLength, prefix)
+	}
+	if asn <= 0 {
+		return ROA{}, fmt.Errorf("rpki: invalid ASN %d", asn)
+	}
+	roa := ROA{Prefix: prefix.Masked(), MaxLength: maxLength, ASN: asn, Issuer: caName}
+	roa.Signature = sign(ca.fp, roa.Key())
+	h.roas = append(h.roas, roa)
+	return roa, nil
+}
+
+// ROAs returns all issued ROAs.
+func (h *Hierarchy) ROAs() []ROA {
+	out := make([]ROA, len(h.roas))
+	copy(out, h.roas)
+	return out
+}
+
+// VerifyChain checks a CA's certificate chain up to the trust anchor.
+func (h *Hierarchy) VerifyChain(caName string) error {
+	ca, ok := h.cas[caName]
+	if !ok {
+		return fmt.Errorf("rpki: CA %q unknown", caName)
+	}
+	for ca.Parent != nil {
+		want := fingerprint(ca.Name, ca.Parent.fp, ca.Resources)
+		if ca.fp != want {
+			return fmt.Errorf("rpki: certificate of %s fails verification", ca.Name)
+		}
+		for _, r := range ca.Resources {
+			if !coveredBy(r, ca.Parent.Resources) {
+				return fmt.Errorf("rpki: %s holds %v outside parent resources", ca.Name, r)
+			}
+		}
+		ca = ca.Parent
+	}
+	if ca != h.root {
+		return fmt.Errorf("rpki: chain of %s does not terminate at the trust anchor", caName)
+	}
+	return nil
+}
+
+// VerifyROA checks a ROA's signature against its issuer.
+func (h *Hierarchy) VerifyROA(roa ROA) error {
+	ca, ok := h.cas[roa.Issuer]
+	if !ok {
+		return fmt.Errorf("rpki: issuer %q unknown", roa.Issuer)
+	}
+	if roa.Signature != sign(ca.fp, roa.Key()) {
+		return fmt.Errorf("rpki: ROA %s signature invalid", roa.Key())
+	}
+	if err := h.VerifyChain(roa.Issuer); err != nil {
+		return err
+	}
+	if !coveredBy(roa.Prefix, ca.Resources) {
+		return fmt.Errorf("rpki: ROA %s outside issuer resources", roa.Key())
+	}
+	return nil
+}
+
+func coveredBy(p netip.Prefix, resources []netip.Prefix) bool {
+	for _, r := range resources {
+		if netaddr.Contains(r, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func fingerprint(name, parentFP string, resources []netip.Prefix) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%s", name, parentFP, netaddr.FormatCIDRList(resources))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func sign(fp, payload string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s", fp, payload)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Validity is the RFC 6811 origin-validation outcome.
+type Validity string
+
+// Outcomes.
+const (
+	Valid    Validity = "valid"
+	Invalid  Validity = "invalid"
+	NotFound Validity = "notfound"
+)
+
+// ValidateOrigin applies RFC 6811 semantics against a ROA set: NotFound
+// when no ROA covers the prefix; Valid when a covering ROA matches the
+// origin AS and the prefix length is within maxLength; Invalid otherwise.
+func ValidateOrigin(roas []ROA, prefix netip.Prefix, originASN int) Validity {
+	covered := false
+	for _, r := range roas {
+		if !netaddr.Contains(r.Prefix, prefix) {
+			continue
+		}
+		covered = true
+		if r.ASN == originASN && prefix.Bits() <= r.MaxLength {
+			return Valid
+		}
+	}
+	if covered {
+		return Invalid
+	}
+	return NotFound
+}
+
+// --- distribution: publication points and caches ---
+
+// PublicationPoint holds the signed objects a CA publishes.
+type PublicationPoint struct {
+	Name    string
+	objects map[string]ROA
+}
+
+// Publish adds a ROA to the point.
+func (p *PublicationPoint) Publish(roa ROA) {
+	if p.objects == nil {
+		p.objects = map[string]ROA{}
+	}
+	p.objects[roa.Key()] = roa
+}
+
+// Objects returns the published ROAs, sorted by key.
+func (p *PublicationPoint) Objects() []ROA {
+	keys := make([]string, 0, len(p.objects))
+	for k := range p.objects {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]ROA, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, p.objects[k])
+	}
+	return out
+}
+
+// Cache is one validating cache in the distribution hierarchy. A cache
+// fetches either from publication points (top level) or from a parent
+// cache, verifying every object before holding it.
+type Cache struct {
+	Name    string
+	Parent  *Cache
+	Sources []*PublicationPoint
+	held    map[string]ROA
+	// Rounds counts fetch rounds until the cache was complete.
+	Rounds int
+}
+
+// Held returns the verified objects currently held.
+func (c *Cache) Held() []ROA {
+	keys := make([]string, 0, len(c.held))
+	for k := range c.held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]ROA, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, c.held[k])
+	}
+	return out
+}
+
+// Distribution is the cache hierarchy.
+type Distribution struct {
+	h      *Hierarchy
+	points map[string]*PublicationPoint
+	caches map[string]*Cache
+	order  []string
+}
+
+// NewDistribution builds an empty distribution over a hierarchy.
+func NewDistribution(h *Hierarchy) *Distribution {
+	return &Distribution{h: h, points: map[string]*PublicationPoint{}, caches: map[string]*Cache{}}
+}
+
+// AddPublicationPoint creates a named point.
+func (d *Distribution) AddPublicationPoint(name string) (*PublicationPoint, error) {
+	if _, dup := d.points[name]; dup {
+		return nil, fmt.Errorf("rpki: publication point %q exists", name)
+	}
+	p := &PublicationPoint{Name: name, objects: map[string]ROA{}}
+	d.points[name] = p
+	return p, nil
+}
+
+// AddCache creates a cache fetching from a parent cache (parentName != "")
+// or from the named publication points.
+func (d *Distribution) AddCache(name, parentName string, pointNames ...string) (*Cache, error) {
+	if _, dup := d.caches[name]; dup {
+		return nil, fmt.Errorf("rpki: cache %q exists", name)
+	}
+	c := &Cache{Name: name, held: map[string]ROA{}}
+	if parentName != "" {
+		parent, ok := d.caches[parentName]
+		if !ok {
+			return nil, fmt.Errorf("rpki: parent cache %q unknown", parentName)
+		}
+		c.Parent = parent
+	}
+	for _, pn := range pointNames {
+		p, ok := d.points[pn]
+		if !ok {
+			return nil, fmt.Errorf("rpki: publication point %q unknown", pn)
+		}
+		c.Sources = append(c.Sources, p)
+	}
+	if c.Parent == nil && len(c.Sources) == 0 {
+		return nil, fmt.Errorf("rpki: cache %q has no sources", name)
+	}
+	d.caches[name] = c
+	d.order = append(d.order, name)
+	return c, nil
+}
+
+// Cache returns a cache by name.
+func (d *Distribution) Cache(name string) (*Cache, bool) {
+	c, ok := d.caches[name]
+	return c, ok
+}
+
+// Propagate runs fetch rounds until no cache learns anything new,
+// returning the number of rounds (the propagation depth the RPKI
+// measurement study [30] reports). Objects failing verification are
+// dropped.
+func (d *Distribution) Propagate(maxRounds int) (int, error) {
+	if maxRounds <= 0 {
+		maxRounds = 100
+	}
+	for round := 1; round <= maxRounds; round++ {
+		changed := false
+		for _, name := range d.order {
+			c := d.caches[name]
+			var incoming []ROA
+			for _, p := range c.Sources {
+				incoming = append(incoming, p.Objects()...)
+			}
+			if c.Parent != nil {
+				incoming = append(incoming, c.Parent.Held()...)
+			}
+			for _, roa := range incoming {
+				if _, have := c.held[roa.Key()]; have {
+					continue
+				}
+				if err := d.h.VerifyROA(roa); err != nil {
+					continue // tampered or unverifiable object: dropped
+				}
+				c.held[roa.Key()] = roa
+				changed = true
+				c.Rounds = round
+			}
+		}
+		if !changed {
+			return round - 1, nil
+		}
+	}
+	return maxRounds, fmt.Errorf("rpki: propagation did not quiesce in %d rounds", maxRounds)
+}
+
+// Complete reports whether every cache holds every verifiable ROA.
+func (d *Distribution) Complete() bool {
+	want := 0
+	for _, roa := range d.h.ROAs() {
+		if d.h.VerifyROA(roa) == nil {
+			want++
+		}
+	}
+	for _, c := range d.caches {
+		if len(c.held) != want {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarises the distribution.
+func (d *Distribution) String() string {
+	return fmt.Sprintf("rpki-distribution(%d points, %d caches, %d roas)",
+		len(d.points), len(d.caches), len(d.roas()))
+}
+
+func (d *Distribution) roas() []ROA { return d.h.ROAs() }
+
+// ConfigFiles renders per-node configuration files for the service network
+// (the §3.3 "set of configuration files for all the daemons"): one file per
+// CA, publication point and cache, describing its parents/sources — the
+// same shape the paper's extension fed into Linux VM images.
+func (d *Distribution) ConfigFiles() map[string]string {
+	out := map[string]string{}
+	for _, name := range d.h.CAs() {
+		ca, _ := d.h.cas[name], true
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "# RPKI CA %s\nname %s\n", name, name)
+		if ca.Parent != nil {
+			fmt.Fprintf(&sb, "parent %s\n", ca.Parent.Name)
+		} else {
+			fmt.Fprintf(&sb, "trust-anchor true\n")
+		}
+		for _, r := range ca.Resources {
+			fmt.Fprintf(&sb, "resource %v\n", r)
+		}
+		fmt.Fprintf(&sb, "certificate %s\n", ca.fp)
+		out["ca/"+name+".conf"] = sb.String()
+	}
+	var pointNames []string
+	for n := range d.points {
+		pointNames = append(pointNames, n)
+	}
+	sort.Strings(pointNames)
+	for _, n := range pointNames {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "# RPKI publication point %s\nname %s\n", n, n)
+		for _, roa := range d.points[n].Objects() {
+			fmt.Fprintf(&sb, "object roa %v-%d AS%d sig %s\n", roa.Prefix, roa.MaxLength, roa.ASN, roa.Signature[:16])
+		}
+		out["pub/"+n+".conf"] = sb.String()
+	}
+	for _, n := range d.order {
+		c := d.caches[n]
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "# RPKI cache %s\nname %s\n", n, n)
+		if c.Parent != nil {
+			fmt.Fprintf(&sb, "parent-cache %s\n", c.Parent.Name)
+		}
+		for _, s := range c.Sources {
+			fmt.Fprintf(&sb, "source %s\n", s.Name)
+		}
+		out["cache/"+n+".conf"] = sb.String()
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package rpki
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"autonetkit/internal/netaddr"
+)
+
+func hierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	h := NewHierarchy("rir", netaddr.MustPrefix("10.0.0.0/8"), netaddr.MustPrefix("192.168.0.0/16"))
+	if _, err := h.AddCA("as1", "rir", netaddr.MustPrefix("10.1.0.0/16")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AddCA("as2", "rir", netaddr.MustPrefix("10.2.0.0/16")); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestCAHierarchy(t *testing.T) {
+	h := hierarchy(t)
+	if len(h.CAs()) != 3 {
+		t.Errorf("CAs = %v", h.CAs())
+	}
+	for _, name := range h.CAs() {
+		if err := h.VerifyChain(name); err != nil {
+			t.Errorf("chain %s: %v", name, err)
+		}
+	}
+	// Child of child.
+	if _, err := h.AddCA("customer", "as1", netaddr.MustPrefix("10.1.5.0/24")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.VerifyChain("customer"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResourceContainmentEnforced(t *testing.T) {
+	h := hierarchy(t)
+	if _, err := h.AddCA("rogue", "as1", netaddr.MustPrefix("10.2.0.0/16")); err == nil {
+		t.Error("out-of-resources CA accepted")
+	}
+	if _, err := h.AddCA("dup", "ghost", netaddr.MustPrefix("10.1.0.0/24")); err == nil {
+		t.Error("unknown parent accepted")
+	}
+	if _, err := h.AddCA("as1", "rir"); err == nil {
+		t.Error("duplicate CA accepted")
+	}
+}
+
+func TestSignAndVerifyROA(t *testing.T) {
+	h := hierarchy(t)
+	roa, err := h.SignROA("as1", netaddr.MustPrefix("10.1.0.0/16"), 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.VerifyROA(roa); err != nil {
+		t.Errorf("valid ROA rejected: %v", err)
+	}
+	// Tampered ROA fails.
+	bad := roa
+	bad.ASN = 666
+	if err := h.VerifyROA(bad); err == nil {
+		t.Error("tampered ROA verified")
+	}
+	// Out-of-resources signing rejected.
+	if _, err := h.SignROA("as1", netaddr.MustPrefix("10.2.0.0/16"), 24, 1); err == nil {
+		t.Error("out-of-resources ROA signed")
+	}
+	if _, err := h.SignROA("as1", netaddr.MustPrefix("10.1.0.0/16"), 8, 1); err == nil {
+		t.Error("maxLength shorter than prefix accepted")
+	}
+	if _, err := h.SignROA("as1", netaddr.MustPrefix("10.1.0.0/16"), 24, 0); err == nil {
+		t.Error("zero ASN accepted")
+	}
+	if _, err := h.SignROA("ghost", netaddr.MustPrefix("10.1.0.0/16"), 24, 1); err == nil {
+		t.Error("unknown CA signed")
+	}
+}
+
+func TestValidateOrigin(t *testing.T) {
+	h := hierarchy(t)
+	roa, _ := h.SignROA("as1", netaddr.MustPrefix("10.1.0.0/16"), 20, 1)
+	roas := []ROA{roa}
+	cases := []struct {
+		prefix string
+		asn    int
+		want   Validity
+	}{
+		{"10.1.0.0/16", 1, Valid},
+		{"10.1.16.0/20", 1, Valid},   // within maxLength
+		{"10.1.0.0/24", 1, Invalid},  // too specific
+		{"10.1.0.0/16", 2, Invalid},  // wrong origin (hijack)
+		{"10.9.0.0/16", 7, NotFound}, // uncovered
+	}
+	for _, c := range cases {
+		got := ValidateOrigin(roas, netaddr.MustPrefix(c.prefix), c.asn)
+		if got != c.want {
+			t.Errorf("ValidateOrigin(%s, AS%d) = %s, want %s", c.prefix, c.asn, got, c.want)
+		}
+	}
+}
+
+func TestValidWinsOverInvalidROA(t *testing.T) {
+	// Two ROAs cover the prefix, one matching: Valid per RFC 6811.
+	h := hierarchy(t)
+	r1, _ := h.SignROA("as1", netaddr.MustPrefix("10.1.0.0/16"), 16, 1)
+	r2, _ := h.SignROA("as1", netaddr.MustPrefix("10.1.0.0/16"), 16, 9)
+	got := ValidateOrigin([]ROA{r1, r2}, netaddr.MustPrefix("10.1.0.0/16"), 9)
+	if got != Valid {
+		t.Errorf("got %s, want valid (any matching ROA suffices)", got)
+	}
+}
+
+func TestDistributionPropagation(t *testing.T) {
+	h := hierarchy(t)
+	roa1, _ := h.SignROA("as1", netaddr.MustPrefix("10.1.0.0/16"), 24, 1)
+	roa2, _ := h.SignROA("as2", netaddr.MustPrefix("10.2.0.0/16"), 24, 2)
+	d := NewDistribution(h)
+	p1, err := d.AddPublicationPoint("pp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := d.AddPublicationPoint("pp2")
+	p1.Publish(roa1)
+	p2.Publish(roa2)
+	// Two-level cache hierarchy: top fetches from points, leaves from top.
+	if _, err := d.AddCache("top", "", "pp1", "pp2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddCache("leaf1", "top"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddCache("leaf2", "top"); err != nil {
+		t.Fatal(err)
+	}
+	rounds, err := d.Propagate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Complete() {
+		t.Fatal("propagation incomplete")
+	}
+	if rounds < 1 {
+		t.Errorf("rounds = %d", rounds)
+	}
+	leaf, _ := d.Cache("leaf1")
+	if len(leaf.Held()) != 2 {
+		t.Errorf("leaf holds %d objects", len(leaf.Held()))
+	}
+}
+
+func TestPropagationDropsTamperedObjects(t *testing.T) {
+	h := hierarchy(t)
+	roa, _ := h.SignROA("as1", netaddr.MustPrefix("10.1.0.0/16"), 24, 1)
+	evil := roa
+	evil.ASN = 666 // forged origin, stale signature
+	d := NewDistribution(h)
+	p, _ := d.AddPublicationPoint("pp")
+	p.Publish(roa)
+	p.Publish(evil)
+	if _, err := d.AddCache("c", "", "pp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Propagate(0); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := d.Cache("c")
+	held := c.Held()
+	if len(held) != 1 || held[0].ASN != 1 {
+		t.Errorf("cache held %v, want only the genuine ROA", held)
+	}
+}
+
+func TestDistributionErrors(t *testing.T) {
+	h := hierarchy(t)
+	d := NewDistribution(h)
+	if _, err := d.AddCache("orphan", ""); err == nil {
+		t.Error("sourceless cache accepted")
+	}
+	if _, err := d.AddCache("c", "ghost-parent"); err == nil {
+		t.Error("unknown parent accepted")
+	}
+	if _, err := d.AddCache("c", "", "ghost-point"); err == nil {
+		t.Error("unknown point accepted")
+	}
+	if _, err := d.AddPublicationPoint("pp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddPublicationPoint("pp"); err == nil {
+		t.Error("duplicate point accepted")
+	}
+	if _, err := d.AddCache("c", "", "pp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddCache("c", "", "pp"); err == nil {
+		t.Error("duplicate cache accepted")
+	}
+}
+
+// Deep chains propagate one level per round — the propagation-depth
+// behaviour the RPKI emulation study measures.
+func TestPropagationDepthScalesWithChain(t *testing.T) {
+	h := hierarchy(t)
+	roa, _ := h.SignROA("as1", netaddr.MustPrefix("10.1.0.0/16"), 24, 1)
+	d := NewDistribution(h)
+	p, _ := d.AddPublicationPoint("pp")
+	p.Publish(roa)
+	const depth = 5
+	prev := ""
+	for i := 0; i < depth; i++ {
+		name := fmt.Sprintf("c%d", i)
+		var err error
+		if i == 0 {
+			_, err = d.AddCache(name, "", "pp")
+		} else {
+			_, err = d.AddCache(name, prev)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev = name
+	}
+	rounds, err := d.Propagate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-order sweeps move objects down the whole chain in one round when
+	// caches are visited parent-first; our insertion order is parent-first,
+	// so everything lands in one round — but the count must be exact and
+	// the tail cache complete.
+	tail, _ := d.Cache(prev)
+	if len(tail.Held()) != 1 {
+		t.Errorf("tail cache incomplete after %d rounds", rounds)
+	}
+	if !d.Complete() {
+		t.Error("distribution incomplete")
+	}
+}
+
+func TestConfigFiles(t *testing.T) {
+	h := hierarchy(t)
+	roa, _ := h.SignROA("as1", netaddr.MustPrefix("10.1.0.0/16"), 24, 1)
+	d := NewDistribution(h)
+	p, _ := d.AddPublicationPoint("pp1")
+	p.Publish(roa)
+	if _, err := d.AddCache("cache1", "", "pp1"); err != nil {
+		t.Fatal(err)
+	}
+	files := d.ConfigFiles()
+	if len(files) != 3+1+1 {
+		t.Fatalf("files = %d: %v", len(files), files)
+	}
+	ca := files["ca/as1.conf"]
+	if !strings.Contains(ca, "parent rir") || !strings.Contains(ca, "resource 10.1.0.0/16") {
+		t.Errorf("ca config:\n%s", ca)
+	}
+	root := files["ca/rir.conf"]
+	if !strings.Contains(root, "trust-anchor true") {
+		t.Errorf("root config:\n%s", root)
+	}
+	pub := files["pub/pp1.conf"]
+	if !strings.Contains(pub, "object roa 10.1.0.0/16-24 AS1") {
+		t.Errorf("pub config:\n%s", pub)
+	}
+	cache := files["cache/cache1.conf"]
+	if !strings.Contains(cache, "source pp1") {
+		t.Errorf("cache config:\n%s", cache)
+	}
+}
+
+func TestROAKeyStability(t *testing.T) {
+	r := ROA{Prefix: netip.MustParsePrefix("10.0.0.0/8"), MaxLength: 24, ASN: 1, Issuer: "x"}
+	if r.Key() != "10.0.0.0/8-24-1@x" {
+		t.Errorf("key = %q", r.Key())
+	}
+}

@@ -1,0 +1,851 @@
+// Package tmpl implements the line-oriented, Mako-style template language
+// the paper uses for device configuration (§4.1): lines whose first
+// non-blank character is '%' carry control logic (for/if), and ${...}
+// performs expression substitution. The expression language is deliberately
+// small — dotted attribute paths, indexing, comparisons, boolean logic and a
+// handful of helper functions — because, as the paper argues, complicated
+// transformations belong in the compiler, not the templates.
+package tmpl
+
+import (
+	"fmt"
+	"net/netip"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// --- lexer ---
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp      // operators and punctuation
+	tokKeyword // and or not in
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lexExpr(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t':
+			l.pos++
+		case unicode.IsDigit(rune(c)):
+			l.lexNumber()
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		case c == '"' || c == '\'':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexOp(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{tokNumber, l.src[start:l.pos], start})
+}
+
+var keywords = map[string]bool{"and": true, "or": true, "not": true, "in": true}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && (unicode.IsLetter(rune(l.src[l.pos])) || unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_') {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	kind := tokIdent
+	if keywords[text] {
+		kind = tokKeyword
+	}
+	l.toks = append(l.toks, token{kind, text, start})
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\\' && l.pos+1 < len(l.src) {
+			next := l.src[l.pos+1]
+			switch next {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			default:
+				sb.WriteByte(next)
+			}
+			l.pos += 2
+			continue
+		}
+		if c == quote {
+			l.pos++
+			l.toks = append(l.toks, token{tokString, sb.String(), start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("tmpl: unterminated string at offset %d in %q", start, l.src)
+}
+
+var twoCharOps = map[string]bool{"==": true, "!=": true, "<=": true, ">=": true}
+
+func (l *lexer) lexOp() error {
+	if l.pos+1 < len(l.src) && twoCharOps[l.src[l.pos:l.pos+2]] {
+		l.toks = append(l.toks, token{tokOp, l.src[l.pos : l.pos+2], l.pos})
+		l.pos += 2
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '+', '-', '*', '/', '%', '(', ')', '[', ']', ',', '.', '<', '>':
+		l.toks = append(l.toks, token{tokOp, string(c), l.pos})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("tmpl: unexpected character %q at offset %d in %q", c, l.pos, l.src)
+}
+
+// --- AST ---
+
+type exprNode interface {
+	eval(s *scope) (any, error)
+}
+
+type litNode struct{ v any }
+
+func (n litNode) eval(*scope) (any, error) { return n.v, nil }
+
+type varNode struct{ name string }
+
+func (n varNode) eval(s *scope) (any, error) {
+	if v, ok := s.lookup(n.name); ok {
+		return v, nil
+	}
+	return nil, fmt.Errorf("tmpl: undefined name %q", n.name)
+}
+
+type attrNode struct {
+	base exprNode
+	name string
+}
+
+func (n attrNode) eval(s *scope) (any, error) {
+	base, err := n.base.eval(s)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := attrOf(base, n.name)
+	if !ok {
+		return nil, fmt.Errorf("tmpl: value %v (%T) has no attribute %q", base, base, n.name)
+	}
+	return v, nil
+}
+
+type indexNode struct {
+	base exprNode
+	idx  exprNode
+}
+
+func (n indexNode) eval(s *scope) (any, error) {
+	base, err := n.base.eval(s)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := n.idx.eval(s)
+	if err != nil {
+		return nil, err
+	}
+	switch b := base.(type) {
+	case []any:
+		i, ok := toInt(idx)
+		if !ok {
+			return nil, fmt.Errorf("tmpl: list index %v is not an integer", idx)
+		}
+		if i < 0 {
+			i += len(b)
+		}
+		if i < 0 || i >= len(b) {
+			return nil, fmt.Errorf("tmpl: list index %d out of range (len %d)", i, len(b))
+		}
+		return b[i], nil
+	case map[string]any:
+		k := fmt.Sprint(idx)
+		v, ok := b[k]
+		if !ok {
+			return nil, fmt.Errorf("tmpl: map has no key %q", k)
+		}
+		return v, nil
+	case string:
+		i, ok := toInt(idx)
+		if !ok || i < 0 || i >= len(b) {
+			return nil, fmt.Errorf("tmpl: string index %v out of range", idx)
+		}
+		return string(b[i]), nil
+	}
+	return nil, fmt.Errorf("tmpl: cannot index %T", base)
+}
+
+type callNode struct {
+	fn   string
+	args []exprNode
+}
+
+func (n callNode) eval(s *scope) (any, error) {
+	fn, ok := s.fn(n.fn)
+	if !ok {
+		return nil, fmt.Errorf("tmpl: undefined function %q", n.fn)
+	}
+	args := make([]any, len(n.args))
+	for i, a := range n.args {
+		v, err := a.eval(s)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	out, err := fn(args...)
+	if err != nil {
+		return nil, fmt.Errorf("tmpl: %s(): %w", n.fn, err)
+	}
+	return out, nil
+}
+
+type unaryNode struct {
+	op string
+	x  exprNode
+}
+
+func (n unaryNode) eval(s *scope) (any, error) {
+	v, err := n.x.eval(s)
+	if err != nil {
+		return nil, err
+	}
+	switch n.op {
+	case "not":
+		return !truthy(v), nil
+	case "-":
+		if f, ok := toFloat(v); ok {
+			if i, ok2 := toInt(v); ok2 && float64(i) == f {
+				return -i, nil
+			}
+			return -f, nil
+		}
+		return nil, fmt.Errorf("tmpl: cannot negate %T", v)
+	}
+	return nil, fmt.Errorf("tmpl: unknown unary op %q", n.op)
+}
+
+type binaryNode struct {
+	op   string
+	l, r exprNode
+}
+
+func (n binaryNode) eval(s *scope) (any, error) {
+	// Short-circuit boolean operators.
+	if n.op == "and" || n.op == "or" {
+		lv, err := n.l.eval(s)
+		if err != nil {
+			return nil, err
+		}
+		if n.op == "and" && !truthy(lv) {
+			return false, nil
+		}
+		if n.op == "or" && truthy(lv) {
+			return true, nil
+		}
+		rv, err := n.r.eval(s)
+		if err != nil {
+			return nil, err
+		}
+		return truthy(rv), nil
+	}
+	lv, err := n.l.eval(s)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := n.r.eval(s)
+	if err != nil {
+		return nil, err
+	}
+	switch n.op {
+	case "==":
+		return looseEqual(lv, rv), nil
+	case "!=":
+		return !looseEqual(lv, rv), nil
+	case "<", "<=", ">", ">=":
+		return compare(n.op, lv, rv)
+	case "in":
+		return containsValue(rv, lv)
+	case "+", "-", "*", "/", "%":
+		return arithmetic(n.op, lv, rv)
+	}
+	return nil, fmt.Errorf("tmpl: unknown operator %q", n.op)
+}
+
+// --- parser (precedence climbing) ---
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func parseExpr(src string) (exprNode, error) {
+	toks, err := lexExpr(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	node, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("tmpl: trailing input %q in expression %q", p.cur().text, src)
+	}
+	return node, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.cur().kind == kind && p.cur().text == text {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (exprNode, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = binaryNode{"or", l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (exprNode, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = binaryNode{"and", l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (exprNode, error) {
+	if p.accept(tokKeyword, "not") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return unaryNode{"not", x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (exprNode, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.cur().kind == tokOp && (p.cur().text == "==" || p.cur().text == "!=" ||
+			p.cur().text == "<" || p.cur().text == "<=" || p.cur().text == ">" || p.cur().text == ">="):
+			op = p.cur().text
+			p.advance()
+		case p.cur().kind == tokKeyword && p.cur().text == "in":
+			op = "in"
+			p.advance()
+		default:
+			return l, nil
+		}
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		l = binaryNode{op, l, r}
+	}
+}
+
+func (p *parser) parseAdditive() (exprNode, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp && (p.cur().text == "+" || p.cur().text == "-") {
+		op := p.cur().text
+		p.advance()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = binaryNode{op, l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMultiplicative() (exprNode, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp && (p.cur().text == "*" || p.cur().text == "/" || p.cur().text == "%") {
+		op := p.cur().text
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = binaryNode{op, l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (exprNode, error) {
+	if p.accept(tokOp, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryNode{"-", x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (exprNode, error) {
+	base, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokOp, "."):
+			if p.cur().kind != tokIdent && p.cur().kind != tokKeyword {
+				return nil, fmt.Errorf("tmpl: expected attribute name after '.' in %q", p.src)
+			}
+			base = attrNode{base, p.cur().text}
+			p.advance()
+		case p.accept(tokOp, "["):
+			idx, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if !p.accept(tokOp, "]") {
+				return nil, fmt.Errorf("tmpl: expected ']' in %q", p.src)
+			}
+			base = indexNode{base, idx}
+		default:
+			return base, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (exprNode, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("tmpl: bad number %q", t.text)
+			}
+			return litNode{f}, nil
+		}
+		i, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("tmpl: bad number %q", t.text)
+		}
+		return litNode{i}, nil
+	case tokString:
+		p.advance()
+		return litNode{t.text}, nil
+	case tokIdent:
+		p.advance()
+		switch t.text {
+		case "True", "true":
+			return litNode{true}, nil
+		case "False", "false":
+			return litNode{false}, nil
+		case "None", "none", "nil":
+			return litNode{nil}, nil
+		}
+		// Function call?
+		if p.accept(tokOp, "(") {
+			var args []exprNode
+			if !p.accept(tokOp, ")") {
+				for {
+					a, err := p.parseOr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.accept(tokOp, ")") {
+						break
+					}
+					if !p.accept(tokOp, ",") {
+						return nil, fmt.Errorf("tmpl: expected ',' or ')' in call to %s", t.text)
+					}
+				}
+			}
+			return callNode{t.text, args}, nil
+		}
+		return varNode{t.text}, nil
+	case tokOp:
+		if t.text == "(" {
+			p.advance()
+			inner, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if !p.accept(tokOp, ")") {
+				return nil, fmt.Errorf("tmpl: expected ')' in %q", p.src)
+			}
+			return inner, nil
+		}
+	}
+	return nil, fmt.Errorf("tmpl: unexpected token %q in expression %q", t.text, p.src)
+}
+
+// --- value helpers ---
+
+// Attributer lets arbitrary Go values expose template attributes. The NIDB
+// device trees and netip types implement or are adapted to this.
+type Attributer interface {
+	TemplateAttr(name string) (any, bool)
+}
+
+func attrOf(v any, name string) (any, bool) {
+	switch x := v.(type) {
+	case nil:
+		return nil, false
+	case Attributer:
+		return x.TemplateAttr(name)
+	case map[string]any:
+		out, ok := x[name]
+		return out, ok
+	case netip.Prefix:
+		switch name {
+		case "cidr":
+			return x.String(), true
+		case "network":
+			return x.Masked().Addr().String(), true
+		case "netmask":
+			return prefixNetmask(x), true
+		case "wildcard":
+			return prefixWildcard(x), true
+		case "prefixlen":
+			return x.Bits(), true
+		case "broadcast":
+			return prefixBroadcast(x), true
+		}
+	case netip.Addr:
+		switch name {
+		case "ip", "address":
+			return x.String(), true
+		}
+	}
+	// Fall back to reflection over struct fields/methods for convenience.
+	rv := reflect.ValueOf(v)
+	if rv.Kind() == reflect.Pointer {
+		rv = rv.Elem()
+	}
+	if rv.Kind() == reflect.Struct {
+		f := rv.FieldByName(exportedName(name))
+		if f.IsValid() && f.CanInterface() {
+			return f.Interface(), true
+		}
+	}
+	return nil, false
+}
+
+// exportedName upper-cases the first ASCII letter so template attribute
+// names can address exported struct fields.
+func exportedName(name string) string {
+	if name == "" {
+		return name
+	}
+	return strings.ToUpper(name[:1]) + name[1:]
+}
+
+func prefixNetmask(p netip.Prefix) string {
+	var m uint32
+	if p.Bits() > 0 {
+		m = ^uint32(0) << (32 - p.Bits())
+	}
+	return netip.AddrFrom4([4]byte{byte(m >> 24), byte(m >> 16), byte(m >> 8), byte(m)}).String()
+}
+
+func prefixWildcard(p netip.Prefix) string {
+	var m uint32
+	if p.Bits() > 0 {
+		m = ^uint32(0) << (32 - p.Bits())
+	}
+	m = ^m
+	return netip.AddrFrom4([4]byte{byte(m >> 24), byte(m >> 16), byte(m >> 8), byte(m)}).String()
+}
+
+func prefixBroadcast(p netip.Prefix) string {
+	b := p.Masked().Addr().As4()
+	base := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	size := uint32(1) << (32 - p.Bits())
+	v := base + size - 1
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}).String()
+}
+
+func toInt(v any) (int, bool) {
+	switch x := v.(type) {
+	case int:
+		return x, true
+	case int64:
+		return int(x), true
+	case float64:
+		if x == float64(int(x)) {
+			return int(x), true
+		}
+	case uint32:
+		return int(x), true
+	}
+	return 0, false
+}
+
+// strictInt accepts only genuinely integral types (not whole floats), so
+// that 10.0/4 stays float division while 10/4 is integer division.
+func strictInt(v any) (int, bool) {
+	switch x := v.(type) {
+	case int:
+		return x, true
+	case int64:
+		return int(x), true
+	case uint32:
+		return int(x), true
+	}
+	return 0, false
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	case uint32:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+func truthy(v any) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return x
+	case string:
+		return x != ""
+	case int:
+		return x != 0
+	case int64:
+		return x != 0
+	case float64:
+		return x != 0
+	case []any:
+		return len(x) > 0
+	case map[string]any:
+		return len(x) > 0
+	}
+	return true
+}
+
+func looseEqual(a, b any) bool {
+	if af, aok := toFloat(a); aok {
+		if bf, bok := toFloat(b); bok {
+			return af == bf
+		}
+	}
+	return reflect.DeepEqual(a, b) || fmt.Sprint(a) == fmt.Sprint(b)
+}
+
+func compare(op string, a, b any) (any, error) {
+	if af, aok := toFloat(a); aok {
+		if bf, bok := toFloat(b); bok {
+			switch op {
+			case "<":
+				return af < bf, nil
+			case "<=":
+				return af <= bf, nil
+			case ">":
+				return af > bf, nil
+			case ">=":
+				return af >= bf, nil
+			}
+		}
+	}
+	as, aok := a.(string)
+	bs, bok := b.(string)
+	if aok && bok {
+		switch op {
+		case "<":
+			return as < bs, nil
+		case "<=":
+			return as <= bs, nil
+		case ">":
+			return as > bs, nil
+		case ">=":
+			return as >= bs, nil
+		}
+	}
+	return nil, fmt.Errorf("tmpl: cannot compare %T %s %T", a, op, b)
+}
+
+func containsValue(container, item any) (any, error) {
+	switch c := container.(type) {
+	case []any:
+		for _, v := range c {
+			if looseEqual(v, item) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case map[string]any:
+		_, ok := c[fmt.Sprint(item)]
+		return ok, nil
+	case string:
+		return strings.Contains(c, fmt.Sprint(item)), nil
+	}
+	return nil, fmt.Errorf("tmpl: 'in' not supported on %T", container)
+}
+
+func arithmetic(op string, a, b any) (any, error) {
+	if op == "+" {
+		if as, ok := a.(string); ok {
+			return as + fmt.Sprint(b), nil
+		}
+	}
+	ai, aok := strictInt(a)
+	bi, bok := strictInt(b)
+	if aok && bok {
+		switch op {
+		case "+":
+			return ai + bi, nil
+		case "-":
+			return ai - bi, nil
+		case "*":
+			return ai * bi, nil
+		case "/":
+			if bi == 0 {
+				return nil, fmt.Errorf("tmpl: division by zero")
+			}
+			return ai / bi, nil
+		case "%":
+			if bi == 0 {
+				return nil, fmt.Errorf("tmpl: modulo by zero")
+			}
+			return ai % bi, nil
+		}
+	}
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if aok && bok {
+		switch op {
+		case "+":
+			return af + bf, nil
+		case "-":
+			return af - bf, nil
+		case "*":
+			return af * bf, nil
+		case "/":
+			if bf == 0 {
+				return nil, fmt.Errorf("tmpl: division by zero")
+			}
+			return af / bf, nil
+		}
+	}
+	return nil, fmt.Errorf("tmpl: cannot apply %q to %T and %T", op, a, b)
+}
+
+// iterate returns the elements of a value for '% for' loops, in
+// deterministic order for maps (sorted keys, yielding [key, value] pairs).
+func iterate(v any) ([]any, error) {
+	switch x := v.(type) {
+	case []any:
+		return x, nil
+	case []string:
+		out := make([]any, len(x))
+		for i, s := range x {
+			out[i] = s
+		}
+		return out, nil
+	case []map[string]any:
+		out := make([]any, len(x))
+		for i, m := range x {
+			out[i] = m
+		}
+		return out, nil
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := make([]any, len(keys))
+		for i, k := range keys {
+			out[i] = []any{k, x[k]}
+		}
+		return out, nil
+	case nil:
+		return nil, nil
+	}
+	return nil, fmt.Errorf("tmpl: cannot iterate over %T", v)
+}

@@ -1,0 +1,57 @@
+package tmpl
+
+import "testing"
+
+// The template compiler must never panic: any source either parses or
+// errors.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"plain text\n",
+		"${x}\n",
+		"% for x in xs:\n${x}\n% endfor\n",
+		"% if a == 1:\nyes\n% endif\n",
+		"% if a:\n% elif b:\n% else:\n% endif\n",
+		"${'str' + 1}\n",
+		"%% escaped\n",
+		"## comment\n",
+		"${a.b.c[0]('arg')}\n",
+		"% for x in",
+		"${unclosed",
+		"% endfor\n",
+		"${x[}\n",
+		"${(1+2}\n",
+		"${'\\n\\t\\\\'}\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tpl, err := Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		// Executing with an empty context must also never panic.
+		_, _ = tpl.Execute(map[string]any{})
+	})
+}
+
+// Expressions must never panic either.
+func FuzzExpr(f *testing.F) {
+	seeds := []string{
+		"1 + 2", "a.b", "x[0]", "f(1, 'two')", "not a and b or c",
+		"1 < 2 <= 3", "'a' in xs", "-x", "((()))", "a..b", "1 ? 2",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		node, err := parseExpr(src)
+		if err != nil {
+			return
+		}
+		s := &scope{funcs: builtinFuncs()}
+		s.frames = append(s.frames, map[string]any{})
+		_, _ = node.eval(s)
+	})
+}

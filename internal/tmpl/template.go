@@ -1,0 +1,528 @@
+package tmpl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Template is a parsed template ready for repeated execution.
+type Template struct {
+	name  string
+	root  []stmtNode
+	funcs FuncMap
+}
+
+// FuncMap maps helper-function names callable from expressions.
+type FuncMap map[string]func(args ...any) (any, error)
+
+// scope resolves names during execution: a chain of local frames over the
+// context map, plus the function table.
+type scope struct {
+	frames []map[string]any
+	funcs  FuncMap
+}
+
+func (s *scope) lookup(name string) (any, bool) {
+	for i := len(s.frames) - 1; i >= 0; i-- {
+		if v, ok := s.frames[i][name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (s *scope) fn(name string) (func(args ...any) (any, error), bool) {
+	f, ok := s.funcs[name]
+	return f, ok
+}
+
+func (s *scope) push() { s.frames = append(s.frames, map[string]any{}) }
+func (s *scope) pop()  { s.frames = s.frames[:len(s.frames)-1] }
+func (s *scope) set(name string, v any) {
+	s.frames[len(s.frames)-1][name] = v
+}
+
+// --- statement nodes ---
+
+type stmtNode interface {
+	exec(sb *strings.Builder, s *scope) error
+}
+
+// textNode is one output line: literal segments interleaved with ${expr}
+// substitutions, terminated by a newline unless final of a trailing-newline-
+// free source.
+type textNode struct {
+	segs    []segment
+	newline bool
+	line    int
+}
+
+type segment struct {
+	literal string
+	expr    exprNode // nil for literal segments
+	src     string
+}
+
+func (t textNode) exec(sb *strings.Builder, s *scope) error {
+	for _, seg := range t.segs {
+		if seg.expr == nil {
+			sb.WriteString(seg.literal)
+			continue
+		}
+		v, err := seg.expr.eval(s)
+		if err != nil {
+			return fmt.Errorf("line %d: ${%s}: %w", t.line, seg.src, err)
+		}
+		sb.WriteString(formatValue(v))
+	}
+	if t.newline {
+		sb.WriteByte('\n')
+	}
+	return nil
+}
+
+type forNode struct {
+	vars []string
+	expr exprNode
+	src  string
+	body []stmtNode
+	line int
+}
+
+func (f forNode) exec(sb *strings.Builder, s *scope) error {
+	v, err := f.expr.eval(s)
+	if err != nil {
+		return fmt.Errorf("line %d: %% for ... in %s: %w", f.line, f.src, err)
+	}
+	items, err := iterate(v)
+	if err != nil {
+		return fmt.Errorf("line %d: %w", f.line, err)
+	}
+	s.push()
+	defer s.pop()
+	for _, item := range items {
+		if len(f.vars) == 1 {
+			s.set(f.vars[0], item)
+		} else {
+			tuple, ok := item.([]any)
+			if !ok || len(tuple) != len(f.vars) {
+				return fmt.Errorf("line %d: cannot unpack %v into %d variables", f.line, item, len(f.vars))
+			}
+			for i, name := range f.vars {
+				s.set(name, tuple[i])
+			}
+		}
+		for _, st := range f.body {
+			if err := st.exec(sb, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+type ifNode struct {
+	branches []ifBranch
+	line     int
+}
+
+type ifBranch struct {
+	cond exprNode // nil for else
+	src  string
+	body []stmtNode
+}
+
+func (n ifNode) exec(sb *strings.Builder, s *scope) error {
+	for _, br := range n.branches {
+		take := true
+		if br.cond != nil {
+			v, err := br.cond.eval(s)
+			if err != nil {
+				return fmt.Errorf("line %d: %% if %s: %w", n.line, br.src, err)
+			}
+			take = truthy(v)
+		}
+		if take {
+			s.push()
+			defer s.pop()
+			for _, st := range br.body {
+				if err := st.exec(sb, s); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// --- template parsing ---
+
+// Parse compiles template source. Control lines start (after optional
+// indentation) with '%'; '##' lines are comments; everything else is output
+// with ${...} substitution.
+func Parse(name, src string) (*Template, error) {
+	t := &Template{name: name, funcs: builtinFuncs()}
+	lines := strings.Split(src, "\n")
+	trailingNewline := strings.HasSuffix(src, "\n")
+	if trailingNewline {
+		lines = lines[:len(lines)-1]
+	}
+	p := &tmplParser{lines: lines, trailing: trailingNewline, name: name}
+	root, err := p.parseBlock(nil)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, fmt.Errorf("tmpl %s: line %d: unexpected %q outside any block", name, p.pos+1, strings.TrimSpace(p.lines[p.pos]))
+	}
+	t.root = root
+	return t, nil
+}
+
+// MustParse is Parse panicking on error, for the embedded template library.
+func MustParse(name, src string) *Template {
+	t, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the template's name.
+func (t *Template) Name() string { return t.name }
+
+// Funcs registers additional helper functions, overriding builtins on
+// collision. It returns t for chaining.
+func (t *Template) Funcs(fm FuncMap) *Template {
+	for k, v := range fm {
+		t.funcs[k] = v
+	}
+	return t
+}
+
+// Execute renders the template with the given context.
+func (t *Template) Execute(ctx map[string]any) (string, error) {
+	s := &scope{funcs: t.funcs}
+	s.frames = append(s.frames, ctx)
+	s.push()
+	var sb strings.Builder
+	for _, st := range t.root {
+		if err := st.exec(&sb, s); err != nil {
+			return "", fmt.Errorf("tmpl %s: %w", t.name, err)
+		}
+	}
+	return sb.String(), nil
+}
+
+type tmplParser struct {
+	lines    []string
+	pos      int
+	trailing bool
+	name     string
+}
+
+// parseBlock parses statements until one of the terminator directives is
+// seen (which is left un-consumed) or input ends. terminators==nil means
+// parse to EOF.
+func (p *tmplParser) parseBlock(terminators []string) ([]stmtNode, error) {
+	var out []stmtNode
+	for p.pos < len(p.lines) {
+		line := p.lines[p.pos]
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "##") {
+			p.pos++
+			continue
+		}
+		if strings.HasPrefix(trimmed, "%") && !strings.HasPrefix(trimmed, "%%") {
+			directive := strings.TrimSpace(trimmed[1:])
+			word := firstWord(directive)
+			for _, term := range terminators {
+				if word == term {
+					return out, nil
+				}
+			}
+			switch word {
+			case "for":
+				node, err := p.parseFor(directive)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, node)
+			case "if":
+				node, err := p.parseIf(directive)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, node)
+			default:
+				return nil, fmt.Errorf("tmpl %s: line %d: unknown directive %q", p.name, p.pos+1, directive)
+			}
+			continue
+		}
+		node, err := p.parseTextLine(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, node)
+		p.pos++
+	}
+	if terminators != nil {
+		return nil, fmt.Errorf("tmpl %s: unexpected end of template, expected %% %s", p.name, strings.Join(terminators, " / "))
+	}
+	return out, nil
+}
+
+func firstWord(s string) string {
+	if i := strings.IndexAny(s, " \t:"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func (p *tmplParser) parseFor(directive string) (stmtNode, error) {
+	lineNo := p.pos + 1
+	body := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(directive, "for")), ":")
+	idx := strings.Index(body, " in ")
+	if idx < 0 {
+		return nil, fmt.Errorf("tmpl %s: line %d: malformed for loop %q", p.name, lineNo, directive)
+	}
+	varPart := strings.TrimSpace(body[:idx])
+	exprPart := strings.TrimSpace(body[idx+4:])
+	var vars []string
+	for _, v := range strings.Split(varPart, ",") {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			return nil, fmt.Errorf("tmpl %s: line %d: empty loop variable in %q", p.name, lineNo, directive)
+		}
+		vars = append(vars, v)
+	}
+	expr, err := parseExpr(exprPart)
+	if err != nil {
+		return nil, fmt.Errorf("tmpl %s: line %d: %w", p.name, lineNo, err)
+	}
+	p.pos++ // consume '% for'
+	bodyNodes, err := p.parseBlock([]string{"endfor"})
+	if err != nil {
+		return nil, err
+	}
+	p.pos++ // consume '% endfor'
+	return forNode{vars: vars, expr: expr, src: exprPart, body: bodyNodes, line: lineNo}, nil
+}
+
+func (p *tmplParser) parseIf(directive string) (stmtNode, error) {
+	lineNo := p.pos + 1
+	node := ifNode{line: lineNo}
+	cond := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(directive, "if")), ":")
+	expr, err := parseExpr(cond)
+	if err != nil {
+		return nil, fmt.Errorf("tmpl %s: line %d: %w", p.name, lineNo, err)
+	}
+	p.pos++
+	body, err := p.parseBlock([]string{"endif", "elif", "else"})
+	if err != nil {
+		return nil, err
+	}
+	node.branches = append(node.branches, ifBranch{cond: expr, src: cond, body: body})
+	for {
+		directive := strings.TrimSpace(strings.TrimSpace(p.lines[p.pos])[1:])
+		word := firstWord(directive)
+		switch word {
+		case "endif":
+			p.pos++
+			return node, nil
+		case "elif":
+			cond := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(directive, "elif")), ":")
+			expr, err := parseExpr(cond)
+			if err != nil {
+				return nil, fmt.Errorf("tmpl %s: line %d: %w", p.name, p.pos+1, err)
+			}
+			p.pos++
+			body, err := p.parseBlock([]string{"endif", "elif", "else"})
+			if err != nil {
+				return nil, err
+			}
+			node.branches = append(node.branches, ifBranch{cond: expr, src: cond, body: body})
+		case "else":
+			p.pos++
+			body, err := p.parseBlock([]string{"endif"})
+			if err != nil {
+				return nil, err
+			}
+			node.branches = append(node.branches, ifBranch{cond: nil, body: body})
+		default:
+			return nil, fmt.Errorf("tmpl %s: line %d: unexpected directive %q in if block", p.name, p.pos+1, directive)
+		}
+	}
+}
+
+func (p *tmplParser) parseTextLine(line string) (stmtNode, error) {
+	lineNo := p.pos + 1
+	// '%%' at line start escapes a literal '%'.
+	trimmed := strings.TrimLeft(line, " \t")
+	if strings.HasPrefix(trimmed, "%%") {
+		indent := line[:len(line)-len(trimmed)]
+		line = indent + trimmed[1:]
+	}
+	node := textNode{line: lineNo, newline: true}
+	if p.pos == len(p.lines)-1 && !p.trailing {
+		node.newline = false
+	}
+	rest := line
+	for {
+		idx := strings.Index(rest, "${")
+		if idx < 0 {
+			if rest != "" {
+				node.segs = append(node.segs, segment{literal: rest})
+			}
+			break
+		}
+		if idx > 0 {
+			node.segs = append(node.segs, segment{literal: rest[:idx]})
+		}
+		end := strings.Index(rest[idx:], "}")
+		if end < 0 {
+			return textNode{}, fmt.Errorf("tmpl %s: line %d: unterminated ${ in %q", p.name, lineNo, line)
+		}
+		src := rest[idx+2 : idx+end]
+		expr, err := parseExpr(src)
+		if err != nil {
+			return textNode{}, fmt.Errorf("tmpl %s: line %d: %w", p.name, lineNo, err)
+		}
+		node.segs = append(node.segs, segment{expr: expr, src: src})
+		rest = rest[idx+end+1:]
+	}
+	return node, nil
+}
+
+// formatValue renders a value into output text.
+func formatValue(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return x
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case float64:
+		if x == float64(int64(x)) {
+			return fmt.Sprintf("%d", int64(x))
+		}
+		return fmt.Sprintf("%g", x)
+	}
+	return fmt.Sprint(v)
+}
+
+// builtinFuncs returns the default helper table.
+func builtinFuncs() FuncMap {
+	return FuncMap{
+		"len": func(args ...any) (any, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("want 1 arg")
+			}
+			switch x := args[0].(type) {
+			case string:
+				return len(x), nil
+			case []any:
+				return len(x), nil
+			case map[string]any:
+				return len(x), nil
+			case nil:
+				return 0, nil
+			}
+			return nil, fmt.Errorf("len of %T", args[0])
+		},
+		"upper": stringFn(strings.ToUpper),
+		"lower": stringFn(strings.ToLower),
+		"strip": stringFn(strings.TrimSpace),
+		"join": func(args ...any) (any, error) {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("want 2 args")
+			}
+			items, err := iterate(args[0])
+			if err != nil {
+				return nil, err
+			}
+			sep := fmt.Sprint(args[1])
+			parts := make([]string, len(items))
+			for i, it := range items {
+				parts[i] = formatValue(it)
+			}
+			return strings.Join(parts, sep), nil
+		},
+		"sorted": func(args ...any) (any, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("want 1 arg")
+			}
+			items, err := iterate(args[0])
+			if err != nil {
+				return nil, err
+			}
+			out := make([]any, len(items))
+			copy(out, items)
+			sort.Slice(out, func(i, j int) bool { return fmt.Sprint(out[i]) < fmt.Sprint(out[j]) })
+			return out, nil
+		},
+		"str": func(args ...any) (any, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("want 1 arg")
+			}
+			return formatValue(args[0]), nil
+		},
+		"replace": func(args ...any) (any, error) {
+			if len(args) != 3 {
+				return nil, fmt.Errorf("want 3 args")
+			}
+			return strings.ReplaceAll(fmt.Sprint(args[0]), fmt.Sprint(args[1]), fmt.Sprint(args[2])), nil
+		},
+		"enumerate": func(args ...any) (any, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("want 1 arg")
+			}
+			items, err := iterate(args[0])
+			if err != nil {
+				return nil, err
+			}
+			out := make([]any, len(items))
+			for i, it := range items {
+				out[i] = []any{i, it}
+			}
+			return out, nil
+		},
+		"first": func(args ...any) (any, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("want 1 arg")
+			}
+			items, err := iterate(args[0])
+			if err != nil {
+				return nil, err
+			}
+			if len(items) == 0 {
+				return nil, fmt.Errorf("first of empty sequence")
+			}
+			return items[0], nil
+		},
+		"default": func(args ...any) (any, error) {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("want 2 args")
+			}
+			if truthy(args[0]) {
+				return args[0], nil
+			}
+			return args[1], nil
+		},
+	}
+}
+
+func stringFn(f func(string) string) func(args ...any) (any, error) {
+	return func(args ...any) (any, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("want 1 arg")
+		}
+		return f(fmt.Sprint(args[0])), nil
+	}
+}

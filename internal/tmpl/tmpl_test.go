@@ -1,0 +1,528 @@
+package tmpl
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func render(t *testing.T, src string, ctx map[string]any) string {
+	t.Helper()
+	tpl, err := Parse("test", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out, err := tpl.Execute(ctx)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	return out
+}
+
+func TestPlainText(t *testing.T) {
+	got := render(t, "hello\nworld\n", nil)
+	if got != "hello\nworld\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestNoTrailingNewlinePreserved(t *testing.T) {
+	if got := render(t, "a\nb", nil); got != "a\nb" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSubstitution(t *testing.T) {
+	ctx := map[string]any{"node": map[string]any{"hostname": "as100r1", "asn": 100}}
+	got := render(t, "hostname ${node.hostname} in AS${node.asn}\n", ctx)
+	if got != "hostname as100r1 in AS100\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestMissingAttrErrors(t *testing.T) {
+	tpl := MustParse("t", "x ${node.missing}\n")
+	if _, err := tpl.Execute(map[string]any{"node": map[string]any{}}); err == nil {
+		t.Error("missing attribute should be an error (strict mode)")
+	}
+	if _, err := tpl.Execute(map[string]any{}); err == nil {
+		t.Error("undefined name should be an error")
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	ctx := map[string]any{
+		"ifaces": []any{
+			map[string]any{"id": "eth0", "cost": 1},
+			map[string]any{"id": "eth1", "cost": 10},
+		},
+	}
+	src := "% for i in ifaces:\ninterface ${i.id} cost ${i.cost}\n% endfor\n"
+	got := render(t, src, ctx)
+	want := "interface eth0 cost 1\ninterface eth1 cost 10\n"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestNestedForAndIf(t *testing.T) {
+	src := `% for n in nodes:
+${n.name}
+% for s in n.sessions:
+% if s.up:
+  neighbor ${s.peer} UP
+% else:
+  neighbor ${s.peer} DOWN
+% endif
+% endfor
+% endfor
+`
+	ctx := map[string]any{"nodes": []any{
+		map[string]any{"name": "r1", "sessions": []any{
+			map[string]any{"peer": "10.0.0.2", "up": true},
+			map[string]any{"peer": "10.0.0.3", "up": false},
+		}},
+	}}
+	want := "r1\n  neighbor 10.0.0.2 UP\n  neighbor 10.0.0.3 DOWN\n"
+	if got := render(t, src, ctx); got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestElif(t *testing.T) {
+	src := "% if x == 1:\none\n% elif x == 2:\ntwo\n% else:\nmany\n% endif\n"
+	for _, c := range []struct {
+		x    int
+		want string
+	}{{1, "one\n"}, {2, "two\n"}, {3, "many\n"}} {
+		if got := render(t, src, map[string]any{"x": c.x}); got != c.want {
+			t.Errorf("x=%d got %q", c.x, got)
+		}
+	}
+}
+
+func TestTupleUnpack(t *testing.T) {
+	src := "% for k, v in m:\n${k}=${v}\n% endfor\n"
+	got := render(t, src, map[string]any{"m": map[string]any{"b": 2, "a": 1}})
+	if got != "a=1\nb=2\n" { // sorted key order
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := render(t, "## a comment\nreal line\n", nil)
+	if got != "real line\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPercentEscape(t *testing.T) {
+	got := render(t, "%% not a directive\n", nil)
+	if got != "% not a directive\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+// The paper's §4.1 example template rendered against the §5.4 resource
+// database subset must produce the §6.1 configuration.
+func TestPaperSection41Template(t *testing.T) {
+	src := `hostname ${node.zebra.hostname}
+password ${node.zebra.password}
+% for interface in node.interfaces:
+interface ${interface.id}
+  ip ospf cost ${interface.ospf_cost}
+% endfor
+router ospf
+% for link in node.ospf.ospf_links:
+  network ${link.network.cidr} area ${link.area}
+% endfor
+`
+	ctx := map[string]any{"node": map[string]any{
+		"zebra": map[string]any{"hostname": "as100r1", "password": "1234"},
+		"interfaces": []any{
+			map[string]any{"id": "eth1", "ospf_cost": 1},
+			map[string]any{"id": "eth2", "ospf_cost": 1},
+		},
+		"ospf": map[string]any{"ospf_links": []any{
+			map[string]any{"network": netip.MustParsePrefix("192.168.1.0/30"), "area": 0},
+			map[string]any{"network": netip.MustParsePrefix("192.168.1.4/30"), "area": 0},
+		}},
+	}}
+	want := `hostname as100r1
+password 1234
+interface eth1
+  ip ospf cost 1
+interface eth2
+  ip ospf cost 1
+router ospf
+  network 192.168.1.0/30 area 0
+  network 192.168.1.4/30 area 0
+`
+	if got := render(t, src, ctx); got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPrefixAttributes(t *testing.T) {
+	p := netip.MustParsePrefix("192.168.1.0/24")
+	ctx := map[string]any{"net": p}
+	cases := []struct{ expr, want string }{
+		{"${net.cidr}", "192.168.1.0/24"},
+		{"${net.network}", "192.168.1.0"},
+		{"${net.netmask}", "255.255.255.0"},
+		{"${net.wildcard}", "0.0.0.255"},
+		{"${net.prefixlen}", "24"},
+		{"${net.broadcast}", "192.168.1.255"},
+	}
+	for _, c := range cases {
+		if got := render(t, c.expr, ctx); got != c.want {
+			t.Errorf("%s = %q, want %q", c.expr, got, c.want)
+		}
+	}
+	if got := render(t, "${a.ip}", map[string]any{"a": netip.MustParseAddr("10.0.0.1")}); got != "10.0.0.1" {
+		t.Errorf("addr.ip = %q", got)
+	}
+}
+
+func TestOperators(t *testing.T) {
+	cases := []struct {
+		expr string
+		ctx  map[string]any
+		want string
+	}{
+		{"${1 + 2 * 3}", nil, "7"},
+		{"${(1 + 2) * 3}", nil, "9"},
+		{"${10 / 4}", nil, "2"},
+		{"${10.0 / 4}", nil, "2.5"},
+		{"${7 % 3}", nil, "1"},
+		{"${-x}", map[string]any{"x": 5}, "-5"},
+		{"${'a' + 'b'}", nil, "ab"},
+		{"${1 == 1.0}", nil, "true"},
+		{"${1 != 2}", nil, "true"},
+		{"${2 < 10}", nil, "true"},
+		{"${'abc' < 'abd'}", nil, "true"},
+		{"${true and false}", nil, "false"},
+		{"${true or false}", nil, "true"},
+		{"${not false}", nil, "true"},
+		{"${1 in items}", map[string]any{"items": []any{1, 2}}, "true"},
+		{"${'x' in 'xyz'}", nil, "true"},
+		{"${'k' in m}", map[string]any{"m": map[string]any{"k": 1}}, "true"},
+		{"${none}", nil, ""},
+		{"${x[1]}", map[string]any{"x": []any{"a", "b"}}, "b"},
+		{"${x[-1]}", map[string]any{"x": []any{"a", "b"}}, "b"},
+		{"${m['k']}", map[string]any{"m": map[string]any{"k": "v"}}, "v"},
+		{"${s[0]}", map[string]any{"s": "hi"}, "h"},
+	}
+	for _, c := range cases {
+		if got := render(t, c.expr, c.ctx); got != c.want {
+			t.Errorf("%s = %q, want %q", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// Right side would error (missing attr); short-circuit must avoid it.
+	got := render(t, "${false and node.missing}", map[string]any{"node": map[string]any{}})
+	if got != "false" {
+		t.Errorf("got %q", got)
+	}
+	got = render(t, "${true or node.missing}", map[string]any{"node": map[string]any{}})
+	if got != "true" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestBuiltinFuncs(t *testing.T) {
+	cases := []struct {
+		expr string
+		ctx  map[string]any
+		want string
+	}{
+		{"${len(xs)}", map[string]any{"xs": []any{1, 2, 3}}, "3"},
+		{"${len('word')}", nil, "4"},
+		{"${upper('abc')}", nil, "ABC"},
+		{"${lower('ABC')}", nil, "abc"},
+		{"${strip('  x ')}", nil, "x"},
+		{"${join(xs, ', ')}", map[string]any{"xs": []any{"a", "b"}}, "a, b"},
+		{"${str(42)}", nil, "42"},
+		{"${replace('a-b', '-', '_')}", nil, "a_b"},
+		{"${first(xs)}", map[string]any{"xs": []any{"z", "y"}}, "z"},
+		{"${default(x, 'fallback')}", map[string]any{"x": ""}, "fallback"},
+		{"${default(x, 'fallback')}", map[string]any{"x": "set"}, "set"},
+	}
+	for _, c := range cases {
+		if got := render(t, c.expr, c.ctx); got != c.want {
+			t.Errorf("%s = %q, want %q", c.expr, got, c.want)
+		}
+	}
+	// sorted + enumerate
+	src := "% for i, v in enumerate(sorted(xs)):\n${i}:${v}\n% endfor\n"
+	got := render(t, src, map[string]any{"xs": []any{"c", "a", "b"}})
+	if got != "0:a\n1:b\n2:c\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCustomFuncs(t *testing.T) {
+	tpl := MustParse("t", "${twice(x)}").Funcs(FuncMap{
+		"twice": func(args ...any) (any, error) { return args[0].(int) * 2, nil },
+	})
+	out, err := tpl.Execute(map[string]any{"x": 21})
+	if err != nil || out != "42" {
+		t.Errorf("out=%q err=%v", out, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"% for x items:\n% endfor\n",  // missing 'in'
+		"% for x in xs:\n",            // unterminated for
+		"% if x:\n",                   // unterminated if
+		"% endfor\n",                  // stray endfor
+		"% frobnicate\n",              // unknown directive
+		"${unclosed\n",                // unterminated substitution
+		"${a ~ b}\n",                  // bad operator
+		"${'unterminated}\n",          // unterminated string
+		"% if x:\n% elif:\n% endif\n", // empty elif expression
+	}
+	for _, src := range bad {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	cases := []struct {
+		src string
+		ctx map[string]any
+	}{
+		{"${1/0}", nil},
+		{"${1%0}", nil},
+		{"${x[5]}", map[string]any{"x": []any{}}},
+		{"${m['nope']}", map[string]any{"m": map[string]any{}}},
+		{"${x < 'str'}", map[string]any{"x": 1}},
+		{"${nosuchfn()}", nil},
+		{"% for x in 42:\n% endfor\n", nil},
+		{"% for a, b in xs:\n% endfor\n", map[string]any{"xs": []any{1}}},
+		{"${5 in 42}", nil},
+		{"${-'s'}", nil},
+		{"${'a' * 'b'}", nil},
+	}
+	for _, c := range cases {
+		tpl, err := Parse("t", c.src)
+		if err != nil {
+			t.Errorf("Parse(%q) failed early: %v", c.src, err)
+			continue
+		}
+		if _, err := tpl.Execute(c.ctx); err == nil {
+			t.Errorf("Execute(%q) should fail", c.src)
+		}
+	}
+}
+
+func TestLoopScopeIsolation(t *testing.T) {
+	// Loop variable must not leak into the outer scope.
+	tpl := MustParse("t", "% for x in xs:\n${x}\n% endfor\n${x}\n")
+	_, err := tpl.Execute(map[string]any{"xs": []any{1}})
+	if err == nil {
+		t.Error("loop variable leaked out of loop scope")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{nil, ""}, {"s", "s"}, {true, "true"}, {false, "false"},
+		{3.0, "3"}, {3.25, "3.25"}, {42, "42"},
+	}
+	for _, c := range cases {
+		if got := formatValue(c.in); got != c.want {
+			t.Errorf("formatValue(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: rendering is deterministic — same template + context twice
+// yields identical output (ablation A3 depends on this).
+func TestPropertyDeterministicRender(t *testing.T) {
+	tpl := MustParse("t", "% for k, v in m:\n${k} ${v}\n% endfor\n")
+	f := func(keys []string) bool {
+		m := map[string]any{}
+		lines := 0
+		for i, k := range keys {
+			if _, dup := m[k]; !dup {
+				// Keys may themselves contain newlines; account for them
+				// in the expected line count.
+				lines += 1 + strings.Count(k, "\n")
+			}
+			m[k] = i
+		}
+		ctx := map[string]any{"m": m}
+		a, err1 := tpl.Execute(ctx)
+		b, err2 := tpl.Execute(ctx)
+		return err1 == nil && err2 == nil && a == b && strings.Count(a, "\n") == lines
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStructReflectionFallback(t *testing.T) {
+	type dev struct{ Hostname string }
+	got := render(t, "${d.hostname}", map[string]any{"d": dev{Hostname: "r9"}})
+	if got != "r9" {
+		t.Errorf("got %q", got)
+	}
+}
+
+type fakeAttributer struct{}
+
+func (fakeAttributer) TemplateAttr(name string) (any, bool) {
+	if name == "magic" {
+		return 99, true
+	}
+	return nil, false
+}
+
+func TestAttributerInterface(t *testing.T) {
+	if got := render(t, "${a.magic}", map[string]any{"a": fakeAttributer{}}); got != "99" {
+		t.Errorf("got %q", got)
+	}
+	tpl := MustParse("t", "${a.other}")
+	if _, err := tpl.Execute(map[string]any{"a": fakeAttributer{}}); err == nil {
+		t.Error("unknown Attributer attr should fail")
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	cases := []struct{ expr, want string }{
+		{`${'a\nb'}`, "a\nb"},
+		{`${'a\tb'}`, "a\tb"},
+		{`${'don\'t'}`, "don't"},
+		{`${"say \"hi\""}`, `say "hi"`},
+	}
+	for _, c := range cases {
+		if got := render(t, c.expr, nil); got != c.want {
+			t.Errorf("%s = %q, want %q", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestTruthiness(t *testing.T) {
+	cases := []struct {
+		val  any
+		want string
+	}{
+		{nil, "no"}, {false, "no"}, {true, "yes"},
+		{"", "no"}, {"x", "yes"},
+		{0, "no"}, {3, "yes"},
+		{int64(0), "no"}, {int64(1), "yes"},
+		{0.0, "no"}, {0.5, "yes"},
+		{[]any{}, "no"}, {[]any{1}, "yes"},
+		{map[string]any{}, "no"}, {map[string]any{"k": 1}, "yes"},
+		{struct{}{}, "yes"}, // unknown types are truthy
+	}
+	src := "% if v:\nyes\n% else:\nno\n% endif\n"
+	for _, c := range cases {
+		got := strings.TrimSpace(render(t, src, map[string]any{"v": c.val}))
+		if got != c.want {
+			t.Errorf("truthy(%#v) = %s, want %s", c.val, got, c.want)
+		}
+	}
+}
+
+func TestNumericCoercions(t *testing.T) {
+	cases := []struct {
+		expr string
+		ctx  map[string]any
+		want string
+	}{
+		{"${a + b}", map[string]any{"a": int64(2), "b": 3}, "5"},
+		{"${a + b}", map[string]any{"a": uint32(2), "b": 3}, "5"},
+		{"${a + 0.5}", map[string]any{"a": int64(2)}, "2.5"},
+		{"${a < b}", map[string]any{"a": int64(1), "b": 2.5}, "true"},
+		{"${a >= b}", map[string]any{"a": uint32(7), "b": 7}, "true"},
+		{"${-a}", map[string]any{"a": 1.5}, "-1.5"},
+		{"${xs[i]}", map[string]any{"xs": []any{"a", "b"}, "i": 1.0}, "b"},
+	}
+	for _, c := range cases {
+		if got := render(t, c.expr, c.ctx); got != c.want {
+			t.Errorf("%s = %q, want %q", c.expr, got, c.want)
+		}
+	}
+	// Fractional float index fails.
+	tpl := MustParse("t", "${xs[i]}")
+	if _, err := tpl.Execute(map[string]any{"xs": []any{"a"}, "i": 0.5}); err == nil {
+		t.Error("fractional index accepted")
+	}
+}
+
+func TestIterateVariants(t *testing.T) {
+	src := "% for x in xs:\n${x}\n% endfor\n"
+	if got := render(t, src, map[string]any{"xs": []string{"p", "q"}}); got != "p\nq\n" {
+		t.Errorf("[]string iterate = %q", got)
+	}
+	maps := []map[string]any{{"k": 1}, {"k": 2}}
+	src2 := "% for m in xs:\n${m.k}\n% endfor\n"
+	if got := render(t, src2, map[string]any{"xs": maps}); got != "1\n2\n" {
+		t.Errorf("[]map iterate = %q", got)
+	}
+	// nil iterates as empty.
+	if got := render(t, src, map[string]any{"xs": nil}); got != "" {
+		t.Errorf("nil iterate = %q", got)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	tpl := MustParse("t", "${a < b}")
+	bad := []map[string]any{
+		{"a": 1, "b": "s"},
+		{"a": "s", "b": 1},
+		{"a": true, "b": false},
+	}
+	for _, ctx := range bad {
+		if _, err := tpl.Execute(ctx); err == nil {
+			t.Errorf("compare %v accepted", ctx)
+		}
+	}
+}
+
+func TestTemplateName(t *testing.T) {
+	if MustParse("zebra.conf", "x").Name() != "zebra.conf" {
+		t.Error("Name wrong")
+	}
+}
+
+func TestMoreBuiltinErrors(t *testing.T) {
+	bad := []string{
+		"${len(1, 2)}", "${len(42)}",
+		"${upper()}", "${join(xs)}", "${join(42, ',')}",
+		"${sorted()}", "${sorted(42)}",
+		"${str()}", "${replace('a', 'b')}",
+		"${enumerate()}", "${enumerate(5)}",
+		"${first(xs)}", "${first(9)}", "${default(1)}",
+	}
+	for _, src := range bad {
+		tpl := MustParse("t", src)
+		if _, err := tpl.Execute(map[string]any{"xs": []any{}}); err == nil {
+			t.Errorf("%s accepted", src)
+		}
+	}
+	// len(nil) is 0 by convention.
+	if got := render(t, "${len(x)}", map[string]any{"x": nil}); got != "0" {
+		t.Errorf("len(nil) = %q", got)
+	}
+}
+
+func TestExportedNameEdge(t *testing.T) {
+	if exportedName("") != "" {
+		t.Error("empty name")
+	}
+	if exportedName("already") != "Already" {
+		t.Error("capitalisation")
+	}
+}

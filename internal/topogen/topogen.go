@@ -1,0 +1,378 @@
+// Package topogen builds the input topologies of the paper's case studies:
+// the Netkit Small-Internet lab (Fig. 1), the Fig. 5 five-node example, a
+// European-NREN-scale model matching the §3.2 statistics (42 ASes, 1158
+// routers, 1470 links), the §7.2 oscillation gadget, and synthetic
+// generators (Waxman, preferential attachment, grid, RocketFuel format)
+// standing in for the paper's external data sources.
+//
+// All generators are deterministic: randomised ones take an explicit seed.
+package topogen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"autonetkit/internal/core"
+	"autonetkit/internal/graph"
+)
+
+// router adds a router node with an ASN to a graph.
+func router(g *graph.Graph, id graph.ID, asn int) {
+	g.AddNode(id, graph.Attrs{
+		core.AttrASN:        asn,
+		core.AttrDeviceType: core.DeviceRouter,
+	})
+}
+
+func link(g *graph.Graph, a, b graph.ID) {
+	g.AddEdge(a, b, graph.Attrs{"type": "physical"})
+}
+
+// Fig5 returns the paper's Fig. 5a input topology: five routers, ASNs
+// {1,1,1,1,2}, six physical links.
+func Fig5() *graph.Graph {
+	g := graph.New()
+	g.Set("name", "fig5")
+	for i, asn := range []int{1, 1, 1, 1, 2} {
+		router(g, graph.ID(fmt.Sprintf("r%d", i+1)), asn)
+	}
+	for _, e := range [][2]graph.ID{{"r1", "r2"}, {"r1", "r3"}, {"r2", "r4"}, {"r3", "r4"}, {"r3", "r5"}, {"r4", "r5"}} {
+		link(g, e[0], e[1])
+	}
+	return g
+}
+
+// SmallInternet returns the Netkit Small-Internet lab of Fig. 1: seven
+// autonomous systems and fourteen routers. The inter-AS structure supports
+// the paper's §6.1 traceroute (as300r2 → as40r1 → as1r1 → as20r3 → as20r2
+// → as100r1 → as100r2).
+func SmallInternet() *graph.Graph {
+	g := graph.New()
+	g.Set("name", "small-internet")
+	asns := map[string][]string{}
+	add := func(asn int, names ...string) {
+		for _, n := range names {
+			router(g, graph.ID(n), asn)
+			asns[fmt.Sprint(asn)] = append(asns[fmt.Sprint(asn)], n)
+		}
+	}
+	add(1, "as1r1")
+	add(20, "as20r1", "as20r2", "as20r3")
+	add(30, "as30r1")
+	add(40, "as40r1")
+	add(100, "as100r1", "as100r2", "as100r3")
+	add(200, "as200r1")
+	add(300, "as300r1", "as300r2", "as300r3", "as300r4")
+
+	// Intra-AS structure.
+	link(g, "as20r1", "as20r2")
+	link(g, "as20r2", "as20r3")
+	link(g, "as20r1", "as20r3")
+	link(g, "as100r1", "as100r2")
+	link(g, "as100r1", "as100r3")
+	link(g, "as100r2", "as100r3")
+	link(g, "as300r1", "as300r2")
+	link(g, "as300r1", "as300r3")
+	link(g, "as300r2", "as300r4")
+	link(g, "as300r3", "as300r4")
+	// Inter-AS structure (AS1 is the transit core).
+	link(g, "as1r1", "as20r3")
+	link(g, "as1r1", "as30r1")
+	link(g, "as1r1", "as40r1")
+	link(g, "as20r2", "as100r1")
+	link(g, "as100r3", "as200r1")
+	link(g, "as30r1", "as300r1")
+	link(g, "as40r1", "as300r2")
+	return g
+}
+
+// NRENConfig sizes the European-interconnect-scale model.
+type NRENConfig struct {
+	ASes    int // default 42 (GEANT + 41 NRENs)
+	Routers int // default 1158
+	Links   int // default 1470
+	Seed    int64
+}
+
+// DefaultNREN matches the §3.2 statistics.
+func DefaultNREN() NRENConfig { return NRENConfig{ASes: 42, Routers: 1158, Links: 1470} }
+
+// NREN synthesises a model with the §3.2 shape: a backbone AS (GEANT-like
+// ring with chords) interconnecting per-country NREN ASes, each an
+// intra-AS tree with extra redundancy links, until the requested totals are
+// met exactly.
+func NREN(cfg NRENConfig) (*graph.Graph, error) {
+	if cfg.ASes <= 1 {
+		return nil, fmt.Errorf("topogen: need at least 2 ASes, got %d", cfg.ASes)
+	}
+	if cfg.Routers < cfg.ASes {
+		return nil, fmt.Errorf("topogen: %d routers cannot fill %d ASes", cfg.Routers, cfg.ASes)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New()
+	g.Set("name", "nren")
+
+	// AS 1 is the backbone; it gets one router per attached NREN.
+	nrens := cfg.ASes - 1
+	backboneSize := nrens
+	if backboneSize < 3 {
+		backboneSize = 3
+	}
+	remaining := cfg.Routers - backboneSize
+	if remaining < nrens {
+		return nil, fmt.Errorf("topogen: router budget too small")
+	}
+	// Spread the remaining routers across NRENs.
+	sizes := make([]int, nrens)
+	for i := range sizes {
+		sizes[i] = remaining / nrens
+	}
+	for i := 0; i < remaining%nrens; i++ {
+		sizes[i]++
+	}
+
+	var edgeCount int
+	addLink := func(a, b graph.ID) {
+		if !g.HasEdge(a, b) && a != b {
+			link(g, a, b)
+			edgeCount++
+		}
+	}
+
+	// Backbone ring.
+	bb := make([]graph.ID, backboneSize)
+	for i := range bb {
+		bb[i] = graph.ID(fmt.Sprintf("geant%d", i))
+		router(g, bb[i], 1)
+	}
+	for i := range bb {
+		addLink(bb[i], bb[(i+1)%len(bb)])
+	}
+
+	// NREN trees, each homed onto one backbone router.
+	asNodes := make([][]graph.ID, nrens)
+	for i := 0; i < nrens; i++ {
+		asn := i + 2
+		nodes := make([]graph.ID, sizes[i])
+		for j := range nodes {
+			nodes[j] = graph.ID(fmt.Sprintf("as%dr%d", asn, j))
+			router(g, nodes[j], asn)
+			if j > 0 {
+				// Random tree: attach to an earlier node.
+				parent := nodes[rng.Intn(j)]
+				addLink(nodes[j], parent)
+			}
+		}
+		asNodes[i] = nodes
+		// Home the NREN's first router onto its backbone router.
+		addLink(nodes[0], bb[i%len(bb)])
+	}
+
+	if edgeCount > cfg.Links {
+		return nil, fmt.Errorf("topogen: base structure needs %d links, budget is %d", edgeCount, cfg.Links)
+	}
+	// Spend the remaining link budget on intra-AS redundancy (choosing the
+	// AS by size) and a few extra cross-border links.
+	for guard := 0; edgeCount < cfg.Links; guard++ {
+		if guard > cfg.Links*100 {
+			return nil, fmt.Errorf("topogen: cannot place %d links", cfg.Links)
+		}
+		if rng.Intn(10) == 0 {
+			// Cross-border NREN-to-NREN link.
+			i, j := rng.Intn(nrens), rng.Intn(nrens)
+			if i == j {
+				continue
+			}
+			addLink(asNodes[i][rng.Intn(len(asNodes[i]))], asNodes[j][rng.Intn(len(asNodes[j]))])
+			continue
+		}
+		i := rng.Intn(nrens)
+		nodes := asNodes[i]
+		if len(nodes) < 3 {
+			continue
+		}
+		a, b := nodes[rng.Intn(len(nodes))], nodes[rng.Intn(len(nodes))]
+		addLink(a, b)
+	}
+	return g, nil
+}
+
+// OscillationGadget returns the §7.2 experiment input: an RFC 3345-class
+// MED/IGP oscillation condition. One AS with two route-reflector clusters;
+// the contested prefix arrives three times — from AS 1 at c1 (cluster
+// rr1), and from AS 2 at both c2 (MED 10, IGP-near) and c3 (MED 0,
+// IGP-far), both in cluster rr2. Route reflection hides routes depending
+// on the current selection, and the MED comparison (same neighbour AS)
+// interacts non-transitively with the IGP-cost comparison, so no stable
+// route assignment exists when the decision process includes the IGP
+// tie-break: IOS, JunOS and C-BGP oscillate persistently (under
+// asynchronous processing, not just in lockstep), while Quagga's 2013
+// default — which skips the IGP comparison — converges.
+func OscillationGadget() *graph.Graph {
+	g := graph.New()
+	g.Set("name", "oscillation-gadget")
+	for _, n := range []struct {
+		id      graph.ID
+		asn     int
+		rr      bool
+		cluster string
+	}{
+		{"rr1", 100, true, ""}, {"rr2", 100, true, ""},
+		{"c1", 100, false, "rr1"},
+		{"c2", 100, false, "rr2"}, {"c3", 100, false, "rr2"},
+	} {
+		attrs := graph.Attrs{
+			core.AttrASN: n.asn, core.AttrDeviceType: core.DeviceRouter, "rr": n.rr,
+		}
+		if n.cluster != "" {
+			attrs["rr_cluster"] = n.cluster
+		}
+		g.AddNode(n.id, attrs)
+	}
+	// External announcers of the contested prefix. e2 and e3 are the same
+	// neighbour AS, so their MEDs compare.
+	for _, x := range []struct {
+		id  graph.ID
+		asn int
+	}{{"e1", 1}, {"e2", 2}, {"e3", 2}} {
+		g.AddNode(x.id, graph.Attrs{
+			core.AttrASN: x.asn, core.AttrDeviceType: core.DeviceRouter,
+			"bgp_networks": []string{"203.0.113.0/24"},
+		})
+	}
+	cost := func(a, b graph.ID, c int) {
+		g.AddEdge(a, b, graph.Attrs{"type": "physical", "ospf_cost": c})
+	}
+	cost("rr1", "c1", 1)
+	cost("rr1", "rr2", 1)
+	cost("rr2", "c2", 1)
+	cost("rr2", "c3", 10) // the IGP-far exit carries the better MED
+	// eBGP exits; MED set on the session edge.
+	g.AddEdge("c1", "e1", graph.Attrs{"type": "physical"})
+	g.AddEdge("c2", "e2", graph.Attrs{"type": "physical", "med": 10})
+	g.AddEdge("c3", "e3", graph.Attrs{"type": "physical", "med": 0})
+	return g
+}
+
+// Waxman generates a Waxman random graph in a single AS: n routers placed
+// uniformly in the unit square, edge probability alpha*exp(-d/(beta*L)).
+func Waxman(n int, alpha, beta float64, seed int64) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topogen: waxman needs n >= 2")
+	}
+	if alpha <= 0 || beta <= 0 {
+		return nil, fmt.Errorf("topogen: waxman parameters must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	g.Set("name", "waxman")
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n)
+	ids := make([]graph.ID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = graph.ID(fmt.Sprintf("w%d", i))
+		router(g, ids[i], 1)
+		pts[i] = pt{rng.Float64(), rng.Float64()}
+		g.Node(ids[i]).Set("x", pts[i].x)
+		g.Node(ids[i]).Set("y", pts[i].y)
+	}
+	L := math.Sqrt2
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := math.Hypot(pts[i].x-pts[j].x, pts[i].y-pts[j].y)
+			if rng.Float64() < alpha*math.Exp(-d/(beta*L)) {
+				link(g, ids[i], ids[j])
+			}
+		}
+	}
+	// Stitch disconnected components so the result is usable as a lab.
+	comps := g.ConnectedComponents()
+	for i := 1; i < len(comps); i++ {
+		link(g, comps[0][0], comps[i][0])
+	}
+	return g, nil
+}
+
+// Preferential generates a Barabási–Albert preferential-attachment graph
+// in a single AS: each new router attaches to m existing ones.
+func Preferential(n, m int, seed int64) (*graph.Graph, error) {
+	if m < 1 || n <= m {
+		return nil, fmt.Errorf("topogen: need n > m >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	g.Set("name", "preferential")
+	ids := make([]graph.ID, 0, n)
+	var stubs []graph.ID // nodes repeated by degree
+	for i := 0; i < n; i++ {
+		id := graph.ID(fmt.Sprintf("p%d", i))
+		router(g, id, 1)
+		if i == 0 {
+			ids = append(ids, id)
+			continue
+		}
+		targets := map[graph.ID]bool{}
+		for len(targets) < m && len(targets) < len(ids) {
+			var pick graph.ID
+			if len(stubs) > 0 && rng.Intn(2) == 0 {
+				pick = stubs[rng.Intn(len(stubs))]
+			} else {
+				pick = ids[rng.Intn(len(ids))]
+			}
+			targets[pick] = true
+		}
+		for t := range targets {
+			link(g, id, t)
+		}
+		// Deterministic stub update (map iteration avoided).
+		for _, t := range ids {
+			if targets[t] {
+				stubs = append(stubs, t, id)
+			}
+		}
+		ids = append(ids, id)
+	}
+	return g, nil
+}
+
+// Grid generates a w x h grid in a single AS — a predictable topology for
+// education labs.
+func Grid(w, h int) (*graph.Graph, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("topogen: grid dimensions must be positive")
+	}
+	g := graph.New()
+	g.Set("name", "grid")
+	id := func(x, y int) graph.ID { return graph.ID(fmt.Sprintf("g%d_%d", x, y)) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			router(g, id(x, y), 1)
+			if x > 0 {
+				link(g, id(x-1, y), id(x, y))
+			}
+			if y > 0 {
+				link(g, id(x, y-1), id(x, y))
+			}
+		}
+	}
+	return g, nil
+}
+
+// RocketFuelText renders a graph in the RocketFuel cch subset, for
+// exercising the §5.1 loader path on synthetic ISP maps.
+func RocketFuelText(g *graph.Graph) string {
+	out := ""
+	for i, n := range g.Nodes() {
+		out += fmt.Sprintf("%d @Synth,XX ->", i)
+		idx := map[graph.ID]int{}
+		for j, m := range g.Nodes() {
+			idx[m.ID()] = j
+		}
+		for _, nb := range g.Neighbors(n.ID()) {
+			out += fmt.Sprintf(" <%d>", idx[nb])
+		}
+		out += fmt.Sprintf(" =%s\n", n.ID())
+	}
+	return out
+}

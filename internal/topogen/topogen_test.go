@@ -1,0 +1,237 @@
+package topogen
+
+import (
+	"strings"
+	"testing"
+
+	"autonetkit/internal/core"
+	"autonetkit/internal/graph"
+	"autonetkit/internal/topoio"
+)
+
+func asnSet(g *graph.Graph) map[int]int {
+	out := map[int]int{}
+	for _, n := range g.Nodes() {
+		if f, ok := graph.ToFloat(n.Get(core.AttrASN)); ok {
+			out[int(f)]++
+		}
+	}
+	return out
+}
+
+func TestFig5(t *testing.T) {
+	g := Fig5()
+	if g.NumNodes() != 5 || g.NumEdges() != 6 {
+		t.Fatalf("fig5: %v", g)
+	}
+	asns := asnSet(g)
+	if asns[1] != 4 || asns[2] != 1 {
+		t.Errorf("asns = %v", asns)
+	}
+}
+
+// E2 (structure): the Small-Internet lab matches Fig. 1 — 7 ASes, 14
+// routers — and contains the §6.1 traceroute path as a physical walk.
+func TestSmallInternetShape(t *testing.T) {
+	g := SmallInternet()
+	if g.NumNodes() != 14 {
+		t.Fatalf("routers = %d, want 14", g.NumNodes())
+	}
+	asns := asnSet(g)
+	if len(asns) != 7 {
+		t.Fatalf("ASes = %d, want 7 (%v)", len(asns), asns)
+	}
+	want := map[int]int{1: 1, 20: 3, 30: 1, 40: 1, 100: 3, 200: 1, 300: 4}
+	for asn, n := range want {
+		if asns[asn] != n {
+			t.Errorf("AS%d has %d routers, want %d", asn, asns[asn], n)
+		}
+	}
+	if !g.IsConnected() {
+		t.Error("lab disconnected")
+	}
+	// The §6.1 path exists hop by hop.
+	path := []graph.ID{"as300r2", "as40r1", "as1r1", "as20r3", "as20r2", "as100r1", "as100r2"}
+	for i := 1; i < len(path); i++ {
+		if !g.HasEdge(path[i-1], path[i]) {
+			t.Errorf("missing link %s-%s for the §6.1 traceroute", path[i-1], path[i])
+		}
+	}
+}
+
+// E3 (structure): the NREN synthesiser hits the §3.2 statistics exactly.
+func TestNRENStatistics(t *testing.T) {
+	g, err := NREN(DefaultNREN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1158 {
+		t.Errorf("routers = %d, want 1158", g.NumNodes())
+	}
+	if g.NumEdges() != 1470 {
+		t.Errorf("links = %d, want 1470", g.NumEdges())
+	}
+	asns := asnSet(g)
+	if len(asns) != 42 {
+		t.Errorf("ASes = %d, want 42", len(asns))
+	}
+	if !g.IsConnected() {
+		t.Error("NREN model disconnected")
+	}
+}
+
+func TestNRENDeterministic(t *testing.T) {
+	a, err := NREN(DefaultNREN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NREN(DefaultNREN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("edge counts differ")
+	}
+	for _, e := range a.Edges() {
+		if !b.HasEdge(e.Src(), e.Dst()) {
+			t.Fatalf("edge %v-%v differs across runs", e.Src(), e.Dst())
+		}
+	}
+}
+
+func TestNRENSmall(t *testing.T) {
+	g, err := NREN(NRENConfig{ASes: 5, Routers: 30, Links: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 30 || g.NumEdges() != 40 {
+		t.Errorf("got %v", g)
+	}
+}
+
+func TestNRENErrors(t *testing.T) {
+	if _, err := NREN(NRENConfig{ASes: 1, Routers: 10, Links: 10}); err == nil {
+		t.Error("single AS accepted")
+	}
+	if _, err := NREN(NRENConfig{ASes: 10, Routers: 5, Links: 10}); err == nil {
+		t.Error("too few routers accepted")
+	}
+	if _, err := NREN(NRENConfig{ASes: 5, Routers: 100, Links: 3}); err == nil {
+		t.Error("too few links accepted")
+	}
+}
+
+func TestOscillationGadgetShape(t *testing.T) {
+	g := OscillationGadget()
+	if g.NumNodes() != 8 || g.NumEdges() != 7 {
+		t.Fatalf("gadget: %v", g)
+	}
+	if !g.Node("rr1").Get("rr").(bool) || !g.Node("rr2").Get("rr").(bool) {
+		t.Error("route reflectors unmarked")
+	}
+	// Clusters: c1 under rr1; c2, c3 under rr2.
+	if g.Node("c1").Get("rr_cluster") != "rr1" || g.Node("c3").Get("rr_cluster") != "rr2" {
+		t.Error("cluster assignment missing")
+	}
+	// The IGP-far exit (c3) carries the better MED (0 beats 10).
+	if g.Edge("rr2", "c3").Get("ospf_cost") != 10 {
+		t.Error("far-exit IGP cost missing")
+	}
+	if g.Edge("c2", "e2").Get("med") != 10 || g.Edge("c3", "e3").Get("med") != 0 {
+		t.Error("MED attributes missing")
+	}
+	// All three externals announce the same prefix; e2/e3 share an AS so
+	// their MEDs compare.
+	for _, id := range []graph.ID{"e1", "e2", "e3"} {
+		nets := g.Node(id).Get("bgp_networks").([]string)
+		if len(nets) != 1 || nets[0] != "203.0.113.0/24" {
+			t.Errorf("%s networks = %v", id, nets)
+		}
+	}
+	if g.Node("e2").Get(core.AttrASN) != g.Node("e3").Get(core.AttrASN) {
+		t.Error("e2 and e3 must share the neighbour AS for MED comparison")
+	}
+}
+
+func TestWaxman(t *testing.T) {
+	g, err := Waxman(50, 0.6, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 50 {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	if !g.IsConnected() {
+		t.Error("waxman graph disconnected after stitching")
+	}
+	// Deterministic.
+	g2, _ := Waxman(50, 0.6, 0.3, 7)
+	if g.NumEdges() != g2.NumEdges() {
+		t.Error("waxman not deterministic")
+	}
+	if _, err := Waxman(1, 0.5, 0.5, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Waxman(10, 0, 0.5, 1); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+}
+
+func TestPreferential(t *testing.T) {
+	g, err := Preferential(40, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 40 {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	if !g.IsConnected() {
+		t.Error("BA graph disconnected")
+	}
+	// Heavy-tailed: max degree well above m.
+	maxDeg := 0
+	for _, n := range g.Nodes() {
+		if d := g.Degree(n.ID()); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 5 {
+		t.Errorf("max degree = %d, expected a hub", maxDeg)
+	}
+	if _, err := Preferential(3, 5, 1); err == nil {
+		t.Error("n <= m accepted")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g, err := Grid(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 12 {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	// Grid edge count: w(h-1) + h(w-1).
+	if g.NumEdges() != 4*2+3*3 {
+		t.Errorf("edges = %d", g.NumEdges())
+	}
+	if _, err := Grid(0, 5); err == nil {
+		t.Error("zero dimension accepted")
+	}
+}
+
+// The synthetic RocketFuel text round-trips through the §5.1 loader.
+func TestRocketFuelTextLoads(t *testing.T) {
+	g := SmallInternet()
+	text := RocketFuelText(g)
+	back, err := topoio.ReadRocketFuel(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() {
+		t.Errorf("nodes = %d, want %d", back.NumNodes(), g.NumNodes())
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Errorf("edges = %d, want %d", back.NumEdges(), g.NumEdges())
+	}
+}

@@ -1,0 +1,88 @@
+package topoio
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the loaders must never panic on arbitrary input — they
+// either produce a graph or return an error. Seeds cover the syntactic
+// corners; `go test -fuzz` explores further.
+
+func FuzzReadGML(f *testing.F) {
+	seeds := []string{
+		``,
+		`graph [ ]`,
+		`graph [ node [ id 0 label "a" ] ]`,
+		`graph [ node [ id 0 ] node [ id 1 ] edge [ source 0 target 1 ] ]`,
+		`graph [ directed 1 node [ id 0 label "x" nested [ deep [ k 1 ] ] ] ]`,
+		`graph [ x "unterminated`,
+		`graph [ key ]`,
+		`[[[[`,
+		`graph [ node [ id 0 label "a" ] node [ id 1 label "a" ] ]`,
+		"graph [ # comment\n node [ id 0 ] ]",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ReadGML(strings.NewReader(src))
+		if err == nil && g == nil {
+			t.Fatal("nil graph without error")
+		}
+	})
+}
+
+func FuzzReadGraphML(f *testing.F) {
+	seeds := []string{
+		``,
+		`<graphml><graph edgedefault="undirected"></graph></graphml>`,
+		`<graphml><key id="d0" for="node" attr.name="asn" attr.type="int"/><graph edgedefault="undirected"><node id="a"><data key="d0">1</data></node></graph></graphml>`,
+		`<graphml><graph edgedefault="directed"><node id="a"/><node id="b"/><edge source="a" target="b"/></graph></graphml>`,
+		`<graphml><graph><edge source="x" target="y"/></graph></graphml>`,
+		`<not-xml`,
+		`<graphml><key id="d0" for="node" attr.name="n" attr.type="int"/><graph edgedefault="u"><node id="a"><data key="d0">zz</data></node></graph></graphml>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ReadGraphML(strings.NewReader(src))
+		if err == nil && g == nil {
+			t.Fatal("nil graph without error")
+		}
+	})
+}
+
+func FuzzReadRocketFuel(f *testing.F) {
+	seeds := []string{
+		``,
+		`1 @Place bb -> <2> =name r0`,
+		"-1 external\n2 -> <1>\n",
+		"1 -> <1>\n",
+		"garbage line\n1 @X ->",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ReadRocketFuel(strings.NewReader(src))
+	})
+}
+
+func FuzzReadJSON(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"nodes":[{"id":"a"}],"edges":[]}`,
+		`{"directed":true,"nodes":[{"id":"a","attrs":{"asn":1.5}}],"edges":[]}`,
+		`{"nodes":[],"edges":[{"src":"a","dst":"b"}]}`,
+		`{"nodes":[{"id":"a"}],"edges":[{"src":"a","dst":"a"}]}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ReadJSON(strings.NewReader(src))
+	})
+}

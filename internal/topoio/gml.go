@@ -1,0 +1,280 @@
+package topoio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"autonetkit/internal/graph"
+)
+
+// GML support: the Internet Topology Zoo publishes its models in GML
+// (§3.2 uses the Zoo's European interconnect model). GML is a nested
+// key-value format:
+//
+//	graph [
+//	  directed 0
+//	  node [ id 0 label "r1" asn 1 ]
+//	  edge [ source 0 target 1 LinkSpeed "10" ]
+//	]
+
+type gmlValue struct {
+	scalar any        // string / int / float64 when leaf
+	list   []gmlEntry // nested [ ... ] block
+	isList bool
+}
+
+type gmlEntry struct {
+	key string
+	val gmlValue
+}
+
+type gmlLexer struct {
+	toks []string
+	pos  int
+}
+
+func lexGML(r io.Reader) ([]string, error) {
+	var toks []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		for len(line) > 0 {
+			line = strings.TrimLeft(line, " \t\r")
+			if line == "" {
+				break
+			}
+			switch line[0] {
+			case '"':
+				end := strings.Index(line[1:], `"`)
+				if end < 0 {
+					return nil, fmt.Errorf("topoio: GML: unterminated string in %q", line)
+				}
+				toks = append(toks, line[:end+2])
+				line = line[end+2:]
+			case '[', ']':
+				toks = append(toks, string(line[0]))
+				line = line[1:]
+			default:
+				n := strings.IndexAny(line, " \t\r[]")
+				if n < 0 {
+					n = len(line)
+				}
+				toks = append(toks, line[:n])
+				line = line[n:]
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topoio: reading GML: %w", err)
+	}
+	return toks, nil
+}
+
+func (l *gmlLexer) parseBlock() ([]gmlEntry, error) {
+	var out []gmlEntry
+	for l.pos < len(l.toks) {
+		key := l.toks[l.pos]
+		if key == "]" {
+			l.pos++
+			return out, nil
+		}
+		l.pos++
+		if l.pos >= len(l.toks) {
+			return nil, fmt.Errorf("topoio: GML: key %q has no value", key)
+		}
+		tok := l.toks[l.pos]
+		if tok == "]" {
+			return nil, fmt.Errorf("topoio: GML: key %q has no value", key)
+		}
+		if tok == "[" {
+			l.pos++
+			inner, err := l.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, gmlEntry{key, gmlValue{list: inner, isList: true}})
+			continue
+		}
+		l.pos++
+		out = append(out, gmlEntry{key, gmlValue{scalar: gmlScalar(tok)}})
+	}
+	return out, nil
+}
+
+func gmlScalar(tok string) any {
+	if strings.HasPrefix(tok, `"`) && strings.HasSuffix(tok, `"`) && len(tok) >= 2 {
+		return tok[1 : len(tok)-1]
+	}
+	if i, err := strconv.Atoi(tok); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return f
+	}
+	return tok
+}
+
+// ReadGML parses a GML document. Node IDs come from the "label" attribute
+// when present (the Zoo convention), otherwise the numeric id.
+func ReadGML(r io.Reader) (*graph.Graph, error) {
+	toks, err := lexGML(r)
+	if err != nil {
+		return nil, err
+	}
+	lex := &gmlLexer{toks: toks}
+	top, err := lex.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	var groot []gmlEntry
+	for _, e := range top {
+		if e.key == "graph" && e.val.isList {
+			groot = e.val.list
+			break
+		}
+	}
+	if groot == nil {
+		return nil, fmt.Errorf("topoio: GML: no graph block")
+	}
+	directed := false
+	for _, e := range groot {
+		if e.key == "directed" {
+			if i, ok := e.val.scalar.(int); ok && i == 1 {
+				directed = true
+			}
+		}
+	}
+	var g *graph.Graph
+	if directed {
+		g = graph.NewDirected()
+	} else {
+		g = graph.New()
+	}
+	idToLabel := map[string]graph.ID{}
+	for _, e := range groot {
+		switch {
+		case e.key == "node" && e.val.isList:
+			attrs := graph.Attrs{}
+			var rawID, label string
+			for _, f := range e.val.list {
+				switch f.key {
+				case "id":
+					rawID = fmt.Sprint(f.val.scalar)
+				case "label":
+					label = fmt.Sprint(f.val.scalar)
+				default:
+					if !f.val.isList {
+						attrs[f.key] = f.val.scalar
+					}
+				}
+			}
+			if rawID == "" && label == "" {
+				return nil, fmt.Errorf("topoio: GML: node with neither id nor label")
+			}
+			id := graph.ID(label)
+			if label == "" {
+				id = graph.ID(rawID)
+			}
+			if rawID != "" {
+				idToLabel[rawID] = id
+			}
+			if g.HasNode(id) {
+				// Zoo files occasionally duplicate labels; disambiguate.
+				id = graph.ID(fmt.Sprintf("%s_%s", id, rawID))
+				idToLabel[rawID] = id
+			}
+			attrs["label"] = string(id)
+			g.AddNode(id, attrs)
+		case e.key == "edge" && e.val.isList:
+			attrs := graph.Attrs{}
+			var src, dst string
+			for _, f := range e.val.list {
+				switch f.key {
+				case "source":
+					src = fmt.Sprint(f.val.scalar)
+				case "target":
+					dst = fmt.Sprint(f.val.scalar)
+				default:
+					if !f.val.isList {
+						attrs[f.key] = f.val.scalar
+					}
+				}
+			}
+			sid, ok := idToLabel[src]
+			if !ok {
+				return nil, fmt.Errorf("topoio: GML: edge source %q undeclared", src)
+			}
+			did, ok := idToLabel[dst]
+			if !ok {
+				return nil, fmt.Errorf("topoio: GML: edge target %q undeclared", dst)
+			}
+			g.AddEdge(sid, did, attrs)
+		case !e.val.isList && e.key != "directed":
+			g.Set(e.key, e.val.scalar)
+		}
+	}
+	return g, nil
+}
+
+// WriteGML serialises the graph as GML, numbering nodes in insertion order.
+func WriteGML(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph [")
+	if g.Directed() {
+		fmt.Fprintln(bw, "  directed 1")
+	}
+	for _, k := range sortedAttrNames(g.Attrs()) {
+		fmt.Fprintf(bw, "  %s %s\n", k, gmlEncode(g.Get(k)))
+	}
+	ids := map[graph.ID]int{}
+	for i, n := range g.Nodes() {
+		ids[n.ID()] = i
+		fmt.Fprintln(bw, "  node [")
+		fmt.Fprintf(bw, "    id %d\n", i)
+		fmt.Fprintf(bw, "    label %q\n", string(n.ID()))
+		for _, k := range sortedAttrNames(n.Attrs()) {
+			if k == "label" {
+				continue
+			}
+			fmt.Fprintf(bw, "    %s %s\n", k, gmlEncode(n.Get(k)))
+		}
+		fmt.Fprintln(bw, "  ]")
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintln(bw, "  edge [")
+		fmt.Fprintf(bw, "    source %d\n", ids[e.Src()])
+		fmt.Fprintf(bw, "    target %d\n", ids[e.Dst()])
+		for _, k := range sortedAttrNames(e.Attrs()) {
+			fmt.Fprintf(bw, "    %s %s\n", k, gmlEncode(e.Get(k)))
+		}
+		fmt.Fprintln(bw, "  ]")
+	}
+	fmt.Fprintln(bw, "]")
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("topoio: writing GML: %w", err)
+	}
+	return nil
+}
+
+func gmlEncode(v any) string {
+	switch x := v.(type) {
+	case int:
+		return strconv.Itoa(x)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		if x {
+			return "1"
+		}
+		return "0"
+	default:
+		return fmt.Sprintf("%q", fmt.Sprint(v))
+	}
+}

@@ -1,0 +1,250 @@
+package topoio
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"autonetkit/internal/graph"
+)
+
+// GraphML support (the paper's primary interchange format, §4.2). Attribute
+// keys are declared with <key> elements carrying a name and type; node and
+// edge <data> elements reference them. Values are decoded to Go types per
+// the declared attr.type (int/long → int, float/double → float64,
+// boolean → bool, else string).
+
+type xmlGraphML struct {
+	XMLName xml.Name   `xml:"graphml"`
+	Keys    []xmlKey   `xml:"key"`
+	Graphs  []xmlGraph `xml:"graph"`
+}
+
+type xmlKey struct {
+	ID       string `xml:"id,attr"`
+	For      string `xml:"for,attr"`
+	AttrName string `xml:"attr.name,attr"`
+	AttrType string `xml:"attr.type,attr"`
+}
+
+type xmlGraph struct {
+	EdgeDefault string    `xml:"edgedefault,attr"`
+	Data        []xmlData `xml:"data"`
+	Nodes       []xmlNode `xml:"node"`
+	Edges       []xmlEdge `xml:"edge"`
+}
+
+type xmlNode struct {
+	ID   string    `xml:"id,attr"`
+	Data []xmlData `xml:"data"`
+}
+
+type xmlEdge struct {
+	Source string    `xml:"source,attr"`
+	Target string    `xml:"target,attr"`
+	Data   []xmlData `xml:"data"`
+}
+
+type xmlData struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}
+
+// ReadGraphML parses a GraphML document into a graph.
+func ReadGraphML(r io.Reader) (*graph.Graph, error) {
+	var doc xmlGraphML
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("topoio: parsing GraphML: %w", err)
+	}
+	if len(doc.Graphs) == 0 {
+		return nil, fmt.Errorf("topoio: GraphML document has no <graph>")
+	}
+	gx := doc.Graphs[0]
+	var g *graph.Graph
+	if gx.EdgeDefault == "directed" {
+		g = graph.NewDirected()
+	} else {
+		g = graph.New()
+	}
+	keys := map[string]xmlKey{}
+	for _, k := range doc.Keys {
+		keys[k.ID] = k
+	}
+	decode := func(d xmlData) (string, any, error) {
+		k, ok := keys[d.Key]
+		if !ok {
+			// Undeclared key: keep raw id and string value.
+			return d.Key, strings.TrimSpace(d.Value), nil
+		}
+		v, err := decodeTyped(strings.TrimSpace(d.Value), k.AttrType)
+		if err != nil {
+			return "", nil, fmt.Errorf("topoio: key %q (%s): %w", k.AttrName, k.AttrType, err)
+		}
+		name := k.AttrName
+		if name == "" {
+			name = k.ID
+		}
+		return name, v, nil
+	}
+	for _, d := range gx.Data {
+		name, v, err := decode(d)
+		if err != nil {
+			return nil, err
+		}
+		g.Set(name, v)
+	}
+	for _, nx := range gx.Nodes {
+		attrs := graph.Attrs{}
+		for _, d := range nx.Data {
+			name, v, err := decode(d)
+			if err != nil {
+				return nil, err
+			}
+			attrs[name] = v
+		}
+		g.AddNode(graph.ID(nx.ID), attrs)
+	}
+	for _, ex := range gx.Edges {
+		if !g.HasNode(graph.ID(ex.Source)) || !g.HasNode(graph.ID(ex.Target)) {
+			return nil, fmt.Errorf("topoio: edge %s-%s references undeclared node", ex.Source, ex.Target)
+		}
+		attrs := graph.Attrs{}
+		for _, d := range ex.Data {
+			name, v, err := decode(d)
+			if err != nil {
+				return nil, err
+			}
+			attrs[name] = v
+		}
+		g.AddEdge(graph.ID(ex.Source), graph.ID(ex.Target), attrs)
+	}
+	return g, nil
+}
+
+func decodeTyped(s, typ string) (any, error) {
+	switch typ {
+	case "int", "long", "integer":
+		if s == "" {
+			return 0, nil
+		}
+		return strconv.Atoi(s)
+	case "float", "double":
+		if s == "" {
+			return 0.0, nil
+		}
+		return strconv.ParseFloat(s, 64)
+	case "boolean", "bool":
+		if s == "" {
+			return false, nil
+		}
+		return strconv.ParseBool(s)
+	default:
+		return s, nil
+	}
+}
+
+// WriteGraphML serialises a graph as GraphML, declaring one key per
+// attribute name with a type inferred from the first value seen.
+func WriteGraphML(w io.Writer, g *graph.Graph) error {
+	nodeAttrs := []graph.Attrs{}
+	for _, n := range g.Nodes() {
+		nodeAttrs = append(nodeAttrs, n.Attrs())
+	}
+	edgeAttrs := []graph.Attrs{}
+	for _, e := range g.Edges() {
+		edgeAttrs = append(edgeAttrs, e.Attrs())
+	}
+
+	doc := xmlGraphML{}
+	keyIDs := map[string]string{} // "for/name" -> key id
+	addKeys := func(forWhat string, maps []graph.Attrs) {
+		names := attrKeys(maps)
+		for _, name := range names {
+			typ := "string"
+			for _, m := range maps {
+				if v, ok := m[name]; ok {
+					typ = inferType(v)
+					break
+				}
+			}
+			id := fmt.Sprintf("d%d", len(doc.Keys))
+			doc.Keys = append(doc.Keys, xmlKey{ID: id, For: forWhat, AttrName: name, AttrType: typ})
+			keyIDs[forWhat+"/"+name] = id
+		}
+	}
+	addKeys("node", nodeAttrs)
+	addKeys("edge", edgeAttrs)
+	var graphData []graph.Attrs
+	if len(g.Attrs()) > 0 {
+		graphData = append(graphData, g.Attrs())
+		addKeys("graph", graphData)
+	}
+
+	gx := xmlGraph{EdgeDefault: "undirected"}
+	if g.Directed() {
+		gx.EdgeDefault = "directed"
+	}
+	encodeData := func(forWhat string, attrs graph.Attrs) []xmlData {
+		var out []xmlData
+		names := attrKeys([]graph.Attrs{attrs})
+		for _, name := range names {
+			out = append(out, xmlData{Key: keyIDs[forWhat+"/"+name], Value: encodeValue(attrs[name])})
+		}
+		return out
+	}
+	gx.Data = encodeData("graph", g.Attrs())
+	for _, n := range g.Nodes() {
+		gx.Nodes = append(gx.Nodes, xmlNode{ID: string(n.ID()), Data: encodeData("node", n.Attrs())})
+	}
+	for _, e := range g.Edges() {
+		gx.Edges = append(gx.Edges, xmlEdge{Source: string(e.Src()), Target: string(e.Dst()), Data: encodeData("edge", e.Attrs())})
+	}
+	doc.Graphs = []xmlGraph{gx}
+
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("topoio: writing GraphML: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+func inferType(v any) string {
+	switch v.(type) {
+	case int, int64:
+		return "int"
+	case float64, float32:
+		return "double"
+	case bool:
+		return "boolean"
+	default:
+		return "string"
+	}
+}
+
+func encodeValue(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// sortedAttrNames is a helper for tests wanting deterministic key order.
+func sortedAttrNames(a graph.Attrs) []string {
+	out := make([]string, 0, len(a))
+	for k := range a {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,167 @@
+package topoio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"autonetkit/internal/graph"
+)
+
+// JSON support: a simple schema used by the visualization pipeline and for
+// machine-generated topologies.
+//
+//	{"directed": false,
+//	 "attrs": {...},
+//	 "nodes": [{"id": "r1", "attrs": {"asn": 1}}, ...],
+//	 "edges": [{"src": "r1", "dst": "r2", "attrs": {...}}, ...]}
+
+type jsonTopology struct {
+	Directed bool           `json:"directed"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Nodes    []jsonNode     `json:"nodes"`
+	Edges    []jsonEdge     `json:"edges"`
+}
+
+type jsonNode struct {
+	ID    string         `json:"id"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+type jsonEdge struct {
+	Src   string         `json:"src"`
+	Dst   string         `json:"dst"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// ReadJSON parses the JSON topology schema. JSON numbers arrive as float64;
+// whole numbers are narrowed to int so attribute comparisons (e.g. asn)
+// behave identically across loaders.
+func ReadJSON(r io.Reader) (*graph.Graph, error) {
+	var doc jsonTopology
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("topoio: parsing JSON topology: %w", err)
+	}
+	var g *graph.Graph
+	if doc.Directed {
+		g = graph.NewDirected()
+	} else {
+		g = graph.New()
+	}
+	for k, v := range doc.Attrs {
+		g.Set(k, narrowNumber(v))
+	}
+	for _, n := range doc.Nodes {
+		g.AddNode(graph.ID(n.ID), narrowAttrs(n.Attrs))
+	}
+	for _, e := range doc.Edges {
+		if !g.HasNode(graph.ID(e.Src)) || !g.HasNode(graph.ID(e.Dst)) {
+			return nil, fmt.Errorf("topoio: JSON edge %s-%s references undeclared node", e.Src, e.Dst)
+		}
+		g.AddEdge(graph.ID(e.Src), graph.ID(e.Dst), narrowAttrs(e.Attrs))
+	}
+	return g, nil
+}
+
+func narrowAttrs(m map[string]any) graph.Attrs {
+	out := graph.Attrs{}
+	for k, v := range m {
+		out[k] = narrowNumber(v)
+	}
+	return out
+}
+
+func narrowNumber(v any) any {
+	if f, ok := v.(float64); ok && f == float64(int(f)) {
+		return int(f)
+	}
+	return v
+}
+
+// WriteJSON serialises the graph into the JSON topology schema.
+func WriteJSON(w io.Writer, g *graph.Graph) error {
+	doc := jsonTopology{Directed: g.Directed(), Nodes: []jsonNode{}, Edges: []jsonEdge{}}
+	if len(g.Attrs()) > 0 {
+		doc.Attrs = g.Attrs()
+	}
+	for _, n := range g.Nodes() {
+		doc.Nodes = append(doc.Nodes, jsonNode{ID: string(n.ID()), Attrs: n.Attrs()})
+	}
+	for _, e := range g.Edges() {
+		doc.Edges = append(doc.Edges, jsonEdge{Src: string(e.Src()), Dst: string(e.Dst()), Attrs: e.Attrs()})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("topoio: writing JSON topology: %w", err)
+	}
+	return nil
+}
+
+// Format identifies a topology interchange format.
+type Format string
+
+// Supported formats.
+const (
+	FormatGraphML    Format = "graphml"
+	FormatGML        Format = "gml"
+	FormatJSON       Format = "json"
+	FormatRocketFuel Format = "rocketfuel"
+	FormatAdjacency  Format = "adjacency"
+)
+
+// Read dispatches to the appropriate reader for the format.
+func Read(r io.Reader, f Format) (*graph.Graph, error) {
+	switch f {
+	case FormatGraphML:
+		return ReadGraphML(r)
+	case FormatGML:
+		return ReadGML(r)
+	case FormatJSON:
+		return ReadJSON(r)
+	case FormatRocketFuel:
+		return ReadRocketFuel(r)
+	case FormatAdjacency:
+		return ReadAdjacency(r)
+	}
+	return nil, fmt.Errorf("topoio: unknown format %q", f)
+}
+
+// Write dispatches to the appropriate writer for the format.
+func Write(w io.Writer, g *graph.Graph, f Format) error {
+	switch f {
+	case FormatGraphML:
+		return WriteGraphML(w, g)
+	case FormatGML:
+		return WriteGML(w, g)
+	case FormatJSON:
+		return WriteJSON(w, g)
+	case FormatRocketFuel:
+		return WriteRocketFuel(w, g)
+	case FormatAdjacency:
+		return WriteAdjacency(w, g)
+	}
+	return fmt.Errorf("topoio: unknown format %q", f)
+}
+
+// FormatForPath guesses the format from a file extension.
+func FormatForPath(path string) (Format, error) {
+	switch {
+	case hasSuffix(path, ".graphml"), hasSuffix(path, ".xml"):
+		return FormatGraphML, nil
+	case hasSuffix(path, ".gml"):
+		return FormatGML, nil
+	case hasSuffix(path, ".json"):
+		return FormatJSON, nil
+	case hasSuffix(path, ".cch"):
+		return FormatRocketFuel, nil
+	case hasSuffix(path, ".adj"), hasSuffix(path, ".txt"):
+		return FormatAdjacency, nil
+	}
+	return "", fmt.Errorf("topoio: cannot infer format for %q", path)
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}

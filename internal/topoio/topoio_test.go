@@ -1,0 +1,410 @@
+package topoio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"autonetkit/internal/graph"
+)
+
+func sampleGraph() *graph.Graph {
+	g := graph.New()
+	g.Set("name", "sample")
+	g.AddNode("r1", graph.Attrs{"asn": 1, "device_type": "router", "weight": 1.5, "core": true})
+	g.AddNode("r2", graph.Attrs{"asn": 1})
+	g.AddNode("r3", graph.Attrs{"asn": 2})
+	g.AddEdge("r1", "r2", graph.Attrs{"type": "physical", "cost": 10})
+	g.AddEdge("r2", "r3", graph.Attrs{"type": "physical"})
+	return g
+}
+
+func TestGraphMLRoundTrip(t *testing.T) {
+	g := sampleGraph()
+	var buf bytes.Buffer
+	if err := WriteGraphML(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraphML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != 3 || got.NumEdges() != 2 {
+		t.Fatalf("round trip lost structure: %v", got)
+	}
+	r1 := got.Node("r1")
+	if r1.Get("asn") != 1 {
+		t.Errorf("asn = %#v, want int 1", r1.Get("asn"))
+	}
+	if r1.Get("weight") != 1.5 {
+		t.Errorf("weight = %#v, want 1.5", r1.Get("weight"))
+	}
+	if r1.Get("core") != true {
+		t.Errorf("core = %#v, want true", r1.Get("core"))
+	}
+	if r1.Get("device_type") != "router" {
+		t.Errorf("device_type = %#v", r1.Get("device_type"))
+	}
+	if got.Edge("r1", "r2").Get("cost") != 10 {
+		t.Errorf("edge cost = %#v", got.Edge("r1", "r2").Get("cost"))
+	}
+	if got.Get("name") != "sample" {
+		t.Errorf("graph attr = %#v", got.Get("name"))
+	}
+	if got.Directed() {
+		t.Error("undirected graph became directed")
+	}
+}
+
+func TestGraphMLDirected(t *testing.T) {
+	g := graph.NewDirected()
+	g.AddEdge("a", "b")
+	var buf bytes.Buffer
+	if err := WriteGraphML(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraphML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Directed() || got.HasEdge("b", "a") {
+		t.Error("directedness lost")
+	}
+}
+
+func TestGraphMLHandEdited(t *testing.T) {
+	// The kind of file a yEd user saves (paper §3.1 workflow).
+	src := `<?xml version="1.0" encoding="UTF-8"?>
+<graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+  <key id="d0" for="node" attr.name="asn" attr.type="int"/>
+  <key id="d1" for="node" attr.name="device_type" attr.type="string"/>
+  <graph edgedefault="undirected">
+    <node id="as1r1"><data key="d0">1</data><data key="d1">router</data></node>
+    <node id="as20r1"><data key="d0">20</data></node>
+    <edge source="as1r1" target="as20r1"/>
+  </graph>
+</graphml>`
+	g, err := ReadGraphML(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Node("as1r1").Get("asn") != 1 || g.Node("as20r1").Get("asn") != 20 {
+		t.Errorf("attrs wrong: %v %v", g.Node("as1r1").Attrs(), g.Node("as20r1").Attrs())
+	}
+	if !g.HasEdge("as1r1", "as20r1") {
+		t.Error("edge missing")
+	}
+}
+
+func TestGraphMLErrors(t *testing.T) {
+	if _, err := ReadGraphML(strings.NewReader("not xml at all")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadGraphML(strings.NewReader(`<graphml></graphml>`)); err == nil {
+		t.Error("missing graph accepted")
+	}
+	bad := `<graphml><graph edgedefault="undirected"><edge source="x" target="y"/></graph></graphml>`
+	if _, err := ReadGraphML(strings.NewReader(bad)); err == nil {
+		t.Error("dangling edge accepted")
+	}
+	badInt := `<graphml><key id="d0" for="node" attr.name="asn" attr.type="int"/>
+<graph edgedefault="undirected"><node id="a"><data key="d0">xyz</data></node></graph></graphml>`
+	if _, err := ReadGraphML(strings.NewReader(badInt)); err == nil {
+		t.Error("unparseable int accepted")
+	}
+}
+
+func TestGMLRoundTrip(t *testing.T) {
+	g := sampleGraph()
+	var buf bytes.Buffer
+	if err := WriteGML(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != 3 || got.NumEdges() != 2 {
+		t.Fatalf("structure lost: %v", got)
+	}
+	if got.Node("r1").Get("asn") != 1 {
+		t.Errorf("asn = %#v", got.Node("r1").Get("asn"))
+	}
+	if got.Node("r1").Get("weight") != 1.5 {
+		t.Errorf("weight = %#v", got.Node("r1").Get("weight"))
+	}
+	if !got.HasEdge("r2", "r3") {
+		t.Error("edge lost")
+	}
+}
+
+func TestGMLZooStyle(t *testing.T) {
+	src := `# Topology Zoo style
+graph [
+  Network "Example NREN"
+  node [
+    id 0
+    label "London"
+    Country "UK"
+    Latitude 51.5
+  ]
+  node [
+    id 1
+    label "Paris"
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed "10"
+  ]
+]`
+	g, err := ReadGML(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasNode("London") || !g.HasNode("Paris") {
+		t.Fatalf("labels not used as IDs: %v", g.NodeIDs())
+	}
+	if g.Node("London").Get("Country") != "UK" {
+		t.Errorf("attrs lost: %v", g.Node("London").Attrs())
+	}
+	if g.Node("London").Get("Latitude") != 51.5 {
+		t.Errorf("float attr = %#v", g.Node("London").Get("Latitude"))
+	}
+	if !g.HasEdge("London", "Paris") {
+		t.Error("edge missing")
+	}
+	if g.Edge("London", "Paris").Get("LinkSpeed") != "10" {
+		t.Errorf("edge attr = %#v", g.Edge("London", "Paris").Get("LinkSpeed"))
+	}
+	if g.Get("Network") != "Example NREN" {
+		t.Errorf("graph attr = %#v", g.Get("Network"))
+	}
+}
+
+func TestGMLDuplicateLabels(t *testing.T) {
+	src := `graph [
+  node [ id 0 label "X" ]
+  node [ id 1 label "X" ]
+  edge [ source 0 target 1 ]
+]`
+	g, err := ReadGML(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 {
+		t.Fatalf("duplicate labels collapsed: %v", g.NodeIDs())
+	}
+	if g.NumEdges() != 1 {
+		t.Error("edge between duplicates lost")
+	}
+}
+
+func TestGMLErrors(t *testing.T) {
+	if _, err := ReadGML(strings.NewReader(`nodes [ ]`)); err == nil {
+		t.Error("missing graph block accepted")
+	}
+	if _, err := ReadGML(strings.NewReader(`graph [ edge [ source 0 target 1 ] ]`)); err == nil {
+		t.Error("dangling edge accepted")
+	}
+	if _, err := ReadGML(strings.NewReader(`graph [ x "unterminated ]`)); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := ReadGML(strings.NewReader(`graph [ key ]`)); err == nil {
+		t.Error("valueless key accepted")
+	}
+}
+
+func TestRocketFuel(t *testing.T) {
+	src := `# rocketfuel cch subset
+1 @Adelaide,AU bb -> <2> <3> =gw1 r0
+2 @Sydney,AU -> <1> r1
+3 @Perth,AU -> <1> <4> r1
+-4 @External -> <3>
+`
+	g, err := ReadRocketFuel(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3 (external skipped)", g.NumNodes())
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2 (dedup + dangling skipped)", g.NumEdges())
+	}
+	n1 := g.Node("1")
+	if n1.Get("location") != "Adelaide,AU" || n1.Get("bb") != true || n1.Get("name") != "gw1" {
+		t.Errorf("node attrs = %v", n1.Attrs())
+	}
+	// Round trip.
+	var buf bytes.Buffer
+	if err := WriteRocketFuel(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRocketFuel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != 3 || back.NumEdges() != 2 {
+		t.Errorf("round trip lost structure")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := sampleGraph()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != 3 || got.NumEdges() != 2 {
+		t.Fatal("structure lost")
+	}
+	if got.Node("r1").Get("asn") != 1 {
+		t.Errorf("asn = %#v, want int (narrowed)", got.Node("r1").Get("asn"))
+	}
+	if got.Node("r1").Get("weight") != 1.5 {
+		t.Errorf("weight = %#v", got.Node("r1").Get("weight"))
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"nodes":[],"edges":[{"src":"a","dst":"b"}]}`)); err == nil {
+		t.Error("dangling JSON edge accepted")
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	src := "# comment\na b\nb c\nisolated\n"
+	g, err := ReadAdjacency(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 2 {
+		t.Fatalf("got %v", g)
+	}
+	var buf bytes.Buffer
+	if err := WriteAdjacency(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "isolated") {
+		t.Error("isolated node lost on write")
+	}
+	if _, err := ReadAdjacency(strings.NewReader("a b c\n")); err == nil {
+		t.Error("3-field line accepted")
+	}
+}
+
+func TestDefaultsApply(t *testing.T) {
+	g := graph.New()
+	g.AddNode("r1", graph.Attrs{"device_type": "server"})
+	g.AddNode("r2")
+	g.AddEdge("r1", "r2")
+	StandardDefaults().Apply(g)
+	if g.Node("r1").Get("device_type") != "server" {
+		t.Error("default overwrote explicit value")
+	}
+	if g.Node("r2").Get("device_type") != "router" {
+		t.Error("default not applied")
+	}
+	if g.Node("r2").Get("syntax") != "quagga" || g.Node("r2").Get("platform") != "netkit" {
+		t.Error("paper defaults missing")
+	}
+	if g.Edge("r1", "r2").Get("type") != "physical" {
+		t.Error("edge default not applied")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := graph.New()
+	if err := Validate(g); err == nil {
+		t.Error("empty graph accepted")
+	}
+	g.AddNode("r1", graph.Attrs{"asn": 1})
+	if err := Validate(g); err != nil {
+		t.Errorf("valid graph rejected: %v", err)
+	}
+	g.AddNode("r2", graph.Attrs{"asn": -5})
+	if err := Validate(g); err == nil {
+		t.Error("negative asn accepted")
+	}
+	g.Node("r2").Set("asn", "hundred")
+	if err := Validate(g); err == nil {
+		t.Error("non-numeric asn accepted")
+	}
+}
+
+func TestDispatch(t *testing.T) {
+	g := sampleGraph()
+	for _, f := range []Format{FormatGraphML, FormatGML, FormatJSON, FormatAdjacency} {
+		var buf bytes.Buffer
+		if err := Write(&buf, g, f); err != nil {
+			t.Fatalf("%s write: %v", f, err)
+		}
+		got, err := Read(&buf, f)
+		if err != nil {
+			t.Fatalf("%s read: %v", f, err)
+		}
+		if got.NumNodes() != 3 || got.NumEdges() != 2 {
+			t.Errorf("%s: structure lost", f)
+		}
+	}
+	if _, err := Read(strings.NewReader(""), Format("exotic")); err == nil {
+		t.Error("unknown read format accepted")
+	}
+	if err := Write(&bytes.Buffer{}, g, Format("exotic")); err == nil {
+		t.Error("unknown write format accepted")
+	}
+}
+
+func TestFormatForPath(t *testing.T) {
+	cases := []struct {
+		path string
+		want Format
+	}{
+		{"lab.graphml", FormatGraphML},
+		{"zoo.gml", FormatGML},
+		{"t.json", FormatJSON},
+		{"isp.cch", FormatRocketFuel},
+		{"edges.adj", FormatAdjacency},
+	}
+	for _, c := range cases {
+		got, err := FormatForPath(c.path)
+		if err != nil || got != c.want {
+			t.Errorf("FormatForPath(%s) = %v, %v", c.path, got, err)
+		}
+	}
+	if _, err := FormatForPath("mystery.bin"); err == nil {
+		t.Error("unknown extension accepted")
+	}
+}
+
+// E14: the same topology expressed in every format loads to an equivalent
+// graph (paper §5.1: heterogeneous information sources).
+func TestE14_LoaderEquivalence(t *testing.T) {
+	ref := sampleGraph()
+	for _, f := range []Format{FormatGraphML, FormatGML, FormatJSON} {
+		var buf bytes.Buffer
+		if err := Write(&buf, ref, f); err != nil {
+			t.Fatal(err)
+		}
+		g, err := Read(&buf, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range ref.Nodes() {
+			got := g.Node(n.ID())
+			if got == nil {
+				t.Fatalf("%s: node %s missing", f, n.ID())
+			}
+			if got.Get("asn") != n.Get("asn") {
+				t.Errorf("%s: node %s asn %#v != %#v", f, n.ID(), got.Get("asn"), n.Get("asn"))
+			}
+		}
+		for _, e := range ref.Edges() {
+			if !g.HasEdge(e.Src(), e.Dst()) {
+				t.Errorf("%s: edge %s-%s missing", f, e.Src(), e.Dst())
+			}
+		}
+	}
+}

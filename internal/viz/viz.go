@@ -1,0 +1,207 @@
+// Package viz exports overlay topologies and measurement results as the
+// D3-style JSON documents the paper's visualization system consumes (§5.6):
+// nodes with group and label attributes, links (with bidirectional session
+// marking for the Fig. 6 dual-line rendering), and highlight messages for
+// paths and node sets (the §6.1 msg.highlight call). A self-contained HTML
+// viewer with a small force layout renders the JSON in any browser without
+// external dependencies.
+package viz
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"autonetkit/internal/core"
+	"autonetkit/internal/graph"
+)
+
+// Node is one rendered node.
+type Node struct {
+	ID    string         `json:"id"`
+	Label string         `json:"label"`
+	Group string         `json:"group,omitempty"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Link is one rendered link; Bidirectional marks session pairs drawn as
+// dual lines (Fig. 6).
+type Link struct {
+	Source        string         `json:"source"`
+	Target        string         `json:"target"`
+	Bidirectional bool           `json:"bidirectional,omitempty"`
+	Attrs         map[string]any `json:"attrs,omitempty"`
+}
+
+// Highlight marks nodes and paths to emphasise (§6.1 traceroute plots).
+type Highlight struct {
+	Nodes []string   `json:"nodes,omitempty"`
+	Paths [][]string `json:"paths,omitempty"`
+}
+
+// Doc is the interchange document.
+type Doc struct {
+	Name       string      `json:"name"`
+	Directed   bool        `json:"directed"`
+	Nodes      []Node      `json:"nodes"`
+	Links      []Link      `json:"links"`
+	Highlights []Highlight `json:"highlights,omitempty"`
+}
+
+// Options controls export.
+type Options struct {
+	// GroupBy selects the node attribute used for visual grouping
+	// (default "asn", the paper's AS grouping).
+	GroupBy string
+	// LabelAttrs lists extra attributes copied into each node's Attrs for
+	// hover display ("full attribute information available by hovering").
+	LabelAttrs []string
+}
+
+// ExportOverlay renders one overlay into a document.
+func ExportOverlay(ov *core.Overlay, opts Options) *Doc {
+	if opts.GroupBy == "" {
+		opts.GroupBy = core.AttrASN
+	}
+	doc := &Doc{Name: ov.Name(), Directed: ov.Directed()}
+	for _, n := range ov.Nodes() {
+		vn := Node{ID: string(n.ID()), Label: n.Label()}
+		if v := n.Get(opts.GroupBy); v != nil {
+			vn.Group = fmt.Sprint(v)
+		}
+		if len(opts.LabelAttrs) > 0 {
+			vn.Attrs = map[string]any{}
+			for _, key := range opts.LabelAttrs {
+				if v := n.Get(key); v != nil {
+					vn.Attrs[key] = v
+				}
+			}
+		}
+		doc.Nodes = append(doc.Nodes, vn)
+	}
+	seen := map[[2]string]int{} // for bidirectional folding
+	for _, e := range ov.Edges() {
+		src, dst := string(e.SrcID()), string(e.DstID())
+		if ov.Directed() {
+			if idx, ok := seen[[2]string{dst, src}]; ok {
+				doc.Links[idx].Bidirectional = true
+				continue
+			}
+		}
+		l := Link{Source: src, Target: dst}
+		if attrs := e.Attrs(); len(attrs) > 0 {
+			l.Attrs = map[string]any{}
+			keys := make([]string, 0, len(attrs))
+			for k := range attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				l.Attrs[k] = attrs[k]
+			}
+		}
+		doc.Links = append(doc.Links, l)
+		seen[[2]string{src, dst}] = len(doc.Links) - 1
+	}
+	return doc
+}
+
+// ExportGraph renders a bare graph (e.g. a measured topology).
+func ExportGraph(name string, g *graph.Graph, opts Options) *Doc {
+	anm := core.NewANM()
+	ov, _ := anm.AddOverlayGraph(name, g)
+	return ExportOverlay(ov, opts)
+}
+
+// AddHighlight appends a highlight message — the paper's
+// msg.highlight(nodes, [], [path]).
+func (d *Doc) AddHighlight(nodes []string, paths ...[]string) {
+	d.Highlights = append(d.Highlights, Highlight{Nodes: nodes, Paths: paths})
+}
+
+// JSON serialises the document.
+func (d *Doc) JSON() ([]byte, error) {
+	return json.MarshalIndent(d, "", "  ")
+}
+
+// HTML returns a self-contained page rendering the document with a small
+// force-directed layout (no external libraries, viewable offline).
+func (d *Doc) HTML() (string, error) {
+	blob, err := d.JSON()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf(htmlShell, d.Name, string(blob)), nil
+}
+
+const htmlShell = `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>autonetkit: %s</title>
+<style>
+body { font-family: sans-serif; margin: 0; }
+svg { width: 100vw; height: 100vh; background: #fafafa; }
+line { stroke: #999; stroke-width: 1.2; }
+line.bidi { stroke-width: 2.6; stroke: #777; }
+line.hl { stroke: #d62728; stroke-width: 3; }
+circle { fill: #4477aa; stroke: #fff; stroke-width: 1.5; }
+circle.hl { fill: #d62728; }
+text { font-size: 10px; pointer-events: none; }
+</style></head><body>
+<svg id="view"></svg>
+<script>
+const doc = %s;
+const W = window.innerWidth, H = window.innerHeight;
+const nodes = doc.nodes.map((n, i) => ({...n,
+  x: W/2 + 200*Math.cos(2*Math.PI*i/doc.nodes.length),
+  y: H/2 + 200*Math.sin(2*Math.PI*i/doc.nodes.length), vx: 0, vy: 0}));
+const idx = {}; nodes.forEach((n, i) => idx[n.id] = i);
+const links = doc.links.map(l => ({...l, s: idx[l.source], t: idx[l.target]}));
+const hlNodes = new Set(), hlEdges = new Set();
+(doc.highlights || []).forEach(h => {
+  (h.nodes || []).forEach(n => hlNodes.add(n));
+  (h.paths || []).forEach(p => { for (let i = 1; i < p.length; i++) {
+    hlEdges.add(p[i-1] + "|" + p[i]); hlEdges.add(p[i] + "|" + p[i-1]); }});
+});
+for (let iter = 0; iter < 300; iter++) {
+  for (const a of nodes) for (const b of nodes) {
+    if (a === b) continue;
+    const dx = a.x-b.x, dy = a.y-b.y, d2 = dx*dx+dy*dy+0.01;
+    const f = 2000/d2; a.vx += f*dx/Math.sqrt(d2); a.vy += f*dy/Math.sqrt(d2);
+  }
+  for (const l of links) {
+    const a = nodes[l.s], b = nodes[l.t];
+    const dx = b.x-a.x, dy = b.y-a.y, d = Math.sqrt(dx*dx+dy*dy)+0.01;
+    const f = 0.02*(d-80);
+    a.vx += f*dx/d; a.vy += f*dy/d; b.vx -= f*dx/d; b.vy -= f*dy/d;
+  }
+  for (const n of nodes) {
+    n.vx += (W/2-n.x)*0.001; n.vy += (H/2-n.y)*0.001;
+    n.x += n.vx*0.3; n.y += n.vy*0.3; n.vx *= 0.6; n.vy *= 0.6;
+  }
+}
+const svg = document.getElementById("view");
+const NS = "http://www.w3.org/2000/svg";
+for (const l of links) {
+  const a = nodes[l.s], b = nodes[l.t];
+  const e = document.createElementNS(NS, "line");
+  e.setAttribute("x1", a.x); e.setAttribute("y1", a.y);
+  e.setAttribute("x2", b.x); e.setAttribute("y2", b.y);
+  let cls = l.bidirectional ? "bidi" : "";
+  if (hlEdges.has(l.source + "|" + l.target)) cls += " hl";
+  e.setAttribute("class", cls.trim());
+  svg.appendChild(e);
+}
+for (const n of nodes) {
+  const c = document.createElementNS(NS, "circle");
+  c.setAttribute("cx", n.x); c.setAttribute("cy", n.y); c.setAttribute("r", 7);
+  if (hlNodes.has(n.id)) c.setAttribute("class", "hl");
+  const title = document.createElementNS(NS, "title");
+  title.textContent = n.id + " " + JSON.stringify(n.attrs || {});
+  c.appendChild(title);
+  svg.appendChild(c);
+  const t = document.createElementNS(NS, "text");
+  t.setAttribute("x", n.x + 9); t.setAttribute("y", n.y + 3);
+  t.textContent = n.label;
+  svg.appendChild(t);
+}
+</script></body></html>
+`

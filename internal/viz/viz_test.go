@@ -1,0 +1,145 @@
+package viz
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"autonetkit/internal/core"
+	"autonetkit/internal/design"
+	"autonetkit/internal/graph"
+	"autonetkit/internal/topogen"
+)
+
+func smallInternetANM(t *testing.T) *core.ANM {
+	t.Helper()
+	anm := core.NewANM()
+	if _, err := anm.AddOverlayGraph(core.OverlayInput, topogen.SmallInternet()); err != nil {
+		t.Fatal(err)
+	}
+	if err := design.BuildAll(anm, design.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return anm
+}
+
+func TestExportOverlayNodes(t *testing.T) {
+	anm := smallInternetANM(t)
+	doc := ExportOverlay(anm.Overlay(core.OverlayInput), Options{})
+	if len(doc.Nodes) != 14 {
+		t.Fatalf("nodes = %d", len(doc.Nodes))
+	}
+	var as1 *Node
+	for i := range doc.Nodes {
+		if doc.Nodes[i].ID == "as1r1" {
+			as1 = &doc.Nodes[i]
+		}
+	}
+	if as1 == nil || as1.Group != "1" {
+		t.Errorf("as1r1 = %+v (grouping by ASN expected)", as1)
+	}
+}
+
+// E5: the eBGP overlay exports with dual-line (bidirectional) session
+// marking, as in Fig. 6.
+func TestE5_EBGPBidirectionalFolding(t *testing.T) {
+	anm := smallInternetANM(t)
+	ebgp := anm.Overlay(design.OverlayEBGP)
+	doc := ExportOverlay(ebgp, Options{})
+	if !doc.Directed {
+		t.Error("ebgp doc should be directed")
+	}
+	// 7 inter-AS links -> 14 directed sessions -> 7 folded bidirectional
+	// links.
+	if len(doc.Links) != 7 {
+		t.Fatalf("links = %d, want 7 folded", len(doc.Links))
+	}
+	for _, l := range doc.Links {
+		if !l.Bidirectional {
+			t.Errorf("link %s-%s not marked bidirectional", l.Source, l.Target)
+		}
+	}
+}
+
+func TestExportUndirectedNotFolded(t *testing.T) {
+	anm := smallInternetANM(t)
+	doc := ExportOverlay(anm.Overlay(design.OverlayOSPF), Options{})
+	for _, l := range doc.Links {
+		if l.Bidirectional {
+			t.Error("undirected link marked bidirectional")
+		}
+	}
+}
+
+func TestLabelAttrs(t *testing.T) {
+	anm := core.NewANM()
+	ov, _ := anm.AddOverlay("x")
+	ov.AddNode("r1", graph.Attrs{"asn": 5, "vendor": "quagga"})
+	doc := ExportOverlay(ov, Options{LabelAttrs: []string{"vendor"}})
+	if doc.Nodes[0].Attrs["vendor"] != "quagga" {
+		t.Errorf("attrs = %v", doc.Nodes[0].Attrs)
+	}
+}
+
+func TestHighlightAndJSON(t *testing.T) {
+	anm := smallInternetANM(t)
+	doc := ExportOverlay(anm.Overlay(core.OverlayInput), Options{})
+	path := []string{"as300r2", "as40r1", "as1r1"}
+	doc.AddHighlight([]string{path[0], path[len(path)-1]}, path)
+	blob, err := doc.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Doc
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Highlights) != 1 || len(back.Highlights[0].Paths[0]) != 3 {
+		t.Errorf("highlights = %+v", back.Highlights)
+	}
+	if back.Name != "input" {
+		t.Errorf("name = %q", back.Name)
+	}
+}
+
+func TestExportGraph(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("a", "b", graph.Attrs{"cost": 5})
+	doc := ExportGraph("measured", g, Options{})
+	if len(doc.Nodes) != 2 || len(doc.Links) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.Links[0].Attrs["cost"] != 5 {
+		t.Errorf("link attrs = %v", doc.Links[0].Attrs)
+	}
+}
+
+func TestHTMLSelfContained(t *testing.T) {
+	anm := smallInternetANM(t)
+	doc := ExportOverlay(anm.Overlay(core.OverlayInput), Options{})
+	html, err := doc.HTML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<!DOCTYPE html>", "const doc =", "as100r1", "</html>"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("html missing %q", want)
+		}
+	}
+	if strings.Contains(html, "http://") && !strings.Contains(html, "w3.org/2000/svg") {
+		t.Error("html references external resources")
+	}
+	if strings.Contains(html, "cdn") || strings.Contains(html, "d3js.org") {
+		t.Error("html not self-contained")
+	}
+}
+
+func TestDeterministicExport(t *testing.T) {
+	a := ExportOverlay(smallInternetANM(t).Overlay(design.OverlayEBGP), Options{})
+	b := ExportOverlay(smallInternetANM(t).Overlay(design.OverlayEBGP), Options{})
+	ja, _ := a.JSON()
+	jb, _ := b.JSON()
+	if string(ja) != string(jb) {
+		t.Error("export not deterministic")
+	}
+}

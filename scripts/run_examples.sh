@@ -1,0 +1,8 @@
+#!/bin/sh
+# Run every example in sequence (each is self-contained and offline).
+set -e
+for ex in quickstart smallinternet nren badgadget rpki services whatif; do
+    echo "=== examples/$ex ==="
+    go run "./examples/$ex"
+    echo
+done
