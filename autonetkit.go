@@ -24,6 +24,7 @@
 package autonetkit
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -39,6 +40,7 @@ import (
 	"autonetkit/internal/ipalloc"
 	"autonetkit/internal/measure"
 	"autonetkit/internal/nidb"
+	"autonetkit/internal/obs"
 	"autonetkit/internal/render"
 	"autonetkit/internal/services/dns"
 	"autonetkit/internal/topoio"
@@ -52,7 +54,20 @@ type Network struct {
 	Alloc *ipalloc.Result
 	DB    *nidb.DB
 	Files *render.FileSet
+
+	// obs collects per-stage timing spans and work counters for this
+	// network's pipeline run; read it via Stats or WriteTrace.
+	obs *obs.Collector
 }
+
+// Stats snapshots the pipeline's observability state: one timing span per
+// executed stage (with sub-spans for the stage's internal phases) plus the
+// work counters (obs.CounterDevicesCompiled, obs.CounterFilesRendered, …).
+func (n *Network) Stats() obs.Stats { return n.obs.Snapshot() }
+
+// WriteTrace prints the pipeline trace — per-stage timings and counters —
+// in human-readable form (the `ankbuild -trace` output).
+func (n *Network) WriteTrace(w io.Writer) error { return n.obs.WriteTrace(w) }
 
 // Load reads a topology file (format inferred from the extension), applies
 // the standard defaults (§6.1: device_type=router, platform=netkit,
@@ -89,7 +104,7 @@ func LoadGraph(g *graph.Graph) (*Network, error) {
 	if _, err := anm.AddOverlayGraph(core.OverlayInput, g); err != nil {
 		return nil, err
 	}
-	return &Network{ANM: anm}, nil
+	return &Network{ANM: anm, obs: obs.NewCollector()}, nil
 }
 
 // BuildOptions parameterises the design-through-render chain.
@@ -97,15 +112,34 @@ type BuildOptions struct {
 	Design  design.Options
 	IP      ipalloc.Config
 	Compile compile.Options
+	Render  render.Options
+}
+
+// stageErr is the uniform out-of-order error: stage "want" must run before
+// stage "stage" can.
+func stageErr(want, stage string) error {
+	return fmt.Errorf("autonetkit: %s before %s", want, stage)
 }
 
 // Design builds the protocol overlays (§4.2).
 func (n *Network) Design(opts design.Options) error {
+	in := n.ANM.Overlay(core.OverlayInput)
+	if in == nil || in.NumNodes() == 0 {
+		return stageErr("Load", "Design")
+	}
+	span := n.obs.StartSpan("Design")
+	defer span.End()
 	return design.BuildAll(n.ANM, opts)
 }
 
 // Allocate runs automatic IP allocation (§5.3), creating the ipv4 overlay.
 func (n *Network) Allocate(cfg ipalloc.Config) error {
+	phy := n.ANM.Overlay(core.OverlayPhy)
+	if phy == nil || phy.NumNodes() == 0 {
+		return stageErr("Design", "Allocate")
+	}
+	span := n.obs.StartSpan("Allocate")
+	defer span.End()
 	alloc := &ipalloc.Default{Config: cfg}
 	res, err := alloc.Allocate(n.ANM)
 	if err != nil {
@@ -116,9 +150,16 @@ func (n *Network) Allocate(cfg ipalloc.Config) error {
 }
 
 // Compile condenses the overlays into the Resource Database (§5.4).
+// Per-device compilation fans out across opts.Workers goroutines
+// (GOMAXPROCS when zero) with byte-identical output at any worker count.
 func (n *Network) Compile(opts compile.Options) error {
 	if n.Alloc == nil {
-		return fmt.Errorf("autonetkit: Allocate before Compile")
+		return stageErr("Allocate", "Compile")
+	}
+	span := n.obs.StartSpan("Compile")
+	defer span.End()
+	if opts.Obs == nil {
+		opts.Obs = n.obs
 	}
 	db, err := compile.Compile(n.ANM, n.Alloc, opts)
 	if err != nil {
@@ -128,12 +169,23 @@ func (n *Network) Compile(opts compile.Options) error {
 	return nil
 }
 
-// Render pushes the database through the template sets (§5.5).
-func (n *Network) Render() error {
+// Render pushes the database through the template sets (§5.5) with the
+// default render options.
+func (n *Network) Render() error { return n.RenderWith(render.Options{}) }
+
+// RenderWith renders with explicit options. Per-device and per-lab template
+// execution fans out across opts.Workers goroutines (GOMAXPROCS when zero)
+// with byte-identical output at any worker count.
+func (n *Network) RenderWith(opts render.Options) error {
 	if n.DB == nil {
-		return fmt.Errorf("autonetkit: Compile before Render")
+		return stageErr("Compile", "Render")
 	}
-	fs, err := render.Render(n.DB)
+	span := n.obs.StartSpan("Render")
+	defer span.End()
+	if opts.Obs == nil {
+		opts.Obs = n.obs
+	}
+	fs, err := render.RenderWith(context.Background(), n.DB, opts)
 	if err != nil {
 		return err
 	}
@@ -152,14 +204,16 @@ func (n *Network) Build(opts BuildOptions) error {
 	if err := n.Compile(opts.Compile); err != nil {
 		return err
 	}
-	return n.Render()
+	return n.RenderWith(opts.Render)
 }
 
 // Deploy archives, transfers and launches the rendered lab (§5.7).
 func (n *Network) Deploy(opts deploy.Options) (*deploy.Deployment, error) {
 	if n.Files == nil {
-		return nil, fmt.Errorf("autonetkit: Render before Deploy")
+		return nil, stageErr("Render", "Deploy")
 	}
+	span := n.obs.StartSpan("Deploy")
+	defer span.End()
 	return deploy.Run(n.Files, opts)
 }
 
@@ -187,7 +241,7 @@ func (n *Network) ExportOverlay(name string, opts viz.Options) (*viz.Doc, error)
 // SaveConfigs writes the rendered configuration tree under dir.
 func (n *Network) SaveConfigs(dir string) error {
 	if n.Files == nil {
-		return fmt.Errorf("autonetkit: Render before SaveConfigs")
+		return stageErr("Render", "SaveConfigs")
 	}
 	return n.Files.WriteToDisk(dir)
 }
@@ -197,7 +251,7 @@ func (n *Network) SaveConfigs(dir string) error {
 // Resource Database.
 func (n *Network) Verify() (verify.Report, error) {
 	if n.DB == nil {
-		return verify.Report{}, fmt.Errorf("autonetkit: Compile before Verify")
+		return verify.Report{}, stageErr("Compile", "Verify")
 	}
 	return verify.Static(n.DB), nil
 }
@@ -206,7 +260,7 @@ func (n *Network) Verify() (verify.Report, error) {
 // (§3.3).
 func (n *Network) DNS(cfg dns.Config) (dns.Zones, error) {
 	if n.Alloc == nil {
-		return dns.Zones{}, fmt.Errorf("autonetkit: Allocate before DNS")
+		return dns.Zones{}, stageErr("Allocate", "DNS")
 	}
 	return dns.Generate(n.ANM, n.Alloc, cfg)
 }

@@ -696,3 +696,86 @@ func BenchmarkSubstrate_GraphMLLoad(b *testing.B) {
 		}
 	}
 }
+
+// --- P1: parallel compile/render scale-out (this repo's worker pool; the
+// paper's Fig. 9 argues artifact generation must stay tractable at
+// thousands of routers). Sub-benchmarks compare Workers=1 (serial) against
+// Workers=GOMAXPROCS on a 240-router topology. ---
+
+// p1Input builds a 240-router NREN-shaped model through Allocate, ready for
+// repeated Compile/Render runs.
+func p1Input(b *testing.B) *Network {
+	b.Helper()
+	g, err := topogen.NREN(topogen.NRENConfig{ASes: 12, Routers: 240, Links: 300, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := LoadGraph(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Design(design.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Allocate(ipalloc.Config{}); err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+func BenchmarkP1_Compile(b *testing.B) {
+	net := p1Input(b)
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := net.Compile(compile.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkP1_Render(b *testing.B) {
+	net := p1Input(b)
+	if err := net.Compile(compile.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := net.RenderWith(render.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkP1_CompileRender(b *testing.B) {
+	net := p1Input(b)
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := net.Compile(compile.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+				if err := net.RenderWith(render.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

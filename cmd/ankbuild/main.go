@@ -23,6 +23,8 @@ func main() {
 	isis := flag.Bool("isis", false, "additionally build IS-IS (§7)")
 	doVerify := flag.Bool("verify", false, "run pre-deployment static verification (§8)")
 	dumpNIDB := flag.String("dump-nidb", "", "write one device's Resource-Database tree as JSON (the paper's §5.4 listing); device id or 'all'")
+	workers := flag.Int("workers", 0, "compile/render worker count (0 = GOMAXPROCS, 1 = serial)")
+	trace := flag.Bool("trace", false, "print the pipeline trace (per-stage timings and work counters) to stderr")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "ankbuild: -in is required")
@@ -41,6 +43,8 @@ func main() {
 		RROptions:       design.RROptions{PerAS: *rrPerAS},
 		ISIS:            *isis,
 	}}
+	opts.Compile.Workers = *workers
+	opts.Render.Workers = *workers
 	if err := net.Design(opts.Design); err != nil {
 		fatal(err)
 	}
@@ -52,7 +56,7 @@ func main() {
 		fatal(err)
 	}
 	compileDone := time.Now()
-	if err := net.Render(); err != nil {
+	if err := net.RenderWith(opts.Render); err != nil {
 		fatal(err)
 	}
 	renderDone := time.Now()
@@ -95,6 +99,11 @@ func main() {
 		compileDone.Sub(designDone).Round(time.Millisecond),
 		renderDone.Sub(compileDone).Round(time.Millisecond),
 		renderDone.Sub(start).Round(time.Millisecond))
+	if *trace {
+		if err := net.WriteTrace(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -56,6 +56,17 @@ func TestCmdAnkbuild(t *testing.T) {
 	if _, err := runCmd(t, bin); err == nil {
 		t.Error("ankbuild without -in succeeded")
 	}
+	// -trace prints the pipeline span tree and counters; -workers picks the
+	// pool size without changing output.
+	out, err = runCmd(t, bin, "-in", fixture, "-out", t.TempDir(), "-workers", "4", "-trace")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"pipeline trace:", "Compile", "Render", "counters:", "devices_compiled", "files_rendered"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-trace output missing %q:\n%s", want, out)
+		}
+	}
 }
 
 func TestCmdAnkdeploy(t *testing.T) {

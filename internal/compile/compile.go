@@ -8,16 +8,20 @@
 package compile
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"autonetkit/internal/core"
 	"autonetkit/internal/design"
 	"autonetkit/internal/graph"
 	"autonetkit/internal/ipalloc"
 	"autonetkit/internal/nidb"
+	"autonetkit/internal/obs"
 )
 
 // Options parameterises compilation.
@@ -33,6 +37,13 @@ type Options struct {
 	DefaultSyntax string
 	// DefaultHost applies to nodes lacking a host attribute.
 	DefaultHost string
+	// Workers bounds the per-device compile fan-out. 0 (the default) uses
+	// GOMAXPROCS; 1 compiles serially. Output is byte-identical at every
+	// setting: devices compile independently and are merged into the
+	// Resource Database in physical-overlay node order.
+	Workers int
+	// Obs, when non-nil, receives timing spans and work counters.
+	Obs *obs.Collector
 }
 
 func (o *Options) fill() {
@@ -56,6 +67,13 @@ func (o *Options) fill() {
 // Compile builds the Resource Database from the model's overlays and the IP
 // allocation.
 func Compile(anm *core.ANM, alloc *ipalloc.Result, opts Options) (*nidb.DB, error) {
+	return CompileContext(context.Background(), anm, alloc, opts)
+}
+
+// CompileContext is Compile with cancellation: per-device compilation fans
+// out across opts.Workers goroutines, and the first error (or ctx
+// cancellation) cancels the remaining work.
+func CompileContext(ctx context.Context, anm *core.ANM, alloc *ipalloc.Result, opts Options) (*nidb.DB, error) {
 	opts.fill()
 	phy := anm.Overlay(core.OverlayPhy)
 	if phy == nil || phy.NumNodes() == 0 {
@@ -66,7 +84,7 @@ func Compile(anm *core.ANM, alloc *ipalloc.Result, opts Options) (*nidb.DB, erro
 	}
 	db := nidb.New()
 	c := &compiler{anm: anm, alloc: alloc, opts: opts, db: db}
-	if err := c.run(); err != nil {
+	if err := c.run(ctx); err != nil {
 		return nil, err
 	}
 	return db, nil
@@ -85,69 +103,38 @@ type compiler struct {
 	sharedCD map[graph.ID]map[graph.ID]graph.ID
 }
 
-func (c *compiler) run() error {
+func (c *compiler) run(ctx context.Context) error {
+	idxSpan := c.opts.Obs.StartSpan("index")
 	c.indexCollisionDomains()
+	idxSpan.End()
 	phy := c.anm.Overlay(core.OverlayPhy)
 
+	// Collect the compilable devices in physical-overlay order — this order
+	// defines the Resource Database's (and so every downstream artifact's)
+	// iteration order, regardless of worker count.
+	var nodes []core.NodeView
+	for _, n := range phy.Nodes() {
+		dt := n.DeviceType()
+		if dt == core.DeviceRouter || dt == core.DeviceServer {
+			nodes = append(nodes, n)
+		}
+	}
+
+	devSpan := c.opts.Obs.StartSpan("devices")
+	devices, err := c.compileDevices(ctx, nodes)
+	devSpan.End()
+	if err != nil {
+		return err
+	}
+
+	// Merge serially in node order and group devices per (host, platform)
+	// for lab finalisation.
 	type hostPlat struct{ host, platform string }
 	placement := map[hostPlat][]*nidb.Device{}
 	var placementOrder []hostPlat
-
-	for _, n := range phy.Nodes() {
-		dt := n.DeviceType()
-		if dt != core.DeviceRouter && dt != core.DeviceServer {
-			continue
-		}
-		platName := n.GetString(core.AttrPlatform, c.opts.DefaultPlatform)
-		synName := n.GetString(core.AttrSyntax, c.opts.DefaultSyntax)
-		host := n.GetString(core.AttrHost, c.opts.DefaultHost)
-		plat, err := PlatformFor(platName)
-		if err != nil {
-			return err
-		}
-		syn, err := SyntaxFor(synName)
-		if err != nil {
-			return err
-		}
-		d := c.db.AddDevice(n.ID())
-		hostname := plat.SanitizeHostname(n.Label())
-		d.MustSet("hostname", hostname)
-		d.MustSet("label", n.Label())
-		d.MustSet("device_type", dt)
-		d.MustSet("asn", n.ASN())
-		d.MustSet("platform", platName)
-		d.MustSet("syntax", synName)
-		d.MustSet("host", host)
-
-		if err := c.compileInterfaces(d, n, plat); err != nil {
-			return err
-		}
-		if dt == core.DeviceServer {
-			if err := c.compileServerGateway(d, n); err != nil {
-				return err
-			}
-		}
-		if dt == core.DeviceRouter {
-			if err := c.compileZebra(d, hostname); err != nil {
-				return err
-			}
-			if err := c.compileOSPF(d, n); err != nil {
-				return err
-			}
-			if err := c.compileBGP(d, n); err != nil {
-				return err
-			}
-			if err := c.compileISIS(d, n); err != nil {
-				return err
-			}
-		}
-		// Render metadata (§5.5).
-		d.MustSet("render.base", syn.TemplateBase())
-		d.MustSet("render.dst_folder", fmt.Sprintf("%s/%s/%s", host, platName, hostname))
-		if err := syn.Finalize(d); err != nil {
-			return fmt.Errorf("compile: syntax %s on %s: %w", synName, n.ID(), err)
-		}
-		hp := hostPlat{host, platName}
+	for _, d := range devices {
+		c.db.InstallDevice(d)
+		hp := hostPlat{d.GetString("host", ""), d.GetString("platform", "")}
 		if _, ok := placement[hp]; !ok {
 			placementOrder = append(placementOrder, hp)
 		}
@@ -156,6 +143,8 @@ func (c *compiler) run() error {
 
 	c.recordLinks()
 
+	labSpan := c.opts.Obs.StartSpan("labs")
+	defer labSpan.End()
 	sort.Slice(placementOrder, func(i, j int) bool {
 		if placementOrder[i].host != placementOrder[j].host {
 			return placementOrder[i].host < placementOrder[j].host
@@ -170,8 +159,133 @@ func (c *compiler) run() error {
 		if err := plat.FinalizeLab(c.db, hp.host, placement[hp]); err != nil {
 			return fmt.Errorf("compile: lab for %s/%s: %w", hp.host, hp.platform, err)
 		}
+		c.opts.Obs.Add(obs.CounterLabsFinalized, 1)
 	}
 	return nil
+}
+
+// workerCount resolves a Workers option against the job count.
+func workerCount(workers, jobs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// compileDevices fans the per-device compilation out across the worker
+// pool. Results land in a slice indexed like nodes, so the caller merges
+// them in deterministic order; the first error cancels the remaining work.
+func (c *compiler) compileDevices(ctx context.Context, nodes []core.NodeView) ([]*nidb.Device, error) {
+	out := make([]*nidb.Device, len(nodes))
+	workers := workerCount(c.opts.Workers, len(nodes))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var errOnce sync.Once
+	var firstErr error
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				d, err := c.compileDevice(nodes[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				out[i] = d
+				c.opts.Obs.Add(obs.CounterDevicesCompiled, 1)
+			}
+		}()
+	}
+feed:
+	for i := range nodes {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// compileDevice builds one device's Resource-Database record. It only reads
+// the shared model (overlays, allocation, collision-domain indexes) and
+// writes the returned record, so many devices compile concurrently.
+func (c *compiler) compileDevice(n core.NodeView) (*nidb.Device, error) {
+	dt := n.DeviceType()
+	platName := n.GetString(core.AttrPlatform, c.opts.DefaultPlatform)
+	synName := n.GetString(core.AttrSyntax, c.opts.DefaultSyntax)
+	host := n.GetString(core.AttrHost, c.opts.DefaultHost)
+	plat, err := PlatformFor(platName)
+	if err != nil {
+		return nil, err
+	}
+	syn, err := SyntaxFor(synName)
+	if err != nil {
+		return nil, err
+	}
+	d := nidb.NewDevice(n.ID())
+	hostname := plat.SanitizeHostname(n.Label())
+	d.MustSet("hostname", hostname)
+	d.MustSet("label", n.Label())
+	d.MustSet("device_type", dt)
+	d.MustSet("asn", n.ASN())
+	d.MustSet("platform", platName)
+	d.MustSet("syntax", synName)
+	d.MustSet("host", host)
+
+	if err := c.compileInterfaces(d, n, plat); err != nil {
+		return nil, err
+	}
+	if dt == core.DeviceServer {
+		if err := c.compileServerGateway(d, n); err != nil {
+			return nil, err
+		}
+	}
+	if dt == core.DeviceRouter {
+		if err := c.compileZebra(d, hostname); err != nil {
+			return nil, err
+		}
+		if err := c.compileOSPF(d, n); err != nil {
+			return nil, err
+		}
+		if err := c.compileBGP(d, n); err != nil {
+			return nil, err
+		}
+		if err := c.compileISIS(d, n); err != nil {
+			return nil, err
+		}
+	}
+	// Render metadata (§5.5).
+	d.MustSet("render.base", syn.TemplateBase())
+	d.MustSet("render.dst_folder", fmt.Sprintf("%s/%s/%s", host, platName, hostname))
+	if err := syn.Finalize(d); err != nil {
+		return nil, fmt.Errorf("compile: syntax %s on %s: %w", synName, n.ID(), err)
+	}
+	return d, nil
 }
 
 // indexCollisionDomains builds the neighbour-address and shared-domain maps

@@ -1,6 +1,7 @@
 package compile
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"strings"
@@ -429,5 +430,50 @@ func TestServersCompiledWithoutProtocols(t *testing.T) {
 	ifaces, _ := d.Get("interfaces")
 	if len(ifaces.([]any)) != 1 {
 		t.Error("server interface missing")
+	}
+}
+
+// Compiling with one worker and with many yields the same Resource
+// Database: same device order, same serialised trees, same links.
+func TestCompileWorkersDeterministic(t *testing.T) {
+	anm, alloc, _ := pipeline(t, nil, Options{}, design.Options{})
+	serial, err := Compile(anm, alloc, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Compile(anm, alloc, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := serial.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := parallel.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sj) != string(pj) {
+		t.Error("Workers=1 and Workers=8 databases differ")
+	}
+}
+
+// A cancelled context aborts the per-device fan-out.
+func TestCompileContextCancelled(t *testing.T) {
+	anm, alloc, _ := pipeline(t, nil, Options{}, design.Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CompileContext(ctx, anm, alloc, Options{Workers: 4}); err == nil {
+		t.Fatal("cancelled compile succeeded")
+	}
+}
+
+// The first failing device cancels the rest and surfaces its error.
+func TestCompileFirstErrorWins(t *testing.T) {
+	anm, alloc, _ := pipeline(t, nil, Options{}, design.Options{})
+	anm.Overlay(core.OverlayPhy).Node("r2").Set(core.AttrSyntax, "bogus")
+	_, err := Compile(anm, alloc, Options{Workers: 8})
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("got %v, want bogus-syntax error", err)
 	}
 }

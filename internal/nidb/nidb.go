@@ -140,6 +140,17 @@ func (db *DB) AddDevice(id graph.ID) *Device {
 	return d
 }
 
+// InstallDevice inserts a device record built elsewhere (e.g. by a compile
+// worker), replacing any existing record with the same ID while preserving
+// the original insertion position. Callers install records serially, in the
+// order the devices should iterate.
+func (db *DB) InstallDevice(d *Device) {
+	if _, ok := db.devices[d.ID]; !ok {
+		db.order = append(db.order, d.ID)
+	}
+	db.devices[d.ID] = d
+}
+
 // Device returns the record for id, or nil when absent.
 func (db *DB) Device(id graph.ID) *Device { return db.devices[id] }
 

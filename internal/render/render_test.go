@@ -1,6 +1,7 @@
 package render
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -393,5 +394,55 @@ func TestRenderErrorNamesTemplate(t *testing.T) {
 	msg := err.Error()
 	if !strings.Contains(msg, "broken") || !strings.Contains(msg, "zebra.conf") {
 		t.Errorf("error lacks context: %v", err)
+	}
+}
+
+// The worker pool must not change output: RenderWith at Workers=1 and
+// Workers=8 produces identical paths and contents in identical order.
+func TestRenderWithWorkersDeterministic(t *testing.T) {
+	db := buildDB(t, "netkit", "quagga")
+	serial, err := RenderWith(context.Background(), db, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RenderWith(context.Background(), db, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, pp := serial.Paths(), parallel.Paths()
+	if len(sp) == 0 || len(sp) != len(pp) {
+		t.Fatalf("path counts differ: %d vs %d", len(sp), len(pp))
+	}
+	for i := range sp {
+		if sp[i] != pp[i] {
+			t.Fatalf("path order differs at %d: %s vs %s", i, sp[i], pp[i])
+		}
+		sc, _ := serial.Read(sp[i])
+		pc, _ := parallel.Read(pp[i])
+		if sc != pc {
+			t.Errorf("%s content differs across worker counts", sp[i])
+		}
+	}
+}
+
+// A cancelled context aborts the fan-out with the context's error.
+func TestRenderWithCancelledContext(t *testing.T) {
+	db := buildDB(t, "netkit", "quagga")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RenderWith(ctx, db, Options{Workers: 4}); err == nil {
+		t.Fatal("cancelled render succeeded")
+	}
+}
+
+// A broken device surfaces a render error instead of a partial tree.
+func TestRenderWithErrorWins(t *testing.T) {
+	db := buildDB(t, "netkit", "quagga")
+	// Remove the render metadata from one device to force a failure.
+	d := db.Devices()[2]
+	delete(d.Data, "render")
+	_, err := RenderWith(context.Background(), db, Options{Workers: 8})
+	if err == nil || !strings.Contains(err.Error(), "dst_folder") {
+		t.Fatalf("got %v, want dst_folder error", err)
 	}
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate: vet, build, race-enabled tests (includes the worker-pool
+# determinism test), and an explicit golden-output diff of the Fig. 5
+# pipeline against testdata/golden_fig5.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== golden output diff (testdata/golden_fig5)"
+go test -race -run 'TestGoldenFig5Tree' -count=1 .
+
+echo "CI OK"
