@@ -31,6 +31,7 @@ import (
 
 	"net/netip"
 
+	"autonetkit/internal/chaos"
 	"autonetkit/internal/compile"
 	"autonetkit/internal/core"
 	"autonetkit/internal/deploy"
@@ -226,6 +227,27 @@ func (n *Network) Measure(lab *emul.Lab) *measure.Client {
 		resolve = func(a netip.Addr) string { return string(table.HostForIP(a)) }
 	}
 	return measure.NewClient(lab, resolve)
+}
+
+// Chaos returns a scenario engine bound to a running lab: measurement
+// through this network's allocation-aware client, loopback probe
+// addresses from the allocation table, and the network's obs collector
+// for per-step spans (§8 what-if experimentation, scripted).
+func (n *Network) Chaos(lab *emul.Lab, opts chaos.Options) (*chaos.Engine, error) {
+	if n.Alloc == nil {
+		return nil, stageErr("Allocate", "Chaos")
+	}
+	if opts.Obs == nil {
+		opts.Obs = n.obs
+	}
+	loopbacks := map[string]netip.Addr{}
+	for _, e := range n.Alloc.Table.Entries() {
+		if e.Loopback {
+			loopbacks[string(e.Node)] = e.Addr
+		}
+	}
+	addrOf := func(name string) netip.Addr { return loopbacks[name] }
+	return chaos.NewEngine(lab, n.Measure(lab), addrOf, opts), nil
 }
 
 // ExportOverlay renders an overlay as a D3-style visualization document

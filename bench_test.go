@@ -22,8 +22,10 @@ import (
 	"fmt"
 	"net/netip"
 	"os"
+	"strings"
 	"testing"
 
+	"autonetkit/internal/chaos"
 	"autonetkit/internal/compile"
 	"autonetkit/internal/core"
 	"autonetkit/internal/dataplane"
@@ -777,5 +779,50 @@ func BenchmarkP1_CompileRender(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- P2: chaos scenario engine (fail -> check -> restore -> check) ---
+
+// BenchmarkP2_ChaosScenario measures one full resilience drill against the
+// deployed Small-Internet lab: an inter-AS link failure, a reachability
+// sweep, the repair, and the closing baseline check. The scenario ends
+// fully restored, so the same lab is reused across iterations.
+func BenchmarkP2_ChaosScenario(b *testing.B) {
+	net, err := LoadGraph(topogen.SmallInternet())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Build(BuildOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	dep, err := net.Deploy(deploy.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := net.Chaos(dep.Lab(), chaos.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scenario, err := chaos.ParseScenario(strings.NewReader(`
+name bench drill
+fail-link as1r1 as20r3
+check
+restore-link as1r1 as20r3
+check baseline
+`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report, err := engine.Run(scenario)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !report.OK() {
+			b.Fatalf("drill not clean:\n%s", report)
+		}
 	}
 }

@@ -1,0 +1,83 @@
+// Command ankchaos builds and deploys a topology, then runs a scripted
+// fault-injection scenario against the running lab and prints the per-step
+// resilience report (§8 what-if experimentation).
+//
+//	ankchaos -in lab.graphml -scenario outage.chaos
+//	ankchaos -in lab.graphml -scenario outage.chaos -budget 40 -trace
+//
+// The scenario file is line-oriented: fail-link/fail-node/restore-link/
+// restore-node/flap/partition steps interleaved with check assertions; see
+// internal/chaos.ParseScenario for the full grammar. Exit status is 0 when
+// the report has no error findings, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autonetkit"
+	"autonetkit/internal/chaos"
+	"autonetkit/internal/deploy"
+	"autonetkit/internal/routing"
+)
+
+func main() {
+	in := flag.String("in", "", "input topology file")
+	scenarioPath := flag.String("scenario", "", "scenario script file")
+	platform := flag.String("platform", "netkit", "emulation platform")
+	budget := flag.Int("budget", 0, "default per-step BGP convergence budget in rounds (0 = engine default)")
+	trace := flag.Bool("trace", false, "print the pipeline + chaos span trace after the report")
+	flag.Parse()
+	if *in == "" || *scenarioPath == "" {
+		fmt.Fprintln(os.Stderr, "ankchaos: -in and -scenario are required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*scenarioPath)
+	if err != nil {
+		fatal(err)
+	}
+	scenario, err := chaos.ParseScenario(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	net, err := autonetkit.Load(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if err := net.Build(autonetkit.BuildOptions{}); err != nil {
+		fatal(err)
+	}
+	dep, err := net.Deploy(deploy.Options{Platform: *platform})
+	if err != nil {
+		fatal(err)
+	}
+	engine, err := net.Chaos(dep.Lab(), chaos.Options{
+		Budget: routing.ConvergenceBudget{MaxBGPRounds: *budget},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	report, err := engine.Run(scenario)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(report)
+	if *trace {
+		fmt.Println()
+		if err := net.WriteTrace(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if !report.OK() {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ankchaos:", err)
+	os.Exit(1)
+}

@@ -130,6 +130,52 @@ func TestCmdAnkviz(t *testing.T) {
 	}
 }
 
+func TestCmdAnkchaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test")
+	}
+	bin := buildCmd(t, "ankchaos")
+	scenario := filepath.Join("testdata", "chaos", "link_outage.chaos")
+	out, err := runCmd(t, bin, "-in", fixture, "-scenario", scenario)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	// The report output is deterministic: diff against the golden file.
+	golden, err := os.ReadFile(filepath.Join("testdata", "chaos", "link_outage.report"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Errorf("report differs from golden:\n--- got ---\n%s--- want ---\n%s", out, golden)
+	}
+	// A violated assertion exits 1 with an error finding.
+	bad := filepath.Join(t.TempDir(), "bad.chaos")
+	if err := os.WriteFile(bad, []byte("fail-node as20r3\ncheck reachable as1r1 as20r3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runCmd(t, bin, "-in", fixture, "-scenario", bad)
+	if err == nil {
+		t.Errorf("violated check exited 0:\n%s", out)
+	}
+	if !strings.Contains(out, "VIOLATED") || !strings.Contains(out, "[error] chaos-check") {
+		t.Errorf("violation not reported:\n%s", out)
+	}
+	// Missing flags exit non-zero.
+	if _, err := runCmd(t, bin, "-in", fixture); err == nil {
+		t.Error("ankchaos without -scenario succeeded")
+	}
+	// -trace appends the span tree with the chaos steps.
+	out, err = runCmd(t, bin, "-in", fixture, "-scenario", scenario, "-trace")
+	if err != nil {
+		t.Fatalf("-trace: %v\n%s", err, out)
+	}
+	for _, want := range []string{"pipeline trace:", "Chaos", "chaos_steps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCmdAnknren(t *testing.T) {
 	if testing.Short() {
 		t.Skip("binary smoke test")

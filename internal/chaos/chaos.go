@@ -1,0 +1,283 @@
+package chaos
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"autonetkit/internal/emul"
+	"autonetkit/internal/measure"
+	"autonetkit/internal/obs"
+	"autonetkit/internal/routing"
+	"autonetkit/internal/verify"
+)
+
+// Counter names maintained by the engine.
+const (
+	CounterSteps    = "chaos_steps"
+	CounterFindings = "chaos_findings"
+)
+
+// Options configures an engine.
+type Options struct {
+	// Budget is the default per-step convergence budget; a step's own
+	// MaxBGPRounds overrides it.
+	Budget routing.ConvergenceBudget
+	// Obs, when set, collects per-step spans and counters.
+	Obs *obs.Collector
+}
+
+// Engine executes scenarios against one booted lab.
+type Engine struct {
+	lab    *emul.Lab
+	client *measure.Client
+	addrOf func(string) netip.Addr
+	opts   Options
+}
+
+// NewEngine wires a scenario engine to a booted lab. client must drive the
+// same lab; addrOf supplies each machine's probe address (its loopback) —
+// machines it cannot resolve are excluded from reachability matrices.
+func NewEngine(lab *emul.Lab, client *measure.Client, addrOf func(string) netip.Addr, opts Options) *Engine {
+	return &Engine{lab: lab, client: client, addrOf: addrOf, opts: opts}
+}
+
+// StepResult is the outcome of one executed step.
+type StepResult struct {
+	Index    int // 1-based
+	Step     Step
+	Verdict  string // one-line deterministic outcome
+	Findings []verify.Finding
+	// Matrix is the post-step reachability matrix (check steps only).
+	Matrix *measure.Reachability
+}
+
+// Report is a scenario's structured resilience outcome.
+type Report struct {
+	Scenario string
+	Baseline measure.Reachability
+	Steps    []StepResult
+}
+
+// Findings flattens every step's findings in step order.
+func (r Report) Findings() []verify.Finding {
+	var out []verify.Finding
+	for _, s := range r.Steps {
+		out = append(out, s.Findings...)
+	}
+	return out
+}
+
+// OK reports whether no error-severity findings were produced.
+func (r Report) OK() bool {
+	for _, f := range r.Findings() {
+		if f.Severity == verify.Error {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report deterministically: one line per step, then the
+// findings.
+func (r Report) String() string {
+	var sb strings.Builder
+	findings := r.Findings()
+	errs := 0
+	for _, f := range findings {
+		if f.Severity == verify.Error {
+			errs++
+		}
+	}
+	name := r.Scenario
+	if name == "" {
+		name = "scenario"
+	}
+	fmt.Fprintf(&sb, "chaos report: %s: %d steps, %d findings (%d errors)\n",
+		name, len(r.Steps), len(findings), errs)
+	fmt.Fprintf(&sb, "  baseline: %d/%d pairs reachable\n", r.Baseline.Reachable(), r.Baseline.Pairs())
+	for _, s := range r.Steps {
+		fmt.Fprintf(&sb, "  step %-2d %-28s %s\n", s.Index, s.Step, s.Verdict)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(&sb, "  %s\n", f)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+// stepLabel names a step for findings ("step-3 fail-link r1 r3").
+func stepLabel(i int, s Step) string { return fmt.Sprintf("step-%d %s", i, s) }
+
+// Run executes the scenario. The pre-scenario reachability matrix is the
+// baseline every check diffs against. Steps that fail to converge within
+// their budget, violate a check, or error out produce findings; execution
+// continues so the report covers the whole script. The error return is
+// reserved for the scenario being unrunnable at all (lab not started,
+// measurement impossible).
+func (e *Engine) Run(sc Scenario) (Report, error) {
+	span := e.opts.Obs.StartSpan("Chaos")
+	defer span.End()
+	rep := Report{Scenario: sc.Name}
+
+	bspan := e.opts.Obs.StartSpan("baseline")
+	base, err := e.client.ReachabilityMatrix(e.lab.VMNames(), e.addrOf)
+	bspan.End()
+	if err != nil {
+		return rep, fmt.Errorf("chaos: measuring baseline: %w", err)
+	}
+	rep.Baseline = base
+
+	origBudget := e.lab.Budget()
+	defer e.lab.SetBudget(origBudget)
+
+	for i, st := range sc.Steps {
+		e.opts.Obs.Add(CounterSteps, 1)
+		sspan := e.opts.Obs.StartSpan(fmt.Sprintf("step-%d %s", i+1, st.Op))
+		res, err := e.runStep(i+1, st, base)
+		sspan.End()
+		if err != nil {
+			return rep, err
+		}
+		e.opts.Obs.Add(CounterFindings, int64(len(res.Findings)))
+		rep.Steps = append(rep.Steps, res)
+	}
+	return rep, nil
+}
+
+// budgetFor resolves a step's convergence budget.
+func (e *Engine) budgetFor(st Step) routing.ConvergenceBudget {
+	if st.MaxBGPRounds > 0 {
+		return routing.ConvergenceBudget{MaxBGPRounds: st.MaxBGPRounds}
+	}
+	return e.opts.Budget
+}
+
+func (e *Engine) runStep(idx int, st Step, base measure.Reachability) (StepResult, error) {
+	res := StepResult{Index: idx, Step: st}
+	label := stepLabel(idx, st)
+	addFinding := func(check string, sev verify.Severity, format string, args ...any) {
+		res.Findings = append(res.Findings, verify.Finding{
+			Check: check, Severity: sev, Device: label, Detail: fmt.Sprintf(format, args...),
+		})
+	}
+
+	if st.Op == OpCheck {
+		err := e.runCheck(&res, base, addFinding)
+		return res, err
+	}
+
+	budget := e.budgetFor(st)
+	e.lab.SetBudget(budget)
+	times := 1
+	if st.Op == OpFlap {
+		times = st.Times
+	}
+	for round := 0; round < times; round++ {
+		var err error
+		switch st.Op {
+		case OpFailLink:
+			err = e.lab.FailLink(st.A, st.B)
+		case OpRestoreLink:
+			err = e.lab.RestoreLink(st.A, st.B)
+		case OpFailNode:
+			err = e.lab.FailNode(st.Node)
+		case OpRestoreNode:
+			err = e.lab.RestoreNode(st.Node)
+		case OpPartition:
+			err = e.lab.Partition(st.Nodes)
+		case OpFlap:
+			if err = e.lab.FailLink(st.A, st.B); err == nil {
+				bgp := e.lab.BGPResult()
+				if !bgp.Converged {
+					addFinding("chaos-convergence", verify.Error,
+						"flap %d down: %s", round+1, budget.Describe(bgp))
+				}
+				err = e.lab.RestoreLink(st.A, st.B)
+			}
+		default:
+			return res, fmt.Errorf("chaos: unknown operation %q", st.Op)
+		}
+		if err != nil {
+			addFinding("chaos-step", verify.Error, "injection failed: %v", err)
+			res.Verdict = fmt.Sprintf("FAILED: %v", err)
+			return res, nil
+		}
+	}
+	bgp := e.lab.BGPResult()
+	res.Verdict = e.budgetFor(st).Describe(bgp)
+	if !bgp.Converged {
+		addFinding("chaos-convergence", verify.Error, "%s", res.Verdict)
+	}
+	return res, nil
+}
+
+func (e *Engine) runCheck(res *StepResult, base measure.Reachability, addFinding func(string, verify.Severity, string, ...any)) error {
+	st := res.Step
+	switch st.Check {
+	case CheckReachable, CheckUnreachable:
+		dst := e.addrOf(st.B)
+		if !dst.IsValid() {
+			return fmt.Errorf("chaos: no probe address for %q", st.B)
+		}
+		ok, err := e.client.Reachable(st.A, dst)
+		if err != nil {
+			return fmt.Errorf("chaos: probing %s -> %s: %w", st.A, st.B, err)
+		}
+		want := st.Check == CheckReachable
+		if ok == want {
+			res.Verdict = "ok"
+		} else {
+			res.Verdict = fmt.Sprintf("VIOLATED: %s -> %s reachable=%v, want %v", st.A, st.B, ok, want)
+			addFinding("chaos-check", verify.Error,
+				"%s -> %s reachable=%v, want %v", st.A, st.B, ok, want)
+		}
+		return nil
+	}
+
+	m, err := e.client.ReachabilityMatrix(e.lab.VMNames(), e.addrOf)
+	if err != nil {
+		return fmt.Errorf("chaos: measuring reachability: %w", err)
+	}
+	res.Matrix = &m
+	diff := measure.DiffReachability(base, m)
+	res.Verdict = fmt.Sprintf("%d/%d pairs reachable (%d lost, %d gained vs baseline)",
+		m.Reachable(), m.Pairs(), len(diff.Lost), len(diff.Gained))
+	if diff.OK() {
+		return nil
+	}
+	sev := verify.Warning
+	if st.Check == CheckBaseline {
+		sev = verify.Error
+	}
+	addFinding("chaos-check", sev, "%s%s", diff, pairSamples(diff))
+	return nil
+}
+
+// pairSamples renders up to three changed pairs per direction, so findings
+// stay one line but name concrete victims.
+func pairSamples(d measure.ReachabilityDiff) string {
+	var parts []string
+	render := func(tag string, ps [][2]string) {
+		if len(ps) == 0 {
+			return
+		}
+		n := len(ps)
+		if n > 3 {
+			n = 3
+		}
+		var items []string
+		for _, p := range ps[:n] {
+			items = append(items, p[0]+"->"+p[1])
+		}
+		if len(ps) > n {
+			items = append(items, "...")
+		}
+		parts = append(parts, fmt.Sprintf("%s: %s", tag, strings.Join(items, " ")))
+	}
+	render("lost", d.Lost)
+	render("gained", d.Gained)
+	if len(parts) == 0 {
+		return ""
+	}
+	return " (" + strings.Join(parts, "; ") + ")"
+}

@@ -1,0 +1,381 @@
+package chaos
+
+import (
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+
+	"autonetkit/internal/compile"
+	"autonetkit/internal/core"
+	"autonetkit/internal/design"
+	"autonetkit/internal/emul"
+	"autonetkit/internal/graph"
+	"autonetkit/internal/ipalloc"
+	"autonetkit/internal/measure"
+	"autonetkit/internal/obs"
+	"autonetkit/internal/render"
+	"autonetkit/internal/routing"
+	"autonetkit/internal/verify"
+)
+
+// fig5Lab runs the full pipeline over the paper's Fig. 5 topology and
+// returns the booted lab with a measurement client and loopback resolver.
+func fig5Lab(t *testing.T) (*emul.Lab, *measure.Client, func(string) netip.Addr) {
+	t.Helper()
+	anm := core.NewANM()
+	in, err := anm.AddOverlay(core.OverlayInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []struct {
+		id  graph.ID
+		asn int
+	}{{"r1", 1}, {"r2", 1}, {"r3", 1}, {"r4", 1}, {"r5", 2}} {
+		in.AddNode(n.id, graph.Attrs{core.AttrASN: n.asn, core.AttrDeviceType: core.DeviceRouter})
+	}
+	for _, e := range [][2]graph.ID{{"r1", "r2"}, {"r1", "r3"}, {"r2", "r4"}, {"r3", "r4"}, {"r3", "r5"}, {"r4", "r5"}} {
+		in.AddEdge(e[0], e[1], graph.Attrs{"type": "physical"})
+	}
+	if err := design.BuildAll(anm, design.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := ipalloc.NewDefault().Allocate(anm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := compile.Compile(anm, alloc, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := render.Render(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := emul.Load(fs, "localhost", "netkit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	table := alloc.Table
+	resolve := func(a netip.Addr) string { return string(table.HostForIP(a)) }
+	client := measure.NewClient(lab, resolve)
+	loopbacks := map[string]netip.Addr{}
+	for _, e := range table.Entries() {
+		if e.Loopback {
+			loopbacks[string(e.Node)] = e.Addr
+		}
+	}
+	return lab, client, func(name string) netip.Addr { return loopbacks[name] }
+}
+
+func mustParse(t *testing.T, script string) Scenario {
+	t.Helper()
+	sc, err := ParseScenario(strings.NewReader(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestParseScenario(t *testing.T) {
+	sc := mustParse(t, `
+# a comment
+name core outage
+budget 40
+fail-link r1 r3    # trailing comment
+check
+check unreachable r1 r5
+flap r3 r4 2
+partition r5
+restore-link r1 r3
+restore-node r5
+check baseline
+`)
+	if sc.Name != "core outage" {
+		t.Errorf("name = %q", sc.Name)
+	}
+	if len(sc.Steps) != 8 {
+		t.Fatalf("steps = %d: %+v", len(sc.Steps), sc.Steps)
+	}
+	if sc.Steps[0].MaxBGPRounds != 40 {
+		t.Errorf("budget not applied: %+v", sc.Steps[0])
+	}
+	if sc.Steps[3].Op != OpFlap || sc.Steps[3].Times != 2 {
+		t.Errorf("flap step = %+v", sc.Steps[3])
+	}
+	if sc.Steps[4].Op != OpPartition || !reflect.DeepEqual(sc.Steps[4].Nodes, []string{"r5"}) {
+		t.Errorf("partition step = %+v", sc.Steps[4])
+	}
+	if sc.Steps[7].Check != CheckBaseline {
+		t.Errorf("check step = %+v", sc.Steps[7])
+	}
+	// Round-trip through Step.String stays in scenario syntax.
+	if got := sc.Steps[0].String(); got != "fail-link r1 r3" {
+		t.Errorf("String = %q", got)
+	}
+	if got := sc.Steps[2].String(); got != "check unreachable r1 r5" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseScenarioErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",                  // no steps
+		"# only comments\n", // no steps
+		"explode r1",        // unknown op
+		"fail-link r1",      // wrong arity
+		"flap r1 r2 zero",   // bad count
+		"flap r1 r2 0",      // count < 1
+		"budget many\nfail-link a b",
+		"budget -1\nfail-link a b",
+		"partition",            // empty group
+		"check sideways",       // unknown mode
+		"check baseline extra", // wrong arity
+		"check reachable r1",   // wrong arity
+		"name",                 // missing label
+	} {
+		if _, err := ParseScenario(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+// The acceptance scenario: fail a link, check, restore it, re-check — the
+// final lab state (OSPF neighbors, BGP routes, reachability matrix) is
+// identical to the pre-incident state and the report is clean.
+func TestFailRestoreRoundTrip(t *testing.T) {
+	lab, client, addrOf := fig5Lab(t)
+	type state struct {
+		neighbors map[string][]routing.OSPFNeighbor
+		bgp       map[string][]routing.BGPRoute
+	}
+	capture := func() state {
+		s := state{map[string][]routing.OSPFNeighbor{}, map[string][]routing.BGPRoute{}}
+		for _, name := range lab.VMNames() {
+			s.neighbors[name] = lab.OSPFNeighbors(name)
+			s.bgp[name] = lab.BGPRoutes(name)
+		}
+		return s
+	}
+	before := capture()
+	matrixBefore, err := client.ReachabilityMatrix(lab.VMNames(), addrOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	engine := NewEngine(lab, client, addrOf, Options{})
+	report, err := engine.Run(mustParse(t, `
+name round trip
+fail-link r3 r5
+fail-link r4 r5
+check
+restore-link r3 r5
+restore-link r4 r5
+check baseline
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("report not clean:\n%s", report)
+	}
+	if len(report.Steps) != 6 {
+		t.Fatalf("steps = %d", len(report.Steps))
+	}
+	// The mid-incident check observed degraded reachability (r5 cut off)...
+	mid := report.Steps[2].Matrix
+	if mid == nil || mid.Reachable() >= mid.Pairs() {
+		t.Errorf("mid-incident matrix not degraded: %+v", mid)
+	}
+	// ...and the final check observed full restoration.
+	final := report.Steps[5].Matrix
+	if final == nil || !measure.DiffReachability(matrixBefore, *final).OK() {
+		t.Errorf("final matrix differs from baseline")
+	}
+	// Lab protocol state is exactly the pre-incident state.
+	if !reflect.DeepEqual(before, capture()) {
+		t.Error("restored lab state differs from pre-incident state")
+	}
+}
+
+// A deliberately non-converging step (budget of 1 BGP round) terminates
+// within its budget and surfaces a structured convergence finding instead
+// of hanging.
+func TestNonConvergenceWithinBudget(t *testing.T) {
+	lab, client, addrOf := fig5Lab(t)
+	engine := NewEngine(lab, client, addrOf, Options{})
+	report, err := engine.Run(mustParse(t, `
+budget 1
+partition r5
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OK() {
+		t.Fatalf("budget-1 reconvergence reported clean:\n%s", report)
+	}
+	findings := report.Findings()
+	if len(findings) != 1 || findings[0].Check != "chaos-convergence" || findings[0].Severity != verify.Error {
+		t.Fatalf("findings = %+v", findings)
+	}
+	if !strings.Contains(findings[0].Detail, "did not converge within 1 rounds") &&
+		!strings.Contains(findings[0].Detail, "oscillating") {
+		t.Errorf("finding detail = %q", findings[0].Detail)
+	}
+	// The engine restored the lab's original budget afterwards.
+	if lab.Budget().MaxBGPRounds != 0 {
+		t.Errorf("budget leaked: %+v", lab.Budget())
+	}
+}
+
+func TestCheckAssertions(t *testing.T) {
+	lab, client, addrOf := fig5Lab(t)
+	engine := NewEngine(lab, client, addrOf, Options{})
+	report, err := engine.Run(mustParse(t, `
+check reachable r1 r5
+partition r5
+check unreachable r1 r5
+check reachable r1 r5
+check
+restore-node r5
+check baseline
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 4 (check reachable during the partition) must be the only
+	// error; step 5's plain check reports drift as a warning.
+	var errs, warns []verify.Finding
+	for _, f := range report.Findings() {
+		if f.Severity == verify.Error {
+			errs = append(errs, f)
+		} else {
+			warns = append(warns, f)
+		}
+	}
+	if len(errs) != 1 || !strings.Contains(errs[0].Device, "step-4") {
+		t.Errorf("errors = %+v", errs)
+	}
+	if len(warns) != 1 || warns[0].Check != "chaos-check" {
+		t.Errorf("warnings = %+v", warns)
+	}
+	if !strings.Contains(warns[0].Detail, "pairs lost") {
+		t.Errorf("warning detail = %q", warns[0].Detail)
+	}
+}
+
+// A scripted error (restoring an intact link) degrades to a finding, and
+// the rest of the scenario still runs.
+func TestStepErrorContinues(t *testing.T) {
+	lab, client, addrOf := fig5Lab(t)
+	engine := NewEngine(lab, client, addrOf, Options{})
+	report, err := engine.Run(mustParse(t, `
+restore-link r1 r3
+check baseline
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Steps) != 2 {
+		t.Fatalf("steps = %d", len(report.Steps))
+	}
+	if report.OK() {
+		t.Error("failed injection reported clean")
+	}
+	if !strings.HasPrefix(report.Steps[0].Verdict, "FAILED") {
+		t.Errorf("verdict = %q", report.Steps[0].Verdict)
+	}
+	// The trailing check still ran and passed.
+	if len(report.Steps[1].Findings) != 0 {
+		t.Errorf("check findings = %+v", report.Steps[1].Findings)
+	}
+}
+
+func TestFlapEndsRestored(t *testing.T) {
+	lab, client, addrOf := fig5Lab(t)
+	before := map[string][]routing.OSPFNeighbor{}
+	for _, name := range lab.VMNames() {
+		before[name] = lab.OSPFNeighbors(name)
+	}
+	engine := NewEngine(lab, client, addrOf, Options{})
+	report, err := engine.Run(mustParse(t, `
+flap r1 r3 3
+check baseline
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.OK() {
+		t.Fatalf("flap report not clean:\n%s", report)
+	}
+	after := map[string][]routing.OSPFNeighbor{}
+	for _, name := range lab.VMNames() {
+		after[name] = lab.OSPFNeighbors(name)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Error("lab not restored after flap")
+	}
+	// Six link transitions logged (3 down + 3 up).
+	events := strings.Join(lab.Events(), "\n")
+	if got := strings.Count(events, "failed"); got != 3 {
+		t.Errorf("fail events = %d, want 3", got)
+	}
+	if got := strings.Count(events, "restored"); got != 3 {
+		t.Errorf("restore events = %d, want 3", got)
+	}
+}
+
+func TestEngineObsSpans(t *testing.T) {
+	lab, client, addrOf := fig5Lab(t)
+	col := obs.NewCollector()
+	engine := NewEngine(lab, client, addrOf, Options{Obs: col})
+	if _, err := engine.Run(mustParse(t, "fail-link r1 r3\ncheck\nrestore-link r1 r3")); err != nil {
+		t.Fatal(err)
+	}
+	stats := col.Snapshot()
+	span, ok := stats.Span("Chaos")
+	if !ok {
+		t.Fatalf("no Chaos span: %+v", stats.Spans)
+	}
+	// baseline + one child span per step.
+	if len(span.Children) != 4 {
+		t.Errorf("chaos span children = %+v", span.Children)
+	}
+	if stats.Counters[CounterSteps] != 3 {
+		t.Errorf("steps counter = %d", stats.Counters[CounterSteps])
+	}
+}
+
+func TestReportString(t *testing.T) {
+	lab, client, addrOf := fig5Lab(t)
+	engine := NewEngine(lab, client, addrOf, Options{Budget: routing.ConvergenceBudget{MaxBGPRounds: 50}})
+	report, err := engine.Run(mustParse(t, "name demo\nfail-link r1 r3\ncheck\nrestore-link r1 r3\ncheck baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := report.String()
+	for _, want := range []string{
+		"chaos report: demo: 4 steps, 0 findings (0 errors)",
+		"baseline: 20/20 pairs reachable",
+		"step 1  fail-link r1 r3",
+		"converged in",
+		"check baseline",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+	// Determinism: a second identical run renders identically.
+	lab2, client2, addrOf2 := fig5Lab(t)
+	engine2 := NewEngine(lab2, client2, addrOf2, Options{Budget: routing.ConvergenceBudget{MaxBGPRounds: 50}})
+	report2, err := engine2.Run(mustParse(t, "name demo\nfail-link r1 r3\ncheck\nrestore-link r1 r3\ncheck baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report2.String() != text {
+		t.Errorf("report not deterministic:\n%s\nvs\n%s", text, report2.String())
+	}
+}

@@ -1,0 +1,199 @@
+// Package chaos executes declarative fault-injection scenarios against a
+// booted emulated lab — the paper's §8 "what-if" experimentation made
+// scriptable and verifiable. A scenario is an ordered list of steps
+// (fail-link, fail-node, restore-link, restore-node, flap, partition,
+// check); the engine runs each step under a bounded convergence budget,
+// measures the resulting reachability matrix through the measurement
+// client, diffs it against the pre-incident baseline, and accumulates a
+// structured resilience report (reusing the verify package's
+// severity/finding vocabulary). Non-converging steps terminate with a
+// detected oscillation finding instead of hanging; a fully restored lab is
+// asserted identical to its pre-incident state.
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Op is one scenario step kind.
+type Op string
+
+// Scenario step operations.
+const (
+	OpFailLink    Op = "fail-link"
+	OpFailNode    Op = "fail-node"
+	OpRestoreLink Op = "restore-link"
+	OpRestoreNode Op = "restore-node"
+	OpFlap        Op = "flap"
+	OpPartition   Op = "partition"
+	OpCheck       Op = "check"
+)
+
+// CheckMode selects what a check step asserts.
+type CheckMode string
+
+// Check modes.
+const (
+	// CheckObserve records the matrix and reports drift from the baseline
+	// as warnings (informational).
+	CheckObserve CheckMode = "observe"
+	// CheckBaseline asserts the matrix equals the pre-scenario baseline.
+	CheckBaseline CheckMode = "baseline"
+	// CheckReachable asserts A reaches B.
+	CheckReachable CheckMode = "reachable"
+	// CheckUnreachable asserts A does not reach B.
+	CheckUnreachable CheckMode = "unreachable"
+)
+
+// Step is one scenario entry.
+type Step struct {
+	Op    Op
+	A, B  string   // link endpoints / check pair
+	Node  string   // fail-node, restore-node target
+	Nodes []string // partition group
+	Times int      // flap repetitions (>= 1)
+	Check CheckMode
+	// MaxBGPRounds is this step's convergence budget (0 = the engine
+	// default).
+	MaxBGPRounds int
+}
+
+// String renders the step in scenario-file syntax.
+func (s Step) String() string {
+	switch s.Op {
+	case OpFailLink, OpRestoreLink:
+		return fmt.Sprintf("%s %s %s", s.Op, s.A, s.B)
+	case OpFailNode, OpRestoreNode:
+		return fmt.Sprintf("%s %s", s.Op, s.Node)
+	case OpFlap:
+		return fmt.Sprintf("%s %s %s %d", s.Op, s.A, s.B, s.Times)
+	case OpPartition:
+		return fmt.Sprintf("%s %s", s.Op, strings.Join(s.Nodes, " "))
+	case OpCheck:
+		switch s.Check {
+		case CheckReachable, CheckUnreachable:
+			return fmt.Sprintf("check %s %s %s", s.Check, s.A, s.B)
+		case CheckBaseline:
+			return "check baseline"
+		default:
+			return "check"
+		}
+	}
+	return string(s.Op)
+}
+
+// Scenario is an ordered fault-injection script.
+type Scenario struct {
+	Name  string
+	Steps []Step
+}
+
+// ParseScenario reads the line-oriented scenario format:
+//
+//	# comment
+//	name <label>                # optional scenario name
+//	budget <rounds>             # BGP budget for subsequent steps
+//	fail-link A B
+//	fail-node N
+//	restore-link A B
+//	restore-node N
+//	flap A B <times>
+//	partition N1 [N2 ...]
+//	check                       # observe: warn on drift from baseline
+//	check baseline              # assert matrix == pre-scenario baseline
+//	check reachable A B
+//	check unreachable A B
+func ParseScenario(r io.Reader) (Scenario, error) {
+	var sc Scenario
+	budget := 0
+	scan := bufio.NewScanner(r)
+	lineno := 0
+	for scan.Scan() {
+		lineno++
+		line := strings.TrimSpace(scan.Text())
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		op, args := fields[0], fields[1:]
+		bad := func(format string, a ...any) (Scenario, error) {
+			return Scenario{}, fmt.Errorf("chaos: line %d: %s", lineno, fmt.Sprintf(format, a...))
+		}
+		switch op {
+		case "name":
+			if len(args) == 0 {
+				return bad("name needs a label")
+			}
+			sc.Name = strings.Join(args, " ")
+		case "budget":
+			if len(args) != 1 {
+				return bad("budget needs one integer")
+			}
+			n, err := strconv.Atoi(args[0])
+			if err != nil || n < 0 {
+				return bad("bad budget %q", args[0])
+			}
+			budget = n
+		case string(OpFailLink), string(OpRestoreLink):
+			if len(args) != 2 {
+				return bad("%s needs two machine names", op)
+			}
+			sc.Steps = append(sc.Steps, Step{Op: Op(op), A: args[0], B: args[1], MaxBGPRounds: budget})
+		case string(OpFailNode), string(OpRestoreNode):
+			if len(args) != 1 {
+				return bad("%s needs one machine name", op)
+			}
+			sc.Steps = append(sc.Steps, Step{Op: Op(op), Node: args[0], MaxBGPRounds: budget})
+		case string(OpFlap):
+			if len(args) != 3 {
+				return bad("flap needs A B <times>")
+			}
+			n, err := strconv.Atoi(args[2])
+			if err != nil || n < 1 {
+				return bad("bad flap count %q", args[2])
+			}
+			sc.Steps = append(sc.Steps, Step{Op: OpFlap, A: args[0], B: args[1], Times: n, MaxBGPRounds: budget})
+		case string(OpPartition):
+			if len(args) == 0 {
+				return bad("partition needs at least one machine name")
+			}
+			sc.Steps = append(sc.Steps, Step{Op: OpPartition, Nodes: args, MaxBGPRounds: budget})
+		case string(OpCheck):
+			st := Step{Op: OpCheck, Check: CheckObserve, MaxBGPRounds: budget}
+			if len(args) > 0 {
+				switch CheckMode(args[0]) {
+				case CheckBaseline:
+					if len(args) != 1 {
+						return bad("check baseline takes no arguments")
+					}
+					st.Check = CheckBaseline
+				case CheckReachable, CheckUnreachable:
+					if len(args) != 3 {
+						return bad("check %s needs two machine names", args[0])
+					}
+					st.Check = CheckMode(args[0])
+					st.A, st.B = args[1], args[2]
+				default:
+					return bad("unknown check mode %q", args[0])
+				}
+			}
+			sc.Steps = append(sc.Steps, st)
+		default:
+			return bad("unknown operation %q", op)
+		}
+	}
+	if err := scan.Err(); err != nil {
+		return Scenario{}, fmt.Errorf("chaos: reading scenario: %w", err)
+	}
+	if len(sc.Steps) == 0 {
+		return Scenario{}, fmt.Errorf("chaos: scenario has no steps")
+	}
+	return sc, nil
+}

@@ -228,6 +228,20 @@ func (p *HostPool) TotalCapacity() int {
 // Hosts returns the pool's hosts.
 func (p *HostPool) Hosts() []*Host { return p.hosts }
 
+// Fail removes a host from the pool (a dead emulation server), returning
+// the VMs that were assigned to it so the caller can re-place them onto
+// the survivors.
+func (p *HostPool) Fail(name string) ([]string, error) {
+	for i, h := range p.hosts {
+		if h.Name != name {
+			continue
+		}
+		p.hosts = append(p.hosts[:i], p.hosts[i+1:]...)
+		return h.Assigned(), nil
+	}
+	return nil, fmt.Errorf("deploy: no host %s in pool", name)
+}
+
 // Placement maps VM names to host names.
 type Placement map[string]string
 

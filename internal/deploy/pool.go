@@ -1,0 +1,251 @@
+package deploy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"autonetkit/internal/emul"
+	"autonetkit/internal/obs"
+	"autonetkit/internal/render"
+)
+
+// Counter names maintained by pool deployments.
+const (
+	CounterBootRetries = "deploy_boot_retries"
+	CounterHostsFailed = "deploy_hosts_failed"
+	CounterVMsReplaced = "deploy_vms_replaced"
+)
+
+// BootFunc launches one emulation host's share of the lab. attempt is
+// 1-based. The production hosts here are in-process and always come up;
+// the hook exists so tests and chaos experiments can model flaky hardware
+// (transient boot failures, hangs) — the §3.3 StarBed deployments met
+// plenty of both.
+type BootFunc func(host string, vms []string, attempt int) error
+
+// PoolOptions configures a multi-host deployment.
+type PoolOptions struct {
+	Platform string
+	// MaxBGPRounds bounds control-plane convergence (0 = default).
+	MaxBGPRounds int
+	// Retry governs per-host boot attempts.
+	Retry RetryPolicy
+	// Boot, when set, is invoked per host boot attempt (fault-injection
+	// seam; nil always succeeds).
+	Boot BootFunc
+	// OnEvent, when set, receives progress events as they happen.
+	OnEvent func(Event)
+	// Obs, when set, collects deployment spans and counters.
+	Obs *obs.Collector
+}
+
+// PoolDeployment is the outcome of RunPool: the running lab, where every
+// VM ended up, and which hosts were abandoned along the way.
+type PoolDeployment struct {
+	Platform  string
+	Placement Placement
+	// FailedHosts lists hosts that exhausted their boot attempts, in
+	// failure order.
+	FailedHosts []string
+	// StrandedVMs lists VMs that could not be re-placed after their host
+	// failed (only non-empty when RunPool also returns ErrDegraded).
+	StrandedVMs []string
+	events      []Event
+	lab         *emul.Lab
+	onEvent     func(Event)
+}
+
+// Lab returns the running lab (nil when the deployment degraded before
+// launch).
+func (d *PoolDeployment) Lab() *emul.Lab { return d.lab }
+
+// Events returns all progress events so far.
+func (d *PoolDeployment) Events() []Event {
+	out := make([]Event, len(d.events))
+	copy(out, d.events)
+	return out
+}
+
+func (d *PoolDeployment) emit(ev Event) {
+	d.events = append(d.events, ev)
+	if d.onEvent != nil {
+		d.onEvent(ev)
+	}
+}
+
+// ErrDegraded is returned (wrapped) by RunPool when surviving capacity
+// could not absorb a failed host's VMs: the deployment terminated
+// gracefully — events and placement intact — instead of hanging or
+// launching a partial lab.
+var ErrDegraded = fmt.Errorf("deploy: degraded: insufficient surviving capacity")
+
+// RunPool deploys a rendered lab across an emulation host pool: archive →
+// transfer → extract → place VMs onto hosts → boot each host (with retry,
+// backoff + jitter, and per-attempt timeouts) → launch. A host that
+// exhausts its boot attempts is abandoned and its VMs are re-placed onto
+// the surviving hosts' spare capacity; if none remains, RunPool returns
+// the partial deployment state wrapped in ErrDegraded. Every stage emits
+// deploy Events and (when opts.Obs is set) obs spans/counters.
+func RunPool(fs *render.FileSet, pool *HostPool, opts PoolOptions) (*PoolDeployment, error) {
+	if opts.Platform == "" {
+		opts.Platform = "netkit"
+	}
+	span := opts.Obs.StartSpan("PoolDeploy")
+	defer span.End()
+	d := &PoolDeployment{Platform: opts.Platform, onEvent: opts.OnEvent}
+
+	bundle, err := Archive(fs)
+	if err != nil {
+		return nil, err
+	}
+	d.emit(Event{"archive", fmt.Sprintf("%d files, %d bytes compressed", fs.Len(), len(bundle))})
+	received := make([]byte, len(bundle))
+	copy(received, bundle)
+	d.emit(Event{"transfer", fmt.Sprintf("%d bytes to %d hosts", len(received), len(pool.Hosts()))})
+	extracted, err := Extract(received)
+	if err != nil {
+		return nil, err
+	}
+	d.emit(Event{"extract", fmt.Sprintf("%d files", extracted.Len())})
+
+	// The rendered tree is keyed by design-time host; pool deployment
+	// re-homes the single lab across physical hosts.
+	lab, err := firstLab(extracted, opts.Platform)
+	if err != nil {
+		return nil, err
+	}
+
+	placement, err := pool.Place(lab.VMNames())
+	if err != nil {
+		return nil, err
+	}
+	d.Placement = placement
+	d.emit(Event{"place", fmt.Sprintf("%d VMs across %d hosts", len(placement), len(pool.Hosts()))})
+
+	// Boot every host that holds VMs, in deterministic order.
+	pending := make([]*Host, 0, len(pool.Hosts()))
+	for _, h := range pool.Hosts() {
+		if len(h.Assigned()) > 0 {
+			pending = append(pending, h)
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].Name < pending[j].Name })
+	for len(pending) > 0 {
+		h := pending[0]
+		pending = pending[1:]
+		if err := d.bootHost(h, opts); err == nil {
+			continue
+		}
+		// Host is gone: abandon it and re-place its VMs onto survivors.
+		opts.Obs.Add(CounterHostsFailed, 1)
+		d.FailedHosts = append(d.FailedHosts, h.Name)
+		orphans, ferr := pool.Fail(h.Name)
+		if ferr != nil {
+			return d, ferr
+		}
+		d.emit(Event{"host-failed", fmt.Sprintf("%s abandoned after %d attempts; re-placing %d VMs", h.Name, opts.Retry.attempts(), len(orphans))})
+		replaced, perr := pool.Place(orphans)
+		if perr != nil {
+			d.StrandedVMs = orphans
+			d.emit(Event{"degraded", fmt.Sprintf("cannot re-place %d VMs (%s): %v", len(orphans), strings.Join(orphans, ", "), perr)})
+			return d, fmt.Errorf("%w: %d VMs stranded after %s failed", ErrDegraded, len(orphans), h.Name)
+		}
+		opts.Obs.Add(CounterVMsReplaced, int64(len(replaced)))
+		for _, vm := range sortedKeys(replaced) {
+			d.Placement[vm] = replaced[vm]
+			d.emit(Event{"replace", fmt.Sprintf("%s re-placed onto %s", vm, replaced[vm])})
+		}
+		// Any not-yet-booted host that received orphans is still in
+		// pending and boots with its enlarged share; already-booted hosts
+		// absorb them without a re-boot.
+	}
+
+	d.emit(Event{"lstart", fmt.Sprintf("launching %d machines", len(lab.VMNames()))})
+	lspan := opts.Obs.StartSpan("Launch")
+	err = lab.Start(opts.MaxBGPRounds)
+	lspan.End()
+	if err != nil {
+		return d, err
+	}
+	for _, ev := range lab.Events() {
+		d.emit(Event{"machine", ev})
+	}
+	d.lab = lab
+	d.emit(Event{"done", "lab running"})
+	return d, nil
+}
+
+// bootHost attempts one host's boot under the retry policy, emitting an
+// event per attempt.
+func (d *PoolDeployment) bootHost(h *Host, opts PoolOptions) error {
+	span := opts.Obs.StartSpan("boot " + h.Name)
+	defer span.End()
+	var lastErr error
+	for attempt := 1; attempt <= opts.Retry.attempts(); attempt++ {
+		lastErr = attemptBoot(opts.Boot, h.Name, h.Assigned(), attempt, opts.Retry)
+		if lastErr == nil {
+			d.emit(Event{"boot", fmt.Sprintf("%s up (%d VMs, attempt %d)", h.Name, len(h.Assigned()), attempt)})
+			return nil
+		}
+		d.emit(Event{"retry", fmt.Sprintf("%s boot attempt %d failed: %v", h.Name, attempt, lastErr)})
+		opts.Obs.Add(CounterBootRetries, 1)
+		if attempt < opts.Retry.attempts() {
+			opts.Retry.sleep(opts.Retry.Delay(h.Name, attempt))
+		}
+	}
+	return lastErr
+}
+
+// attemptBoot runs one boot attempt under the per-attempt timeout. A
+// timed-out attempt counts as failed; the stray goroutine's eventual
+// result is discarded (buffered channel), so a wedged host cannot hang the
+// deployment.
+func attemptBoot(boot BootFunc, host string, vms []string, attempt int, retry RetryPolicy) error {
+	if boot == nil {
+		return nil
+	}
+	if retry.AttemptTimeout <= 0 {
+		return boot(host, vms, attempt)
+	}
+	ch := make(chan error, 1)
+	go func() { ch <- boot(host, vms, attempt) }()
+	select {
+	case err := <-ch:
+		return err
+	case <-retry.after(retry.AttemptTimeout):
+		return fmt.Errorf("deploy: boot of %s attempt %d timed out after %v", host, attempt, retry.AttemptTimeout)
+	}
+}
+
+// firstLab loads the lab for the (sole) design-time host under the given
+// platform from an extracted tree.
+func firstLab(fs *render.FileSet, platform string) (*emul.Lab, error) {
+	hosts := map[string]bool{}
+	var order []string
+	for _, p := range fs.SortedPaths() {
+		host, rest, ok := strings.Cut(p, "/")
+		if !ok {
+			continue
+		}
+		if plat, _, ok := strings.Cut(rest, "/"); ok && plat == platform {
+			if !hosts[host] {
+				hosts[host] = true
+				order = append(order, host)
+			}
+		}
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("deploy: no %s lab in rendered tree", platform)
+	}
+	return emul.Load(fs, order[0], platform)
+}
+
+func sortedKeys(p Placement) []string {
+	out := make([]string, 0, len(p))
+	for k := range p {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -20,6 +20,11 @@ import (
 //	show ip bgp                 Quagga vtysh
 //	show ip route               kernel/zebra table
 func (l *Lab) Exec(machine, command string) (string, error) {
+	// Hold the read lock for the whole command: measurement clients run
+	// Exec from many goroutines while incident injection re-converges the
+	// lab under the write lock.
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	if !l.started {
 		return "", fmt.Errorf("emul: lab not started")
 	}
@@ -108,7 +113,7 @@ func (l *Lab) execShow(vm *VM, args []string) (string, error) {
 func (l *Lab) showOSPFNeighbors(vm *VM) string {
 	var sb strings.Builder
 	sb.WriteString("Neighbor ID     Pri State           Dead Time Address         Interface\n")
-	for _, nbr := range l.OSPFNeighbors(vm.Name) {
+	for _, nbr := range l.ospfNeighbors(vm.Name) {
 		fmt.Fprintf(&sb, "%-15s   1 Full/DR         00:00:33 %-15s %s\n",
 			nbr.RouterID, nbr.Addr, nbr.Iface)
 	}
@@ -119,7 +124,7 @@ func (l *Lab) showOSPFNeighbors(vm *VM) string {
 func (l *Lab) showISISNeighbors(vm *VM) string {
 	var sb strings.Builder
 	sb.WriteString("System Id       Interface   State  Type\n")
-	for _, nbr := range l.ISISNeighbors(vm.Name) {
+	for _, nbr := range l.isisNeighbors(vm.Name) {
 		fmt.Fprintf(&sb, "%-15s %-11s Up     L2\n", nbr.Hostname, nbr.Iface)
 	}
 	return sb.String()
@@ -129,7 +134,7 @@ func (l *Lab) showISISNeighbors(vm *VM) string {
 func (l *Lab) showBGP(vm *VM) string {
 	var sb strings.Builder
 	sb.WriteString("   Network          Next Hop            Metric LocPrf Path\n")
-	for _, rt := range l.BGPRoutes(vm.Name) {
+	for _, rt := range l.bgpRoutes(vm.Name) {
 		path := make([]string, len(rt.ASPath))
 		for i, a := range rt.ASPath {
 			path[i] = fmt.Sprint(a)

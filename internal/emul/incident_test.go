@@ -1,11 +1,15 @@
 package emul
 
 import (
+	"fmt"
 	"net/netip"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"autonetkit/internal/ipalloc"
+	"autonetkit/internal/routing"
 )
 
 // incidentLab deploys the fig5 network and returns it with the allocation.
@@ -135,6 +139,292 @@ func TestIncidentErrors(t *testing.T) {
 	if err := lab.FailNode("r1"); err == nil {
 		t.Error("re-failing a dead node accepted")
 	}
+}
+
+// multiSubnetLab hand-builds a two-router lab whose routers share TWO
+// subnets (parallel circuits), which the graph pipeline cannot express —
+// exercising the all-shared-subnets failure path.
+func multiSubnetLab(t *testing.T) *Lab {
+	t.Helper()
+	mk := func(name string, lastOctet int) *routing.DeviceConfig {
+		lb := netip.MustParseAddr(fmt.Sprintf("10.0.0.%d", lastOctet))
+		return &routing.DeviceConfig{
+			Hostname: name,
+			Loopback: lb,
+			Interfaces: []routing.InterfaceConfig{
+				{Name: "eth0", Addr: netip.MustParseAddr(fmt.Sprintf("10.0.1.%d", lastOctet)), Prefix: netip.MustParsePrefix("10.0.1.0/24"), Cost: 1},
+				{Name: "eth1", Addr: netip.MustParseAddr(fmt.Sprintf("10.0.2.%d", lastOctet)), Prefix: netip.MustParsePrefix("10.0.2.0/24"), Cost: 1},
+				{Name: "lo", Addr: lb, Prefix: netip.PrefixFrom(lb, 32), Cost: 1},
+			},
+			OSPF: &routing.OSPFConfig{ProcessID: 1, Networks: []routing.OSPFNetwork{
+				{Prefix: netip.MustParsePrefix("10.0.1.0/24")},
+				{Prefix: netip.MustParsePrefix("10.0.2.0/24")},
+				{Prefix: netip.PrefixFrom(lb, 32)},
+			}},
+		}
+	}
+	lab := &Lab{Host: "localhost", Platform: "netkit", vms: map[string]*VM{}}
+	for i, name := range []string{"r1", "r2"} {
+		lab.vms[name] = &VM{Name: name, Config: mk(name, i+1)}
+		lab.order = append(lab.order, name)
+	}
+	if err := lab.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	return lab
+}
+
+func TestFailLinkAllSharedSubnets(t *testing.T) {
+	lab := multiSubnetLab(t)
+	if err := lab.FailLink("r1", "r2"); err != nil {
+		t.Fatal(err)
+	}
+	vm, _ := lab.VM("r1")
+	for _, ic := range vm.Config.Interfaces {
+		if ic.Name != "lo" {
+			t.Errorf("interface %s survived multi-subnet link failure", ic.Name)
+		}
+	}
+	// Both subnets are logged individually.
+	events := strings.Join(lab.Events(), "\n")
+	for _, want := range []string{
+		"INCIDENT: link r1 -- r2 (10.0.1.0/24) failed",
+		"INCIDENT: link r1 -- r2 (10.0.2.0/24) failed",
+	} {
+		if !strings.Contains(events, want) {
+			t.Errorf("event log missing %q:\n%s", want, events)
+		}
+	}
+	if len(lab.OSPFNeighbors("r1")) != 0 {
+		t.Error("adjacency survived failing every shared subnet")
+	}
+}
+
+func TestFailLinkSubnet(t *testing.T) {
+	lab := multiSubnetLab(t)
+	// Fail only one of the two parallel circuits.
+	if err := lab.FailLinkSubnet("r1", "r2", netip.MustParsePrefix("10.0.1.0/24")); err != nil {
+		t.Fatal(err)
+	}
+	vm, _ := lab.VM("r1")
+	if len(vm.Config.Interfaces) != 2 { // eth1 + lo
+		t.Fatalf("interfaces = %d, want 2", len(vm.Config.Interfaces))
+	}
+	// The second circuit keeps the adjacency up.
+	if len(lab.OSPFNeighbors("r1")) != 1 {
+		t.Errorf("neighbors = %+v, want one surviving adjacency", lab.OSPFNeighbors("r1"))
+	}
+	// A subnet the pair does not share is rejected.
+	if err := lab.FailLinkSubnet("r1", "r2", netip.MustParsePrefix("10.9.9.0/24")); err == nil {
+		t.Error("unshared subnet accepted")
+	}
+	if err := lab.FailLinkSubnet("r1", "r2", netip.Prefix{}); err == nil {
+		t.Error("invalid subnet accepted")
+	}
+	// RestoreLink re-installs only the failed circuit.
+	if err := lab.RestoreLink("r1", "r2"); err != nil {
+		t.Fatal(err)
+	}
+	vm, _ = lab.VM("r1")
+	if len(vm.Config.Interfaces) != 3 {
+		t.Fatalf("interfaces after restore = %d, want 3", len(vm.Config.Interfaces))
+	}
+}
+
+// labSnapshot captures everything the acceptance criterion compares: OSPF
+// neighbor tables, selected BGP routes, and per-VM interface lists.
+type labSnapshot struct {
+	neighbors map[string][]routing.OSPFNeighbor
+	bgp       map[string][]routing.BGPRoute
+	ifaces    map[string][]routing.InterfaceConfig
+}
+
+func snapshotLab(lab *Lab) labSnapshot {
+	s := labSnapshot{
+		neighbors: map[string][]routing.OSPFNeighbor{},
+		bgp:       map[string][]routing.BGPRoute{},
+		ifaces:    map[string][]routing.InterfaceConfig{},
+	}
+	for _, name := range lab.VMNames() {
+		s.neighbors[name] = lab.OSPFNeighbors(name)
+		s.bgp[name] = lab.BGPRoutes(name)
+		vm, _ := lab.VM(name)
+		s.ifaces[name] = append([]routing.InterfaceConfig(nil), vm.Config.Interfaces...)
+	}
+	return s
+}
+
+// The acceptance criterion: fail -> restore returns the lab to a state
+// identical to the pre-incident one — OSPF neighbor tables, BGP routes and
+// interface lists all reflect.DeepEqual.
+func TestRestoreLinkRoundTrip(t *testing.T) {
+	lab, _ := incidentLab(t)
+	before := snapshotLab(lab)
+	if err := lab.FailLink("r1", "r3"); err != nil {
+		t.Fatal(err)
+	}
+	if len(lab.OSPFNeighbors("r1")) == len(before.neighbors["r1"]) {
+		t.Fatal("failure did not change adjacency state")
+	}
+	if err := lab.RestoreLink("r1", "r3"); err != nil {
+		t.Fatal(err)
+	}
+	after := snapshotLab(lab)
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("restored lab differs from pre-incident state:\nbefore: %+v\nafter:  %+v", before, after)
+	}
+	events := strings.Join(lab.Events(), "\n")
+	if !strings.Contains(events, "INCIDENT: link r1 -- r3") || !strings.Contains(events, "restored") {
+		t.Errorf("restore not logged:\n%s", events)
+	}
+}
+
+func TestRestoreNodeRoundTrip(t *testing.T) {
+	lab, _ := incidentLab(t)
+	before := snapshotLab(lab)
+	if err := lab.FailNode("r3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.RestoreNode("r3"); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, snapshotLab(lab)) {
+		t.Error("restored lab differs from pre-incident state")
+	}
+	// RestoreNode also repairs this node's side of a failed link...
+	if err := lab.FailLink("r3", "r4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.RestoreNode("r3"); err != nil {
+		t.Fatal(err)
+	}
+	// ...but r4's side stays down until restored, so the adjacency is
+	// still absent.
+	for _, nbr := range lab.OSPFNeighbors("r3") {
+		if nbr.Hostname == "r4" {
+			t.Error("one-sided restore resurrected the adjacency")
+		}
+	}
+	if err := lab.RestoreNode("r4"); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, snapshotLab(lab)) {
+		t.Error("lab differs after both ends restored")
+	}
+}
+
+func TestPartitionAndRestore(t *testing.T) {
+	lab, alloc := incidentLab(t)
+	before := snapshotLab(lab)
+	// Isolate AS2 (r5): both inter-AS links are cut from r5's side.
+	if err := lab.Partition([]string{"r5"}); err != nil {
+		t.Fatal(err)
+	}
+	lb5 := alloc.Overlay.Node("r5").Get(ipalloc.AttrLoopback).(netip.Addr)
+	out, err := lab.Exec("r1", "ping -c 1 "+lb5.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "100% packet loss") {
+		t.Errorf("partitioned node still reachable:\n%s", out)
+	}
+	events := strings.Join(lab.Events(), "\n")
+	if !strings.Contains(events, "partition isolated [r5] (2 boundary subnets cut)") {
+		t.Errorf("partition not logged:\n%s", events)
+	}
+	if err := lab.RestoreNode("r5"); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, snapshotLab(lab)) {
+		t.Error("lab differs after partition restore")
+	}
+	// Errors: empty group, unknown machine, group with no outside links.
+	if err := lab.Partition(nil); err == nil {
+		t.Error("empty partition group accepted")
+	}
+	if err := lab.Partition([]string{"ghost"}); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if err := lab.Partition([]string{"r1", "r2", "r3", "r4", "r5"}); err == nil {
+		t.Error("whole-lab partition accepted")
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	lab, _ := incidentLab(t)
+	if err := lab.RestoreLink("r1", "r3"); err == nil {
+		t.Error("restoring an intact link accepted")
+	}
+	if err := lab.RestoreNode("r3"); err == nil {
+		t.Error("restoring an intact node accepted")
+	}
+	if err := lab.RestoreLink("r1", "ghost"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if err := lab.RestoreNode("ghost"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if err := lab.RestoreLink("r1", "r5"); err == nil {
+		t.Error("never-linked pair accepted")
+	}
+	unstarted, _ := buildLab(t, "netkit", "quagga")
+	if err := unstarted.RestoreLink("r1", "r3"); err == nil {
+		t.Error("restore before start accepted")
+	}
+	cbgp, _ := startedLab(t, "cbgp", "cbgp")
+	names := cbgp.VMNames()
+	if err := cbgp.RestoreLink(names[0], names[1]); err == nil {
+		t.Error("cbgp restore accepted")
+	}
+	if err := cbgp.Partition(names[:1]); err == nil {
+		t.Error("cbgp partition accepted")
+	}
+}
+
+// Incidents and measurement run concurrently: a measurement client may
+// probe the lab while an incident re-converges it. Run with -race (the CI
+// gate does) this asserts the locking contract.
+func TestIncidentMeasureRace(t *testing.T) {
+	lab, alloc := incidentLab(t)
+	lb4 := alloc.Overlay.Node("r4").Get(ipalloc.AttrLoopback).(netip.Addr)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 25; i++ {
+			if err := lab.FailLink("r1", "r3"); err != nil {
+				t.Errorf("fail: %v", err)
+				return
+			}
+			if err := lab.RestoreLink("r1", "r3"); err != nil {
+				t.Errorf("restore: %v", err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if _, err := lab.Exec("r1", "ping -c 1 "+lb4.String()); err != nil {
+					t.Errorf("exec: %v", err)
+					return
+				}
+				lab.OSPFNeighbors("r1")
+				lab.BGPRoutes("r1")
+				lab.BGPResult()
+				lab.Events()
+				lab.Links()
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestIncidentUnsupportedOnCBGP(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"net/netip"
 	"sort"
 	"strings"
+	"sync"
 
 	"autonetkit/internal/dataplane"
 	"autonetkit/internal/render"
@@ -23,12 +24,27 @@ type VM struct {
 
 // Lab is a running emulation: a set of VMs, the converged protocol engines
 // and the data plane.
+//
+// Incident injection (FailLink, FailNode, Partition, Restore*) and the
+// read-side API (Exec, the neighbor/route accessors, Events) may be called
+// from different goroutines: mutation takes the write lock, reads take the
+// read lock, so a measurement client probing the lab while an incident
+// re-converges it observes either the pre- or post-incident network, never
+// a half-rebuilt one. The *VM values returned by VM() are snapshots of
+// pointers into lab state; their Config field is owned by the lab and must
+// not be read concurrently with incident injection.
 type Lab struct {
 	Host     string
 	Platform string
 
+	mu    sync.RWMutex
 	vms   map[string]*VM
 	order []string
+
+	// baseline holds a deep copy of every machine's boot-time DeviceConfig,
+	// captured at Start, so incidents are reversible: RestoreLink and
+	// RestoreNode re-install interfaces from these snapshots.
+	baseline map[string]*routing.DeviceConfig
 
 	domain    *routing.OSPFDomain
 	isis      *routing.OSPFDomain
@@ -37,14 +53,16 @@ type Lab struct {
 	bgpResult routing.BGPResult
 	net       *dataplane.Network
 
-	flatParse    flatParser
-	started      bool
-	maxBGPRounds int
-	events       []string
+	flatParse flatParser
+	started   bool
+	budget    routing.ConvergenceBudget
+	events    []string
 }
 
 // Events returns the boot/progress log (the deployment monitor's view).
 func (l *Lab) Events() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	out := make([]string, len(l.events))
 	copy(out, l.events)
 	return out
@@ -56,6 +74,8 @@ func (l *Lab) logf(format string, args ...any) {
 
 // VMNames returns machine names in lab.conf order.
 func (l *Lab) VMNames() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	out := make([]string, len(l.order))
 	copy(out, l.order)
 	return out
@@ -63,15 +83,44 @@ func (l *Lab) VMNames() []string {
 
 // VM returns a machine by name.
 func (l *Lab) VM(name string) (*VM, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	vm, ok := l.vms[name]
 	return vm, ok
 }
 
-// BGPResult returns the control-plane outcome after Start.
-func (l *Lab) BGPResult() routing.BGPResult { return l.bgpResult }
+// BGPResult returns the control-plane outcome after the most recent
+// convergence (Start or incident injection).
+func (l *Lab) BGPResult() routing.BGPResult {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.bgpResult
+}
+
+// SetBudget replaces the convergence budget applied to subsequent
+// reconvergences (incident injection). The chaos engine uses this to give
+// every scenario step its own bounded budget.
+func (l *Lab) SetBudget(b routing.ConvergenceBudget) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.budget = b
+}
+
+// Budget returns the current convergence budget.
+func (l *Lab) Budget() routing.ConvergenceBudget {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.budget
+}
 
 // BGPRoutes returns a machine's selected BGP routes.
 func (l *Lab) BGPRoutes(name string) []routing.BGPRoute {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.bgpRoutes(name)
+}
+
+func (l *Lab) bgpRoutes(name string) []routing.BGPRoute {
 	if l.bgp == nil {
 		return nil
 	}
@@ -80,6 +129,12 @@ func (l *Lab) BGPRoutes(name string) []routing.BGPRoute {
 
 // OSPFNeighbors returns a machine's OSPF adjacencies.
 func (l *Lab) OSPFNeighbors(name string) []routing.OSPFNeighbor {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.ospfNeighbors(name)
+}
+
+func (l *Lab) ospfNeighbors(name string) []routing.OSPFNeighbor {
 	if l.domain == nil {
 		return nil
 	}
@@ -89,14 +144,56 @@ func (l *Lab) OSPFNeighbors(name string) []routing.OSPFNeighbor {
 // ISISNeighbors returns a machine's IS-IS adjacencies (for labs whose IGP
 // is IS-IS, §7).
 func (l *Lab) ISISNeighbors(name string) []routing.OSPFNeighbor {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.isisNeighbors(name)
+}
+
+func (l *Lab) isisNeighbors(name string) []routing.OSPFNeighbor {
 	if l.isis == nil {
 		return nil
 	}
 	return l.isis.Neighbors(name)
 }
 
-// Network exposes the data plane (nil for C-BGP labs).
-func (l *Lab) Network() *dataplane.Network { return l.net }
+// Network exposes the data plane (nil for C-BGP labs). The returned
+// network is replaced wholesale on reconvergence, not mutated, but the
+// pointer read itself is synchronized here.
+func (l *Lab) Network() *dataplane.Network {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.net
+}
+
+// Links returns the machine pairs that currently share at least one
+// data-plane subnet — the lab's live link set, sorted. The chaos engine
+// uses it to realise partitions.
+func (l *Lab) Links() [][2]string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out [][2]string
+	for i, a := range l.order {
+		for _, b := range l.order[i+1:] {
+			if l.vms[a].Config == nil || l.vms[b].Config == nil {
+				continue
+			}
+			if len(sharedSubnets(l.vms[a].Config, l.vms[b].Config)) > 0 {
+				pair := [2]string{a, b}
+				if b < a {
+					pair = [2]string{b, a}
+				}
+				out = append(out, pair)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
 
 // Load parses a rendered configuration tree for one (host, platform) lab
 // and returns the un-started lab. Supported platforms: netkit, dynagen,
@@ -231,6 +328,8 @@ type flatParser = func(name, conf string) (*routing.DeviceConfig, error)
 // runs BGP to convergence or detected oscillation, and builds the data
 // plane. maxBGPRounds <= 0 selects the default.
 func (l *Lab) Start(maxBGPRounds int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.started {
 		return fmt.Errorf("emul: lab already started")
 	}
@@ -247,7 +346,13 @@ func (l *Lab) Start(maxBGPRounds int) error {
 		vm.Booted = true
 		l.logf("machine %s booted (%d interfaces)", name, len(vm.Config.Interfaces))
 	}
-	l.maxBGPRounds = maxBGPRounds
+	// Snapshot every machine's boot-time config so incidents are
+	// reversible (RestoreLink/RestoreNode re-install from these).
+	l.baseline = make(map[string]*routing.DeviceConfig, len(l.order))
+	for _, name := range l.order {
+		l.baseline[name] = cloneDeviceConfig(l.vms[name].Config)
+	}
+	l.budget = routing.ConvergenceBudget{MaxBGPRounds: maxBGPRounds}
 	if err := l.converge(); err != nil {
 		return err
 	}
@@ -300,7 +405,7 @@ func (l *Lab) converge() error {
 	// persistent one, not a lockstep-timing artifact.
 	bgp.SetSequential(true)
 	l.bgp = bgp
-	l.bgpResult = bgp.Run(l.maxBGPRounds)
+	l.bgpResult = bgp.Run(l.budget.MaxBGPRounds)
 	switch {
 	case l.bgpResult.Converged:
 		l.logf("bgp converged in %d rounds (%d sessions)", l.bgpResult.Rounds, bgp.SessionsUp())

@@ -361,6 +361,125 @@ func (c *Client) MeasuredASGraph(machines []string, asnOf func(host string) int)
 	return g, nil
 }
 
+// Reachable probes dst from src with a single emulated ping and parses the
+// loss line, exactly as the paper's measurement client would against a
+// real lab.
+func (c *Client) Reachable(src string, dst netip.Addr) (bool, error) {
+	out, err := c.target.Exec(src, fmt.Sprintf("ping -c 1 %s", dst))
+	if err != nil {
+		return false, err
+	}
+	return strings.Contains(out, " 1 received"), nil
+}
+
+// Reachability is an N×N reachability matrix over named nodes: the
+// post-incident ground truth a chaos scenario diffs against its baseline.
+type Reachability struct {
+	Nodes []string           // sorted probe sources/destinations
+	Reach map[[2]string]bool // [src, dst] -> ping succeeded
+}
+
+// Pairs returns the number of probed (ordered) pairs.
+func (m Reachability) Pairs() int { return len(m.Reach) }
+
+// Reachable counts the pairs that answered.
+func (m Reachability) Reachable() int {
+	n := 0
+	for _, ok := range m.Reach {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// ReachabilityDiff lists the ordered pairs whose reachability changed
+// between two matrices.
+type ReachabilityDiff struct {
+	Lost   [][2]string // reachable before, not after
+	Gained [][2]string // unreachable before, reachable after
+}
+
+// OK reports whether the matrices agree.
+func (d ReachabilityDiff) OK() bool { return len(d.Lost) == 0 && len(d.Gained) == 0 }
+
+// String summarises the diff.
+func (d ReachabilityDiff) String() string {
+	if d.OK() {
+		return "reachability unchanged"
+	}
+	return fmt.Sprintf("reachability changed: %d pairs lost, %d pairs gained", len(d.Lost), len(d.Gained))
+}
+
+// DiffReachability compares two matrices probed over the same node set.
+func DiffReachability(before, after Reachability) ReachabilityDiff {
+	var d ReachabilityDiff
+	for pair, was := range before.Reach {
+		now := after.Reach[pair]
+		switch {
+		case was && !now:
+			d.Lost = append(d.Lost, pair)
+		case !was && now:
+			d.Gained = append(d.Gained, pair)
+		}
+	}
+	sortPairList(d.Lost)
+	sortPairList(d.Gained)
+	return d
+}
+
+func sortPairList(ps [][2]string) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i][0] != ps[j][0] {
+			return ps[i][0] < ps[j][0]
+		}
+		return ps[i][1] < ps[j][1]
+	})
+}
+
+// ReachabilityMatrix probes every ordered pair of the given nodes
+// concurrently (addrOf supplies each destination's probe address; nodes
+// whose address is invalid are skipped). Self-pairs are not probed.
+func (c *Client) ReachabilityMatrix(nodes []string, addrOf func(string) netip.Addr) (Reachability, error) {
+	sorted := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if addrOf(n).IsValid() {
+			sorted = append(sorted, n)
+		}
+	}
+	sort.Strings(sorted)
+	m := Reachability{Nodes: sorted, Reach: map[[2]string]bool{}}
+	type probe struct {
+		pair [2]string
+		ok   bool
+		err  error
+	}
+	var wg sync.WaitGroup
+	results := make(chan probe, len(sorted)*len(sorted))
+	for _, src := range sorted {
+		for _, dst := range sorted {
+			if src == dst {
+				continue
+			}
+			wg.Add(1)
+			go func(src, dst string) {
+				defer wg.Done()
+				ok, err := c.Reachable(src, addrOf(dst))
+				results <- probe{[2]string{src, dst}, ok, err}
+			}(src, dst)
+		}
+	}
+	wg.Wait()
+	close(results)
+	for p := range results {
+		if p.err != nil {
+			return Reachability{}, fmt.Errorf("measure: probing %s -> %s: %w", p.pair[0], p.pair[1], p.err)
+		}
+		m.Reach[p.pair] = p.ok
+	}
+	return m, nil
+}
+
 // Diff describes how a measured graph deviates from the designed one.
 type Diff struct {
 	MissingEdges [][2]graph.ID // designed but not measured

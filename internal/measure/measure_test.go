@@ -3,6 +3,7 @@ package measure
 import (
 	"net/netip"
 	"reflect"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -370,5 +371,109 @@ func TestMeasuredISISGraph(t *testing.T) {
 	}
 	if diff := Compare(designed, measured); !diff.OK() {
 		t.Errorf("isis validation failed: %v", diff)
+	}
+}
+
+func loopbacks(alloc *ipalloc.Result) func(string) netip.Addr {
+	byNode := map[string]netip.Addr{}
+	for _, e := range alloc.Table.Entries() {
+		if e.Loopback {
+			byNode[string(e.Node)] = e.Addr
+		}
+	}
+	return func(name string) netip.Addr { return byNode[name] }
+}
+
+func TestReachable(t *testing.T) {
+	c, alloc, _, l := client(t)
+	addrOf := loopbacks(alloc)
+	ok, err := c.Reachable("r1", addrOf("r5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("r1 -> r5 unreachable in healthy lab")
+	}
+	if err := l.FailNode("r5"); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = c.Reachable("r1", addrOf("r5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("r1 -> dead r5 reachable")
+	}
+	if _, err := c.Reachable("ghost", addrOf("r5")); err == nil {
+		t.Error("probe from unknown machine accepted")
+	}
+}
+
+func TestReachabilityMatrixAndDiff(t *testing.T) {
+	c, alloc, _, l := client(t)
+	addrOf := loopbacks(alloc)
+	names := l.VMNames()
+	before, err := c.ReachabilityMatrix(names, addrOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(before.Nodes); got != 5 {
+		t.Fatalf("nodes = %v", before.Nodes)
+	}
+	if before.Pairs() != 20 || before.Reachable() != 20 {
+		t.Errorf("baseline %d/%d reachable", before.Reachable(), before.Pairs())
+	}
+	if !sort.StringsAreSorted(before.Nodes) {
+		t.Errorf("nodes not sorted: %v", before.Nodes)
+	}
+
+	// Nodes without a probe address are excluded, not failed.
+	partial, err := c.ReachabilityMatrix(names, func(name string) netip.Addr {
+		if name == "r5" {
+			return netip.Addr{}
+		}
+		return addrOf(name)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partial.Nodes) != 4 || partial.Pairs() != 12 {
+		t.Errorf("partial matrix = %v (%d pairs)", partial.Nodes, partial.Pairs())
+	}
+
+	if err := l.FailNode("r5"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.ReachabilityMatrix(names, addrOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := DiffReachability(before, after)
+	if diff.OK() {
+		t.Fatal("diff missed the outage")
+	}
+	// Every ordered pair touching r5 is lost: 4 sources + 4 destinations.
+	if len(diff.Lost) != 8 || len(diff.Gained) != 0 {
+		t.Errorf("diff = %+v", diff)
+	}
+	for _, p := range diff.Lost {
+		if p[0] != "r5" && p[1] != "r5" {
+			t.Errorf("lost pair %v does not involve r5", p)
+		}
+	}
+	if !sort.SliceIsSorted(diff.Lost, func(i, j int) bool {
+		if diff.Lost[i][0] != diff.Lost[j][0] {
+			return diff.Lost[i][0] < diff.Lost[j][0]
+		}
+		return diff.Lost[i][1] < diff.Lost[j][1]
+	}) {
+		t.Errorf("lost pairs not sorted: %v", diff.Lost)
+	}
+	if s := diff.String(); !strings.Contains(s, "8 pairs lost") {
+		t.Errorf("diff string = %q", s)
+	}
+	// Self-diff is clean and says so.
+	if d := DiffReachability(after, after); !d.OK() || d.String() != "reachability unchanged" {
+		t.Errorf("self diff = %+v (%q)", d, d.String())
 	}
 }

@@ -581,7 +581,7 @@ func (e *BGPEngine) igpCostOf(sp *speaker, r BGPRoute) int {
 // maxRounds. It returns the outcome.
 func (e *BGPEngine) Run(maxRounds int) BGPResult {
 	if maxRounds <= 0 {
-		maxRounds = 100
+		maxRounds = DefaultMaxBGPRounds
 	}
 	e.stateHashes = map[uint64]int{}
 	for r := 0; r < maxRounds; r++ {

@@ -1,0 +1,42 @@
+package routing
+
+import "fmt"
+
+// DefaultMaxBGPRounds bounds a BGP Run when the caller supplies no budget.
+// 100 Gauss-Seidel rounds is far beyond what any converging topology in
+// the paper needs (the Small-Internet converges in 7), so hitting the
+// bound is itself a non-convergence signal.
+const DefaultMaxBGPRounds = 100
+
+// ConvergenceBudget bounds one control-plane (re)convergence: incident
+// injection and chaos scenarios re-run the engines after every event, and
+// a non-converging configuration must terminate with a detected
+// oscillation instead of consuming unbounded rounds. The zero value means
+// "use the defaults".
+type ConvergenceBudget struct {
+	// MaxBGPRounds caps the BGP engine's rounds (<= 0 selects
+	// DefaultMaxBGPRounds). A run that exhausts the cap without reaching a
+	// fixed point reports Oscillating with CycleLen -1.
+	MaxBGPRounds int
+}
+
+// BGPRounds resolves the effective round cap.
+func (b ConvergenceBudget) BGPRounds() int {
+	if b.MaxBGPRounds <= 0 {
+		return DefaultMaxBGPRounds
+	}
+	return b.MaxBGPRounds
+}
+
+// Describe renders the outcome of a bounded run as a one-line verdict for
+// logs and resilience reports.
+func (b ConvergenceBudget) Describe(res BGPResult) string {
+	switch {
+	case res.Converged:
+		return fmt.Sprintf("converged in %d rounds", res.Rounds)
+	case res.CycleLen > 0:
+		return fmt.Sprintf("oscillating (cycle length %d after %d rounds)", res.CycleLen, res.Rounds)
+	default:
+		return fmt.Sprintf("did not converge within %d rounds", b.BGPRounds())
+	}
+}

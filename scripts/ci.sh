@@ -17,4 +17,10 @@ go test -race ./...
 echo "== golden output diff (testdata/golden_fig5)"
 go test -race -run 'TestGoldenFig5Tree' -count=1 .
 
+echo "== golden chaos scenario (testdata/chaos/link_outage)"
+go run ./cmd/ankchaos -in testdata/small_internet.graphml \
+  -scenario testdata/chaos/link_outage.chaos > /tmp/ci_chaos_report.$$
+diff -u testdata/chaos/link_outage.report /tmp/ci_chaos_report.$$
+rm -f /tmp/ci_chaos_report.$$
+
 echo "CI OK"
