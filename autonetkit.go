@@ -208,13 +208,18 @@ func (n *Network) Build(opts BuildOptions) error {
 	return n.RenderWith(opts.Render)
 }
 
-// Deploy archives, transfers and launches the rendered lab (§5.7).
+// Deploy archives, transfers and launches the rendered lab (§5.7). A
+// lenient deployment that quarantines devices surfaces the count under
+// obs.CounterDevicesQuarantined in Stats.
 func (n *Network) Deploy(opts deploy.Options) (*deploy.Deployment, error) {
 	if n.Files == nil {
 		return nil, stageErr("Render", "Deploy")
 	}
 	span := n.obs.StartSpan("Deploy")
 	defer span.End()
+	if opts.Obs == nil {
+		opts.Obs = n.obs
+	}
 	return deploy.Run(n.Files, opts)
 }
 

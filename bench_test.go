@@ -19,6 +19,7 @@ package autonetkit
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"net/netip"
 	"os"
@@ -804,15 +805,15 @@ func BenchmarkP2_ChaosScenario(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	scenario, err := chaos.ParseScenario(strings.NewReader(`
+	scenario, diags := chaos.ParseScenario(strings.NewReader(`
 name bench drill
 fail-link as1r1 as20r3
 check
 restore-link as1r1 as20r3
 check baseline
 `))
-	if err != nil {
-		b.Fatal(err)
+	if diags.HasErrors() {
+		b.Fatalf("scenario diagnostics:\n%s", diags)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -825,4 +826,57 @@ check baseline
 			b.Fatalf("drill not clean:\n%s", report)
 		}
 	}
+}
+
+// --- P3: resilient boot (strict vs lenient quarantine) ---
+
+// BenchmarkP3_Boot measures a full lab boot of the Small-Internet tree in
+// both modes: strict over a healthy tree (the baseline every deployment
+// pays) and lenient over a tree whose one corrupted device must be
+// diagnosed, quarantined, and excluded before the 13 survivors converge.
+func BenchmarkP3_Boot(b *testing.B) {
+	net, err := LoadGraph(topogen.SmallInternet())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Build(BuildOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	const victim = "as100r2"
+	confPath := "localhost/netkit/" + victim + "/etc/quagga/bgpd.conf"
+	healthy, ok := net.Files.Read(confPath)
+	if !ok {
+		b.Fatalf("no %s in rendered tree", confPath)
+	}
+
+	b.Run("strict", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lab, err := emul.Load(net.Files, "localhost", "netkit")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := lab.Boot(emul.BootOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lenient-quarantine", func(b *testing.B) {
+		net.Files.Write(confPath, "router bgp 100\n  bgp router-id junk\n  network nonsense\n  neighbor bad remote-as 20\n")
+		defer net.Files.Write(confPath, healthy)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lab, err := emul.Load(net.Files, "localhost", "netkit")
+			if err != nil {
+				b.Fatal(err)
+			}
+			err = lab.Boot(emul.BootOptions{Lenient: true})
+			if !errors.Is(err, emul.ErrPartialBoot) {
+				b.Fatalf("err = %v, want ErrPartialBoot", err)
+			}
+			if q := lab.Quarantined(); len(q) != 1 {
+				b.Fatalf("quarantined = %v", q)
+			}
+		}
+	})
 }

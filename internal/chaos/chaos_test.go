@@ -73,9 +73,9 @@ func fig5Lab(t *testing.T) (*emul.Lab, *measure.Client, func(string) netip.Addr)
 
 func mustParse(t *testing.T, script string) Scenario {
 	t.Helper()
-	sc, err := ParseScenario(strings.NewReader(script))
-	if err != nil {
-		t.Fatal(err)
+	sc, diags := ParseScenario(strings.NewReader(script))
+	if len(diags) != 0 {
+		t.Fatalf("scenario diagnostics:\n%s", diags)
 	}
 	return sc
 }
@@ -137,9 +137,51 @@ func TestParseScenarioErrors(t *testing.T) {
 		"check reachable r1",   // wrong arity
 		"name",                 // missing label
 	} {
-		if _, err := ParseScenario(strings.NewReader(bad)); err == nil {
+		if _, diags := ParseScenario(strings.NewReader(bad)); !diags.HasErrors() {
 			t.Errorf("accepted %q", bad)
 		}
+	}
+}
+
+// The parser recovers: one pass reports every malformed line, each
+// diagnostic carries the line number and offending token, and the valid
+// steps around the errors still parse.
+func TestParseScenarioRecovery(t *testing.T) {
+	script := "name drill\n" +
+		"budget 40\n" +
+		"budget lots\n" + // line 3: bad budget — must keep 40, not reset to 0
+		"fail-link r1 r2\n" +
+		"explode r9\n" + // line 5: unknown op
+		"flap r1 r2 zero\n" + // line 6: bad count
+		"check baseline\n"
+	sc, diags := ParseScenarioFile(strings.NewReader(script), "drill.chaos")
+	errs := diags.Errors()
+	if len(errs) != 3 {
+		t.Fatalf("want 3 error diagnostics, got %d:\n%s", len(errs), diags)
+	}
+	wantLines := []int{3, 5, 6}
+	wantTokens := []string{"lots", "explode", "zero"}
+	for i, d := range errs {
+		if d.File != "drill.chaos" {
+			t.Errorf("diag %d file = %q", i, d.File)
+		}
+		if d.Line != wantLines[i] {
+			t.Errorf("diag %d line = %d, want %d (%s)", i, d.Line, wantLines[i], d)
+		}
+		if !strings.Contains(d.Message, wantTokens[i]) {
+			t.Errorf("diag %d does not name offending token %q: %s", i, wantTokens[i], d)
+		}
+	}
+	// Valid steps before and after the broken lines survived, and the step
+	// after the malformed budget kept the previous budget of 40.
+	if len(sc.Steps) != 2 {
+		t.Fatalf("steps = %d: %+v", len(sc.Steps), sc.Steps)
+	}
+	if sc.Steps[0].Op != OpFailLink || sc.Steps[0].MaxBGPRounds != 40 {
+		t.Errorf("fail-link step = %+v (budget must survive a malformed budget line)", sc.Steps[0])
+	}
+	if sc.Steps[1].Check != CheckBaseline {
+		t.Errorf("check step = %+v", sc.Steps[1])
 	}
 }
 

@@ -1,0 +1,34 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseScenario: the scenario parser must never panic on arbitrary
+// scripts — it returns a scenario, a diagnostic list, or both, and a
+// scenario accompanied by no error diagnostics must have at least one step.
+func FuzzParseScenario(f *testing.F) {
+	seeds := []string{
+		"",
+		"name drill\nbudget 40\nfail-link r1 r2\ncheck\nrestore-link r1 r2\ncheck baseline\n",
+		"# comment\nflap r1 r2 3\npartition r1 r2 r3\ncheck unreachable r1 r2\n",
+		"budget lots\nexplode\nfail-link r1\nflap r1 r2 zero\ncheck sideways\n",
+		"budget -1\nname\ncheck baseline extra\ncheck reachable r1\n",
+		"fail-node r1\nrestore-node r1\ncheck reachable r1 r2\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, script string) {
+		sc, diags := ParseScenario(strings.NewReader(script))
+		if !diags.HasErrors() && len(sc.Steps) == 0 {
+			t.Fatal("empty scenario accepted without error diagnostics")
+		}
+		for _, d := range diags {
+			if d.File == "" {
+				t.Fatalf("unlocated diagnostic: %s", d)
+			}
+		}
+	})
+}

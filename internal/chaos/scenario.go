@@ -17,6 +17,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"autonetkit/internal/emul"
 )
 
 // Op is one scenario step kind.
@@ -107,8 +109,21 @@ type Scenario struct {
 //	check baseline              # assert matrix == pre-scenario baseline
 //	check reachable A B
 //	check unreachable A B
-func ParseScenario(r io.Reader) (Scenario, error) {
+//
+// The parser runs in error-recovery mode: a malformed line is recorded as
+// an emul.Diagnostic (with its line number and offending token) and
+// parsing continues, so one pass reports every problem in the script. The
+// scenario is runnable only when the diagnostics carry no errors
+// (Diagnostics.HasErrors() == false).
+func ParseScenario(r io.Reader) (Scenario, emul.Diagnostics) {
+	return ParseScenarioFile(r, "scenario")
+}
+
+// ParseScenarioFile parses a scenario, attributing diagnostics to the
+// given file name (shown in `file:line: message` reports).
+func ParseScenarioFile(r io.Reader, file string) (Scenario, emul.Diagnostics) {
 	var sc Scenario
+	var diags emul.Diagnostics
 	budget := 0
 	scan := bufio.NewScanner(r)
 	lineno := 0
@@ -123,46 +138,60 @@ func ParseScenario(r io.Reader) (Scenario, error) {
 		}
 		fields := strings.Fields(line)
 		op, args := fields[0], fields[1:]
-		bad := func(format string, a ...any) (Scenario, error) {
-			return Scenario{}, fmt.Errorf("chaos: line %d: %s", lineno, fmt.Sprintf(format, a...))
+		bad := func(format string, a ...any) {
+			diags = append(diags, emul.Diagnostic{
+				Severity: emul.SevError, File: file, Line: lineno,
+				Message: fmt.Sprintf(format, a...),
+			})
 		}
 		switch op {
 		case "name":
 			if len(args) == 0 {
-				return bad("name needs a label")
+				bad("name needs a label")
+				continue
 			}
 			sc.Name = strings.Join(args, " ")
 		case "budget":
+			// A malformed budget is rejected outright (it must NOT silently
+			// become zero — zero means "engine default", which would mask a
+			// typo'd bound); subsequent steps keep the previous budget.
 			if len(args) != 1 {
-				return bad("budget needs one integer")
+				bad("budget needs one integer, got %q", strings.Join(args, " "))
+				continue
 			}
 			n, err := strconv.Atoi(args[0])
 			if err != nil || n < 0 {
-				return bad("bad budget %q", args[0])
+				bad("bad budget %q", args[0])
+				continue
 			}
 			budget = n
 		case string(OpFailLink), string(OpRestoreLink):
 			if len(args) != 2 {
-				return bad("%s needs two machine names", op)
+				bad("%s needs two machine names, got %q", op, strings.Join(args, " "))
+				continue
 			}
 			sc.Steps = append(sc.Steps, Step{Op: Op(op), A: args[0], B: args[1], MaxBGPRounds: budget})
 		case string(OpFailNode), string(OpRestoreNode):
 			if len(args) != 1 {
-				return bad("%s needs one machine name", op)
+				bad("%s needs one machine name, got %q", op, strings.Join(args, " "))
+				continue
 			}
 			sc.Steps = append(sc.Steps, Step{Op: Op(op), Node: args[0], MaxBGPRounds: budget})
 		case string(OpFlap):
 			if len(args) != 3 {
-				return bad("flap needs A B <times>")
+				bad("flap needs A B <times>, got %q", strings.Join(args, " "))
+				continue
 			}
 			n, err := strconv.Atoi(args[2])
 			if err != nil || n < 1 {
-				return bad("bad flap count %q", args[2])
+				bad("bad flap count %q", args[2])
+				continue
 			}
 			sc.Steps = append(sc.Steps, Step{Op: OpFlap, A: args[0], B: args[1], Times: n, MaxBGPRounds: budget})
 		case string(OpPartition):
 			if len(args) == 0 {
-				return bad("partition needs at least one machine name")
+				bad("partition needs at least one machine name")
+				continue
 			}
 			sc.Steps = append(sc.Steps, Step{Op: OpPartition, Nodes: args, MaxBGPRounds: budget})
 		case string(OpCheck):
@@ -171,29 +200,36 @@ func ParseScenario(r io.Reader) (Scenario, error) {
 				switch CheckMode(args[0]) {
 				case CheckBaseline:
 					if len(args) != 1 {
-						return bad("check baseline takes no arguments")
+						bad("check baseline takes no arguments, got %q", strings.Join(args[1:], " "))
+						continue
 					}
 					st.Check = CheckBaseline
 				case CheckReachable, CheckUnreachable:
 					if len(args) != 3 {
-						return bad("check %s needs two machine names", args[0])
+						bad("check %s needs two machine names, got %q", args[0], strings.Join(args[1:], " "))
+						continue
 					}
 					st.Check = CheckMode(args[0])
 					st.A, st.B = args[1], args[2]
 				default:
-					return bad("unknown check mode %q", args[0])
+					bad("unknown check mode %q", args[0])
+					continue
 				}
 			}
 			sc.Steps = append(sc.Steps, st)
 		default:
-			return bad("unknown operation %q", op)
+			bad("unknown operation %q", op)
 		}
 	}
 	if err := scan.Err(); err != nil {
-		return Scenario{}, fmt.Errorf("chaos: reading scenario: %w", err)
+		diags = append(diags, emul.Diagnostic{
+			Severity: emul.SevError, File: file, Message: fmt.Sprintf("reading scenario: %v", err),
+		})
 	}
-	if len(sc.Steps) == 0 {
-		return Scenario{}, fmt.Errorf("chaos: scenario has no steps")
+	if len(sc.Steps) == 0 && !diags.HasErrors() {
+		diags = append(diags, emul.Diagnostic{
+			Severity: emul.SevError, File: file, Message: "scenario has no steps",
+		})
 	}
-	return sc, nil
+	return sc, diags
 }

@@ -16,6 +16,7 @@ import (
 	"archive/tar"
 	"bytes"
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 	"path"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"autonetkit/internal/emul"
+	"autonetkit/internal/obs"
 	"autonetkit/internal/render"
 )
 
@@ -112,12 +114,23 @@ type Options struct {
 	Platform string
 	// MaxBGPRounds bounds control-plane convergence (0 = default).
 	MaxBGPRounds int
+	// Lenient boots in lenient mode: devices whose configurations carry
+	// error diagnostics are quarantined and the surviving topology boots;
+	// Run then returns the usable deployment together with an error
+	// wrapping emul.ErrPartialBoot. Strict mode (the default) fails the
+	// whole deployment on any config error.
+	Lenient bool
 	// OnEvent, when set, receives progress events as they happen.
 	OnEvent func(Event)
+	// Obs, when set, collects deployment counters (e.g. quarantined
+	// devices).
+	Obs *obs.Collector
 }
 
 // Run executes the full deployment of a rendered file set and returns the
-// started lab.
+// started lab. Under Options.Lenient a partial boot returns a non-nil
+// Deployment (with a running lab) alongside an error satisfying
+// errors.Is(err, emul.ErrPartialBoot).
 func Run(fs *render.FileSet, opts Options) (*Deployment, error) {
 	if opts.Host == "" {
 		opts.Host = "localhost"
@@ -150,13 +163,21 @@ func Run(fs *render.FileSet, opts Options) (*Deployment, error) {
 		return nil, err
 	}
 	d.emit(Event{"lstart", fmt.Sprintf("launching %d machines", len(lab.VMNames()))})
-	if err := lab.Start(opts.MaxBGPRounds); err != nil {
-		return nil, err
+	bootErr := lab.Boot(emul.BootOptions{MaxBGPRounds: opts.MaxBGPRounds, Lenient: opts.Lenient})
+	if bootErr != nil && !errors.Is(bootErr, emul.ErrPartialBoot) {
+		return nil, bootErr
 	}
 	for _, ev := range lab.Events() {
 		d.emit(Event{"machine", ev})
 	}
 	d.lab = lab
+	if bootErr != nil {
+		q := lab.Quarantined()
+		opts.Obs.Add(obs.CounterDevicesQuarantined, int64(len(q)))
+		d.emit(Event{"quarantine", fmt.Sprintf("%d machines quarantined (%s)", len(q), strings.Join(q, ", "))})
+		d.emit(Event{"done", "lab running (partial)"})
+		return d, bootErr
+	}
 	d.emit(Event{"done", "lab running"})
 	return d, nil
 }

@@ -1,6 +1,7 @@
 package deploy
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -29,6 +30,11 @@ type PoolOptions struct {
 	Platform string
 	// MaxBGPRounds bounds control-plane convergence (0 = default).
 	MaxBGPRounds int
+	// Lenient boots in lenient mode: devices with config error
+	// diagnostics are quarantined instead of failing the launch, and
+	// RunPool returns the usable deployment alongside an error wrapping
+	// emul.ErrPartialBoot.
+	Lenient bool
 	// Retry governs per-host boot attempts.
 	Retry RetryPolicy
 	// Boot, when set, is invoked per host boot attempt (fault-injection
@@ -163,15 +169,22 @@ func RunPool(fs *render.FileSet, pool *HostPool, opts PoolOptions) (*PoolDeploym
 
 	d.emit(Event{"lstart", fmt.Sprintf("launching %d machines", len(lab.VMNames()))})
 	lspan := opts.Obs.StartSpan("Launch")
-	err = lab.Start(opts.MaxBGPRounds)
+	err = lab.Boot(emul.BootOptions{MaxBGPRounds: opts.MaxBGPRounds, Lenient: opts.Lenient})
 	lspan.End()
-	if err != nil {
+	if err != nil && !errors.Is(err, emul.ErrPartialBoot) {
 		return d, err
 	}
 	for _, ev := range lab.Events() {
 		d.emit(Event{"machine", ev})
 	}
 	d.lab = lab
+	if err != nil {
+		q := lab.Quarantined()
+		opts.Obs.Add(obs.CounterDevicesQuarantined, int64(len(q)))
+		d.emit(Event{"quarantine", fmt.Sprintf("%d machines quarantined (%s)", len(q), strings.Join(q, ", "))})
+		d.emit(Event{"done", "lab running (partial)"})
+		return d, err
+	}
 	d.emit(Event{"done", "lab running"})
 	return d, nil
 }

@@ -32,6 +32,9 @@ func (l *Lab) Exec(machine, command string) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("emul: no machine %q", machine)
 	}
+	if vm.Config == nil {
+		return "", fmt.Errorf("emul: machine %q was quarantined at boot", machine)
+	}
 	fields := strings.Fields(command)
 	if len(fields) == 0 {
 		return "", fmt.Errorf("emul: empty command")

@@ -32,14 +32,27 @@ func (l *Lab) incidentPrecheck() error {
 	return nil
 }
 
-func (l *Lab) vmPair(a, b string) (*VM, *VM, error) {
-	va, ok := l.vms[a]
+// liveVM resolves a machine that is part of the running topology; a
+// machine quarantined by a lenient boot cannot take part in incidents.
+func (l *Lab) liveVM(name string) (*VM, error) {
+	vm, ok := l.vms[name]
 	if !ok {
-		return nil, nil, fmt.Errorf("emul: no machine %q", a)
+		return nil, fmt.Errorf("emul: no machine %q", name)
 	}
-	vb, ok := l.vms[b]
-	if !ok {
-		return nil, nil, fmt.Errorf("emul: no machine %q", b)
+	if vm.Config == nil {
+		return nil, fmt.Errorf("emul: machine %q was quarantined at boot", name)
+	}
+	return vm, nil
+}
+
+func (l *Lab) vmPair(a, b string) (*VM, *VM, error) {
+	va, err := l.liveVM(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	vb, err := l.liveVM(b)
+	if err != nil {
+		return nil, nil, err
 	}
 	return va, vb, nil
 }
@@ -143,9 +156,9 @@ func (l *Lab) FailNode(name string) error {
 	if err := l.incidentPrecheck(); err != nil {
 		return err
 	}
-	vm, ok := l.vms[name]
-	if !ok {
-		return fmt.Errorf("emul: no machine %q", name)
+	vm, err := l.liveVM(name)
+	if err != nil {
+		return err
 	}
 	var kept []routing.InterfaceConfig
 	removed := 0
@@ -174,9 +187,9 @@ func (l *Lab) RestoreNode(name string) error {
 	if err := l.incidentPrecheck(); err != nil {
 		return err
 	}
-	vm, ok := l.vms[name]
-	if !ok {
-		return fmt.Errorf("emul: no machine %q", name)
+	vm, err := l.liveVM(name)
+	if err != nil {
+		return err
 	}
 	base := l.baseline[name]
 	restored := len(base.Interfaces) - len(vm.Config.Interfaces)
@@ -203,8 +216,8 @@ func (l *Lab) Partition(inside []string) error {
 	}
 	in := map[string]bool{}
 	for _, name := range inside {
-		if _, ok := l.vms[name]; !ok {
-			return fmt.Errorf("emul: no machine %q", name)
+		if _, err := l.liveVM(name); err != nil {
+			return err
 		}
 		in[name] = true
 	}
@@ -230,7 +243,7 @@ func boundarySubnets(l *Lab, vm *VM, in map[string]bool) []netip.Prefix {
 	seen := map[netip.Prefix]bool{}
 	var out []netip.Prefix
 	for _, other := range l.order {
-		if in[other] {
+		if in[other] || l.vms[other].Config == nil {
 			continue
 		}
 		for _, p := range sharedSubnets(vm.Config, l.vms[other].Config) {

@@ -10,15 +10,21 @@ import (
 )
 
 // parseIOSConfig recovers a DeviceConfig from a rendered IOS configuration
-// (one file per router, as produced for the Dynagen platform).
-func parseIOSConfig(hostname, conf string) (*routing.DeviceConfig, error) {
+// (one file per router, as produced for the Dynagen platform). Malformed
+// statements are recorded as diagnostics and the parse continues with the
+// next statement; a section whose header is unusable (e.g. `router bgp`
+// with a bad ASN) is skipped wholesale so its body cannot be
+// misattributed.
+func parseIOSConfig(hostname, conf string) (*routing.DeviceConfig, Diagnostics) {
 	dc := &routing.DeviceConfig{Hostname: hostname}
+	sink := &diagSink{device: hostname, file: hostname + ".cfg"}
 	var bgp *routing.BGPConfig
 	var ospf *routing.OSPFConfig
 	type rmapRef struct {
 		nbr  netip.Addr
 		name string
 		out  bool
+		line int
 	}
 	var rmapRefs []rmapRef
 	rmapValues := map[string][2]int{}
@@ -44,8 +50,8 @@ func parseIOSConfig(hostname, conf string) (*routing.DeviceConfig, error) {
 		if len(fields) == 0 || trimmed == "!" {
 			continue
 		}
-		fail := func(msg string) error {
-			return fmt.Errorf("emul: %s ios line %d: %s in %q", hostname, lineNo+1, msg, trimmed)
+		fail := func(msg string) {
+			sink.errorf(lineNo+1, "%s in %q", msg, trimmed)
 		}
 		// Top-level statements reset the section.
 		if !strings.HasPrefix(line, " ") {
@@ -58,7 +64,8 @@ func parseIOSConfig(hostname, conf string) (*routing.DeviceConfig, error) {
 				}
 			case "interface":
 				if len(fields) < 2 {
-					return nil, fail("interface without name")
+					fail("interface without name")
+					continue
 				}
 				section = "interface"
 				isLoopback = strings.HasPrefix(strings.ToLower(fields[1]), "lo")
@@ -68,7 +75,8 @@ func parseIOSConfig(hostname, conf string) (*routing.DeviceConfig, error) {
 				}
 			case "router":
 				if len(fields) < 2 {
-					return nil, fail("bare router")
+					fail("bare router")
+					continue
 				}
 				switch fields[1] {
 				case "ospf":
@@ -80,18 +88,21 @@ func parseIOSConfig(hostname, conf string) (*routing.DeviceConfig, error) {
 					section = "ospf"
 				case "bgp":
 					if len(fields) < 3 {
-						return nil, fail("router bgp without ASN")
+						fail("router bgp without ASN")
+						continue
 					}
 					asn, err := strconv.Atoi(fields[2])
 					if err != nil {
-						return nil, fail("bad ASN")
+						fail("bad ASN")
+						continue
 					}
 					bgp = &routing.BGPConfig{ASN: asn}
 					section = "bgp"
 				}
 			case "route-map":
 				if len(fields) < 2 {
-					return nil, fail("bare route-map")
+					fail("bare route-map")
+					continue
 				}
 				curRmap = fields[1]
 				if _, ok := rmapValues[curRmap]; !ok {
@@ -108,11 +119,13 @@ func parseIOSConfig(hostname, conf string) (*routing.DeviceConfig, error) {
 			case fields[0] == "ip" && len(fields) >= 4 && fields[1] == "address":
 				addr, err := netip.ParseAddr(fields[2])
 				if err != nil {
-					return nil, fail("bad address")
+					fail("bad address")
+					continue
 				}
 				bits, err := maskBits(fields[3])
 				if err != nil {
-					return nil, fail(err.Error())
+					fail(err.Error())
+					continue
 				}
 				if isLoopback {
 					dc.Loopback = addr
@@ -126,7 +139,8 @@ func parseIOSConfig(hostname, conf string) (*routing.DeviceConfig, error) {
 			case fields[0] == "ip" && len(fields) == 4 && fields[1] == "ospf" && fields[2] == "cost":
 				cost, err := strconv.Atoi(fields[3])
 				if err != nil {
-					return nil, fail("bad cost")
+					fail("bad cost")
+					continue
 				}
 				if curIface >= 0 {
 					dc.Interfaces[curIface].Cost = cost
@@ -143,15 +157,18 @@ func parseIOSConfig(hostname, conf string) (*routing.DeviceConfig, error) {
 			if fields[0] == "network" && len(fields) == 5 && fields[3] == "area" {
 				base, err := netip.ParseAddr(fields[1])
 				if err != nil {
-					return nil, fail("bad network address")
+					fail("bad network address")
+					continue
 				}
 				bits, err := wildcardBits(fields[2])
 				if err != nil {
-					return nil, fail(err.Error())
+					fail(err.Error())
+					continue
 				}
 				area, err := strconv.Atoi(fields[4])
 				if err != nil {
-					return nil, fail("bad area")
+					fail("bad area")
+					continue
 				}
 				ospf.Networks = append(ospf.Networks, routing.OSPFNetwork{
 					Prefix: netip.PrefixFrom(base, bits).Masked(), Area: area,
@@ -162,47 +179,65 @@ func parseIOSConfig(hostname, conf string) (*routing.DeviceConfig, error) {
 			case fields[0] == "bgp" && len(fields) == 3 && fields[1] == "router-id":
 				rid, err := netip.ParseAddr(fields[2])
 				if err != nil {
-					return nil, fail("bad router-id")
+					fail("bad router-id")
+					continue
 				}
 				bgp.RouterID = rid
 			case fields[0] == "network" && len(fields) == 4 && fields[2] == "mask":
 				base, err := netip.ParseAddr(fields[1])
 				if err != nil {
-					return nil, fail("bad network")
+					fail("bad network")
+					continue
 				}
 				bits, err := maskBits(fields[3])
 				if err != nil {
-					return nil, fail(err.Error())
+					fail(err.Error())
+					continue
 				}
 				bgp.Networks = append(bgp.Networks, netip.PrefixFrom(base, bits).Masked())
 			case fields[0] == "neighbor" && len(fields) >= 3:
 				addr, err := netip.ParseAddr(fields[1])
 				if err != nil {
-					return nil, fail("bad neighbor")
+					fail("bad neighbor")
+					continue
 				}
 				nbr := getNbr(addr)
 				switch fields[2] {
 				case "remote-as":
+					if len(fields) < 4 {
+						fail("remote-as without ASN")
+						continue
+					}
 					asn, err := strconv.Atoi(fields[3])
 					if err != nil {
-						return nil, fail("bad remote-as")
+						fail("bad remote-as")
+						continue
 					}
 					nbr.RemoteASN = asn
 				case "update-source":
+					if len(fields) < 4 {
+						fail("update-source without interface")
+						continue
+					}
 					nbr.UpdateSource = fields[3]
 				case "route-reflector-client":
 					nbr.RRClient = true
 				case "description":
 					nbr.Description = strings.Join(fields[3:], " ")
 				case "route-map":
-					rmapRefs = append(rmapRefs, rmapRef{addr, fields[3], len(fields) > 4 && fields[4] == "out"})
+					if len(fields) < 4 {
+						fail("route-map without name")
+						continue
+					}
+					rmapRefs = append(rmapRefs, rmapRef{addr, fields[3], len(fields) > 4 && fields[4] == "out", lineNo + 1})
 				}
 			}
 		case "route-map":
 			if fields[0] == "set" && len(fields) >= 3 {
 				v, err := strconv.Atoi(fields[len(fields)-1])
 				if err != nil {
-					return nil, fail("bad set value")
+					fail("bad set value")
+					continue
 				}
 				vals := rmapValues[curRmap]
 				switch fields[1] {
@@ -219,7 +254,8 @@ func parseIOSConfig(hostname, conf string) (*routing.DeviceConfig, error) {
 		for _, ref := range rmapRefs {
 			vals, ok := rmapValues[ref.name]
 			if !ok {
-				return nil, fmt.Errorf("emul: %s: undefined route-map %q", hostname, ref.name)
+				sink.errorf(ref.line, "undefined route-map %q", ref.name)
+				continue
 			}
 			nbr := getNbr(ref.nbr)
 			if ref.out {
@@ -231,10 +267,12 @@ func parseIOSConfig(hostname, conf string) (*routing.DeviceConfig, error) {
 	}
 	dc.OSPF = ospf
 	dc.BGP = bgp
-	if err := dc.Validate(); err != nil {
-		return nil, err
+	if !sink.diags.HasErrors() {
+		if err := dc.Validate(); err != nil {
+			sink.errorf(0, "%v", err)
+		}
 	}
-	return dc, nil
+	return dc, sink.diags
 }
 
 // wildcardBits converts an IOS wildcard mask (0.0.0.3) to a prefix length.

@@ -1,6 +1,7 @@
 package emul
 
 import (
+	"errors"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -57,6 +58,32 @@ type Lab struct {
 	started   bool
 	budget    routing.ConvergenceBudget
 	events    []string
+
+	// diags accumulates every Diagnostic found while ingesting this lab's
+	// configuration tree (at Load for C-BGP, at Boot for the per-machine
+	// platforms). quarantined lists the devices a lenient boot excluded
+	// because their configs carried error-level diagnostics, sorted.
+	diags       Diagnostics
+	quarantined []string
+}
+
+// Diagnostics returns every problem found while parsing this lab's
+// configurations, in report order. Non-empty after Boot (or after Load on
+// C-BGP labs); includes warnings as well as errors.
+func (l *Lab) Diagnostics() Diagnostics {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.diags.Sorted()
+}
+
+// Quarantined returns the devices a lenient boot excluded from the lab,
+// sorted. Empty after a fully healthy (or strict) boot.
+func (l *Lab) Quarantined() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]string, len(l.quarantined))
+	copy(out, l.quarantined)
+	return out
 }
 
 // Events returns the boot/progress log (the deployment monitor's view).
@@ -283,7 +310,7 @@ func (l *Lab) loadNetkit(sub *render.FileSet, root string) error {
 
 // loadFlatConfigs handles single-file-per-router platforms (Dynagen IOS,
 // Junosphere JunOS).
-func (l *Lab) loadFlatConfigs(sub *render.FileSet, root, ext string, parse func(name, conf string) (*routing.DeviceConfig, error)) error {
+func (l *Lab) loadFlatConfigs(sub *render.FileSet, root, ext string, parse flatParser) error {
 	var names []string
 	for _, p := range sub.Paths() {
 		rel := strings.TrimPrefix(p, root)
@@ -302,16 +329,16 @@ func (l *Lab) loadFlatConfigs(sub *render.FileSet, root, ext string, parse func(
 	return nil
 }
 
-// loadCBGP parses the single lab.cli script.
+// loadCBGP parses the single lab.cli script. Parse problems are recorded
+// as diagnostics on the lab (the whole script is one file, so they are
+// known at load time); Boot decides what to do with them per mode.
 func (l *Lab) loadCBGP(sub *render.FileSet, root string) error {
 	script, ok := sub.Read(root + "lab.cli")
 	if !ok {
 		return fmt.Errorf("emul: cbgp lab has no lab.cli")
 	}
-	parsed, err := parseCBGPScript(script)
-	if err != nil {
-		return err
-	}
+	parsed, diags := parseCBGPScript(script)
+	l.diags = append(l.diags, diags...)
 	for _, dc := range parsed.devices {
 		vm := &VM{Name: dc.Hostname, Files: map[string]string{"lab.cli": script}, Config: dc, Booted: true}
 		l.vms[dc.Hostname] = vm
@@ -322,41 +349,126 @@ func (l *Lab) loadCBGP(sub *render.FileSet, root string) error {
 }
 
 // flatParse is the per-file parser for flat-config platforms.
-type flatParser = func(name, conf string) (*routing.DeviceConfig, error)
+type flatParser = func(name, conf string) (*routing.DeviceConfig, Diagnostics)
+
+// ErrPartialBoot is returned (wrapped) by a lenient Boot that quarantined
+// at least one device: the surviving topology is up and measurable, but
+// the lab is degraded. Inspect Quarantined() and Diagnostics() for the
+// report.
+var ErrPartialBoot = errors.New("emul: partial boot: devices quarantined")
+
+// BootOptions parameterises Boot.
+type BootOptions struct {
+	// MaxBGPRounds bounds control-plane convergence (<= 0 = default).
+	MaxBGPRounds int
+	// Lenient selects degraded-boot semantics: devices whose configs carry
+	// error-level diagnostics are quarantined and the surviving topology
+	// boots, returning ErrPartialBoot. When false (strict, the default) any
+	// error-level diagnostic fails the boot with a *DiagnosticError that
+	// lists every problem found in the pass.
+	Lenient bool
+}
 
 // Start boots every machine (parsing its configuration), converges OSPF,
 // runs BGP to convergence or detected oscillation, and builds the data
-// plane. maxBGPRounds <= 0 selects the default.
+// plane. maxBGPRounds <= 0 selects the default. Start is strict: one bad
+// config fails the whole boot (but still reports every diagnostic found).
 func (l *Lab) Start(maxBGPRounds int) error {
+	return l.Boot(BootOptions{MaxBGPRounds: maxBGPRounds})
+}
+
+// Boot boots the lab under the given options. Strict mode fails on any
+// error-level config diagnostic; lenient mode quarantines the offending
+// devices, boots the survivors, and returns ErrPartialBoot (wrapped) so
+// measurement and chaos runs can proceed on the degraded lab.
+func (l *Lab) Boot(opts BootOptions) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.started {
 		return fmt.Errorf("emul: lab already started")
 	}
 	l.logf("starting lab %s/%s (%d machines)", l.Host, l.Platform, len(l.order))
+
+	// Parse every machine's configuration, accumulating all diagnostics
+	// before deciding anything: one boot reports every problem at once.
+	for _, name := range l.order {
+		vm := l.vms[name]
+		if vm.Config != nil { // C-BGP devices parse at Load
+			continue
+		}
+		dc, diags := l.bootVM(vm)
+		l.diags = append(l.diags, diags...)
+		if !diags.HasErrors() {
+			vm.Config = dc
+		}
+	}
+
+	// Partition error diagnostics into per-device (quarantinable) and
+	// lab-wide (fatal even in lenient mode: nothing to quarantine).
+	badDevice := map[string]bool{}
+	labWide := false
+	for _, d := range l.diags {
+		if d.Severity != SevError {
+			continue
+		}
+		if d.Device == "" {
+			labWide = true
+			continue
+		}
+		badDevice[d.Device] = true
+	}
+	if len(badDevice) > 0 || labWide {
+		if !opts.Lenient || labWide {
+			return &DiagnosticError{Diags: l.diags.Sorted()}
+		}
+		for name := range badDevice {
+			if _, ok := l.vms[name]; !ok {
+				// Diagnostic for a device that is not a lab machine (e.g. a
+				// renamed hostname): nothing to quarantine.
+				return &DiagnosticError{Diags: l.diags.Sorted()}
+			}
+		}
+		if len(badDevice) == len(l.order) {
+			// Nothing would survive; a zero-machine "partial" boot is a
+			// failed boot.
+			return &DiagnosticError{Diags: l.diags.Sorted()}
+		}
+		l.quarantined = make([]string, 0, len(badDevice))
+		for name := range badDevice {
+			l.quarantined = append(l.quarantined, name)
+			vm := l.vms[name]
+			vm.Config = nil
+			vm.Booted = false
+			l.logf("machine %s QUARANTINED (%d config diagnostics)", name, len(l.diags.ForDevice(name)))
+		}
+		sort.Strings(l.quarantined)
+	}
+
 	for _, name := range l.order {
 		vm := l.vms[name]
 		if vm.Config == nil {
-			dc, err := l.bootVM(vm)
-			if err != nil {
-				return fmt.Errorf("emul: booting %s: %w", name, err)
-			}
-			vm.Config = dc
+			continue
 		}
 		vm.Booted = true
 		l.logf("machine %s booted (%d interfaces)", name, len(vm.Config.Interfaces))
 	}
-	// Snapshot every machine's boot-time config so incidents are
+	// Snapshot every surviving machine's boot-time config so incidents are
 	// reversible (RestoreLink/RestoreNode re-install from these).
 	l.baseline = make(map[string]*routing.DeviceConfig, len(l.order))
 	for _, name := range l.order {
-		l.baseline[name] = cloneDeviceConfig(l.vms[name].Config)
+		if l.vms[name].Config != nil {
+			l.baseline[name] = cloneDeviceConfig(l.vms[name].Config)
+		}
 	}
-	l.budget = routing.ConvergenceBudget{MaxBGPRounds: maxBGPRounds}
+	l.budget = routing.ConvergenceBudget{MaxBGPRounds: opts.MaxBGPRounds}
 	if err := l.converge(); err != nil {
 		return err
 	}
 	l.started = true
+	if len(l.quarantined) > 0 {
+		return fmt.Errorf("%w: %d of %d machines (%s)", ErrPartialBoot,
+			len(l.quarantined), len(l.order), strings.Join(l.quarantined, ", "))
+	}
 	return nil
 }
 
@@ -364,9 +476,13 @@ func (l *Lab) Start(maxBGPRounds int) error {
 // machines' current configurations; called at Start and after incident
 // injection (FailLink/FailNode).
 func (l *Lab) converge() error {
+	// Quarantined machines (nil Config) are not part of the running
+	// topology: the control plane and data plane build over the survivors.
 	var devices []*routing.DeviceConfig
 	for _, name := range l.order {
-		devices = append(devices, l.vms[name].Config)
+		if l.vms[name].Config != nil {
+			devices = append(devices, l.vms[name].Config)
+		}
 	}
 	// IGP convergence. C-BGP labs carry a pre-parsed link-graph IGP that
 	// is preserved across reconvergence. OSPF and IS-IS devices each get
@@ -438,8 +554,9 @@ func syntaxOfPlatform(platform string) string {
 	}
 }
 
-// bootVM parses a machine's configuration files per platform.
-func (l *Lab) bootVM(vm *VM) (*routing.DeviceConfig, error) {
+// bootVM parses a machine's configuration files per platform, returning
+// the recovered config plus every diagnostic found in the machine's files.
+func (l *Lab) bootVM(vm *VM) (*routing.DeviceConfig, Diagnostics) {
 	switch l.Platform {
 	case "netkit":
 		return parseQuaggaVM(vm.Name, vm.Files)
@@ -448,7 +565,8 @@ func (l *Lab) bootVM(vm *VM) (*routing.DeviceConfig, error) {
 	case "junosphere":
 		return l.flatParse(vm.Name, vm.Files[vm.Name+".conf"])
 	}
-	return nil, fmt.Errorf("emul: cannot boot on platform %q", l.Platform)
+	return nil, Diagnostics{{Severity: SevError, Device: vm.Name,
+		Message: fmt.Sprintf("cannot boot on platform %q", l.Platform)}}
 }
 
 // buildDataplane installs connected, OSPF and BGP routes into per-VM FIBs.

@@ -19,11 +19,15 @@ type cbgpLab struct {
 }
 
 // parseCBGPScript parses the lab.cli script the renderer produces.
-func parseCBGPScript(script string) (*cbgpLab, error) {
+// Malformed lines are recorded as diagnostics — attributed to the current
+// router block's device when inside one — and the parse continues, so one
+// pass surfaces every problem in the script.
+func parseCBGPScript(script string) (*cbgpLab, Diagnostics) {
 	lab := &cbgpLab{igp: newCBGPIGP()}
 	byAddr := map[netip.Addr]*routing.DeviceConfig{}
 	var current *routing.DeviceConfig
 	var currentPeer netip.Addr
+	sink := &diagSink{file: "lab.cli"}
 
 	for lineNo, raw := range strings.Split(script, "\n") {
 		line := strings.TrimSpace(raw)
@@ -31,14 +35,22 @@ func parseCBGPScript(script string) (*cbgpLab, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		fail := func(msg string) error {
-			return fmt.Errorf("emul: cbgp line %d: %s in %q", lineNo+1, msg, line)
+		fail := func(msg string) {
+			dev := ""
+			if current != nil {
+				dev = current.Hostname
+			}
+			sink.diags = append(sink.diags, Diagnostic{
+				Severity: SevError, Device: dev, File: sink.file, Line: lineNo + 1,
+				Message: fmt.Sprintf("%s in %q", msg, line),
+			})
 		}
 		switch {
 		case fields[0] == "net" && len(fields) >= 4 && fields[1] == "add" && fields[2] == "node":
 			addr, err := netip.ParseAddr(fields[3])
 			if err != nil {
-				return nil, fail("bad node address")
+				fail("bad node address " + strconv.Quote(fields[3]))
+				continue
 			}
 			dc := &routing.DeviceConfig{
 				Hostname: addr.String(),
@@ -54,65 +66,82 @@ func parseCBGPScript(script string) (*cbgpLab, error) {
 			a, err1 := netip.ParseAddr(fields[3])
 			b, err2 := netip.ParseAddr(fields[4])
 			if err1 != nil || err2 != nil {
-				return nil, fail("bad link endpoints")
+				fail("bad link endpoints")
+				continue
 			}
 			w := 1
 			if len(fields) >= 6 {
 				w, err1 = strconv.Atoi(fields[5])
 				if err1 != nil {
-					return nil, fail("bad link weight")
+					fail("bad link weight " + strconv.Quote(fields[5]))
+					continue
 				}
 			}
 			lab.igp.addLink(a, b, w)
-		case fields[0] == "bgp" && len(fields) >= 4 && fields[1] == "add" && fields[2] == "router":
+		case fields[0] == "bgp" && len(fields) >= 5 && fields[1] == "add" && fields[2] == "router":
 			asn, err := strconv.Atoi(fields[3])
 			if err != nil {
-				return nil, fail("bad ASN")
+				fail("bad ASN " + strconv.Quote(fields[3]))
+				continue
 			}
 			addr, err := netip.ParseAddr(fields[4])
 			if err != nil {
-				return nil, fail("bad router address")
+				fail("bad router address " + strconv.Quote(fields[4]))
+				continue
 			}
 			dc, ok := byAddr[addr]
 			if !ok {
-				return nil, fail("bgp router for undeclared node")
+				fail("bgp router for undeclared node")
+				continue
 			}
 			dc.BGP = &routing.BGPConfig{ASN: asn, RouterID: addr}
 		case fields[0] == "bgp" && len(fields) >= 3 && fields[1] == "router":
 			addr, err := netip.ParseAddr(fields[2])
 			if err != nil {
-				return nil, fail("bad router address")
+				fail("bad router address " + strconv.Quote(fields[2]))
+				continue
 			}
 			current = byAddr[addr]
 			if current == nil || current.BGP == nil {
-				return nil, fail("router block for undeclared bgp router")
+				current = nil
+				fail("router block for undeclared bgp router")
+				continue
 			}
 		case fields[0] == "add" && len(fields) >= 3 && fields[1] == "network" && current != nil:
 			p, err := netip.ParsePrefix(fields[2])
 			if err != nil {
-				return nil, fail("bad network")
+				fail("bad network " + strconv.Quote(fields[2]))
+				continue
 			}
 			current.BGP.Networks = append(current.BGP.Networks, p.Masked())
 		case fields[0] == "add" && len(fields) >= 4 && fields[1] == "peer" && current != nil:
 			asn, err := strconv.Atoi(fields[2])
 			if err != nil {
-				return nil, fail("bad peer ASN")
+				fail("bad peer ASN " + strconv.Quote(fields[2]))
+				continue
 			}
 			addr, err := netip.ParseAddr(fields[3])
 			if err != nil {
-				return nil, fail("bad peer address")
+				fail("bad peer address " + strconv.Quote(fields[3]))
+				continue
+			}
+			if findNeighbor(current.BGP, addr) != nil {
+				fail("duplicate peer " + addr.String())
+				continue
 			}
 			current.BGP.Neighbors = append(current.BGP.Neighbors, routing.BGPNeighbor{Addr: addr, RemoteASN: asn})
 			currentPeer = addr
 		case fields[0] == "peer" && len(fields) >= 3 && current != nil:
 			addr, err := netip.ParseAddr(fields[1])
 			if err != nil {
-				return nil, fail("bad peer address")
+				fail("bad peer address " + strconv.Quote(fields[1]))
+				continue
 			}
 			currentPeer = addr
 			nbr := findNeighbor(current.BGP, currentPeer)
 			if nbr == nil {
-				return nil, fail("statement for undeclared peer")
+				fail("statement for undeclared peer")
+				continue
 			}
 			switch fields[2] {
 			case "rr-client":
@@ -130,7 +159,8 @@ func parseCBGPScript(script string) (*cbgpLab, error) {
 					if len(av) == 2 {
 						n, err := strconv.Atoi(av[1])
 						if err != nil {
-							return nil, fail("bad filter action value")
+							fail("bad filter action value " + strconv.Quote(av[1]))
+							continue
 						}
 						switch av[0] {
 						case "local-pref":
@@ -155,10 +185,12 @@ func parseCBGPScript(script string) (*cbgpLab, error) {
 	// "connectivity" is the link graph. Validate basic consistency.
 	for _, dc := range lab.devices {
 		if err := dc.Validate(); err != nil {
-			return nil, err
+			sink.diags = append(sink.diags, Diagnostic{
+				Severity: SevError, Device: dc.Hostname, File: sink.file, Message: err.Error(),
+			})
 		}
 	}
-	return lab, nil
+	return lab, sink.diags
 }
 
 func findNeighbor(bgp *routing.BGPConfig, addr netip.Addr) *routing.BGPNeighbor {

@@ -1,7 +1,6 @@
 package emul
 
 import (
-	"fmt"
 	"net/netip"
 	"strconv"
 	"strings"
@@ -10,12 +9,17 @@ import (
 )
 
 // JunOS configurations are brace-structured; parse into a generic tree and
-// extract the protocol state from it.
+// extract the protocol state from it. Both passes recover from malformed
+// input: the tree parser skips unbalanced/unterminated lines (recording a
+// diagnostic for each) and the extraction pass skips the offending stanza,
+// so every independent problem in a config surfaces in one boot.
 
 type junosNode struct {
 	name     string
+	line     int // 1-based source line of the block header (0 for root)
 	children []*junosNode
 	leaves   []string // terminal statements (semicolon-terminated)
+	leafLine []int    // source line of each leaf
 }
 
 func (n *junosNode) child(name string) *junosNode {
@@ -50,8 +54,12 @@ func (n *junosNode) leafValue(key string) (string, bool) {
 	return "", false
 }
 
-// parseJunosTree converts brace-structured text into a tree.
-func parseJunosTree(conf string) (*junosNode, error) {
+// parseJunosTree converts brace-structured text into a tree. Structural
+// problems — an unmatched '}', a statement without ';' or '{', blocks
+// still open at EOF — are recorded and the parse continues, closing what
+// it can: a partial tree plus the full problem list beats dying on the
+// first bad brace.
+func parseJunosTree(conf string, sink *diagSink) *junosNode {
 	root := &junosNode{name: "(root)"}
 	stack := []*junosNode{root}
 	for lineNo, raw := range strings.Split(conf, "\n") {
@@ -62,35 +70,36 @@ func parseJunosTree(conf string) (*junosNode, error) {
 		switch {
 		case strings.HasSuffix(line, "{"):
 			name := strings.TrimSpace(strings.TrimSuffix(line, "{"))
-			node := &junosNode{name: name}
+			node := &junosNode{name: name, line: lineNo + 1}
 			top := stack[len(stack)-1]
 			top.children = append(top.children, node)
 			stack = append(stack, node)
 		case line == "}":
 			if len(stack) == 1 {
-				return nil, fmt.Errorf("emul: junos line %d: unbalanced '}'", lineNo+1)
+				sink.errorf(lineNo+1, "unbalanced '}'")
+				continue
 			}
 			stack = stack[:len(stack)-1]
 		case strings.HasSuffix(line, ";"):
 			top := stack[len(stack)-1]
 			top.leaves = append(top.leaves, strings.TrimSuffix(line, ";"))
+			top.leafLine = append(top.leafLine, lineNo+1)
 		default:
-			return nil, fmt.Errorf("emul: junos line %d: unterminated statement %q", lineNo+1, line)
+			sink.errorf(lineNo+1, "unterminated statement %q", line)
 		}
 	}
 	if len(stack) != 1 {
-		return nil, fmt.Errorf("emul: junos config has %d unclosed blocks", len(stack)-1)
+		sink.errorf(0, "config has %d unclosed block(s), first %q opened on line %d",
+			len(stack)-1, stack[1].name, stack[1].line)
 	}
-	return root, nil
+	return root
 }
 
 // parseJunosConfig recovers a DeviceConfig from a rendered JunOS
 // configuration.
-func parseJunosConfig(hostname, conf string) (*routing.DeviceConfig, error) {
-	root, err := parseJunosTree(conf)
-	if err != nil {
-		return nil, err
-	}
+func parseJunosConfig(hostname, conf string) (*routing.DeviceConfig, Diagnostics) {
+	sink := &diagSink{device: hostname, file: hostname + ".conf"}
+	root := parseJunosTree(conf, sink)
 	dc := &routing.DeviceConfig{Hostname: hostname}
 	if sys := root.child("system"); sys != nil {
 		if hn, ok := sys.leafValue("host-name"); ok {
@@ -115,7 +124,8 @@ func parseJunosConfig(hostname, conf string) (*routing.DeviceConfig, error) {
 			}
 			p, err := netip.ParsePrefix(addrStr)
 			if err != nil {
-				return nil, fmt.Errorf("emul: %s: junos interface %s: bad address %q", hostname, name, addrStr)
+				sink.errorf(inet.line, "interface %s: bad address %q", name, addrStr)
+				continue
 			}
 			if strings.HasPrefix(name, "lo") {
 				dc.Loopback = p.Addr()
@@ -137,13 +147,15 @@ func parseJunosConfig(hostname, conf string) (*routing.DeviceConfig, error) {
 			for _, area := range ospf.childrenWithPrefix("area ") {
 				areaNum, err := strconv.Atoi(strings.TrimPrefix(area.name, "area "))
 				if err != nil {
-					return nil, fmt.Errorf("emul: %s: bad ospf area %q", hostname, area.name)
+					sink.errorf(area.line, "bad ospf area %q", area.name)
+					continue
 				}
 				for _, ifn := range area.childrenWithPrefix("interface ") {
 					pStr := strings.TrimPrefix(ifn.name, "interface ")
 					p, err := netip.ParsePrefix(pStr)
 					if err != nil {
-						return nil, fmt.Errorf("emul: %s: bad ospf interface %q", hostname, pStr)
+						sink.errorf(ifn.line, "bad ospf interface %q", pStr)
+						continue
 					}
 					cfg.Networks = append(cfg.Networks, routing.OSPFNetwork{Prefix: p.Masked(), Area: areaNum})
 					if _, ok := ifn.leafValue("passive"); ok {
@@ -156,7 +168,8 @@ func parseJunosConfig(hostname, conf string) (*routing.DeviceConfig, error) {
 					if mStr, ok := ifn.leafValue("metric"); ok {
 						m, err := strconv.Atoi(mStr)
 						if err != nil {
-							return nil, fmt.Errorf("emul: %s: bad ospf metric %q", hostname, mStr)
+							sink.errorf(ifn.line, "bad ospf metric %q", mStr)
+							continue
 						}
 						for i := range dc.Interfaces {
 							if dc.Interfaces[i].Prefix == p.Masked() {
@@ -166,12 +179,13 @@ func parseJunosConfig(hostname, conf string) (*routing.DeviceConfig, error) {
 					}
 				}
 				// Bare interface statements (no metric block).
-				for _, l := range area.leaves {
+				for li, l := range area.leaves {
 					if strings.HasPrefix(l, "interface ") {
 						pStr := strings.TrimPrefix(l, "interface ")
 						p, err := netip.ParsePrefix(pStr)
 						if err != nil {
-							return nil, fmt.Errorf("emul: %s: bad ospf interface %q", hostname, pStr)
+							sink.errorf(area.leafLine[li], "bad ospf interface %q", pStr)
+							continue
 						}
 						cfg.Networks = append(cfg.Networks, routing.OSPFNetwork{Prefix: p.Masked(), Area: areaNum})
 					}
@@ -185,70 +199,86 @@ func parseJunosConfig(hostname, conf string) (*routing.DeviceConfig, error) {
 	var routerID netip.Addr
 	if ro := root.child("routing-options"); ro != nil {
 		if v, ok := ro.leafValue("autonomous-system"); ok {
-			asn, err = strconv.Atoi(v)
+			n, err := strconv.Atoi(v)
 			if err != nil {
-				return nil, fmt.Errorf("emul: %s: bad autonomous-system %q", hostname, v)
+				sink.errorf(ro.line, "bad autonomous-system %q", v)
+			} else {
+				asn = n
 			}
 		}
 		if v, ok := ro.leafValue("router-id"); ok {
-			routerID, err = netip.ParseAddr(v)
+			rid, err := netip.ParseAddr(v)
 			if err != nil {
-				return nil, fmt.Errorf("emul: %s: bad router-id %q", hostname, v)
+				sink.errorf(ro.line, "bad router-id %q", v)
+			} else {
+				routerID = rid
 			}
 		}
 	}
 	if protocols != nil {
 		if bgpNode := protocols.child("bgp"); bgpNode != nil {
 			if asn == 0 {
-				return nil, fmt.Errorf("emul: %s: bgp configured without autonomous-system", hostname)
+				sink.errorf(bgpNode.line, "bgp configured without autonomous-system")
+			} else {
+				cfg := &routing.BGPConfig{ASN: asn, RouterID: routerID}
+				seenNbr := map[netip.Addr]int{} // addr -> first line
+				for _, grp := range bgpNode.childrenWithPrefix("group ") {
+					typ, _ := grp.leafValue("type")
+					peerAS := asn
+					if v, ok := grp.leafValue("peer-as"); ok {
+						n, err := strconv.Atoi(v)
+						if err != nil {
+							sink.errorf(grp.line, "group %q: bad peer-as %q", strings.TrimPrefix(grp.name, "group "), v)
+							continue
+						}
+						peerAS = n
+					}
+					med := 0
+					if v, ok := grp.leafValue("metric-out"); ok {
+						med, _ = strconv.Atoi(v)
+					}
+					lp := 0
+					if v, ok := grp.leafValue("local-preference"); ok {
+						lp, _ = strconv.Atoi(v)
+					}
+					_, isRRGroup := grp.leafValue("cluster")
+					updateSource := ""
+					if _, ok := grp.leafValue("local-address"); ok {
+						updateSource = "lo"
+					}
+					for li, l := range grp.leaves {
+						if !strings.HasPrefix(l, "neighbor ") {
+							continue
+						}
+						addr, err := netip.ParseAddr(strings.TrimPrefix(l, "neighbor "))
+						if err != nil {
+							sink.errorf(grp.leafLine[li], "bad neighbor in %q", l)
+							continue
+						}
+						if first, dup := seenNbr[addr]; dup {
+							sink.errorf(grp.leafLine[li], "duplicate neighbor %v (first declared on line %d)", addr, first)
+							continue
+						}
+						seenNbr[addr] = grp.leafLine[li]
+						cfg.Neighbors = append(cfg.Neighbors, routing.BGPNeighbor{
+							Addr: addr, RemoteASN: peerAS,
+							MEDOut: med, LocalPrefIn: lp,
+							RRClient:     isRRGroup && typ == "internal",
+							UpdateSource: updateSource,
+						})
+					}
+				}
+				cfg.Networks = junosAdvertisedNetworks(root, dc)
+				dc.BGP = cfg
 			}
-			cfg := &routing.BGPConfig{ASN: asn, RouterID: routerID}
-			for _, grp := range bgpNode.childrenWithPrefix("group ") {
-				typ, _ := grp.leafValue("type")
-				peerAS := asn
-				if v, ok := grp.leafValue("peer-as"); ok {
-					peerAS, err = strconv.Atoi(v)
-					if err != nil {
-						return nil, fmt.Errorf("emul: %s: bad peer-as %q", hostname, v)
-					}
-				}
-				med := 0
-				if v, ok := grp.leafValue("metric-out"); ok {
-					med, _ = strconv.Atoi(v)
-				}
-				lp := 0
-				if v, ok := grp.leafValue("local-preference"); ok {
-					lp, _ = strconv.Atoi(v)
-				}
-				_, isRRGroup := grp.leafValue("cluster")
-				updateSource := ""
-				if _, ok := grp.leafValue("local-address"); ok {
-					updateSource = "lo"
-				}
-				for _, l := range grp.leaves {
-					if !strings.HasPrefix(l, "neighbor ") {
-						continue
-					}
-					addr, err := netip.ParseAddr(strings.TrimPrefix(l, "neighbor "))
-					if err != nil {
-						return nil, fmt.Errorf("emul: %s: bad neighbor in %q", hostname, l)
-					}
-					cfg.Neighbors = append(cfg.Neighbors, routing.BGPNeighbor{
-						Addr: addr, RemoteASN: peerAS,
-						MEDOut: med, LocalPrefIn: lp,
-						RRClient:     isRRGroup && typ == "internal",
-						UpdateSource: updateSource,
-					})
-				}
-			}
-			cfg.Networks = junosAdvertisedNetworks(root, dc)
-			dc.BGP = cfg
 		}
 	}
-	if err := dc.Validate(); err != nil {
-		return nil, err
+	if !sink.diags.HasErrors() {
+		if err := dc.Validate(); err != nil {
+			sink.errorf(0, "%v", err)
+		}
 	}
-	return dc, nil
+	return dc, sink.diags
 }
 
 // junosAdvertisedNetworks reads the routing-options static advertisements

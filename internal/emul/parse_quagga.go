@@ -6,6 +6,11 @@
 // for the paper's Netkit/UML deployment while preserving the property that
 // matters: the generated configurations are executed, so generation errors
 // surface as network misbehaviour.
+//
+// The ingestion parsers run in error-recovery mode: a malformed statement
+// is recorded as a located Diagnostic and the parse continues with the
+// next stanza, so one boot reports every problem in a device's
+// configuration at once instead of dying on the first bad byte.
 package emul
 
 import (
@@ -19,16 +24,24 @@ import (
 
 // parseQuaggaVM recovers a DeviceConfig from a Netkit/Quagga machine's
 // files: the .startup script (interface addressing) plus
-// etc/quagga/{daemons,ospfd.conf,bgpd.conf}.
-func parseQuaggaVM(hostname string, files map[string]string) (*routing.DeviceConfig, error) {
+// etc/quagga/{daemons,ospfd.conf,bgpd.conf,isisd.conf}. It never fails
+// fast: all problems with the machine's files are returned as
+// diagnostics, and the returned config is usable only when none of them
+// is error-level.
+func parseQuaggaVM(hostname string, files map[string]string) (*routing.DeviceConfig, Diagnostics) {
 	dc := &routing.DeviceConfig{Hostname: hostname}
-	startup, ok := files[hostname+".startup"]
+	var all Diagnostics
+
+	startupFile := hostname + ".startup"
+	sink := &diagSink{device: hostname, file: startupFile}
+	startup, ok := files[startupFile]
 	if !ok {
-		return nil, fmt.Errorf("emul: %s: no startup script", hostname)
+		sink.errorf(0, "no startup script")
+	} else {
+		parseStartup(dc, startup, sink)
 	}
-	if err := parseStartup(dc, startup); err != nil {
-		return nil, err
-	}
+	all = append(all, sink.diags...)
+
 	daemons := files["etc/quagga/daemons"]
 	enabled := map[string]bool{}
 	for _, line := range strings.Split(daemons, "\n") {
@@ -37,49 +50,50 @@ func parseQuaggaVM(hostname string, files map[string]string) (*routing.DeviceCon
 			enabled[strings.TrimSpace(name)] = true
 		}
 	}
-	if enabled["ospfd"] {
-		conf, ok := files["etc/quagga/ospfd.conf"]
+	daemonParsers := []struct {
+		daemon string
+		file   string
+		parse  func(*routing.DeviceConfig, string, *diagSink)
+	}{
+		{"ospfd", "etc/quagga/ospfd.conf", parseQuaggaOspfd},
+		{"bgpd", "etc/quagga/bgpd.conf", parseQuaggaBgpd},
+		{"isisd", "etc/quagga/isisd.conf", parseQuaggaIsisd},
+	}
+	for _, dp := range daemonParsers {
+		if !enabled[dp.daemon] {
+			continue
+		}
+		sink := &diagSink{device: hostname, file: dp.file}
+		conf, ok := files[dp.file]
 		if !ok {
-			return nil, fmt.Errorf("emul: %s: ospfd enabled but ospfd.conf missing", hostname)
+			sink.errorf(0, "%s enabled but %s missing", dp.daemon, dp.file)
+		} else {
+			dp.parse(dc, conf, sink)
 		}
-		if err := parseQuaggaOspfd(dc, conf); err != nil {
-			return nil, err
+		all = append(all, sink.diags...)
+	}
+	// Whole-device validation only makes sense over a fully parsed config;
+	// when stanzas were already rejected, their diagnostics carry the cause.
+	if !all.HasErrors() {
+		if err := dc.Validate(); err != nil {
+			all = append(all, Diagnostic{Severity: SevError, Device: hostname, Message: err.Error()})
 		}
 	}
-	if enabled["bgpd"] {
-		conf, ok := files["etc/quagga/bgpd.conf"]
-		if !ok {
-			return nil, fmt.Errorf("emul: %s: bgpd enabled but bgpd.conf missing", hostname)
-		}
-		if err := parseQuaggaBgpd(dc, conf); err != nil {
-			return nil, err
-		}
-	}
-	if enabled["isisd"] {
-		conf, ok := files["etc/quagga/isisd.conf"]
-		if !ok {
-			return nil, fmt.Errorf("emul: %s: isisd enabled but isisd.conf missing", hostname)
-		}
-		if err := parseQuaggaIsisd(dc, conf); err != nil {
-			return nil, err
-		}
-	}
-	if err := dc.Validate(); err != nil {
-		return nil, err
-	}
-	return dc, nil
+	return dc, all
 }
 
 // parseStartup reads `/sbin/ifconfig <if> <addr> netmask <mask> ... up`
-// lines — the interface addressing of the booted machine.
-func parseStartup(dc *routing.DeviceConfig, startup string) error {
+// lines — the interface addressing of the booted machine. Bad lines are
+// recorded and skipped.
+func parseStartup(dc *routing.DeviceConfig, startup string, sink *diagSink) {
 	for lineNo, line := range strings.Split(startup, "\n") {
 		fields := strings.Fields(line)
 		if len(fields) >= 5 && strings.HasSuffix(fields[0], "route") &&
 			fields[1] == "add" && fields[2] == "default" && fields[3] == "gw" {
 			gw, err := netip.ParseAddr(fields[4])
 			if err != nil {
-				return fmt.Errorf("emul: %s startup line %d: bad gateway %q", dc.Hostname, lineNo+1, fields[4])
+				sink.errorf(lineNo+1, "bad gateway %q", fields[4])
+				continue
 			}
 			dc.Gateway = gw
 			continue
@@ -90,17 +104,24 @@ func parseStartup(dc *routing.DeviceConfig, startup string) error {
 		ifName := fields[1]
 		addr, err := netip.ParseAddr(fields[2])
 		if err != nil {
-			return fmt.Errorf("emul: %s startup line %d: bad address %q", dc.Hostname, lineNo+1, fields[2])
+			sink.errorf(lineNo+1, "bad address %q", fields[2])
+			continue
 		}
 		bits := 32
+		badMask := false
 		for i := 3; i+1 < len(fields); i++ {
 			if fields[i] == "netmask" {
 				b, err := maskBits(fields[i+1])
 				if err != nil {
-					return fmt.Errorf("emul: %s startup line %d: %w", dc.Hostname, lineNo+1, err)
+					sink.errorf(lineNo+1, "%v", err)
+					badMask = true
+					break
 				}
 				bits = b
 			}
+		}
+		if badMask {
+			continue
 		}
 		if strings.HasPrefix(ifName, "lo") {
 			dc.Loopback = addr
@@ -114,7 +135,6 @@ func parseStartup(dc *routing.DeviceConfig, startup string) error {
 			Prefix: netip.PrefixFrom(addr, bits).Masked(), Cost: 1,
 		})
 	}
-	return nil
 }
 
 // maskBits converts a dotted netmask to a prefix length.
@@ -137,8 +157,8 @@ func maskBits(mask string) (int, error) {
 }
 
 // parseQuaggaOspfd reads interface costs and `router ospf` network
-// statements.
-func parseQuaggaOspfd(dc *routing.DeviceConfig, conf string) error {
+// statements, recording malformed statements and continuing.
+func parseQuaggaOspfd(dc *routing.DeviceConfig, conf string, sink *diagSink) {
 	dc.OSPF = &routing.OSPFConfig{ProcessID: 1}
 	curIface := ""
 	inRouter := false
@@ -158,7 +178,8 @@ func parseQuaggaOspfd(dc *routing.DeviceConfig, conf string) error {
 		case curIface != "" && strings.HasPrefix(line, "ip ospf cost") && len(fields) == 4:
 			cost, err := strconv.Atoi(fields[3])
 			if err != nil {
-				return fmt.Errorf("emul: %s ospfd line %d: bad cost %q", dc.Hostname, lineNo+1, fields[3])
+				sink.errorf(lineNo+1, "bad cost %q", fields[3])
+				continue
 			}
 			for i := range dc.Interfaces {
 				if dc.Interfaces[i].Name == curIface {
@@ -174,21 +195,22 @@ func parseQuaggaOspfd(dc *routing.DeviceConfig, conf string) error {
 		case inRouter && fields[0] == "network" && len(fields) == 4 && fields[2] == "area":
 			p, err := netip.ParsePrefix(fields[1])
 			if err != nil {
-				return fmt.Errorf("emul: %s ospfd line %d: bad network %q", dc.Hostname, lineNo+1, fields[1])
+				sink.errorf(lineNo+1, "bad network %q", fields[1])
+				continue
 			}
 			area, err := strconv.Atoi(fields[3])
 			if err != nil {
-				return fmt.Errorf("emul: %s ospfd line %d: bad area %q", dc.Hostname, lineNo+1, fields[3])
+				sink.errorf(lineNo+1, "bad area %q", fields[3])
+				continue
 			}
 			dc.OSPF.Networks = append(dc.OSPF.Networks, routing.OSPFNetwork{Prefix: p.Masked(), Area: area})
 		}
 	}
-	return nil
 }
 
 // parseQuaggaIsisd reads the `router isis` block (NET address) and the
 // interfaces enabled with `ip router isis`.
-func parseQuaggaIsisd(dc *routing.DeviceConfig, conf string) error {
+func parseQuaggaIsisd(dc *routing.DeviceConfig, conf string, sink *diagSink) {
 	cfg := &routing.ISISConfig{}
 	curIface := ""
 	for lineNo, raw := range strings.Split(conf, "\n") {
@@ -210,25 +232,26 @@ func parseQuaggaIsisd(dc *routing.DeviceConfig, conf string) error {
 			// header / cosmetic statements
 		default:
 			if strings.HasPrefix(line, "net ") {
-				return fmt.Errorf("emul: %s isisd line %d: malformed net %q", dc.Hostname, lineNo+1, line)
+				sink.errorf(lineNo+1, "malformed net %q", line)
 			}
 		}
 	}
 	if cfg.NET == "" {
-		return fmt.Errorf("emul: %s: isisd.conf has no NET address", dc.Hostname)
+		sink.errorf(0, "isisd.conf has no NET address")
+		return
 	}
 	dc.ISIS = cfg
-	return nil
 }
 
 // parseQuaggaBgpd reads the `router bgp` block plus route-maps for MED and
 // local-pref policies.
-func parseQuaggaBgpd(dc *routing.DeviceConfig, conf string) error {
+func parseQuaggaBgpd(dc *routing.DeviceConfig, conf string, sink *diagSink) {
 	bgp := &routing.BGPConfig{}
 	type rmapRef struct {
 		nbr  netip.Addr
 		name string
 		out  bool
+		line int
 	}
 	var rmapRefs []rmapRef
 	rmapValues := map[string][2]int{} // name -> {med, localpref}
@@ -254,43 +277,60 @@ func parseQuaggaBgpd(dc *routing.DeviceConfig, conf string) error {
 		case fields[0] == "router" && len(fields) >= 3 && fields[1] == "bgp":
 			asn, err := strconv.Atoi(fields[2])
 			if err != nil {
-				return fmt.Errorf("emul: %s bgpd line %d: bad ASN %q", dc.Hostname, lineNo+1, fields[2])
+				sink.errorf(lineNo+1, "bad ASN %q", fields[2])
+				continue
 			}
 			bgp.ASN = asn
 			curRmap = ""
 		case fields[0] == "bgp" && len(fields) == 3 && fields[1] == "router-id":
 			rid, err := netip.ParseAddr(fields[2])
 			if err != nil {
-				return fmt.Errorf("emul: %s bgpd line %d: bad router-id", dc.Hostname, lineNo+1)
+				sink.errorf(lineNo+1, "bad router-id %q", fields[2])
+				continue
 			}
 			bgp.RouterID = rid
 		case fields[0] == "network" && len(fields) == 2:
 			p, err := netip.ParsePrefix(fields[1])
 			if err != nil {
-				return fmt.Errorf("emul: %s bgpd line %d: bad network %q", dc.Hostname, lineNo+1, fields[1])
+				sink.errorf(lineNo+1, "bad network %q", fields[1])
+				continue
 			}
 			bgp.Networks = append(bgp.Networks, p.Masked())
 		case fields[0] == "neighbor" && len(fields) >= 3:
 			addr, err := netip.ParseAddr(fields[1])
 			if err != nil {
-				return fmt.Errorf("emul: %s bgpd line %d: bad neighbor %q", dc.Hostname, lineNo+1, fields[1])
+				sink.errorf(lineNo+1, "bad neighbor %q", fields[1])
+				continue
 			}
 			nbr := getNbr(addr)
 			switch fields[2] {
 			case "remote-as":
+				if len(fields) < 4 {
+					sink.errorf(lineNo+1, "remote-as without ASN")
+					continue
+				}
 				asn, err := strconv.Atoi(fields[3])
 				if err != nil {
-					return fmt.Errorf("emul: %s bgpd line %d: bad remote-as", dc.Hostname, lineNo+1)
+					sink.errorf(lineNo+1, "bad remote-as %q", fields[3])
+					continue
 				}
 				nbr.RemoteASN = asn
 			case "update-source":
+				if len(fields) < 4 {
+					sink.errorf(lineNo+1, "update-source without interface")
+					continue
+				}
 				nbr.UpdateSource = fields[3]
 			case "route-reflector-client":
 				nbr.RRClient = true
 			case "description":
 				nbr.Description = strings.Join(fields[3:], " ")
 			case "route-map":
-				rmapRefs = append(rmapRefs, rmapRef{addr, fields[3], len(fields) > 4 && fields[4] == "out"})
+				if len(fields) < 4 {
+					sink.errorf(lineNo+1, "route-map without name")
+					continue
+				}
+				rmapRefs = append(rmapRefs, rmapRef{addr, fields[3], len(fields) > 4 && fields[4] == "out", lineNo + 1})
 			}
 		case fields[0] == "route-map" && len(fields) >= 2:
 			curRmap = fields[1]
@@ -300,7 +340,8 @@ func parseQuaggaBgpd(dc *routing.DeviceConfig, conf string) error {
 		case curRmap != "" && fields[0] == "set" && len(fields) >= 3:
 			v, err := strconv.Atoi(fields[len(fields)-1])
 			if err != nil {
-				return fmt.Errorf("emul: %s bgpd line %d: bad set value", dc.Hostname, lineNo+1)
+				sink.errorf(lineNo+1, "bad set value %q", fields[len(fields)-1])
+				continue
 			}
 			vals := rmapValues[curRmap]
 			switch fields[1] {
@@ -316,7 +357,8 @@ func parseQuaggaBgpd(dc *routing.DeviceConfig, conf string) error {
 	for _, ref := range rmapRefs {
 		vals, ok := rmapValues[ref.name]
 		if !ok {
-			return fmt.Errorf("emul: %s: neighbor %v references undefined route-map %q", dc.Hostname, ref.nbr, ref.name)
+			sink.errorf(ref.line, "neighbor %v references undefined route-map %q", ref.nbr, ref.name)
+			continue
 		}
 		nbr := getNbr(ref.nbr)
 		if ref.out {
@@ -326,8 +368,8 @@ func parseQuaggaBgpd(dc *routing.DeviceConfig, conf string) error {
 		}
 	}
 	if bgp.ASN == 0 {
-		return fmt.Errorf("emul: %s: bgpd.conf has no router bgp block", dc.Hostname)
+		sink.errorf(0, "bgpd.conf has no router bgp block")
+		return
 	}
 	dc.BGP = bgp
-	return nil
 }

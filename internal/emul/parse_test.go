@@ -9,7 +9,16 @@ import (
 )
 
 // Parser error-path coverage: every malformed statement class a rendered
-// (or hand-edited) config could contain is rejected with a located error.
+// (or hand-edited) config could contain is recorded as a located
+// error-level diagnostic — and the parse carries on past it.
+
+// subDiags feeds a per-daemon Quagga sub-parser directly and returns the
+// diagnostics it recorded.
+func subDiags(parse func(*routing.DeviceConfig, string, *diagSink), dc *routing.DeviceConfig, conf string) Diagnostics {
+	sink := &diagSink{device: dc.Hostname, file: "test.conf"}
+	parse(dc, conf, sink)
+	return sink.diags
+}
 
 func TestParseStartupErrors(t *testing.T) {
 	base := map[string]string{
@@ -25,12 +34,12 @@ func TestParseStartupErrors(t *testing.T) {
 			files[k] = v
 		}
 		files["x.startup"] = c.startup
-		if _, err := parseQuaggaVM("x", files); err == nil {
+		if _, diags := parseQuaggaVM("x", files); !diags.HasErrors() {
 			t.Errorf("%s accepted", c.name)
 		}
 	}
 	// Missing startup entirely.
-	if _, err := parseQuaggaVM("x", base); err == nil {
+	if _, diags := parseQuaggaVM("x", base); !diags.HasErrors() {
 		t.Error("missing startup accepted")
 	}
 }
@@ -41,29 +50,30 @@ func TestParseQuaggaDaemonFileGates(t *testing.T) {
 		"etc/quagga/daemons": "zebra=yes\nospfd=yes\n",
 		// ospfd.conf missing although enabled.
 	}
-	if _, err := parseQuaggaVM("x", files); err == nil {
+	if _, diags := parseQuaggaVM("x", files); !diags.HasErrors() {
 		t.Error("enabled daemon without config accepted")
 	}
 	files["etc/quagga/daemons"] = "zebra=yes\nbgpd=yes\n"
-	if _, err := parseQuaggaVM("x", files); err == nil {
+	if _, diags := parseQuaggaVM("x", files); !diags.HasErrors() {
 		t.Error("enabled bgpd without config accepted")
 	}
 	files["etc/quagga/daemons"] = "zebra=yes\nisisd=yes\n"
-	if _, err := parseQuaggaVM("x", files); err == nil {
+	if _, diags := parseQuaggaVM("x", files); !diags.HasErrors() {
 		t.Error("enabled isisd without config accepted")
 	}
 }
 
 func TestParseQuaggaOspfdErrors(t *testing.T) {
-	dc := mkBase(t)
-	if err := parseQuaggaOspfd(dc, "interface eth0\n  ip ospf cost abc\n"); err == nil {
-		t.Error("bad cost accepted")
+	cases := []struct{ name, conf string }{
+		{"bad cost", "interface eth0\n  ip ospf cost abc\n"},
+		{"bad network", "router ospf\n  network junk area 0\n"},
+		{"bad area", "router ospf\n  network 10.0.0.0/8 area x\n"},
 	}
-	if err := parseQuaggaOspfd(dc, "router ospf\n  network junk area 0\n"); err == nil {
-		t.Error("bad network accepted")
-	}
-	if err := parseQuaggaOspfd(dc, "router ospf\n  network 10.0.0.0/8 area x\n"); err == nil {
-		t.Error("bad area accepted")
+	for _, c := range cases {
+		dc := mkBase(t)
+		if diags := subDiags(parseQuaggaOspfd, dc, c.conf); !diags.HasErrors() {
+			t.Errorf("%s accepted", c.name)
+		}
 	}
 }
 
@@ -80,7 +90,7 @@ func TestParseQuaggaBgpdErrors(t *testing.T) {
 	}
 	for _, c := range cases {
 		dc := mkBase(t)
-		if err := parseQuaggaBgpd(dc, c.conf); err == nil {
+		if diags := subDiags(parseQuaggaBgpd, dc, c.conf); !diags.HasErrors() {
 			t.Errorf("%s accepted", c.name)
 		}
 	}
@@ -88,8 +98,62 @@ func TestParseQuaggaBgpdErrors(t *testing.T) {
 
 func TestParseQuaggaIsisdErrors(t *testing.T) {
 	dc := mkBase(t)
-	if err := parseQuaggaIsisd(dc, "router isis ank\n"); err == nil {
+	if diags := subDiags(parseQuaggaIsisd, dc, "router isis ank\n"); !diags.HasErrors() {
 		t.Error("missing NET accepted")
+	}
+}
+
+// Every diagnostic a parser emits must carry the device, the file, and —
+// for statement-level problems — a 1-based line number.
+func TestDiagnosticsAreLocated(t *testing.T) {
+	files := map[string]string{
+		"x.startup":            "/sbin/ifconfig eth0 not-an-ip netmask 255.255.255.0 up\n",
+		"etc/quagga/daemons":   "zebra=yes\nbgpd=yes\n",
+		"etc/quagga/bgpd.conf": "router bgp 1\n  neighbor junk remote-as 2\n",
+	}
+	_, diags := parseQuaggaVM("x", files)
+	if !diags.HasErrors() {
+		t.Fatal("corrupt config accepted")
+	}
+	for _, d := range diags.Errors() {
+		if d.Device != "x" {
+			t.Errorf("diagnostic %q has no device", d)
+		}
+		if d.File == "" {
+			t.Errorf("diagnostic %q has no file", d)
+		}
+	}
+	// The startup error is on line 1 of x.startup.
+	found := false
+	for _, d := range diags {
+		if d.File == "x.startup" && d.Line == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no line-1 startup diagnostic in:\n%s", diags)
+	}
+}
+
+// A config with three independent errors yields three diagnostics in a
+// single parse pass — the recovery contract.
+func TestQuaggaThreeErrorsOnePass(t *testing.T) {
+	files := map[string]string{
+		"x.startup":          "/sbin/ifconfig eth0 10.0.0.1 netmask 255.255.255.252 up\n",
+		"etc/quagga/daemons": "zebra=yes\nbgpd=yes\n",
+		"etc/quagga/bgpd.conf": "router bgp 1\n" +
+			"  bgp router-id junk\n" + // error 1
+			"  network nonsense\n" + // error 2
+			"  neighbor bad-addr remote-as 2\n" + // error 3
+			"  neighbor 10.0.0.2 remote-as 2\n", // valid: still parsed
+	}
+	dc, diags := parseQuaggaVM("x", files)
+	if got := len(diags.Errors()); got != 3 {
+		t.Fatalf("want 3 error diagnostics, got %d:\n%s", got, diags)
+	}
+	// Recovery: the valid neighbor after the broken lines is present.
+	if dc == nil || dc.BGP == nil || len(dc.BGP.Neighbors) != 1 {
+		t.Errorf("valid neighbor after errors not recovered: %+v", dc)
 	}
 }
 
@@ -121,7 +185,7 @@ func TestParseIOSErrors(t *testing.T) {
 		{"undefined route-map", "router bgp 1\n neighbor 10.0.0.1 remote-as 2\n neighbor 10.0.0.1 route-map nope out\n"},
 	}
 	for _, c := range cases {
-		if _, err := parseIOSConfig("x", c.conf); err == nil {
+		if _, diags := parseIOSConfig("x", c.conf); !diags.HasErrors() {
 			t.Errorf("%s accepted", c.name)
 		}
 	}
@@ -137,7 +201,7 @@ func TestParseJunosErrors(t *testing.T) {
 		{"bad area", "protocols {\n ospf {\n area x {\n interface 10.0.0.0/30 {\n metric 1;\n}\n}\n}\n}\n"},
 	}
 	for _, c := range cases {
-		if _, err := parseJunosConfig("x", c.conf); err == nil {
+		if _, diags := parseJunosConfig("x", c.conf); !diags.HasErrors() {
 			t.Errorf("%s accepted", c.name)
 		}
 	}
@@ -155,7 +219,7 @@ func TestParseCBGPErrors(t *testing.T) {
 		{"bad network", "net add node 10.0.0.1\nbgp add router 1 10.0.0.1\nbgp router 10.0.0.1\n  add network junk\n"},
 	}
 	for _, c := range cases {
-		if _, err := parseCBGPScript(c.script); err == nil {
+		if _, diags := parseCBGPScript(c.script); !diags.HasErrors() {
 			t.Errorf("%s accepted", c.name)
 		}
 	}
@@ -188,8 +252,8 @@ func TestQuaggaConfigHeadersTolerated(t *testing.T) {
 	// hostname/password headers in protocol configs must parse cleanly.
 	dc := mkBase(t)
 	conf := "hostname x\npassword 1234\ninterface eth0\n  ip ospf cost 5\nrouter ospf\n  network 10.0.0.0/30 area 0\n"
-	if err := parseQuaggaOspfd(dc, conf); err != nil {
-		t.Fatal(err)
+	if diags := subDiags(parseQuaggaOspfd, dc, conf); len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics:\n%s", diags)
 	}
 	if dc.Interfaces[0].Cost != 5 {
 		t.Error("cost not applied")

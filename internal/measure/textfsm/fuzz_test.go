@@ -1,0 +1,26 @@
+package textfsm
+
+import "testing"
+
+// FuzzTextFSM: template compilation and text parsing must never panic on
+// arbitrary input — a malformed template fails Parse with an error, and
+// any compiled template consumes any input text in bounded time (the rule
+// loop advances one input line per iteration).
+func FuzzTextFSM(f *testing.F) {
+	f.Add("Value HOP (\\d+)\n\nStart\n  ^\\s*${HOP} -> Record\n",
+		" 1 10.0.0.1\n 2 10.0.0.2\n")
+	f.Add("Value Required ADDR (\\S+)\nValue List RTT (\\d+)\n\nStart\n  ^${ADDR} ${RTT} -> Record\n",
+		"a 1\nb 2\n")
+	f.Add("Value Filldown IFACE (\\S+)\n\nStart\n  ^iface ${IFACE}\n  ^up -> Record Done\n\nDone\n",
+		"iface eth0\nup\n")
+	f.Add("Value X ([\n\nStart\n  ^${X}\n", "anything")
+	f.Add("", "")
+	f.Add("Start\n  ^broken -> NoSuchState\n", "broken\n")
+	f.Fuzz(func(t *testing.T, tmplSrc, input string) {
+		tmpl, err := Parse(tmplSrc)
+		if err != nil {
+			return
+		}
+		_, _ = tmpl.ParseText(input)
+	})
+}

@@ -29,6 +29,9 @@ const (
 	CounterTemplatesExecuted = "templates_executed"
 	CounterBytesWritten      = "bytes_written"
 	CounterLabsFinalized     = "labs_finalized"
+	// CounterDevicesQuarantined counts devices excluded from a lenient
+	// boot because their configurations carried error diagnostics.
+	CounterDevicesQuarantined = "devices_quarantined"
 )
 
 // Collector accumulates spans and counters for one pipeline run.

@@ -23,4 +23,14 @@ go run ./cmd/ankchaos -in testdata/small_internet.graphml \
 diff -u testdata/chaos/link_outage.report /tmp/ci_chaos_report.$$
 rm -f /tmp/ci_chaos_report.$$
 
+echo "== golden partial-boot drill (testdata/quarantine)"
+go test -race -run 'TestGoldenQuarantineDrill' -count=1 .
+
+echo "== fuzz (parsers, 5s each)"
+for target in FuzzParseQuagga FuzzParseIOS FuzzParseJunos FuzzParseCBGP; do
+  go test -run=NONE -fuzz="^${target}\$" -fuzztime=5s ./internal/emul/
+done
+go test -run=NONE -fuzz='^FuzzParseScenario$' -fuzztime=5s ./internal/chaos/
+go test -run=NONE -fuzz='^FuzzTextFSM$' -fuzztime=5s ./internal/measure/textfsm/
+
 echo "CI OK"
