@@ -31,6 +31,7 @@ import (
 
 	"net/netip"
 
+	"autonetkit/internal/cache"
 	"autonetkit/internal/chaos"
 	"autonetkit/internal/compile"
 	"autonetkit/internal/core"
@@ -114,6 +115,12 @@ type BuildOptions struct {
 	IP      ipalloc.Config
 	Compile compile.Options
 	Render  render.Options
+	// Cache, when non-nil, enables the incremental content-addressed build
+	// cache for both the compile and render stages (unless a stage already
+	// carries its own store). Devices whose inputs are unchanged since the
+	// store was last warmed skip compilation and template execution;
+	// artifacts are byte-identical either way.
+	Cache *cache.Store
 }
 
 // stageErr is the uniform out-of-order error: stage "want" must run before
@@ -196,6 +203,14 @@ func (n *Network) RenderWith(opts render.Options) error {
 
 // Build runs Design, Allocate, Compile and Render in sequence.
 func (n *Network) Build(opts BuildOptions) error {
+	if opts.Cache != nil {
+		if opts.Compile.Cache == nil {
+			opts.Compile.Cache = opts.Cache
+		}
+		if opts.Render.Cache == nil {
+			opts.Render.Cache = opts.Cache
+		}
+	}
 	if err := n.Design(opts.Design); err != nil {
 		return err
 	}

@@ -26,6 +26,7 @@ import (
 	"strings"
 	"testing"
 
+	"autonetkit/internal/cache"
 	"autonetkit/internal/chaos"
 	"autonetkit/internal/compile"
 	"autonetkit/internal/core"
@@ -781,6 +782,37 @@ func BenchmarkP1_CompileRender(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- P4: incremental content-addressed rebuild. Cold runs compile and
+// render every device into a fresh store; warm reuses a fully warmed store,
+// paying only digest computation and artifact decoding. The gap is the
+// speedup an unchanged rebuild gets from `ankbuild -cache`. ---
+
+func BenchmarkP4_IncrementalRebuild(b *testing.B) {
+	net := p1Input(b)
+	runOnce := func(b *testing.B, store *cache.Store) {
+		b.Helper()
+		if err := net.Compile(compile.Options{Cache: store}); err != nil {
+			b.Fatal(err)
+		}
+		if err := net.RenderWith(render.Options{Cache: store}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runOnce(b, cache.NewMemory())
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		store := cache.NewMemory()
+		runOnce(b, store)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runOnce(b, store)
+		}
+	})
 }
 
 // --- P2: chaos scenario engine (fail -> check -> restore -> check) ---

@@ -11,8 +11,10 @@ import (
 	"time"
 
 	"autonetkit"
+	"autonetkit/internal/cache"
 	"autonetkit/internal/design"
 	"autonetkit/internal/graph"
+	"autonetkit/internal/obs"
 )
 
 func main() {
@@ -24,6 +26,8 @@ func main() {
 	doVerify := flag.Bool("verify", false, "run pre-deployment static verification (§8)")
 	dumpNIDB := flag.String("dump-nidb", "", "write one device's Resource-Database tree as JSON (the paper's §5.4 listing); device id or 'all'")
 	workers := flag.Int("workers", 0, "compile/render worker count (0 = GOMAXPROCS, 1 = serial)")
+	useCache := flag.Bool("cache", false, "enable the incremental content-addressed build cache")
+	cacheDir := flag.String("cache-dir", ".ankcache", "cache directory for -cache (always safe to delete)")
 	trace := flag.Bool("trace", false, "print the pipeline trace (per-stage timings and work counters) to stderr")
 	flag.Parse()
 	if *in == "" {
@@ -45,6 +49,15 @@ func main() {
 	}}
 	opts.Compile.Workers = *workers
 	opts.Render.Workers = *workers
+	var store *cache.Store
+	if *useCache {
+		store, err = cache.Open(*cacheDir, cache.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		opts.Compile.Cache = store
+		opts.Render.Cache = store
+	}
 	if err := net.Design(opts.Design); err != nil {
 		fatal(err)
 	}
@@ -93,6 +106,12 @@ func main() {
 	fmt.Printf("loaded %d devices, %d links from %s\n", inOv.NumNodes(), inOv.NumEdges(), *in)
 	fmt.Printf("overlays: %v\n", net.ANM.OverlayNames())
 	fmt.Printf("rendered %d files (%d bytes) under %s\n", net.Files.Len(), net.Files.TotalBytes(), *out)
+	if store != nil {
+		counters := net.Stats().Counters
+		fmt.Printf("cache: %d hits, %d misses, %d bytes reused (%s)\n",
+			counters[obs.CounterCacheHits], counters[obs.CounterCacheMisses],
+			counters[obs.CounterCacheBytes], store.Dir())
+	}
 	fmt.Printf("timings: load %v, design+allocate %v, compile %v, render %v (total %v)\n",
 		loadDone.Sub(start).Round(time.Millisecond),
 		designDone.Sub(loadDone).Round(time.Millisecond),

@@ -1,0 +1,95 @@
+package cache
+
+// lru is a byte- and entry-bounded least-recently-used map from digest to
+// encoded payload. It is not goroutine-safe; the Store serialises access.
+type lru struct {
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	entries    map[Digest]*lruEntry
+	head, tail *lruEntry // head = most recent
+	evictions  int64
+}
+
+type lruEntry struct {
+	key        Digest
+	data       []byte
+	prev, next *lruEntry
+}
+
+func newLRU(maxEntries int, maxBytes int64) *lru {
+	return &lru{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		entries:    make(map[Digest]*lruEntry),
+	}
+}
+
+func (l *lru) get(key Digest) ([]byte, bool) {
+	e, ok := l.entries[key]
+	if !ok {
+		return nil, false
+	}
+	l.moveToFront(e)
+	return e.data, true
+}
+
+func (l *lru) put(key Digest, data []byte) {
+	if e, ok := l.entries[key]; ok {
+		l.bytes += int64(len(data)) - int64(len(e.data))
+		e.data = data
+		l.moveToFront(e)
+	} else {
+		e := &lruEntry{key: key, data: data}
+		l.entries[key] = e
+		l.bytes += int64(len(data))
+		l.pushFront(e)
+	}
+	for len(l.entries) > l.maxEntries || l.bytes > l.maxBytes {
+		if l.tail == nil || len(l.entries) == 1 {
+			break // never evict the entry just inserted
+		}
+		l.evict(l.tail)
+	}
+}
+
+func (l *lru) evict(e *lruEntry) {
+	l.unlink(e)
+	delete(l.entries, e.key)
+	l.bytes -= int64(len(e.data))
+	l.evictions++
+}
+
+func (l *lru) pushFront(e *lruEntry) {
+	e.prev = nil
+	e.next = l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+}
+
+func (l *lru) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (l *lru) moveToFront(e *lruEntry) {
+	if l.head == e {
+		return
+	}
+	l.unlink(e)
+	l.pushFront(e)
+}

@@ -1,0 +1,164 @@
+package compile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"autonetkit/internal/cache"
+	"autonetkit/internal/core"
+	"autonetkit/internal/graph"
+	"autonetkit/internal/ipalloc"
+	"autonetkit/internal/nidb"
+	"autonetkit/internal/obs"
+)
+
+// buildCacheTag versions the whole-build cache: the blob stored under a
+// model digest holds the complete post-finalisation Resource Database.
+// Bump it whenever the blob layout or the set of inputs ModelDigest covers
+// changes.
+const buildCacheTag = "ank/compile-db/v1"
+
+// ModelDigest returns the content address of the complete compile input:
+// the compile options, every ANM overlay (graph-level attributes, all nodes
+// and all edges in insertion order), the allocated ipv4 overlay and the
+// per-AS infrastructure blocks. Insertion order is hashed deliberately —
+// it defines device order, which lab finalisation turns into addresses.
+//
+// Unlike DeviceDigest, which hashes only the selective slice one device's
+// compilation reads, this is a single linear pass over the whole model: it
+// is the fast path's key. Equal model digests guarantee an identical
+// database, so a stored build can be restored without touching any
+// per-device machinery. Registry state (platforms, syntaxes) is not
+// tracked, matching DeviceDigest's contract.
+func ModelDigest(anm *core.ANM, alloc *ipalloc.Result, opts Options) cache.Digest {
+	opts.fill()
+	h := cache.NewHasher(buildCacheTag)
+	h.Str(opts.ZebraPassword, opts.DefaultPlatform, opts.DefaultSyntax, opts.DefaultHost)
+	h.Int(opts.OSPFProcessID)
+	for _, name := range anm.OverlayNames() {
+		h.Str("overlay", name)
+		graph.WriteGraphSignature(h, anm.Overlay(name).Graph())
+	}
+	h.Str("overlay", "ipv4-alloc")
+	graph.WriteGraphSignature(h, alloc.Overlay.Graph())
+	asns := make([]int, 0, len(alloc.InfraBlocks))
+	for asn := range alloc.InfraBlocks {
+		asns = append(asns, asn)
+	}
+	sort.Ints(asns)
+	for _, asn := range asns {
+		h.Str("infra")
+		h.Int(asn)
+		h.Value(alloc.InfraBlocks[asn])
+	}
+	return h.Sum()
+}
+
+// buildCacheKey derives the store key for a model's database blob.
+func buildCacheKey(modelDig cache.Digest) cache.Digest {
+	h := cache.NewHasher(buildCacheTag + "/blob")
+	h.Bytes(modelDig[:])
+	return h.Sum()
+}
+
+// lookupBuild restores a complete database for the model digest, or
+// reports a miss. A hit counts one cache hit per device, so the observable
+// counter contract matches the per-device path exactly.
+func lookupBuild(store *cache.Store, modelDig cache.Digest, col *obs.Collector) (*nidb.DB, bool) {
+	blob, ok := store.Get(buildCacheKey(modelDig))
+	if !ok {
+		return nil, false
+	}
+	db, err := decodeDB(blob)
+	if err != nil {
+		// Corrupt or stale-layout blobs degrade to a normal build.
+		return nil, false
+	}
+	db.ModelDigest = modelDig
+	n := int64(db.Len())
+	col.Add(obs.CounterCacheHits, n)
+	col.Add(obs.CounterCompileCacheHits, n)
+	col.Add(obs.CounterCacheBytes, int64(len(blob)))
+	return db, true
+}
+
+// storeBuild saves the finished (post-finalisation) database under the
+// model digest. Encoding failures — a record or lab map holding a value
+// outside the codec's closed type set — simply leave the build uncacheable
+// at this level; the per-device entries still serve the next build.
+func storeBuild(store *cache.Store, modelDig cache.Digest, db *nidb.DB) {
+	if blob, err := encodeDB(db); err == nil {
+		store.Put(buildCacheKey(modelDig), blob)
+	}
+}
+
+// encodeDB canonically serialises the whole database: devices (id, compile
+// digest, attribute tree) in insertion order, device-level links in
+// insertion order, and the per-(host, platform) lab maps.
+func encodeDB(db *nidb.DB) ([]byte, error) {
+	devs := make([]any, 0, 3*db.Len())
+	for _, d := range db.Devices() {
+		devs = append(devs, string(d.ID), string(d.Digest[:]), d.Data)
+	}
+	links := make([]any, 0, len(db.Links()))
+	for _, l := range db.Links() {
+		links = append(links, []string{string(l.A), string(l.B), l.AIface, l.BIface, string(l.CD)})
+	}
+	labs := map[string]any{}
+	for _, key := range db.LabKeys() {
+		host, platform, _ := strings.Cut(key, "/")
+		labs[key] = db.Lab(host, platform)
+	}
+	return cache.EncodeValue(map[string]any{"devices": devs, "links": links, "labs": labs})
+}
+
+// decodeDB restores a database blob. Every map and slice is freshly
+// decoded, so restored builds never alias the store or each other.
+func decodeDB(blob []byte) (*nidb.DB, error) {
+	v, err := cache.DecodeValue(blob)
+	if err != nil {
+		return nil, err
+	}
+	top, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("compile: build blob is %T, not a map", v)
+	}
+	db := nidb.New()
+	devs, _ := top["devices"].([]any)
+	if len(devs)%3 != 0 {
+		return nil, fmt.Errorf("compile: build blob device list is malformed")
+	}
+	for i := 0; i < len(devs); i += 3 {
+		id, iok := devs[i].(string)
+		dig, gok := devs[i+1].(string)
+		data, dok := devs[i+2].(map[string]any)
+		if !iok || !gok || !dok || len(dig) != 32 {
+			return nil, fmt.Errorf("compile: build blob device entry is malformed")
+		}
+		d := &nidb.Device{ID: graph.ID(id), Data: data}
+		copy(d.Digest[:], dig)
+		db.InstallDevice(d)
+	}
+	links, _ := top["links"].([]any)
+	for _, lv := range links {
+		f, ok := lv.([]string)
+		if !ok || len(f) != 5 {
+			return nil, fmt.Errorf("compile: build blob link entry is malformed")
+		}
+		db.AddLink(nidb.Link{A: graph.ID(f[0]), B: graph.ID(f[1]), AIface: f[2], BIface: f[3], CD: graph.ID(f[4])})
+	}
+	labs, _ := top["labs"].(map[string]any)
+	for key, lv := range labs {
+		lm, ok := lv.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("compile: build blob lab entry is malformed")
+		}
+		host, platform, _ := strings.Cut(key, "/")
+		dst := db.Lab(host, platform)
+		for k, v := range lm {
+			dst[k] = v
+		}
+	}
+	return db, nil
+}

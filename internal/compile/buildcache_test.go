@@ -1,0 +1,108 @@
+package compile
+
+import (
+	"bytes"
+	"testing"
+
+	"autonetkit/internal/cache"
+	"autonetkit/internal/design"
+	"autonetkit/internal/obs"
+)
+
+func TestModelDigestStableAndSelective(t *testing.T) {
+	anm1, alloc1, _ := pipeline(t, nil, Options{}, design.Options{})
+	anm2, alloc2, _ := pipeline(t, nil, Options{}, design.Options{})
+	d1 := ModelDigest(anm1, alloc1, Options{})
+	d2 := ModelDigest(anm2, alloc2, Options{})
+	if d1 != d2 {
+		t.Fatal("two identical pipelines produced different model digests")
+	}
+
+	// Any model edit — even one only a couple of devices depend on — must
+	// move the whole-build digest.
+	anm1.Overlay(design.OverlayOSPF).Edge("r1", "r2").Set(design.AttrCost, 42)
+	if ModelDigest(anm1, alloc1, Options{}) == d2 {
+		t.Error("OSPF edge edit did not move the model digest")
+	}
+	// Options that flow into records are part of the key.
+	if ModelDigest(anm2, alloc2, Options{ZebraPassword: "sekrit"}) == d2 {
+		t.Error("option change did not move the model digest")
+	}
+}
+
+func TestBuildBlobRoundTrip(t *testing.T) {
+	store := cache.NewMemory()
+	_, _, db := pipeline(t, nil, Options{Cache: store}, design.Options{})
+
+	blob, err := encodeDB(db)
+	if err != nil {
+		t.Fatalf("encodeDB: %v", err)
+	}
+	restored, err := decodeDB(blob)
+	if err != nil {
+		t.Fatalf("decodeDB: %v", err)
+	}
+	wantJSON, _ := db.MarshalJSON()
+	gotJSON, _ := restored.MarshalJSON()
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Error("restored database serialises differently from the original")
+	}
+	if got, want := len(restored.Links()), len(db.Links()); got != want {
+		t.Errorf("restored %d links, want %d", got, want)
+	}
+	for _, key := range db.LabKeys() {
+		if len(restored.LabKeys()) == 0 {
+			t.Fatalf("restored database lost lab data for %s", key)
+		}
+	}
+	for _, d := range db.Devices() {
+		r := restored.Device(d.ID)
+		if r == nil {
+			t.Fatalf("restored database lost device %s", d.ID)
+		}
+		if r.Digest != d.Digest {
+			t.Errorf("device %s lost its compile digest across the round trip", d.ID)
+		}
+	}
+}
+
+func TestBuildCacheCorruptBlobFallsBackToDeviceTier(t *testing.T) {
+	store := cache.NewMemory()
+	anm, alloc, dbCold := pipeline(t, nil, Options{Cache: store}, design.Options{})
+
+	// Poison only the whole-build blob; the per-device entries stay intact.
+	dig := ModelDigest(anm, alloc, Options{})
+	store.Put(buildCacheKey(dig), []byte("not a database"))
+
+	col := obs.NewCollector()
+	dbWarm, err := Compile(anm, alloc, Options{Cache: store, Obs: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := col.Snapshot().Counters
+	if c[obs.CounterCompileCacheHits] != int64(dbWarm.Len()) || c[obs.CounterCompileCacheMisses] != 0 {
+		t.Errorf("device-tier fallback hits/misses = %d/%d, want %d/0",
+			c[obs.CounterCompileCacheHits], c[obs.CounterCompileCacheMisses], dbWarm.Len())
+	}
+	if c[obs.CounterDevicesCompiled] != 0 {
+		t.Errorf("fallback compiled %d devices, want 0", c[obs.CounterDevicesCompiled])
+	}
+	wantJSON, _ := dbCold.MarshalJSON()
+	gotJSON, _ := dbWarm.MarshalJSON()
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Error("fallback build serialises differently from the cold build")
+	}
+
+	// The fallback build re-stores a good blob: the next compile restores
+	// the whole build in one step.
+	col2 := obs.NewCollector()
+	db3, err := Compile(anm, alloc, Options{Cache: store, Obs: col2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := col2.Snapshot().Counters
+	if c2[obs.CounterCompileCacheHits] != int64(db3.Len()) || c2[obs.CounterCompileCacheMisses] != 0 {
+		t.Errorf("whole-build hits/misses = %d/%d, want %d/0",
+			c2[obs.CounterCompileCacheHits], c2[obs.CounterCompileCacheMisses], db3.Len())
+	}
+}

@@ -1,0 +1,132 @@
+package compile
+
+import (
+	"autonetkit/internal/cache"
+	"autonetkit/internal/core"
+	"autonetkit/internal/graph"
+	"autonetkit/internal/ipalloc"
+)
+
+// compileDigestTag versions the compile digest space. Bump it whenever
+// compileDevice starts reading a model input this digest does not cover —
+// stale entries then miss instead of resurrecting records built under the
+// old dependency set.
+const compileDigestTag = "ank/compile/v1"
+
+// DeviceDigest returns the content address of every model input
+// compileDevice reads for node id: the compile options, the device's
+// AS infrastructure block, its node slice of every overlay (attributes
+// plus incident edges, in deterministic order), its protocol peers'
+// overlay attributes and loopbacks, and the two-hop collision-domain
+// closure in the allocated ipv4 overlay (domain attributes, ordered
+// member lists, member addresses and the protocol edges crossing each
+// domain). Two builds whose digests agree for a device produce an
+// identical Resource-Database record for it, so the record — and every
+// file rendered from it — can be reused.
+func DeviceDigest(anm *core.ANM, alloc *ipalloc.Result, opts Options, id graph.ID) cache.Digest {
+	opts.fill()
+	h := cache.NewHasher(compileDigestTag)
+
+	// Compile options that flow into device records.
+	h.Str(opts.ZebraPassword, opts.DefaultPlatform, opts.DefaultSyntax, opts.DefaultHost)
+	h.Int(opts.OSPFProcessID)
+	h.Str(string(id))
+
+	// The AS infrastructure block feeds bgp.networks.
+	phy := anm.Overlay(core.OverlayPhy)
+	asn := phy.Node(id).ASN()
+	h.Int(asn)
+	if block, ok := alloc.InfraBlocks[asn]; ok {
+		h.Str("infra")
+		h.Value(block)
+	}
+
+	ipOverlay := alloc.Overlay
+	ipg := ipOverlay.Graph()
+	names := anm.OverlayNames()
+
+	// Per-overlay node slice: overlay identity and shape, overlay-level
+	// data, the node's own attributes and incident edges, and — for
+	// protocol overlays — each peer's overlay attributes and loopback
+	// (compileBGP reads peer ASN, session attributes and peer loopbacks).
+	for _, name := range names {
+		ov := anm.Overlay(name)
+		g := ov.Graph()
+		h.Str("overlay", name)
+		h.Bool(g.Directed())
+		h.Attrs(g.Attrs())
+		graph.WriteNodeSignature(h, g, id)
+		// Peer node state is only read through the directed session
+		// overlays (compileBGP: peer ASN and loopback); undirected protocol
+		// overlays contribute through edges and the CD closure alone, so
+		// hashing their peers' attributes here would over-invalidate.
+		if !g.Directed() {
+			continue
+		}
+		for _, peer := range g.Neighbors(id) {
+			h.Str("peer", string(peer))
+			if pn := g.Node(peer); pn != nil {
+				h.Attrs(pn.Attrs())
+			}
+			if lo := ipg.Node(peer); lo != nil {
+				h.Str("peer-lo")
+				h.Value(lo.Attrs()[ipalloc.AttrLoopback])
+			}
+		}
+	}
+
+	// The allocated ipv4 overlay may not be registered in the ANM's
+	// overlay list; hash the node's slice of it explicitly (interface
+	// order, addresses and loopback all come from here).
+	h.Str("overlay", "ipv4-alloc")
+	h.Attrs(ipg.Attrs())
+	graph.WriteNodeSignature(h, ipg, id)
+
+	// Two-hop collision-domain closure: compileInterfaces, the OSPF/ISIS
+	// compilers and the eBGP session builder all read the members of each
+	// attached domain — their order (interface descriptions), their
+	// addresses on the domain (eBGP neighbor IPs), their ASN and device
+	// type (intra-AS and gateway decisions) and the protocol edges between
+	// this node and each co-member (OSPF cost and area).
+	for _, cdID := range ipg.Neighbors(id) {
+		cdNode := ipg.Node(cdID)
+		if cdNode == nil {
+			continue
+		}
+		if dt, _ := cdNode.Get(core.AttrDeviceType).(string); dt != core.DeviceCollisionDomain {
+			continue
+		}
+		h.Str("cd", string(cdID))
+		h.Attrs(cdNode.Attrs())
+		for _, m := range ipg.Neighbors(cdID) {
+			if m == id {
+				continue
+			}
+			h.Str("member", string(m))
+			if e := ipg.Edge(cdID, m); e != nil {
+				h.Attrs(e.Attrs())
+			}
+			if mn := ipg.Node(m); mn != nil {
+				h.Attrs(mn.Attrs())
+			}
+			if pn := phy.Graph().Node(m); pn != nil {
+				h.Value(pn.Attrs()[core.AttrASN])
+				h.Value(pn.Attrs()[core.AttrDeviceType])
+			}
+			for _, name := range names {
+				og := anm.Overlay(name).Graph()
+				if e := og.Edge(id, m); e != nil {
+					h.Str("cd-edge", name)
+					h.Attrs(e.Attrs())
+				}
+				if og.Directed() {
+					if e := og.Edge(m, id); e != nil {
+						h.Str("cd-edge-in", name)
+						h.Attrs(e.Attrs())
+					}
+				}
+			}
+		}
+	}
+	return h.Sum()
+}

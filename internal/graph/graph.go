@@ -110,6 +110,14 @@ type Graph struct {
 	// both orientations, pointing at the same *Edge.
 	adj       map[ID]map[ID]*Edge
 	edgeOrder []*Edge
+
+	// incident indexes edgeOrder per endpoint — outgoing edges for directed
+	// graphs, all incident edges (self-loops once) for undirected — and
+	// incoming holds the directed in-edges. Both preserve edge-insertion
+	// order, so the EdgesOf/InEdgesOf/Neighbors family is O(degree) instead
+	// of a scan over every edge in the graph.
+	incident map[ID][]*Edge
+	incoming map[ID][]*Edge
 }
 
 // New returns an empty undirected graph.
@@ -124,6 +132,8 @@ func newGraph(directed bool) *Graph {
 		attrs:    Attrs{},
 		nodes:    map[ID]*Node{},
 		adj:      map[ID]map[ID]*Edge{},
+		incident: map[ID][]*Edge{},
+		incoming: map[ID][]*Edge{},
 	}
 }
 
@@ -174,18 +184,16 @@ func (g *Graph) RemoveNode(id ID) {
 	if !g.HasNode(id) {
 		return
 	}
-	// Drop incident edges first.
-	var doomed []*Edge
-	for _, e := range g.edgeOrder {
-		if e.src == id || e.dst == id {
-			doomed = append(doomed, e)
-		}
-	}
+	// Drop incident edges first (copy: removeEdgePtr mutates the indexes).
+	doomed := append([]*Edge(nil), g.incident[id]...)
+	doomed = append(doomed, g.incoming[id]...)
 	for _, e := range doomed {
 		g.removeEdgePtr(e)
 	}
 	delete(g.nodes, id)
 	delete(g.adj, id)
+	delete(g.incident, id)
+	delete(g.incoming, id)
 	for i, nid := range g.order {
 		if nid == id {
 			g.order = append(g.order[:i], g.order[i+1:]...)
@@ -252,8 +260,12 @@ func (g *Graph) AddEdge(u, v ID, attrs ...Attrs) *Edge {
 		e.attrs.Merge(a)
 	}
 	g.adj[u][v] = e
-	if !g.directed && u != v {
+	g.incident[u] = append(g.incident[u], e)
+	if g.directed {
+		g.incoming[v] = append(g.incoming[v], e)
+	} else if u != v {
 		g.adj[v][u] = e
+		g.incident[v] = append(g.incident[v], e)
 	}
 	g.edgeOrder = append(g.edgeOrder, e)
 	return e
@@ -269,8 +281,12 @@ func (g *Graph) RemoveEdge(u, v ID) {
 
 func (g *Graph) removeEdgePtr(e *Edge) {
 	delete(g.adj[e.src], e.dst)
-	if !g.directed {
+	g.incident[e.src] = dropEdge(g.incident[e.src], e)
+	if g.directed {
+		g.incoming[e.dst] = dropEdge(g.incoming[e.dst], e)
+	} else if e.src != e.dst {
 		delete(g.adj[e.dst], e.src)
+		g.incident[e.dst] = dropEdge(g.incident[e.dst], e)
 	}
 	for i, cur := range g.edgeOrder {
 		if cur == e {
@@ -278,6 +294,16 @@ func (g *Graph) removeEdgePtr(e *Edge) {
 			break
 		}
 	}
+}
+
+// dropEdge removes the first occurrence of e from es, preserving order.
+func dropEdge(es []*Edge, e *Edge) []*Edge {
+	for i, cur := range es {
+		if cur == e {
+			return append(es[:i], es[i+1:]...)
+		}
+	}
+	return es
 }
 
 // Edges returns all edges in insertion order (undirected edges once each).
@@ -291,12 +317,12 @@ func (g *Graph) Edges() []*Edge {
 // directed graphs only outgoing edges, matching the paper's session
 // semantics.
 func (g *Graph) EdgesOf(id ID) []*Edge {
-	var out []*Edge
-	for _, e := range g.edgeOrder {
-		if e.src == id || (!g.directed && e.dst == id) {
-			out = append(out, e)
-		}
+	es := g.incident[id]
+	if len(es) == 0 {
+		return nil
 	}
+	out := make([]*Edge, len(es))
+	copy(out, es)
 	return out
 }
 
@@ -306,33 +332,30 @@ func (g *Graph) InEdgesOf(id ID) []*Edge {
 	if !g.directed {
 		return g.EdgesOf(id)
 	}
-	var out []*Edge
-	for _, e := range g.edgeOrder {
-		if e.dst == id {
-			out = append(out, e)
-		}
+	es := g.incoming[id]
+	if len(es) == 0 {
+		return nil
 	}
+	out := make([]*Edge, len(es))
+	copy(out, es)
 	return out
 }
 
 // Neighbors returns the neighbor IDs of id in deterministic (edge insertion)
 // order. For directed graphs these are the successors.
 func (g *Graph) Neighbors(id ID) []ID {
-	var out []ID
-	seen := map[ID]bool{}
-	for _, e := range g.edgeOrder {
-		var nb ID
-		switch {
-		case e.src == id:
-			nb = e.dst
-		case !g.directed && e.dst == id:
-			nb = e.src
-		default:
-			continue
-		}
-		if !seen[nb] {
-			seen[nb] = true
-			out = append(out, nb)
+	es := g.incident[id]
+	if len(es) == 0 {
+		return nil
+	}
+	// AddEdge merges parallel edges, so each incident edge contributes a
+	// distinct neighbor — no dedup pass needed.
+	out := make([]ID, len(es))
+	for i, e := range es {
+		if e.src == id {
+			out[i] = e.dst
+		} else {
+			out[i] = e.src
 		}
 	}
 	return out
@@ -344,13 +367,10 @@ func (g *Graph) Degree(id ID) int {
 	if g.directed {
 		return len(g.adj[id])
 	}
-	d := 0
-	for _, e := range g.edgeOrder {
-		if e.src == id || e.dst == id {
-			d++
-			if e.src == id && e.dst == id {
-				d++ // self-loop counts twice, matching NetworkX
-			}
+	d := len(g.incident[id])
+	for _, e := range g.incident[id] {
+		if e.src == e.dst {
+			d++ // self-loop counts twice, matching NetworkX
 		}
 	}
 	return d

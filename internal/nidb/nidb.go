@@ -23,6 +23,11 @@ type Device struct {
 	ID graph.ID
 	// Data is the nested attribute tree pushed into templates as `node`.
 	Data map[string]any
+	// Digest, when non-zero, is the content address of the compile inputs
+	// this record was built (or reused) from — set by the compile stage when
+	// its cache is enabled. Downstream caches may key on it instead of
+	// re-encoding Data, because equal digests guarantee equal records.
+	Digest [32]byte
 }
 
 // NewDevice returns an empty device record.
@@ -115,6 +120,14 @@ type Link struct {
 // DB is the Resource Database: every compiled device plus the device-level
 // topology, in deterministic order.
 type DB struct {
+	// ModelDigest, when non-zero, is the content address of the complete
+	// compile input (every overlay, the IP allocation and the compile
+	// options) this database was built — or restored — from. The compile
+	// stage sets it when its cache is enabled; downstream whole-build caches
+	// (the render stage's file-set cache) key on it, because equal model
+	// digests guarantee an identical database.
+	ModelDigest [32]byte
+
 	devices map[graph.ID]*Device
 	order   []graph.ID
 	links   []Link

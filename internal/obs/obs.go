@@ -32,6 +32,17 @@ const (
 	// CounterDevicesQuarantined counts devices excluded from a lenient
 	// boot because their configurations carried error diagnostics.
 	CounterDevicesQuarantined = "devices_quarantined"
+
+	// Incremental-build cache counters. The aggregate pair sums both
+	// pipeline stages; the per-stage pairs let tests assert exactly which
+	// devices recompiled vs re-rendered after an edit.
+	CounterCacheHits          = "cache_hits"
+	CounterCacheMisses        = "cache_misses"
+	CounterCacheBytes         = "cache_bytes"
+	CounterCompileCacheHits   = "compile_cache_hits"
+	CounterCompileCacheMisses = "compile_cache_misses"
+	CounterRenderCacheHits    = "render_cache_hits"
+	CounterRenderCacheMisses  = "render_cache_misses"
 )
 
 // Collector accumulates spans and counters for one pipeline run.

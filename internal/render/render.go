@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"autonetkit/internal/cache"
 	"autonetkit/internal/nidb"
 	"autonetkit/internal/obs"
 )
@@ -19,6 +20,12 @@ type Options struct {
 	// every setting: each device (and each lab) renders into a private
 	// ordered file list, and the lists are merged in database order.
 	Workers int
+	// Cache, when non-nil, is the incremental build store: devices whose
+	// render key (attribute tree + template-set fingerprint) matches a
+	// stored entry reuse their prior rendered files instead of executing
+	// templates. Output is byte-identical at every cache state; lab-level
+	// files always re-render.
+	Cache *cache.Store
 	// Obs, when non-nil, receives timing spans and work counters.
 	Obs *obs.Collector
 }
@@ -50,6 +57,21 @@ func RenderInto(db *nidb.DB, fs *FileSet) error {
 type renderedFile struct{ path, content string }
 
 func renderInto(ctx context.Context, db *nidb.DB, fs *FileSet, opts Options) error {
+	// Whole-build fast path: when the database carries a compile-stage
+	// model digest, the complete file tree — lab-level output included —
+	// is restored from (or stored as) a single blob, skipping per-device
+	// key computation and template execution entirely.
+	var setKey cache.Digest
+	haveSetKey := false
+	if opts.Cache != nil {
+		if key, ok := fileSetKey(db); ok {
+			if lookupFileSet(db, fs, key, opts) {
+				return nil
+			}
+			setKey, haveSetKey = key, true
+		}
+	}
+
 	devices := db.Devices()
 	labKeys := db.LabKeys()
 
@@ -59,7 +81,7 @@ func renderInto(ctx context.Context, db *nidb.DB, fs *FileSet, opts Options) err
 	jobs := make([]func() ([]renderedFile, error), 0, len(devices)+len(labKeys))
 	for _, d := range devices {
 		d := d
-		jobs = append(jobs, func() ([]renderedFile, error) { return renderDevice(d, opts.Obs) })
+		jobs = append(jobs, func() ([]renderedFile, error) { return renderDeviceCached(d, opts) })
 	}
 	for _, key := range labKeys {
 		key := key
@@ -75,11 +97,20 @@ func renderInto(ctx context.Context, db *nidb.DB, fs *FileSet, opts Options) err
 
 	merge := opts.Obs.StartSpan("merge")
 	defer merge.End()
+	var flat []renderedFile
 	for _, files := range results {
 		for _, f := range files {
 			fs.Write(f.path, f.content)
 			opts.Obs.Add(obs.CounterFilesRendered, 1)
 			opts.Obs.Add(obs.CounterBytesWritten, int64(len(f.content)))
+		}
+		if haveSetKey {
+			flat = append(flat, files...)
+		}
+	}
+	if haveSetKey {
+		if blob, err := encodeFiles(flat); err == nil {
+			opts.Cache.Put(setKey, blob)
 		}
 	}
 	return nil

@@ -1,0 +1,72 @@
+package render
+
+import (
+	"context"
+	"testing"
+
+	"autonetkit/internal/cache"
+	"autonetkit/internal/obs"
+	"autonetkit/internal/tmpl"
+)
+
+// TestRenderFileSetCache drives the whole-build render tier: a database
+// carrying a compile-stage model digest restores its complete file tree —
+// lab-level files included — from one blob, and any template registration
+// (device- or lab-level) invalidates that blob.
+func TestRenderFileSetCache(t *testing.T) {
+	db := buildDB(t, "netkit", "quagga")
+	db.ModelDigest = [32]byte{1} // as the cache-enabled compile stage would stamp it
+
+	store := cache.NewMemory()
+	colCold := obs.NewCollector()
+	cold, err := RenderWith(context.Background(), db, Options{Cache: store, Obs: colCold})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	colWarm := obs.NewCollector()
+	warm, err := RenderWith(context.Background(), db, Options{Cache: store, Obs: colWarm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := colWarm.Snapshot().Counters
+	if wc[obs.CounterRenderCacheHits] != int64(db.Len()) || wc[obs.CounterRenderCacheMisses] != 0 {
+		t.Errorf("warm hits/misses = %d/%d, want %d/0",
+			wc[obs.CounterRenderCacheHits], wc[obs.CounterRenderCacheMisses], db.Len())
+	}
+	// The whole-build tier skips even the lab-level templates the
+	// per-device tier always re-executes.
+	if wc[obs.CounterTemplatesExecuted] != 0 {
+		t.Errorf("warm build executed %d templates, want 0", wc[obs.CounterTemplatesExecuted])
+	}
+	if renderHash(t, cold) != renderHash(t, warm) {
+		t.Error("restored file set differs from the rendered one")
+	}
+
+	// A lab-template registration must invalidate the stored tree — it
+	// contains lab-level output.
+	prevLab := labTemplates["netkit"]
+	RegisterLabTemplate("netkit", labTemplate{
+		RelPath:  "extra.conf",
+		Template: tmpl.MustParse("lab-extra", "extra for ${lab.host}\n"),
+	})
+	defer func() {
+		labTemplates["netkit"] = prevLab
+		syntaxFPMu.Lock()
+		registryFPCache = ""
+		syntaxFPMu.Unlock()
+	}()
+
+	colEdit := obs.NewCollector()
+	edited, err := RenderWith(context.Background(), db, Options{Cache: store, Obs: colEdit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := edited.Read("localhost/netkit/extra.conf"); !ok {
+		t.Error("lab-template registration did not reach the rendered tree")
+	}
+	ec := colEdit.Snapshot().Counters
+	if ec[obs.CounterTemplatesExecuted] == 0 {
+		t.Error("registry change did not invalidate the whole-build blob")
+	}
+}

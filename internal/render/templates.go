@@ -1,14 +1,22 @@
 package render
 
-import "autonetkit/internal/tmpl"
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"autonetkit/internal/tmpl"
+)
 
 // The embedded template library. Templates deliberately mirror the target
 // configuration languages line for line (§4.1: "templates closely mirror
 // the target configuration language, so are familiar to users experienced
 // in network configuration"); all non-trivial logic lives in the compiler.
 
-// deviceTemplate is one output file of a syntax's template set.
-type deviceTemplate struct {
+// DeviceTemplate is one output file of a syntax's template set.
+type DeviceTemplate struct {
 	// RelPath is the output path relative to the device's dst_folder; empty
 	// Dir means the file lands at the folder root.
 	RelPath string
@@ -24,7 +32,7 @@ type deviceTemplate struct {
 }
 
 // syntaxTemplates maps a device syntax to its template set.
-var syntaxTemplates = map[string][]deviceTemplate{}
+var syntaxTemplates = map[string][]DeviceTemplate{}
 
 // labTemplates maps a platform to its lab-level files (lab.conf, lab.net,
 // topology.vmm, lab.cli), rendered once per (host, platform) with context
@@ -39,12 +47,122 @@ type labTemplate struct {
 
 // RegisterDeviceTemplate appends an output file to a syntax's template set
 // (the §7 extension point: a new protocol adds its template here).
-func RegisterDeviceTemplate(syntax string, t deviceTemplate) {
+func RegisterDeviceTemplate(syntax string, t DeviceTemplate) {
+	invalidateSyntaxFingerprint(syntax)
 	syntaxTemplates[syntax] = append(syntaxTemplates[syntax], t)
+}
+
+// DeviceTemplates returns a copy of the syntax's current template set.
+func DeviceTemplates(syntax string) []DeviceTemplate {
+	out := make([]DeviceTemplate, len(syntaxTemplates[syntax]))
+	copy(out, syntaxTemplates[syntax])
+	return out
+}
+
+// ReplaceDeviceTemplates swaps a syntax's whole template set, returning the
+// previous one so callers (template experiments, tests) can restore it. An
+// empty replacement deletes the syntax's per-device files entirely.
+func ReplaceDeviceTemplates(syntax string, ts []DeviceTemplate) []DeviceTemplate {
+	invalidateSyntaxFingerprint(syntax)
+	prev := syntaxTemplates[syntax]
+	if len(ts) == 0 {
+		delete(syntaxTemplates, syntax)
+	} else {
+		syntaxTemplates[syntax] = append([]DeviceTemplate(nil), ts...)
+	}
+	return prev
+}
+
+// syntaxFPCache memoises SyntaxFingerprint per syntax: the render cache asks
+// for it once per device, and rehashing every template source each time
+// dominates an otherwise fully-warm render. Any registration operation
+// invalidates the memo; mutating an already-registered template's Funcs
+// without re-registering is not tracked (the shipped library never does).
+var (
+	syntaxFPMu    sync.Mutex
+	syntaxFPCache = map[string]string{}
+)
+
+func invalidateSyntaxFingerprint(syntax string) {
+	syntaxFPMu.Lock()
+	delete(syntaxFPCache, syntax)
+	registryFPCache = ""
+	syntaxFPMu.Unlock()
+}
+
+// registryFPCache memoises RegistryFingerprint; any registration operation
+// clears it.
+var registryFPCache string
+
+// RegistryFingerprint hashes the identity of the entire template registry —
+// every syntax's device templates and every platform's lab templates, in
+// name order. The whole-build render cache folds it into its key: restored
+// file sets include lab-level output, so any template change anywhere must
+// invalidate them.
+func RegistryFingerprint() string {
+	syntaxFPMu.Lock()
+	defer syntaxFPMu.Unlock()
+	if registryFPCache != "" {
+		return registryFPCache
+	}
+	h := sha256.New()
+	syntaxes := make([]string, 0, len(syntaxTemplates))
+	for s := range syntaxTemplates {
+		syntaxes = append(syntaxes, s)
+	}
+	sort.Strings(syntaxes)
+	for _, s := range syntaxes {
+		fmt.Fprintf(h, "syntax:%s|", s)
+		for _, t := range syntaxTemplates[s] {
+			for _, field := range []string{t.RelPath, t.When, fmt.Sprint(t.AtLabRoot), t.Template.Fingerprint()} {
+				fmt.Fprintf(h, "%d:%s|", len(field), field)
+			}
+		}
+	}
+	platforms := make([]string, 0, len(labTemplates))
+	for p := range labTemplates {
+		platforms = append(platforms, p)
+	}
+	sort.Strings(platforms)
+	for _, p := range platforms {
+		fmt.Fprintf(h, "platform:%s|", p)
+		for _, t := range labTemplates[p] {
+			for _, field := range []string{t.RelPath, t.Template.Fingerprint()} {
+				fmt.Fprintf(h, "%d:%s|", len(field), field)
+			}
+		}
+	}
+	registryFPCache = hex.EncodeToString(h.Sum(nil))
+	return registryFPCache
+}
+
+// SyntaxFingerprint hashes the identity of a syntax's full template set —
+// every output path, render condition, placement flag and template
+// fingerprint, in registration order. The render cache folds it into each
+// device's key, so registering, replacing or editing any template of the
+// syntax invalidates exactly the devices rendered through that syntax.
+func SyntaxFingerprint(syntax string) string {
+	syntaxFPMu.Lock()
+	defer syntaxFPMu.Unlock()
+	if fp, ok := syntaxFPCache[syntax]; ok {
+		return fp
+	}
+	h := sha256.New()
+	for _, t := range syntaxTemplates[syntax] {
+		for _, field := range []string{t.RelPath, t.When, fmt.Sprint(t.AtLabRoot), t.Template.Fingerprint()} {
+			fmt.Fprintf(h, "%d:%s|", len(field), field)
+		}
+	}
+	fp := hex.EncodeToString(h.Sum(nil))
+	syntaxFPCache[syntax] = fp
+	return fp
 }
 
 // RegisterLabTemplate appends a lab-level file to a platform.
 func RegisterLabTemplate(platform string, t labTemplate) {
+	syntaxFPMu.Lock()
+	registryFPCache = ""
+	syntaxFPMu.Unlock()
 	labTemplates[platform] = append(labTemplates[platform], t)
 }
 
@@ -387,15 +505,15 @@ const junosphereVMM = `topology {
 
 func init() {
 	// Quagga on Netkit.
-	RegisterDeviceTemplate("quagga", deviceTemplate{RelPath: "etc/quagga/zebra.conf", When: "zebra", Template: tmpl.MustParse("quagga/zebra.conf", quaggaZebra)})
-	RegisterDeviceTemplate("quagga", deviceTemplate{RelPath: "etc/quagga/ospfd.conf", When: "ospf", Template: tmpl.MustParse("quagga/ospfd.conf", quaggaOspfd)})
-	RegisterDeviceTemplate("quagga", deviceTemplate{RelPath: "etc/quagga/bgpd.conf", When: "bgp", Template: tmpl.MustParse("quagga/bgpd.conf", quaggaBgpd)})
-	RegisterDeviceTemplate("quagga", deviceTemplate{RelPath: "etc/quagga/isisd.conf", When: "isis", Template: tmpl.MustParse("quagga/isisd.conf", quaggaIsisd)})
-	RegisterDeviceTemplate("quagga", deviceTemplate{RelPath: "etc/quagga/daemons", When: "quagga", Template: tmpl.MustParse("quagga/daemons", quaggaDaemons)})
-	RegisterDeviceTemplate("quagga", deviceTemplate{RelPath: ".startup", AtLabRoot: true, Template: tmpl.MustParse("netkit/startup", netkitStartup)})
+	RegisterDeviceTemplate("quagga", DeviceTemplate{RelPath: "etc/quagga/zebra.conf", When: "zebra", Template: tmpl.MustParse("quagga/zebra.conf", quaggaZebra)})
+	RegisterDeviceTemplate("quagga", DeviceTemplate{RelPath: "etc/quagga/ospfd.conf", When: "ospf", Template: tmpl.MustParse("quagga/ospfd.conf", quaggaOspfd)})
+	RegisterDeviceTemplate("quagga", DeviceTemplate{RelPath: "etc/quagga/bgpd.conf", When: "bgp", Template: tmpl.MustParse("quagga/bgpd.conf", quaggaBgpd)})
+	RegisterDeviceTemplate("quagga", DeviceTemplate{RelPath: "etc/quagga/isisd.conf", When: "isis", Template: tmpl.MustParse("quagga/isisd.conf", quaggaIsisd)})
+	RegisterDeviceTemplate("quagga", DeviceTemplate{RelPath: "etc/quagga/daemons", When: "quagga", Template: tmpl.MustParse("quagga/daemons", quaggaDaemons)})
+	RegisterDeviceTemplate("quagga", DeviceTemplate{RelPath: ".startup", AtLabRoot: true, Template: tmpl.MustParse("netkit/startup", netkitStartup)})
 
-	RegisterDeviceTemplate("ios", deviceTemplate{RelPath: ".cfg", AtLabRoot: true, Template: tmpl.MustParse("ios/config", iosConfig)})
-	RegisterDeviceTemplate("junos", deviceTemplate{RelPath: ".conf", AtLabRoot: true, Template: tmpl.MustParse("junos/config", junosConfig)})
+	RegisterDeviceTemplate("ios", DeviceTemplate{RelPath: ".cfg", AtLabRoot: true, Template: tmpl.MustParse("ios/config", iosConfig)})
+	RegisterDeviceTemplate("junos", DeviceTemplate{RelPath: ".conf", AtLabRoot: true, Template: tmpl.MustParse("junos/config", junosConfig)})
 
 	RegisterLabTemplate("netkit", labTemplate{RelPath: "lab.conf", Template: tmpl.MustParse("netkit/lab.conf", netkitLabConf)})
 	RegisterLabTemplate("dynagen", labTemplate{RelPath: "lab.net", Template: tmpl.MustParse("dynagen/lab.net", dynagenLabNet)})

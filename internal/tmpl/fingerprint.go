@@ -1,0 +1,44 @@
+package tmpl
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"sort"
+)
+
+// Fingerprint returns a stable content hash of the template's identity:
+// its name, its full source text and the sorted names of the helper
+// functions currently registered on it. The incremental build cache folds
+// fingerprints into render keys, so editing a template (or registering a
+// new helper) invalidates exactly the devices rendered through it while a
+// re-parse of identical source stays a cache hit.
+//
+// Function *bodies* are not hashed — Go closures have no canonical form —
+// so swapping a helper's implementation under an unchanged name must be
+// paired with a rename or a source edit to invalidate. The shipped
+// template library never does this at runtime.
+func (t *Template) Fingerprint() string {
+	h := sha256.New()
+	writeFrame(h, t.name)
+	writeFrame(h, t.src)
+	names := make([]string, 0, len(t.funcs))
+	for name := range t.funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writeFrame(h, name)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeFrame length-prefixes s so adjacent fields cannot collide.
+func writeFrame(w io.Writer, s string) {
+	var n [4]byte
+	for i := 0; i < 4; i++ {
+		n[i] = byte(len(s) >> (8 * i))
+	}
+	w.Write(n[:])
+	io.WriteString(w, s)
+}

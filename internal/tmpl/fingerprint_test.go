@@ -1,0 +1,28 @@
+package tmpl
+
+import "testing"
+
+func TestFingerprintStableAcrossReparse(t *testing.T) {
+	const src = "hostname ${node.hostname}\n"
+	a := MustParse("fp/test", src)
+	b := MustParse("fp/test", src)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("re-parsing identical source changed the fingerprint")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := MustParse("fp/test", "line one\n").Fingerprint()
+	if MustParse("fp/test", "line two\n").Fingerprint() == base {
+		t.Error("source edit not reflected")
+	}
+	if MustParse("fp/other", "line one\n").Fingerprint() == base {
+		t.Error("template rename not reflected")
+	}
+	withFn := MustParse("fp/test", "line one\n").Funcs(FuncMap{
+		"custom": func(args ...any) (any, error) { return nil, nil },
+	})
+	if withFn.Fingerprint() == base {
+		t.Error("registering a helper function not reflected")
+	}
+}

@@ -9,6 +9,7 @@ import (
 // Template is a parsed template ready for repeated execution.
 type Template struct {
 	name  string
+	src   string
 	root  []stmtNode
 	funcs FuncMap
 }
@@ -163,7 +164,7 @@ func (n ifNode) exec(sb *strings.Builder, s *scope) error {
 // indentation) with '%'; '##' lines are comments; everything else is output
 // with ${...} substitution.
 func Parse(name, src string) (*Template, error) {
-	t := &Template{name: name, funcs: builtinFuncs()}
+	t := &Template{name: name, src: src, funcs: builtinFuncs()}
 	lines := strings.Split(src, "\n")
 	trailingNewline := strings.HasSuffix(src, "\n")
 	if trailingNewline {

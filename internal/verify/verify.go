@@ -250,7 +250,20 @@ func checkBGPSessionSymmetry(db *nidb.DB, r *Report) {
 			claims[claim{string(d.ID), string(peer.ID)}] = true
 		}
 	}
+	// Sort the claim set before emitting findings: map iteration order is
+	// random, and the report's finding order must be byte-stable across
+	// repeated builds.
+	ordered := make([]claim, 0, len(claims))
 	for c := range claims {
+		ordered = append(ordered, c)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].local != ordered[j].local {
+			return ordered[i].local < ordered[j].local
+		}
+		return ordered[i].peer < ordered[j].peer
+	})
+	for _, c := range ordered {
 		if !claims[claim{c.peer, c.local}] {
 			r.add("bgp-session", Error, c.local,
 				"session to %s has no reverse neighbor statement", c.peer)
@@ -352,7 +365,15 @@ func checkRouteReflection(db *nidb.DB, r *Report) {
 			}
 		}
 	}
-	for asn, info := range byASN {
+	// Emit per-AS findings in ASN order, not map order, so the report is
+	// byte-stable across repeated builds.
+	asns := make([]int, 0, len(byASN))
+	for asn := range byASN {
+		asns = append(asns, asn)
+	}
+	sort.Ints(asns)
+	for _, asn := range asns {
+		info := byASN[asn]
 		if len(info.reflectors) == 0 {
 			continue // full mesh: nothing to check
 		}

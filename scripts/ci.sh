@@ -26,6 +26,22 @@ rm -f /tmp/ci_chaos_report.$$
 echo "== golden partial-boot drill (testdata/quarantine)"
 go test -race -run 'TestGoldenQuarantineDrill' -count=1 .
 
+echo "== cache-warm pass (go test -count=2: second run rebuilds against warm state)"
+go test -count=2 -run 'TestCachePipelineProperty|TestCacheInvalidationMatrix|TestLenientBootDoesNotPoisonCache|TestRepeatedBuildByteDeterminism|TestCompileCacheHitProducesIdenticalDB|TestRenderCacheWarmIsByteIdentical' \
+  . ./internal/compile/ ./internal/render/ ./internal/cache/
+
+echo "== coverage gate (floor 80%)"
+go test -count=1 -coverprofile=/tmp/ci_cover.$$ ./... > /dev/null
+total=$(go tool cover -func=/tmp/ci_cover.$$ | awk '/^total:/ { gsub(/%/, "", $3); print $3 }')
+rm -f /tmp/ci_cover.$$
+awk -v t="$total" 'BEGIN {
+  if (t + 0 < 80.0) { print "coverage " t "% is below the 80% floor"; exit 1 }
+  print "coverage " t "% (floor 80%)"
+}'
+
+echo "== incremental rebuild benchmark (cold vs warm)"
+go test -run 'NONE' -bench 'BenchmarkP4_IncrementalRebuild' -benchtime 3x .
+
 echo "== fuzz (parsers, 5s each)"
 for target in FuzzParseQuagga FuzzParseIOS FuzzParseJunos FuzzParseCBGP; do
   go test -run=NONE -fuzz="^${target}\$" -fuzztime=5s ./internal/emul/
