@@ -860,6 +860,64 @@ check baseline
 	}
 }
 
+// --- P5: convergence under scheduled control-plane loss. One NREN-shaped
+// lab is deployed once; each sub-benchmark installs a seeded perturber
+// dropping the given percentage of route advertisements on every session
+// and re-converges from scratch. Reported metrics are the rounds to
+// quiescence and the total best-route churn — the convergence-degradation
+// curve EXPERIMENTS.md plots against loss rate. ---
+
+func BenchmarkP5_ConvergenceUnderLoss(b *testing.B) {
+	g, err := topogen.NREN(topogen.NRENConfig{ASes: 4, Routers: 50, Links: 65, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := LoadGraph(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Build(BuildOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	dep, err := net.Deploy(deploy.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lab := dep.Lab()
+	defer func() {
+		lab.SetPerturber(nil)
+		if _, err := lab.Reconverge(); err != nil {
+			b.Fatal(err)
+		}
+	}()
+	for _, pct := range []int{0, 5, 10, 20} {
+		b.Run(fmt.Sprintf("loss%d", pct), func(b *testing.B) {
+			if pct == 0 {
+				lab.SetPerturber(nil)
+			} else {
+				lab.SetPerturber(routing.NewScheduledPerturber(42, []routing.PerturbRule{
+					{Kind: routing.PerturbLoss, Pct: pct},
+				}))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var rounds, churn int
+			for i := 0; i < b.N; i++ {
+				res, err := lab.Reconverge()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Converged {
+					b.Fatalf("loss %d%%: %+v", pct, res)
+				}
+				rounds, churn = res.Rounds, lab.TotalChurn()
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+			b.ReportMetric(float64(churn), "churn")
+		})
+	}
+}
+
 // --- P3: resilient boot (strict vs lenient quarantine) ---
 
 // BenchmarkP3_Boot measures a full lab boot of the Small-Internet tree in

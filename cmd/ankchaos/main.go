@@ -7,8 +7,12 @@
 //	ankchaos -in lab.graphml -scenario outage.chaos -lenient
 //
 // The scenario file is line-oriented: fail-link/fail-node/restore-link/
-// restore-node/flap/partition steps interleaved with check assertions; see
-// internal/chaos.ParseScenario for the full grammar. A malformed scenario
+// restore-node/flap/partition/perturb steps interleaved with check
+// assertions; see internal/chaos.ParseScenario for the full grammar. A
+// scenario that sets `seed <n>` runs its control-plane perturbations
+// deterministically and is supervised by the convergence watchdog
+// (escalation ladder: bigger budget → soft reset → quarantine); -supervise
+// forces supervision for unseeded scenarios too. A malformed scenario
 // is reported with one `file:line: error: message` line per problem (the
 // parser recovers and reports them all in one pass). With -lenient,
 // devices whose configurations carry error diagnostics are quarantined at
@@ -38,6 +42,7 @@ func main() {
 	platform := flag.String("platform", "netkit", "emulation platform")
 	budget := flag.Int("budget", 0, "default per-step BGP convergence budget in rounds (0 = engine default)")
 	lenient := flag.Bool("lenient", false, "quarantine devices with config errors and run against the survivors (exit 3 on partial boot)")
+	supervise := flag.Bool("supervise", false, "run the convergence watchdog on every step, even for unseeded scenarios")
 	trace := flag.Bool("trace", false, "print the pipeline + chaos span trace after the report")
 	flag.Parse()
 	if *in == "" || *scenarioPath == "" {
@@ -81,7 +86,8 @@ func main() {
 		reportDiagnostics(dep.Lab().Diagnostics())
 	}
 	engine, err := net.Chaos(dep.Lab(), chaos.Options{
-		Budget: routing.ConvergenceBudget{MaxBGPRounds: *budget},
+		Budget:    routing.ConvergenceBudget{MaxBGPRounds: *budget},
+		Supervise: *supervise,
 	})
 	if err != nil {
 		fatal(err)

@@ -3,6 +3,7 @@
 //
 //	ankdeploy -in lab.graphml [-platform netkit] [-host localhost]
 //	ankdeploy -in lab.graphml -lenient
+//	ankdeploy -in lab.graphml -supervise -converge-timeout 30s
 //
 // With -lenient, devices whose generated configurations carry error
 // diagnostics are quarantined instead of failing the whole launch: the
@@ -29,6 +30,8 @@ func main() {
 	platform := flag.String("platform", "netkit", "emulation platform (netkit/dynagen/junosphere/cbgp)")
 	host := flag.String("host", "localhost", "emulation host")
 	lenient := flag.Bool("lenient", false, "quarantine devices with config errors and boot the survivors (exit 3 on partial boot)")
+	supervise := flag.Bool("supervise", false, "run the convergence watchdog after boot (escalate budget, soft-reset, quarantine on non-convergence)")
+	convergeTimeout := flag.Duration("converge-timeout", 0, "wall-clock bound per control-plane convergence run (0 = unbounded)")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "ankdeploy: -in is required")
@@ -49,6 +52,7 @@ func main() {
 	}
 	dep, err := net.Deploy(deploy.Options{
 		Host: *host, Platform: *platform, Lenient: *lenient,
+		Supervise: *supervise, ConvergeTimeout: *convergeTimeout,
 		OnEvent: func(e deploy.Event) { fmt.Printf("[%s] %s\n", e.Stage, e.Detail) },
 	})
 	partial := err != nil && errors.Is(err, emul.ErrPartialBoot)
@@ -64,6 +68,8 @@ func main() {
 	lab := dep.Lab()
 	res := lab.BGPResult()
 	switch {
+	case res.Cancelled:
+		fmt.Printf("lab running: %d machines, BGP run CANCELLED after %d rounds (timeout %v)\n", len(lab.VMNames()), res.Rounds, *convergeTimeout)
 	case res.Converged:
 		fmt.Printf("lab running: %d machines, BGP converged in %d rounds\n", len(lab.VMNames()), res.Rounds)
 	case res.Oscillating:

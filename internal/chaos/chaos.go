@@ -23,8 +23,16 @@ type Options struct {
 	// Budget is the default per-step convergence budget; a step's own
 	// MaxBGPRounds overrides it.
 	Budget routing.ConvergenceBudget
-	// Obs, when set, collects per-step spans and counters.
+	// Obs, when set, collects per-step spans and counters (including the
+	// watchdog_* escalation counters when supervision runs).
 	Obs *obs.Collector
+	// Supervise forces convergence-watchdog supervision of every step even
+	// for unseeded scenarios. A scenario that sets `seed` is always
+	// supervised.
+	Supervise bool
+	// OnEvent, when set, receives one call per watchdog escalation rung —
+	// the deploy layer bridges these into its event stream.
+	OnEvent func(action, detail string)
 }
 
 // Engine executes scenarios against one booted lab.
@@ -33,6 +41,12 @@ type Engine struct {
 	client *measure.Client
 	addrOf func(string) netip.Addr
 	opts   Options
+
+	// Per-scenario perturbation state: the accumulated rule list, the
+	// scenario's seed, and whether the watchdog supervises each step.
+	rules       []routing.PerturbRule
+	seed        uint64
+	supervising bool
 }
 
 // NewEngine wires a scenario engine to a booted lab. client must drive the
@@ -50,6 +64,9 @@ type StepResult struct {
 	Findings []verify.Finding
 	// Matrix is the post-step reachability matrix (check steps only).
 	Matrix *measure.Reachability
+	// Watchdog is the supervision ladder this step climbed (supervised
+	// runs only; nil otherwise).
+	Watchdog *emul.SupervisionReport
 }
 
 // Report is a scenario's structured resilience outcome.
@@ -98,6 +115,11 @@ func (r Report) String() string {
 	fmt.Fprintf(&sb, "  baseline: %d/%d pairs reachable\n", r.Baseline.Reachable(), r.Baseline.Pairs())
 	for _, s := range r.Steps {
 		fmt.Fprintf(&sb, "  step %-2d %-28s %s\n", s.Index, s.Step, s.Verdict)
+		if s.Watchdog != nil && s.Watchdog.Escalations() > 0 {
+			for _, ws := range s.Watchdog.Steps {
+				fmt.Fprintf(&sb, "          watchdog %s\n", ws)
+			}
+		}
 	}
 	for _, f := range findings {
 		fmt.Fprintf(&sb, "  %s\n", f)
@@ -129,6 +151,9 @@ func (e *Engine) Run(sc Scenario) (Report, error) {
 
 	origBudget := e.lab.Budget()
 	defer e.lab.SetBudget(origBudget)
+	e.rules, e.seed = nil, sc.Seed
+	e.supervising = sc.Seeded || e.opts.Supervise
+	defer e.clearPerturbation()
 
 	for i, st := range sc.Steps {
 		e.opts.Obs.Add(CounterSteps, 1)
@@ -168,6 +193,10 @@ func (e *Engine) runStep(idx int, st Step, base measure.Reachability) (StepResul
 
 	budget := e.budgetFor(st)
 	e.lab.SetBudget(budget)
+	if st.Op == OpPerturb {
+		err := e.runPerturb(&res, budget, addFinding)
+		return res, err
+	}
 	times := 1
 	if st.Op == OpFlap {
 		times = st.Times
@@ -203,17 +232,95 @@ func (e *Engine) runStep(idx int, st Step, base measure.Reachability) (StepResul
 			return res, nil
 		}
 	}
-	bgp := e.lab.BGPResult()
-	res.Verdict = e.budgetFor(st).Describe(bgp)
-	if !bgp.Converged {
-		addFinding("chaos-convergence", verify.Error, "%s", res.Verdict)
+	err := e.settle(&res, budget, addFinding)
+	return res, err
+}
+
+// runPerturb installs (or clears) a perturbation rule, re-converges the
+// control plane under it, and settles the verdict.
+func (e *Engine) runPerturb(res *StepResult, budget routing.ConvergenceBudget, addFinding func(string, verify.Severity, string, ...any)) error {
+	if res.Step.Rule == nil {
+		e.rules = nil
+		e.lab.SetPerturber(nil)
+	} else {
+		e.rules = append(e.rules, *res.Step.Rule)
+		e.lab.SetPerturber(routing.NewScheduledPerturber(e.seed, e.rules))
 	}
-	return res, nil
+	if _, err := e.lab.Reconverge(); err != nil {
+		addFinding("chaos-step", verify.Error, "reconverge failed: %v", err)
+		res.Verdict = fmt.Sprintf("FAILED: %v", err)
+		return nil
+	}
+	return e.settle(res, budget, addFinding)
+}
+
+// settle turns the step's convergence outcome into a verdict and findings.
+// Unsupervised runs report the raw engine outcome; supervised runs hand
+// the lab to the convergence watchdog and report the ladder it climbed.
+func (e *Engine) settle(res *StepResult, budget routing.ConvergenceBudget, addFinding func(string, verify.Severity, string, ...any)) error {
+	bgp := e.lab.BGPResult()
+	if !e.supervising {
+		res.Verdict = budget.Describe(bgp)
+		if !bgp.Converged {
+			addFinding("chaos-convergence", verify.Error, "%s", res.Verdict)
+		}
+		return nil
+	}
+	w := &emul.Watchdog{Budget: budget, Obs: e.opts.Obs, OnEvent: e.opts.OnEvent}
+	rep, err := w.Supervise(e.lab)
+	if err != nil {
+		return fmt.Errorf("chaos: watchdog: %w", err)
+	}
+	res.Watchdog = &rep
+	res.Verdict = rep.Steps[len(rep.Steps)-1].Detail
+	if n := rep.Escalations(); n > 0 {
+		res.Verdict += fmt.Sprintf(" [watchdog: %d escalations, final %s]", n, rep.Final)
+	}
+	switch {
+	case rep.Final != emul.VerdictConverged:
+		addFinding("chaos-convergence", verify.Error, "%s", res.Verdict)
+	case rep.Recovered:
+		note := ""
+		if len(rep.Quarantined) > 0 {
+			note = fmt.Sprintf(" (quarantined %s)", strings.Join(rep.Quarantined, ", "))
+		}
+		addFinding("chaos-watchdog", verify.Warning,
+			"recovered after %d escalations%s", rep.Escalations(), note)
+	}
+	return nil
+}
+
+// clearPerturbation removes any installed perturber at scenario end and
+// re-converges, so the lab is handed back clean. A scenario that never
+// perturbed is untouched.
+func (e *Engine) clearPerturbation() {
+	e.rules = nil
+	if e.lab.Perturber() == nil {
+		return
+	}
+	e.lab.SetPerturber(nil)
+	_, _ = e.lab.Reconverge()
 }
 
 func (e *Engine) runCheck(res *StepResult, base measure.Reachability, addFinding func(string, verify.Severity, string, ...any)) error {
 	st := res.Step
 	switch st.Check {
+	case CheckConverged:
+		// Rounds is the engine's cumulative counter, so a watchdog
+		// soft-reset continuation counts its extra rounds too — the bound
+		// is on total control-plane work, not just the last run.
+		bgp := e.lab.BGPResult()
+		switch {
+		case !bgp.Converged:
+			res.Verdict = "VIOLATED: " + e.budgetFor(st).Describe(bgp)
+			addFinding("chaos-check", verify.Error, "not converged: %s", e.budgetFor(st).Describe(bgp))
+		case st.Within > 0 && bgp.Rounds > st.Within:
+			res.Verdict = fmt.Sprintf("VIOLATED: converged in %d rounds, want <= %d", bgp.Rounds, st.Within)
+			addFinding("chaos-check", verify.Error, "converged in %d rounds, want <= %d", bgp.Rounds, st.Within)
+		default:
+			res.Verdict = fmt.Sprintf("ok (converged in %d rounds)", bgp.Rounds)
+		}
+		return nil
 	case CheckReachable, CheckUnreachable:
 		dst := e.addrOf(st.B)
 		if !dst.IsValid() {

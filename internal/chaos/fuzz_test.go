@@ -8,6 +8,48 @@ import (
 // FuzzParseScenario: the scenario parser must never panic on arbitrary
 // scripts — it returns a scenario, a diagnostic list, or both, and a
 // scenario accompanied by no error diagnostics must have at least one step.
+// FuzzParsePerturb: the rule parser must never panic, and any rule it
+// accepts must round-trip through its String rendering — the golden drill
+// and the report format both re-read rendered rules.
+func FuzzParsePerturb(f *testing.F) {
+	seeds := []string{
+		"",
+		"loss 30",
+		"loss 100 on r1:r2",
+		"dup 50 on a:b",
+		"delay 3",
+		"reorder on r3:r5",
+		"flap r1:r2 every 4 recover",
+		"corrupt at 0 for 3",
+		"corrupt r3:r5 at 2 for 5",
+		"loss 200",
+		"flap a:a every 2",
+		"delay 99999999999999999999",
+		"corrupt at -1 for 2",
+		"loss 30 on r1:r2:r3",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		rule, err := ParsePerturb(in)
+		if err != nil {
+			return
+		}
+		rendered := rule.String()
+		if !strings.HasPrefix(rendered, "perturb ") {
+			t.Fatalf("rendered rule %q lacks the perturb keyword", rendered)
+		}
+		again, err := ParsePerturb(strings.TrimPrefix(rendered, "perturb "))
+		if err != nil {
+			t.Fatalf("re-parsing rendered rule %q: %v", rendered, err)
+		}
+		if again != rule {
+			t.Fatalf("round-trip drift: %+v -> %q -> %+v", rule, rendered, again)
+		}
+	})
+}
+
 func FuzzParseScenario(f *testing.F) {
 	seeds := []string{
 		"",

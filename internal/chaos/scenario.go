@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"autonetkit/internal/emul"
+	"autonetkit/internal/routing"
 )
 
 // Op is one scenario step kind.
@@ -33,6 +34,9 @@ const (
 	OpFlap        Op = "flap"
 	OpPartition   Op = "partition"
 	OpCheck       Op = "check"
+	// OpPerturb installs (or, with a nil Rule, clears) a control-plane
+	// perturbation rule and re-converges under it.
+	OpPerturb Op = "perturb"
 )
 
 // CheckMode selects what a check step asserts.
@@ -49,6 +53,9 @@ const (
 	CheckReachable CheckMode = "reachable"
 	// CheckUnreachable asserts A does not reach B.
 	CheckUnreachable CheckMode = "unreachable"
+	// CheckConverged asserts the most recent convergence reached a fixed
+	// point, optionally within Step.Within engine rounds.
+	CheckConverged CheckMode = "converged"
 )
 
 // Step is one scenario entry.
@@ -59,6 +66,11 @@ type Step struct {
 	Nodes []string // partition group
 	Times int      // flap repetitions (>= 1)
 	Check CheckMode
+	// Within bounds a `check converged` assertion: the run must have
+	// reached its fixed point within this many rounds (0 = any).
+	Within int
+	// Rule is the perturbation a perturb step adds; nil means clear all.
+	Rule *routing.PerturbRule
 	// MaxBGPRounds is this step's convergence budget (0 = the engine
 	// default).
 	MaxBGPRounds int
@@ -75,12 +87,22 @@ func (s Step) String() string {
 		return fmt.Sprintf("%s %s %s %d", s.Op, s.A, s.B, s.Times)
 	case OpPartition:
 		return fmt.Sprintf("%s %s", s.Op, strings.Join(s.Nodes, " "))
+	case OpPerturb:
+		if s.Rule == nil {
+			return "perturb clear"
+		}
+		return s.Rule.String()
 	case OpCheck:
 		switch s.Check {
 		case CheckReachable, CheckUnreachable:
 			return fmt.Sprintf("check %s %s %s", s.Check, s.A, s.B)
 		case CheckBaseline:
 			return "check baseline"
+		case CheckConverged:
+			if s.Within > 0 {
+				return fmt.Sprintf("check converged within %d", s.Within)
+			}
+			return "check converged"
 		default:
 			return "check"
 		}
@@ -92,6 +114,10 @@ func (s Step) String() string {
 type Scenario struct {
 	Name  string
 	Steps []Step
+	// Seed drives the control-plane perturbation schedule; Seeded records
+	// that the script set one (which also turns on watchdog supervision).
+	Seed   uint64
+	Seeded bool
 }
 
 // ParseScenario reads the line-oriented scenario format:
@@ -99,16 +125,22 @@ type Scenario struct {
 //	# comment
 //	name <label>                # optional scenario name
 //	budget <rounds>             # BGP budget for subsequent steps
+//	seed <n>                    # perturbation seed; enables supervision
 //	fail-link A B
 //	fail-node N
 //	restore-link A B
 //	restore-node N
 //	flap A B <times>
 //	partition N1 [N2 ...]
+//	perturb loss <pct> [on A:B] # control-plane rules; see ParsePerturb
+//	perturb delay <rounds> [on A:B]
+//	perturb flap A:B every <n> [recover]
+//	perturb clear               # remove all perturbation rules
 //	check                       # observe: warn on drift from baseline
 //	check baseline              # assert matrix == pre-scenario baseline
 //	check reachable A B
 //	check unreachable A B
+//	check converged [within <rounds>]
 //
 // The parser runs in error-recovery mode: a malformed line is recorded as
 // an emul.Diagnostic (with its line number and offending token) and
@@ -165,6 +197,28 @@ func ParseScenarioFile(r io.Reader, file string) (Scenario, emul.Diagnostics) {
 				continue
 			}
 			budget = n
+		case "seed":
+			if len(args) != 1 {
+				bad("seed needs one integer, got %q", strings.Join(args, " "))
+				continue
+			}
+			n, err := strconv.ParseUint(args[0], 10, 64)
+			if err != nil {
+				bad("bad seed %q", args[0])
+				continue
+			}
+			sc.Seed, sc.Seeded = n, true
+		case string(OpPerturb):
+			if len(args) == 1 && args[0] == "clear" {
+				sc.Steps = append(sc.Steps, Step{Op: OpPerturb, MaxBGPRounds: budget})
+				continue
+			}
+			rule, err := ParsePerturb(strings.Join(args, " "))
+			if err != nil {
+				bad("%v", err)
+				continue
+			}
+			sc.Steps = append(sc.Steps, Step{Op: OpPerturb, Rule: &rule, MaxBGPRounds: budget})
 		case string(OpFailLink), string(OpRestoreLink):
 			if len(args) != 2 {
 				bad("%s needs two machine names, got %q", op, strings.Join(args, " "))
@@ -211,6 +265,21 @@ func ParseScenarioFile(r io.Reader, file string) (Scenario, emul.Diagnostics) {
 					}
 					st.Check = CheckMode(args[0])
 					st.A, st.B = args[1], args[2]
+				case CheckConverged:
+					st.Check = CheckConverged
+					switch {
+					case len(args) == 1:
+					case len(args) == 3 && args[1] == "within":
+						n, err := strconv.Atoi(args[2])
+						if err != nil || n < 1 {
+							bad("bad converged bound %q", args[2])
+							continue
+						}
+						st.Within = n
+					default:
+						bad("check converged takes [within <rounds>], got %q", strings.Join(args[1:], " "))
+						continue
+					}
 				default:
 					bad("unknown check mode %q", args[0])
 					continue

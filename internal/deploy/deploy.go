@@ -114,12 +114,19 @@ type Options struct {
 	Platform string
 	// MaxBGPRounds bounds control-plane convergence (0 = default).
 	MaxBGPRounds int
+	// ConvergeTimeout bounds each engine run's wall-clock time (0 =
+	// unbounded).
+	ConvergeTimeout time.Duration
 	// Lenient boots in lenient mode: devices whose configurations carry
 	// error diagnostics are quarantined and the surviving topology boots;
 	// Run then returns the usable deployment together with an error
 	// wrapping emul.ErrPartialBoot. Strict mode (the default) fails the
 	// whole deployment on any config error.
 	Lenient bool
+	// Supervise runs the convergence watchdog over the freshly booted lab:
+	// a non-converged boot climbs the escalation ladder (bigger budget →
+	// soft reset → quarantine), with one "watchdog" event per rung.
+	Supervise bool
 	// OnEvent, when set, receives progress events as they happen.
 	OnEvent func(Event)
 	// Obs, when set, collects deployment counters (e.g. quarantined
@@ -163,7 +170,9 @@ func Run(fs *render.FileSet, opts Options) (*Deployment, error) {
 		return nil, err
 	}
 	d.emit(Event{"lstart", fmt.Sprintf("launching %d machines", len(lab.VMNames()))})
-	bootErr := lab.Boot(emul.BootOptions{MaxBGPRounds: opts.MaxBGPRounds, Lenient: opts.Lenient})
+	bootErr := lab.Boot(emul.BootOptions{
+		MaxBGPRounds: opts.MaxBGPRounds, ConvergeTimeout: opts.ConvergeTimeout, Lenient: opts.Lenient,
+	})
 	if bootErr != nil && !errors.Is(bootErr, emul.ErrPartialBoot) {
 		return nil, bootErr
 	}
@@ -171,6 +180,11 @@ func Run(fs *render.FileSet, opts Options) (*Deployment, error) {
 		d.emit(Event{"machine", ev})
 	}
 	d.lab = lab
+	if opts.Supervise {
+		if err := superviseBoot(lab, opts.Obs, d.emit); err != nil {
+			return d, err
+		}
+	}
 	if bootErr != nil {
 		q := lab.Quarantined()
 		opts.Obs.Add(obs.CounterDevicesQuarantined, int64(len(q)))
@@ -197,6 +211,23 @@ func (d *Deployment) emit(ev Event) {
 	if d.onEvent != nil {
 		d.onEvent(ev)
 	}
+}
+
+// superviseBoot hands the freshly booted lab to the convergence watchdog,
+// bridging every escalation rung into the deployment's event stream. The
+// ladder's counters land in the collector (watchdog_* names).
+func superviseBoot(lab *emul.Lab, c *obs.Collector, emit func(Event)) error {
+	w := &emul.Watchdog{Obs: c, OnEvent: func(action, detail string) {
+		emit(Event{"watchdog", detail})
+	}}
+	rep, err := w.Supervise(lab)
+	if err != nil {
+		return fmt.Errorf("deploy: watchdog: %w", err)
+	}
+	if rep.Escalations() > 0 {
+		emit(Event{"watchdog", fmt.Sprintf("final verdict %s after %d escalations", rep.Final, rep.Escalations())})
+	}
+	return nil
 }
 
 // Host is one emulation server in a pool, with finite VM capacity (the

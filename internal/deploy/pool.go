@@ -35,8 +35,13 @@ type PoolOptions struct {
 	// RunPool returns the usable deployment alongside an error wrapping
 	// emul.ErrPartialBoot.
 	Lenient bool
-	// Retry governs per-host boot attempts.
+	// Retry governs per-host boot attempts. Its AttemptTimeout also bounds
+	// the lab's control-plane convergence runs, so a hung convergence
+	// cannot stall the pool any more than a hung host boot can.
 	Retry RetryPolicy
+	// Supervise runs the convergence watchdog over the launched lab,
+	// emitting one "watchdog" event per escalation rung.
+	Supervise bool
 	// Boot, when set, is invoked per host boot attempt (fault-injection
 	// seam; nil always succeeds).
 	Boot BootFunc
@@ -169,7 +174,11 @@ func RunPool(fs *render.FileSet, pool *HostPool, opts PoolOptions) (*PoolDeploym
 
 	d.emit(Event{"lstart", fmt.Sprintf("launching %d machines", len(lab.VMNames()))})
 	lspan := opts.Obs.StartSpan("Launch")
-	err = lab.Boot(emul.BootOptions{MaxBGPRounds: opts.MaxBGPRounds, Lenient: opts.Lenient})
+	err = lab.Boot(emul.BootOptions{
+		MaxBGPRounds:    opts.MaxBGPRounds,
+		ConvergeTimeout: opts.Retry.AttemptTimeout,
+		Lenient:         opts.Lenient,
+	})
 	lspan.End()
 	if err != nil && !errors.Is(err, emul.ErrPartialBoot) {
 		return d, err
@@ -178,6 +187,11 @@ func RunPool(fs *render.FileSet, pool *HostPool, opts PoolOptions) (*PoolDeploym
 		d.emit(Event{"machine", ev})
 	}
 	d.lab = lab
+	if opts.Supervise {
+		if serr := superviseBoot(lab, opts.Obs, d.emit); serr != nil {
+			return d, serr
+		}
+	}
 	if err != nil {
 		q := lab.Quarantined()
 		opts.Obs.Add(obs.CounterDevicesQuarantined, int64(len(q)))

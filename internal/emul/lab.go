@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"autonetkit/internal/dataplane"
 	"autonetkit/internal/render"
@@ -58,6 +59,11 @@ type Lab struct {
 	started   bool
 	budget    routing.ConvergenceBudget
 	events    []string
+
+	// pert, when non-nil, is threaded into every engine the lab builds
+	// (OSPF, IS-IS, BGP) so reconvergence runs under scripted control-plane
+	// perturbation; nil keeps the zero-perturbation fast path.
+	pert routing.Perturber
 
 	// diags accumulates every Diagnostic found while ingesting this lab's
 	// configuration tree (at Load for C-BGP, at Boot for the per-machine
@@ -361,6 +367,10 @@ var ErrPartialBoot = errors.New("emul: partial boot: devices quarantined")
 type BootOptions struct {
 	// MaxBGPRounds bounds control-plane convergence (<= 0 = default).
 	MaxBGPRounds int
+	// ConvergeTimeout bounds each engine run's wall-clock time (0 =
+	// unbounded). Deployments propagate their per-attempt timeout here so a
+	// hung convergence cannot stall a whole pool.
+	ConvergeTimeout time.Duration
 	// Lenient selects degraded-boot semantics: devices whose configs carry
 	// error-level diagnostics are quarantined and the surviving topology
 	// boots, returning ErrPartialBoot. When false (strict, the default) any
@@ -460,7 +470,7 @@ func (l *Lab) Boot(opts BootOptions) error {
 			l.baseline[name] = cloneDeviceConfig(l.vms[name].Config)
 		}
 	}
-	l.budget = routing.ConvergenceBudget{MaxBGPRounds: opts.MaxBGPRounds}
+	l.budget = routing.ConvergenceBudget{MaxBGPRounds: opts.MaxBGPRounds, Timeout: opts.ConvergeTimeout}
 	if err := l.converge(); err != nil {
 		return err
 	}
@@ -478,21 +488,18 @@ func (l *Lab) Boot(opts BootOptions) error {
 func (l *Lab) converge() error {
 	// Quarantined machines (nil Config) are not part of the running
 	// topology: the control plane and data plane build over the survivors.
-	var devices []*routing.DeviceConfig
-	for _, name := range l.order {
-		if l.vms[name].Config != nil {
-			devices = append(devices, l.vms[name].Config)
-		}
-	}
+	devices := l.liveDevices()
 	// IGP convergence. C-BGP labs carry a pre-parsed link-graph IGP that
 	// is preserved across reconvergence. OSPF and IS-IS devices each get
 	// their own link-state domain (§7: IS-IS as the substituted IGP).
 	if l.Platform != "cbgp" {
 		l.domain = routing.NewOSPFDomain(devices)
+		l.domain.SetPerturber(l.pert)
 		if err := l.domain.Converge(); err != nil {
 			return fmt.Errorf("emul: ospf: %w", err)
 		}
 		l.isis = routing.NewISISDomain(devices)
+		l.isis.SetPerturber(l.pert)
 		if err := l.isis.Converge(); err != nil {
 			return fmt.Errorf("emul: isis: %w", err)
 		}
@@ -520,14 +527,12 @@ func (l *Lab) converge() error {
 	// processing, so a detected oscillation is a genuine RFC 3345-class
 	// persistent one, not a lockstep-timing artifact.
 	bgp.SetSequential(true)
+	bgp.SetPerturber(l.pert)
 	l.bgp = bgp
-	l.bgpResult = bgp.Run(l.budget.MaxBGPRounds)
-	switch {
-	case l.bgpResult.Converged:
-		l.logf("bgp converged in %d rounds (%d sessions)", l.bgpResult.Rounds, bgp.SessionsUp())
-	case l.bgpResult.Oscillating:
-		l.logf("bgp OSCILLATING after %d rounds (cycle %d)", l.bgpResult.Rounds, l.bgpResult.CycleLen)
-	}
+	ctx, cancel := l.budget.Context()
+	l.bgpResult = bgp.RunContext(ctx, l.budget.MaxBGPRounds)
+	cancel()
+	l.logBGPResult()
 	for _, down := range bgp.SessionsDown() {
 		l.logf("bgp session down: %s", down)
 	}
@@ -539,6 +544,32 @@ func (l *Lab) converge() error {
 		l.logf("data plane ready")
 	}
 	return nil
+}
+
+// liveDevices lists the configs of every machine that is part of the
+// running topology (quarantined machines carry nil Configs), in lab order.
+// Callers hold the lock.
+func (l *Lab) liveDevices() []*routing.DeviceConfig {
+	var devices []*routing.DeviceConfig
+	for _, name := range l.order {
+		if l.vms[name].Config != nil {
+			devices = append(devices, l.vms[name].Config)
+		}
+	}
+	return devices
+}
+
+// logBGPResult records the outcome of the most recent BGP run in the event
+// log. Callers hold the write lock.
+func (l *Lab) logBGPResult() {
+	switch {
+	case l.bgpResult.Cancelled:
+		l.logf("bgp run CANCELLED after %d rounds (budget timeout %v)", l.bgpResult.Rounds, l.budget.Timeout)
+	case l.bgpResult.Converged:
+		l.logf("bgp converged in %d rounds (%d sessions)", l.bgpResult.Rounds, l.bgp.SessionsUp())
+	case l.bgpResult.Oscillating:
+		l.logf("bgp OSCILLATING after %d rounds (cycle %d)", l.bgpResult.Rounds, l.bgpResult.CycleLen)
+	}
 }
 
 func syntaxOfPlatform(platform string) string {

@@ -1,0 +1,94 @@
+package measure
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"autonetkit/internal/routing"
+)
+
+// Convergence metrics (rounds-to-quiescence, per-prefix best-route churn):
+// the control-plane counterpart of the reachability matrix. Experiments
+// that degrade the control plane (loss sweeps, flap schedules) report
+// these distributions instead of a single converged/not bit.
+
+// ConvergenceSource is the lab-side view the metrics read; *emul.Lab
+// implements it.
+type ConvergenceSource interface {
+	BGPResult() routing.BGPResult
+	RouteChurn() map[netip.Prefix]int
+	TotalChurn() int
+}
+
+// PrefixChurn is one prefix's best-route change count.
+type PrefixChurn struct {
+	Prefix  netip.Prefix
+	Changes int
+}
+
+// Convergence is one convergence episode's metric set.
+type Convergence struct {
+	Converged   bool
+	Oscillating bool
+	Cancelled   bool
+	// Rounds is rounds-to-quiescence: the engine's cumulative round count
+	// when the episode ended.
+	Rounds int
+	// CycleLen is the detected oscillation period (-1: budget exhausted).
+	CycleLen int
+	// TotalChurn sums best-route changes across all prefixes and speakers.
+	TotalChurn int
+	// Churn lists the per-prefix change counts, sorted by prefix.
+	Churn []PrefixChurn
+}
+
+// CollectConvergence snapshots the lab's most recent convergence episode.
+func CollectConvergence(src ConvergenceSource) Convergence {
+	res := src.BGPResult()
+	c := Convergence{
+		Converged:   res.Converged,
+		Oscillating: res.Oscillating,
+		Cancelled:   res.Cancelled,
+		Rounds:      res.Rounds,
+		CycleLen:    res.CycleLen,
+		TotalChurn:  src.TotalChurn(),
+	}
+	for p, n := range src.RouteChurn() {
+		c.Churn = append(c.Churn, PrefixChurn{Prefix: p, Changes: n})
+	}
+	sort.Slice(c.Churn, func(i, j int) bool {
+		a, b := c.Churn[i].Prefix, c.Churn[j].Prefix
+		if a.Addr() != b.Addr() {
+			return a.Addr().Less(b.Addr())
+		}
+		return a.Bits() < b.Bits()
+	})
+	return c
+}
+
+// Hottest returns the n prefixes with the most best-route changes (ties by
+// prefix order), for churn summaries.
+func (c Convergence) Hottest(n int) []PrefixChurn {
+	out := append([]PrefixChurn(nil), c.Churn...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Changes > out[j].Changes })
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// String renders the metrics as one deterministic line.
+func (c Convergence) String() string {
+	state := "converged"
+	switch {
+	case c.Cancelled:
+		state = "cancelled"
+	case c.Oscillating && c.CycleLen > 0:
+		state = fmt.Sprintf("oscillating (cycle %d)", c.CycleLen)
+	case c.Oscillating:
+		state = "starved"
+	}
+	return fmt.Sprintf("%s after %d rounds, %d route changes over %d prefixes",
+		state, c.Rounds, c.TotalChurn, len(c.Churn))
+}

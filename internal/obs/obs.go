@@ -43,6 +43,16 @@ const (
 	CounterCompileCacheMisses = "compile_cache_misses"
 	CounterRenderCacheHits    = "render_cache_hits"
 	CounterRenderCacheMisses  = "render_cache_misses"
+
+	// Convergence-watchdog counters: one per rung of the supervision
+	// escalation ladder (observe → bigger budget → soft reset → quarantine),
+	// plus runs and recoveries, so the full ladder a lab climbed is readable
+	// from Network.Stats().
+	CounterWatchdogRuns              = "watchdog_runs"
+	CounterWatchdogRecovered         = "watchdog_recovered"
+	CounterWatchdogBudgetEscalations = "watchdog_budget_escalations"
+	CounterWatchdogSoftResets        = "watchdog_soft_resets"
+	CounterWatchdogQuarantines       = "watchdog_quarantines"
 )
 
 // Collector accumulates spans and counters for one pipeline run.

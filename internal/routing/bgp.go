@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"net/netip"
@@ -112,15 +113,34 @@ type BGPEngine struct {
 	// establishment.
 	addrOwner map[netip.Addr]string
 
-	sequential  bool
-	rounds      int
-	stateHashes map[uint64]int
+	sequential bool
+	rounds     int
+	// stateHashes records the rounds at which each protocol-state hash was
+	// observed (up to the last three). Without a perturber a single repeat
+	// is a cycle; under perturbation a state can legitimately recur (a
+	// lost route is re-learned), so oscillation requires three sightings
+	// with a consistent period.
+	stateHashes map[uint64][]int
 	oscillating bool
 	cycleLen    int
 	converged   bool
+	cancelled   bool
 	// SessionsUp lists established sessions after New.
 	sessionsUp   int
 	sessionsDown []string
+
+	// pert, when set, degrades every advertisement delivery; nil is the
+	// zero-perturbation fast path.
+	pert Perturber
+	// churn counts best-route changes per prefix across all speakers;
+	// changedAt records the last round each speaker's selection changed.
+	churn     map[netip.Prefix]int
+	changedAt map[string]int
+	// sessFlaps counts up↔down transitions per unordered session pair, as
+	// observed at delivery time — the supervisor's evidence for locating a
+	// flapping speaker.
+	sessFlaps map[[2]string]int
+	sessUp    map[[2]string]bool
 }
 
 // NewBGPEngine wires up sessions between the given devices. profileOf maps
@@ -134,7 +154,11 @@ func NewBGPEngine(devices []*DeviceConfig, profileOf func(host string) VendorPro
 		speakers:    map[string]*speaker{},
 		igp:         igp,
 		addrOwner:   map[netip.Addr]string{},
-		stateHashes: map[uint64]int{},
+		stateHashes: map[uint64][]int{},
+		churn:       map[netip.Prefix]int{},
+		changedAt:   map[string]int{},
+		sessFlaps:   map[[2]string]int{},
+		sessUp:      map[[2]string]bool{},
 	}
 	for _, dc := range devices {
 		if dc.BGP == nil {
@@ -178,11 +202,11 @@ func NewBGPEngine(devices []*DeviceConfig, profileOf func(host string) VendorPro
 			}
 			peer := e.speakers[peerHost]
 			if peer == nil {
-				e.sessionsDown = append(e.sessionsDown, fmt.Sprintf("%s -> %v (%s runs no BGP)", host, nbr.Addr, peerHost))
+				e.sessionsDown = append(e.sessionsDown, fmt.Sprintf("%s -> %s@%v (runs no BGP)", host, peerHost, nbr.Addr))
 				continue
 			}
 			if peer.dc.BGP.ASN != nbr.RemoteASN {
-				e.sessionsDown = append(e.sessionsDown, fmt.Sprintf("%s -> %s (remote-as %d, actual %d)", host, peerHost, nbr.RemoteASN, peer.dc.BGP.ASN))
+				e.sessionsDown = append(e.sessionsDown, fmt.Sprintf("%s -> %s@%v (remote-as %d, actual %d)", host, peerHost, nbr.Addr, nbr.RemoteASN, peer.dc.BGP.ASN))
 				continue
 			}
 			sp.sessions = append(sp.sessions, session{
@@ -194,6 +218,9 @@ func NewBGPEngine(devices []*DeviceConfig, profileOf func(host string) VendorPro
 			e.sessionsUp++
 		}
 	}
+	// A deterministic report: map iteration never orders this list, and
+	// every entry names the peer address, so golden diffs are stable.
+	sort.Strings(e.sessionsDown)
 	return e, nil
 }
 
@@ -202,8 +229,35 @@ func NewBGPEngine(devices []*DeviceConfig, profileOf func(host string) VendorPro
 func (e *BGPEngine) SessionsUp() int { return e.sessionsUp }
 
 // SessionsDown describes the neighbor statements that could not form a
-// session — the configuration errors emulation is meant to surface.
+// session — the configuration errors emulation is meant to surface. The
+// list is sorted and each entry carries the peer address, so reports are
+// byte-stable across runs.
 func (e *BGPEngine) SessionsDown() []string { return e.sessionsDown }
+
+// SetPerturber installs a control-plane perturbation layer; nil restores
+// the perfect-delivery fast path. Install before Run.
+func (e *BGPEngine) SetPerturber(p Perturber) { e.pert = p }
+
+// deliver applies the perturbation layer to one session's advertisements
+// for the current round, recording session up/down transitions.
+func (e *BGPEngine) deliver(from, to string, routes []BGPRoute) []BGPRoute {
+	if e.pert == nil {
+		return routes
+	}
+	pair := [2]string{from, to}
+	if pair[1] < pair[0] {
+		pair = [2]string{to, from}
+	}
+	up := e.pert.SessionUp(e.rounds, from, to)
+	if prev, seen := e.sessUp[pair]; seen && prev != up {
+		e.sessFlaps[pair]++
+	}
+	e.sessUp[pair] = up
+	if !up {
+		return nil
+	}
+	return e.pert.Deliver(e.rounds, from, to, routes)
+}
 
 // myAddressOn returns the local address used for the session to peerAddr
 // (the interface sharing the peer's subnet, or the loopback for
@@ -263,6 +317,7 @@ func (e *BGPEngine) Step() bool {
 					out = append(out, adv)
 				}
 			}
+			out = e.deliver(sp.host, s.peerHost, out)
 			// The peer indexes the session by the address it configured for
 			// me.
 			peerSideAddr := e.addrFor(peer, sp, myAddr)
@@ -311,6 +366,7 @@ func (e *BGPEngine) stepSequential() bool {
 					out = append(out, adv)
 				}
 			}
+			out = e.deliver(peer.host, sp.host, out)
 			newIn[s.peerAddr] = filterReceived(sp, out, s.peerAddr)
 		}
 		if !adjEqual(sp.adjIn, newIn) {
@@ -483,7 +539,144 @@ func (e *BGPEngine) selectBest(sp *speaker) {
 			newRIB[p] = best
 		}
 	}
+	e.recordChurn(sp, newRIB)
 	sp.locRIB = newRIB
+}
+
+// recordChurn counts best-route changes between a speaker's old and new
+// selections — the per-prefix route-churn metric convergence experiments
+// report — and stamps the speaker's last-changed round for the watchdog's
+// unstable-speaker detection.
+func (e *BGPEngine) recordChurn(sp *speaker, newRIB map[netip.Prefix]BGPRoute) {
+	changed := false
+	for p, nr := range newRIB {
+		or, had := sp.locRIB[p]
+		if !had || !routeEqual(or, nr) {
+			e.churn[p]++
+			changed = true
+		}
+	}
+	for p := range sp.locRIB {
+		if _, still := newRIB[p]; !still {
+			e.churn[p]++
+			changed = true
+		}
+	}
+	if changed {
+		e.changedAt[sp.host] = e.rounds
+	}
+}
+
+// RouteChurn returns the per-prefix count of best-route changes across all
+// speakers since the engine was built (rounds-to-quiescence's companion
+// metric: how much the selections moved on the way there).
+func (e *BGPEngine) RouteChurn() map[netip.Prefix]int {
+	out := make(map[netip.Prefix]int, len(e.churn))
+	for p, n := range e.churn {
+		out[p] = n
+	}
+	return out
+}
+
+// TotalChurn sums RouteChurn over all prefixes.
+func (e *BGPEngine) TotalChurn() int {
+	n := 0
+	for _, c := range e.churn {
+		n += c
+	}
+	return n
+}
+
+// UnstableSpeakers returns the speakers whose selection changed within the
+// last `window` rounds, sorted — the devices implicated in a detected
+// oscillation.
+func (e *BGPEngine) UnstableSpeakers(window int) []string {
+	if window < 1 {
+		window = 1
+	}
+	var out []string
+	for host, at := range e.changedAt {
+		if at > e.rounds-window {
+			out = append(out, host)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FlappingSessions returns the unordered session pairs that transitioned
+// up↔down at least min times during the run, sorted — the adjacency-change
+// log a supervisor uses to locate a sick speaker.
+func (e *BGPEngine) FlappingSessions(min int) [][2]string {
+	if min < 1 {
+		min = 1
+	}
+	var out [][2]string
+	for pair, n := range e.sessFlaps {
+		if n >= min {
+			out = append(out, pair)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// SoftReset flushes the given speakers' RIBs (adj-RIB-in and selections)
+// and clears the engine's convergence verdict, so a following Run
+// re-exchanges routes from scratch on those sessions — the supervisor's
+// `clear ip bgp` escalation step. The perturbation layer is notified so
+// session-state-local faults can heal.
+func (e *BGPEngine) SoftReset(hosts []string) {
+	for _, host := range hosts {
+		sp, ok := e.speakers[host]
+		if !ok {
+			continue
+		}
+		sp.adjIn = map[netip.Addr][]BGPRoute{}
+		sp.locRIB = map[netip.Prefix]BGPRoute{}
+		if e.pert != nil {
+			e.pert.OnSoftReset(host)
+		}
+	}
+	e.stateHashes = map[uint64][]int{}
+	e.converged, e.oscillating, e.cancelled = false, false, false
+	e.cycleLen = 0
+}
+
+// SessionComponents counts the connected components of the established
+// session graph over the engine's speakers: more than one means the
+// control plane is partitioned (speakers exist that can never hear each
+// other's routes).
+func (e *BGPEngine) SessionComponents() int {
+	if len(e.order) == 0 {
+		return 0
+	}
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, h := range e.order {
+		parent[h] = h
+	}
+	for _, host := range e.order {
+		for _, s := range e.speakers[host].sessions {
+			parent[find(host)] = find(s.peerHost)
+		}
+	}
+	roots := map[string]bool{}
+	for _, h := range e.order {
+		roots[find(h)] = true
+	}
+	return len(roots)
 }
 
 // decide implements the BGP decision process with the speaker's vendor
@@ -580,41 +773,97 @@ func (e *BGPEngine) igpCostOf(sp *speaker, r BGPRoute) int {
 // Run executes rounds until convergence, a repeated state (oscillation), or
 // maxRounds. It returns the outcome.
 func (e *BGPEngine) Run(maxRounds int) BGPResult {
+	return e.RunContext(context.Background(), maxRounds)
+}
+
+// RunContext is Run with cancellation: the context is checked every round,
+// and a cancelled run reports Cancelled instead of spinning to the round
+// cap — a deploy-level timeout can reclaim a hung convergence. Calling it
+// again (after a SoftReset) continues from the current protocol state
+// under a fresh round budget.
+func (e *BGPEngine) RunContext(ctx context.Context, maxRounds int) BGPResult {
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxBGPRounds
 	}
-	e.stateHashes = map[uint64]int{}
+	e.stateHashes = map[uint64][]int{}
+	e.converged, e.oscillating, e.cancelled = false, false, false
+	e.cycleLen = 0
+	if e.pert != nil {
+		e.pert.Reset()
+	}
 	for r := 0; r < maxRounds; r++ {
-		if e.Step() {
-			e.converged = true
+		if ctx.Err() != nil {
+			e.cancelled = true
 			break
+		}
+		quiet := e.Step()
+		if quiet {
+			if e.pert == nil || !e.pert.Pending(e.rounds) {
+				e.converged = true
+				break
+			}
+			// Delayed advertisements are still in flight: the state is
+			// momentarily stable but must not register as convergence (or
+			// as a cycle — it will change when the queue drains).
+			continue
 		}
 		h := e.stateHash()
-		if prev, seen := e.stateHashes[h]; seen {
+		seen := e.stateHashes[h]
+		if cl, ok := e.cycleDetected(seen); ok {
 			e.oscillating = true
-			e.cycleLen = e.rounds - prev
+			e.cycleLen = cl
 			break
 		}
-		e.stateHashes[h] = e.rounds
+		if len(seen) == 3 {
+			seen = seen[1:]
+		}
+		e.stateHashes[h] = append(seen, e.rounds)
 	}
-	if !e.converged && !e.oscillating {
+	if !e.converged && !e.oscillating && !e.cancelled {
 		e.oscillating = true // ran out of rounds without stabilising
 		e.cycleLen = -1
 	}
 	return BGPResult{
 		Converged:   e.converged,
 		Oscillating: e.oscillating,
+		Cancelled:   e.cancelled,
 		Rounds:      e.rounds,
 		CycleLen:    e.cycleLen,
 	}
+}
+
+// cycleDetected decides whether re-seeing a state constitutes a cycle.
+// Without a perturber one repeat suffices (the engine is deterministic, so
+// a repeated state must loop forever). Under perturbation a state can
+// legitimately recur — a lost route is re-learned, recreating an earlier
+// table — so a cycle requires the state to repeat twice with the same
+// period, which aperiodic loss does not produce but a flap schedule does.
+func (e *BGPEngine) cycleDetected(seen []int) (int, bool) {
+	if len(seen) == 0 {
+		return 0, false
+	}
+	last := seen[len(seen)-1]
+	if e.pert == nil {
+		return e.rounds - last, true
+	}
+	if len(seen) >= 2 {
+		prev := seen[len(seen)-2]
+		if e.rounds-last == last-prev {
+			return e.rounds - last, true
+		}
+	}
+	return 0, false
 }
 
 // BGPResult summarises a Run.
 type BGPResult struct {
 	Converged   bool
 	Oscillating bool
-	Rounds      int
-	CycleLen    int
+	// Cancelled reports that the run's context expired before either
+	// convergence or a detected oscillation.
+	Cancelled bool
+	Rounds    int
+	CycleLen  int
 }
 
 // stateHash hashes the complete protocol state — every speaker's

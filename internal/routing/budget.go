@@ -1,6 +1,10 @@
 package routing
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+	"time"
+)
 
 // DefaultMaxBGPRounds bounds a BGP Run when the caller supplies no budget.
 // 100 Gauss-Seidel rounds is far beyond what any converging topology in
@@ -18,6 +22,11 @@ type ConvergenceBudget struct {
 	// DefaultMaxBGPRounds). A run that exhausts the cap without reaching a
 	// fixed point reports Oscillating with CycleLen -1.
 	MaxBGPRounds int
+	// Timeout bounds the wall-clock time of one engine run (0 disables).
+	// Deployments propagate their per-attempt timeout here so a hung
+	// convergence cannot stall a whole pool; an expired run reports
+	// Cancelled.
+	Timeout time.Duration
 }
 
 // BGPRounds resolves the effective round cap.
@@ -28,10 +37,32 @@ func (b ConvergenceBudget) BGPRounds() int {
 	return b.MaxBGPRounds
 }
 
+// Escalated returns the budget enlarged by the given factor — the
+// watchdog's first escalation step (maybe the run was merely starved).
+// Factors below 2 escalate to 2; the timeout is preserved.
+func (b ConvergenceBudget) Escalated(factor int) ConvergenceBudget {
+	if factor < 2 {
+		factor = 2
+	}
+	return ConvergenceBudget{MaxBGPRounds: b.BGPRounds() * factor, Timeout: b.Timeout}
+}
+
+// Context materialises the budget's wall-clock bound: a context that
+// expires after Timeout, or an unbounded cancellable one when no timeout
+// is set. The caller must call the cancel function.
+func (b ConvergenceBudget) Context() (context.Context, context.CancelFunc) {
+	if b.Timeout > 0 {
+		return context.WithTimeout(context.Background(), b.Timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
 // Describe renders the outcome of a bounded run as a one-line verdict for
 // logs and resilience reports.
 func (b ConvergenceBudget) Describe(res BGPResult) string {
 	switch {
+	case res.Cancelled:
+		return fmt.Sprintf("cancelled after %d rounds", res.Rounds)
 	case res.Converged:
 		return fmt.Sprintf("converged in %d rounds", res.Rounds)
 	case res.CycleLen > 0:

@@ -1,0 +1,156 @@
+package routing
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBudgetBGPRounds(t *testing.T) {
+	for _, tc := range []struct {
+		in, want int
+	}{
+		{0, DefaultMaxBGPRounds},
+		{-5, DefaultMaxBGPRounds},
+		{1, 1},
+		{250, 250},
+	} {
+		b := ConvergenceBudget{MaxBGPRounds: tc.in}
+		if got := b.BGPRounds(); got != tc.want {
+			t.Errorf("BGPRounds(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestBudgetEscalated(t *testing.T) {
+	b := ConvergenceBudget{MaxBGPRounds: 10, Timeout: 2 * time.Second}
+	esc := b.Escalated(4)
+	if esc.MaxBGPRounds != 40 {
+		t.Errorf("escalated rounds = %d, want 40", esc.MaxBGPRounds)
+	}
+	if esc.Timeout != 2*time.Second {
+		t.Errorf("escalation dropped the timeout: %v", esc.Timeout)
+	}
+	// Factors below 2 clamp to 2 (escalating by 0 or 1 would not escalate).
+	for _, factor := range []int{-1, 0, 1} {
+		if got := b.Escalated(factor).MaxBGPRounds; got != 20 {
+			t.Errorf("Escalated(%d) rounds = %d, want 20", factor, got)
+		}
+	}
+	// A zero-value budget escalates from the default cap.
+	if got := (ConvergenceBudget{}).Escalated(2).MaxBGPRounds; got != 2*DefaultMaxBGPRounds {
+		t.Errorf("zero budget escalated = %d, want %d", got, 2*DefaultMaxBGPRounds)
+	}
+}
+
+func TestBudgetContext(t *testing.T) {
+	// With a timeout the context carries a deadline.
+	b := ConvergenceBudget{Timeout: time.Minute}
+	ctx, cancel := b.Context()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Error("timeout budget produced a context without a deadline")
+	}
+	cancel()
+	if ctx.Err() == nil {
+		t.Error("cancel did not cancel the timeout context")
+	}
+	// Without one the context is unbounded but still cancellable.
+	ctx, cancel = ConvergenceBudget{}.Context()
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("unbounded budget produced a deadline")
+	}
+	cancel()
+	if ctx.Err() != context.Canceled {
+		t.Errorf("err after cancel = %v", ctx.Err())
+	}
+}
+
+func TestBudgetDescribe(t *testing.T) {
+	b := ConvergenceBudget{MaxBGPRounds: 30}
+	for _, tc := range []struct {
+		res  BGPResult
+		want string
+	}{
+		{BGPResult{Converged: true, Rounds: 7}, "converged in 7 rounds"},
+		{BGPResult{Oscillating: true, Rounds: 12, CycleLen: 2}, "oscillating (cycle length 2 after 12 rounds)"},
+		{BGPResult{Oscillating: true, Rounds: 30, CycleLen: -1}, "did not converge within 30 rounds"},
+		{BGPResult{Cancelled: true, Rounds: 4}, "cancelled after 4 rounds"},
+		// Cancellation dominates every other flag: the wall clock gave out,
+		// whatever the protocol state looked like at that instant.
+		{BGPResult{Cancelled: true, Converged: true, Rounds: 9}, "cancelled after 9 rounds"},
+	} {
+		if got := b.Describe(tc.res); got != tc.want {
+			t.Errorf("Describe(%+v) = %q, want %q", tc.res, got, tc.want)
+		}
+	}
+}
+
+// A topology that needs exactly R rounds must converge under a budget of
+// exactly R and must not under R-1 — the budget boundary is inclusive.
+func TestConvergenceExactlyAtBudget(t *testing.T) {
+	_, res := runBGP(t, twoASTopo(), nil, nil)
+	if !res.Converged {
+		t.Fatalf("reference run: %+v", res)
+	}
+	need := res.Rounds
+	if need < 2 {
+		t.Fatalf("fixture converges in %d rounds; boundary test needs >= 2", need)
+	}
+
+	e, err := NewBGPEngine(twoASTopo(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at := e.Run(need); !at.Converged || at.Rounds != need {
+		t.Errorf("budget %d: %+v, want convergence in exactly %d rounds", need, at, need)
+	}
+
+	e, err = NewBGPEngine(twoASTopo(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	under := e.Run(need - 1)
+	if under.Converged {
+		t.Errorf("budget %d converged: %+v", need-1, under)
+	}
+	if !under.Oscillating || under.CycleLen != -1 {
+		t.Errorf("starved run = %+v, want Oscillating with CycleLen -1", under)
+	}
+}
+
+// A context that is already expired cancels the run before the first round.
+func TestRunContextCancelled(t *testing.T) {
+	e, err := NewBGPEngine(twoASTopo(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := e.RunContext(ctx, 100)
+	if !res.Cancelled || res.Converged || res.Oscillating {
+		t.Fatalf("result = %+v, want Cancelled only", res)
+	}
+	if res.Rounds != 0 {
+		t.Errorf("rounds = %d, want 0", res.Rounds)
+	}
+	if got := (ConvergenceBudget{}).Describe(res); !strings.Contains(got, "cancelled after 0 rounds") {
+		t.Errorf("Describe = %q", got)
+	}
+}
+
+// A budget timeout expiring mid-run yields Cancelled through the lab-facing
+// Context() path too.
+func TestBudgetTimeoutCancelsRun(t *testing.T) {
+	b := ConvergenceBudget{MaxBGPRounds: 100, Timeout: time.Nanosecond}
+	e, err := NewBGPEngine(twoASTopo(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := b.Context()
+	defer cancel()
+	time.Sleep(time.Millisecond) // let the deadline pass deterministically
+	if res := e.RunContext(ctx, b.MaxBGPRounds); !res.Cancelled {
+		t.Errorf("result = %+v, want Cancelled", res)
+	}
+}

@@ -34,7 +34,17 @@ type OSPFDomain struct {
 
 	neighbors map[string][]OSPFNeighbor
 	routes    map[string][]Route
+
+	// pert, when set, can suppress adjacency formation (lossy links drop
+	// enough hellos that the adjacency never comes up); nil leaves the
+	// flooding path perfect.
+	pert Perturber
 }
+
+// SetPerturber installs a control-plane perturbation layer consulted
+// during Converge; nil restores perfect hello delivery. Install before
+// Converge.
+func (d *OSPFDomain) SetPerturber(p Perturber) { d.pert = p }
 
 // NewOSPFDomain builds the domain from the participating devices.
 func NewOSPFDomain(devices []*DeviceConfig) *OSPFDomain {
@@ -115,6 +125,11 @@ func (d *OSPFDomain) Converge() error {
 				// Passive interfaces advertise the subnet but form no
 				// adjacency (eBGP-facing links).
 				if atts[i].ic.Passive || atts[j].ic.Passive {
+					continue
+				}
+				// A perturbed (lossy) link can drop enough hellos that the
+				// adjacency never forms.
+				if d.pert != nil && !d.pert.AdjacencyUp(atts[i].host, atts[j].host) {
 					continue
 				}
 				edges = append(edges, edge{atts[i].host, atts[j].host, atts[i].ic, atts[j].ic, atts[i].area})

@@ -26,6 +26,9 @@ rm -f /tmp/ci_chaos_report.$$
 echo "== golden partial-boot drill (testdata/quarantine)"
 go test -race -run 'TestGoldenQuarantineDrill' -count=1 .
 
+echo "== golden perturbation drill (testdata/perturb; Workers=1 vs Workers=8 determinism)"
+go test -race -run 'TestGoldenPerturbDrill' -count=1 .
+
 echo "== cache-warm pass (go test -count=2: second run rebuilds against warm state)"
 go test -count=2 -run 'TestCachePipelineProperty|TestCacheInvalidationMatrix|TestLenientBootDoesNotPoisonCache|TestRepeatedBuildByteDeterminism|TestCompileCacheHitProducesIdenticalDB|TestRenderCacheWarmIsByteIdentical' \
   . ./internal/compile/ ./internal/render/ ./internal/cache/
@@ -46,7 +49,9 @@ echo "== fuzz (parsers, 5s each)"
 for target in FuzzParseQuagga FuzzParseIOS FuzzParseJunos FuzzParseCBGP; do
   go test -run=NONE -fuzz="^${target}\$" -fuzztime=5s ./internal/emul/
 done
-go test -run=NONE -fuzz='^FuzzParseScenario$' -fuzztime=5s ./internal/chaos/
+for target in FuzzParseScenario FuzzParsePerturb; do
+  go test -run=NONE -fuzz="^${target}\$" -fuzztime=5s ./internal/chaos/
+done
 go test -run=NONE -fuzz='^FuzzTextFSM$' -fuzztime=5s ./internal/measure/textfsm/
 
 echo "CI OK"
