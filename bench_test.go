@@ -916,6 +916,86 @@ func BenchmarkP5_ConvergenceUnderLoss(b *testing.B) {
 			b.ReportMetric(float64(churn), "churn")
 		})
 	}
+
+	// Post-incident reconvergence at 240 routers, full recompute versus the
+	// incremental paths (delta SPF + BGP trajectory replay + data-plane node
+	// reuse) — the headline case of the P6 performance model.
+	for _, mode := range []struct {
+		name        string
+		incremental bool
+	}{{"full", false}, {"incremental", true}} {
+		b.Run("postincident240/"+mode.name, func(b *testing.B) {
+			benchPostIncident(b, p6DeployedLab(b, 240, mode.incremental))
+		})
+	}
+}
+
+// --- P6: incremental reconvergence (delta SPF + BGP trajectory replay +
+// data-plane node reuse). Each iteration injects and repairs one link
+// failure on a deployed NREN-shaped lab, so every pass pays two
+// reconvergences whose outcome is overwhelmingly unchanged state.
+// Sub-benchmarks compare full recompute against incremental mode at three
+// scales; the two modes are byte-equivalent by construction (see
+// TestIncrementalConvergenceParity), so the gap is purely the cost of
+// re-deriving state the incident provably did not touch. ---
+
+// p6DeployedLab builds and deploys an NREN-shaped lab of the given size in
+// the requested convergence mode.
+func p6DeployedLab(b *testing.B, routers int, incremental bool) *emul.Lab {
+	b.Helper()
+	g, err := topogen.NREN(topogen.NRENConfig{ASes: routers / 20, Routers: routers, Links: routers * 5 / 4, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := LoadGraph(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Build(BuildOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	dep, err := net.Deploy(deploy.Options{Incremental: incremental})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dep.Lab()
+}
+
+// benchPostIncident times one fail-link/restore-link round trip per
+// iteration: two incident-triggered reconvergences plus the data-plane
+// rebuilds they imply.
+func benchPostIncident(b *testing.B, lab *emul.Lab) {
+	pair := lab.Links()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		if err := lab.FailLink(pair[0], pair[1]); err != nil {
+			b.Fatal(err)
+		}
+		if err := lab.RestoreLink(pair[0], pair[1]); err != nil {
+			b.Fatal(err)
+		}
+		res := lab.BGPResult()
+		if !res.Converged {
+			b.Fatal("did not reconverge")
+		}
+		rounds = res.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+func BenchmarkP6_IncrementalConvergence(b *testing.B) {
+	for _, routers := range []int{60, 120, 240} {
+		for _, mode := range []struct {
+			name        string
+			incremental bool
+		}{{"full", false}, {"incremental", true}} {
+			b.Run(fmt.Sprintf("n%d/%s", routers, mode.name), func(b *testing.B) {
+				benchPostIncident(b, p6DeployedLab(b, routers, mode.incremental))
+			})
+		}
+	}
 }
 
 // --- P3: resilient boot (strict vs lenient quarantine) ---

@@ -44,6 +44,7 @@ func main() {
 	lenient := flag.Bool("lenient", false, "quarantine devices with config errors and run against the survivors (exit 3 on partial boot)")
 	supervise := flag.Bool("supervise", false, "run the convergence watchdog on every step, even for unseeded scenarios")
 	trace := flag.Bool("trace", false, "print the pipeline + chaos span trace after the report")
+	incremental := flag.Bool("incremental", false, "enable incremental reconvergence between scenario steps (delta SPF, BGP trajectory replay, FIB node reuse); reports stay byte-identical to full recompute")
 	flag.Parse()
 	if *in == "" || *scenarioPath == "" {
 		fmt.Fprintln(os.Stderr, "ankchaos: -in and -scenario are required")
@@ -69,7 +70,7 @@ func main() {
 	if err := net.Build(autonetkit.BuildOptions{}); err != nil {
 		fatal(err)
 	}
-	dep, err := net.Deploy(deploy.Options{Platform: *platform, Lenient: *lenient})
+	dep, err := net.Deploy(deploy.Options{Platform: *platform, Lenient: *lenient, Incremental: *incremental})
 	partial := err != nil && errors.Is(err, emul.ErrPartialBoot)
 	if err != nil && !partial {
 		var derr *emul.DiagnosticError

@@ -32,6 +32,7 @@ func main() {
 	lenient := flag.Bool("lenient", false, "quarantine devices with config errors and boot the survivors (exit 3 on partial boot)")
 	supervise := flag.Bool("supervise", false, "run the convergence watchdog after boot (escalate budget, soft-reset, quarantine on non-convergence)")
 	convergeTimeout := flag.Duration("converge-timeout", 0, "wall-clock bound per control-plane convergence run (0 = unbounded)")
+	incremental := flag.Bool("incremental", false, "enable incremental reconvergence (delta SPF, BGP trajectory replay, FIB node reuse); results stay byte-identical to full recompute")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "ankdeploy: -in is required")
@@ -53,7 +54,8 @@ func main() {
 	dep, err := net.Deploy(deploy.Options{
 		Host: *host, Platform: *platform, Lenient: *lenient,
 		Supervise: *supervise, ConvergeTimeout: *convergeTimeout,
-		OnEvent: func(e deploy.Event) { fmt.Printf("[%s] %s\n", e.Stage, e.Detail) },
+		Incremental: *incremental,
+		OnEvent:     func(e deploy.Event) { fmt.Printf("[%s] %s\n", e.Stage, e.Detail) },
 	})
 	partial := err != nil && errors.Is(err, emul.ErrPartialBoot)
 	if err != nil && !partial {

@@ -284,6 +284,9 @@ func (e *Engine) settle(res *StepResult, budget routing.ConvergenceBudget, addFi
 		if len(rep.Quarantined) > 0 {
 			note = fmt.Sprintf(" (quarantined %s)", strings.Join(rep.Quarantined, ", "))
 		}
+		if id := e.lab.LastIncidentID(); id > 0 {
+			note += fmt.Sprintf(" (incident #%d)", id)
+		}
 		addFinding("chaos-watchdog", verify.Warning,
 			"recovered after %d escalations%s", rep.Escalations(), note)
 	}

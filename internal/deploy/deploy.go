@@ -130,8 +130,12 @@ type Options struct {
 	// OnEvent, when set, receives progress events as they happen.
 	OnEvent func(Event)
 	// Obs, when set, collects deployment counters (e.g. quarantined
-	// devices).
+	// devices) and, under Incremental, the incremental-convergence counters.
 	Obs *obs.Collector
+	// Incremental enables incremental reconvergence in the booted lab:
+	// delta SPF, BGP trajectory replay and data-plane node reuse. Routing
+	// tables, verdicts and events stay byte-identical to full recompute.
+	Incremental bool
 }
 
 // Run executes the full deployment of a rendered file set and returns the
@@ -172,6 +176,7 @@ func Run(fs *render.FileSet, opts Options) (*Deployment, error) {
 	d.emit(Event{"lstart", fmt.Sprintf("launching %d machines", len(lab.VMNames()))})
 	bootErr := lab.Boot(emul.BootOptions{
 		MaxBGPRounds: opts.MaxBGPRounds, ConvergeTimeout: opts.ConvergeTimeout, Lenient: opts.Lenient,
+		Incremental: opts.Incremental, Obs: opts.Obs,
 	})
 	if bootErr != nil && !errors.Is(bootErr, emul.ErrPartialBoot) {
 		return nil, bootErr

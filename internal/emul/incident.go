@@ -104,10 +104,11 @@ func (l *Lab) failLink(a, b string, only netip.Prefix) error {
 		}
 		shared = []netip.Prefix{only}
 	}
+	l.incidentSeq++
 	for _, p := range shared {
 		removeSubnet(va.Config, p)
 		removeSubnet(vb.Config, p)
-		l.logf("INCIDENT: link %s -- %s (%v) failed", a, b, p)
+		l.logf("INCIDENT #%d: link %s -- %s (%v) failed", l.incidentSeq, a, b, p)
 	}
 	return l.converge()
 }
@@ -140,10 +141,11 @@ func (l *Lab) RestoreLink(a, b string) error {
 	if len(missing) == 0 {
 		return fmt.Errorf("emul: link %s -- %s is not failed", a, b)
 	}
+	l.incidentSeq++
 	for _, p := range missing {
 		restoreSubnet(va.Config, ba, p)
 		restoreSubnet(vb.Config, bb, p)
-		l.logf("INCIDENT: link %s -- %s (%v) restored", a, b, p)
+		l.logf("INCIDENT #%d: link %s -- %s (%v) restored", l.incidentSeq, a, b, p)
 	}
 	return l.converge()
 }
@@ -173,7 +175,8 @@ func (l *Lab) FailNode(name string) error {
 		return fmt.Errorf("emul: %s has no data-plane interfaces to fail", name)
 	}
 	vm.Config.Interfaces = kept
-	l.logf("INCIDENT: machine %s down (%d interfaces removed)", name, removed)
+	l.incidentSeq++
+	l.logf("INCIDENT #%d: machine %s down (%d interfaces removed)", l.incidentSeq, name, removed)
 	return l.converge()
 }
 
@@ -197,7 +200,8 @@ func (l *Lab) RestoreNode(name string) error {
 		return fmt.Errorf("emul: machine %s is not failed", name)
 	}
 	vm.Config.Interfaces = append([]routing.InterfaceConfig(nil), base.Interfaces...)
-	l.logf("INCIDENT: machine %s restored (%d interfaces re-installed)", name, restored)
+	l.incidentSeq++
+	l.logf("INCIDENT #%d: machine %s restored (%d interfaces re-installed)", l.incidentSeq, name, restored)
 	return l.converge()
 }
 
@@ -221,19 +225,21 @@ func (l *Lab) Partition(inside []string) error {
 		}
 		in[name] = true
 	}
+	l.incidentSeq++
 	cut := 0
 	for _, name := range inside {
 		vm := l.vms[name]
 		for _, p := range boundarySubnets(l, vm, in) {
 			removeSubnet(vm.Config, p)
-			l.logf("INCIDENT: partition cut %s (%v)", name, p)
+			l.logf("INCIDENT #%d: partition cut %s (%v)", l.incidentSeq, name, p)
 			cut++
 		}
 	}
 	if cut == 0 {
+		l.incidentSeq-- // nothing was injected; give the id back
 		return fmt.Errorf("emul: partition group %v has no links to the outside", inside)
 	}
-	l.logf("INCIDENT: partition isolated %v (%d boundary subnets cut)", inside, cut)
+	l.logf("INCIDENT #%d: partition isolated %v (%d boundary subnets cut)", l.incidentSeq, inside, cut)
 	return l.converge()
 }
 

@@ -53,7 +53,7 @@ func TestFailLinkReroutes(t *testing.T) {
 		}
 	}
 	// The incident is in the event log.
-	if !strings.Contains(strings.Join(lab.Events(), "\n"), "INCIDENT: link r1 -- r3") {
+	if !strings.Contains(strings.Join(lab.Events(), "\n"), "INCIDENT #1: link r1 -- r3") {
 		t.Error("incident not logged")
 	}
 }
@@ -188,8 +188,8 @@ func TestFailLinkAllSharedSubnets(t *testing.T) {
 	// Both subnets are logged individually.
 	events := strings.Join(lab.Events(), "\n")
 	for _, want := range []string{
-		"INCIDENT: link r1 -- r2 (10.0.1.0/24) failed",
-		"INCIDENT: link r1 -- r2 (10.0.2.0/24) failed",
+		"INCIDENT #1: link r1 -- r2 (10.0.1.0/24) failed",
+		"INCIDENT #1: link r1 -- r2 (10.0.2.0/24) failed",
 	} {
 		if !strings.Contains(events, want) {
 			t.Errorf("event log missing %q:\n%s", want, events)
@@ -274,7 +274,7 @@ func TestRestoreLinkRoundTrip(t *testing.T) {
 		t.Errorf("restored lab differs from pre-incident state:\nbefore: %+v\nafter:  %+v", before, after)
 	}
 	events := strings.Join(lab.Events(), "\n")
-	if !strings.Contains(events, "INCIDENT: link r1 -- r3") || !strings.Contains(events, "restored") {
+	if !strings.Contains(events, "INCIDENT #1: link r1 -- r3") || !strings.Contains(events, "restored") {
 		t.Errorf("restore not logged:\n%s", events)
 	}
 }

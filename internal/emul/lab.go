@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"autonetkit/internal/dataplane"
+	"autonetkit/internal/obs"
 	"autonetkit/internal/render"
 	"autonetkit/internal/routing"
 )
@@ -65,6 +66,23 @@ type Lab struct {
 	// perturbation; nil keeps the zero-perturbation fast path.
 	pert routing.Perturber
 
+	// Incremental-reconvergence state. When incremental is on, the IGP
+	// domains persist across converges (delta SPF diffs the link state),
+	// bgpReplay carries the previous run's recorded trajectory into the next
+	// engine, and prevSigs + the engines' changed-source/speaker sets decide
+	// which data-plane nodes can be reused verbatim. All of it is advisory:
+	// the converge output is byte-identical to a full recompute, incremental
+	// mode only skips work whose result is provably unchanged.
+	incremental bool
+	bgpReplay   *routing.BGPReplay
+	prevSigs    map[string]uint64
+	obs         *obs.Collector
+
+	// incidentSeq numbers injected incidents (FailLink, FailNode, Partition
+	// and their restores) so watchdog escalations and chaos reports can name
+	// the incident that triggered them. 0 = no incident injected yet.
+	incidentSeq int
+
 	// diags accumulates every Diagnostic found while ingesting this lab's
 	// configuration tree (at Load for C-BGP, at Boot for the per-machine
 	// platforms). quarantined lists the devices a lenient boot excluded
@@ -103,6 +121,16 @@ func (l *Lab) Events() []string {
 
 func (l *Lab) logf(format string, args ...any) {
 	l.events = append(l.events, fmt.Sprintf(format, args...))
+}
+
+// incidentNote renders the " (incident #N)" suffix watchdog event lines
+// carry once incidents have been injected; empty before the first one, so
+// incident-free labs log exactly as they always did. Callers hold the lock.
+func (l *Lab) incidentNote() string {
+	if l.incidentSeq == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (incident #%d)", l.incidentSeq)
 }
 
 // VMNames returns machine names in lab.conf order.
@@ -144,6 +172,35 @@ func (l *Lab) Budget() routing.ConvergenceBudget {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	return l.budget
+}
+
+// SetIncremental switches incremental reconvergence on or off for
+// subsequent converges. Turning it off discards all cached convergence
+// state, so the next converge is a guaranteed-full recompute.
+func (l *Lab) SetIncremental(on bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.incremental = on
+	if !on {
+		l.bgpReplay = nil
+		l.prevSigs = nil
+	}
+}
+
+// Incremental reports whether incremental reconvergence is enabled.
+func (l *Lab) Incremental() bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.incremental
+}
+
+// LastIncidentID returns the sequence number of the most recently injected
+// incident (0 if none). Watchdog escalations and chaos reports use it to
+// attribute recovery actions to the fault that triggered them.
+func (l *Lab) LastIncidentID() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.incidentSeq
 }
 
 // BGPRoutes returns a machine's selected BGP routes.
@@ -377,6 +434,15 @@ type BootOptions struct {
 	// error-level diagnostic fails the boot with a *DiagnosticError that
 	// lists every problem found in the pass.
 	Lenient bool
+	// Incremental enables incremental reconvergence: delta SPF in the IGP
+	// domains, BGP trajectory replay, and data-plane node reuse. Off by
+	// default (full recompute is the correctness oracle); when on, every
+	// converge still produces byte-identical routing tables, verdicts and
+	// events.
+	Incremental bool
+	// Obs, when set, receives incremental-convergence counters
+	// (spf_delta_recomputes, bgp_dirty_prefixes, rounds_skipped, ...).
+	Obs *obs.Collector
 }
 
 // Start boots every machine (parsing its configuration), converges OSPF,
@@ -471,6 +537,8 @@ func (l *Lab) Boot(opts BootOptions) error {
 		}
 	}
 	l.budget = routing.ConvergenceBudget{MaxBGPRounds: opts.MaxBGPRounds, Timeout: opts.ConvergeTimeout}
+	l.incremental = opts.Incremental
+	l.obs = opts.Obs
 	if err := l.converge(); err != nil {
 		return err
 	}
@@ -489,19 +557,44 @@ func (l *Lab) converge() error {
 	// Quarantined machines (nil Config) are not part of the running
 	// topology: the control plane and data plane build over the survivors.
 	devices := l.liveDevices()
+	// Changed-source sets harvested from the incremental engines; nil means
+	// "unknown — treat everything as changed".
+	var ospfChanged, isisChanged, bgpChanged map[string]bool
 	// IGP convergence. C-BGP labs carry a pre-parsed link-graph IGP that
 	// is preserved across reconvergence. OSPF and IS-IS devices each get
 	// their own link-state domain (§7: IS-IS as the substituted IGP).
 	if l.Platform != "cbgp" {
-		l.domain = routing.NewOSPFDomain(devices)
+		// Incremental mode keeps the domains alive across converges so the
+		// delta-SPF path can diff link state against the previous run.
+		if l.incremental && l.domain != nil && l.domain.Incremental() {
+			l.domain.Rebind(devices)
+		} else {
+			l.domain = routing.NewOSPFDomain(devices)
+			l.domain.SetIncremental(l.incremental)
+		}
 		l.domain.SetPerturber(l.pert)
 		if err := l.domain.Converge(); err != nil {
 			return fmt.Errorf("emul: ospf: %w", err)
 		}
-		l.isis = routing.NewISISDomain(devices)
+		if l.incremental && l.isis != nil && l.isis.Incremental() {
+			l.isis.RebindISIS(devices)
+		} else {
+			l.isis = routing.NewISISDomain(devices)
+			l.isis.SetIncremental(l.incremental)
+		}
 		l.isis.SetPerturber(l.pert)
 		if err := l.isis.Converge(); err != nil {
 			return fmt.Errorf("emul: isis: %w", err)
+		}
+		if l.incremental {
+			ospfChanged = l.domain.ChangedSources()
+			isisChanged = l.isis.ChangedSources()
+			for _, d := range []*routing.OSPFDomain{l.domain, l.isis} {
+				if rec, skip, delta := d.DeltaStats(); delta {
+					l.obs.Add(obs.CounterSPFDeltaRecomputes, int64(rec))
+					l.obs.Add(obs.CounterSPFSourcesSkipped, int64(skip))
+				}
+			}
 		}
 		comp := routing.NewCompositeIGP()
 		for _, dc := range devices {
@@ -528,6 +621,18 @@ func (l *Lab) converge() error {
 	// persistent one, not a lockstep-timing artifact.
 	bgp.SetSequential(true)
 	bgp.SetPerturber(l.pert)
+	if l.incremental {
+		// Speakers whose IGP routes moved see different next-hop costs, so
+		// they must recompute even if their own configs are untouched.
+		extraDirty := map[string]bool{}
+		for h := range ospfChanged {
+			extraDirty[h] = true
+		}
+		for h := range isisChanged {
+			extraDirty[h] = true
+		}
+		bgp.EnableIncremental(l.bgpReplay, extraDirty)
+	}
 	l.bgp = bgp
 	ctx, cancel := l.budget.Context()
 	l.bgpResult = bgp.RunContext(ctx, l.budget.MaxBGPRounds)
@@ -536,14 +641,60 @@ func (l *Lab) converge() error {
 	for _, down := range bgp.SessionsDown() {
 		l.logf("bgp session down: %s", down)
 	}
+	if l.incremental {
+		restored, dirtyPfx, skipped := bgp.IncrementalStats()
+		l.obs.Add(obs.CounterBGPSpeakersRestored, restored)
+		l.obs.Add(obs.CounterBGPDirtyPrefixes, dirtyPfx)
+		l.obs.Add(obs.CounterRoundsSkipped, skipped)
+		bgpChanged = bgp.ChangedSpeakers()
+		l.bgpReplay = bgp.ReplayLog()
+	}
 	// Data plane (not for C-BGP, which is a route solver).
 	if l.Platform != "cbgp" {
-		if err := l.buildDataplane(devices); err != nil {
+		reuse := l.reusableNodes(devices, ospfChanged, isisChanged, bgpChanged)
+		if err := l.buildDataplane(devices, reuse); err != nil {
 			return err
 		}
 		l.logf("data plane ready")
 	}
+	if l.incremental {
+		sigs := make(map[string]uint64, len(devices))
+		for _, dc := range devices {
+			sigs[dc.Hostname] = routing.ConfigSignature(dc)
+		}
+		l.prevSigs = sigs
+	}
 	return nil
+}
+
+// reusableNodes decides which data-plane nodes can carry over from the
+// previous converge unchanged: a node is reusable only when its device
+// config hashes identically AND none of the three route sources (OSPF,
+// IS-IS, BGP) reported a changed selection for it. nil changed-sets mean
+// "unknown" and veto reuse for every node, as does full (non-incremental)
+// mode. Nodes are immutable after construction, so sharing them across
+// network generations is safe for concurrent readers.
+func (l *Lab) reusableNodes(devices []*routing.DeviceConfig, ospfChanged, isisChanged, bgpChanged map[string]bool) map[string]*dataplane.Node {
+	if !l.incremental || l.net == nil || l.prevSigs == nil || bgpChanged == nil {
+		return nil
+	}
+	if (l.domain != nil && ospfChanged == nil) || (l.isis != nil && isisChanged == nil) {
+		return nil
+	}
+	reuse := map[string]*dataplane.Node{}
+	for _, dc := range devices {
+		h := dc.Hostname
+		if ospfChanged[h] || isisChanged[h] || bgpChanged[h] {
+			continue
+		}
+		if sig, ok := l.prevSigs[h]; !ok || sig != routing.ConfigSignature(dc) {
+			continue
+		}
+		if node, ok := l.net.Node(h); ok {
+			reuse[h] = node
+		}
+	}
+	return reuse
 }
 
 // liveDevices lists the configs of every machine that is part of the
@@ -601,9 +752,19 @@ func (l *Lab) bootVM(vm *VM) (*routing.DeviceConfig, Diagnostics) {
 }
 
 // buildDataplane installs connected, OSPF and BGP routes into per-VM FIBs.
-func (l *Lab) buildDataplane(devices []*routing.DeviceConfig) error {
+// reuse (may be nil) maps hostnames to nodes from the previous network
+// generation whose inputs are provably unchanged; those are re-added as-is
+// instead of being rebuilt.
+func (l *Lab) buildDataplane(devices []*routing.DeviceConfig, reuse map[string]*dataplane.Node) error {
 	net := dataplane.NewNetwork()
 	for _, dc := range devices {
+		if old, ok := reuse[dc.Hostname]; ok {
+			if err := net.AddNode(old); err != nil {
+				return err
+			}
+			l.obs.Add(obs.CounterFIBNodesReused, 1)
+			continue
+		}
 		node := dataplane.NewNode(dc.Hostname)
 		// Collect candidate routes into a RIB so administrative distance is
 		// honoured (connected < OSPF < BGP): a BGP-originated loopback /32

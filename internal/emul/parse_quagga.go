@@ -11,6 +11,15 @@
 // is recorded as a located Diagnostic and the parse continues with the
 // next stanza, so one boot reports every problem in a device's
 // configuration at once instead of dying on the first bad byte.
+//
+// Reconvergence after incident injection is full-recompute by default.
+// BootOptions.Incremental (or Lab.SetIncremental) switches the lab to
+// incremental reconvergence — delta SPF in the IGP domains, BGP trajectory
+// replay, and data-plane node reuse — which produces byte-identical
+// routing tables, verdicts and event logs while skipping the recomputation
+// of state the incident provably did not touch. See the routing package
+// for the per-engine mechanics and ARCHITECTURE.md ("Incremental
+// convergence") for the invariants and the determinism argument.
 package emul
 
 import (

@@ -116,7 +116,7 @@ func (l *Lab) ReconvergeWith(b routing.ConvergenceBudget) (routing.BGPResult, er
 		return routing.BGPResult{}, fmt.Errorf("emul: lab not started")
 	}
 	l.budget = b
-	l.logf("WATCHDOG: budget escalated to %d rounds", b.BGPRounds())
+	l.logf("WATCHDOG: budget escalated to %d rounds%s", b.BGPRounds(), l.incidentNote())
 	if err := l.converge(); err != nil {
 		return routing.BGPResult{}, err
 	}
@@ -137,14 +137,17 @@ func (l *Lab) SoftResetSpeakers(hosts []string) (routing.BGPResult, error) {
 	if l.bgp == nil {
 		return routing.BGPResult{}, fmt.Errorf("emul: lab has no BGP engine")
 	}
-	l.logf("WATCHDOG: soft reset of %s (RIB flush + re-exchange)", strings.Join(hosts, ", "))
+	l.logf("WATCHDOG: soft reset of %s (RIB flush + re-exchange)%s", strings.Join(hosts, ", "), l.incidentNote())
 	l.bgp.SoftReset(hosts)
+	// A reset discards the engine's trajectory recording, so the lab's
+	// cached replay is stale too; the next converge recomputes in full.
+	l.bgpReplay = nil
 	ctx, cancel := l.budget.Context()
 	l.bgpResult = l.bgp.RunContext(ctx, l.budget.MaxBGPRounds)
 	cancel()
 	l.logBGPResult()
 	if l.Platform != "cbgp" {
-		if err := l.buildDataplane(l.liveDevices()); err != nil {
+		if err := l.buildDataplane(l.liveDevices(), nil); err != nil {
 			return l.bgpResult, err
 		}
 	}
@@ -181,7 +184,7 @@ func (l *Lab) QuarantineSpeakers(hosts []string, reason string) (routing.BGPResu
 		vm.Config = nil
 		vm.Booted = false
 		l.quarantined = append(l.quarantined, name)
-		l.logf("machine %s QUARANTINED by watchdog (%s)", name, reason)
+		l.logf("machine %s QUARANTINED by watchdog (%s)%s", name, reason, l.incidentNote())
 	}
 	sort.Strings(l.quarantined)
 	if err := l.converge(); err != nil {
@@ -305,14 +308,22 @@ type EscalationStep struct {
 	Rounds int
 	// Detail is the budget's one-line description of the outcome.
 	Detail string
+	// Incident is the id of the most recently injected incident when this
+	// rung ran (Lab.LastIncidentID), 0 when no incident preceded it — the
+	// escalation's trigger, for incident-to-recovery attribution in reports.
+	Incident int
 }
 
 // String renders the step as one stable line for reports and goldens.
 func (s EscalationStep) String() string {
-	if len(s.Targets) == 0 {
-		return fmt.Sprintf("%s: %s (%s)", s.Action, s.Verdict, s.Detail)
+	tag := ""
+	if s.Incident > 0 {
+		tag = fmt.Sprintf(" [incident #%d]", s.Incident)
 	}
-	return fmt.Sprintf("%s [%s]: %s (%s)", s.Action, strings.Join(s.Targets, ", "), s.Verdict, s.Detail)
+	if len(s.Targets) == 0 {
+		return fmt.Sprintf("%s%s: %s (%s)", s.Action, tag, s.Verdict, s.Detail)
+	}
+	return fmt.Sprintf("%s%s [%s]: %s (%s)", s.Action, tag, strings.Join(s.Targets, ", "), s.Verdict, s.Detail)
 }
 
 // SupervisionReport is the full ladder one Supervise call climbed.
@@ -362,7 +373,7 @@ func (w *Watchdog) Supervise(lab *Lab) (SupervisionReport, error) {
 	observe := func(action string, targets []string, res routing.BGPResult) Verdict {
 		v := Classify(res, lab.SessionComponents())
 		step := EscalationStep{Action: action, Targets: targets, Verdict: v,
-			Rounds: res.Rounds, Detail: cur.Describe(res)}
+			Rounds: res.Rounds, Detail: cur.Describe(res), Incident: lab.LastIncidentID()}
 		rep.Steps = append(rep.Steps, step)
 		rep.Final = v
 		if w.OnEvent != nil {

@@ -53,6 +53,16 @@ const (
 	CounterWatchdogBudgetEscalations = "watchdog_budget_escalations"
 	CounterWatchdogSoftResets        = "watchdog_soft_resets"
 	CounterWatchdogQuarantines       = "watchdog_quarantines"
+
+	// Incremental-convergence counters (delta SPF + BGP trajectory replay +
+	// data-plane node reuse). Emitted by the lab's converge loop when a boot
+	// opted into incremental mode; all zero under full recompute.
+	CounterSPFDeltaRecomputes  = "spf_delta_recomputes"
+	CounterSPFSourcesSkipped   = "spf_sources_skipped"
+	CounterBGPDirtyPrefixes    = "bgp_dirty_prefixes"
+	CounterBGPSpeakersRestored = "bgp_speakers_restored"
+	CounterRoundsSkipped       = "rounds_skipped"
+	CounterFIBNodesReused      = "fib_nodes_reused"
 )
 
 // Collector accumulates spans and counters for one pipeline run.

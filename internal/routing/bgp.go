@@ -90,6 +90,9 @@ type session struct {
 	peerAddr netip.Addr // address I send to / receive from
 	cfg      BGPNeighbor
 	ebgp     bool
+	// myAddr is the local address used on this session (precomputed once;
+	// see myAddressOn). Kept comparable so session sets compare with ==.
+	myAddr netip.Addr
 }
 
 type speaker struct {
@@ -98,10 +101,23 @@ type speaker struct {
 	profile  VendorProfile
 	routerID netip.Addr
 	sessions []session
+	// sorted is sessions ordered by peer address (the deterministic
+	// processing order), precomputed once at engine build.
+	sorted []session
+	// sessTo maps peer hostname to this speaker's first session toward it
+	// (reverseSession semantics), precomputed once at engine build.
+	sessTo map[string]session
+	// advCache memoizes advertise() per session target address and prefix;
+	// see advEntry.
+	advCache map[netip.Addr]map[netip.Prefix]advEntry
 	// adjIn[peerAddr] is the current set of routes heard from that peer.
 	adjIn map[netip.Addr][]BGPRoute
 	// locRIB is the selected best route per prefix.
 	locRIB map[netip.Prefix]BGPRoute
+	// seg is the speaker's segment of the engine's protocol-state hash,
+	// maintained incrementally (recomputed only when the speaker's state
+	// changes; see segHash).
+	seg uint64
 }
 
 // BGPEngine runs the path-vector computation over a set of speakers.
@@ -141,6 +157,22 @@ type BGPEngine struct {
 	// flapping speaker.
 	sessFlaps map[[2]string]int
 	sessUp    map[[2]string]bool
+
+	// Incremental-reconvergence state (see replay.go). replay is the
+	// previous run's trajectory being replayed (nil when inactive); record
+	// accumulates this run's trajectory. staticDirty marks speakers whose
+	// configuration differs from the replayed run's; deviant marks speakers
+	// that have departed from the trajectory mid-run. ran guards against
+	// replaying into a continuation run.
+	replay      *BGPReplay
+	record      *BGPReplay
+	staticDirty map[string]bool
+	deviant     map[string]bool
+	ran         bool
+
+	statRestored      int64
+	statDirtyPrefixes int64
+	statRoundsSkipped int64
 }
 
 // NewBGPEngine wires up sessions between the given devices. profileOf maps
@@ -221,6 +253,26 @@ func NewBGPEngine(devices []*DeviceConfig, profileOf func(host string) VendorPro
 	// A deterministic report: map iteration never orders this list, and
 	// every entry names the peer address, so golden diffs are stable.
 	sort.Strings(e.sessionsDown)
+	// Second pass: precompute per-session local addresses, the sorted
+	// processing order, the reverse-session index, and each speaker's
+	// initial state-hash segment.
+	for _, host := range e.order {
+		sp := e.speakers[host]
+		for i := range sp.sessions {
+			sp.sessions[i].myAddr = e.myAddressOn(sp, sp.sessions[i])
+		}
+		sp.sorted = make([]session, len(sp.sessions))
+		copy(sp.sorted, sp.sessions)
+		sort.Slice(sp.sorted, func(i, j int) bool { return sp.sorted[i].peerAddr.Less(sp.sorted[j].peerAddr) })
+		sp.sessTo = make(map[string]session, len(sp.sessions))
+		for _, s := range sp.sessions {
+			if _, ok := sp.sessTo[s.peerHost]; !ok {
+				sp.sessTo[s.peerHost] = s
+			}
+		}
+		sp.advCache = map[netip.Addr]map[netip.Prefix]advEntry{}
+		sp.seg = e.segHash(sp)
+	}
 	return e, nil
 }
 
@@ -308,7 +360,7 @@ func (e *BGPEngine) Step() bool {
 		sp := e.speakers[host]
 		for _, s := range e.sessionsOf(sp) {
 			peer := e.speakers[s.peerHost]
-			myAddr := e.myAddressOn(sp, s)
+			myAddr := s.myAddr
 			var out []BGPRoute
 			for _, prefix := range sortedPrefixes(sp.locRIB) {
 				rt := sp.locRIB[prefix]
@@ -340,17 +392,64 @@ func (e *BGPEngine) Step() bool {
 			e.selectBest(e.speakers[host])
 		}
 	}
+	// Synchronous rounds rewrite every adj-RIB-in wholesale, so refresh all
+	// state-hash segments (cost parity with the previous full-state hash).
+	for _, host := range e.order {
+		sp := e.speakers[host]
+		sp.seg = e.segHash(sp)
+	}
 	return !changed
 }
 
 // stepSequential processes speakers one at a time (Gauss–Seidel): each
 // speaker pulls its peers' current advertisements, rebuilds its adj-RIB-in
 // and re-selects before the next speaker runs.
+//
+// When a replay trajectory is armed (EnableIncremental), a speaker whose
+// round state is provably identical to the recorded one restores it
+// instead of recomputing — see replay.go for the admission argument.
+// Recomputed speakers are checked against the record afterwards: an exact
+// match re-adopts the recorded maps (so peers keep restoring), a mismatch
+// marks the speaker deviant.
 func (e *BGPEngine) stepSequential() bool {
 	e.rounds++
 	changed := false
+	var hist replayRound
+	if e.replay != nil {
+		if idx := e.rounds - 1; idx >= 0 && idx < len(e.replay.rounds) {
+			hist = e.replay.rounds[idx]
+		} else {
+			// The run outran the recorded trajectory; no further restores.
+			e.replay = nil
+		}
+	}
+	var rec replayRound
+	if e.record != nil {
+		rec = make(replayRound, len(e.order))
+	}
+	restoredThisRound := 0
 	for _, host := range e.order {
 		sp := e.speakers[host]
+		if hist != nil {
+			if h, ok := hist[host]; ok && e.canRestore(host, sp) {
+				sp.adjIn = h.adjIn
+				sp.locRIB = h.locRIB
+				sp.seg = h.seg
+				for _, p := range h.churned {
+					e.churn[p]++
+				}
+				if len(h.churned) > 0 {
+					e.changedAt[host] = e.rounds
+				}
+				changed = changed || h.changed
+				if rec != nil {
+					rec[host] = h
+				}
+				e.statRestored++
+				restoredThisRound++
+				continue
+			}
+		}
 		newIn := map[netip.Addr][]BGPRoute{}
 		for _, s := range e.sessionsOf(sp) {
 			peer := e.speakers[s.peerHost]
@@ -358,38 +457,72 @@ func (e *BGPEngine) stepSequential() bool {
 			if !ok {
 				continue
 			}
-			peerSrcAddr := e.myAddressOn(peer, ps)
 			var out []BGPRoute
 			for _, prefix := range sortedPrefixes(peer.locRIB) {
 				rt := peer.locRIB[prefix]
-				if adv, ok := peer.advertise(rt, ps, peerSrcAddr); ok {
+				if adv, ok := peer.advertiseCached(rt, ps); ok {
 					out = append(out, adv)
 				}
 			}
 			out = e.deliver(peer.host, sp.host, out)
 			newIn[s.peerAddr] = filterReceived(sp, out, s.peerAddr)
 		}
-		if !adjEqual(sp.adjIn, newIn) {
-			changed = true
-		}
+		spChanged := !adjEqual(sp.adjIn, newIn)
 		sp.adjIn = newIn
-		old := sp.locRIB
-		e.selectBest(sp)
-		if !locRIBEqual(old, sp.locRIB) {
+		churned, ribChanged := e.selectBest(sp)
+		spChanged = spChanged || ribChanged
+		if spChanged {
 			changed = true
+			sp.seg = e.segHash(sp)
 		}
+		if hist != nil {
+			if h, ok := hist[host]; ok && sp.seg == h.seg &&
+				adjIdentical(sp.adjIn, h.adjIn) && locRIBIdentical(sp.locRIB, h.locRIB) {
+				// Back on (or still on) the trajectory: adopt the recorded
+				// maps so identity holds by reference for downstream peers.
+				sp.adjIn = h.adjIn
+				sp.locRIB = h.locRIB
+				delete(e.deviant, host)
+			} else {
+				e.deviant[host] = true
+			}
+		}
+		if rec != nil {
+			rec[host] = replayState{adjIn: sp.adjIn, locRIB: sp.locRIB, seg: sp.seg, changed: spChanged, churned: churned}
+		}
+	}
+	if hist != nil && restoredThisRound == len(e.order) {
+		e.statRoundsSkipped++
+	}
+	if rec != nil {
+		e.record.rounds = append(e.record.rounds, rec)
 	}
 	return !changed
 }
 
-// reverseSession finds peer's established session back to sp.
-func (e *BGPEngine) reverseSession(peer, sp *speaker) (session, bool) {
-	for _, s := range peer.sessions {
-		if s.peerHost == sp.host {
-			return s, true
-		}
+// advertiseCached is advertise() behind the speaker's per-session memo:
+// outbound policy is a pure function of (route, session), so an unchanged
+// route re-advertises the cached result (sharing its AS-path slice, which
+// no downstream path mutates) instead of re-allocating it.
+func (sp *speaker) advertiseCached(rt BGPRoute, s session) (BGPRoute, bool) {
+	byPfx := sp.advCache[s.peerAddr]
+	if byPfx == nil {
+		byPfx = map[netip.Prefix]advEntry{}
+		sp.advCache[s.peerAddr] = byPfx
 	}
-	return session{}, false
+	if c, ok := byPfx[rt.Prefix]; ok && routeIdentical(c.src, rt) {
+		return c.out, c.ok
+	}
+	out, ok := sp.advertise(rt, s, s.myAddr)
+	byPfx[rt.Prefix] = advEntry{src: rt, out: out, ok: ok}
+	return out, ok
+}
+
+// reverseSession finds peer's established session back to sp (first match
+// in configuration order, via the precomputed index).
+func (e *BGPEngine) reverseSession(peer, sp *speaker) (session, bool) {
+	s, ok := peer.sessTo[sp.host]
+	return s, ok
 }
 
 func locRIBEqual(a, b map[netip.Prefix]BGPRoute) bool {
@@ -501,15 +634,17 @@ func (sp *speaker) advertise(rt BGPRoute, s session, myAddr netip.Addr) (BGPRout
 	return out, true
 }
 
+// sessionsOf returns the speaker's sessions in deterministic processing
+// order (sorted by peer address, precomputed at engine build). Callers
+// must not mutate the returned slice.
 func (e *BGPEngine) sessionsOf(sp *speaker) []session {
-	out := make([]session, len(sp.sessions))
-	copy(out, sp.sessions)
-	sort.Slice(out, func(i, j int) bool { return out[i].peerAddr.Less(out[j].peerAddr) })
-	return out
+	return sp.sorted
 }
 
-// selectBest runs the decision process for every known prefix.
-func (e *BGPEngine) selectBest(sp *speaker) {
+// selectBest runs the decision process for every known prefix. It returns
+// the prefixes whose selection changed (collected only while recording a
+// replay trajectory) and whether the loc-RIB changed at all.
+func (e *BGPEngine) selectBest(sp *speaker) (churned []netip.Prefix, ribChanged bool) {
 	candidates := map[netip.Prefix][]BGPRoute{}
 	// Locally originated networks.
 	for _, p := range sp.dc.BGP.Networks {
@@ -532,6 +667,9 @@ func (e *BGPEngine) selectBest(sp *speaker) {
 			candidates[r.Prefix] = append(candidates[r.Prefix], r)
 		}
 	}
+	if e.replay != nil {
+		e.statDirtyPrefixes += int64(len(candidates))
+	}
 	newRIB := map[netip.Prefix]BGPRoute{}
 	for p, cands := range candidates {
 		best, ok := e.decide(sp, cands)
@@ -539,32 +677,42 @@ func (e *BGPEngine) selectBest(sp *speaker) {
 			newRIB[p] = best
 		}
 	}
-	e.recordChurn(sp, newRIB)
+	churned, ribChanged = e.recordChurn(sp, newRIB)
 	sp.locRIB = newRIB
+	return churned, ribChanged
 }
 
 // recordChurn counts best-route changes between a speaker's old and new
 // selections — the per-prefix route-churn metric convergence experiments
 // report — and stamps the speaker's last-changed round for the watchdog's
-// unstable-speaker detection.
-func (e *BGPEngine) recordChurn(sp *speaker, newRIB map[netip.Prefix]BGPRoute) {
-	changed := false
+// unstable-speaker detection. The changed prefixes are collected (in
+// arbitrary order — replay applies them as a set) only while a replay
+// trajectory is being recorded. changed is true exactly when the loc-RIB
+// content changed (it is equivalent to !locRIBEqual(old, new)).
+func (e *BGPEngine) recordChurn(sp *speaker, newRIB map[netip.Prefix]BGPRoute) (churned []netip.Prefix, changed bool) {
 	for p, nr := range newRIB {
 		or, had := sp.locRIB[p]
 		if !had || !routeEqual(or, nr) {
 			e.churn[p]++
 			changed = true
+			if e.record != nil {
+				churned = append(churned, p)
+			}
 		}
 	}
 	for p := range sp.locRIB {
 		if _, still := newRIB[p]; !still {
 			e.churn[p]++
 			changed = true
+			if e.record != nil {
+				churned = append(churned, p)
+			}
 		}
 	}
 	if changed {
 		e.changedAt[sp.host] = e.rounds
 	}
+	return churned, changed
 }
 
 // RouteChurn returns the per-prefix count of best-route changes across all
@@ -639,10 +787,14 @@ func (e *BGPEngine) SoftReset(hosts []string) {
 		}
 		sp.adjIn = map[netip.Addr][]BGPRoute{}
 		sp.locRIB = map[netip.Prefix]BGPRoute{}
+		sp.seg = e.segHash(sp)
 		if e.pert != nil {
 			e.pert.OnSoftReset(host)
 		}
 	}
+	// A flush invalidates both the replayed trajectory and the recording:
+	// the continuation run departs from any from-scratch trajectory.
+	e.replay, e.record = nil, nil
 	e.stateHashes = map[uint64][]int{}
 	e.converged, e.oscillating, e.cancelled = false, false, false
 	e.cycleLen = 0
@@ -785,6 +937,15 @@ func (e *BGPEngine) RunContext(ctx context.Context, maxRounds int) BGPResult {
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxBGPRounds
 	}
+	// Replay is only valid for a fresh engine's first, unperturbed run: a
+	// continuation (post-escalation) run departs from the from-scratch
+	// trajectory, and the perturbation layer is stateful (flap counters,
+	// delivery schedules), so perturbed runs neither replay nor record.
+	if e.ran || e.pert != nil {
+		e.replay, e.record = nil, nil
+	}
+	e.ran = true
+	e.statRestored, e.statDirtyPrefixes, e.statRoundsSkipped = 0, 0, 0
 	e.stateHashes = map[uint64][]int{}
 	e.converged, e.oscillating, e.cancelled = false, false, false
 	e.cycleLen = 0
@@ -866,30 +1027,44 @@ type BGPResult struct {
 	CycleLen  int
 }
 
-// stateHash hashes the complete protocol state — every speaker's
-// adj-RIB-in and selection. Selections alone are insufficient: during
-// initial propagation the selected routes can be momentarily stable while
-// longer paths are still flooding, which must not register as a cycle.
+// stateHash combines every speaker's state-hash segment into one value
+// covering the complete protocol state — every speaker's adj-RIB-in and
+// selection. Selections alone are insufficient: during initial propagation
+// the selected routes can be momentarily stable while longer paths are
+// still flooding, which must not register as a cycle. The segments are
+// XOR-combined (each is salted with its hostname, so identical speaker
+// states cannot cancel), which lets sequential rounds maintain the hash
+// incrementally: only speakers whose state changed re-render their
+// segment. Only hash *equality* across rounds is observable (cycle
+// detection), and for any reachable pair of rounds equal protocol states
+// produce equal segments.
 func (e *BGPEngine) stateHash() uint64 {
-	h := fnv.New64a()
+	var h uint64
 	for _, host := range e.order {
-		sp := e.speakers[host]
-		fmt.Fprintf(h, "%s|", host)
-		peers := make([]netip.Addr, 0, len(sp.adjIn))
-		for a := range sp.adjIn {
-			peers = append(peers, a)
+		h ^= e.speakers[host].seg
+	}
+	return h
+}
+
+// segHash renders one speaker's protocol state — adj-RIB-in and selection
+// — into its segment of the engine state hash.
+func (e *BGPEngine) segHash(sp *speaker) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|", sp.host)
+	peers := make([]netip.Addr, 0, len(sp.adjIn))
+	for a := range sp.adjIn {
+		peers = append(peers, a)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].Less(peers[j]) })
+	for _, peer := range peers {
+		fmt.Fprintf(h, "<%v:", peer)
+		for _, rt := range sp.adjIn[peer] {
+			fmt.Fprintf(h, "%v>%v[%s]lp%dm%do%v;", rt.Prefix, rt.NextHop, rt.pathString(), rt.LocalPref, rt.MED, rt.OriginatorID)
 		}
-		sort.Slice(peers, func(i, j int) bool { return peers[i].Less(peers[j]) })
-		for _, peer := range peers {
-			fmt.Fprintf(h, "<%v:", peer)
-			for _, rt := range sp.adjIn[peer] {
-				fmt.Fprintf(h, "%v>%v[%s]lp%dm%do%v;", rt.Prefix, rt.NextHop, rt.pathString(), rt.LocalPref, rt.MED, rt.OriginatorID)
-			}
-		}
-		for _, p := range sortedPrefixes(sp.locRIB) {
-			rt := sp.locRIB[p]
-			fmt.Fprintf(h, "%v>%v[%s];", p, rt.NextHop, rt.pathString())
-		}
+	}
+	for _, p := range sortedPrefixes(sp.locRIB) {
+		rt := sp.locRIB[p]
+		fmt.Fprintf(h, "%v>%v[%s];", p, rt.NextHop, rt.pathString())
 	}
 	return h.Sum64()
 }

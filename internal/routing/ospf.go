@@ -16,6 +16,13 @@ import (
 // the whole domain (all labs use backbone-only or congruent areas); no
 // designated-router election (collision domains are modelled directly);
 // timers are not simulated (the engine computes the converged state).
+//
+// With SetIncremental(true) the domain keeps the previous converge's
+// canonical edge set, per-router advertisement signatures and per-source
+// distance vectors, and a re-Converge runs Dijkstra only for the sources
+// whose shortest-path tree a diffed change can touch (delta SPF). The
+// recomputation itself is the exact same Dijkstra, so the surviving and
+// recomputed route tables are byte-identical to a full recompute.
 
 // OSPFNeighbor is one adjacency, as reported by `show ip ospf neighbor`.
 type OSPFNeighbor struct {
@@ -39,12 +46,42 @@ type OSPFDomain struct {
 	// enough hellos that the adjacency never comes up); nil leaves the
 	// flooding path perfect.
 	pert Perturber
+
+	// Delta-SPF state (SetIncremental). prevEdges/prevAdvert are the
+	// canonical link-state view of the previous Converge; dist holds each
+	// source's full distance vector so affected-source tests and future
+	// diffs stay O(changes × sources).
+	incremental bool
+	prevEdges   map[edgeKey]edgeVal
+	prevAdvert  map[string]uint64
+	dist        map[string]map[string]int
+	hasState    bool
+
+	// Per-Converge outcome: which sources' route tables changed, and the
+	// recompute/skip split for observability.
+	changedSrc     map[string]bool
+	statRecomputed int
+	statSkipped    int
+	statDelta      bool
 }
 
 // SetPerturber installs a control-plane perturbation layer consulted
 // during Converge; nil restores perfect hello delivery. Install before
 // Converge.
 func (d *OSPFDomain) SetPerturber(p Perturber) { d.pert = p }
+
+// SetIncremental switches the domain into delta-SPF mode: the first
+// Converge is a full run, subsequent ones recompute only affected sources.
+// Off (the default) keeps every Converge a full recompute.
+func (d *OSPFDomain) SetIncremental(on bool) {
+	d.incremental = on
+	if !on {
+		d.prevEdges, d.prevAdvert, d.dist, d.hasState = nil, nil, nil, false
+	}
+}
+
+// Incremental reports whether delta-SPF mode is on.
+func (d *OSPFDomain) Incremental() bool { return d.incremental }
 
 // NewOSPFDomain builds the domain from the participating devices.
 func NewOSPFDomain(devices []*DeviceConfig) *OSPFDomain {
@@ -53,6 +90,13 @@ func NewOSPFDomain(devices []*DeviceConfig) *OSPFDomain {
 		neighbors: map[string][]OSPFNeighbor{},
 		routes:    map[string][]Route{},
 	}
+	d.bind(devices)
+	return d
+}
+
+func (d *OSPFDomain) bind(devices []*DeviceConfig) {
+	d.devices = map[string]*DeviceConfig{}
+	d.order = d.order[:0]
 	for _, dc := range devices {
 		if dc.OSPF == nil {
 			continue
@@ -61,8 +105,13 @@ func NewOSPFDomain(devices []*DeviceConfig) *OSPFDomain {
 		d.order = append(d.order, dc.Hostname)
 	}
 	sort.Strings(d.order)
-	return d
 }
+
+// Rebind replaces the domain's device set (after an incident mutated the
+// configs or the live-device list changed) while keeping the delta-SPF
+// state, so the next Converge can diff against the previous one. The
+// device configs are matched by content, not pointer identity.
+func (d *OSPFDomain) Rebind(devices []*DeviceConfig) { d.bind(devices) }
 
 // ospfIfaces returns the interfaces of a device that fall inside one of its
 // OSPF network statements, with the matching area.
@@ -88,8 +137,25 @@ func ospfIfaces(dc *DeviceConfig) []struct {
 	return out
 }
 
-// Converge computes adjacencies and per-router routes.
+// nbrLink is one directed adjacency used by the SPF: cost is the outgoing
+// interface cost, nextHop the neighbor's address on the shared subnet.
+type nbrLink struct {
+	to      string
+	cost    int
+	viaIf   string
+	nextHop netip.Addr
+}
+
+// Converge computes adjacencies and per-router routes. Adjacency
+// formation (including perturber consultation) always runs in full, so
+// the edge set and neighbor tables are identical in both modes; only the
+// per-source Dijkstra + route-install work is skipped for sources the
+// diffed changes cannot affect.
 func (d *OSPFDomain) Converge() error {
+	// Neighbor tables are rebuilt from scratch every converge (a reused
+	// domain must not accumulate duplicates).
+	d.neighbors = map[string][]OSPFNeighbor{}
+
 	// Subnet -> attached (hostname, iface, area).
 	type attach struct {
 		host string
@@ -104,17 +170,13 @@ func (d *OSPFDomain) Converge() error {
 		}
 	}
 	// Adjacencies: all pairs on a shared advertised subnet.
-	type edge struct {
-		a, b     string
-		aIC, bIC InterfaceConfig
-		area     int
-	}
-	var edges []edge
 	subnets := make([]netip.Prefix, 0, len(bySubnet))
 	for p := range bySubnet {
 		subnets = append(subnets, p)
 	}
 	sort.Slice(subnets, func(i, j int) bool { return subnets[i].Addr().Less(subnets[j].Addr()) })
+	adj := map[string][]nbrLink{}
+	newEdges := map[edgeKey]edgeVal{}
 	for _, p := range subnets {
 		atts := bySubnet[p]
 		for i := 0; i < len(atts); i++ {
@@ -132,120 +194,256 @@ func (d *OSPFDomain) Converge() error {
 				if d.pert != nil && !d.pert.AdjacencyUp(atts[i].host, atts[j].host) {
 					continue
 				}
-				edges = append(edges, edge{atts[i].host, atts[j].host, atts[i].ic, atts[j].ic, atts[i].area})
-				d.neighbors[atts[i].host] = append(d.neighbors[atts[i].host], OSPFNeighbor{
-					Hostname: atts[j].host, RouterID: d.routerID(atts[j].host),
-					Addr: atts[j].ic.Addr, Iface: atts[i].ic.Name, Area: atts[i].area,
+				a, b := atts[i], atts[j]
+				d.neighbors[a.host] = append(d.neighbors[a.host], OSPFNeighbor{
+					Hostname: b.host, RouterID: d.routerID(b.host),
+					Addr: b.ic.Addr, Iface: a.ic.Name, Area: a.area,
 				})
-				d.neighbors[atts[j].host] = append(d.neighbors[atts[j].host], OSPFNeighbor{
-					Hostname: atts[i].host, RouterID: d.routerID(atts[i].host),
-					Addr: atts[i].ic.Addr, Iface: atts[j].ic.Name, Area: atts[j].area,
+				d.neighbors[b.host] = append(d.neighbors[b.host], OSPFNeighbor{
+					Hostname: a.host, RouterID: d.routerID(a.host),
+					Addr: a.ic.Addr, Iface: b.ic.Name, Area: b.area,
 				})
+				ca, cb := a.ic.Cost, b.ic.Cost
+				if ca <= 0 {
+					ca = 1
+				}
+				if cb <= 0 {
+					cb = 1
+				}
+				adj[a.host] = append(adj[a.host], nbrLink{b.host, ca, a.ic.Name, b.ic.Addr})
+				adj[b.host] = append(adj[b.host], nbrLink{a.host, cb, b.ic.Name, a.ic.Addr})
+				k := edgeKey{a: a.host, b: b.host, aIf: a.ic.Name, bIf: b.ic.Name, prefix: p}
+				for {
+					if _, dup := newEdges[k]; !dup {
+						break
+					}
+					k.n++
+				}
+				newEdges[k] = edgeVal{ca: ca, cb: cb, aAddr: a.ic.Addr, bAddr: b.ic.Addr}
 			}
 		}
 	}
-	// Per-router Dijkstra over (host) graph; cost = outgoing interface cost.
-	type nbrLink struct {
-		to      string
-		cost    int
-		viaIf   string     // local outgoing interface
-		nextHop netip.Addr // neighbor address on the shared subnet
+	newAdvert := map[string]uint64{}
+	for _, host := range d.order {
+		newAdvert[host] = advertSignature(d.devices[host])
 	}
-	adj := map[string][]nbrLink{}
-	for _, e := range edges {
-		ca, cb := e.aIC.Cost, e.bIC.Cost
-		if ca <= 0 {
-			ca = 1
-		}
-		if cb <= 0 {
-			cb = 1
-		}
-		adj[e.a] = append(adj[e.a], nbrLink{e.b, ca, e.aIC.Name, e.bIC.Addr})
-		adj[e.b] = append(adj[e.b], nbrLink{e.a, cb, e.bIC.Name, e.aIC.Addr})
+
+	affected := d.affectedSources(newEdges, newAdvert)
+	d.changedSrc = map[string]bool{}
+	d.statRecomputed, d.statSkipped = 0, 0
+	d.statDelta = affected != nil
+	if d.dist == nil {
+		d.dist = map[string]map[string]int{}
 	}
 	for _, src := range d.order {
-		dist := map[string]int{src: 0}
-		type firstHop struct {
-			nextHop netip.Addr
-			outIf   string
+		if affected != nil && !affected[src] {
+			d.statSkipped++
+			continue
 		}
-		first := map[string]firstHop{}
-		visited := map[string]bool{}
-		for {
-			// Deterministic minimum selection.
-			cur, curDist := "", -1
-			for h, ds := range dist {
-				if visited[h] {
-					continue
-				}
-				if curDist < 0 || ds < curDist || (ds == curDist && h < cur) {
-					cur, curDist = h, ds
-				}
-			}
-			if cur == "" {
-				break
-			}
-			visited[cur] = true
-			links := adj[cur]
-			sort.Slice(links, func(i, j int) bool { return links[i].to < links[j].to })
-			for _, l := range links {
-				nd := curDist + l.cost
-				old, seen := dist[l.to]
-				if !seen || nd < old {
-					dist[l.to] = nd
-					if cur == src {
-						first[l.to] = firstHop{l.nextHop, l.viaIf}
-					} else {
-						first[l.to] = first[cur]
-					}
-				}
-			}
+		d.statRecomputed++
+		dist, first := d.spf(src, adj)
+		routes := d.buildRoutes(src, dist, first)
+		if !routesEqual(d.routes[src], routes) {
+			d.changedSrc[src] = true
 		}
-		// Install routes: every advertised prefix of every reachable router.
-		var routes []Route
-		srcDC := d.devices[src]
-		for _, dst := range d.order {
-			if dst == src {
-				continue
-			}
-			total, reachable := dist[dst]
-			if !reachable {
-				continue
-			}
-			fh := first[dst]
-			for _, x := range ospfIfaces(d.devices[dst]) {
-				// Skip prefixes the source is directly attached to.
-				if srcAttached(srcDC, x.ic.Prefix) {
-					continue
-				}
-				routes = append(routes, Route{
-					Prefix:  x.ic.Prefix,
-					NextHop: fh.nextHop,
-					OutIf:   fh.outIf,
-					Origin:  OriginOSPF,
-					Metric:  total + x.ic.Cost,
-				})
-			}
-		}
-		// Deduplicate to lowest metric per prefix.
-		best := map[netip.Prefix]Route{}
-		for _, rt := range routes {
-			if old, ok := best[rt.Prefix]; !ok || rt.Metric < old.Metric {
-				best[rt.Prefix] = rt
-			}
-		}
-		var final []Route
-		prefixes := make([]netip.Prefix, 0, len(best))
-		for p := range best {
-			prefixes = append(prefixes, p)
-		}
-		sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Addr().Less(prefixes[j].Addr()) })
-		for _, p := range prefixes {
-			final = append(final, best[p])
-		}
-		d.routes[src] = final
+		d.routes[src] = routes
+		d.dist[src] = dist
 	}
+	// Sources that left the domain: drop their state and mark them changed
+	// (their route tables went away).
+	for src := range d.dist {
+		if _, ok := d.devices[src]; !ok {
+			delete(d.dist, src)
+			if _, had := d.routes[src]; had {
+				delete(d.routes, src)
+				d.changedSrc[src] = true
+			}
+		}
+	}
+	d.prevEdges, d.prevAdvert = newEdges, newAdvert
+	d.hasState = true
 	return nil
+}
+
+// firstHop is a source's (next hop, outgoing interface) toward a
+// destination router.
+type firstHop struct {
+	nextHop netip.Addr
+	outIf   string
+}
+
+// spf runs the domain's deterministic Dijkstra from one source, returning
+// the distance vector and first-hop map. This is the single SPF
+// implementation both the full and the delta path use.
+func (d *OSPFDomain) spf(src string, adj map[string][]nbrLink) (map[string]int, map[string]firstHop) {
+	dist := map[string]int{src: 0}
+	first := map[string]firstHop{}
+	visited := map[string]bool{}
+	for {
+		// Deterministic minimum selection.
+		cur, curDist := "", -1
+		for h, ds := range dist {
+			if visited[h] {
+				continue
+			}
+			if curDist < 0 || ds < curDist || (ds == curDist && h < cur) {
+				cur, curDist = h, ds
+			}
+		}
+		if cur == "" {
+			break
+		}
+		visited[cur] = true
+		links := adj[cur]
+		sort.Slice(links, func(i, j int) bool { return links[i].to < links[j].to })
+		for _, l := range links {
+			nd := curDist + l.cost
+			old, seen := dist[l.to]
+			if !seen || nd < old {
+				dist[l.to] = nd
+				if cur == src {
+					first[l.to] = firstHop{l.nextHop, l.viaIf}
+				} else {
+					first[l.to] = first[cur]
+				}
+			}
+		}
+	}
+	return dist, first
+}
+
+// buildRoutes installs one route per advertised prefix of every reachable
+// router, deduplicated to the lowest metric per prefix and sorted.
+func (d *OSPFDomain) buildRoutes(src string, dist map[string]int, first map[string]firstHop) []Route {
+	var routes []Route
+	srcDC := d.devices[src]
+	for _, dst := range d.order {
+		if dst == src {
+			continue
+		}
+		total, reachable := dist[dst]
+		if !reachable {
+			continue
+		}
+		fh := first[dst]
+		for _, x := range ospfIfaces(d.devices[dst]) {
+			// Skip prefixes the source is directly attached to.
+			if srcAttached(srcDC, x.ic.Prefix) {
+				continue
+			}
+			routes = append(routes, Route{
+				Prefix:  x.ic.Prefix,
+				NextHop: fh.nextHop,
+				OutIf:   fh.outIf,
+				Origin:  OriginOSPF,
+				Metric:  total + x.ic.Cost,
+			})
+		}
+	}
+	// Deduplicate to lowest metric per prefix.
+	best := map[netip.Prefix]Route{}
+	for _, rt := range routes {
+		if old, ok := best[rt.Prefix]; !ok || rt.Metric < old.Metric {
+			best[rt.Prefix] = rt
+		}
+	}
+	var final []Route
+	prefixes := make([]netip.Prefix, 0, len(best))
+	for p := range best {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Addr().Less(prefixes[j].Addr()) })
+	for _, p := range prefixes {
+		final = append(final, best[p])
+	}
+	return final
+}
+
+// affectedSources diffs the new canonical link-state view against the
+// previous converge's and returns the set of sources whose SPF must
+// re-run. nil means "no previous state / delta off" — recompute everyone.
+//
+// A source S is affected by an edge (u,v) appearing, disappearing or
+// changing value when the edge is (or was) tight enough to matter from
+// S's viewpoint: dist_S(u)+cost(u→v) <= dist_S(v) in either direction,
+// with a missing distance treated as infinity. The comparison is <=, not
+// <, because an exactly-tight edge can flip the deterministic first-hop
+// tie-break even when no distance changes. A changed advertisement
+// signature on router R affects every source that reaches R (and R
+// itself, whose own srcAttached suppression set may have changed).
+func (d *OSPFDomain) affectedSources(newEdges map[edgeKey]edgeVal, newAdvert map[string]uint64) map[string]bool {
+	if !d.incremental || !d.hasState {
+		return nil
+	}
+	affected := map[string]bool{}
+	markEdge := func(k edgeKey, v edgeVal) {
+		for _, src := range d.order {
+			if affected[src] {
+				continue
+			}
+			sd := d.dist[src]
+			du, okU := sd[k.a]
+			dv, okV := sd[k.b]
+			if (okU && (!okV || du+v.ca <= dv)) || (okV && (!okU || dv+v.cb <= du)) {
+				affected[src] = true
+			}
+		}
+	}
+	for k, ov := range d.prevEdges {
+		if nv, ok := newEdges[k]; !ok || nv != ov {
+			markEdge(k, ov)
+		}
+	}
+	for k, nv := range newEdges {
+		if ov, ok := d.prevEdges[k]; !ok || nv != ov {
+			markEdge(k, nv)
+		}
+	}
+	markReach := func(host string) {
+		for _, src := range d.order {
+			if affected[src] {
+				continue
+			}
+			if _, ok := d.dist[src][host]; ok {
+				affected[src] = true
+			}
+		}
+	}
+	for h, oh := range d.prevAdvert {
+		if nh, ok := newAdvert[h]; !ok || nh != oh {
+			markReach(h)
+		}
+	}
+	for h, nh := range newAdvert {
+		if oh, ok := d.prevAdvert[h]; !ok || nh != oh {
+			markReach(h)
+		}
+	}
+	// Sources with no recorded distance vector are new to the domain.
+	for _, src := range d.order {
+		if _, ok := d.dist[src]; !ok {
+			affected[src] = true
+		}
+	}
+	return affected
+}
+
+// ChangedSources returns the sources whose route tables changed during the
+// most recent Converge (including sources that left the domain). The
+// incremental BGP path seeds its dirty set from this.
+func (d *OSPFDomain) ChangedSources() map[string]bool {
+	out := make(map[string]bool, len(d.changedSrc))
+	for h := range d.changedSrc {
+		out[h] = true
+	}
+	return out
+}
+
+// DeltaStats reports the most recent Converge's SPF split: how many
+// sources were recomputed, how many skipped, and whether the run actually
+// took the delta path (false for full recomputes).
+func (d *OSPFDomain) DeltaStats() (recomputed, skipped int, delta bool) {
+	return d.statRecomputed, d.statSkipped, d.statDelta
 }
 
 func srcAttached(dc *DeviceConfig, p netip.Prefix) bool {
@@ -312,12 +510,10 @@ func (d *OSPFDomain) String() string {
 	return fmt.Sprintf("ospf-domain(%d routers)", len(d.order))
 }
 
-// NewISISDomain maps IS-IS configurations onto the link-state engine: both
-// protocols compute SPF over shared-subnet adjacencies, so an IS-IS domain
-// is an OSPFDomain over synthesized configs whose advertised networks are
-// the subnets of the IS-IS-enabled interfaces plus the loopback. Metrics
-// come from the interface costs.
-func NewISISDomain(devices []*DeviceConfig) *OSPFDomain {
+// isisSynthConfigs maps IS-IS configurations onto synthesized OSPF-shaped
+// configs: advertised networks are the subnets of the IS-IS-enabled
+// interfaces plus the loopback, metrics come from the interface costs.
+func isisSynthConfigs(devices []*DeviceConfig) []*DeviceConfig {
 	var synth []*DeviceConfig
 	for _, dc := range devices {
 		if dc.ISIS == nil {
@@ -340,5 +536,18 @@ func NewISISDomain(devices []*DeviceConfig) *OSPFDomain {
 		}
 		synth = append(synth, clone)
 	}
-	return NewOSPFDomain(synth)
+	return synth
+}
+
+// NewISISDomain maps IS-IS configurations onto the link-state engine: both
+// protocols compute SPF over shared-subnet adjacencies, so an IS-IS domain
+// is an OSPFDomain over synthesized configs (see isisSynthConfigs).
+func NewISISDomain(devices []*DeviceConfig) *OSPFDomain {
+	return NewOSPFDomain(isisSynthConfigs(devices))
+}
+
+// RebindISIS is Rebind for IS-IS domains: the device set is re-synthesized
+// from the current IS-IS configs and rebound, keeping the delta-SPF state.
+func (d *OSPFDomain) RebindISIS(devices []*DeviceConfig) {
+	d.Rebind(isisSynthConfigs(devices))
 }

@@ -42,8 +42,17 @@ awk -v t="$total" 'BEGIN {
   print "coverage " t "% (floor 80%)"
 }'
 
+echo "== golden incremental drill (testdata/incremental; full vs incremental, Workers=1 vs 8)"
+go test -race -run 'TestGoldenIncrementalDrill' -count=1 .
+
+echo "== incremental convergence parity (byte-identical reports/events across modes)"
+go test -run 'TestIncrementalConvergenceParity' -count=1 .
+
 echo "== incremental rebuild benchmark (cold vs warm)"
 go test -run 'NONE' -bench 'BenchmarkP4_IncrementalRebuild' -benchtime 3x .
+
+echo "== incremental convergence benchmark (full vs incremental reconvergence)"
+go test -run 'NONE' -bench 'BenchmarkP6_IncrementalConvergence' -benchtime 1x .
 
 echo "== fuzz (parsers, 5s each)"
 for target in FuzzParseQuagga FuzzParseIOS FuzzParseJunos FuzzParseCBGP; do
