@@ -44,6 +44,7 @@ import (
 	"autonetkit/internal/nidb"
 	"autonetkit/internal/obs"
 	"autonetkit/internal/render"
+	"autonetkit/internal/sched"
 	"autonetkit/internal/services/dns"
 	"autonetkit/internal/topoio"
 	"autonetkit/internal/verify"
@@ -236,6 +237,23 @@ func (n *Network) Deploy(opts deploy.Options) (*deploy.Deployment, error) {
 		opts.Obs = n.obs
 	}
 	return deploy.Run(n.Files, opts)
+}
+
+// DeployCluster deploys the rendered network across a substrate backend
+// via the cluster scheduler (§3.3 multi-host deployments with reservation
+// semantics): deterministic bin-packing, health probes, cordon/drain with
+// live re-placement. The returned deployment's DrainHost/FailHost keep
+// the lab running through substrate host maintenance and failures.
+func (n *Network) DeployCluster(backend sched.Backend, opts deploy.ClusterOptions) (*deploy.ClusterDeployment, error) {
+	if n.Files == nil {
+		return nil, stageErr("Render", "DeployCluster")
+	}
+	span := n.obs.StartSpan("DeployCluster")
+	defer span.End()
+	if opts.Obs == nil {
+		opts.Obs = n.obs
+	}
+	return deploy.RunCluster(n.Files, backend, opts)
 }
 
 // Measure returns a measurement client for a running lab, resolving

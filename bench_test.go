@@ -40,6 +40,7 @@ import (
 	"autonetkit/internal/netaddr"
 	"autonetkit/internal/render"
 	"autonetkit/internal/routing"
+	"autonetkit/internal/sched"
 	"autonetkit/internal/services/dns"
 	"autonetkit/internal/services/rpki"
 	"autonetkit/internal/tmpl"
@@ -1048,5 +1049,83 @@ func BenchmarkP3_Boot(b *testing.B) {
 				b.Fatalf("quarantined = %v", q)
 			}
 		}
+	})
+}
+
+// --- P7: reservation scheduler at NREN scale (§3.3) ---
+
+// BenchmarkP7_SchedulerDrain pins the cluster scheduler's placement and
+// live re-placement throughput at the paper's scale ceiling: the 42-AS /
+// 1158-router European-interconnect model sharded into 8 concurrent
+// reservations over 36 substrate hosts (1440 slots), then three
+// maintenance drains plus a hard host failure on the loaded cluster.
+// Reported vms/s is VMs placed (place) or re-placed (drain) per second.
+func BenchmarkP7_SchedulerDrain(b *testing.B) {
+	g, err := topogen.NREN(topogen.DefaultNREN())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := g.SortedNodeIDs()
+	const nShards = 8
+	shards := make([][]string, nShards)
+	for i, id := range ids {
+		shards[i%nShards] = append(shards[i%nShards], string(id))
+	}
+	load := func(b *testing.B) *sched.Cluster {
+		c, err := sched.New(sched.Uniform(36, 40), sched.Options{Seed: 2013})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i, vms := range shards {
+			sp := sched.Spec{
+				Name:   fmt.Sprintf("as-shard-%d", i),
+				Tenant: fmt.Sprintf("team%d", i%3),
+				VMs:    vms,
+			}
+			if i%2 == 1 {
+				sp.Policy = sched.PolicySpread
+			}
+			if _, err := c.Reserve(sp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return c
+	}
+
+	b.Run("place", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := load(b)
+			if got := c.Capacity().UsedSlots; got != len(ids) {
+				b.Fatalf("placed %d VMs, want %d", got, len(ids))
+			}
+		}
+		b.ReportMetric(float64(len(ids))*float64(b.N)/b.Elapsed().Seconds(), "vms/s")
+	})
+
+	b.Run("drain", func(b *testing.B) {
+		b.ReportAllocs()
+		replaced := 0
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c := load(b)
+			b.StartTimer()
+			for _, h := range []string{"h05", "h17", "h29"} {
+				res, err := c.Drain(h)
+				if err != nil {
+					b.Fatalf("drain %s: %v", h, err)
+				}
+				replaced += len(res.Moves)
+			}
+			res, err := c.FailHost("h11")
+			if err != nil && !errors.Is(err, sched.ErrDegraded) {
+				b.Fatalf("fail h11: %v", err)
+			}
+			replaced += len(res.Moves)
+		}
+		if replaced == 0 {
+			b.Fatal("no VMs re-placed")
+		}
+		b.ReportMetric(float64(replaced)/b.Elapsed().Seconds(), "vms/s")
 	})
 }

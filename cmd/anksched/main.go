@@ -1,0 +1,282 @@
+// Command anksched drives the reservation-based cluster scheduler from a
+// line-oriented drill script: build a substrate host pool, place named
+// reservations onto it, then cordon, drain, and fail hosts while the
+// scheduler live re-places their VMs (§3.3 multi-host deployments).
+//
+//	anksched -hosts 4 -cap 8 -script drill.sched
+//	anksched -script drill.sched -seed 7 -json
+//	anksched -hosts 32 -cap 40 -eval "reserve web vms=12 policy=spread"
+//
+// The script grammar, one command per line (# starts a comment):
+//
+//	host H CAP          add substrate host H with CAP VM slots (before any
+//	                    other command; overrides -hosts/-cap)
+//	reserve SPEC        place a reservation; SPEC is the one-line spec
+//	                    format: <name> vms=<count|v1,v2,...> [tenant=T]
+//	                    [policy=pack|spread] [spread=N] [weight=W]
+//	release NAME        free a reservation's slots (queued work admits)
+//	cordon H            stop new placements onto H
+//	uncordon H          make H schedulable again
+//	drain H             cordon H and live re-place its VMs
+//	fail H              mark H dead; its VMs strand until capacity frees
+//	probe               run one health-probe round over all hosts
+//	status              print the cluster snapshot (table, or JSON with
+//	                    -json)
+//	events              print the scheduler's event log
+//
+// Every placement decision is byte-deterministic given (script, -seed), so
+// a drill's output can be kept as a golden file. Degraded operations
+// (drain/fail that strands VMs, reservations queued behind capacity) are
+// reported inline and the drill continues; the exit status is 3 if the
+// final state is degraded, 1 on a hard error, 0 otherwise.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"autonetkit/internal/sched"
+)
+
+func main() {
+	hosts := flag.Int("hosts", 0, "number of uniform substrate hosts (ignored when the script declares host lines)")
+	capacity := flag.Int("cap", 8, "VM slots per uniform host")
+	seed := flag.Uint64("seed", 1, "placement seed (same script + same seed = byte-identical output)")
+	script := flag.String("script", "", "drill script file (- for stdin)")
+	eval := flag.String("eval", "", "run a single command instead of a script")
+	jsonOut := flag.Bool("json", false, "print status snapshots as JSON instead of tables")
+	flag.Parse()
+
+	var lines []string
+	var source string
+	switch {
+	case *eval != "":
+		lines = []string{*eval, "status"}
+		source = "eval"
+	case *script == "-":
+		lines = readLines(os.Stdin)
+		source = "stdin"
+	case *script != "":
+		f, err := os.Open(*script)
+		if err != nil {
+			fatal(err)
+		}
+		lines = readLines(f)
+		f.Close()
+		source = filepath.Base(*script)
+	default:
+		fmt.Fprintln(os.Stderr, "anksched: -script or -eval is required")
+		os.Exit(2)
+	}
+
+	d := &drill{jsonOut: *jsonOut, source: source}
+	if err := d.run(lines, *hosts, *capacity, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "anksched: %v\n", err)
+		os.Exit(1)
+	}
+	if d.degraded() {
+		os.Exit(3)
+	}
+}
+
+type drill struct {
+	cluster *sched.Cluster
+	jsonOut bool
+	source  string
+}
+
+// degraded reports whether the final cluster state still carries queued or
+// degraded reservations — the drill ran, but demand is not fully placed.
+func (d *drill) degraded() bool {
+	if d.cluster == nil {
+		return false
+	}
+	for _, r := range d.cluster.Status().Reservations {
+		if r.State != sched.ResActive {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *drill) run(lines []string, hosts, capacity int, seed uint64) error {
+	var declared []sched.HostInfo
+	rest := 0
+	for i, line := range lines {
+		fields := strings.Fields(stripComment(line))
+		if len(fields) == 0 {
+			rest = i + 1
+			continue
+		}
+		if fields[0] != "host" {
+			break
+		}
+		if len(fields) != 3 {
+			return fmt.Errorf("%s:%d: host needs <name> <capacity>, got %q", d.source, i+1, line)
+		}
+		slots, err := strconv.Atoi(fields[2])
+		if err != nil || slots <= 0 {
+			return fmt.Errorf("%s:%d: bad host capacity %q", d.source, i+1, fields[2])
+		}
+		declared = append(declared, sched.HostInfo{Name: fields[1], Capacity: slots})
+		rest = i + 1
+	}
+
+	var backend *sched.StaticBackend
+	switch {
+	case len(declared) > 0:
+		backend = sched.NewStaticBackend(declared...)
+	case hosts > 0:
+		backend = sched.Uniform(hosts, capacity)
+	default:
+		return errors.New("no hosts: pass -hosts N or start the script with host lines")
+	}
+	cluster, err := sched.New(backend, sched.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	d.cluster = cluster
+
+	for i, line := range lines[rest:] {
+		lineNo := rest + i + 1
+		fields := strings.Fields(stripComment(line))
+		if len(fields) == 0 {
+			continue
+		}
+		if err := d.exec(fields, stripComment(line)); err != nil {
+			if errors.Is(err, sched.ErrDegraded) {
+				fmt.Printf("%s: DEGRADED: %v\n", fields[0], err)
+				continue
+			}
+			return fmt.Errorf("%s:%d: %w", d.source, lineNo, err)
+		}
+	}
+	return nil
+}
+
+func (d *drill) exec(fields []string, line string) error {
+	cmd, args := fields[0], fields[1:]
+	one := func() (string, error) {
+		if len(args) != 1 {
+			return "", fmt.Errorf("%s needs one host name", cmd)
+		}
+		return args[0], nil
+	}
+	switch cmd {
+	case "host":
+		return errors.New("host lines must precede all other commands")
+	case "reserve":
+		spec, err := sched.ParseSpec(strings.TrimSpace(strings.TrimPrefix(line, "reserve")))
+		if err != nil {
+			return err
+		}
+		st, err := d.cluster.Reserve(spec)
+		if err != nil {
+			return err
+		}
+		if st.State == sched.ResQueued {
+			fmt.Printf("reserve %s: %d VMs queued (tenant %s)\n", st.Name, st.VMs, st.Tenant)
+		} else {
+			fmt.Printf("reserve %s: %d VMs active on %s\n", st.Name, st.VMs, strings.Join(st.Hosts, ", "))
+		}
+		return nil
+	case "release":
+		name, err := one()
+		if err != nil {
+			return err
+		}
+		if err := d.cluster.Release(name); err != nil {
+			return err
+		}
+		fmt.Printf("release %s\n", name)
+		return nil
+	case "cordon", "uncordon":
+		host, err := one()
+		if err != nil {
+			return err
+		}
+		if cmd == "cordon" {
+			err = d.cluster.Cordon(host)
+		} else {
+			err = d.cluster.Uncordon(host)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s %s\n", cmd, host)
+		return nil
+	case "drain", "fail":
+		host, err := one()
+		if err != nil {
+			return err
+		}
+		var res sched.DrainResult
+		if cmd == "drain" {
+			res, err = d.cluster.Drain(host)
+		} else {
+			res, err = d.cluster.FailHost(host)
+		}
+		if err != nil && !errors.Is(err, sched.ErrDegraded) {
+			return err
+		}
+		fmt.Printf("%s %s: %d VMs re-placed, %d stranded\n", cmd, host, len(res.Moves), len(res.Stranded))
+		for _, m := range res.Moves {
+			fmt.Printf("  %s: %s -> %s\n", m.VM, m.From, m.To)
+		}
+		if len(res.Stranded) > 0 {
+			fmt.Printf("  stranded: %s\n", strings.Join(res.Stranded, ", "))
+		}
+		return nil
+	case "probe":
+		for _, pr := range d.cluster.ProbeAll() {
+			state := "ok"
+			if !pr.Healthy {
+				state = "FAIL"
+			}
+			fmt.Printf("probe %s: %s (%s)\n", pr.Host, state, pr.State)
+		}
+		return nil
+	case "status":
+		st := d.cluster.Status()
+		if d.jsonOut {
+			fmt.Print(st.JSON())
+		} else {
+			fmt.Print(st.Table())
+		}
+		return nil
+	case "events":
+		for _, ev := range d.cluster.Events() {
+			fmt.Printf("[%03d] %-10s %s\n", ev.Seq, ev.Kind, ev.Detail)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		line = line[:i]
+	}
+	return strings.TrimSpace(line)
+}
+
+func readLines(f *os.File) []string {
+	var lines []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	return lines
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "anksched:", err)
+	os.Exit(1)
+}

@@ -189,3 +189,50 @@ func TestCmdAnknren(t *testing.T) {
 		t.Errorf("table missing sizes:\n%s", out)
 	}
 }
+
+func TestCmdAnksched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test")
+	}
+	bin := buildCmd(t, "anksched")
+	script := filepath.Join("testdata", "sched", "drill.sched")
+	out, err := runCmd(t, bin, "-script", script, "-seed", "2013")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	// The drill output is deterministic: diff against the golden file.
+	golden, err := os.ReadFile(filepath.Join("testdata", "sched", "drill.report"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Errorf("report differs from golden:\n--- got ---\n%s--- want ---\n%s", out, golden)
+	}
+	// -eval runs one command against a -hosts/-cap uniform pool; -json
+	// renders the status snapshot as JSON.
+	out, err = runCmd(t, bin, "-hosts", "4", "-cap", "8", "-json", "-eval", "reserve web vms=6 policy=spread")
+	if err != nil {
+		t.Fatalf("-eval: %v\n%s", err, out)
+	}
+	for _, want := range []string{`"reservations"`, `"name": "web"`, `"state": "active"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-eval -json output missing %q:\n%s", want, out)
+		}
+	}
+	// A drill left with queued demand exits 3.
+	if _, err := runCmd(t, bin, "-hosts", "1", "-cap", "2", "-eval", "reserve big vms=5"); err == nil {
+		t.Error("queued reservation exited 0")
+	}
+	// Missing script exits non-zero.
+	if _, err := runCmd(t, bin); err == nil {
+		t.Error("anksched without -script succeeded")
+	}
+	// Malformed script lines carry file:line positions.
+	bad := filepath.Join(t.TempDir(), "bad.sched")
+	if err := os.WriteFile(bad, []byte("host h1 4\nreserve web spread=zero\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := runCmd(t, bin, "-script", bad); err == nil || !strings.Contains(out, "bad.sched:2:") {
+		t.Errorf("bad spec not located (err=%v):\n%s", err, out)
+	}
+}

@@ -33,6 +33,20 @@ type Options struct {
 	// OnEvent, when set, receives one call per watchdog escalation rung —
 	// the deploy layer bridges these into its event stream.
 	OnEvent func(action, detail string)
+	// Hosts, when set, executes fail-host and drain-host steps against the
+	// substrate (a *deploy.ClusterDeployment satisfies it). Scenarios using
+	// host steps without a controller record a step failure finding.
+	Hosts HostController
+}
+
+// HostController drains and fails substrate hosts on behalf of host-level
+// scenario steps. Both calls return the VM names that were re-placed and
+// the VMs left stranded (sorted); a degraded operation returns stranded
+// VMs alongside a non-nil error and the step degrades gracefully instead
+// of aborting the scenario.
+type HostController interface {
+	DrainHost(host string) (moved, stranded []string, err error)
+	FailHost(host string) (moved, stranded []string, err error)
 }
 
 // Engine executes scenarios against one booted lab.
@@ -197,6 +211,10 @@ func (e *Engine) runStep(idx int, st Step, base measure.Reachability) (StepResul
 		err := e.runPerturb(&res, budget, addFinding)
 		return res, err
 	}
+	if st.Op == OpFailHost || st.Op == OpDrainHost {
+		err := e.runHostOp(&res, budget, addFinding)
+		return res, err
+	}
 	times := 1
 	if st.Op == OpFlap {
 		times = st.Times
@@ -234,6 +252,40 @@ func (e *Engine) runStep(idx int, st Step, base measure.Reachability) (StepResul
 	}
 	err := e.settle(&res, budget, addFinding)
 	return res, err
+}
+
+// runHostOp executes a substrate-host step through the attached host
+// controller and settles the convergence verdict. A degraded operation
+// (stranded VMs) records an error finding but the scenario continues —
+// graceful degradation is precisely what these drills probe.
+func (e *Engine) runHostOp(res *StepResult, budget routing.ConvergenceBudget, addFinding func(string, verify.Severity, string, ...any)) error {
+	st := res.Step
+	if e.opts.Hosts == nil {
+		addFinding("chaos-step", verify.Error, "no host controller attached for %s", st.Op)
+		res.Verdict = "FAILED: no host controller"
+		return nil
+	}
+	var moved, stranded []string
+	var err error
+	if st.Op == OpDrainHost {
+		moved, stranded, err = e.opts.Hosts.DrainHost(st.Node)
+	} else {
+		moved, stranded, err = e.opts.Hosts.FailHost(st.Node)
+	}
+	if err != nil && len(stranded) == 0 {
+		addFinding("chaos-step", verify.Error, "injection failed: %v", err)
+		res.Verdict = fmt.Sprintf("FAILED: %v", err)
+		return nil
+	}
+	if len(stranded) > 0 {
+		addFinding("chaos-degraded", verify.Error,
+			"%d VMs stranded (%s)", len(stranded), strings.Join(stranded, ", "))
+	}
+	if serr := e.settle(res, budget, addFinding); serr != nil {
+		return serr
+	}
+	res.Verdict = fmt.Sprintf("%d VMs moved, %d stranded; %s", len(moved), len(stranded), res.Verdict)
+	return nil
 }
 
 // runPerturb installs (or clears) a perturbation rule, re-converges the

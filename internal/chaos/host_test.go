@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fakeHosts is a scripted HostController.
+type fakeHosts struct {
+	calls    []string
+	moved    map[string][]string
+	stranded map[string][]string
+	err      map[string]error
+}
+
+func (f *fakeHosts) DrainHost(host string) ([]string, []string, error) {
+	f.calls = append(f.calls, "drain "+host)
+	return f.moved[host], f.stranded[host], f.err[host]
+}
+
+func (f *fakeHosts) FailHost(host string) ([]string, []string, error) {
+	f.calls = append(f.calls, "fail "+host)
+	return f.moved[host], f.stranded[host], f.err[host]
+}
+
+func TestParseHostSteps(t *testing.T) {
+	sc := mustParse(t, `
+fail-host h03
+drain-host h07
+check
+`)
+	if len(sc.Steps) != 3 {
+		t.Fatalf("steps = %+v", sc.Steps)
+	}
+	if sc.Steps[0].Op != OpFailHost || sc.Steps[0].Node != "h03" {
+		t.Errorf("step 0 = %+v", sc.Steps[0])
+	}
+	if sc.Steps[1].Op != OpDrainHost || sc.Steps[1].Node != "h07" {
+		t.Errorf("step 1 = %+v", sc.Steps[1])
+	}
+	if got := sc.Steps[0].String(); got != "fail-host h03" {
+		t.Errorf("String = %q", got)
+	}
+	if got := sc.Steps[1].String(); got != "drain-host h07" {
+		t.Errorf("String = %q", got)
+	}
+	// Arity errors are diagnosed.
+	_, diags := ParseScenario(strings.NewReader("drain-host a b\nfail-host\n"))
+	if len(diags) != 2 { // one per malformed line
+		t.Fatalf("diags = %v", diags)
+	}
+}
+
+func TestHostStepsDriveController(t *testing.T) {
+	lab, client, addrOf := fig5Lab(t)
+	hosts := &fakeHosts{
+		moved: map[string][]string{"h1": {"r1", "r2"}, "h2": {"r3"}},
+	}
+	engine := NewEngine(lab, client, addrOf, Options{Hosts: hosts})
+	rep, err := engine.Run(mustParse(t, `
+drain-host h1
+fail-host h2
+check baseline
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(hosts.calls); got != "[drain h1 fail h2]" {
+		t.Errorf("controller calls = %v", hosts.calls)
+	}
+	if !rep.OK() {
+		t.Fatalf("report not OK:\n%s", rep)
+	}
+	if !strings.Contains(rep.Steps[0].Verdict, "2 VMs moved, 0 stranded") {
+		t.Errorf("drain verdict = %q", rep.Steps[0].Verdict)
+	}
+	if !strings.Contains(rep.Steps[1].Verdict, "1 VMs moved, 0 stranded") {
+		t.Errorf("fail verdict = %q", rep.Steps[1].Verdict)
+	}
+}
+
+func TestHostStepDegradedStrandsFinding(t *testing.T) {
+	lab, client, addrOf := fig5Lab(t)
+	hosts := &fakeHosts{
+		moved:    map[string][]string{"h1": {"r1"}},
+		stranded: map[string][]string{"h1": {"r2", "r4"}},
+		err:      map[string]error{"h1": fmt.Errorf("degraded: insufficient surviving capacity")},
+	}
+	engine := NewEngine(lab, client, addrOf, Options{Hosts: hosts})
+	rep, err := engine.Run(mustParse(t, "drain-host h1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("stranded VMs should produce an error finding")
+	}
+	var sawDegraded bool
+	for _, f := range rep.Findings() {
+		if f.Check == "chaos-degraded" && strings.Contains(f.Detail, "r2, r4") {
+			sawDegraded = true
+		}
+	}
+	if !sawDegraded {
+		t.Errorf("no chaos-degraded finding in:\n%s", rep)
+	}
+	if !strings.Contains(rep.Steps[0].Verdict, "1 VMs moved, 2 stranded") {
+		t.Errorf("verdict = %q", rep.Steps[0].Verdict)
+	}
+}
+
+func TestHostStepHardErrorFailsStep(t *testing.T) {
+	lab, client, addrOf := fig5Lab(t)
+	hosts := &fakeHosts{err: map[string]error{"ghost": fmt.Errorf("no host ghost")}}
+	engine := NewEngine(lab, client, addrOf, Options{Hosts: hosts})
+	rep, err := engine.Run(mustParse(t, "fail-host ghost\ncheck\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("hard controller error should produce a finding")
+	}
+	if !strings.HasPrefix(rep.Steps[0].Verdict, "FAILED:") {
+		t.Errorf("verdict = %q", rep.Steps[0].Verdict)
+	}
+	// The scenario continued to the check step.
+	if len(rep.Steps) != 2 {
+		t.Fatalf("steps = %d", len(rep.Steps))
+	}
+}
+
+func TestHostStepWithoutController(t *testing.T) {
+	lab, client, addrOf := fig5Lab(t)
+	engine := NewEngine(lab, client, addrOf, Options{})
+	rep, err := engine.Run(mustParse(t, "drain-host h1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("missing controller should produce a finding")
+	}
+	if !strings.Contains(rep.Steps[0].Verdict, "no host controller") {
+		t.Errorf("verdict = %q", rep.Steps[0].Verdict)
+	}
+}

@@ -37,6 +37,13 @@ const (
 	// OpPerturb installs (or, with a nil Rule, clears) a control-plane
 	// perturbation rule and re-converges under it.
 	OpPerturb Op = "perturb"
+	// OpFailHost hard-fails a substrate host through the attached host
+	// controller: its VMs go dark, re-place onto surviving capacity, and
+	// re-boot (a visible outage window).
+	OpFailHost Op = "fail-host"
+	// OpDrainHost live-drains a substrate host through the attached host
+	// controller: its VMs move to surviving capacity with no outage.
+	OpDrainHost Op = "drain-host"
 )
 
 // CheckMode selects what a check step asserts.
@@ -82,6 +89,8 @@ func (s Step) String() string {
 	case OpFailLink, OpRestoreLink:
 		return fmt.Sprintf("%s %s %s", s.Op, s.A, s.B)
 	case OpFailNode, OpRestoreNode:
+		return fmt.Sprintf("%s %s", s.Op, s.Node)
+	case OpFailHost, OpDrainHost:
 		return fmt.Sprintf("%s %s", s.Op, s.Node)
 	case OpFlap:
 		return fmt.Sprintf("%s %s %s %d", s.Op, s.A, s.B, s.Times)
@@ -130,6 +139,8 @@ type Scenario struct {
 //	fail-node N
 //	restore-link A B
 //	restore-node N
+//	fail-host H                 # substrate host failure (host controller)
+//	drain-host H                # live-drain a substrate host
 //	flap A B <times>
 //	partition N1 [N2 ...]
 //	perturb loss <pct> [on A:B] # control-plane rules; see ParsePerturb
@@ -228,6 +239,12 @@ func ParseScenarioFile(r io.Reader, file string) (Scenario, emul.Diagnostics) {
 		case string(OpFailNode), string(OpRestoreNode):
 			if len(args) != 1 {
 				bad("%s needs one machine name, got %q", op, strings.Join(args, " "))
+				continue
+			}
+			sc.Steps = append(sc.Steps, Step{Op: Op(op), Node: args[0], MaxBGPRounds: budget})
+		case string(OpFailHost), string(OpDrainHost):
+			if len(args) != 1 {
+				bad("%s needs one substrate host name, got %q", op, strings.Join(args, " "))
 				continue
 			}
 			sc.Steps = append(sc.Steps, Step{Op: Op(op), Node: args[0], MaxBGPRounds: budget})

@@ -1,0 +1,308 @@
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"autonetkit/internal/emul"
+	"autonetkit/internal/obs"
+	"autonetkit/internal/render"
+	"autonetkit/internal/sched"
+)
+
+// ClusterOptions configures a scheduler-backed pool deployment: RunPool's
+// stages with placement, health, and failure handling delegated to the
+// internal/sched cluster scheduler.
+type ClusterOptions struct {
+	Platform string
+	// MaxBGPRounds bounds control-plane convergence (0 = default).
+	MaxBGPRounds int
+	// Lenient boots in lenient mode (see PoolOptions.Lenient).
+	Lenient bool
+	// Retry governs per-host boot attempts AND per-VM migrations during
+	// drains; its AttemptTimeout also bounds convergence runs.
+	Retry RetryPolicy
+	// Supervise runs the convergence watchdog over the launched lab.
+	Supervise bool
+	// Boot, when set, is invoked per host boot attempt (fault-injection
+	// seam; nil always succeeds).
+	Boot BootFunc
+	// OnEvent, when set, receives progress events as they happen
+	// (scheduler events arrive with Stage "sched").
+	OnEvent func(Event)
+	// Obs, when set, collects deployment and scheduler spans/counters.
+	Obs *obs.Collector
+
+	// Seed keys the scheduler's deterministic placement tie-breaks.
+	Seed uint64
+	// Health configures the scheduler's probe thresholds.
+	Health sched.HealthPolicy
+	// Reservation names the lab's reservation ("lab" when empty).
+	Reservation string
+	// Tenant owns the reservation for fair-share accounting.
+	Tenant string
+	// Policy is the placement policy (sched.PolicyPack when empty).
+	Policy sched.Policy
+	// Spread caps the lab's VMs per host (0 = unbounded).
+	Spread int
+}
+
+// ClusterDeployment is the outcome of RunCluster: a pool deployment whose
+// placement lives in a cluster scheduler, so hosts can be cordoned,
+// drained, and failed while the lab runs.
+type ClusterDeployment struct {
+	PoolDeployment
+	// Cluster is the scheduler owning the deployment's placement.
+	Cluster *sched.Cluster
+	// Reservation is the lab's reservation name.
+	Reservation string
+	opts        ClusterOptions
+}
+
+// RunCluster deploys a rendered lab across a substrate backend via the
+// cluster scheduler: archive → transfer → extract → reserve (deterministic
+// bin-packing) → boot each placed host (with retry, backoff + jitter) →
+// launch. A host that exhausts its boot attempts is failed in the
+// scheduler and its VMs re-place onto surviving capacity; if none remains,
+// RunCluster returns the partial state wrapped in ErrDegraded. The
+// returned deployment drains and fails hosts live via DrainHost/FailHost.
+func RunCluster(fs *render.FileSet, backend sched.Backend, opts ClusterOptions) (*ClusterDeployment, error) {
+	if opts.Platform == "" {
+		opts.Platform = "netkit"
+	}
+	if opts.Reservation == "" {
+		opts.Reservation = "lab"
+	}
+	span := opts.Obs.StartSpan("ClusterDeploy")
+	defer span.End()
+	d := &ClusterDeployment{Reservation: opts.Reservation, opts: opts}
+	d.Platform = opts.Platform
+	d.onEvent = opts.OnEvent
+
+	cluster, err := sched.New(backend, sched.Options{
+		Seed:   opts.Seed,
+		Health: opts.Health,
+		Retry:  opts.Retry,
+		Obs:    opts.Obs,
+		OnEvent: func(ev sched.Event) {
+			d.emit(Event{"sched", fmt.Sprintf("%s: %s", ev.Kind, ev.Detail)})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.Cluster = cluster
+
+	bundle, err := Archive(fs)
+	if err != nil {
+		return nil, err
+	}
+	d.emit(Event{"archive", fmt.Sprintf("%d files, %d bytes compressed", fs.Len(), len(bundle))})
+	received := make([]byte, len(bundle))
+	copy(received, bundle)
+	d.emit(Event{"transfer", fmt.Sprintf("%d bytes to %d hosts", len(received), cluster.Capacity().Hosts)})
+	extracted, err := Extract(received)
+	if err != nil {
+		return nil, err
+	}
+	d.emit(Event{"extract", fmt.Sprintf("%d files", extracted.Len())})
+
+	lab, err := firstLab(extracted, opts.Platform)
+	if err != nil {
+		return nil, err
+	}
+
+	st, err := cluster.Reserve(sched.Spec{
+		Name:   opts.Reservation,
+		Tenant: opts.Tenant,
+		VMs:    lab.VMNames(),
+		Policy: opts.Policy,
+		Spread: opts.Spread,
+	})
+	if err != nil {
+		return d, err
+	}
+	if st.State == sched.ResQueued {
+		rep := cluster.Capacity()
+		d.emit(Event{"degraded", fmt.Sprintf("reservation %s queued: %s", opts.Reservation, rep.Summary())})
+		return d, fmt.Errorf("%w: %d VMs exceed cluster capacity (%s)", ErrDegraded, st.VMs, rep.Summary())
+	}
+	d.Placement = Placement{}
+	for vm, host := range st.Placement {
+		d.Placement[vm] = host
+	}
+	d.emit(Event{"place", fmt.Sprintf("%d VMs across %d hosts (seed %d)", len(st.Placement), len(st.Hosts), opts.Seed)})
+
+	// Boot every host that holds VMs, in name order. A failed boot fails
+	// the host in the scheduler; its VMs re-place onto survivors (a host
+	// later in the boot order absorbs them before its own boot).
+	booted := map[string]bool{}
+	for {
+		host := nextUnbooted(cluster, d.Placement, booted)
+		if host == "" {
+			break
+		}
+		booted[host] = true
+		if err := d.bootClusterHost(cluster, host, opts); err == nil {
+			continue
+		}
+		opts.Obs.Add(CounterHostsFailed, 1)
+		d.FailedHosts = append(d.FailedHosts, host)
+		res, ferr := cluster.FailHost(host)
+		d.emit(Event{"host-failed", fmt.Sprintf("%s abandoned after %d attempts; re-placing %d VMs",
+			host, opts.Retry.Attempts(), len(res.Moves)+len(res.Stranded))})
+		d.applyMoves(res.Moves)
+		if ferr != nil {
+			d.StrandedVMs = append([]string(nil), res.Stranded...)
+			d.emit(Event{"degraded", fmt.Sprintf("cannot re-place %d VMs (%s): %s",
+				len(res.Stranded), strings.Join(res.Stranded, ", "), res.Report.Summary())})
+			return d, fmt.Errorf("%w: %d VMs stranded after %s failed", ErrDegraded, len(res.Stranded), host)
+		}
+	}
+
+	d.emit(Event{"lstart", fmt.Sprintf("launching %d machines", len(lab.VMNames()))})
+	lspan := opts.Obs.StartSpan("Launch")
+	err = lab.Boot(emul.BootOptions{
+		MaxBGPRounds:    opts.MaxBGPRounds,
+		ConvergeTimeout: opts.Retry.AttemptTimeout,
+		Lenient:         opts.Lenient,
+	})
+	lspan.End()
+	if err != nil && !errors.Is(err, emul.ErrPartialBoot) {
+		return d, err
+	}
+	for _, ev := range lab.Events() {
+		d.emit(Event{"machine", ev})
+	}
+	d.lab = lab
+	if opts.Supervise {
+		if serr := superviseBoot(lab, opts.Obs, d.emit); serr != nil {
+			return d, serr
+		}
+	}
+	if err != nil {
+		q := lab.Quarantined()
+		opts.Obs.Add(obs.CounterDevicesQuarantined, int64(len(q)))
+		d.emit(Event{"quarantine", fmt.Sprintf("%d machines quarantined (%s)", len(q), strings.Join(q, ", "))})
+		d.emit(Event{"done", "lab running (partial)"})
+		return d, err
+	}
+	d.emit(Event{"done", "lab running"})
+	return d, nil
+}
+
+// nextUnbooted returns the name-smallest host holding VMs that has not
+// booted yet ("" when none remain).
+func nextUnbooted(cluster *sched.Cluster, placement Placement, booted map[string]bool) string {
+	hosts := map[string]bool{}
+	for _, h := range placement {
+		hosts[h] = true
+	}
+	var names []string
+	for h := range hosts {
+		if !booted[h] && len(cluster.VMsOn(h)) > 0 {
+			names = append(names, h)
+		}
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	sort.Strings(names)
+	return names[0]
+}
+
+// bootClusterHost attempts one host's boot under the retry policy.
+func (d *ClusterDeployment) bootClusterHost(cluster *sched.Cluster, host string, opts ClusterOptions) error {
+	span := opts.Obs.StartSpan("boot " + host)
+	defer span.End()
+	vms := cluster.VMsOn(host)
+	var lastErr error
+	for attempt := 1; attempt <= opts.Retry.Attempts(); attempt++ {
+		lastErr = attemptBoot(opts.Boot, host, vms, attempt, opts.Retry)
+		if lastErr == nil {
+			d.emit(Event{"boot", fmt.Sprintf("%s up (%d VMs, attempt %d)", host, len(vms), attempt)})
+			return nil
+		}
+		d.emit(Event{"retry", fmt.Sprintf("%s boot attempt %d failed: %v", host, attempt, lastErr)})
+		opts.Obs.Add(CounterBootRetries, 1)
+		if attempt < opts.Retry.Attempts() {
+			opts.Retry.SleepFor(opts.Retry.Delay(host, attempt))
+		}
+	}
+	return lastErr
+}
+
+// applyMoves folds scheduler moves into the deployment's placement map.
+func (d *ClusterDeployment) applyMoves(moves []sched.Move) {
+	for _, m := range moves {
+		d.Placement[m.VM] = m.To
+		d.emit(Event{"replace", fmt.Sprintf("%s re-placed onto %s", m.VM, m.To)})
+	}
+}
+
+// DrainHost live-drains a substrate host: the scheduler cordons it and
+// re-places its VMs onto surviving capacity, then the moved VMs re-boot
+// their device configurations in the running lab (one batch, one
+// re-convergence). Returns the moved and stranded VM names, sorted; a
+// degraded drain (stranded VMs stay live on the cordoned source) returns
+// them alongside an error wrapping sched.ErrDegraded.
+func (d *ClusterDeployment) DrainHost(host string) (moved, stranded []string, err error) {
+	res, derr := d.Cluster.Drain(host)
+	if derr != nil && !errors.Is(derr, sched.ErrDegraded) {
+		return nil, nil, derr
+	}
+	d.applyMoves(res.Moves)
+	moved = moveNames(res.Moves)
+	if len(moved) > 0 && d.lab != nil {
+		if rerr := d.lab.RebootVMs(moved); rerr != nil {
+			return moved, res.Stranded, fmt.Errorf("deploy: re-booting drained VMs: %w", rerr)
+		}
+	}
+	d.emit(Event{"drain", fmt.Sprintf("%s drained: %d VMs moved, %d stranded", host, len(moved), len(res.Stranded))})
+	return moved, res.Stranded, derr
+}
+
+// FailHost hard-fails a substrate host: every VM it carried goes dark in
+// the lab (one batch, one re-convergence), the scheduler re-places the
+// orphans, and the survivors re-boot on their new hosts (a second
+// convergence — the outage window is visible to measurements, unlike
+// DrainHost's live move). Stranded orphans stay dark and re-place
+// automatically as capacity frees; the error then wraps sched.ErrDegraded.
+func (d *ClusterDeployment) FailHost(host string) (moved, stranded []string, err error) {
+	victims := d.Cluster.VMsOn(host)
+	if len(victims) > 0 && d.lab != nil {
+		if ferr := d.lab.FailNodes(victims); ferr != nil {
+			return nil, nil, fmt.Errorf("deploy: failing %s's VMs: %w", host, ferr)
+		}
+	}
+	res, ferr := d.Cluster.FailHost(host)
+	if ferr != nil && !errors.Is(ferr, sched.ErrDegraded) {
+		return nil, nil, ferr
+	}
+	d.FailedHosts = append(d.FailedHosts, host)
+	d.applyMoves(res.Moves)
+	moved = moveNames(res.Moves)
+	if len(moved) > 0 && d.lab != nil {
+		if rerr := d.lab.RebootVMs(moved); rerr != nil {
+			return moved, res.Stranded, fmt.Errorf("deploy: re-booting re-placed VMs: %w", rerr)
+		}
+	}
+	if len(res.Stranded) > 0 {
+		d.StrandedVMs = append(d.StrandedVMs, res.Stranded...)
+		sort.Strings(d.StrandedVMs)
+	}
+	d.emit(Event{"host-failed", fmt.Sprintf("%s failed: %d VMs re-placed, %d stranded dark", host, len(moved), len(res.Stranded))})
+	return moved, res.Stranded, ferr
+}
+
+// moveNames extracts the moved VM names, sorted.
+func moveNames(moves []sched.Move) []string {
+	out := make([]string, 0, len(moves))
+	for _, m := range moves {
+		out = append(out, m.VM)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,204 @@
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"autonetkit/internal/obs"
+	"autonetkit/internal/sched"
+)
+
+func TestRunClusterHappyPath(t *testing.T) {
+	fs := renderedLab(t)
+	col := obs.NewCollector()
+	dep, err := RunCluster(fs, sched.Uniform(2, 2), ClusterOptions{Obs: col, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Lab() == nil || len(dep.Lab().VMNames()) != 3 {
+		t.Fatalf("lab = %v", dep.Lab())
+	}
+	if len(dep.Placement) != 3 {
+		t.Errorf("placement = %v", dep.Placement)
+	}
+	stages := eventStages(dep.Events())
+	for _, want := range []string{"archive", "transfer", "extract", "place", "boot", "sched", "lstart", "done"} {
+		if stages[want] == 0 {
+			t.Errorf("missing stage %q in %v", want, dep.Events())
+		}
+	}
+	st, ok := dep.Cluster.Reservation(dep.Reservation)
+	if !ok || st.State != sched.ResActive {
+		t.Fatalf("reservation = %+v", st)
+	}
+	if _, ok := col.Snapshot().Span("ClusterDeploy"); !ok {
+		t.Error("no ClusterDeploy span")
+	}
+}
+
+func TestRunClusterQueuedCapacityDegrades(t *testing.T) {
+	fs := renderedLab(t)
+	dep, err := RunCluster(fs, sched.Uniform(1, 2), ClusterOptions{Seed: 1})
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("err = %v, want ErrDegraded for 3 VMs on 2 slots", err)
+	}
+	if dep.Lab() != nil {
+		t.Error("queued deployment launched a lab")
+	}
+	if eventStages(dep.Events())["degraded"] != 1 {
+		t.Errorf("events = %v", dep.Events())
+	}
+}
+
+func TestRunClusterReplacesDeadBootHost(t *testing.T) {
+	fs := renderedLab(t)
+	b := sched.NewStaticBackend(
+		sched.HostInfo{Name: "h1", Capacity: 2},
+		sched.HostInfo{Name: "h2", Capacity: 4},
+	)
+	col := obs.NewCollector()
+	dep, err := RunCluster(fs, b, ClusterOptions{
+		Obs:  col,
+		Seed: 1,
+		Boot: func(host string, vms []string, attempt int) error {
+			if host == "h1" {
+				return fmt.Errorf("host is on fire")
+			}
+			return nil
+		},
+		Retry: RetryPolicy{MaxAttempts: 2, Sleep: func(time.Duration) {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Lab() == nil {
+		t.Fatal("no lab after graceful re-placement")
+	}
+	if len(dep.FailedHosts) != 1 || dep.FailedHosts[0] != "h1" {
+		t.Errorf("failed hosts = %v", dep.FailedHosts)
+	}
+	for vm, host := range dep.Placement {
+		if host != "h2" {
+			t.Errorf("%s placed on %s after h1 died", vm, host)
+		}
+	}
+	if got := col.Snapshot().Counters[obs.CounterVMsReplaced]; got == 0 {
+		t.Error("vms_replaced counter not incremented")
+	}
+}
+
+func TestRunClusterDegradesWithoutSurvivingCapacity(t *testing.T) {
+	fs := renderedLab(t)
+	b := sched.NewStaticBackend(
+		sched.HostInfo{Name: "h1", Capacity: 2},
+		sched.HostInfo{Name: "h2", Capacity: 1},
+	)
+	dep, err := RunCluster(fs, b, ClusterOptions{
+		Seed: 1,
+		Boot: func(host string, vms []string, attempt int) error {
+			if host == "h1" {
+				return fmt.Errorf("host is on fire")
+			}
+			return nil
+		},
+		Retry: RetryPolicy{MaxAttempts: 2, Sleep: func(time.Duration) {}},
+	})
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("err = %v, want ErrDegraded", err)
+	}
+	if dep.Lab() != nil {
+		t.Error("degraded deployment launched a partial lab")
+	}
+	if len(dep.StrandedVMs) == 0 {
+		t.Error("no stranded VMs recorded")
+	}
+}
+
+func TestClusterDeploymentDrainHost(t *testing.T) {
+	fs := renderedLab(t)
+	col := obs.NewCollector()
+	dep, err := RunCluster(fs, sched.Uniform(3, 2), ClusterOptions{Obs: col, Seed: 1, Policy: sched.PolicySpread})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a host carrying VMs and drain it live.
+	var victim string
+	for _, host := range dep.Placement {
+		victim = host
+		break
+	}
+	moved, stranded, err := dep.DrainHost(victim)
+	if err != nil {
+		t.Fatalf("drain %s: %v", victim, err)
+	}
+	if len(stranded) != 0 {
+		t.Fatalf("stranded = %v", stranded)
+	}
+	if len(moved) == 0 {
+		t.Fatal("nothing moved")
+	}
+	if got := dep.Cluster.VMsOn(victim); len(got) != 0 {
+		t.Fatalf("%s still holds %v", victim, got)
+	}
+	for _, vm := range moved {
+		if dep.Placement[vm] == victim {
+			t.Fatalf("placement map still points %s at drained host", vm)
+		}
+	}
+	// The moved VMs re-booted their device configs in one batch.
+	var rebooted bool
+	for _, ev := range dep.Lab().Events() {
+		if strings.Contains(ev, "re-placement re-booted") {
+			rebooted = true
+		}
+	}
+	if !rebooted {
+		t.Errorf("no batch re-boot in lab log: %v", dep.Lab().Events())
+	}
+	if got := col.Snapshot().Counters[obs.CounterHostCordoned]; got != 1 {
+		t.Errorf("host_cordoned = %d", got)
+	}
+}
+
+func TestClusterDeploymentFailHost(t *testing.T) {
+	fs := renderedLab(t)
+	dep, err := RunCluster(fs, sched.Uniform(3, 3), ClusterOptions{Seed: 1, Policy: sched.PolicySpread})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim string
+	for _, host := range dep.Placement {
+		victim = host
+		break
+	}
+	moved, stranded, err := dep.FailHost(victim)
+	if err != nil {
+		t.Fatalf("fail %s: %v", victim, err)
+	}
+	if len(stranded) != 0 {
+		t.Fatalf("stranded = %v", stranded)
+	}
+	if len(moved) == 0 {
+		t.Fatal("nothing re-placed")
+	}
+	// The outage was visible (batch down) and then healed (batch re-boot).
+	var sawDown, sawReboot bool
+	for _, ev := range dep.Lab().Events() {
+		if strings.Contains(ev, "host failure downed") {
+			sawDown = true
+		}
+		if strings.Contains(ev, "re-placement re-booted") {
+			sawReboot = true
+		}
+	}
+	if !sawDown || !sawReboot {
+		t.Errorf("lab log missing outage/heal: down=%v reboot=%v", sawDown, sawReboot)
+	}
+	// A failed host cannot be drained afterwards.
+	if _, _, err := dep.DrainHost(victim); err == nil {
+		t.Error("drain of failed host should error")
+	}
+}

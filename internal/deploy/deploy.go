@@ -22,6 +22,7 @@ import (
 	"path"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"autonetkit/internal/emul"
@@ -250,12 +251,20 @@ func (h *Host) Assigned() []string {
 	return out
 }
 
-// HostPool places VMs across emulation hosts.
+// HostPool places VMs across emulation hosts. All methods are safe for
+// concurrent use; placement order is fixed at construction (ascending host
+// name), so results are independent of both call interleaving within one
+// placement and of any map iteration order in the caller.
 type HostPool struct {
-	hosts []*Host
+	mu      sync.Mutex
+	hosts   []*Host // sorted by name
+	events  []Event
+	onEvent func(Event)
 }
 
-// NewHostPool builds a pool; capacities must be positive.
+// NewHostPool builds a pool; capacities must be positive. Hosts are
+// ordered by name regardless of the order given here — the tie-break
+// contract Place documents.
 func NewHostPool(hosts ...*Host) (*HostPool, error) {
 	if len(hosts) == 0 {
 		return nil, fmt.Errorf("deploy: empty host pool")
@@ -270,11 +279,46 @@ func NewHostPool(hosts ...*Host) (*HostPool, error) {
 		}
 		seen[h.Name] = true
 	}
-	return &HostPool{hosts: hosts}, nil
+	sorted := make([]*Host, len(hosts))
+	copy(sorted, hosts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	return &HostPool{hosts: sorted}, nil
+}
+
+// SetOnEvent installs a callback receiving the pool's structured events
+// (currently host-failed) as they happen.
+func (p *HostPool) SetOnEvent(fn func(Event)) {
+	p.mu.Lock()
+	p.onEvent = fn
+	p.mu.Unlock()
+}
+
+// PoolEvents returns the pool's own structured events so far (distinct
+// from a deployment's event stream).
+func (p *HostPool) PoolEvents() []Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Event, len(p.events))
+	copy(out, p.events)
+	return out
+}
+
+// emitLocked records an event (lock held); the callback runs without the
+// lock so it may call back into the pool.
+func (p *HostPool) emitLocked(ev Event) func() {
+	p.events = append(p.events, ev)
+	fn := p.onEvent
+	return func() {
+		if fn != nil {
+			fn(ev)
+		}
+	}
 }
 
 // TotalCapacity sums host capacities.
 func (p *HostPool) TotalCapacity() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	n := 0
 	for _, h := range p.hosts {
 		n += h.Capacity
@@ -282,20 +326,35 @@ func (p *HostPool) TotalCapacity() int {
 	return n
 }
 
-// Hosts returns the pool's hosts.
-func (p *HostPool) Hosts() []*Host { return p.hosts }
+// Hosts returns a snapshot of the pool's hosts, in name order.
+func (p *HostPool) Hosts() []*Host {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Host, len(p.hosts))
+	copy(out, p.hosts)
+	return out
+}
 
-// Fail removes a host from the pool (a dead emulation server), returning
-// the VMs that were assigned to it so the caller can re-place them onto
-// the survivors.
+// Fail removes a host from the pool (a dead emulation server), emitting a
+// structured host-failed event and returning the host's VMs sorted — the
+// orphan list reads the same in every log, whatever order they were
+// placed in — so the caller can re-place them onto the survivors.
 func (p *HostPool) Fail(name string) ([]string, error) {
+	p.mu.Lock()
 	for i, h := range p.hosts {
 		if h.Name != name {
 			continue
 		}
 		p.hosts = append(p.hosts[:i], p.hosts[i+1:]...)
-		return h.Assigned(), nil
+		orphans := h.Assigned()
+		sort.Strings(orphans)
+		notify := p.emitLocked(Event{"host-failed", fmt.Sprintf("%s removed from pool; %d VMs orphaned (%s)",
+			name, len(orphans), strings.Join(orphans, ", "))})
+		p.mu.Unlock()
+		notify()
+		return orphans, nil
 	}
+	p.mu.Unlock()
 	return nil, fmt.Errorf("deploy: no host %s in pool", name)
 }
 
@@ -304,9 +363,25 @@ type Placement map[string]string
 
 // Place assigns VMs to hosts first-fit in deterministic order, returning
 // an error when aggregate capacity is exceeded.
+//
+// Tie-breaking contract: VMs are considered in ascending name order, and
+// hosts are filled in ascending host-name order (fixed at NewHostPool).
+// Two hosts with equal capacity therefore always fill in stable name
+// order — placement is a pure function of (host set, VM set), immune to
+// map iteration order or the construction order of the pool.
 func (p *HostPool) Place(vms []string) (Placement, error) {
-	if len(vms) > p.TotalCapacity() {
-		return nil, fmt.Errorf("deploy: %d VMs exceed pool capacity %d", len(vms), p.TotalCapacity())
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for _, h := range p.hosts {
+		total += h.Capacity
+	}
+	used := 0
+	for _, h := range p.hosts {
+		used += len(h.assigned)
+	}
+	if len(vms) > total-used {
+		return nil, fmt.Errorf("deploy: %d VMs exceed pool capacity %d", len(vms), total-used)
 	}
 	sorted := make([]string, len(vms))
 	copy(sorted, vms)

@@ -282,8 +282,8 @@ func TestRetryPolicyDelay(t *testing.T) {
 
 	// Defaults.
 	var zero RetryPolicy
-	if zero.attempts() != 3 {
-		t.Errorf("default attempts = %d", zero.attempts())
+	if zero.Attempts() != 3 {
+		t.Errorf("default attempts = %d", zero.Attempts())
 	}
 	if d := zero.Delay("h", 1); d < 50*time.Millisecond || d > 75*time.Millisecond {
 		t.Errorf("default first delay = %v", d)

@@ -1,0 +1,156 @@
+package deploy
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPlaceTieBreakStableNameOrder pins the documented tie-break: hosts
+// with equal capacity fill in ascending name order no matter what order
+// the pool was constructed in (i.e. immune to any map iteration order a
+// caller might build the host list from).
+func TestPlaceTieBreakStableNameOrder(t *testing.T) {
+	vms := []string{"r3", "r1", "r2", "r4"}
+	var want Placement
+	for perm := 0; perm < 6; perm++ {
+		hosts := []*Host{
+			{Name: "hb", Capacity: 2},
+			{Name: "ha", Capacity: 2},
+			{Name: "hc", Capacity: 2},
+		}
+		// Rotate the construction order each round.
+		for i := 0; i < perm%3; i++ {
+			hosts = append(hosts[1:], hosts[0])
+		}
+		pool, err := NewHostPool(hosts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pool.Place(vms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			// Name-smallest host fills first: r1, r2 on ha; r3, r4 on hb.
+			if got["r1"] != "ha" || got["r2"] != "ha" || got["r3"] != "hb" || got["r4"] != "hb" {
+				t.Fatalf("tie-break not name-ordered: %v", got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("construction order %d changed placement: %v vs %v", perm, got, want)
+		}
+	}
+}
+
+// TestFailEmitsSortedOrphans pins the Fail satellite: a structured
+// host-failed event and orphans returned sorted regardless of placement
+// order.
+func TestFailEmitsSortedOrphans(t *testing.T) {
+	pool, err := NewHostPool(&Host{Name: "h1", Capacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	pool.SetOnEvent(func(ev Event) { events = append(events, ev) })
+	if _, err := pool.Place([]string{"zeta", "alpha", "mid"}); err != nil {
+		t.Fatal(err)
+	}
+	orphans, err := pool.Fail("h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.StringsAreSorted(orphans) {
+		t.Fatalf("orphans not sorted: %v", orphans)
+	}
+	if len(orphans) != 3 || orphans[0] != "alpha" {
+		t.Fatalf("orphans = %v", orphans)
+	}
+	if len(events) != 1 || events[0].Stage != "host-failed" {
+		t.Fatalf("events = %v", events)
+	}
+	if !strings.Contains(events[0].Detail, "alpha, mid, zeta") {
+		t.Fatalf("event detail not in sorted order: %q", events[0].Detail)
+	}
+	if got := pool.PoolEvents(); len(got) != 1 || got[0] != events[0] {
+		t.Fatalf("PoolEvents = %v", got)
+	}
+	if _, err := pool.Fail("h1"); err == nil {
+		t.Fatal("double fail should error")
+	}
+}
+
+// TestHostPoolConcurrentPlaceFail exercises interleaved Place and Fail
+// calls under the race detector: no panics, no lost VMs, capacity never
+// exceeded.
+func TestHostPoolConcurrentPlaceFail(t *testing.T) {
+	hosts := make([]*Host, 8)
+	for i := range hosts {
+		hosts[i] = &Host{Name: fmt.Sprintf("h%d", i), Capacity: 10}
+	}
+	pool, err := NewHostPool(hosts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	placed := map[string]bool{}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				vms := []string{fmt.Sprintf("w%d-vm%d-a", w, i), fmt.Sprintf("w%d-vm%d-b", w, i)}
+				if _, err := pool.Place(vms); err == nil {
+					mu.Lock()
+					for _, vm := range vms {
+						placed[vm] = true
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	orphaned := map[string]bool{}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			orphans, err := pool.Fail(fmt.Sprintf("h%d", i))
+			if err != nil {
+				continue
+			}
+			mu.Lock()
+			for _, vm := range orphans {
+				orphaned[vm] = true
+			}
+			mu.Unlock()
+		}
+	}()
+	wg.Wait()
+	// Every placed VM is on exactly one surviving host, or was orphaned by
+	// a host failure — never silently lost or duplicated.
+	seen := map[string]string{}
+	for _, h := range pool.Hosts() {
+		if len(h.Assigned()) > h.Capacity {
+			t.Fatalf("host %s over capacity", h.Name)
+		}
+		for _, vm := range h.Assigned() {
+			if prev, dup := seen[vm]; dup {
+				t.Fatalf("VM %s on both %s and %s", vm, prev, h.Name)
+			}
+			seen[vm] = h.Name
+		}
+	}
+	for vm := range placed {
+		if _, onHost := seen[vm]; !onHost && !orphaned[vm] {
+			t.Fatalf("VM %s lost (placed, not on any host, not orphaned)", vm)
+		}
+	}
+}

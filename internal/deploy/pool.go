@@ -155,7 +155,7 @@ func RunPool(fs *render.FileSet, pool *HostPool, opts PoolOptions) (*PoolDeploym
 		if ferr != nil {
 			return d, ferr
 		}
-		d.emit(Event{"host-failed", fmt.Sprintf("%s abandoned after %d attempts; re-placing %d VMs", h.Name, opts.Retry.attempts(), len(orphans))})
+		d.emit(Event{"host-failed", fmt.Sprintf("%s abandoned after %d attempts; re-placing %d VMs", h.Name, opts.Retry.Attempts(), len(orphans))})
 		replaced, perr := pool.Place(orphans)
 		if perr != nil {
 			d.StrandedVMs = orphans
@@ -209,7 +209,7 @@ func (d *PoolDeployment) bootHost(h *Host, opts PoolOptions) error {
 	span := opts.Obs.StartSpan("boot " + h.Name)
 	defer span.End()
 	var lastErr error
-	for attempt := 1; attempt <= opts.Retry.attempts(); attempt++ {
+	for attempt := 1; attempt <= opts.Retry.Attempts(); attempt++ {
 		lastErr = attemptBoot(opts.Boot, h.Name, h.Assigned(), attempt, opts.Retry)
 		if lastErr == nil {
 			d.emit(Event{"boot", fmt.Sprintf("%s up (%d VMs, attempt %d)", h.Name, len(h.Assigned()), attempt)})
@@ -217,8 +217,8 @@ func (d *PoolDeployment) bootHost(h *Host, opts PoolOptions) error {
 		}
 		d.emit(Event{"retry", fmt.Sprintf("%s boot attempt %d failed: %v", h.Name, attempt, lastErr)})
 		opts.Obs.Add(CounterBootRetries, 1)
-		if attempt < opts.Retry.attempts() {
-			opts.Retry.sleep(opts.Retry.Delay(h.Name, attempt))
+		if attempt < opts.Retry.Attempts() {
+			opts.Retry.SleepFor(opts.Retry.Delay(h.Name, attempt))
 		}
 	}
 	return lastErr
@@ -240,7 +240,7 @@ func attemptBoot(boot BootFunc, host string, vms []string, attempt int, retry Re
 	select {
 	case err := <-ch:
 		return err
-	case <-retry.after(retry.AttemptTimeout):
+	case <-retry.AfterChan(retry.AttemptTimeout):
 		return fmt.Errorf("deploy: boot of %s attempt %d timed out after %v", host, attempt, retry.AttemptTimeout)
 	}
 }

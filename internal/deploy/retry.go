@@ -1,107 +1,10 @@
 package deploy
 
-import (
-	"fmt"
-	"hash/fnv"
-	"time"
-)
+import "autonetkit/internal/retry"
 
 // RetryPolicy governs per-host boot attempts in a pool deployment:
 // exponential backoff with deterministic jitter and a per-attempt timeout.
-// The zero value selects the defaults.
-type RetryPolicy struct {
-	// MaxAttempts is the number of boot attempts per host before the host
-	// is declared failed (<= 0 selects 3).
-	MaxAttempts int
-	// BaseDelay is the backoff before the second attempt; each further
-	// attempt doubles it (<= 0 selects 50ms).
-	BaseDelay time.Duration
-	// MaxDelay caps the backoff (<= 0 selects 2s).
-	MaxDelay time.Duration
-	// Jitter spreads each delay by up to this fraction of itself (0..1),
-	// derived from a hash of (host, attempt) so runs are reproducible.
-	// Negative disables; zero selects 0.5.
-	Jitter float64
-	// AttemptTimeout bounds one boot attempt; an attempt still running when
-	// it expires counts as a failure (0 disables the bound).
-	AttemptTimeout time.Duration
-	// Sleep is the backoff sleep (test seam; nil selects time.Sleep).
-	Sleep func(time.Duration)
-	// After is the attempt-timeout clock (test seam; nil selects
-	// time.After).
-	After func(time.Duration) <-chan time.Time
-}
-
-func (p RetryPolicy) attempts() int {
-	if p.MaxAttempts <= 0 {
-		return 3
-	}
-	return p.MaxAttempts
-}
-
-func (p RetryPolicy) base() time.Duration {
-	if p.BaseDelay <= 0 {
-		return 50 * time.Millisecond
-	}
-	return p.BaseDelay
-}
-
-func (p RetryPolicy) cap() time.Duration {
-	if p.MaxDelay <= 0 {
-		return 2 * time.Second
-	}
-	return p.MaxDelay
-}
-
-func (p RetryPolicy) jitter() float64 {
-	switch {
-	case p.Jitter < 0:
-		return 0
-	case p.Jitter == 0:
-		return 0.5
-	case p.Jitter > 1:
-		return 1
-	}
-	return p.Jitter
-}
-
-// Delay returns the backoff to sleep after the given failed attempt
-// (1-based) on the given host: base * 2^(attempt-1), capped at MaxDelay,
-// stretched by the deterministic jitter fraction. Spreading retries
-// prevents a pool of simultaneously flaky hosts from thundering back in
-// lockstep, while the hash keeps every run byte-reproducible.
-func (p RetryPolicy) Delay(host string, attempt int) time.Duration {
-	d := p.base()
-	for i := 1; i < attempt; i++ {
-		d *= 2
-		if d >= p.cap() {
-			d = p.cap()
-			break
-		}
-	}
-	if j := p.jitter(); j > 0 {
-		h := fnv.New64a()
-		fmt.Fprintf(h, "%s/%d", host, attempt)
-		frac := float64(h.Sum64()%1000) / 1000.0 // deterministic in [0,1)
-		d += time.Duration(float64(d) * j * frac)
-	}
-	if d > p.cap() {
-		d = p.cap()
-	}
-	return d
-}
-
-func (p RetryPolicy) sleep(d time.Duration) {
-	if p.Sleep != nil {
-		p.Sleep(d)
-		return
-	}
-	time.Sleep(d)
-}
-
-func (p RetryPolicy) after(d time.Duration) <-chan time.Time {
-	if p.After != nil {
-		return p.After(d)
-	}
-	return time.After(d)
-}
+// It is the shared retry.Policy (the cluster scheduler reuses the same
+// policy for live re-placement during drains); the zero value selects the
+// defaults.
+type RetryPolicy = retry.Policy

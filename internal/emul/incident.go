@@ -205,6 +205,90 @@ func (l *Lab) RestoreNode(name string) error {
 	return l.converge()
 }
 
+// FailNodes takes a whole batch of machines down under one lock and ONE
+// re-convergence — the emulation-host-failure primitive: when a substrate
+// host dies, every VM it carried goes dark at once, and converging per VM
+// would cost k convergences for a k-VM host. Machines already down are
+// skipped (their interfaces are gone already). Names are processed in
+// sorted order for deterministic logs.
+func (l *Lab) FailNodes(names []string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.incidentPrecheck(); err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("emul: empty node batch")
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	for _, name := range sorted {
+		if _, err := l.liveVM(name); err != nil {
+			return err
+		}
+	}
+	l.incidentSeq++
+	downed := 0
+	for _, name := range sorted {
+		vm := l.vms[name]
+		var kept []routing.InterfaceConfig
+		removed := 0
+		for _, ic := range vm.Config.Interfaces {
+			if ic.Name == "lo" {
+				kept = append(kept, ic)
+				continue
+			}
+			removed++
+		}
+		if removed == 0 {
+			continue
+		}
+		vm.Config.Interfaces = kept
+		downed++
+		l.logf("INCIDENT #%d: machine %s down (%d interfaces removed)", l.incidentSeq, name, removed)
+	}
+	if downed == 0 {
+		l.incidentSeq-- // nothing was injected; give the id back
+		return fmt.Errorf("emul: all of %v were already down", sorted)
+	}
+	l.logf("INCIDENT #%d: host failure downed %d machines", l.incidentSeq, downed)
+	return l.converge()
+}
+
+// RebootVMs re-installs the full boot-time configuration of a batch of
+// machines under one lock and ONE re-convergence — the re-placement
+// primitive: VMs moved off a drained or failed substrate host boot their
+// original device configs on the new host. Machines whose interfaces are
+// already intact re-install as a no-op (a live migration re-boots the
+// same config). Names are processed in sorted order.
+func (l *Lab) RebootVMs(names []string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.incidentPrecheck(); err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("emul: empty node batch")
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	for _, name := range sorted {
+		if _, err := l.liveVM(name); err != nil {
+			return err
+		}
+	}
+	l.incidentSeq++
+	for _, name := range sorted {
+		vm := l.vms[name]
+		base := l.baseline[name]
+		restored := len(base.Interfaces) - len(vm.Config.Interfaces)
+		vm.Config.Interfaces = append([]routing.InterfaceConfig(nil), base.Interfaces...)
+		l.logf("INCIDENT #%d: machine %s re-booted (%d interfaces re-installed)", l.incidentSeq, name, restored)
+	}
+	l.logf("INCIDENT #%d: re-placement re-booted %d machines", l.incidentSeq, len(sorted))
+	return l.converge()
+}
+
 // Partition isolates a group of machines from the rest of the lab: every
 // interface an inside machine has on a subnet shared with an outside
 // machine is removed (the outside ends stay up), and the lab re-converges.

@@ -63,6 +63,15 @@ const (
 	CounterBGPSpeakersRestored = "bgp_speakers_restored"
 	CounterRoundsSkipped       = "rounds_skipped"
 	CounterFIBNodesReused      = "fib_nodes_reused"
+
+	// Cluster-scheduler counters (internal/sched): cordon/drain lifecycle,
+	// fair-share queueing, and live re-placement. drain_duration accumulates
+	// milliseconds across drains.
+	CounterHostCordoned       = "host_cordoned"
+	CounterVMsReplaced        = "vms_replaced"
+	CounterReservationsQueued = "reservations_queued"
+	CounterDrainDuration      = "drain_duration"
+	CounterHostsUnhealthy     = "hosts_unhealthy"
 )
 
 // Collector accumulates spans and counters for one pipeline run.

@@ -1,0 +1,62 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPolicyDelay(t *testing.T) {
+	exact := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: -1}
+	for attempt, want := range map[int]time.Duration{
+		1: 100 * time.Millisecond,
+		2: 200 * time.Millisecond,
+		3: 400 * time.Millisecond,
+		4: 800 * time.Millisecond,
+		5: time.Second, // capped
+		9: time.Second,
+	} {
+		if got := exact.Delay("h1", attempt); got != want {
+			t.Errorf("attempt %d: delay = %v, want %v", attempt, got, want)
+		}
+	}
+
+	jittered := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	if a, b := jittered.Delay("h1", 1), jittered.Delay("h1", 1); a != b {
+		t.Errorf("jittered delay not deterministic: %v vs %v", a, b)
+	}
+	base := 100 * time.Millisecond
+	if d := jittered.Delay("h1", 1); d < base || d > base+base/2 {
+		t.Errorf("jittered delay %v outside [base, base*1.5]", d)
+	}
+	// The cap holds even after jitter is added.
+	if d := jittered.Delay("h1", 9); d > time.Second {
+		t.Errorf("jittered delay %v exceeds cap", d)
+	}
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	var zero Policy
+	if zero.Attempts() != 3 {
+		t.Errorf("default attempts = %d", zero.Attempts())
+	}
+	if d := zero.Delay("h", 1); d < 50*time.Millisecond || d > 75*time.Millisecond {
+		t.Errorf("default first delay = %v", d)
+	}
+	if got := (Policy{MaxAttempts: 7}).Attempts(); got != 7 {
+		t.Errorf("attempts = %d", got)
+	}
+}
+
+func TestPolicySeams(t *testing.T) {
+	var slept time.Duration
+	p := Policy{Sleep: func(d time.Duration) { slept = d }}
+	p.SleepFor(42 * time.Millisecond)
+	if slept != 42*time.Millisecond {
+		t.Errorf("sleep seam got %v", slept)
+	}
+	ch := make(chan time.Time, 1)
+	p.After = func(time.Duration) <-chan time.Time { return ch }
+	if p.AfterChan(time.Hour) != (<-chan time.Time)(ch) {
+		t.Error("after seam not used")
+	}
+}

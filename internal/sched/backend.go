@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+)
+
+// HostInfo describes one substrate host: a name and how many VMs it can
+// hold (the paper's §3.2 observation — emulation scale is bounded by host
+// memory).
+type HostInfo struct {
+	Name     string
+	Capacity int
+}
+
+// Backend abstracts the substrate a Cluster schedules onto. The shipped
+// implementation is the in-process emulation backend (StaticBackend);
+// real substrates (netkit host fleets, StarBed) implement the same three
+// calls.
+//
+// All methods may be called concurrently.
+type Backend interface {
+	// Discover enumerates the substrate's hosts. Called once, at New.
+	Discover() ([]HostInfo, error)
+	// Probe checks one host's health; nil means healthy. The cluster's
+	// health policy turns consecutive failures into an unhealthy mark.
+	Probe(host string) error
+	// Migrate carries out one VM's live re-placement from one host to
+	// another (attempt is 1-based). An error makes the cluster retry
+	// under its bounded retry policy. For an abrupt host failure the
+	// from host is already dead; Migrate then models the re-launch on
+	// the target.
+	Migrate(vm, from, to string, attempt int) error
+}
+
+// StaticBackend is the in-process emulation backend: a fixed host list
+// with injectable probe and migration faults, so tests and chaos drills
+// can model flaky hardware.
+type StaticBackend struct {
+	hosts []HostInfo
+
+	mu      sync.Mutex
+	probe   func(host string) error
+	migrate func(vm, from, to string, attempt int) error
+}
+
+// NewStaticBackend builds a backend over an explicit host list.
+func NewStaticBackend(hosts ...HostInfo) *StaticBackend {
+	return &StaticBackend{hosts: hosts}
+}
+
+// Uniform builds a backend of n identical hosts named h01..hNN with the
+// given per-host VM capacity.
+func Uniform(n, capacity int) *StaticBackend {
+	width := len(fmt.Sprint(n))
+	if width < 2 {
+		width = 2
+	}
+	hosts := make([]HostInfo, 0, n)
+	for i := 1; i <= n; i++ {
+		hosts = append(hosts, HostInfo{Name: fmt.Sprintf("h%0*d", width, i), Capacity: capacity})
+	}
+	return NewStaticBackend(hosts...)
+}
+
+// Discover returns the configured host list.
+func (b *StaticBackend) Discover() ([]HostInfo, error) {
+	out := make([]HostInfo, len(b.hosts))
+	copy(out, b.hosts)
+	return out, nil
+}
+
+// SetProbeFunc installs a health-probe fault injector (nil restores the
+// always-healthy default). Safe to call while the cluster is probing.
+func (b *StaticBackend) SetProbeFunc(fn func(host string) error) {
+	b.mu.Lock()
+	b.probe = fn
+	b.mu.Unlock()
+}
+
+// SetMigrateFunc installs a migration fault injector (nil restores the
+// always-succeeds default). Safe to call while the cluster is draining.
+func (b *StaticBackend) SetMigrateFunc(fn func(vm, from, to string, attempt int) error) {
+	b.mu.Lock()
+	b.migrate = fn
+	b.mu.Unlock()
+}
+
+// Probe runs the injected probe, or reports healthy.
+func (b *StaticBackend) Probe(host string) error {
+	b.mu.Lock()
+	fn := b.probe
+	b.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(host)
+}
+
+// Migrate runs the injected migration hook, or succeeds immediately.
+func (b *StaticBackend) Migrate(vm, from, to string, attempt int) error {
+	b.mu.Lock()
+	fn := b.migrate
+	b.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(vm, from, to, attempt)
+}

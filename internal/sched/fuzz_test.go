@@ -1,0 +1,55 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec asserts the reservation-spec parser never panics, never
+// over-allocates, and that every accepted spec round-trips through its
+// canonical form.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"web vms=12",
+		"web vms=a,b,c tenant=alice policy=spread spread=1 weight=3",
+		"bgp-lab vms=200 policy=spread",
+		"x vms=1048576",
+		"x vms=0",
+		"x vms=a,,b",
+		"x vms=3 vms=4",
+		"x vms=3 policy=chaotic",
+		"= vms=3",
+		"x\tvms=2\tweight=9",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		sp, err := ParseSpec(line)
+		if err != nil {
+			return
+		}
+		// Accepted specs are valid and canonical: String() re-parses to
+		// the same canonical form.
+		if verr := sp.Validate(); verr != nil {
+			t.Fatalf("ParseSpec accepted %q but Validate rejects: %v", line, verr)
+		}
+		canon := sp.String()
+		again, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not re-parse: %v", canon, line, err)
+		}
+		if again.String() != canon {
+			t.Fatalf("canonical form unstable: %q -> %q", canon, again.String())
+		}
+		// Generated VM counts stay bounded.
+		if sp.Count > maxSpecVMs || len(sp.VMs) > maxSpecVMs {
+			t.Fatalf("spec %q exceeds VM bound", line)
+		}
+		// No whitespace smuggling into names.
+		for _, vm := range sp.VMs {
+			if strings.ContainsAny(vm, " \t\n") {
+				t.Fatalf("VM name %q contains whitespace", vm)
+			}
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"autonetkit/internal/topogen"
+)
+
+// nrenVMNames returns the 1158 router names of the paper's §3.2
+// European-interconnect model, sharded into n reservations.
+func nrenVMNames(t testing.TB, shards int) [][]string {
+	t.Helper()
+	g, err := topogen.NREN(topogen.DefaultNREN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := g.SortedNodeIDs()
+	out := make([][]string, shards)
+	for i, id := range ids {
+		out[i%shards] = append(out[i%shards], string(id))
+	}
+	return out
+}
+
+// TestScaleNRENDrainUnderLoad is the acceptance drill: the 42-AS /
+// 1158-router model sharded into 8 reservations across 36 emulated hosts;
+// drain and fail hosts under load; zero lost or duplicated VMs and an
+// identical final placement across repeated runs with the same seed.
+func TestScaleNRENDrainUnderLoad(t *testing.T) {
+	shards := nrenVMNames(t, 8)
+	run := func(seed uint64) Status {
+		c := newTestCluster(t, Uniform(36, 40), Options{Seed: seed})
+		for i, vms := range shards {
+			sp := Spec{
+				Name:   fmt.Sprintf("as-shard-%d", i),
+				Tenant: fmt.Sprintf("team%d", i%3),
+				VMs:    vms,
+			}
+			if i%2 == 1 {
+				sp.Policy = PolicySpread
+			}
+			if _, err := c.Reserve(sp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Drain three hosts and hard-fail one while fully loaded
+		// (1158 VMs in 1440 slots; 4 hosts out leaves 1280 slots).
+		for _, h := range []string{"h05", "h17", "h29"} {
+			if _, err := c.Drain(h); err != nil {
+				t.Fatalf("drain %s: %v", h, err)
+			}
+			checkInvariant(t, c)
+		}
+		if _, err := c.FailHost("h11"); err != nil && !errors.Is(err, ErrDegraded) {
+			t.Fatalf("fail h11: %v", err)
+		}
+		checkInvariant(t, c)
+
+		st := c.Status()
+		placed := 0
+		for _, r := range st.Reservations {
+			if r.State != ResActive {
+				t.Fatalf("reservation %s = %s after drains, want active", r.Name, r.State)
+			}
+			placed += len(r.Placement)
+		}
+		if placed != 1158 {
+			t.Fatalf("placed %d VMs, want 1158", placed)
+		}
+		return st
+	}
+	st1 := run(2013)
+	st2 := run(2013)
+	if !reflect.DeepEqual(st1, st2) {
+		t.Fatal("same seed produced different final placements at NREN scale")
+	}
+	if reflect.DeepEqual(st1.Hosts, run(2014).Hosts) {
+		t.Fatal("different seeds produced identical placements; tie-break not seed-keyed")
+	}
+}
+
+// TestScaleConcurrentReservations places the 8 NREN shards from 8
+// goroutines while hosts drain concurrently: the multiset invariant must
+// hold regardless of interleaving (determinism is only promised for
+// sequential runs).
+func TestScaleConcurrentReservations(t *testing.T) {
+	shards := nrenVMNames(t, 8)
+	c := newTestCluster(t, Uniform(36, 40), Options{Seed: 7})
+	var wg sync.WaitGroup
+	for i, vms := range shards {
+		i, vms := i, vms
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Reserve(Spec{Name: fmt.Sprintf("as-shard-%d", i), VMs: vms}); err != nil {
+				t.Errorf("shard %d: %v", i, err)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, h := range []string{"h02", "h20", "h33"} {
+			if _, err := c.Drain(h); err != nil && !errors.Is(err, ErrDegraded) {
+				t.Errorf("drain %s: %v", h, err)
+			}
+		}
+	}()
+	wg.Wait()
+	checkInvariant(t, c)
+	st := c.Status()
+	total := 0
+	for _, r := range st.Reservations {
+		total += len(r.Placement) + len(r.Stranded)
+		if r.State == ResQueued {
+			total += r.VMs
+		}
+	}
+	if total != 1158 {
+		t.Fatalf("VM multiset total %d, want 1158", total)
+	}
+}

@@ -1,0 +1,223 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Policy selects how a reservation's VMs are spread across hosts.
+type Policy string
+
+// Placement policies.
+const (
+	// PolicyPack fills the fullest schedulable hosts first (best-fit for
+	// unit-sized VMs), minimising the number of hosts a reservation
+	// touches and keeping large contiguous free blocks available.
+	PolicyPack Policy = "pack"
+	// PolicySpread balances the reservation across hosts, always placing
+	// the next VM on the schedulable host with the most free capacity —
+	// the anti-affinity-flavoured policy: losing one host loses the
+	// fewest VMs of this reservation.
+	PolicySpread Policy = "spread"
+)
+
+// Spec is a named capacity request against the cluster.
+type Spec struct {
+	// Name identifies the reservation; unique within the cluster.
+	Name string
+	// Tenant owns the reservation for fair-share accounting ("default"
+	// when empty).
+	Tenant string
+	// VMs are explicit VM names to place. Mutually exclusive with Count.
+	VMs []string
+	// Count generates Count VM names ("<name>-vm001", ...) when VMs is
+	// empty.
+	Count int
+	// Policy is the placement policy (PolicyPack when empty).
+	Policy Policy
+	// Spread caps how many of this reservation's VMs may share one host
+	// (0 = unbounded; 1 = full per-host anti-affinity).
+	Spread int
+	// Weight, when > 0, sets the owning tenant's fair-share weight.
+	Weight int
+}
+
+// maxSpecVMs bounds generated VM counts so a fuzzed or typo'd spec cannot
+// allocate unbounded memory.
+const maxSpecVMs = 1 << 20
+
+// ParseSpec parses the one-line reservation spec format:
+//
+//	<name> vms=<count | vm1,vm2,...> [tenant=<t>] [policy=pack|spread]
+//	       [spread=<max-per-host>] [weight=<w>]
+//
+// The first token is the reservation name; every further token is a
+// key=value pair in any order. ParseSpec and Spec.String round-trip: a
+// parsed spec renders back to its canonical form.
+func ParseSpec(line string) (Spec, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return Spec{}, fmt.Errorf("sched: empty reservation spec")
+	}
+	sp := Spec{Name: fields[0]}
+	if strings.Contains(sp.Name, "=") {
+		return Spec{}, fmt.Errorf("sched: spec must start with a reservation name, got %q", sp.Name)
+	}
+	seen := map[string]bool{}
+	sawVMs := false
+	for _, tok := range fields[1:] {
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok || val == "" {
+			return Spec{}, fmt.Errorf("sched: spec token %q is not key=value", tok)
+		}
+		if seen[key] {
+			return Spec{}, fmt.Errorf("sched: duplicate spec key %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "vms":
+			sawVMs = true
+			if n, err := strconv.Atoi(val); err == nil {
+				if n < 1 || n > maxSpecVMs {
+					return Spec{}, fmt.Errorf("sched: vms count %d out of range [1, %d]", n, maxSpecVMs)
+				}
+				sp.Count = n
+				continue
+			}
+			names := strings.Split(val, ",")
+			dup := map[string]bool{}
+			for _, name := range names {
+				if name == "" {
+					return Spec{}, fmt.Errorf("sched: empty VM name in %q", val)
+				}
+				if dup[name] {
+					return Spec{}, fmt.Errorf("sched: duplicate VM name %q", name)
+				}
+				dup[name] = true
+			}
+			sp.VMs = names
+		case "tenant":
+			sp.Tenant = val
+		case "policy":
+			switch Policy(val) {
+			case PolicyPack, PolicySpread:
+				sp.Policy = Policy(val)
+			default:
+				return Spec{}, fmt.Errorf("sched: unknown policy %q (want pack or spread)", val)
+			}
+		case "spread":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return Spec{}, fmt.Errorf("sched: bad spread %q (want a positive integer)", val)
+			}
+			sp.Spread = n
+		case "weight":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return Spec{}, fmt.Errorf("sched: bad weight %q (want a positive integer)", val)
+			}
+			sp.Weight = n
+		default:
+			return Spec{}, fmt.Errorf("sched: unknown spec key %q", key)
+		}
+	}
+	if !sawVMs {
+		return Spec{}, fmt.Errorf("sched: spec %q needs vms=<count|names>", sp.Name)
+	}
+	return sp, sp.Validate()
+}
+
+// Validate checks a spec built in code (ParseSpec validates on the way in).
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("sched: reservation needs a name")
+	}
+	if len(s.VMs) == 0 && s.Count <= 0 {
+		return fmt.Errorf("sched: reservation %s requests no VMs", s.Name)
+	}
+	if len(s.VMs) > 0 && s.Count > 0 {
+		return fmt.Errorf("sched: reservation %s sets both explicit VMs and a count", s.Name)
+	}
+	if s.Count > maxSpecVMs {
+		return fmt.Errorf("sched: reservation %s count %d exceeds %d", s.Name, s.Count, maxSpecVMs)
+	}
+	seen := map[string]bool{}
+	for _, vm := range s.VMs {
+		if vm == "" {
+			return fmt.Errorf("sched: reservation %s has an empty VM name", s.Name)
+		}
+		if seen[vm] {
+			return fmt.Errorf("sched: reservation %s lists VM %s twice", s.Name, vm)
+		}
+		seen[vm] = true
+	}
+	if s.Spread < 0 {
+		return fmt.Errorf("sched: reservation %s has negative spread", s.Name)
+	}
+	if s.Weight < 0 {
+		return fmt.Errorf("sched: reservation %s has negative weight", s.Name)
+	}
+	return nil
+}
+
+// String renders the spec in its canonical parseable form.
+func (s Spec) String() string {
+	var sb strings.Builder
+	sb.WriteString(s.Name)
+	if len(s.VMs) > 0 {
+		sb.WriteString(" vms=" + strings.Join(s.VMs, ","))
+	} else {
+		fmt.Fprintf(&sb, " vms=%d", s.Count)
+	}
+	if s.Tenant != "" {
+		sb.WriteString(" tenant=" + s.Tenant)
+	}
+	if s.Policy != "" && s.Policy != PolicyPack {
+		sb.WriteString(" policy=" + string(s.Policy))
+	}
+	if s.Spread > 0 {
+		fmt.Fprintf(&sb, " spread=%d", s.Spread)
+	}
+	if s.Weight > 0 {
+		fmt.Fprintf(&sb, " weight=%d", s.Weight)
+	}
+	return sb.String()
+}
+
+// tenant returns the effective tenant name.
+func (s Spec) tenant() string {
+	if s.Tenant == "" {
+		return "default"
+	}
+	return s.Tenant
+}
+
+// policy returns the effective placement policy.
+func (s Spec) policy() Policy {
+	if s.Policy == "" {
+		return PolicyPack
+	}
+	return s.Policy
+}
+
+// vmNames returns the reservation's VM names, sorted: the explicit list,
+// or Count generated names.
+func (s Spec) vmNames() []string {
+	if len(s.VMs) > 0 {
+		out := make([]string, len(s.VMs))
+		copy(out, s.VMs)
+		sort.Strings(out)
+		return out
+	}
+	width := len(strconv.Itoa(s.Count))
+	if width < 3 {
+		width = 3
+	}
+	out := make([]string, 0, s.Count)
+	for i := 1; i <= s.Count; i++ {
+		out = append(out, fmt.Sprintf("%s-vm%0*d", s.Name, width, i))
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"web vms=12",
+		"web vms=12 tenant=alice",
+		"web vms=a,b,c tenant=alice policy=spread spread=1 weight=3",
+		"bgp-lab vms=200 policy=spread",
+		"x vms=r1,r2",
+	}
+	for _, in := range cases {
+		sp, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		if got := sp.String(); got != in {
+			t.Errorf("round-trip %q -> %q", in, got)
+		}
+		again, err := ParseSpec(sp.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", sp.String(), err)
+		}
+		if again.String() != sp.String() {
+			t.Errorf("canonical form unstable: %q vs %q", again.String(), sp.String())
+		}
+	}
+}
+
+func TestParseSpecDefaultsElided(t *testing.T) {
+	sp, err := ParseSpec("web vms=3 policy=pack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.String(); got != "web vms=3" {
+		t.Errorf("pack policy should elide from canonical form, got %q", got)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"", "empty"},
+		{"vms=3", "must start with a reservation name"},
+		{"web", "needs vms="},
+		{"web vms=0", "out of range"},
+		{"web vms=-2", "out of range"},
+		{"web vms=9999999999", "out of range"},
+		{"web vms=a,,b", "empty VM name"},
+		{"web vms=a,a", "duplicate VM name"},
+		{"web vms=3 vms=4", "duplicate spec key"},
+		{"web vms=3 policy=chaotic", "unknown policy"},
+		{"web vms=3 spread=0", "bad spread"},
+		{"web vms=3 spread=x", "bad spread"},
+		{"web vms=3 weight=0", "bad weight"},
+		{"web vms=3 color=red", "unknown spec key"},
+		{"web vms=3 tenant=", "not key=value"},
+		{"web notakv", "not key=value"},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(c.in)
+		if err == nil {
+			t.Errorf("ParseSpec(%q): want error containing %q, got nil", c.in, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseSpec(%q): error %q does not mention %q", c.in, err, c.want)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{},
+		{Name: "x"},
+		{Name: "x", Count: 2, VMs: []string{"a"}},
+		{Name: "x", Count: maxSpecVMs + 1},
+		{Name: "x", VMs: []string{"a", "a"}},
+		{Name: "x", VMs: []string{""}},
+		{Name: "x", Count: 1, Spread: -1},
+		{Name: "x", Count: 1, Weight: -1},
+	}
+	for i, sp := range bad {
+		if err := sp.Validate(); err == nil {
+			t.Errorf("case %d: Validate(%+v) = nil, want error", i, sp)
+		}
+	}
+	if err := (Spec{Name: "x", Count: 1}).Validate(); err != nil {
+		t.Errorf("minimal valid spec rejected: %v", err)
+	}
+}
+
+func TestSpecVMNames(t *testing.T) {
+	sp := Spec{Name: "web", Count: 3}
+	got := sp.vmNames()
+	want := []string{"web-vm001", "web-vm002", "web-vm003"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("vmNames = %v, want %v", got, want)
+		}
+	}
+	// Explicit names come back sorted regardless of input order.
+	sp = Spec{Name: "web", VMs: []string{"c", "a", "b"}}
+	got = sp.vmNames()
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("explicit vmNames not sorted: %v", got)
+	}
+	// Wide counts widen the suffix.
+	sp = Spec{Name: "w", Count: 1200}
+	if names := sp.vmNames(); names[0] != "w-vm0001" || names[1199] != "w-vm1200" {
+		t.Fatalf("wide vmNames wrong: %s .. %s", names[0], names[1199])
+	}
+}

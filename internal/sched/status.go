@@ -1,0 +1,146 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CapacityReport is the cluster's capacity ledger at one instant — the
+// structured half of a graceful-degradation error, and the footer of
+// Status output.
+type CapacityReport struct {
+	Hosts         int `json:"hosts"`
+	Schedulable   int `json:"schedulable"`
+	Cordoned      int `json:"cordoned"`
+	Unhealthy     int `json:"unhealthy"`
+	Failed        int `json:"failed"`
+	TotalSlots    int `json:"total_slots"` // across schedulable hosts
+	UsedSlots     int `json:"used_slots"`  // across schedulable hosts
+	FreeSlots     int `json:"free_slots"`
+	QueuedVMs     int `json:"queued_vms"`
+	StrandedVMs   int `json:"stranded_vms"`
+	WantedVMs     int `json:"wanted_vms,omitempty"` // unplaceable demand that triggered this report
+}
+
+// Summary renders the report as one line.
+func (r CapacityReport) Summary() string {
+	return fmt.Sprintf("%d/%d schedulable hosts, %d/%d slots used, %d free, %d queued, %d stranded",
+		r.Schedulable, r.Hosts, r.UsedSlots, r.TotalSlots, r.FreeSlots, r.QueuedVMs, r.StrandedVMs)
+}
+
+// capacityLocked computes the current capacity ledger (lock held).
+func (c *Cluster) capacityLocked(wanted int) CapacityReport {
+	rep := CapacityReport{Hosts: len(c.hosts), WantedVMs: wanted}
+	for _, name := range c.hostNames {
+		h := c.hosts[name]
+		switch {
+		case h.health == Failed:
+			rep.Failed++
+		case h.health == Unhealthy:
+			rep.Unhealthy++
+		case h.cordoned:
+			rep.Cordoned++
+		default:
+			rep.Schedulable++
+			rep.TotalSlots += h.info.Capacity
+			rep.UsedSlots += len(h.vms)
+		}
+	}
+	rep.FreeSlots = rep.TotalSlots - rep.UsedSlots
+	for _, r := range c.res {
+		if r.state == ResQueued {
+			rep.QueuedVMs += len(r.vms)
+		}
+		rep.StrandedVMs += len(r.stranded)
+	}
+	return rep
+}
+
+// Capacity returns the current capacity ledger.
+func (c *Cluster) Capacity() CapacityReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capacityLocked(0)
+}
+
+// HostStatus is one host's public snapshot.
+type HostStatus struct {
+	Name     string   `json:"name"`
+	State    string   `json:"state"` // healthy, cordoned, unhealthy, failed
+	Capacity int      `json:"capacity"`
+	Used     int      `json:"used"`
+	VMs      []string `json:"vms,omitempty"`
+}
+
+// Status is the whole cluster's snapshot, rendered deterministically:
+// hosts in name order, reservations in arrival order.
+type Status struct {
+	Seed         uint64              `json:"seed"`
+	Hosts        []HostStatus        `json:"hosts"`
+	Reservations []ReservationStatus `json:"reservations"`
+	Capacity     CapacityReport      `json:"capacity"`
+}
+
+// Status captures the cluster's current state.
+func (c *Cluster) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{Seed: c.opts.Seed, Capacity: c.capacityLocked(0)}
+	for _, name := range c.hostNames {
+		h := c.hosts[name]
+		hs := HostStatus{Name: name, State: h.stateLabel(), Capacity: h.info.Capacity, Used: len(h.vms)}
+		for vm := range h.vms {
+			hs.VMs = append(hs.VMs, vm)
+		}
+		sort.Strings(hs.VMs)
+		st.Hosts = append(st.Hosts, hs)
+	}
+	for _, r := range c.resByArrival() {
+		st.Reservations = append(st.Reservations, c.statusOf(r))
+	}
+	return st
+}
+
+// JSON renders the status as indented JSON.
+func (s Status) JSON() string {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Sprintf(`{"error":%q}`, err.Error())
+	}
+	return string(b) + "\n"
+}
+
+// Table renders the status as aligned text tables — the human half of the
+// anksched status command. Byte-deterministic for a given cluster state.
+func (s Status) Table() string {
+	var sb strings.Builder
+	sb.WriteString("HOST        STATE      USED  CAP  VMS\n")
+	for _, h := range s.Hosts {
+		vms := summarizeVMs(h.VMs, 4)
+		fmt.Fprintf(&sb, "%-11s %-10s %4d %4d  %s\n", h.Name, h.State, h.Used, h.Capacity, vms)
+	}
+	sb.WriteString("\nRESERVATION      TENANT    STATE     WEIGHT  VMS  HOSTS\n")
+	for _, r := range s.Reservations {
+		hosts := summarizeVMs(r.Hosts, 4)
+		state := string(r.State)
+		if len(r.Stranded) > 0 {
+			state = fmt.Sprintf("%s(%d)", r.State, len(r.Stranded))
+		}
+		fmt.Fprintf(&sb, "%-16s %-9s %-11s %4d %4d  %s\n", r.Name, r.Tenant, state, r.Weight, r.VMs, hosts)
+	}
+	fmt.Fprintf(&sb, "\ncapacity: %s\n", s.Capacity.Summary())
+	return sb.String()
+}
+
+// summarizeVMs joins up to max names, eliding the rest as "+N".
+func summarizeVMs(names []string, max int) string {
+	if len(names) == 0 {
+		return "-"
+	}
+	if len(names) <= max {
+		return strings.Join(names, ",")
+	}
+	return strings.Join(names[:max], ",") + fmt.Sprintf(",+%d", len(names)-max)
+}

@@ -23,6 +23,14 @@ go run ./cmd/ankchaos -in testdata/small_internet.graphml \
 diff -u testdata/chaos/link_outage.report /tmp/ci_chaos_report.$$
 rm -f /tmp/ci_chaos_report.$$
 
+echo "== golden scheduler drill (testdata/sched/drill)"
+go run ./cmd/anksched -script testdata/sched/drill.sched -seed 2013 > /tmp/ci_sched_report.$$
+diff -u testdata/sched/drill.report /tmp/ci_sched_report.$$
+rm -f /tmp/ci_sched_report.$$
+
+echo "== golden scheduler drain drill (testdata/sched/drain_drill; Workers=1 vs Workers=8 determinism)"
+go test -race -run 'TestGoldenSchedDrainDrill' -count=1 .
+
 echo "== golden partial-boot drill (testdata/quarantine)"
 go test -race -run 'TestGoldenQuarantineDrill' -count=1 .
 
@@ -54,6 +62,9 @@ go test -run 'NONE' -bench 'BenchmarkP4_IncrementalRebuild' -benchtime 3x .
 echo "== incremental convergence benchmark (full vs incremental reconvergence)"
 go test -run 'NONE' -bench 'BenchmarkP6_IncrementalConvergence' -benchtime 1x .
 
+echo "== scheduler placement + drain benchmark (42-AS / 1158-router scale)"
+go test -run 'NONE' -bench 'BenchmarkP7_SchedulerDrain' -benchtime 1x .
+
 echo "== fuzz (parsers, 5s each)"
 for target in FuzzParseQuagga FuzzParseIOS FuzzParseJunos FuzzParseCBGP; do
   go test -run=NONE -fuzz="^${target}\$" -fuzztime=5s ./internal/emul/
@@ -61,6 +72,7 @@ done
 for target in FuzzParseScenario FuzzParsePerturb; do
   go test -run=NONE -fuzz="^${target}\$" -fuzztime=5s ./internal/chaos/
 done
+go test -run=NONE -fuzz='^FuzzParseSpec$' -fuzztime=5s ./internal/sched/
 go test -run=NONE -fuzz='^FuzzTextFSM$' -fuzztime=5s ./internal/measure/textfsm/
 
 echo "CI OK"
