@@ -19,6 +19,7 @@ package autonetkit
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/netip"
@@ -36,6 +37,7 @@ import (
 	"autonetkit/internal/emul"
 	"autonetkit/internal/graph"
 	"autonetkit/internal/ipalloc"
+	"autonetkit/internal/journal"
 	"autonetkit/internal/measure"
 	"autonetkit/internal/netaddr"
 	"autonetkit/internal/render"
@@ -1128,4 +1130,116 @@ func BenchmarkP7_SchedulerDrain(b *testing.B) {
 		}
 		b.ReportMetric(float64(replaced)/b.Elapsed().Seconds(), "vms/s")
 	})
+}
+
+// BenchmarkP8_JournalAppend pins the write-ahead journal's append
+// throughput at the record size the durable scheduler actually produces
+// (a JSON reserve record for a 32-VM spec, ~1.5 KiB), under both fsync
+// policies. SyncAlways is the deployed default — every scheduler mutation
+// pays one fsync — so its records/s bounds sustained mutation rate.
+func BenchmarkP8_JournalAppend(b *testing.B) {
+	vms := make([]string, 32)
+	for i := range vms {
+		vms[i] = fmt.Sprintf("as-shard-0-vm%03d", i+1)
+	}
+	rec, err := json.Marshal(map[string]any{
+		"kind": "reserve",
+		"spec": map[string]any{"name": "as-shard-0", "tenant": "team0", "vms": vms},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		sync journal.SyncPolicy
+	}{
+		{"sync-always", journal.SyncAlways},
+		{"sync-never", journal.SyncNever},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			log, _, err := journal.Open(b.TempDir(), journal.Options{Sync: tc.sync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer log.Close()
+			b.SetBytes(int64(len(rec)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := log.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
+// BenchmarkP8_SchedulerRecovery pins crash-recovery time at the paper's
+// scale ceiling: the 1158-router NREN model sharded into 8 reservations
+// on 36 hosts, mutated through three drains and a host failure, then
+// recovered from its journal. Each iteration replays the full snapshot +
+// wal tail into a fresh cluster — the cost of the §3.3 manager process
+// coming back from a crash with the whole testbed reserved.
+func BenchmarkP8_SchedulerRecovery(b *testing.B) {
+	g, err := topogen.NREN(topogen.DefaultNREN())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := g.SortedNodeIDs()
+	const nShards = 8
+	shards := make([][]string, nShards)
+	for i, id := range ids {
+		shards[i%nShards] = append(shards[i%nShards], string(id))
+	}
+	dir := b.TempDir()
+	opts := sched.Options{Seed: 2013, SnapshotEvery: 6}
+	c, _, err := sched.Open(dir, sched.Uniform(36, 40), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, vms := range shards {
+		sp := sched.Spec{
+			Name:   fmt.Sprintf("as-shard-%d", i),
+			Tenant: fmt.Sprintf("team%d", i%3),
+			VMs:    vms,
+		}
+		if i%2 == 1 {
+			sp.Policy = sched.PolicySpread
+		}
+		if _, err := c.Reserve(sp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, h := range []string{"h05", "h17", "h29"} {
+		if _, err := c.Drain(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := c.FailHost("h11"); err != nil && !errors.Is(err, sched.ErrDegraded) {
+		b.Fatal(err)
+	}
+	want := c.Status().JSON()
+	if err := c.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rc, info, err := sched.Open(dir, sched.Uniform(36, 40), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !info.Recovered {
+			b.Fatal("nothing recovered")
+		}
+		b.StopTimer()
+		if got := rc.Status().JSON(); got != want {
+			b.Fatal("recovered state diverged from pre-crash state")
+		}
+		rc.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(len(ids))*float64(b.N)/b.Elapsed().Seconds(), "vms/s")
 }

@@ -6,6 +6,14 @@
 //	anksched -hosts 4 -cap 8 -script drill.sched
 //	anksched -script drill.sched -seed 7 -json
 //	anksched -hosts 32 -cap 40 -eval "reserve web vms=12 policy=spread"
+//	anksched -hosts 4 -cap 8 -state-dir /var/lib/ank -script drill.sched
+//
+// With -state-dir the scheduler is durable: every mutation is journaled
+// (write-ahead log + snapshot compaction, see internal/journal) and a
+// later run against the same directory recovers the exact pre-crash state
+// before executing its script — recovery details go to stderr, keeping
+// stdout byte-deterministic for goldens. The directory's journal must
+// match the run's -seed and host set.
 //
 // The script grammar, one command per line (# starts a comment):
 //
@@ -51,6 +59,8 @@ func main() {
 	script := flag.String("script", "", "drill script file (- for stdin)")
 	eval := flag.String("eval", "", "run a single command instead of a script")
 	jsonOut := flag.Bool("json", false, "print status snapshots as JSON instead of tables")
+	stateDir := flag.String("state-dir", "", "durable state directory: journal every mutation and recover prior state on start")
+	snapEvery := flag.Int("snapshot-every", 0, "compact the journal after this many records (0 = default)")
 	flag.Parse()
 
 	var lines []string
@@ -75,8 +85,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	d := &drill{jsonOut: *jsonOut, source: source}
-	if err := d.run(lines, *hosts, *capacity, *seed); err != nil {
+	d := &drill{jsonOut: *jsonOut, source: source, stateDir: *stateDir, snapEvery: *snapEvery}
+	err := d.run(lines, *hosts, *capacity, *seed)
+	if d.cluster != nil {
+		if cerr := d.cluster.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("closing journal: %w", cerr)
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "anksched: %v\n", err)
 		os.Exit(1)
 	}
@@ -86,9 +102,11 @@ func main() {
 }
 
 type drill struct {
-	cluster *sched.Cluster
-	jsonOut bool
-	source  string
+	cluster   *sched.Cluster
+	jsonOut   bool
+	source    string
+	stateDir  string
+	snapEvery int
 }
 
 // degraded reports whether the final cluster state still carries queued or
@@ -137,7 +155,19 @@ func (d *drill) run(lines []string, hosts, capacity int, seed uint64) error {
 	default:
 		return errors.New("no hosts: pass -hosts N or start the script with host lines")
 	}
-	cluster, err := sched.New(backend, sched.Options{Seed: seed})
+	opts := sched.Options{Seed: seed, SnapshotEvery: d.snapEvery}
+	var cluster *sched.Cluster
+	var err error
+	if d.stateDir != "" {
+		var info sched.RecoveryInfo
+		cluster, info, err = sched.Open(d.stateDir, backend, opts)
+		if err == nil {
+			// stderr, so recovery does not perturb golden stdout.
+			fmt.Fprintf(os.Stderr, "anksched: %s\n", info)
+		}
+	} else {
+		cluster, err = sched.New(backend, opts)
+	}
 	if err != nil {
 		return err
 	}

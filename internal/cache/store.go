@@ -174,21 +174,34 @@ func (s *Store) writeDisk(key Digest, data []byte) {
 	buf = append(buf, diskMagic[:]...)
 	buf = append(buf, sum[:]...)
 	buf = append(buf, data...)
-	// Write-to-temp then rename, so readers never observe a torn entry.
+	// Write-to-temp, fsync, then rename, so readers never observe a torn
+	// entry AND a crash just after the rename cannot leave an empty or
+	// partial file under the final name (rename durability needs the data
+	// on disk first, and the directory entry flushed after).
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
 		s.stats.DiskErrors++
 		return
 	}
 	_, werr := tmp.Write(buf)
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		os.Remove(tmp.Name())
 		s.stats.DiskErrors++
 		return
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
+		s.stats.DiskErrors++
+		return
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		if err := dir.Sync(); err != nil {
+			s.stats.DiskErrors++
+		}
+		dir.Close()
+	} else {
 		s.stats.DiskErrors++
 	}
 }

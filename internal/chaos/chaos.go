@@ -49,6 +49,16 @@ type HostController interface {
 	FailHost(host string) (moved, stranded []string, err error)
 }
 
+// SchedCrasher is the optional HostController extension backing crash-sched
+// steps: kill the durable scheduler's journal mid-flight, recover a fresh
+// scheduler from the state directory, and return a deterministic summary
+// (a *deploy.ClusterDeployment with a StateDir satisfies it). Controllers
+// without durable state simply don't implement it and crash-sched steps
+// record a step failure finding.
+type SchedCrasher interface {
+	CrashSched() (summary string, err error)
+}
+
 // Engine executes scenarios against one booted lab.
 type Engine struct {
 	lab    *emul.Lab
@@ -215,6 +225,10 @@ func (e *Engine) runStep(idx int, st Step, base measure.Reachability) (StepResul
 		err := e.runHostOp(&res, budget, addFinding)
 		return res, err
 	}
+	if st.Op == OpCrashSched {
+		e.runCrashSched(&res, addFinding)
+		return res, nil
+	}
 	times := 1
 	if st.Op == OpFlap {
 		times = st.Times
@@ -286,6 +300,25 @@ func (e *Engine) runHostOp(res *StepResult, budget routing.ConvergenceBudget, ad
 	}
 	res.Verdict = fmt.Sprintf("%d VMs moved, %d stranded; %s", len(moved), len(stranded), res.Verdict)
 	return nil
+}
+
+// runCrashSched kills and recovers the durable scheduler. No convergence
+// settling: the control plane of the *substrate* restarts, the emulated
+// network never notices — which is exactly the property the step asserts.
+func (e *Engine) runCrashSched(res *StepResult, addFinding func(string, verify.Severity, string, ...any)) {
+	crasher, ok := e.opts.Hosts.(SchedCrasher)
+	if !ok {
+		addFinding("chaos-step", verify.Error, "no durable scheduler attached for crash-sched")
+		res.Verdict = "FAILED: no durable scheduler"
+		return
+	}
+	summary, err := crasher.CrashSched()
+	if err != nil {
+		addFinding("chaos-step", verify.Error, "scheduler recovery failed: %v", err)
+		res.Verdict = fmt.Sprintf("FAILED: %v", err)
+		return
+	}
+	res.Verdict = summary
 }
 
 // runPerturb installs (or clears) a perturbation rule, re-converges the

@@ -143,3 +143,84 @@ func TestHostStepWithoutController(t *testing.T) {
 		t.Errorf("verdict = %q", rep.Steps[0].Verdict)
 	}
 }
+
+// crashyHosts extends fakeHosts with a scripted SchedCrasher.
+type crashyHosts struct {
+	fakeHosts
+	summary  string
+	crashErr error
+}
+
+func (c *crashyHosts) CrashSched() (string, error) {
+	c.calls = append(c.calls, "crash-sched")
+	return c.summary, c.crashErr
+}
+
+func TestParseCrashSchedStep(t *testing.T) {
+	sc := mustParse(t, "drain-host h1\ncrash-sched\ncheck baseline\n")
+	if len(sc.Steps) != 3 || sc.Steps[1].Op != OpCrashSched {
+		t.Fatalf("steps = %+v", sc.Steps)
+	}
+	if got := sc.Steps[1].String(); got != "crash-sched" {
+		t.Errorf("String = %q", got)
+	}
+	_, diags := ParseScenario(strings.NewReader("crash-sched h1\n"))
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v", diags)
+	}
+}
+
+func TestCrashSchedDrivesCrasher(t *testing.T) {
+	lab, client, addrOf := fig5Lab(t)
+	hosts := &crashyHosts{summary: "scheduler crashed and recovered from snapshot+wal: epoch 1, 3 records replayed; status byte-identical"}
+	engine := NewEngine(lab, client, addrOf, Options{Hosts: hosts})
+	rep, err := engine.Run(mustParse(t, "crash-sched\ncheck baseline\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("report not OK:\n%s", rep)
+	}
+	if got := fmt.Sprint(hosts.calls); got != "[crash-sched]" {
+		t.Errorf("calls = %v", hosts.calls)
+	}
+	if !strings.Contains(rep.Steps[0].Verdict, "byte-identical") {
+		t.Errorf("verdict = %q", rep.Steps[0].Verdict)
+	}
+}
+
+func TestCrashSchedRecoveryFailureFailsStep(t *testing.T) {
+	lab, client, addrOf := fig5Lab(t)
+	hosts := &crashyHosts{crashErr: fmt.Errorf("recovered scheduler state diverged")}
+	engine := NewEngine(lab, client, addrOf, Options{Hosts: hosts})
+	rep, err := engine.Run(mustParse(t, "crash-sched\ncheck\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("diverged recovery should produce a finding")
+	}
+	if !strings.HasPrefix(rep.Steps[0].Verdict, "FAILED:") {
+		t.Errorf("verdict = %q", rep.Steps[0].Verdict)
+	}
+	// The scenario continued past the failed step.
+	if len(rep.Steps) != 2 {
+		t.Fatalf("steps = %d", len(rep.Steps))
+	}
+}
+
+func TestCrashSchedWithoutCrasher(t *testing.T) {
+	lab, client, addrOf := fig5Lab(t)
+	// A plain HostController (no SchedCrasher) cannot serve crash-sched.
+	engine := NewEngine(lab, client, addrOf, Options{Hosts: &fakeHosts{}})
+	rep, err := engine.Run(mustParse(t, "crash-sched\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("missing crasher should produce a finding")
+	}
+	if !strings.Contains(rep.Steps[0].Verdict, "no durable scheduler") {
+		t.Errorf("verdict = %q", rep.Steps[0].Verdict)
+	}
+}

@@ -44,6 +44,11 @@ const (
 	// OpDrainHost live-drains a substrate host through the attached host
 	// controller: its VMs move to surviving capacity with no outage.
 	OpDrainHost Op = "drain-host"
+	// OpCrashSched kills and recovers the durable scheduler through the
+	// attached host controller (which must also be a SchedCrasher): the
+	// journal closes mid-flight and a fresh scheduler replays it, asserting
+	// byte-identical state. The lab itself never stops.
+	OpCrashSched Op = "crash-sched"
 )
 
 // CheckMode selects what a check step asserts.
@@ -141,6 +146,7 @@ type Scenario struct {
 //	restore-node N
 //	fail-host H                 # substrate host failure (host controller)
 //	drain-host H                # live-drain a substrate host
+//	crash-sched                 # kill + recover the durable scheduler
 //	flap A B <times>
 //	partition N1 [N2 ...]
 //	perturb loss <pct> [on A:B] # control-plane rules; see ParsePerturb
@@ -248,6 +254,12 @@ func ParseScenarioFile(r io.Reader, file string) (Scenario, emul.Diagnostics) {
 				continue
 			}
 			sc.Steps = append(sc.Steps, Step{Op: Op(op), Node: args[0], MaxBGPRounds: budget})
+		case string(OpCrashSched):
+			if len(args) != 0 {
+				bad("crash-sched takes no arguments, got %q", strings.Join(args, " "))
+				continue
+			}
+			sc.Steps = append(sc.Steps, Step{Op: OpCrashSched, MaxBGPRounds: budget})
 		case string(OpFlap):
 			if len(args) != 3 {
 				bad("flap needs A B <times>, got %q", strings.Join(args, " "))

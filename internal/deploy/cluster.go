@@ -1,6 +1,7 @@
 package deploy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -47,6 +48,14 @@ type ClusterOptions struct {
 	Policy sched.Policy
 	// Spread caps the lab's VMs per host (0 = unbounded).
 	Spread int
+
+	// StateDir, when set, makes the scheduler durable: every mutation is
+	// journaled under the directory and RunCluster recovers any prior
+	// state before deploying (see internal/journal).
+	StateDir string
+	// SnapshotEvery compacts the journal after this many records
+	// (0 = scheduler default).
+	SnapshotEvery int
 }
 
 // ClusterDeployment is the outcome of RunCluster: a pool deployment whose
@@ -58,7 +67,36 @@ type ClusterDeployment struct {
 	Cluster *sched.Cluster
 	// Reservation is the lab's reservation name.
 	Reservation string
-	opts        ClusterOptions
+	// Recovery describes what a durable deployment restored from its
+	// state directory (zero for in-memory deployments).
+	Recovery sched.RecoveryInfo
+	backend  sched.Backend
+	opts     ClusterOptions
+}
+
+// schedOptions builds the scheduler options for this deployment; emit
+// bridges scheduler events into the deployment's stream.
+func (opts ClusterOptions) schedOptions(emit func(Event)) sched.Options {
+	return sched.Options{
+		Seed:          opts.Seed,
+		Health:        opts.Health,
+		Retry:         opts.Retry,
+		Obs:           opts.Obs,
+		SnapshotEvery: opts.SnapshotEvery,
+		OnEvent: func(ev sched.Event) {
+			emit(Event{"sched", fmt.Sprintf("%s: %s", ev.Kind, ev.Detail)})
+		},
+	}
+}
+
+// newSchedCluster builds the deployment's scheduler: durable via
+// sched.Open when StateDir is set, in-memory via sched.New otherwise.
+func newSchedCluster(backend sched.Backend, opts ClusterOptions, emit func(Event)) (*sched.Cluster, sched.RecoveryInfo, error) {
+	if opts.StateDir != "" {
+		return sched.Open(opts.StateDir, backend, opts.schedOptions(emit))
+	}
+	c, err := sched.New(backend, opts.schedOptions(emit))
+	return c, sched.RecoveryInfo{}, err
 }
 
 // RunCluster deploys a rendered lab across a substrate backend via the
@@ -77,23 +115,28 @@ func RunCluster(fs *render.FileSet, backend sched.Backend, opts ClusterOptions) 
 	}
 	span := opts.Obs.StartSpan("ClusterDeploy")
 	defer span.End()
-	d := &ClusterDeployment{Reservation: opts.Reservation, opts: opts}
+	d := &ClusterDeployment{Reservation: opts.Reservation, backend: backend, opts: opts}
 	d.Platform = opts.Platform
 	d.onEvent = opts.OnEvent
 
-	cluster, err := sched.New(backend, sched.Options{
-		Seed:   opts.Seed,
-		Health: opts.Health,
-		Retry:  opts.Retry,
-		Obs:    opts.Obs,
-		OnEvent: func(ev sched.Event) {
-			d.emit(Event{"sched", fmt.Sprintf("%s: %s", ev.Kind, ev.Detail)})
-		},
-	})
+	cluster, rinfo, err := newSchedCluster(backend, opts, d.emit)
 	if err != nil {
 		return nil, err
 	}
 	d.Cluster = cluster
+	d.Recovery = rinfo
+	if rinfo.Recovered {
+		d.emit(Event{"recover", rinfo.String()})
+		// A prior run's reservation under the same name would collide (and
+		// its VMs hold capacity the fresh lab needs); release it — this is
+		// a new deployment of the lab, not a resumption of its processes.
+		if _, ok := cluster.Reservation(opts.Reservation); ok {
+			if rerr := cluster.Release(opts.Reservation); rerr != nil {
+				return d, fmt.Errorf("deploy: releasing recovered reservation %s: %w", opts.Reservation, rerr)
+			}
+			d.emit(Event{"recover", fmt.Sprintf("released stale reservation %s from prior run", opts.Reservation)})
+		}
+	}
 
 	bundle, err := Archive(fs)
 	if err != nil {
@@ -220,7 +263,7 @@ func (d *ClusterDeployment) bootClusterHost(cluster *sched.Cluster, host string,
 	vms := cluster.VMsOn(host)
 	var lastErr error
 	for attempt := 1; attempt <= opts.Retry.Attempts(); attempt++ {
-		lastErr = attemptBoot(opts.Boot, host, vms, attempt, opts.Retry)
+		lastErr = attemptBoot(context.Background(), opts.Boot, host, vms, attempt, opts.Retry)
 		if lastErr == nil {
 			d.emit(Event{"boot", fmt.Sprintf("%s up (%d VMs, attempt %d)", host, len(vms), attempt)})
 			return nil
@@ -295,6 +338,36 @@ func (d *ClusterDeployment) FailHost(host string) (moved, stranded []string, err
 	}
 	d.emit(Event{"host-failed", fmt.Sprintf("%s failed: %d VMs re-placed, %d stranded dark", host, len(moved), len(res.Stranded))})
 	return moved, res.Stranded, ferr
+}
+
+// CrashSched kills and recovers the durable scheduler in place: the
+// journal is closed mid-flight (as a crash would leave it), a fresh
+// scheduler reopens from the state directory, and the recovered state is
+// byte-compared against the pre-crash Status. The lab itself keeps
+// running — only the control plane restarts — so this is the chaos-drill
+// equivalent of the §3.3 manager process dying and coming back. Returns
+// a deterministic summary (no paths) for golden comparison.
+func (d *ClusterDeployment) CrashSched() (string, error) {
+	if d.opts.StateDir == "" {
+		return "", fmt.Errorf("deploy: crash-sched needs a durable scheduler (StateDir unset)")
+	}
+	before := d.Cluster.Status().JSON()
+	if err := d.Cluster.Close(); err != nil {
+		return "", fmt.Errorf("deploy: closing scheduler journal: %w", err)
+	}
+	cluster, rinfo, err := sched.Open(d.opts.StateDir, d.backend, d.opts.schedOptions(d.emit))
+	if err != nil {
+		return "", fmt.Errorf("deploy: recovering scheduler: %w", err)
+	}
+	after := cluster.Status().JSON()
+	if before != after {
+		cluster.Close()
+		return "", fmt.Errorf("deploy: recovered scheduler state diverged from pre-crash state")
+	}
+	d.Cluster = cluster
+	summary := fmt.Sprintf("scheduler crashed and %s; status byte-identical", rinfo)
+	d.emit(Event{"crash-sched", summary})
+	return summary, nil
 }
 
 // moveNames extracts the moved VM names, sorted.

@@ -202,3 +202,84 @@ func TestClusterDeploymentFailHost(t *testing.T) {
 		t.Error("drain of failed host should error")
 	}
 }
+
+func TestRunClusterDurableCrashRecover(t *testing.T) {
+	fs := renderedLab(t)
+	dir := t.TempDir()
+	dep, err := RunCluster(fs, sched.Uniform(3, 2), ClusterOptions{
+		Seed:     2013,
+		Policy:   sched.PolicySpread,
+		StateDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim string
+	for _, host := range dep.Placement {
+		victim = host
+		break
+	}
+	if _, _, err := dep.DrainHost(victim); err != nil {
+		t.Fatalf("drain %s: %v", victim, err)
+	}
+	before := dep.Cluster.Status().JSON()
+
+	summary, err := dep.CrashSched()
+	if err != nil {
+		t.Fatalf("crash-sched: %v", err)
+	}
+	if !strings.Contains(summary, "byte-identical") {
+		t.Errorf("summary = %q", summary)
+	}
+	if got := dep.Cluster.Status().JSON(); got != before {
+		t.Errorf("status changed across crash:\nbefore: %s\nafter: %s", before, got)
+	}
+	// The recovered scheduler keeps working: uncordon the drained host and
+	// drain another one.
+	if err := dep.Cluster.Uncordon(victim); err != nil {
+		t.Fatalf("uncordon after recovery: %v", err)
+	}
+	if eventStages(dep.Events())["crash-sched"] == 0 {
+		t.Errorf("no crash-sched event: %v", dep.Events())
+	}
+}
+
+func TestRunClusterReleasesStaleRecoveredReservation(t *testing.T) {
+	fs := renderedLab(t)
+	dir := t.TempDir()
+	first, err := RunCluster(fs, sched.Uniform(2, 2), ClusterOptions{Seed: 7, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Cluster.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Same state dir, same seed: the prior run's "lab" reservation must be
+	// released and re-reserved, not collide.
+	second, err := RunCluster(renderedLab(t), sched.Uniform(2, 2), ClusterOptions{Seed: 7, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Cluster.Close()
+	if !second.Recovery.Recovered {
+		t.Error("second run did not recover prior state")
+	}
+	if eventStages(second.Events())["recover"] == 0 {
+		t.Errorf("no recover event: %v", second.Events())
+	}
+	st, ok := second.Cluster.Reservation(second.Reservation)
+	if !ok || st.State != sched.ResActive {
+		t.Fatalf("reservation after recovery = %+v", st)
+	}
+}
+
+func TestCrashSchedRequiresStateDir(t *testing.T) {
+	fs := renderedLab(t)
+	dep, err := RunCluster(fs, sched.Uniform(2, 2), ClusterOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.CrashSched(); err == nil {
+		t.Fatal("crash-sched without StateDir should error")
+	}
+}

@@ -1,6 +1,7 @@
 package deploy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -480,5 +481,58 @@ func TestRunPoolAttemptTimeout(t *testing.T) {
 	}
 	if !sawTimeout {
 		t.Errorf("no timeout event in %v", dep.Events())
+	}
+}
+
+func TestRunPoolContextCancelledDuringBackoff(t *testing.T) {
+	fs := renderedLab(t)
+	pool, err := NewHostPool(&Host{Name: "h1", Capacity: 2}, &Host{Name: "h2", Capacity: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	dep, err := RunPoolContext(ctx, fs, pool, PoolOptions{
+		Boot: func(host string, vms []string, attempt int) error {
+			cancel() // caller gives up while the first attempt is failing
+			return fmt.Errorf("still booting")
+		},
+		// An hour-long backoff: only SleepCtx's cancellation path can let
+		// the test finish.
+		Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Hour},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Cancellation aborts the deployment; it does not condemn the host.
+	if len(dep.FailedHosts) != 0 {
+		t.Errorf("failed hosts = %v, want none on cancellation", dep.FailedHosts)
+	}
+	if eventStages(dep.Events())["abort"] == 0 {
+		t.Errorf("no abort event: %v", dep.Events())
+	}
+}
+
+func TestRunPoolContextCancelledMidAttempt(t *testing.T) {
+	fs := renderedLab(t)
+	pool, err := NewHostPool(&Host{Name: "h1", Capacity: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	block := make(chan struct{})
+	defer close(block)
+	dep, err := RunPoolContext(ctx, fs, pool, PoolOptions{
+		Boot: func(host string, vms []string, attempt int) error {
+			cancel()
+			<-block // a wedged host: only the ctx.Done select can return
+			return nil
+		},
+		Retry: RetryPolicy{MaxAttempts: 1},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if dep.Lab() != nil {
+		t.Error("cancelled deployment launched a lab")
 	}
 }

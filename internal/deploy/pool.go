@@ -1,10 +1,12 @@
 package deploy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"autonetkit/internal/emul"
 	"autonetkit/internal/obs"
@@ -99,6 +101,15 @@ var ErrDegraded = fmt.Errorf("deploy: degraded: insufficient surviving capacity"
 // the partial deployment state wrapped in ErrDegraded. Every stage emits
 // deploy Events and (when opts.Obs is set) obs spans/counters.
 func RunPool(fs *render.FileSet, pool *HostPool, opts PoolOptions) (*PoolDeployment, error) {
+	return RunPoolContext(context.Background(), fs, pool, opts)
+}
+
+// RunPoolContext is RunPool under a context: cancellation aborts the
+// deployment between stages and interrupts backoff sleeps and in-flight
+// boot attempts, returning the partial deployment state with the context's
+// error. A cancelled boot attempt does not count against its host — the
+// caller gave up, the host didn't fail.
+func RunPoolContext(ctx context.Context, fs *render.FileSet, pool *HostPool, opts PoolOptions) (*PoolDeployment, error) {
 	if opts.Platform == "" {
 		opts.Platform = "netkit"
 	}
@@ -145,8 +156,13 @@ func RunPool(fs *render.FileSet, pool *HostPool, opts PoolOptions) (*PoolDeploym
 	for len(pending) > 0 {
 		h := pending[0]
 		pending = pending[1:]
-		if err := d.bootHost(h, opts); err == nil {
+		err := d.bootHost(ctx, h, opts)
+		if err == nil {
 			continue
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			d.emit(Event{"abort", fmt.Sprintf("deployment cancelled while booting %s: %v", h.Name, cerr)})
+			return d, fmt.Errorf("deploy: cancelled: %w", cerr)
 		}
 		// Host is gone: abandon it and re-place its VMs onto survivors.
 		opts.Obs.Add(CounterHostsFailed, 1)
@@ -204,21 +220,30 @@ func RunPool(fs *render.FileSet, pool *HostPool, opts PoolOptions) (*PoolDeploym
 }
 
 // bootHost attempts one host's boot under the retry policy, emitting an
-// event per attempt.
-func (d *PoolDeployment) bootHost(h *Host, opts PoolOptions) error {
+// event per attempt. Context cancellation interrupts the backoff sleep
+// and surfaces as the returned error.
+func (d *PoolDeployment) bootHost(ctx context.Context, h *Host, opts PoolOptions) error {
 	span := opts.Obs.StartSpan("boot " + h.Name)
 	defer span.End()
 	var lastErr error
 	for attempt := 1; attempt <= opts.Retry.Attempts(); attempt++ {
-		lastErr = attemptBoot(opts.Boot, h.Name, h.Assigned(), attempt, opts.Retry)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lastErr = attemptBoot(ctx, opts.Boot, h.Name, h.Assigned(), attempt, opts.Retry)
 		if lastErr == nil {
 			d.emit(Event{"boot", fmt.Sprintf("%s up (%d VMs, attempt %d)", h.Name, len(h.Assigned()), attempt)})
 			return nil
 		}
+		if ctx.Err() != nil {
+			return lastErr
+		}
 		d.emit(Event{"retry", fmt.Sprintf("%s boot attempt %d failed: %v", h.Name, attempt, lastErr)})
 		opts.Obs.Add(CounterBootRetries, 1)
 		if attempt < opts.Retry.Attempts() {
-			opts.Retry.SleepFor(opts.Retry.Delay(h.Name, attempt))
+			if err := opts.Retry.SleepCtx(ctx, opts.Retry.Delay(h.Name, attempt)); err != nil {
+				return err
+			}
 		}
 	}
 	return lastErr
@@ -227,21 +252,27 @@ func (d *PoolDeployment) bootHost(h *Host, opts PoolOptions) error {
 // attemptBoot runs one boot attempt under the per-attempt timeout. A
 // timed-out attempt counts as failed; the stray goroutine's eventual
 // result is discarded (buffered channel), so a wedged host cannot hang the
-// deployment.
-func attemptBoot(boot BootFunc, host string, vms []string, attempt int, retry RetryPolicy) error {
+// deployment. Context cancellation abandons the attempt the same way.
+func attemptBoot(ctx context.Context, boot BootFunc, host string, vms []string, attempt int, retry RetryPolicy) error {
 	if boot == nil {
 		return nil
 	}
-	if retry.AttemptTimeout <= 0 {
+	if retry.AttemptTimeout <= 0 && ctx.Done() == nil {
 		return boot(host, vms, attempt)
 	}
 	ch := make(chan error, 1)
 	go func() { ch <- boot(host, vms, attempt) }()
+	var timeout <-chan time.Time
+	if retry.AttemptTimeout > 0 {
+		timeout = retry.AfterChan(retry.AttemptTimeout)
+	}
 	select {
 	case err := <-ch:
 		return err
-	case <-retry.AfterChan(retry.AttemptTimeout):
+	case <-timeout:
 		return fmt.Errorf("deploy: boot of %s attempt %d timed out after %v", host, attempt, retry.AttemptTimeout)
+	case <-ctx.Done():
+		return fmt.Errorf("deploy: boot of %s attempt %d cancelled: %w", host, attempt, ctx.Err())
 	}
 }
 

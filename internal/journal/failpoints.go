@@ -1,0 +1,79 @@
+package journal
+
+import "sync"
+
+// Failpoints is the crash-injection seam. Every I/O step in the log
+// (writes, fsyncs, renames, creates, truncates) calls fire() with a named
+// point; the seam counts steps, and when the armed step is reached the log
+// "crashes": the step is skipped (writes may persist a torn prefix first)
+// and the Log is poisoned so every later operation returns ErrCrashed —
+// exactly what a killed process leaves on disk.
+//
+// A crash-matrix test drives it in two passes: a dry run (Arm not called,
+// or armed past the end) executes the full op sequence and Steps() reports
+// how many I/O steps it took; the matrix then replays the same sequence
+// once per step with Arm(i, frac), and asserts recovery from each crash
+// point. The zero value counts steps without ever firing.
+type Failpoints struct {
+	mu     sync.Mutex
+	step   int
+	failAt int // 1-based step to crash at; 0 = never
+	torn   float64
+	fired  bool
+	last   string
+}
+
+// Arm schedules a crash at the failAt'th I/O step (1-based; 0 disarms).
+// tornFrac ∈ [0,1] selects how much of a crashing write's buffer persists
+// before the crash — 0 drops the write whole, 1 persists it whole but
+// skips everything after (e.g. the fsync), values between leave a torn
+// frame for recovery to truncate. Arm also resets the step counter.
+func (fp *Failpoints) Arm(failAt int, tornFrac float64) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.step = 0
+	fp.failAt = failAt
+	fp.torn = tornFrac
+	fp.fired = false
+	fp.last = ""
+}
+
+// Steps reports how many I/O steps have run since the last Arm (or since
+// construction). After a dry run this is the crash-matrix width.
+func (fp *Failpoints) Steps() int {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return fp.step
+}
+
+// Fired reports whether the armed crash has gone off, and at which point.
+func (fp *Failpoints) Fired() (bool, string) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return fp.fired, fp.last
+}
+
+// fire advances the step counter and decides whether this step crashes.
+// For write points it returns how many bytes of the buffer to persist
+// before crashing. Once fired, later calls return crash=true without
+// advancing the counter (the process is "dead").
+func (fp *Failpoints) fire(point string, writeLen int) (torn int, crash bool) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if fp.fired {
+		return 0, true
+	}
+	fp.step++
+	if fp.failAt > 0 && fp.step == fp.failAt {
+		fp.fired = true
+		fp.last = point
+		if writeLen > 0 {
+			torn = int(float64(writeLen) * fp.torn)
+			if torn > writeLen {
+				torn = writeLen
+			}
+		}
+		return torn, true
+	}
+	return 0, false
+}

@@ -1,0 +1,525 @@
+// Package journal is a crash-safe, append-only write-ahead log with
+// snapshot compaction — the durability substrate under the cluster
+// scheduler (internal/sched), and reusable by any subsystem that needs
+// replayable state. The design is the classic WAL triangle:
+//
+//   - Appends are CRC-framed records (length + CRC-32C + payload) written
+//     to the current epoch's wal file and, under the default SyncAlways
+//     policy, fsynced before Append returns — a record either survives a
+//     crash whole or is dropped whole.
+//   - Open truncates a torn tail: the first frame that is short, oversized,
+//     or fails its checksum ends the valid prefix; everything after it is
+//     discarded (and counted), so a crash mid-write can never replay
+//     garbage or a half-record.
+//   - Snapshot compacts: the full state is written to a temp file, fsynced,
+//     atomically renamed to snap-<epoch>, the directory fsynced, and a
+//     fresh wal for the new epoch started before the old epoch's files are
+//     removed. A crash at ANY step leaves either the old epoch intact or
+//     the new epoch complete — never a state that loses records.
+//
+// Recovery (Open) returns the newest valid snapshot plus the records of
+// its epoch's wal tail; the caller replays them in order. A snapshot that
+// exists but fails validation is a hard ErrCorrupt — rename atomicity
+// means crashes cannot produce one, so a bad snapshot is real corruption
+// and silently falling back would lose acknowledged writes.
+//
+// Every I/O step (write, sync, rename, create, truncate) runs through an
+// optional Failpoints seam, so tests can kill the log at each step of an
+// operation sequence — including torn writes that persist only a prefix —
+// and prove recovery lands in a consistent state from every crash point.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"autonetkit/internal/obs"
+)
+
+// File-format magics. The trailing digit versions the format.
+var (
+	walMagic  = [8]byte{'A', 'N', 'K', 'W', 'A', 'L', '0', '1'}
+	snapMagic = [8]byte{'A', 'N', 'K', 'S', 'N', 'P', '0', '1'}
+)
+
+// MaxRecord bounds one record's payload (64 MiB). The bound is checked on
+// both append and decode, so a corrupt length field can never drive an
+// unbounded allocation.
+const MaxRecord = 1 << 26
+
+// frameHeaderLen is the per-record framing overhead: u32 payload length +
+// u32 CRC-32C of the payload, both big-endian.
+const frameHeaderLen = 8
+
+// snapHeaderLen is the snapshot file header: 8-byte magic + u32 payload
+// length + u32 CRC-32C of the payload.
+const snapHeaderLen = 16
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy selects when appended records are forced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged record
+	// survives any crash. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncNever leaves flushing to the OS: faster, but a crash may drop
+	// the most recent acknowledged records (never corrupt older ones —
+	// the torn-tail truncation still yields a valid prefix).
+	SyncNever
+)
+
+// Options configures a Log.
+type Options struct {
+	// Sync is the fsync policy (SyncAlways by default).
+	Sync SyncPolicy
+	// Obs, when set, collects journal counters (journal_appends,
+	// journal_snapshots, journal_recoveries, journal_truncated_tails).
+	Obs *obs.Collector
+	// Fail, when set, injects crashes into the I/O path (test seam).
+	Fail *Failpoints
+}
+
+// Sentinel errors.
+var (
+	// ErrCrashed poisons a log after an injected crash or a real write
+	// error: the in-memory state may be ahead of disk, so every further
+	// operation refuses until the caller reopens and replays.
+	ErrCrashed = errors.New("journal: log crashed; reopen to recover")
+	// ErrInjected marks an injected failpoint crash (wrapped in the error
+	// the failing operation returns).
+	ErrInjected = errors.New("journal: injected crash")
+	// ErrCorrupt marks on-disk state that no crash could produce (bad
+	// magic, invalid snapshot, wal from a missing epoch): recovery refuses
+	// rather than silently dropping acknowledged records.
+	ErrCorrupt = errors.New("journal: corrupt")
+)
+
+// Log is an open write-ahead journal directory. All methods are safe for
+// concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File
+	epoch   uint64
+	crashed bool
+	closed  bool
+}
+
+// Recovery is what Open found on disk: the newest valid snapshot (nil when
+// none was ever taken) and the valid records appended after it, in order.
+type Recovery struct {
+	// Snapshot is the newest valid snapshot payload, nil when none.
+	Snapshot []byte
+	// Records are the wal records after the snapshot, oldest first.
+	Records [][]byte
+	// Epoch is the recovered epoch (1 when no snapshot was ever taken).
+	Epoch uint64
+	// TruncatedBytes counts bytes dropped from the wal's torn tail.
+	TruncatedBytes int64
+	// RemovedFiles counts stale files (old epochs, temp files) cleaned up.
+	RemovedFiles int
+}
+
+func walName(epoch uint64) string { return fmt.Sprintf("wal-%016x.wal", epoch) }
+
+func snapName(epoch uint64) string { return fmt.Sprintf("snap-%016x.snap", epoch) }
+
+// parseEpoch extracts the epoch from a "prefix-<16 hex>.suffix" name.
+func parseEpoch(name, prefix, suffix string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, prefix)
+	if !ok {
+		return 0, false
+	}
+	hex, ok := strings.CutSuffix(rest, suffix)
+	if !ok || len(hex) != 16 {
+		return 0, false
+	}
+	e, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil || e == 0 {
+		return 0, false
+	}
+	return e, true
+}
+
+// Open opens (creating if needed) the journal directory, recovers the
+// newest valid snapshot and its wal tail, truncates any torn tail, and
+// returns a log positioned to append to the recovered epoch.
+func Open(dir string, opts Options) (*Log, Recovery, error) {
+	var rec Recovery
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, rec, fmt.Errorf("journal: open %s: %w", dir, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, rec, fmt.Errorf("journal: open %s: %w", dir, err)
+	}
+	var snapEpochs, walEpochs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// A temp snapshot that never reached its rename: dead weight.
+			os.Remove(filepath.Join(dir, name))
+			rec.RemovedFiles++
+		default:
+			if ep, ok := parseEpoch(name, "snap-", ".snap"); ok {
+				snapEpochs = append(snapEpochs, ep)
+			} else if ep, ok := parseEpoch(name, "wal-", ".wal"); ok {
+				walEpochs = append(walEpochs, ep)
+			}
+		}
+	}
+	sort.Slice(snapEpochs, func(i, j int) bool { return snapEpochs[i] < snapEpochs[j] })
+	sort.Slice(walEpochs, func(i, j int) bool { return walEpochs[i] < walEpochs[j] })
+
+	epoch := uint64(1)
+	if n := len(snapEpochs); n > 0 {
+		epoch = snapEpochs[n-1]
+		snap, err := readSnapshot(filepath.Join(dir, snapName(epoch)))
+		if err != nil {
+			return nil, rec, fmt.Errorf("%w: snapshot epoch %d: %v", ErrCorrupt, epoch, err)
+		}
+		rec.Snapshot = snap
+	}
+	// A wal from a later epoch than the best snapshot is impossible by
+	// construction (the wal is created only after its snapshot's rename is
+	// durable) — seeing one means the snapshot was lost to corruption.
+	for _, we := range walEpochs {
+		if we > epoch {
+			return nil, rec, fmt.Errorf("%w: wal epoch %d has no snapshot (best is %d)", ErrCorrupt, we, epoch)
+		}
+	}
+	rec.Epoch = epoch
+
+	l := &Log{dir: dir, opts: opts, epoch: epoch}
+	records, keep, truncated, fresh, err := parseWAL(filepath.Join(dir, walName(epoch)))
+	if err != nil {
+		return nil, rec, err
+	}
+	rec.Records = records
+	rec.TruncatedBytes = truncated
+
+	f, err := os.OpenFile(filepath.Join(dir, walName(epoch)), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, rec, fmt.Errorf("journal: open wal: %w", err)
+	}
+	l.f = f
+	if truncated > 0 || fresh {
+		if err := l.barrier("wal-truncate", func() error { return f.Truncate(keep) }); err != nil {
+			f.Close()
+			return nil, rec, err
+		}
+	}
+	if fresh {
+		// New or reset wal: lay down the header.
+		if err := l.write(f, walMagic[:], "wal-header"); err != nil {
+			f.Close()
+			return nil, rec, err
+		}
+		keep = int64(len(walMagic))
+		if err := l.barrier("wal-header-sync", f.Sync); err != nil {
+			f.Close()
+			return nil, rec, err
+		}
+		if err := l.barrier("wal-dir-sync", l.syncDir); err != nil {
+			f.Close()
+			return nil, rec, err
+		}
+	} else if truncated > 0 {
+		if err := l.barrier("wal-truncate-sync", f.Sync); err != nil {
+			f.Close()
+			return nil, rec, err
+		}
+	}
+	if _, err := f.Seek(keep, 0); err != nil {
+		f.Close()
+		return nil, rec, fmt.Errorf("journal: seek wal: %w", err)
+	}
+
+	// Remove files from epochs the recovered epoch supersedes (left behind
+	// when a crash interrupted a snapshot's cleanup step).
+	for _, se := range snapEpochs {
+		if se < epoch {
+			os.Remove(filepath.Join(dir, snapName(se)))
+			rec.RemovedFiles++
+		}
+	}
+	for _, we := range walEpochs {
+		if we < epoch {
+			os.Remove(filepath.Join(dir, walName(we)))
+			rec.RemovedFiles++
+		}
+	}
+
+	opts.Obs.Add(obs.CounterJournalRecoveries, 1)
+	if truncated > 0 {
+		opts.Obs.Add(obs.CounterJournalTruncatedTails, 1)
+	}
+	return l, rec, nil
+}
+
+// parseWAL reads a wal file and returns its valid records, the byte offset
+// the valid prefix ends at, the torn-tail byte count past it, and whether
+// the file must be re-initialised (missing, empty, or torn before the
+// header completed). A present-but-wrong header magic is ErrCorrupt.
+func parseWAL(path string) (records [][]byte, keep int64, truncated int64, fresh bool, err error) {
+	raw, rerr := os.ReadFile(path)
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			return nil, 0, 0, true, nil
+		}
+		return nil, 0, 0, false, fmt.Errorf("journal: read wal: %w", rerr)
+	}
+	if len(raw) < len(walMagic) {
+		// Crash between file creation and header landing.
+		return nil, 0, int64(len(raw)), true, nil
+	}
+	if [8]byte(raw[:len(walMagic)]) != walMagic {
+		return nil, 0, 0, false, fmt.Errorf("%w: wal header magic mismatch in %s", ErrCorrupt, filepath.Base(path))
+	}
+	off := len(walMagic)
+	for {
+		if off+frameHeaderLen > len(raw) {
+			break // torn frame header
+		}
+		n := int(binary.BigEndian.Uint32(raw[off:]))
+		sum := binary.BigEndian.Uint32(raw[off+4:])
+		if n > MaxRecord || off+frameHeaderLen+n > len(raw) {
+			break // impossible length or torn payload
+		}
+		payload := raw[off+frameHeaderLen : off+frameHeaderLen+n]
+		if crc32.Checksum(payload, crcTable) != sum {
+			break // bit flip or torn write inside the frame
+		}
+		records = append(records, append([]byte(nil), payload...))
+		off += frameHeaderLen + n
+	}
+	return records, int64(off), int64(len(raw) - off), false, nil
+}
+
+// readSnapshot reads and validates one snapshot file.
+func readSnapshot(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < snapHeaderLen || [8]byte(raw[:len(snapMagic)]) != snapMagic {
+		return nil, errors.New("bad snapshot header")
+	}
+	n := int(binary.BigEndian.Uint32(raw[8:12]))
+	sum := binary.BigEndian.Uint32(raw[12:16])
+	if len(raw) != snapHeaderLen+n {
+		return nil, fmt.Errorf("snapshot length %d, header says %d", len(raw)-snapHeaderLen, n)
+	}
+	payload := raw[snapHeaderLen:]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, errors.New("snapshot checksum mismatch")
+	}
+	return append([]byte(nil), payload...), nil
+}
+
+// Dir reports the journal's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Epoch reports the current snapshot epoch (1 until the first Snapshot).
+func (l *Log) Epoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
+
+// Append frames and writes one record, fsyncing per the sync policy. On
+// any failure the log is poisoned (ErrCrashed thereafter): the caller's
+// in-memory state may now be ahead of disk, and only a reopen + replay
+// re-establishes agreement.
+func (l *Log) Append(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usable(); err != nil {
+		return err
+	}
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("journal: record %d bytes exceeds MaxRecord %d", len(payload), MaxRecord)
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+	copy(frame[frameHeaderLen:], payload)
+	if err := l.write(l.f, frame, "wal-append"); err != nil {
+		return err
+	}
+	if l.opts.Sync == SyncAlways {
+		if err := l.barrier("wal-append-sync", l.f.Sync); err != nil {
+			return err
+		}
+	}
+	l.opts.Obs.Add(obs.CounterJournalAppends, 1)
+	return nil
+}
+
+// Snapshot compacts the journal: the given full state becomes the new
+// epoch's snapshot (written to a temp file, fsynced, atomically renamed,
+// directory fsynced), a fresh wal for the epoch is started, and the old
+// epoch's files are removed. Records appended after Snapshot returns land
+// in the new wal; a crash at any step preserves either the old epoch
+// (snapshot + complete wal) or the new one.
+func (l *Log) Snapshot(state []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usable(); err != nil {
+		return err
+	}
+	next := l.epoch + 1
+	buf := make([]byte, snapHeaderLen+len(state))
+	copy(buf, snapMagic[:])
+	binary.BigEndian.PutUint32(buf[8:], uint32(len(state)))
+	binary.BigEndian.PutUint32(buf[12:], crc32.Checksum(state, crcTable))
+	copy(buf[snapHeaderLen:], state)
+
+	tmpPath := filepath.Join(l.dir, fmt.Sprintf("snap-%016x.tmp", next))
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		l.crashed = true
+		return fmt.Errorf("journal: snapshot temp: %w", err)
+	}
+	if err := l.write(tmp, buf, "snap-write"); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := l.barrier("snap-sync", tmp.Sync); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		l.crashed = true
+		return fmt.Errorf("journal: snapshot close: %w", err)
+	}
+	if err := l.barrier("snap-rename", func() error {
+		return os.Rename(tmpPath, filepath.Join(l.dir, snapName(next)))
+	}); err != nil {
+		return err
+	}
+	if err := l.barrier("snap-dir-sync", l.syncDir); err != nil {
+		return err
+	}
+
+	// The snapshot is durable; start the new epoch's wal.
+	var nf *os.File
+	if err := l.barrier("wal-create", func() error {
+		var cerr error
+		nf, cerr = os.OpenFile(filepath.Join(l.dir, walName(next)), os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+		return cerr
+	}); err != nil {
+		return err
+	}
+	if err := l.write(nf, walMagic[:], "wal-header"); err != nil {
+		nf.Close()
+		return err
+	}
+	if err := l.barrier("wal-header-sync", nf.Sync); err != nil {
+		nf.Close()
+		return err
+	}
+	if err := l.barrier("wal-dir-sync", l.syncDir); err != nil {
+		nf.Close()
+		return err
+	}
+
+	old, oldEpoch := l.f, l.epoch
+	l.f, l.epoch = nf, next
+	old.Close()
+	// Old epoch is superseded; removal is best-effort (Open cleans up
+	// leftovers), but still a crash point worth exercising.
+	if err := l.barrier("cleanup", func() error {
+		os.Remove(filepath.Join(l.dir, walName(oldEpoch)))
+		if oldEpoch > 1 {
+			os.Remove(filepath.Join(l.dir, snapName(oldEpoch)))
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	l.opts.Obs.Add(obs.CounterJournalSnapshots, 1)
+	return nil
+}
+
+// Close flushes and closes the wal. The log cannot be used afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.f == nil {
+		l.closed = true
+		return nil
+	}
+	l.closed = true
+	if !l.crashed {
+		l.f.Sync()
+	}
+	return l.f.Close()
+}
+
+func (l *Log) usable() error {
+	switch {
+	case l.crashed:
+		return ErrCrashed
+	case l.closed:
+		return errors.New("journal: log is closed")
+	}
+	return nil
+}
+
+// write runs one write through the failpoint seam: an armed crash persists
+// only the torn prefix and poisons the log.
+func (l *Log) write(f *os.File, b []byte, point string) error {
+	if fp := l.opts.Fail; fp != nil {
+		if torn, crash := fp.fire(point, len(b)); crash {
+			if torn > 0 {
+				_, _ = f.Write(b[:torn])
+			}
+			l.crashed = true
+			return fmt.Errorf("%s: %w", point, ErrInjected)
+		}
+	}
+	if _, err := f.Write(b); err != nil {
+		l.crashed = true
+		return fmt.Errorf("journal: %s: %w", point, err)
+	}
+	return nil
+}
+
+// barrier runs one non-write I/O step (sync, rename, create, truncate)
+// through the failpoint seam: an armed crash skips the step entirely.
+func (l *Log) barrier(point string, op func() error) error {
+	if fp := l.opts.Fail; fp != nil {
+		if _, crash := fp.fire(point, 0); crash {
+			l.crashed = true
+			return fmt.Errorf("%s: %w", point, ErrInjected)
+		}
+	}
+	if err := op(); err != nil {
+		l.crashed = true
+		return fmt.Errorf("journal: %s: %w", point, err)
+	}
+	return nil
+}
+
+func (l *Log) syncDir() error {
+	d, err := os.Open(l.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,397 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"autonetkit/internal/obs"
+)
+
+func openT(t *testing.T, dir string, opts Options) (*Log, Recovery) {
+	t.Helper()
+	l, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return l, rec
+}
+
+func mustAppend(t *testing.T, l *Log, payload string) {
+	t.Helper()
+	if err := l.Append([]byte(payload)); err != nil {
+		t.Fatalf("Append(%q): %v", payload, err)
+	}
+}
+
+func recordsAsStrings(rec Recovery) []string {
+	out := make([]string, len(rec.Records))
+	for i, r := range rec.Records {
+		out[i] = string(r)
+	}
+	return out
+}
+
+func TestAppendCloseReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := openT(t, dir, Options{})
+	if rec.Snapshot != nil || len(rec.Records) != 0 || rec.Epoch != 1 {
+		t.Fatalf("fresh dir recovery = %+v", rec)
+	}
+	for i := 0; i < 10; i++ {
+		mustAppend(t, l, fmt.Sprintf("record-%d", i))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rec2 := openT(t, dir, Options{})
+	defer l2.Close()
+	got := recordsAsStrings(rec2)
+	if len(got) != 10 || got[0] != "record-0" || got[9] != "record-9" {
+		t.Fatalf("recovered records = %v", got)
+	}
+	if rec2.Snapshot != nil || rec2.TruncatedBytes != 0 {
+		t.Fatalf("recovery = %+v", rec2)
+	}
+}
+
+func TestRecoverWithoutClose(t *testing.T) {
+	// SyncAlways means acked appends survive even when the process never
+	// closes the log (the crash case).
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	mustAppend(t, l, "acked")
+	// No Close: simulate a kill by just reopening the directory.
+	l2, rec := openT(t, dir, Options{})
+	defer l2.Close()
+	if got := recordsAsStrings(rec); len(got) != 1 || got[0] != "acked" {
+		t.Fatalf("recovered %v", got)
+	}
+	l.Close()
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	mustAppend(t, l, "alpha")
+	mustAppend(t, l, "beta")
+	l.Close()
+
+	// Simulate a torn write: garbage after the valid frames.
+	path := filepath.Join(dir, walName(1))
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x00, 0x00, 0x00, 0x20, 0xde, 0xad}) // half a frame header + junk
+	f.Close()
+
+	ob := obs.NewCollector()
+	l2, rec := openT(t, dir, Options{Obs: ob})
+	defer l2.Close()
+	if got := recordsAsStrings(rec); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("recovered %v", got)
+	}
+	if rec.TruncatedBytes != 6 {
+		t.Fatalf("TruncatedBytes = %d, want 6", rec.TruncatedBytes)
+	}
+	if n := ob.Counter(obs.CounterJournalTruncatedTails); n != 1 {
+		t.Fatalf("truncated_tails counter = %d", n)
+	}
+	// The torn bytes must be physically gone: appending then reopening
+	// yields exactly alpha, beta, gamma.
+	mustAppend(t, l2, "gamma")
+	l2.Close()
+	l3, rec3 := openT(t, dir, Options{})
+	defer l3.Close()
+	if got := recordsAsStrings(rec3); len(got) != 3 || got[2] != "gamma" {
+		t.Fatalf("after truncate+append, recovered %v", got)
+	}
+}
+
+func TestBitFlipTruncatesAtFlip(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	mustAppend(t, l, "first")
+	mustAppend(t, l, "second")
+	l.Close()
+
+	path := filepath.Join(dir, walName(1))
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-2] ^= 0x40 // flip a bit inside the last record's payload
+	os.WriteFile(path, raw, 0o644)
+
+	l2, rec := openT(t, dir, Options{})
+	defer l2.Close()
+	if got := recordsAsStrings(rec); len(got) != 1 || got[0] != "first" {
+		t.Fatalf("recovered %v, want just 'first'", got)
+	}
+	if rec.TruncatedBytes == 0 {
+		t.Fatal("expected truncated bytes")
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	ob := obs.NewCollector()
+	l, _ := openT(t, dir, Options{Obs: ob})
+	mustAppend(t, l, "pre-1")
+	mustAppend(t, l, "pre-2")
+	if err := l.Snapshot([]byte("STATE")); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	mustAppend(t, l, "post-1")
+	if got := l.Epoch(); got != 2 {
+		t.Fatalf("epoch = %d, want 2", got)
+	}
+	l.Close()
+
+	// The old epoch's files are gone.
+	if _, err := os.Stat(filepath.Join(dir, walName(1))); !os.IsNotExist(err) {
+		t.Fatalf("wal-1 still present: %v", err)
+	}
+
+	l2, rec := openT(t, dir, Options{})
+	defer l2.Close()
+	if string(rec.Snapshot) != "STATE" {
+		t.Fatalf("snapshot = %q", rec.Snapshot)
+	}
+	if got := recordsAsStrings(rec); len(got) != 1 || got[0] != "post-1" {
+		t.Fatalf("tail records = %v", got)
+	}
+	if rec.Epoch != 2 {
+		t.Fatalf("epoch = %d", rec.Epoch)
+	}
+	if n := ob.Counter(obs.CounterJournalSnapshots); n != 1 {
+		t.Fatalf("snapshots counter = %d", n)
+	}
+}
+
+func TestCorruptSnapshotIsHardError(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	l.Snapshot([]byte("STATE"))
+	l.Close()
+
+	path := filepath.Join(dir, snapName(2))
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-1] ^= 0xff
+	os.WriteFile(path, raw, 0o644)
+
+	_, _, err := Open(dir, Options{})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWalBeyondSnapshotEpochIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	mustAppend(t, l, "x")
+	l.Close()
+	// Fabricate a wal from epoch 7: its snapshot is missing, which no
+	// crash ordering can produce.
+	os.WriteFile(filepath.Join(dir, walName(7)), walMagic[:], 0o644)
+	_, _, err := Open(dir, Options{})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBadWalMagicIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, walName(1)), []byte("NOTMAGIC-and-more"), 0o644)
+	_, _, err := Open(dir, Options{})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTempSnapshotCleanedUp(t *testing.T) {
+	dir := t.TempDir()
+	os.MkdirAll(dir, 0o755)
+	os.WriteFile(filepath.Join(dir, "snap-0000000000000002.tmp"), []byte("partial"), 0o644)
+	l, rec := openT(t, dir, Options{})
+	defer l.Close()
+	if rec.RemovedFiles != 1 {
+		t.Fatalf("RemovedFiles = %d", rec.RemovedFiles)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snap-0000000000000002.tmp")); !os.IsNotExist(err) {
+		t.Fatal("temp snapshot survived Open")
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	defer l.Close()
+	if err := l.Append(make([]byte, MaxRecord+1)); err == nil {
+		t.Fatal("oversized append accepted")
+	}
+	// The rejection is not a crash: the log stays usable.
+	mustAppend(t, l, "still-fine")
+}
+
+func TestPoisonedAfterInjectedCrash(t *testing.T) {
+	dir := t.TempDir()
+	fp := &Failpoints{}
+	l, _ := openT(t, dir, Options{Fail: fp})
+	mustAppend(t, l, "before")
+	fp.Arm(1, 0)
+	if err := l.Append([]byte("doomed")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Append = %v, want ErrInjected", err)
+	}
+	if err := l.Append([]byte("after")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Append after crash = %v, want ErrCrashed", err)
+	}
+	if err := l.Snapshot([]byte("s")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Snapshot after crash = %v, want ErrCrashed", err)
+	}
+	l.Close()
+	// Recovery sees only the acked record.
+	l2, rec := openT(t, dir, Options{})
+	defer l2.Close()
+	if got := recordsAsStrings(rec); len(got) != 1 || got[0] != "before" {
+		t.Fatalf("recovered %v", got)
+	}
+}
+
+// TestJournalCrashMatrix kills the journal at every I/O step of a fixed
+// op sequence (appends around a snapshot compaction), with whole, torn,
+// and dropped writes, and asserts recovery always yields a consistent
+// prefix: every op acked before the crash survives, no garbage appears,
+// and the log accepts appends again after reopening.
+func TestJournalCrashMatrix(t *testing.T) {
+	ops := func(l *Log) []error {
+		var errs []error
+		errs = append(errs, l.Append([]byte("a1")))
+		errs = append(errs, l.Append([]byte("a2")))
+		errs = append(errs, l.Snapshot([]byte("SNAP[a1 a2]")))
+		errs = append(errs, l.Append([]byte("b1")))
+		errs = append(errs, l.Append([]byte("b2")))
+		return errs
+	}
+	// Expected cumulative journal contents after each op (as one string).
+	want := []string{
+		"|a1",
+		"|a1|a2",
+		"SNAP[a1 a2]",
+		"SNAP[a1 a2]|b1",
+		"SNAP[a1 a2]|b1|b2",
+	}
+	flatten := func(rec Recovery) string {
+		s := string(rec.Snapshot) + "|"
+		s += strings.Join(recordsAsStrings(rec), "|")
+		return strings.TrimSuffix(s, "|")
+	}
+
+	// Dry run: count total I/O steps.
+	fp := &Failpoints{}
+	dryDir := t.TempDir()
+	l, _ := openT(t, dryDir, Options{Fail: fp})
+	fp.Arm(0, 0)
+	for _, err := range ops(l) {
+		if err != nil {
+			t.Fatalf("dry run op failed: %v", err)
+		}
+	}
+	steps := fp.Steps()
+	l.Close()
+	if steps < 10 {
+		t.Fatalf("suspiciously few I/O steps: %d", steps)
+	}
+
+	for failAt := 1; failAt <= steps; failAt++ {
+		for _, torn := range []float64{0, 0.5, 1} {
+			name := fmt.Sprintf("failAt=%d/torn=%.1f", failAt, torn)
+			dir := t.TempDir()
+			mfp := &Failpoints{}
+			ml, _ := openT(t, dir, Options{Fail: mfp})
+			mfp.Arm(failAt, torn)
+			errs := ops(ml)
+			acked := -1 // last op that returned nil
+			for i, err := range errs {
+				if err == nil {
+					acked = i
+				} else {
+					break
+				}
+			}
+			fired, point := mfp.Fired()
+			if !fired {
+				t.Fatalf("%s: failpoint never fired", name)
+			}
+			ml.Close()
+
+			mfp.Arm(0, 0) // disarm for recovery
+			l2, rec, err := Open(dir, Options{Fail: mfp})
+			if err != nil {
+				t.Fatalf("%s (point %s): recovery failed: %v", name, point, err)
+			}
+			got := flatten(rec)
+			// Recovery must be the acked prefix, or the acked prefix plus
+			// the in-flight op (a crash after the data landed but before
+			// the ack — e.g. during compaction cleanup — keeps the op).
+			okStates := []string{want[acked+1]}
+			if acked >= 0 {
+				okStates = append(okStates, want[acked])
+			} else {
+				okStates = append(okStates, "")
+			}
+			matched := false
+			for _, w := range okStates {
+				if got == w {
+					matched = true
+				}
+			}
+			if !matched {
+				t.Fatalf("%s (point %s): recovered %q, want one of %q", name, point, got, okStates)
+			}
+			// The reopened log must accept appends.
+			if err := l2.Append([]byte("resumed")); err != nil {
+				t.Fatalf("%s: append after recovery: %v", name, err)
+			}
+			l2.Close()
+			l3, rec3 := openT(t, dir, Options{})
+			tail := recordsAsStrings(rec3)
+			if len(tail) == 0 || tail[len(tail)-1] != "resumed" {
+				t.Fatalf("%s: post-recovery append lost: %v", name, tail)
+			}
+			l3.Close()
+		}
+	}
+}
+
+func TestSyncNeverStillRecoversPrefix(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Sync: SyncNever})
+	for i := 0; i < 5; i++ {
+		mustAppend(t, l, fmt.Sprintf("r%d", i))
+	}
+	l.Close() // Close still flushes
+	l2, rec := openT(t, dir, Options{})
+	defer l2.Close()
+	if len(rec.Records) != 5 {
+		t.Fatalf("recovered %d records", len(rec.Records))
+	}
+}
+
+func TestLargeRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	big := bytes.Repeat([]byte{0xab}, 1<<20)
+	l, _ := openT(t, dir, Options{})
+	if err := l.Append(big); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, rec := openT(t, dir, Options{})
+	defer l2.Close()
+	if len(rec.Records) != 1 || !bytes.Equal(rec.Records[0], big) {
+		t.Fatal("large record did not round-trip")
+	}
+}

@@ -72,6 +72,15 @@ const (
 	CounterReservationsQueued = "reservations_queued"
 	CounterDrainDuration      = "drain_duration"
 	CounterHostsUnhealthy     = "hosts_unhealthy"
+
+	// Durable-state counters (internal/journal + sched.Open): records
+	// appended, snapshot compactions, recoveries performed, torn wal tails
+	// truncated during recovery, and records replayed into a cluster.
+	CounterJournalAppends        = "journal_appends"
+	CounterJournalSnapshots      = "journal_snapshots"
+	CounterJournalRecoveries     = "journal_recoveries"
+	CounterJournalTruncatedTails = "journal_truncated_tails"
+	CounterJournalReplayed       = "journal_replayed_records"
 )
 
 // Collector accumulates spans and counters for one pipeline run.

@@ -7,8 +7,10 @@
 package retry
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
+	"sync"
 	"time"
 )
 
@@ -114,4 +116,54 @@ func (p Policy) AfterChan(d time.Duration) <-chan time.Time {
 		return p.After(d)
 	}
 	return time.After(d)
+}
+
+// SleepCtx sleeps the given backoff but aborts early when the context is
+// cancelled, returning ctx.Err(). A drain or pool boot mid-backoff stops
+// within one select instead of finishing the sleep. The Sleep seam is
+// honoured when set (tests that stub Sleep stay instantaneous), but the
+// context is still checked before and after the stubbed sleep.
+func (p Policy) SleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// AfterChanCtx is the context-aware AfterChan variant: the returned stop
+// function releases the timer early, and the channel also fires when the
+// context is cancelled (so a select on it wakes on either expiry or
+// cancellation). The After seam is honoured when set.
+func (p Policy) AfterChanCtx(ctx context.Context, d time.Duration) (<-chan time.Time, func()) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make(chan time.Time, 1)
+	done := make(chan struct{})
+	src := p.AfterChan(d)
+	go func() {
+		select {
+		case t := <-src:
+			out <- t
+		case <-ctx.Done():
+			out <- time.Time{}
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	return out, func() { once.Do(func() { close(done) }) }
 }

@@ -20,6 +20,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -28,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"autonetkit/internal/journal"
 	"autonetkit/internal/obs"
 	"autonetkit/internal/retry"
 )
@@ -103,6 +105,19 @@ type Options struct {
 	OnEvent func(Event)
 	// Now is the drain-duration clock (test seam; nil selects time.Now).
 	Now func() time.Time
+	// Journal configures the durability log used by Open (fsync policy,
+	// crash-injection seam); New ignores it. Journal.Obs defaults to Obs.
+	Journal journal.Options
+	// SnapshotEvery compacts the journal after this many appended records
+	// (<= 0 selects 64). Open only.
+	SnapshotEvery int
+}
+
+func (o Options) snapshotEvery() int {
+	if o.SnapshotEvery <= 0 {
+		return 64
+	}
+	return o.SnapshotEvery
 }
 
 // Event is one cluster state change, in sequence order.
@@ -205,6 +220,12 @@ type Cluster struct {
 	eventSeq  int
 	events    []Event
 
+	// Durability (set by Open; nil journal = in-memory only, as New).
+	journal      *journal.Log
+	journalErr   error // first journal failure; poisons all mutators
+	replaying    bool  // replay in progress: suppress events, counters, appends
+	appendsSince int   // records since the last snapshot compaction
+
 	probeStop chan struct{}
 	probeDone chan struct{}
 }
@@ -246,14 +267,38 @@ func (c *Cluster) now() time.Time {
 	return time.Now()
 }
 
-// emit appends an event (lock held).
+// emit appends an event (lock held). Events are observability, not
+// durable state: replay re-derives the state silently, so a recovered
+// cluster's event log starts fresh rather than re-announcing history.
 func (c *Cluster) emit(kind, format string, args ...any) {
+	if c.replaying {
+		return
+	}
 	c.eventSeq++
 	ev := Event{Seq: c.eventSeq, Kind: kind, Detail: fmt.Sprintf(format, args...)}
 	c.events = append(c.events, ev)
 	if c.opts.OnEvent != nil {
 		c.opts.OnEvent(ev)
 	}
+}
+
+// count bumps an obs counter unless a replay is re-deriving state (the
+// work being counted already happened, in the previous process).
+func (c *Cluster) count(name string, delta int64) {
+	if c.replaying {
+		return
+	}
+	c.opts.Obs.Add(name, delta)
+}
+
+// usableLocked refuses mutations after a journal failure: the in-memory
+// state may be ahead of disk, and only a reopen (sched.Open) re-establishes
+// agreement. Lock held.
+func (c *Cluster) usableLocked() error {
+	if c.journalErr != nil {
+		return fmt.Errorf("sched: journal failed, reopen required: %w", c.journalErr)
+	}
+	return nil
 }
 
 // Events returns every cluster event so far, in sequence order.
@@ -426,6 +471,23 @@ type ReservationStatus struct {
 func (c *Cluster) Reserve(sp Spec) (ReservationStatus, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.usableLocked(); err != nil {
+		return ReservationStatus{}, err
+	}
+	st, err := c.reserveLocked(sp)
+	if err != nil {
+		return st, err
+	}
+	if jerr := c.journalAppend(record{Kind: recReserve, Spec: &sp}); jerr != nil {
+		return st, jerr
+	}
+	return st, nil
+}
+
+// reserveLocked is Reserve's deterministic core: placement and queueing
+// decided purely by (state, spec, seed), so replaying the journaled spec
+// through it re-derives the identical outcome. Lock held.
+func (c *Cluster) reserveLocked(sp Spec) (ReservationStatus, error) {
 	if err := sp.Validate(); err != nil {
 		return ReservationStatus{}, err
 	}
@@ -464,7 +526,7 @@ func (c *Cluster) Reserve(sp Spec) (ReservationStatus, error) {
 	// queue, even if it would fit right now.
 	if c.queuedHead(tenant) != nil {
 		r.state = ResQueued
-		c.opts.Obs.Add(obs.CounterReservationsQueued, 1)
+		c.count(obs.CounterReservationsQueued, 1)
 		c.emit("queue", "%s: %d VMs queued behind tenant %s's earlier request", sp.Name, len(vms), tenant)
 		return c.statusOf(r), nil
 	}
@@ -474,7 +536,7 @@ func (c *Cluster) Reserve(sp Spec) (ReservationStatus, error) {
 			sp.Name, len(vms), len(hostSet(r.placement)), tenant, sp.policy())
 	} else {
 		r.state = ResQueued
-		c.opts.Obs.Add(obs.CounterReservationsQueued, 1)
+		c.count(obs.CounterReservationsQueued, 1)
 		c.emit("queue", "%s: %d VMs queued behind capacity (tenant %s)", sp.Name, len(vms), tenant)
 	}
 	return c.statusOf(r), nil
@@ -485,6 +547,18 @@ func (c *Cluster) Reserve(sp Spec) (ReservationStatus, error) {
 func (c *Cluster) Release(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.usableLocked(); err != nil {
+		return err
+	}
+	if err := c.releaseLocked(name); err != nil {
+		return err
+	}
+	return c.journalAppend(record{Kind: recRelease, Name: name})
+}
+
+// releaseLocked is Release's deterministic core (the freed-capacity
+// admission pass re-derives identically on replay). Lock held.
+func (c *Cluster) releaseLocked(name string) error {
 	r, ok := c.res[name]
 	if !ok {
 		return fmt.Errorf("sched: no reservation %s", name)
@@ -503,7 +577,13 @@ func (c *Cluster) Release(name string) error {
 func (c *Cluster) Cordon(host string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.cordonLocked(host)
+	if err := c.usableLocked(); err != nil {
+		return err
+	}
+	if err := c.cordonLocked(host); err != nil {
+		return err
+	}
+	return c.journalAppend(record{Kind: recCordon, Host: host})
 }
 
 func (c *Cluster) cordonLocked(host string) error {
@@ -518,7 +598,7 @@ func (c *Cluster) cordonLocked(host string) error {
 		return fmt.Errorf("sched: host %s is already cordoned", host)
 	}
 	h.cordoned = true
-	c.opts.Obs.Add(obs.CounterHostCordoned, 1)
+	c.count(obs.CounterHostCordoned, 1)
 	c.emit("cordon", "%s unschedulable (%d VMs stay until drained)", host, len(h.vms))
 	return nil
 }
@@ -527,6 +607,16 @@ func (c *Cluster) cordonLocked(host string) error {
 func (c *Cluster) Uncordon(host string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.usableLocked(); err != nil {
+		return err
+	}
+	if err := c.uncordonLocked(host); err != nil {
+		return err
+	}
+	return c.journalAppend(record{Kind: recUncordon, Host: host})
+}
+
+func (c *Cluster) uncordonLocked(host string) error {
 	h, ok := c.hosts[host]
 	if !ok {
 		return fmt.Errorf("sched: no host %s", host)
@@ -546,8 +636,19 @@ func (c *Cluster) Uncordon(host string) error {
 // (no capacity, or migration kept failing) stay on the cordoned host and
 // are reported; the error then wraps ErrDegraded with a capacity report.
 func (c *Cluster) Drain(host string) (DrainResult, error) {
+	return c.DrainContext(context.Background(), host)
+}
+
+// DrainContext is Drain with cancellation: a cancelled context aborts the
+// drain between migration attempts and during backoff sleeps. Moves that
+// already committed stay committed (and journaled); the remaining VMs stay
+// on the cordoned host, and the returned error is the context's.
+func (c *Cluster) DrainContext(ctx context.Context, host string) (DrainResult, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.usableLocked(); err != nil {
+		return DrainResult{}, err
+	}
 	start := c.now()
 	h, ok := c.hosts[host]
 	if !ok {
@@ -561,10 +662,19 @@ func (c *Cluster) Drain(host string) (DrainResult, error) {
 			return DrainResult{}, err
 		}
 	}
-	res := c.replaceLocked("drain "+host, h, true)
+	res, ctxErr := c.replaceLocked(ctx, "drain "+host, h, true)
 	res.Duration = c.now().Sub(start)
-	c.opts.Obs.Add(obs.CounterDrainDuration, res.Duration.Milliseconds())
+	c.count(obs.CounterDrainDuration, res.Duration.Milliseconds())
 	c.emit("drain", "%s: %d VMs re-placed, %d stranded in place", host, len(res.Moves), len(res.Stranded))
+	// The drain's durable effect is the cordon + the committed moves; a
+	// live drain's stranded VMs simply stayed where they were. The record
+	// folds the implicit cordon in, so one journal record = one Drain call.
+	if jerr := c.journalAppend(record{Kind: recDrain, Host: host, Moves: res.Moves}); jerr != nil {
+		return res, jerr
+	}
+	if ctxErr != nil {
+		return res, fmt.Errorf("sched: drain %s aborted: %w", host, ctxErr)
+	}
 	if len(res.Stranded) > 0 {
 		c.emit("degraded", "drain %s: %s", host, res.Report.Summary())
 		return res, &DegradedError{Op: "drain " + host, Stranded: res.Stranded, Report: res.Report}
@@ -580,6 +690,9 @@ func (c *Cluster) Drain(host string) (DrainResult, error) {
 func (c *Cluster) FailHost(host string) (DrainResult, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.usableLocked(); err != nil {
+		return DrainResult{}, err
+	}
 	start := c.now()
 	h, ok := c.hosts[host]
 	if !ok {
@@ -590,9 +703,12 @@ func (c *Cluster) FailHost(host string) (DrainResult, error) {
 	}
 	h.health = Failed
 	c.emit("host-failed", "%s dead with %d VMs aboard", host, len(h.vms))
-	res := c.replaceLocked("fail-host "+host, h, false)
+	res, _ := c.replaceLocked(context.Background(), "fail-host "+host, h, false)
 	res.Duration = c.now().Sub(start)
-	c.opts.Obs.Add(obs.CounterDrainDuration, res.Duration.Milliseconds())
+	c.count(obs.CounterDrainDuration, res.Duration.Milliseconds())
+	if jerr := c.journalAppend(record{Kind: recFailHost, Host: host, Moves: res.Moves, Stranded: res.Stranded}); jerr != nil {
+		return res, jerr
+	}
 	if len(res.Stranded) > 0 {
 		c.emit("degraded", "fail-host %s: %s", host, res.Report.Summary())
 		return res, &DegradedError{Op: "fail-host " + host, Stranded: res.Stranded, Report: res.Report}
@@ -603,17 +719,30 @@ func (c *Cluster) FailHost(host string) (DrainResult, error) {
 // replaceLocked moves every VM off the given host. live=true is a drain
 // (the source still runs each VM until its move commits; failures leave
 // the VM in place); live=false is a host failure (the VMs are orphans; a
-// failed placement strands them on their reservation). Lock held.
-func (c *Cluster) replaceLocked(op string, h *hostState, live bool) DrainResult {
+// failed placement strands them on their reservation). A context
+// cancellation stops the sweep; the error return is then the context's,
+// and the VMs not yet processed are reported as stranded-in-place (live
+// only — FailHost runs under Background). Lock held.
+func (c *Cluster) replaceLocked(ctx context.Context, op string, h *hostState, live bool) (DrainResult, error) {
 	res := DrainResult{Host: h.info.Name}
 	vms := make([]string, 0, len(h.vms))
 	for vm := range h.vms {
 		vms = append(vms, vm)
 	}
 	sort.Strings(vms)
+	var ctxErr error
 	for _, vm := range vms {
+		if ctxErr != nil {
+			res.Stranded = append(res.Stranded, vm)
+			continue
+		}
 		r := c.res[h.vms[vm]]
-		target, ok := c.migrateVM(r, vm, h)
+		target, ok, err := c.migrateVM(ctx, r, vm, h)
+		if err != nil {
+			ctxErr = err
+			res.Stranded = append(res.Stranded, vm)
+			continue
+		}
 		if !ok {
 			if live {
 				// The VM keeps running on the cordoned source.
@@ -632,39 +761,45 @@ func (c *Cluster) replaceLocked(op string, h *hostState, live bool) DrainResult 
 		delete(r.placement, vm)
 		r.placement[vm] = target
 		c.hosts[target].vms[vm] = r.spec.Name
-		c.opts.Obs.Add(obs.CounterVMsReplaced, 1)
+		c.count(obs.CounterVMsReplaced, 1)
 		c.emit("replace", "%s: %s -> %s (reservation %s)", op, vm, target, r.spec.Name)
 		res.Moves = append(res.Moves, Move{VM: vm, From: h.info.Name, To: target, Reservation: r.spec.Name})
 	}
 	if len(res.Stranded) > 0 {
 		res.Report = c.capacityLocked(len(res.Stranded))
 	}
-	return res
+	return res, ctxErr
 }
 
 // migrateVM picks the best surviving target for one VM and runs the
-// backend migration under the bounded retry policy. Returns the committed
-// target, or ok=false when no target could accept the VM. Lock held; the
-// backend's Migrate must not call back into the cluster.
-func (c *Cluster) migrateVM(r *reservation, vm string, from *hostState) (string, bool) {
+// backend migration under the bounded retry policy, aborting early when
+// the context cancels mid-backoff (the non-nil error return). Returns the
+// committed target, or ok=false when no target could accept the VM. Lock
+// held; the backend's Migrate must not call back into the cluster.
+func (c *Cluster) migrateVM(ctx context.Context, r *reservation, vm string, from *hostState) (string, bool, error) {
 	plan, ok := c.planPlacement(r, []string{vm}, from.info.Name)
 	if !ok {
-		return "", false
+		return "", false, nil
 	}
 	target := plan[vm]
 	pol := c.opts.Retry
 	var lastErr error
 	for attempt := 1; attempt <= pol.Attempts(); attempt++ {
+		if err := ctx.Err(); err != nil {
+			return "", false, err
+		}
 		lastErr = c.backend.Migrate(vm, from.info.Name, target, attempt)
 		if lastErr == nil {
-			return target, true
+			return target, true, nil
 		}
 		if attempt < pol.Attempts() {
-			pol.SleepFor(pol.Delay(target, attempt))
+			if err := pol.SleepCtx(ctx, pol.Delay(target, attempt)); err != nil {
+				return "", false, err
+			}
 		}
 	}
 	c.emit("stranded", "%s: migration to %s failed after %d attempts: %v", vm, target, pol.Attempts(), lastErr)
-	return "", false
+	return "", false, nil
 }
 
 // admit re-places stranded VMs and then admits queued reservations in
@@ -692,7 +827,7 @@ func (c *Cluster) admit() {
 			delete(r.stranded, vm)
 			r.placement[vm] = target
 			c.hosts[target].vms[vm] = r.spec.Name
-			c.opts.Obs.Add(obs.CounterVMsReplaced, 1)
+			c.count(obs.CounterVMsReplaced, 1)
 			c.emit("replace", "heal: %s -> %s (reservation %s)", vm, target, r.spec.Name)
 		}
 		if len(r.stranded) == 0 {
@@ -807,6 +942,10 @@ type ProbeResult struct {
 // drains it); RecoverAfter consecutive successes return it to service.
 func (c *Cluster) ProbeAll() []ProbeResult {
 	c.mu.Lock()
+	if c.journalErr != nil {
+		c.mu.Unlock()
+		return nil
+	}
 	names := make([]string, 0, len(c.hostNames))
 	for _, name := range c.hostNames {
 		if c.hosts[name].health != Failed {
@@ -821,42 +960,42 @@ func (c *Cluster) ProbeAll() []ProbeResult {
 	}
 
 	c.mu.Lock()
+	if c.journalErr != nil {
+		c.mu.Unlock()
+		return nil
+	}
 	var out []ProbeResult
 	var toDrain []string
+	var outcomes []probeOutcome
+	changed := false
 	for _, name := range names {
 		h, ok := c.hosts[name]
 		if !ok || h.health == Failed {
 			continue
 		}
 		err := errs[name]
-		if err != nil {
-			h.fails++
-			h.oks = 0
-			if h.health == Healthy && h.fails >= c.opts.Health.failAfter() {
-				h.health = Unhealthy
-				c.opts.Obs.Add(obs.CounterHostsUnhealthy, 1)
-				c.emit("unhealthy", "%s failed %d consecutive probes: %v", name, h.fails, err)
-				if c.opts.Health.AutoDrain {
-					toDrain = append(toDrain, name)
-				}
-			}
-		} else {
-			h.fails = 0
-			if h.health == Unhealthy {
-				h.oks++
-				if h.oks >= c.opts.Health.recoverAfter() {
-					h.health = Healthy
-					h.oks = 0
-					c.emit("recovered", "%s healthy after %d consecutive probe successes", name, c.opts.Health.recoverAfter())
-					c.admit()
-				}
-			}
+		// A failed probe always moves the fails counter; a success only
+		// changes state when it resets a streak or heals an unhealthy
+		// host. All-quiet rounds skip the journal entirely.
+		if err != nil || h.fails > 0 || h.health == Unhealthy {
+			changed = true
 		}
+		if c.applyProbeLocked(name, err) {
+			toDrain = append(toDrain, name)
+		}
+		outcomes = append(outcomes, probeOutcome{Host: name, OK: err == nil})
 		res := ProbeResult{Host: name, Healthy: err == nil, State: h.stateLabel()}
 		if err != nil {
 			res.Err = err.Error()
 		}
 		out = append(out, res)
+	}
+	if changed {
+		// Probe streaks (fails/oks) gate future health transitions, so
+		// they are durable state: journal the round's outcomes; replay
+		// re-runs the same threshold logic (AutoDrain excluded — the
+		// drains it triggered were journaled as their own records).
+		_ = c.journalAppend(record{Kind: recProbe, Probes: outcomes})
 	}
 	c.mu.Unlock()
 
@@ -864,6 +1003,39 @@ func (c *Cluster) ProbeAll() []ProbeResult {
 		_, _ = c.Drain(name)
 	}
 	return out
+}
+
+// applyProbeLocked applies one host's probe outcome to the threshold state
+// machine, reporting whether the transition calls for an auto-drain. Lock
+// held; shared by the live probe loop and journal replay (where AutoDrain
+// is ignored — the resulting drains were journaled separately).
+func (c *Cluster) applyProbeLocked(name string, probeErr error) (autoDrain bool) {
+	h, ok := c.hosts[name]
+	if !ok || h.health == Failed {
+		return false
+	}
+	if probeErr != nil {
+		h.fails++
+		h.oks = 0
+		if h.health == Healthy && h.fails >= c.opts.Health.failAfter() {
+			h.health = Unhealthy
+			c.count(obs.CounterHostsUnhealthy, 1)
+			c.emit("unhealthy", "%s failed %d consecutive probes: %v", name, h.fails, probeErr)
+			return c.opts.Health.AutoDrain
+		}
+		return false
+	}
+	h.fails = 0
+	if h.health == Unhealthy {
+		h.oks++
+		if h.oks >= c.opts.Health.recoverAfter() {
+			h.health = Healthy
+			h.oks = 0
+			c.emit("recovered", "%s healthy after %d consecutive probe successes", name, c.opts.Health.recoverAfter())
+			c.admit()
+		}
+	}
+	return false
 }
 
 // StartProbing runs ProbeAll every interval until the returned stop

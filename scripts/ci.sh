@@ -31,6 +31,25 @@ rm -f /tmp/ci_sched_report.$$
 echo "== golden scheduler drain drill (testdata/sched/drain_drill; Workers=1 vs Workers=8 determinism)"
 go test -race -run 'TestGoldenSchedDrainDrill' -count=1 .
 
+echo "== journal recovery drill (testdata/journal; uncrashed vs split-across-processes byte identity)"
+state_dir=$(mktemp -d /tmp/ci_journal.XXXXXX)
+cat testdata/journal/ops.sched testdata/journal/status.sched \
+  | go run ./cmd/anksched -script - -hosts 4 -cap 6 -seed 2013 > /tmp/ci_journal_whole.$$
+go run ./cmd/anksched -script testdata/journal/ops.sched -hosts 4 -cap 6 -seed 2013 \
+  -state-dir "$state_dir" -snapshot-every 3 > /tmp/ci_journal_part1.$$ 2>/dev/null
+go run ./cmd/anksched -script testdata/journal/status.sched -hosts 4 -cap 6 -seed 2013 \
+  -state-dir "$state_dir" > /tmp/ci_journal_part2.$$ 2>/dev/null
+cat /tmp/ci_journal_part1.$$ /tmp/ci_journal_part2.$$ | diff -u /tmp/ci_journal_whole.$$ -
+diff -u testdata/journal/drill.status /tmp/ci_journal_part2.$$
+rm -rf "$state_dir" /tmp/ci_journal_whole.$$ /tmp/ci_journal_part1.$$ /tmp/ci_journal_part2.$$
+
+echo "== golden scheduler crash drill (testdata/journal/crash_drill; crash-sched under a running lab)"
+go test -race -run 'TestGoldenSchedCrashDrill|TestAnkschedStateDirByteIdentity' -count=1 .
+
+echo "== scheduler crash-point matrix (every journal I/O step, -race)"
+go test -race -run 'TestSchedCrashMatrix|TestReplayEquivalenceProperty' -count=1 ./internal/sched/
+go test -race -run 'TestJournalCrashMatrix' -count=1 ./internal/journal/
+
 echo "== golden partial-boot drill (testdata/quarantine)"
 go test -race -run 'TestGoldenQuarantineDrill' -count=1 .
 
@@ -65,6 +84,9 @@ go test -run 'NONE' -bench 'BenchmarkP6_IncrementalConvergence' -benchtime 1x .
 echo "== scheduler placement + drain benchmark (42-AS / 1158-router scale)"
 go test -run 'NONE' -bench 'BenchmarkP7_SchedulerDrain' -benchtime 1x .
 
+echo "== journal append + crash-recovery benchmark (1158-router scale)"
+go test -run 'NONE' -bench 'BenchmarkP8_(JournalAppend|SchedulerRecovery)' -benchtime 1x .
+
 echo "== fuzz (parsers, 5s each)"
 for target in FuzzParseQuagga FuzzParseIOS FuzzParseJunos FuzzParseCBGP; do
   go test -run=NONE -fuzz="^${target}\$" -fuzztime=5s ./internal/emul/
@@ -73,6 +95,7 @@ for target in FuzzParseScenario FuzzParsePerturb; do
   go test -run=NONE -fuzz="^${target}\$" -fuzztime=5s ./internal/chaos/
 done
 go test -run=NONE -fuzz='^FuzzParseSpec$' -fuzztime=5s ./internal/sched/
+go test -run=NONE -fuzz='^FuzzJournalDecode$' -fuzztime=5s ./internal/journal/
 go test -run=NONE -fuzz='^FuzzTextFSM$' -fuzztime=5s ./internal/measure/textfsm/
 
 echo "CI OK"
