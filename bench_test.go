@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"net/netip"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -928,7 +929,7 @@ func BenchmarkP5_ConvergenceUnderLoss(b *testing.B) {
 		incremental bool
 	}{{"full", false}, {"incremental", true}} {
 		b.Run("postincident240/"+mode.name, func(b *testing.B) {
-			benchPostIncident(b, p6DeployedLab(b, 240, mode.incremental))
+			benchPostIncident(b, benchDeployedLab(b, 240, mode.incremental, 1))
 		})
 	}
 }
@@ -942,9 +943,12 @@ func BenchmarkP5_ConvergenceUnderLoss(b *testing.B) {
 // TestIncrementalConvergenceParity), so the gap is purely the cost of
 // re-deriving state the incident provably did not touch. ---
 
-// p6DeployedLab builds and deploys an NREN-shaped lab of the given size in
-// the requested convergence mode.
-func p6DeployedLab(b *testing.B, routers int, incremental bool) *emul.Lab {
+// benchDeployedLab builds and deploys an NREN-shaped lab of the given size
+// in the requested convergence mode — the one topology-build helper shared
+// by the P6 (incremental) and P9 (sharded) convergence benchmarks, so both
+// measure the same lab shape. shards is the sharded-convergence worker
+// count (1 = sequential sweep).
+func benchDeployedLab(b *testing.B, routers int, incremental bool, shards int) *emul.Lab {
 	b.Helper()
 	g, err := topogen.NREN(topogen.NRENConfig{ASes: routers / 20, Routers: routers, Links: routers * 5 / 4, Seed: 7})
 	if err != nil {
@@ -957,7 +961,7 @@ func p6DeployedLab(b *testing.B, routers int, incremental bool) *emul.Lab {
 	if err := net.Build(BuildOptions{}); err != nil {
 		b.Fatal(err)
 	}
-	dep, err := net.Deploy(deploy.Options{Incremental: incremental})
+	dep, err := net.Deploy(deploy.Options{Incremental: incremental, Shards: shards})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -995,7 +999,53 @@ func BenchmarkP6_IncrementalConvergence(b *testing.B) {
 			incremental bool
 		}{{"full", false}, {"incremental", true}} {
 			b.Run(fmt.Sprintf("n%d/%s", routers, mode.name), func(b *testing.B) {
-				benchPostIncident(b, p6DeployedLab(b, routers, mode.incremental))
+				benchPostIncident(b, benchDeployedLab(b, routers, mode.incremental, 1))
+			})
+		}
+	}
+}
+
+// --- P9: parallel sharded BGP convergence (per-AS shards evaluated
+// concurrently on a bounded worker pool, cross-shard advertisements merged
+// in canonical order). The serial/sharded pairs are byte-equivalent by
+// construction (see TestShardedConvergenceParity), so the gap is purely
+// the parallel round evaluation. `cold` measures a full reconvergence of
+// the whole lab; `postincident` composes sharding with the incremental
+// paths (delta SPF + BGP trajectory replay) on a fail/restore round trip. ---
+
+func BenchmarkP9_ShardedConvergence(b *testing.B) {
+	// At least 4 shard workers even on small hosts, so the parallel driver
+	// (worker pool, wavefront scheduler, merge barrier) is actually
+	// exercised: on <4 cores the run measures its scheduling overhead, on
+	// >=4 cores its speedup.
+	sharded := runtime.NumCPU()
+	if sharded < 4 {
+		sharded = 4
+	}
+	for _, routers := range []int{240, 1158} {
+		for _, mode := range []struct {
+			name   string
+			shards int
+		}{{"serial", 1}, {"sharded", sharded}} {
+			b.Run(fmt.Sprintf("n%d/%s/cold", routers, mode.name), func(b *testing.B) {
+				lab := benchDeployedLab(b, routers, false, mode.shards)
+				b.ReportAllocs()
+				b.ResetTimer()
+				var rounds int
+				for i := 0; i < b.N; i++ {
+					res, err := lab.Reconverge()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Converged {
+						b.Fatalf("did not converge: %+v", res)
+					}
+					rounds = res.Rounds
+				}
+				b.ReportMetric(float64(rounds), "rounds")
+			})
+			b.Run(fmt.Sprintf("n%d/%s/postincident", routers, mode.name), func(b *testing.B) {
+				benchPostIncident(b, benchDeployedLab(b, routers, true, mode.shards))
 			})
 		}
 	}

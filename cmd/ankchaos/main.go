@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"autonetkit"
@@ -45,6 +46,7 @@ func main() {
 	supervise := flag.Bool("supervise", false, "run the convergence watchdog on every step, even for unseeded scenarios")
 	trace := flag.Bool("trace", false, "print the pipeline + chaos span trace after the report")
 	incremental := flag.Bool("incremental", false, "enable incremental reconvergence between scenario steps (delta SPF, BGP trajectory replay, FIB node reuse); reports stay byte-identical to full recompute")
+	shards := flag.Int("shards", runtime.NumCPU(), "worker count for sharded BGP convergence (per-AS shards evaluate concurrently; 1 = sequential sweep; reports are byte-identical at any value)")
 	flag.Parse()
 	if *in == "" || *scenarioPath == "" {
 		fmt.Fprintln(os.Stderr, "ankchaos: -in and -scenario are required")
@@ -70,7 +72,7 @@ func main() {
 	if err := net.Build(autonetkit.BuildOptions{}); err != nil {
 		fatal(err)
 	}
-	dep, err := net.Deploy(deploy.Options{Platform: *platform, Lenient: *lenient, Incremental: *incremental})
+	dep, err := net.Deploy(deploy.Options{Platform: *platform, Lenient: *lenient, Incremental: *incremental, Shards: *shards})
 	partial := err != nil && errors.Is(err, emul.ErrPartialBoot)
 	if err != nil && !partial {
 		var derr *emul.DiagnosticError

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"autonetkit"
@@ -33,6 +34,7 @@ func main() {
 	supervise := flag.Bool("supervise", false, "run the convergence watchdog after boot (escalate budget, soft-reset, quarantine on non-convergence)")
 	convergeTimeout := flag.Duration("converge-timeout", 0, "wall-clock bound per control-plane convergence run (0 = unbounded)")
 	incremental := flag.Bool("incremental", false, "enable incremental reconvergence (delta SPF, BGP trajectory replay, FIB node reuse); results stay byte-identical to full recompute")
+	shards := flag.Int("shards", runtime.NumCPU(), "worker count for sharded BGP convergence (per-AS shards evaluate concurrently; 1 = sequential sweep; results are byte-identical at any value)")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "ankdeploy: -in is required")
@@ -54,8 +56,8 @@ func main() {
 	dep, err := net.Deploy(deploy.Options{
 		Host: *host, Platform: *platform, Lenient: *lenient,
 		Supervise: *supervise, ConvergeTimeout: *convergeTimeout,
-		Incremental: *incremental,
-		OnEvent:     func(e deploy.Event) { fmt.Printf("[%s] %s\n", e.Stage, e.Detail) },
+		Incremental: *incremental, Shards: *shards,
+		OnEvent: func(e deploy.Event) { fmt.Printf("[%s] %s\n", e.Stage, e.Detail) },
 	})
 	partial := err != nil && errors.Is(err, emul.ErrPartialBoot)
 	if err != nil && !partial {

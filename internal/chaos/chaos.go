@@ -98,6 +98,12 @@ type Report struct {
 	Scenario string
 	Baseline measure.Reachability
 	Steps    []StepResult
+	// Shards is the structural shard count of the lab's BGP topology (its
+	// distinct ASes) — deliberately a topology property, not the -shards
+	// worker knob, so the rendered header stays byte-identical across
+	// worker counts while still pinning the partition the sharded driver
+	// evaluates. 0 (omitted from the header) when unknown.
+	Shards int
 }
 
 // Findings flattens every step's findings in step order.
@@ -134,8 +140,12 @@ func (r Report) String() string {
 	if name == "" {
 		name = "scenario"
 	}
-	fmt.Fprintf(&sb, "chaos report: %s: %d steps, %d findings (%d errors)\n",
-		name, len(r.Steps), len(findings), errs)
+	shardNote := ""
+	if r.Shards > 0 {
+		shardNote = fmt.Sprintf(" [%d shards]", r.Shards)
+	}
+	fmt.Fprintf(&sb, "chaos report: %s: %d steps, %d findings (%d errors)%s\n",
+		name, len(r.Steps), len(findings), errs, shardNote)
 	fmt.Fprintf(&sb, "  baseline: %d/%d pairs reachable\n", r.Baseline.Reachable(), r.Baseline.Pairs())
 	for _, s := range r.Steps {
 		fmt.Fprintf(&sb, "  step %-2d %-28s %s\n", s.Index, s.Step, s.Verdict)
@@ -163,7 +173,7 @@ func stepLabel(i int, s Step) string { return fmt.Sprintf("step-%d %s", i, s) }
 func (e *Engine) Run(sc Scenario) (Report, error) {
 	span := e.opts.Obs.StartSpan("Chaos")
 	defer span.End()
-	rep := Report{Scenario: sc.Name}
+	rep := Report{Scenario: sc.Name, Shards: e.lab.BGPShardCount()}
 
 	bspan := e.opts.Obs.StartSpan("baseline")
 	base, err := e.client.ReachabilityMatrix(e.lab.VMNames(), e.addrOf)

@@ -137,6 +137,11 @@ type Options struct {
 	// delta SPF, BGP trajectory replay and data-plane node reuse. Routing
 	// tables, verdicts and events stay byte-identical to full recompute.
 	Incremental bool
+	// Shards is the worker count for sharded BGP round evaluation (<= 1 =
+	// sequential sweep). Per-AS shards evaluate concurrently inside each
+	// convergence round; routing tables, verdicts and events stay
+	// byte-identical at any value.
+	Shards int
 }
 
 // Run executes the full deployment of a rendered file set and returns the
@@ -177,7 +182,7 @@ func Run(fs *render.FileSet, opts Options) (*Deployment, error) {
 	d.emit(Event{"lstart", fmt.Sprintf("launching %d machines", len(lab.VMNames()))})
 	bootErr := lab.Boot(emul.BootOptions{
 		MaxBGPRounds: opts.MaxBGPRounds, ConvergeTimeout: opts.ConvergeTimeout, Lenient: opts.Lenient,
-		Incremental: opts.Incremental, Obs: opts.Obs,
+		Incremental: opts.Incremental, Obs: opts.Obs, Shards: opts.Shards,
 	})
 	if bootErr != nil && !errors.Is(bootErr, emul.ErrPartialBoot) {
 		return nil, bootErr

@@ -78,6 +78,11 @@ type Lab struct {
 	prevSigs    map[string]uint64
 	obs         *obs.Collector
 
+	// shards is the worker count for sharded BGP round evaluation; <= 1
+	// keeps the sequential sweep. Threaded into every BGP engine the lab
+	// builds; results are byte-identical at any value (shard.go).
+	shards int
+
 	// incidentSeq numbers injected incidents (FailLink, FailNode, Partition
 	// and their restores) so watchdog escalations and chaos reports can name
 	// the incident that triggered them. 0 = no incident injected yet.
@@ -192,6 +197,35 @@ func (l *Lab) Incremental() bool {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	return l.incremental
+}
+
+// SetShards sets the worker count for sharded BGP round evaluation in
+// subsequent converges. n <= 1 (the default) keeps the sequential sweep;
+// any value produces byte-identical routing tables, verdicts and events.
+func (l *Lab) SetShards(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.shards = n
+}
+
+// Shards returns the configured shard worker count.
+func (l *Lab) Shards() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.shards
+}
+
+// BGPShardCount returns the structural shard count of the converged BGP
+// topology — the number of distinct ASes among its speakers. It is a
+// property of the topology, not of the SetShards knob, so reports that
+// print it stay byte-identical across worker counts. 0 before boot.
+func (l *Lab) BGPShardCount() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.bgp == nil {
+		return 0
+	}
+	return l.bgp.ShardCount()
 }
 
 // LastIncidentID returns the sequence number of the most recently injected
@@ -443,6 +477,10 @@ type BootOptions struct {
 	// Obs, when set, receives incremental-convergence counters
 	// (spf_delta_recomputes, bgp_dirty_prefixes, rounds_skipped, ...).
 	Obs *obs.Collector
+	// Shards is the worker count for sharded BGP round evaluation (<= 1 =
+	// sequential sweep, the default). Any value produces byte-identical
+	// results; > 1 evaluates per-AS shards concurrently inside each round.
+	Shards int
 }
 
 // Start boots every machine (parsing its configuration), converges OSPF,
@@ -539,6 +577,7 @@ func (l *Lab) Boot(opts BootOptions) error {
 	l.budget = routing.ConvergenceBudget{MaxBGPRounds: opts.MaxBGPRounds, Timeout: opts.ConvergeTimeout}
 	l.incremental = opts.Incremental
 	l.obs = opts.Obs
+	l.shards = opts.Shards
 	if err := l.converge(); err != nil {
 		return err
 	}
@@ -621,6 +660,7 @@ func (l *Lab) converge() error {
 	// persistent one, not a lockstep-timing artifact.
 	bgp.SetSequential(true)
 	bgp.SetPerturber(l.pert)
+	bgp.SetShards(l.shards)
 	if l.incremental {
 		// Speakers whose IGP routes moved see different next-hop costs, so
 		// they must recompute even if their own configs are untouched.
@@ -648,6 +688,12 @@ func (l *Lab) converge() error {
 		l.obs.Add(obs.CounterRoundsSkipped, skipped)
 		bgpChanged = bgp.ChangedSpeakers()
 		l.bgpReplay = bgp.ReplayLog()
+	}
+	if l.shards > 1 {
+		parallelRounds, crossAdverts := bgp.ShardStats()
+		l.obs.Add(obs.CounterBGPShards, int64(bgp.ShardCount()))
+		l.obs.Add(obs.CounterShardRoundsParallel, parallelRounds)
+		l.obs.Add(obs.CounterCrossShardAdverts, crossAdverts)
 	}
 	// Data plane (not for C-BGP, which is a route solver).
 	if l.Platform != "cbgp" {

@@ -64,6 +64,15 @@ const (
 	CounterRoundsSkipped       = "rounds_skipped"
 	CounterFIBNodesReused      = "fib_nodes_reused"
 
+	// Sharded-convergence counters (internal/routing/shard.go): the number
+	// of structural per-AS shards in the converged topology, rounds
+	// evaluated by the parallel wavefront driver, and advertisements
+	// delivered across shard boundaries (eBGP sessions). All zero when the
+	// sequential sweep ran (shards knob <= 1).
+	CounterBGPShards           = "bgp_shards"
+	CounterShardRoundsParallel = "shard_rounds_parallel"
+	CounterCrossShardAdverts   = "cross_shard_adverts"
+
 	// Cluster-scheduler counters (internal/sched): cordon/drain lifecycle,
 	// fair-share queueing, and live re-placement. drain_duration accumulates
 	// milliseconds across drains.

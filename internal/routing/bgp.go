@@ -7,6 +7,7 @@ import (
 	"net/netip"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // VendorProfile captures the decision-process differences between BGP
@@ -108,8 +109,10 @@ type speaker struct {
 	// (reverseSession semantics), precomputed once at engine build.
 	sessTo map[string]session
 	// advCache memoizes advertise() per session target address and prefix;
-	// see advEntry.
+	// see advEntry. advMu guards it during sharded rounds, when several of
+	// the speaker's peers may pull from it concurrently (shard.go).
 	advCache map[netip.Addr]map[netip.Prefix]advEntry
+	advMu    sync.Mutex
 	// adjIn[peerAddr] is the current set of routes heard from that peer.
 	adjIn map[netip.Addr][]BGPRoute
 	// locRIB is the selected best route per prefix.
@@ -173,6 +176,17 @@ type BGPEngine struct {
 	statRestored      int64
 	statDirtyPrefixes int64
 	statRoundsSkipped int64
+
+	// Sharded-evaluation state (see shard.go). shardWorkers is the SetShards
+	// knob (<= 1 keeps the sequential sweep); plan caches the per-AS
+	// partition and its dependency DAG; pertMu serializes perturbation-layer
+	// calls during concurrent shard evaluation. The stat pair accumulates
+	// across runs of this engine.
+	shardWorkers     int
+	plan             *shardPlan
+	pertMu           sync.Mutex
+	statShardRounds  int64
+	statCrossAdverts int64
 }
 
 // NewBGPEngine wires up sessions between the given devices. profileOf maps
@@ -344,6 +358,9 @@ func (e *BGPEngine) SetSequential(on bool) { e.sequential = on }
 // It returns true when the round changed nothing (convergence).
 func (e *BGPEngine) Step() bool {
 	if e.sequential {
+		if e.useSharded() {
+			return e.stepSharded()
+		}
 		return e.stepSequential()
 	}
 	e.rounds++

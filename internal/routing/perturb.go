@@ -19,9 +19,14 @@ import (
 // engines exactly as they were.
 
 // Perturber is consulted by the protocol engines at every delivery point.
-// Implementations must be deterministic: the engines run single-threaded
-// and call each hook in a fixed order, so any state kept inside the
-// perturber (delay queues, flap schedules) evolves reproducibly.
+// Implementations must be deterministic: the engines call each hook under
+// a single lock in a per-session-preserving order, so any state kept
+// inside the perturber (delay queues, flap schedules) evolves
+// reproducibly. In the default sequential sweep the calls are additionally
+// globally ordered; the sharded driver (shard.go) preserves the relative
+// order of the two calls touching any one session but interleaves
+// different sessions, which is why custom Perturbers that do not implement
+// the capture extension are evaluated sequentially.
 type Perturber interface {
 	// Reset clears round-keyed delivery state (delay queues, session-state
 	// tracking). The BGP engine calls it at the start of every Run, so a
@@ -160,6 +165,11 @@ type ScheduledPerturber struct {
 
 	events  []string
 	dropped int
+	// capture, when set, redirects logf into the pointed-at buffer instead
+	// of the event log (bypassing the cap); the sharded round driver uses
+	// it to collect per-delivery lines for canonical restaging at its merge
+	// barrier.
+	capture *[]string
 }
 
 // NewScheduledPerturber builds a perturber over the given rules. The same
@@ -203,11 +213,33 @@ func (p *ScheduledPerturber) Events() []string {
 }
 
 func (p *ScheduledPerturber) logf(format string, args ...any) {
+	if p.capture != nil {
+		*p.capture = append(*p.capture, fmt.Sprintf(format, args...))
+		return
+	}
 	if len(p.events) >= maxPerturbEvents {
 		p.dropped++
 		return
 	}
 	p.events = append(p.events, fmt.Sprintf(format, args...))
+}
+
+// setCapture implements the sharded driver's capture extension (see the
+// perturbCapturer interface in shard.go): while buf is non-nil, event
+// lines go there instead of the log. nil restores normal logging.
+func (p *ScheduledPerturber) setCapture(buf *[]string) { p.capture = buf }
+
+// restageEvents appends previously captured lines to the event log through
+// the normal cap-respecting path, so a sharded run's log — including any
+// truncation — is byte-identical to the sequential one.
+func (p *ScheduledPerturber) restageEvents(lines []string) {
+	for _, l := range lines {
+		if len(p.events) >= maxPerturbEvents {
+			p.dropped++
+			continue
+		}
+		p.events = append(p.events, l)
+	}
 }
 
 // hash mixes the seed with the given strings through FNV-1a; the result

@@ -75,11 +75,20 @@ go test -race -run 'TestGoldenIncrementalDrill' -count=1 .
 echo "== incremental convergence parity (byte-identical reports/events across modes)"
 go test -run 'TestIncrementalConvergenceParity' -count=1 .
 
+echo "== golden sharded drill (testdata/shards; -shards 4 vs -shards 1 byte identity)"
+go test -race -run 'TestGoldenShardDrill|TestShardPartitionProperty' -count=1 .
+
+echo "== sharded convergence parity (-race; byte-identical reports/events/RIBs/FIBs across the shard x worker x incremental cross-product; ANK_SHARDS pins the wide shard count)"
+ANK_SHARDS="${ANK_SHARDS:-4}" go test -race -run 'TestShardedConvergenceParity|TestShardWatchdogMeasureRace' -count=1 .
+
 echo "== incremental rebuild benchmark (cold vs warm)"
 go test -run 'NONE' -bench 'BenchmarkP4_IncrementalRebuild' -benchtime 3x .
 
 echo "== incremental convergence benchmark (full vs incremental reconvergence)"
 go test -run 'NONE' -bench 'BenchmarkP6_IncrementalConvergence' -benchtime 1x .
+
+echo "== sharded convergence benchmark (serial vs sharded round evaluation, 240 routers)"
+go test -run 'NONE' -bench 'BenchmarkP9_ShardedConvergence/n240' -benchtime 1x .
 
 echo "== scheduler placement + drain benchmark (42-AS / 1158-router scale)"
 go test -run 'NONE' -bench 'BenchmarkP7_SchedulerDrain' -benchtime 1x .
