@@ -1293,3 +1293,97 @@ func BenchmarkP8_SchedulerRecovery(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(ids))*float64(b.N)/b.Elapsed().Seconds(), "vms/s")
 }
+
+// --- P10: preemption and lease rounds under churn at NREN scale (§3.3) ---
+
+// BenchmarkP10_PreemptionUnderChurn pins deterministic preemption at the
+// paper's scale ceiling: the 42-AS / 1158-router model in eight weight-1
+// shards fills 36 substrate hosts (1440 slots) to 80%, then each churn
+// round admits a weight-5 production reservation that can only fit by
+// evicting a minimal victim set (one shard re-queues preempted) and
+// releases it again (the victim re-admits). The lease-round sub-benchmark
+// prices one full heartbeat + lease-check pass over the loaded cluster.
+func BenchmarkP10_PreemptionUnderChurn(b *testing.B) {
+	g, err := topogen.NREN(topogen.DefaultNREN())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := g.SortedNodeIDs()
+	const nShards = 8
+	shards := make([][]string, nShards)
+	for i, id := range ids {
+		shards[i%nShards] = append(shards[i%nShards], string(id))
+	}
+	load := func(b *testing.B, lease bool) *sched.Cluster {
+		opts := sched.Options{Seed: 2013, Preempt: true}
+		if lease {
+			opts.Lease = sched.LeasePolicy{Enabled: true}
+		}
+		c, err := sched.New(sched.Uniform(36, 40), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i, vms := range shards {
+			sp := sched.Spec{
+				Name:   fmt.Sprintf("as-shard-%d", i),
+				Tenant: fmt.Sprintf("team%d", i%3),
+				VMs:    vms,
+				Weight: 1,
+			}
+			if i%2 == 1 {
+				sp.Policy = sched.PolicySpread
+			}
+			if _, err := c.Reserve(sp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return c
+	}
+
+	b.Run("churn", func(b *testing.B) {
+		c := load(b, false)
+		// Demand exceeding free capacity by a margin only one evicted
+		// shard can cover: every round preempts exactly the youngest
+		// weight-1 shard.
+		count := c.Capacity().FreeSlots + 18
+		victim := fmt.Sprintf("as-shard-%d", nShards-1)
+		victimVMs := len(shards[nShards-1])
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, err := c.Reserve(sched.Spec{Name: "prod", Tenant: "prod", Count: count, Weight: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.State != sched.ResActive {
+				b.Fatalf("prod %s; expected preemption to admit it", st.State)
+			}
+			if vs, ok := c.Reservation(victim); !ok || !vs.Preempted {
+				b.Fatalf("%s not preempted", victim)
+			}
+			if err := c.Release("prod"); err != nil {
+				b.Fatal(err)
+			}
+			if vs, ok := c.Reservation(victim); !ok || vs.State != sched.ResActive {
+				b.Fatalf("%s did not re-admit after release", victim)
+			}
+		}
+		moved := count + 2*victimVMs // placed demand + eviction + re-admission
+		b.ReportMetric(float64(moved)*float64(b.N)/b.Elapsed().Seconds(), "vms/s")
+	})
+
+	b.Run("lease-round", func(b *testing.B) {
+		c := load(b, true)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := len(c.HeartbeatAll()); got != 36 {
+				b.Fatalf("renewed %d hosts, want 36", got)
+			}
+			if tr := c.CheckLeases(); len(tr) != 0 {
+				b.Fatalf("unexpected lease transitions: %v", tr)
+			}
+		}
+		b.ReportMetric(float64(36*b.N)/b.Elapsed().Seconds(), "hosts/s")
+	})
+}

@@ -7,6 +7,7 @@
 //	anksched -script drill.sched -seed 7 -json
 //	anksched -hosts 32 -cap 40 -eval "reserve web vms=12 policy=spread"
 //	anksched -hosts 4 -cap 8 -state-dir /var/lib/ank -script drill.sched
+//	anksched -hosts 4 -cap 8 -lease -preempt -script hostile.sched
 //
 // With -state-dir the scheduler is durable: every mutation is journaled
 // (write-ahead log + snapshot compaction, see internal/journal) and a
@@ -32,6 +33,25 @@
 //	                    -json)
 //	events              print the scheduler's event log
 //
+// With -lease the scheduler runs heartbeat leases against a logical clock
+// (starting at the epoch — no wall time, so output stays deterministic)
+// and the backend is wrapped in a seeded fault decorator
+// (sched.FlakyBackend keyed by -seed). That unlocks:
+//
+//	tick [D]            advance the logical clock by D (default 1s) and
+//	                    evaluate every host's lease; prints transitions
+//	heartbeat           run one heartbeat round; silenced hosts do not
+//	                    renew
+//	silence H           make H stop answering heartbeats
+//	unsilence H         restore H's heartbeats
+//	flaky H RATE        make migrations onto H fail with probability
+//	                    RATE (deterministic per -seed)
+//	expire H            force H's lease through suspected -> dead now
+//
+// With -preempt a reservation whose tenant has strictly higher weight may
+// evict lower-weight reservations when it cannot otherwise fit; victims
+// re-queue and show as "preempted" in status output.
+//
 // Every placement decision is byte-deterministic given (script, -seed), so
 // a drill's output can be kept as a golden file. Degraded operations
 // (drain/fail that strands VMs, reservations queued behind capacity) are
@@ -48,6 +68,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"autonetkit/internal/sched"
 )
@@ -61,6 +82,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print status snapshots as JSON instead of tables")
 	stateDir := flag.String("state-dir", "", "durable state directory: journal every mutation and recover prior state on start")
 	snapEvery := flag.Int("snapshot-every", 0, "compact the journal after this many records (0 = default)")
+	lease := flag.Bool("lease", false, "enable heartbeat leases over a logical clock and wrap the backend in a seeded fault decorator")
+	preempt := flag.Bool("preempt", false, "let higher-weight reservations evict lower-weight ones when they cannot fit")
 	flag.Parse()
 
 	var lines []string
@@ -85,7 +108,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	d := &drill{jsonOut: *jsonOut, source: source, stateDir: *stateDir, snapEvery: *snapEvery}
+	d := &drill{
+		jsonOut: *jsonOut, source: source, stateDir: *stateDir, snapEvery: *snapEvery,
+		lease: *lease, preempt: *preempt,
+	}
 	err := d.run(lines, *hosts, *capacity, *seed)
 	if d.cluster != nil {
 		if cerr := d.cluster.Close(); cerr != nil && err == nil {
@@ -107,6 +133,13 @@ type drill struct {
 	source    string
 	stateDir  string
 	snapEvery int
+	lease     bool
+	preempt   bool
+	// clock is the logical lease clock: it starts at the epoch and only
+	// advances on tick commands, so drill output never depends on wall
+	// time.
+	clock time.Time
+	flaky *sched.FlakyBackend
 }
 
 // degraded reports whether the final cluster state still carries queued or
@@ -146,16 +179,24 @@ func (d *drill) run(lines []string, hosts, capacity int, seed uint64) error {
 		rest = i + 1
 	}
 
-	var backend *sched.StaticBackend
+	var static *sched.StaticBackend
 	switch {
 	case len(declared) > 0:
-		backend = sched.NewStaticBackend(declared...)
+		static = sched.NewStaticBackend(declared...)
 	case hosts > 0:
-		backend = sched.Uniform(hosts, capacity)
+		static = sched.Uniform(hosts, capacity)
 	default:
 		return errors.New("no hosts: pass -hosts N or start the script with host lines")
 	}
-	opts := sched.Options{Seed: seed, SnapshotEvery: d.snapEvery}
+	var backend sched.Backend = static
+	opts := sched.Options{Seed: seed, SnapshotEvery: d.snapEvery, Preempt: d.preempt}
+	if d.lease {
+		d.clock = time.Unix(0, 0).UTC()
+		d.flaky = sched.NewFlakyBackend(static, seed)
+		backend = d.flaky
+		opts.Lease = sched.LeasePolicy{Enabled: true}
+		opts.Now = func() time.Time { return d.clock }
+	}
 	var cluster *sched.Cluster
 	var err error
 	if d.stateDir != "" {
@@ -256,6 +297,84 @@ func (d *drill) exec(fields []string, line string) error {
 			return err
 		}
 		fmt.Printf("%s %s: %d VMs re-placed, %d stranded\n", cmd, host, len(res.Moves), len(res.Stranded))
+		for _, m := range res.Moves {
+			fmt.Printf("  %s: %s -> %s\n", m.VM, m.From, m.To)
+		}
+		if len(res.Stranded) > 0 {
+			fmt.Printf("  stranded: %s\n", strings.Join(res.Stranded, ", "))
+		}
+		return nil
+	case "tick":
+		if !d.lease {
+			return errors.New("tick needs -lease")
+		}
+		dur := time.Second
+		if len(args) > 1 {
+			return errors.New("tick takes at most one duration")
+		}
+		if len(args) == 1 {
+			parsed, err := time.ParseDuration(args[0])
+			if err != nil || parsed <= 0 {
+				return fmt.Errorf("bad tick duration %q", args[0])
+			}
+			dur = parsed
+		}
+		d.clock = d.clock.Add(dur)
+		transitions := d.cluster.CheckLeases()
+		fmt.Printf("tick %s -> t=%s\n", dur, d.clock.Sub(time.Unix(0, 0).UTC()))
+		for _, tr := range transitions {
+			fmt.Printf("  lease %s\n", tr)
+		}
+		return nil
+	case "heartbeat":
+		if !d.lease {
+			return errors.New("heartbeat needs -lease")
+		}
+		renewed := d.cluster.HeartbeatAll()
+		fmt.Printf("heartbeat: %d renewed (%s)\n", len(renewed), strings.Join(renewed, ", "))
+		return nil
+	case "silence", "unsilence":
+		if !d.lease {
+			return fmt.Errorf("%s needs -lease", cmd)
+		}
+		host, err := one()
+		if err != nil {
+			return err
+		}
+		if cmd == "silence" {
+			d.flaky.Silence(host)
+		} else {
+			d.flaky.Unsilence(host)
+		}
+		fmt.Printf("%s %s\n", cmd, host)
+		return nil
+	case "flaky":
+		if !d.lease {
+			return errors.New("flaky needs -lease")
+		}
+		if len(args) != 2 {
+			return errors.New("flaky needs <host> <rate>")
+		}
+		rate, err := strconv.ParseFloat(args[1], 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return fmt.Errorf("bad flaky rate %q (want 0..1)", args[1])
+		}
+		d.flaky.SetMigrateFailRate(args[0], rate)
+		fmt.Printf("flaky %s %.2f\n", args[0], rate)
+		return nil
+	case "expire":
+		if !d.lease {
+			return errors.New("expire needs -lease")
+		}
+		host, err := one()
+		if err != nil {
+			return err
+		}
+		res, err := d.cluster.ExpireLease(host)
+		if err != nil && !errors.Is(err, sched.ErrDegraded) {
+			return err
+		}
+		fmt.Printf("expire %s: %d VMs re-placed, %d stranded\n", host, len(res.Moves), len(res.Stranded))
 		for _, m := range res.Moves {
 			fmt.Printf("  %s: %s -> %s\n", m.VM, m.From, m.To)
 		}

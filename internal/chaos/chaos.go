@@ -59,6 +59,28 @@ type SchedCrasher interface {
 	CrashSched() (summary string, err error)
 }
 
+// HostSilencer is the optional HostController extension backing
+// silence-host steps: the host stops answering heartbeats entirely, its
+// lease expires, and its VMs re-place (a *deploy.ClusterDeployment over a
+// sched.FlakyBackend with leases enabled satisfies it).
+type HostSilencer interface {
+	SilenceHost(host string) (moved, stranded []string, err error)
+}
+
+// HostFlaker is the optional HostController extension backing flaky-host
+// steps: set a deterministic migration-failure rate for moves onto the
+// host (0 clears it).
+type HostFlaker interface {
+	FlakyHost(host string, rate float64) error
+}
+
+// ReservationInspector is the optional HostController extension backing
+// `check reservation` steps: report one reservation's scheduler state
+// ("active", "queued", "degraded", or "preempted").
+type ReservationInspector interface {
+	ReservationState(name string) (string, error)
+}
+
 // Engine executes scenarios against one booted lab.
 type Engine struct {
 	lab    *emul.Lab
@@ -231,12 +253,16 @@ func (e *Engine) runStep(idx int, st Step, base measure.Reachability) (StepResul
 		err := e.runPerturb(&res, budget, addFinding)
 		return res, err
 	}
-	if st.Op == OpFailHost || st.Op == OpDrainHost {
+	if st.Op == OpFailHost || st.Op == OpDrainHost || st.Op == OpSilenceHost {
 		err := e.runHostOp(&res, budget, addFinding)
 		return res, err
 	}
 	if st.Op == OpCrashSched {
 		e.runCrashSched(&res, addFinding)
+		return res, nil
+	}
+	if st.Op == OpFlakyHost {
+		e.runFlakyHost(&res, addFinding)
 		return res, nil
 	}
 	times := 1
@@ -291,9 +317,18 @@ func (e *Engine) runHostOp(res *StepResult, budget routing.ConvergenceBudget, ad
 	}
 	var moved, stranded []string
 	var err error
-	if st.Op == OpDrainHost {
+	switch st.Op {
+	case OpDrainHost:
 		moved, stranded, err = e.opts.Hosts.DrainHost(st.Node)
-	} else {
+	case OpSilenceHost:
+		silencer, ok := e.opts.Hosts.(HostSilencer)
+		if !ok {
+			addFinding("chaos-step", verify.Error, "host controller cannot silence hosts")
+			res.Verdict = "FAILED: no host silencer"
+			return nil
+		}
+		moved, stranded, err = silencer.SilenceHost(st.Node)
+	default:
 		moved, stranded, err = e.opts.Hosts.FailHost(st.Node)
 	}
 	if err != nil && len(stranded) == 0 {
@@ -329,6 +364,23 @@ func (e *Engine) runCrashSched(res *StepResult, addFinding func(string, verify.S
 		return
 	}
 	res.Verdict = summary
+}
+
+// runFlakyHost installs a scheduled migration-failure rate. Pure
+// configuration: nothing moves, so there is no convergence to settle.
+func (e *Engine) runFlakyHost(res *StepResult, addFinding func(string, verify.Severity, string, ...any)) {
+	flaker, ok := e.opts.Hosts.(HostFlaker)
+	if !ok {
+		addFinding("chaos-step", verify.Error, "host controller cannot schedule host faults")
+		res.Verdict = "FAILED: no host flaker"
+		return
+	}
+	if err := flaker.FlakyHost(res.Step.Node, res.Step.Rate); err != nil {
+		addFinding("chaos-step", verify.Error, "injection failed: %v", err)
+		res.Verdict = fmt.Sprintf("FAILED: %v", err)
+		return
+	}
+	res.Verdict = fmt.Sprintf("migration failure rate onto %s set to %.2f", res.Step.Node, res.Step.Rate)
 }
 
 // runPerturb installs (or clears) a perturbation rule, re-converges the
@@ -417,6 +469,26 @@ func (e *Engine) runCheck(res *StepResult, base measure.Reachability, addFinding
 			addFinding("chaos-check", verify.Error, "converged in %d rounds, want <= %d", bgp.Rounds, st.Within)
 		default:
 			res.Verdict = fmt.Sprintf("ok (converged in %d rounds)", bgp.Rounds)
+		}
+		return nil
+	case CheckReservation:
+		inspector, ok := e.opts.Hosts.(ReservationInspector)
+		if !ok {
+			addFinding("chaos-check", verify.Error, "host controller cannot inspect reservations")
+			res.Verdict = "FAILED: no reservation inspector"
+			return nil
+		}
+		state, err := inspector.ReservationState(st.A)
+		if err != nil {
+			addFinding("chaos-check", verify.Error, "reservation %s: %v", st.A, err)
+			res.Verdict = fmt.Sprintf("FAILED: %v", err)
+			return nil
+		}
+		if state == st.B {
+			res.Verdict = fmt.Sprintf("ok (reservation %s %s)", st.A, state)
+		} else {
+			res.Verdict = fmt.Sprintf("VIOLATED: reservation %s is %s, want %s", st.A, state, st.B)
+			addFinding("chaos-check", verify.Error, "reservation %s is %s, want %s", st.A, state, st.B)
 		}
 		return nil
 	case CheckReachable, CheckUnreachable:

@@ -224,3 +224,165 @@ func TestCrashSchedWithoutCrasher(t *testing.T) {
 		t.Errorf("verdict = %q", rep.Steps[0].Verdict)
 	}
 }
+
+// leaseHosts extends fakeHosts with the lease/preemption-era extensions:
+// silencing, scheduled migration faults, and reservation inspection.
+type leaseHosts struct {
+	fakeHosts
+	rates  map[string]float64
+	states map[string]string
+}
+
+func (l *leaseHosts) SilenceHost(host string) ([]string, []string, error) {
+	l.calls = append(l.calls, "silence "+host)
+	return l.moved[host], l.stranded[host], l.err[host]
+}
+
+func (l *leaseHosts) FlakyHost(host string, rate float64) error {
+	l.calls = append(l.calls, fmt.Sprintf("flaky %s %.2f", host, rate))
+	if l.rates == nil {
+		l.rates = map[string]float64{}
+	}
+	l.rates[host] = rate
+	return l.err[host]
+}
+
+func (l *leaseHosts) ReservationState(name string) (string, error) {
+	l.calls = append(l.calls, "reservation "+name)
+	if st, ok := l.states[name]; ok {
+		return st, nil
+	}
+	return "", fmt.Errorf("no reservation %s", name)
+}
+
+func TestParseLeaseSteps(t *testing.T) {
+	sc := mustParse(t, `
+silence-host h02
+flaky-host h03 0.4
+check reservation prod active
+check reservation batch preempted
+`)
+	if len(sc.Steps) != 4 {
+		t.Fatalf("steps = %+v", sc.Steps)
+	}
+	if sc.Steps[0].Op != OpSilenceHost || sc.Steps[0].Node != "h02" {
+		t.Errorf("step 0 = %+v", sc.Steps[0])
+	}
+	if sc.Steps[1].Op != OpFlakyHost || sc.Steps[1].Node != "h03" || sc.Steps[1].Rate != 0.4 {
+		t.Errorf("step 1 = %+v", sc.Steps[1])
+	}
+	if sc.Steps[2].Op != OpCheck || sc.Steps[2].Check != CheckReservation ||
+		sc.Steps[2].A != "prod" || sc.Steps[2].B != "active" {
+		t.Errorf("step 2 = %+v", sc.Steps[2])
+	}
+	if got := sc.Steps[0].String(); got != "silence-host h02" {
+		t.Errorf("String = %q", got)
+	}
+	if got := sc.Steps[1].String(); got != "flaky-host h03 0.40" {
+		t.Errorf("String = %q", got)
+	}
+	if got := sc.Steps[3].String(); got != "check reservation batch preempted" {
+		t.Errorf("String = %q", got)
+	}
+	// Round-trip: the String form re-parses to the same step.
+	re := mustParse(t, sc.Steps[1].String()+"\n")
+	if got := re.Steps[0].String(); got != sc.Steps[1].String() {
+		t.Errorf("round-trip = %q, want %q", got, sc.Steps[1].String())
+	}
+}
+
+func TestParseLeaseStepDiagnostics(t *testing.T) {
+	bad := []string{
+		"silence-host",               // missing host
+		"silence-host a b",           // too many args
+		"flaky-host h01",             // missing rate
+		"flaky-host h01 nope",        // unparsable rate
+		"flaky-host h01 1.5",         // rate out of range
+		"check reservation prod",     // missing state
+		"check reservation prod bad", // unknown state
+	}
+	for _, line := range bad {
+		_, diags := ParseScenario(strings.NewReader(line + "\n"))
+		if len(diags) != 1 {
+			t.Errorf("%q: diags = %v", line, diags)
+		}
+	}
+}
+
+func TestSilenceHostDrivesSilencer(t *testing.T) {
+	lab, client, addrOf := fig5Lab(t)
+	hosts := &leaseHosts{
+		fakeHosts: fakeHosts{moved: map[string][]string{"h2": {"r3", "r5"}}},
+		states:    map[string]string{"prod": "active", "batch": "preempted"},
+	}
+	engine := NewEngine(lab, client, addrOf, Options{Hosts: hosts})
+	rep, err := engine.Run(mustParse(t, `
+silence-host h2
+flaky-host h3 0.25
+check reservation prod active
+check reservation batch preempted
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("report not OK:\n%s", rep)
+	}
+	want := "[silence h2 flaky h3 0.25 reservation prod reservation batch]"
+	if got := fmt.Sprint(hosts.calls); got != want {
+		t.Errorf("calls = %v", hosts.calls)
+	}
+	if !strings.Contains(rep.Steps[0].Verdict, "2 VMs moved, 0 stranded") {
+		t.Errorf("silence verdict = %q", rep.Steps[0].Verdict)
+	}
+	if !strings.Contains(rep.Steps[1].Verdict, "migration failure rate onto h3 set to 0.25") {
+		t.Errorf("flaky verdict = %q", rep.Steps[1].Verdict)
+	}
+	if !strings.Contains(rep.Steps[2].Verdict, "ok (reservation prod active)") {
+		t.Errorf("reservation verdict = %q", rep.Steps[2].Verdict)
+	}
+	if hosts.rates["h3"] != 0.25 {
+		t.Errorf("rates = %v", hosts.rates)
+	}
+}
+
+func TestReservationCheckViolated(t *testing.T) {
+	lab, client, addrOf := fig5Lab(t)
+	hosts := &leaseHosts{states: map[string]string{"batch": "queued"}}
+	engine := NewEngine(lab, client, addrOf, Options{Hosts: hosts})
+	rep, err := engine.Run(mustParse(t, "check reservation batch preempted\ncheck reservation ghost active\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("mismatched reservation state should produce a finding")
+	}
+	if !strings.Contains(rep.Steps[0].Verdict, "VIOLATED: reservation batch is queued, want preempted") {
+		t.Errorf("verdict = %q", rep.Steps[0].Verdict)
+	}
+	if !strings.HasPrefix(rep.Steps[1].Verdict, "FAILED:") {
+		t.Errorf("verdict = %q", rep.Steps[1].Verdict)
+	}
+}
+
+func TestLeaseStepsWithoutExtensions(t *testing.T) {
+	lab, client, addrOf := fig5Lab(t)
+	// A plain HostController lacks the lease-era extensions; each step
+	// fails gracefully and the scenario continues.
+	engine := NewEngine(lab, client, addrOf, Options{Hosts: &fakeHosts{}})
+	rep, err := engine.Run(mustParse(t, "silence-host h1\nflaky-host h1 0.5\ncheck reservation prod active\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("missing extensions should produce findings")
+	}
+	for i, want := range []string{"no host silencer", "no host flaker", "no reservation inspector"} {
+		if !strings.Contains(rep.Steps[i].Verdict, want) {
+			t.Errorf("step %d verdict = %q, want %q", i, rep.Steps[i].Verdict, want)
+		}
+	}
+	if len(rep.Steps) != 3 {
+		t.Fatalf("steps = %d", len(rep.Steps))
+	}
+}

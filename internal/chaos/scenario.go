@@ -49,6 +49,15 @@ const (
 	// journal closes mid-flight and a fresh scheduler replays it, asserting
 	// byte-identical state. The lab itself never stops.
 	OpCrashSched Op = "crash-sched"
+	// OpSilenceHost makes a substrate host stop answering entirely (no
+	// probe errors, just silence) through the attached host controller
+	// (which must also be a HostSilencer): its lease expires, its VMs go
+	// dark and re-place onto surviving capacity.
+	OpSilenceHost Op = "silence-host"
+	// OpFlakyHost sets a deterministic migration-failure rate for moves
+	// onto a substrate host through the attached host controller (which
+	// must also be a HostFlaker). Rate 0 clears it.
+	OpFlakyHost Op = "flaky-host"
 )
 
 // CheckMode selects what a check step asserts.
@@ -68,6 +77,10 @@ const (
 	// CheckConverged asserts the most recent convergence reached a fixed
 	// point, optionally within Step.Within engine rounds.
 	CheckConverged CheckMode = "converged"
+	// CheckReservation asserts a scheduler reservation (Step.A) is in the
+	// given state (Step.B): active, queued, degraded, or preempted. Needs
+	// a host controller that is also a ReservationInspector.
+	CheckReservation CheckMode = "reservation"
 )
 
 // Step is one scenario entry.
@@ -81,6 +94,9 @@ type Step struct {
 	// Within bounds a `check converged` assertion: the run must have
 	// reached its fixed point within this many rounds (0 = any).
 	Within int
+	// Rate is a flaky-host step's scheduled migration-failure rate in
+	// [0,1] (0 clears the schedule).
+	Rate float64
 	// Rule is the perturbation a perturb step adds; nil means clear all.
 	Rule *routing.PerturbRule
 	// MaxBGPRounds is this step's convergence budget (0 = the engine
@@ -95,8 +111,10 @@ func (s Step) String() string {
 		return fmt.Sprintf("%s %s %s", s.Op, s.A, s.B)
 	case OpFailNode, OpRestoreNode:
 		return fmt.Sprintf("%s %s", s.Op, s.Node)
-	case OpFailHost, OpDrainHost:
+	case OpFailHost, OpDrainHost, OpSilenceHost:
 		return fmt.Sprintf("%s %s", s.Op, s.Node)
+	case OpFlakyHost:
+		return fmt.Sprintf("%s %s %.2f", s.Op, s.Node, s.Rate)
 	case OpFlap:
 		return fmt.Sprintf("%s %s %s %d", s.Op, s.A, s.B, s.Times)
 	case OpPartition:
@@ -117,6 +135,8 @@ func (s Step) String() string {
 				return fmt.Sprintf("check converged within %d", s.Within)
 			}
 			return "check converged"
+		case CheckReservation:
+			return fmt.Sprintf("check reservation %s %s", s.A, s.B)
 		default:
 			return "check"
 		}
@@ -146,6 +166,8 @@ type Scenario struct {
 //	restore-node N
 //	fail-host H                 # substrate host failure (host controller)
 //	drain-host H                # live-drain a substrate host
+//	silence-host H              # host goes silent; lease expiry re-places its VMs
+//	flaky-host H <rate>         # scheduled migration-failure rate onto H (0..1)
 //	crash-sched                 # kill + recover the durable scheduler
 //	flap A B <times>
 //	partition N1 [N2 ...]
@@ -158,6 +180,7 @@ type Scenario struct {
 //	check reachable A B
 //	check unreachable A B
 //	check converged [within <rounds>]
+//	check reservation <name> <state>  # active, queued, degraded, preempted
 //
 // The parser runs in error-recovery mode: a malformed line is recorded as
 // an emul.Diagnostic (with its line number and offending token) and
@@ -248,12 +271,23 @@ func ParseScenarioFile(r io.Reader, file string) (Scenario, emul.Diagnostics) {
 				continue
 			}
 			sc.Steps = append(sc.Steps, Step{Op: Op(op), Node: args[0], MaxBGPRounds: budget})
-		case string(OpFailHost), string(OpDrainHost):
+		case string(OpFailHost), string(OpDrainHost), string(OpSilenceHost):
 			if len(args) != 1 {
 				bad("%s needs one substrate host name, got %q", op, strings.Join(args, " "))
 				continue
 			}
 			sc.Steps = append(sc.Steps, Step{Op: Op(op), Node: args[0], MaxBGPRounds: budget})
+		case string(OpFlakyHost):
+			if len(args) != 2 {
+				bad("flaky-host needs <host> <rate>, got %q", strings.Join(args, " "))
+				continue
+			}
+			rate, err := strconv.ParseFloat(args[1], 64)
+			if err != nil || rate < 0 || rate > 1 {
+				bad("bad flaky-host rate %q (want 0..1)", args[1])
+				continue
+			}
+			sc.Steps = append(sc.Steps, Step{Op: OpFlakyHost, Node: args[0], Rate: rate, MaxBGPRounds: budget})
 		case string(OpCrashSched):
 			if len(args) != 0 {
 				bad("crash-sched takes no arguments, got %q", strings.Join(args, " "))
@@ -309,6 +343,19 @@ func ParseScenarioFile(r io.Reader, file string) (Scenario, emul.Diagnostics) {
 						bad("check converged takes [within <rounds>], got %q", strings.Join(args[1:], " "))
 						continue
 					}
+				case CheckReservation:
+					if len(args) != 3 {
+						bad("check reservation needs <name> <state>, got %q", strings.Join(args[1:], " "))
+						continue
+					}
+					switch args[2] {
+					case "active", "queued", "degraded", "preempted":
+					default:
+						bad("unknown reservation state %q (want active, queued, degraded, or preempted)", args[2])
+						continue
+					}
+					st.Check = CheckReservation
+					st.A, st.B = args[1], args[2]
 				default:
 					bad("unknown check mode %q", args[0])
 					continue

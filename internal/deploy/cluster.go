@@ -10,6 +10,7 @@ import (
 	"autonetkit/internal/emul"
 	"autonetkit/internal/obs"
 	"autonetkit/internal/render"
+	"autonetkit/internal/retry"
 	"autonetkit/internal/sched"
 )
 
@@ -24,7 +25,7 @@ type ClusterOptions struct {
 	Lenient bool
 	// Retry governs per-host boot attempts AND per-VM migrations during
 	// drains; its AttemptTimeout also bounds convergence runs.
-	Retry RetryPolicy
+	Retry retry.Policy
 	// Supervise runs the convergence watchdog over the launched lab.
 	Supervise bool
 	// Boot, when set, is invoked per host boot attempt (fault-injection
@@ -48,6 +49,17 @@ type ClusterOptions struct {
 	Policy sched.Policy
 	// Spread caps the lab's VMs per host (0 = unbounded).
 	Spread int
+	// Weight is the tenant's fair-share weight (0 keeps the scheduler
+	// default of 1). Under Preempt, higher-weight labs may evict
+	// lower-weight reservations that block them.
+	Weight int
+	// Lease configures the scheduler's heartbeat leases: hosts silent past
+	// the TTL are suspected, and past the grace window declared dead with
+	// their VMs re-placed.
+	Lease sched.LeasePolicy
+	// Preempt lets reservations with strictly higher tenant weight evict
+	// lower-weight ones when the cluster is otherwise full.
+	Preempt bool
 
 	// StateDir, when set, makes the scheduler durable: every mutation is
 	// journaled under the directory and RunCluster recovers any prior
@@ -81,6 +93,8 @@ func (opts ClusterOptions) schedOptions(emit func(Event)) sched.Options {
 		Seed:          opts.Seed,
 		Health:        opts.Health,
 		Retry:         opts.Retry,
+		Lease:         opts.Lease,
+		Preempt:       opts.Preempt,
 		Obs:           opts.Obs,
 		SnapshotEvery: opts.SnapshotEvery,
 		OnEvent: func(ev sched.Event) {
@@ -163,6 +177,7 @@ func RunCluster(fs *render.FileSet, backend sched.Backend, opts ClusterOptions) 
 		VMs:    lab.VMNames(),
 		Policy: opts.Policy,
 		Spread: opts.Spread,
+		Weight: opts.Weight,
 	})
 	if err != nil {
 		return d, err
@@ -256,25 +271,47 @@ func nextUnbooted(cluster *sched.Cluster, placement Placement, booted map[string
 	return names[0]
 }
 
-// bootClusterHost attempts one host's boot under the retry policy.
+// bootClusterHost attempts one host's boot under the retry policy. The
+// attempt loop, backoff, and circuit breaker (shared with the
+// scheduler's migrations when the policy carries one) live in
+// retry.Policy.Do.
 func (d *ClusterDeployment) bootClusterHost(cluster *sched.Cluster, host string, opts ClusterOptions) error {
 	span := opts.Obs.StartSpan("boot " + host)
 	defer span.End()
 	vms := cluster.VMsOn(host)
-	var lastErr error
-	for attempt := 1; attempt <= opts.Retry.Attempts(); attempt++ {
-		lastErr = attemptBoot(context.Background(), opts.Boot, host, vms, attempt, opts.Retry)
-		if lastErr == nil {
-			d.emit(Event{"boot", fmt.Sprintf("%s up (%d VMs, attempt %d)", host, len(vms), attempt)})
-			return nil
-		}
-		d.emit(Event{"retry", fmt.Sprintf("%s boot attempt %d failed: %v", host, attempt, lastErr)})
+	pol := opts.Retry
+	pol.OnRetry = func(h string, attempt int, err error) {
+		d.emit(Event{"retry", fmt.Sprintf("%s boot attempt %d failed: %v", h, attempt, err)})
 		opts.Obs.Add(CounterBootRetries, 1)
-		if attempt < opts.Retry.Attempts() {
-			opts.Retry.SleepFor(opts.Retry.Delay(host, attempt))
+	}
+	return pol.Do(context.Background(), host, func(attempt int) error {
+		err := attemptBoot(context.Background(), opts.Boot, host, vms, attempt, pol)
+		if err == nil {
+			d.emit(Event{"boot", fmt.Sprintf("%s up (%d VMs, attempt %d)", host, len(vms), attempt)})
+		}
+		return err
+	})
+}
+
+// labOnly filters VM names down to machines the running lab actually
+// booted. Reservations besides the lab's (batch work sharing the
+// substrate) place VMs the emulation never knew; incident injection and
+// re-boots must skip them or the lab rejects the batch.
+func (d *ClusterDeployment) labOnly(names []string) []string {
+	if d.lab == nil {
+		return nil
+	}
+	known := map[string]bool{}
+	for _, vm := range d.lab.VMNames() {
+		known[vm] = true
+	}
+	var out []string
+	for _, vm := range names {
+		if known[vm] {
+			out = append(out, vm)
 		}
 	}
-	return lastErr
+	return out
 }
 
 // applyMoves folds scheduler moves into the deployment's placement map.
@@ -298,8 +335,8 @@ func (d *ClusterDeployment) DrainHost(host string) (moved, stranded []string, er
 	}
 	d.applyMoves(res.Moves)
 	moved = moveNames(res.Moves)
-	if len(moved) > 0 && d.lab != nil {
-		if rerr := d.lab.RebootVMs(moved); rerr != nil {
+	if reboot := d.labOnly(moved); len(reboot) > 0 {
+		if rerr := d.lab.RebootVMs(reboot); rerr != nil {
 			return moved, res.Stranded, fmt.Errorf("deploy: re-booting drained VMs: %w", rerr)
 		}
 	}
@@ -314,8 +351,7 @@ func (d *ClusterDeployment) DrainHost(host string) (moved, stranded []string, er
 // DrainHost's live move). Stranded orphans stay dark and re-place
 // automatically as capacity frees; the error then wraps sched.ErrDegraded.
 func (d *ClusterDeployment) FailHost(host string) (moved, stranded []string, err error) {
-	victims := d.Cluster.VMsOn(host)
-	if len(victims) > 0 && d.lab != nil {
+	if victims := d.labOnly(d.Cluster.VMsOn(host)); len(victims) > 0 {
 		if ferr := d.lab.FailNodes(victims); ferr != nil {
 			return nil, nil, fmt.Errorf("deploy: failing %s's VMs: %w", host, ferr)
 		}
@@ -327,8 +363,8 @@ func (d *ClusterDeployment) FailHost(host string) (moved, stranded []string, err
 	d.FailedHosts = append(d.FailedHosts, host)
 	d.applyMoves(res.Moves)
 	moved = moveNames(res.Moves)
-	if len(moved) > 0 && d.lab != nil {
-		if rerr := d.lab.RebootVMs(moved); rerr != nil {
+	if reboot := d.labOnly(moved); len(reboot) > 0 {
+		if rerr := d.lab.RebootVMs(reboot); rerr != nil {
 			return moved, res.Stranded, fmt.Errorf("deploy: re-booting re-placed VMs: %w", rerr)
 		}
 	}
@@ -338,6 +374,74 @@ func (d *ClusterDeployment) FailHost(host string) (moved, stranded []string, err
 	}
 	d.emit(Event{"host-failed", fmt.Sprintf("%s failed: %d VMs re-placed, %d stranded dark", host, len(moved), len(res.Stranded))})
 	return moved, res.Stranded, ferr
+}
+
+// SilenceHost models a substrate host going dark without a single error
+// returned: the backend (which must be a sched.FlakyBackend) stops
+// answering for the host, its VMs go dark in the lab, and the lease
+// machinery's deterministic collapse (suspect → dead) re-places them
+// onto surviving capacity, where they re-boot. Requires heartbeat
+// leases (ClusterOptions.Lease.Enabled); stranded orphans return
+// alongside an error wrapping sched.ErrDegraded.
+func (d *ClusterDeployment) SilenceHost(host string) (moved, stranded []string, err error) {
+	fb, ok := d.backend.(*sched.FlakyBackend)
+	if !ok {
+		return nil, nil, fmt.Errorf("deploy: silence-host needs a flaky backend (wrap the backend in sched.NewFlakyBackend)")
+	}
+	fb.Silence(host)
+	if victims := d.labOnly(d.Cluster.VMsOn(host)); len(victims) > 0 {
+		if ferr := d.lab.FailNodes(victims); ferr != nil {
+			return nil, nil, fmt.Errorf("deploy: failing %s's VMs: %w", host, ferr)
+		}
+	}
+	res, lerr := d.Cluster.ExpireLease(host)
+	if lerr != nil && !errors.Is(lerr, sched.ErrDegraded) {
+		return nil, nil, lerr
+	}
+	d.applyMoves(res.Moves)
+	moved = moveNames(res.Moves)
+	if reboot := d.labOnly(moved); len(reboot) > 0 {
+		if rerr := d.lab.RebootVMs(reboot); rerr != nil {
+			return moved, res.Stranded, fmt.Errorf("deploy: re-booting re-placed VMs: %w", rerr)
+		}
+	}
+	if len(res.Stranded) > 0 {
+		d.StrandedVMs = append(d.StrandedVMs, res.Stranded...)
+		sort.Strings(d.StrandedVMs)
+	}
+	d.emit(Event{"silence", fmt.Sprintf("%s silenced: lease expired, %d VMs re-placed, %d stranded dark", host, len(moved), len(res.Stranded))})
+	return moved, res.Stranded, lerr
+}
+
+// FlakyHost sets the scheduled migration-failure rate for moves onto the
+// host (0 clears it). The backend must be a sched.FlakyBackend; faults
+// are a pure function of (seed, vm, host, attempt), so drills reproduce
+// byte-identically.
+func (d *ClusterDeployment) FlakyHost(host string, rate float64) error {
+	fb, ok := d.backend.(*sched.FlakyBackend)
+	if !ok {
+		return fmt.Errorf("deploy: flaky-host needs a flaky backend (wrap the backend in sched.NewFlakyBackend)")
+	}
+	if rate < 0 || rate > 1 {
+		return fmt.Errorf("deploy: flaky-host rate %v out of [0,1]", rate)
+	}
+	fb.SetMigrateFailRate(host, rate)
+	d.emit(Event{"flaky", fmt.Sprintf("%s: migration failure rate set to %.2f", host, rate)})
+	return nil
+}
+
+// ReservationState reports one reservation's scheduler state for chaos
+// assertions: "active", "queued", "degraded", or "preempted" (a queued
+// reservation evicted by a higher-weight one).
+func (d *ClusterDeployment) ReservationState(name string) (string, error) {
+	st, ok := d.Cluster.Reservation(name)
+	if !ok {
+		return "", fmt.Errorf("deploy: no reservation %s", name)
+	}
+	if st.Preempted {
+		return "preempted", nil
+	}
+	return string(st.State), nil
 }
 
 // CrashSched kills and recovers the durable scheduler in place: the

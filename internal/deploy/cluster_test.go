@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"autonetkit/internal/obs"
+	"autonetkit/internal/retry"
 	"autonetkit/internal/sched"
 )
 
@@ -69,7 +70,7 @@ func TestRunClusterReplacesDeadBootHost(t *testing.T) {
 			}
 			return nil
 		},
-		Retry: RetryPolicy{MaxAttempts: 2, Sleep: func(time.Duration) {}},
+		Retry: retry.Policy{MaxAttempts: 2, Sleep: func(time.Duration) {}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -104,7 +105,7 @@ func TestRunClusterDegradesWithoutSurvivingCapacity(t *testing.T) {
 			}
 			return nil
 		},
-		Retry: RetryPolicy{MaxAttempts: 2, Sleep: func(time.Duration) {}},
+		Retry: retry.Policy{MaxAttempts: 2, Sleep: func(time.Duration) {}},
 	})
 	if !errors.Is(err, ErrDegraded) {
 		t.Fatalf("err = %v, want ErrDegraded", err)
@@ -281,5 +282,126 @@ func TestCrashSchedRequiresStateDir(t *testing.T) {
 	}
 	if _, err := dep.CrashSched(); err == nil {
 		t.Fatal("crash-sched without StateDir should error")
+	}
+}
+
+func TestClusterDeploymentSilenceHost(t *testing.T) {
+	fs := renderedLab(t)
+	fb := sched.NewFlakyBackend(sched.Uniform(3, 2), 7)
+	dep, err := RunCluster(fs, fb, ClusterOptions{
+		Seed:   7,
+		Policy: sched.PolicySpread,
+		Lease:  sched.LeasePolicy{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim string
+	for _, host := range dep.Placement {
+		victim = host
+		break
+	}
+	moved, stranded, err := dep.SilenceHost(victim)
+	if err != nil {
+		t.Fatalf("silence %s: %v", victim, err)
+	}
+	if len(stranded) != 0 {
+		t.Fatalf("stranded = %v", stranded)
+	}
+	if len(moved) == 0 {
+		t.Fatal("nothing re-placed after the silenced host died")
+	}
+	if !fb.Silenced(victim) {
+		t.Error("backend does not report the host silenced")
+	}
+	if got := dep.Cluster.VMsOn(victim); len(got) != 0 {
+		t.Fatalf("silenced host still holds %v", got)
+	}
+	// The outage was visible (batch down), then healed (batch re-boot).
+	var sawDown, sawReboot bool
+	for _, ev := range dep.Lab().Events() {
+		if strings.Contains(ev, "host failure downed") {
+			sawDown = true
+		}
+		if strings.Contains(ev, "re-placement re-booted") {
+			sawReboot = true
+		}
+	}
+	if !sawDown || !sawReboot {
+		t.Errorf("lab log missing outage/heal: down=%v reboot=%v", sawDown, sawReboot)
+	}
+	if eventStages(dep.Events())["silence"] == 0 {
+		t.Errorf("no silence event: %v", dep.Events())
+	}
+}
+
+func TestClusterDeploymentSilenceNeedsFlakyBackend(t *testing.T) {
+	fs := renderedLab(t)
+	dep, err := RunCluster(fs, sched.Uniform(2, 2), ClusterOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dep.SilenceHost("h01"); err == nil {
+		t.Fatal("silence without a flaky backend should error")
+	}
+	if err := dep.FlakyHost("h01", 0.5); err == nil {
+		t.Fatal("flaky-host without a flaky backend should error")
+	}
+}
+
+func TestClusterDeploymentFlakyHostAndReservationState(t *testing.T) {
+	fs := renderedLab(t)
+	fb := sched.NewFlakyBackend(sched.Uniform(2, 2), 3)
+	dep, err := RunCluster(fs, fb, ClusterOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.FlakyHost("h02", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.FlakyHost("h02", 1.5); err == nil {
+		t.Fatal("out-of-range rate accepted")
+	}
+	state, err := dep.ReservationState(dep.Reservation)
+	if err != nil || state != "active" {
+		t.Fatalf("ReservationState = %q, %v", state, err)
+	}
+	if _, err := dep.ReservationState("ghost"); err == nil {
+		t.Fatal("unknown reservation should error")
+	}
+}
+
+// TestClusterBootSharesBreaker: a breaker on the cluster retry policy is
+// consulted by host boots — a host that tripped it during boot is
+// short-circuited instead of re-attempted.
+func TestClusterBootSharesBreaker(t *testing.T) {
+	fs := renderedLab(t)
+	b := sched.NewStaticBackend(
+		sched.HostInfo{Name: "h1", Capacity: 2},
+		sched.HostInfo{Name: "h2", Capacity: 4},
+	)
+	breaker := retry.NewBreakerSet(retry.BreakerConfig{FailAfter: 1, OpenFor: time.Hour})
+	// Trip h1's breaker before the deployment even starts.
+	breaker.Failure("h1")
+	boots := map[string]int{}
+	dep, err := RunCluster(fs, b, ClusterOptions{
+		Seed: 1,
+		Boot: func(host string, vms []string, attempt int) error {
+			boots[host]++
+			return nil
+		},
+		Retry: retry.Policy{MaxAttempts: 3, Sleep: func(time.Duration) {}, Breaker: breaker},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boots["h1"] != 0 {
+		t.Errorf("open-circuit host booted %d times", boots["h1"])
+	}
+	if boots["h2"] == 0 {
+		t.Error("healthy host never booted")
+	}
+	if len(dep.FailedHosts) != 1 || dep.FailedHosts[0] != "h1" {
+		t.Errorf("failed hosts = %v", dep.FailedHosts)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"autonetkit/internal/ipalloc"
 	"autonetkit/internal/obs"
 	"autonetkit/internal/render"
+	"autonetkit/internal/retry"
 )
 
 func renderedLab(t *testing.T) *render.FileSet {
@@ -250,7 +251,7 @@ func TestHostPoolPlaceEdgeCases(t *testing.T) {
 }
 
 func TestRetryPolicyDelay(t *testing.T) {
-	exact := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: -1}
+	exact := retry.Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: -1}
 	for attempt, want := range map[int]time.Duration{
 		1: 100 * time.Millisecond,
 		2: 200 * time.Millisecond,
@@ -264,7 +265,7 @@ func TestRetryPolicyDelay(t *testing.T) {
 		}
 	}
 
-	jittered := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	jittered := retry.Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
 	if a, b := jittered.Delay("h1", 1), jittered.Delay("h1", 1); a != b {
 		t.Errorf("jittered delay not deterministic: %v vs %v", a, b)
 	}
@@ -282,7 +283,7 @@ func TestRetryPolicyDelay(t *testing.T) {
 	}
 
 	// Defaults.
-	var zero RetryPolicy
+	var zero retry.Policy
 	if zero.Attempts() != 3 {
 		t.Errorf("default attempts = %d", zero.Attempts())
 	}
@@ -351,7 +352,7 @@ func TestRunPoolRetriesFlakyHost(t *testing.T) {
 			}
 			return nil
 		},
-		Retry: RetryPolicy{Sleep: func(d time.Duration) { slept = append(slept, d) }},
+		Retry: retry.Policy{Sleep: func(d time.Duration) { slept = append(slept, d) }},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -390,7 +391,7 @@ func TestRunPoolReplacesDeadHost(t *testing.T) {
 			}
 			return nil
 		},
-		Retry: RetryPolicy{MaxAttempts: 2, Sleep: func(time.Duration) {}},
+		Retry: retry.Policy{MaxAttempts: 2, Sleep: func(time.Duration) {}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -430,7 +431,7 @@ func TestRunPoolDegradesWithoutCapacity(t *testing.T) {
 			}
 			return nil
 		},
-		Retry: RetryPolicy{MaxAttempts: 2, Sleep: func(time.Duration) {}},
+		Retry: retry.Policy{MaxAttempts: 2, Sleep: func(time.Duration) {}},
 	})
 	if !errors.Is(err, ErrDegraded) {
 		t.Fatalf("err = %v, want ErrDegraded", err)
@@ -463,7 +464,7 @@ func TestRunPoolAttemptTimeout(t *testing.T) {
 			<-release // a wedged host: never returns on its own
 			return fmt.Errorf("released")
 		},
-		Retry: RetryPolicy{
+		Retry: retry.Policy{
 			MaxAttempts:    2,
 			AttemptTimeout: time.Millisecond,
 			Sleep:          func(time.Duration) {},
@@ -498,7 +499,7 @@ func TestRunPoolContextCancelledDuringBackoff(t *testing.T) {
 		},
 		// An hour-long backoff: only SleepCtx's cancellation path can let
 		// the test finish.
-		Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Hour},
+		Retry: retry.Policy{MaxAttempts: 3, BaseDelay: time.Hour},
 	})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
@@ -527,7 +528,7 @@ func TestRunPoolContextCancelledMidAttempt(t *testing.T) {
 			<-block // a wedged host: only the ctx.Done select can return
 			return nil
 		},
-		Retry: RetryPolicy{MaxAttempts: 1},
+		Retry: retry.Policy{MaxAttempts: 1},
 	})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)

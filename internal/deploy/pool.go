@@ -11,6 +11,7 @@ import (
 	"autonetkit/internal/emul"
 	"autonetkit/internal/obs"
 	"autonetkit/internal/render"
+	"autonetkit/internal/retry"
 )
 
 // Counter names maintained by pool deployments.
@@ -40,7 +41,7 @@ type PoolOptions struct {
 	// Retry governs per-host boot attempts. Its AttemptTimeout also bounds
 	// the lab's control-plane convergence runs, so a hung convergence
 	// cannot stall the pool any more than a hung host boot can.
-	Retry RetryPolicy
+	Retry retry.Policy
 	// Supervise runs the convergence watchdog over the launched lab,
 	// emitting one "watchdog" event per escalation rung.
 	Supervise bool
@@ -219,58 +220,50 @@ func RunPoolContext(ctx context.Context, fs *render.FileSet, pool *HostPool, opt
 	return d, nil
 }
 
-// bootHost attempts one host's boot under the retry policy, emitting an
-// event per attempt. Context cancellation interrupts the backoff sleep
-// and surfaces as the returned error.
+// bootHost attempts one host's boot under the retry policy (attempt
+// loop, backoff, and the circuit breaker — when the policy carries one —
+// all live in retry.Policy.Do), emitting an event per attempt. Context
+// cancellation interrupts the backoff sleep and surfaces as the returned
+// error.
 func (d *PoolDeployment) bootHost(ctx context.Context, h *Host, opts PoolOptions) error {
 	span := opts.Obs.StartSpan("boot " + h.Name)
 	defer span.End()
-	var lastErr error
-	for attempt := 1; attempt <= opts.Retry.Attempts(); attempt++ {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		lastErr = attemptBoot(ctx, opts.Boot, h.Name, h.Assigned(), attempt, opts.Retry)
-		if lastErr == nil {
-			d.emit(Event{"boot", fmt.Sprintf("%s up (%d VMs, attempt %d)", h.Name, len(h.Assigned()), attempt)})
-			return nil
-		}
-		if ctx.Err() != nil {
-			return lastErr
-		}
-		d.emit(Event{"retry", fmt.Sprintf("%s boot attempt %d failed: %v", h.Name, attempt, lastErr)})
+	pol := opts.Retry
+	pol.OnRetry = func(host string, attempt int, err error) {
+		d.emit(Event{"retry", fmt.Sprintf("%s boot attempt %d failed: %v", host, attempt, err)})
 		opts.Obs.Add(CounterBootRetries, 1)
-		if attempt < opts.Retry.Attempts() {
-			if err := opts.Retry.SleepCtx(ctx, opts.Retry.Delay(h.Name, attempt)); err != nil {
-				return err
-			}
-		}
 	}
-	return lastErr
+	return pol.Do(ctx, h.Name, func(attempt int) error {
+		err := attemptBoot(ctx, opts.Boot, h.Name, h.Assigned(), attempt, pol)
+		if err == nil {
+			d.emit(Event{"boot", fmt.Sprintf("%s up (%d VMs, attempt %d)", h.Name, len(h.Assigned()), attempt)})
+		}
+		return err
+	})
 }
 
 // attemptBoot runs one boot attempt under the per-attempt timeout. A
 // timed-out attempt counts as failed; the stray goroutine's eventual
 // result is discarded (buffered channel), so a wedged host cannot hang the
 // deployment. Context cancellation abandons the attempt the same way.
-func attemptBoot(ctx context.Context, boot BootFunc, host string, vms []string, attempt int, retry RetryPolicy) error {
+func attemptBoot(ctx context.Context, boot BootFunc, host string, vms []string, attempt int, pol retry.Policy) error {
 	if boot == nil {
 		return nil
 	}
-	if retry.AttemptTimeout <= 0 && ctx.Done() == nil {
+	if pol.AttemptTimeout <= 0 && ctx.Done() == nil {
 		return boot(host, vms, attempt)
 	}
 	ch := make(chan error, 1)
 	go func() { ch <- boot(host, vms, attempt) }()
 	var timeout <-chan time.Time
-	if retry.AttemptTimeout > 0 {
-		timeout = retry.AfterChan(retry.AttemptTimeout)
+	if pol.AttemptTimeout > 0 {
+		timeout = pol.AfterChan(pol.AttemptTimeout)
 	}
 	select {
 	case err := <-ch:
 		return err
 	case <-timeout:
-		return fmt.Errorf("deploy: boot of %s attempt %d timed out after %v", host, attempt, retry.AttemptTimeout)
+		return fmt.Errorf("deploy: boot of %s attempt %d timed out after %v", host, attempt, pol.AttemptTimeout)
 	case <-ctx.Done():
 		return fmt.Errorf("deploy: boot of %s attempt %d cancelled: %w", host, attempt, ctx.Err())
 	}

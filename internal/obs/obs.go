@@ -82,6 +82,17 @@ const (
 	CounterDrainDuration      = "drain_duration"
 	CounterHostsUnhealthy     = "hosts_unhealthy"
 
+	// Liveness + preemption counters (internal/sched leases, retry
+	// circuit breakers): lease state transitions, reservations evicted to
+	// make room for higher-weight work, and retry attempts short-circuited
+	// by an open per-host breaker.
+	CounterLeasesSuspected      = "leases_suspected"
+	CounterLeasesExpired        = "leases_expired"
+	CounterLeasesRenewed        = "leases_renewed"
+	CounterPreemptions          = "reservations_preempted"
+	CounterBreakerOpened        = "breaker_opened"
+	CounterBreakerShortCircuits = "breaker_short_circuits"
+
 	// Durable-state counters (internal/journal + sched.Open): records
 	// appended, snapshot compactions, recoveries performed, torn wal tails
 	// truncated during recovery, and records replayed into a cluster.

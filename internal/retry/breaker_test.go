@@ -1,0 +1,194 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives breaker deadlines without wall time.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(0, 0)} }
+func instantPolicy(attempts int) Policy {
+	return Policy{MaxAttempts: attempts, Sleep: func(time.Duration) {}}
+}
+func failN(n int) func(attempt int) error {
+	calls := 0
+	return func(attempt int) error {
+		calls++
+		if calls <= n {
+			return errors.New("boom")
+		}
+		return nil
+	}
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	clk := newFakeClock()
+	var transitions []string
+	bs := NewBreakerSet(BreakerConfig{FailAfter: 3, OpenFor: 10 * time.Second, ReopenJitter: -1, Now: clk.now})
+	bs.OnTransition = func(host string, from, to BreakerState) {
+		transitions = append(transitions, host+":"+string(from)+">"+string(to))
+	}
+
+	for i := 0; i < 2; i++ {
+		bs.Failure("h1")
+	}
+	if st := bs.State("h1"); st != BreakerClosed {
+		t.Fatalf("state after 2 failures = %s", st)
+	}
+	bs.Failure("h1")
+	if st := bs.State("h1"); st != BreakerOpen {
+		t.Fatalf("state after 3 failures = %s", st)
+	}
+	if bs.Allow("h1") {
+		t.Fatal("open breaker allowed an attempt")
+	}
+
+	// A success on another host does not touch h1.
+	bs.Success("h2")
+	if st := bs.State("h1"); st != BreakerOpen {
+		t.Fatalf("h1 state after h2 success = %s", st)
+	}
+
+	// Past the reopen deadline the breaker admits a half-open probe.
+	clk.advance(11 * time.Second)
+	if !bs.Allow("h1") {
+		t.Fatal("breaker did not half-open after the window")
+	}
+	if st := bs.State("h1"); st != BreakerHalfOpen {
+		t.Fatalf("state after reopen = %s", st)
+	}
+	// The probe succeeds: closed again.
+	bs.Success("h1")
+	if st := bs.State("h1"); st != BreakerClosed {
+		t.Fatalf("state after half-open success = %s", st)
+	}
+	want := []string{"h1:closed>open", "h1:open>half-open", "h1:half-open>closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	bs := NewBreakerSet(BreakerConfig{FailAfter: 1, OpenFor: 5 * time.Second, ReopenJitter: -1, Now: clk.now})
+	bs.Failure("h1")
+	clk.advance(6 * time.Second)
+	if !bs.Allow("h1") {
+		t.Fatal("no half-open probe admitted")
+	}
+	bs.Failure("h1")
+	if st := bs.State("h1"); st != BreakerOpen {
+		t.Fatalf("state after failed probe = %s", st)
+	}
+	if bs.Allow("h1") {
+		t.Fatal("re-opened breaker allowed an attempt immediately")
+	}
+}
+
+// TestBreakerReopenJitterDeterministic: the reopen window is a pure
+// function of (host, generation) — two sets with the same config agree,
+// and successive generations of the same host differ (spread).
+func TestBreakerReopenJitterDeterministic(t *testing.T) {
+	cfg := BreakerConfig{FailAfter: 1, OpenFor: 10 * time.Second, ReopenJitter: 1}
+	a, b := NewBreakerSet(cfg), NewBreakerSet(cfg)
+	if d1, d2 := a.reopenDelay("h1", 1), b.reopenDelay("h1", 1); d1 != d2 {
+		t.Fatalf("reopen delay not deterministic: %v vs %v", d1, d2)
+	}
+	if a.reopenDelay("h1", 1) == a.reopenDelay("h1", 2) &&
+		a.reopenDelay("h1", 2) == a.reopenDelay("h1", 3) {
+		t.Fatal("reopen delay does not spread across generations")
+	}
+	for gen := 1; gen <= 3; gen++ {
+		d := a.reopenDelay("h1", gen)
+		if d < 10*time.Second || d >= 20*time.Second {
+			t.Fatalf("generation %d: reopen delay %v outside [OpenFor, 2*OpenFor)", gen, d)
+		}
+	}
+}
+
+func TestDoSucceedsAfterRetries(t *testing.T) {
+	p := instantPolicy(3)
+	var retried []int
+	p.OnRetry = func(host string, attempt int, err error) { retried = append(retried, attempt) }
+	if err := p.Do(context.Background(), "h1", failN(2)); err != nil {
+		t.Fatalf("Do = %v", err)
+	}
+	if len(retried) != 2 || retried[0] != 1 || retried[1] != 2 {
+		t.Fatalf("OnRetry attempts = %v", retried)
+	}
+}
+
+func TestDoExhausted(t *testing.T) {
+	p := instantPolicy(3)
+	err := p.Do(context.Background(), "h1", failN(99))
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("Do = %v, want ExhaustedError", err)
+	}
+	if ex.Host != "h1" || ex.Attempts != 3 || ex.Opened {
+		t.Fatalf("ExhaustedError = %+v", ex)
+	}
+	if ex.Last == nil || ex.Last.Error() != "boom" {
+		t.Fatalf("Last = %v", ex.Last)
+	}
+}
+
+func TestDoCircuitShortCircuits(t *testing.T) {
+	clk := newFakeClock()
+	p := instantPolicy(2)
+	p.Breaker = NewBreakerSet(BreakerConfig{FailAfter: 2, OpenFor: time.Minute, ReopenJitter: -1, Now: clk.now})
+
+	// First Do: two failures open the breaker mid-loop.
+	err := p.Do(context.Background(), "h1", failN(99))
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || !ex.Opened {
+		t.Fatalf("Do = %v, want ExhaustedError with Opened", err)
+	}
+
+	// Second Do: rejected outright, fn never runs.
+	calls := 0
+	err = p.Do(context.Background(), "h1", func(int) error { calls++; return nil })
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("Do on open circuit = %v", err)
+	}
+	if calls != 0 {
+		t.Fatalf("fn ran %d times through an open circuit", calls)
+	}
+
+	// After the window, the half-open probe runs and a success closes.
+	clk.advance(2 * time.Minute)
+	if err := p.Do(context.Background(), "h1", func(int) error { return nil }); err != nil {
+		t.Fatalf("half-open Do = %v", err)
+	}
+	if st := p.Breaker.State("h1"); st != BreakerClosed {
+		t.Fatalf("state after successful probe = %s", st)
+	}
+}
+
+func TestDoCancellationNotChargedToBreaker(t *testing.T) {
+	clk := newFakeClock()
+	p := instantPolicy(5)
+	p.Breaker = NewBreakerSet(BreakerConfig{FailAfter: 1, Now: clk.now})
+	ctx, cancel := context.WithCancel(context.Background())
+	err := p.Do(ctx, "h1", func(int) error {
+		cancel() // the attempt is cancelled mid-flight
+		return errors.New("interrupted")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+	if st := p.Breaker.State("h1"); st != BreakerClosed {
+		t.Fatalf("cancelled attempt condemned the host: %s", st)
+	}
+}

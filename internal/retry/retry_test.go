@@ -1,6 +1,7 @@
 package retry
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -44,6 +45,48 @@ func TestPolicyDefaults(t *testing.T) {
 	}
 	if got := (Policy{MaxAttempts: 7}).Attempts(); got != 7 {
 		t.Errorf("attempts = %d", got)
+	}
+}
+
+// TestPolicyDelayEdgeCases covers the corners the production callers
+// never hit but fuzzers and operators do: empty and non-ASCII host
+// names, attempt 0, and the jitter envelope at its maximum.
+func TestPolicyDelayEdgeCases(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: 1.0}
+	for _, host := range []string{"", "höst-ü", "ホスト01", "h/with/slashes"} {
+		a, b := p.Delay(host, 1), p.Delay(host, 1)
+		if a != b {
+			t.Errorf("host %q: delay not deterministic: %v vs %v", host, a, b)
+		}
+		// Jitter: 1.0 means [base, 2*base).
+		base := 100 * time.Millisecond
+		if a < base || a >= 2*base {
+			t.Errorf("host %q: delay %v outside [base, 2*base)", host, a)
+		}
+	}
+
+	// Attempt 0 (and negatives) never double the base and stay inside
+	// the same jitter envelope instead of underflowing.
+	for _, attempt := range []int{0, -1, -7} {
+		d := p.Delay("h1", attempt)
+		if d < 100*time.Millisecond || d > time.Second {
+			t.Errorf("attempt %d: delay %v outside [base, cap]", attempt, d)
+		}
+	}
+
+	// Jitter above 1 clamps to 1; the cap still holds.
+	wild := Policy{BaseDelay: 900 * time.Millisecond, MaxDelay: time.Second, Jitter: 5}
+	if d := wild.Delay("h1", 1); d > time.Second {
+		t.Errorf("clamped jitter exceeds cap: %v", d)
+	}
+
+	// Different hosts spread: at least two distinct delays among a pool.
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 8; i++ {
+		seen[p.Delay(fmt.Sprintf("h%02d", i), 1)] = true
+	}
+	if len(seen) < 2 {
+		t.Error("jitter does not spread delays across hosts")
 	}
 }
 

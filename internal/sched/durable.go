@@ -39,6 +39,11 @@ const (
 	recDrain    = "drain"
 	recFailHost = "fail-host"
 	recProbe    = "probe"
+	// recLease is a pure lease state delta (suspected, or resurrected to
+	// healthy); recLeaseDead is the outcome record of a lease expiry —
+	// health plus the re-placements it triggered, like fail-host.
+	recLease     = "lease"
+	recLeaseDead = "lease-dead"
 )
 
 // record is one journaled mutation. Exactly one of the payload groups is
@@ -47,10 +52,11 @@ type record struct {
 	Kind     string         `json:"kind"`
 	Spec     *Spec          `json:"spec,omitempty"`     // reserve
 	Name     string         `json:"name,omitempty"`     // release
-	Host     string         `json:"host,omitempty"`     // cordon/uncordon/drain/fail-host
-	Moves    []Move         `json:"moves,omitempty"`    // drain/fail-host outcomes
-	Stranded []string       `json:"stranded,omitempty"` // fail-host orphans with no capacity
+	Host     string         `json:"host,omitempty"`     // cordon/uncordon/drain/fail-host/lease
+	Moves    []Move         `json:"moves,omitempty"`    // drain/fail-host/lease-dead outcomes
+	Stranded []string       `json:"stranded,omitempty"` // fail-host/lease-dead orphans with no capacity
 	Probes   []probeOutcome `json:"probes,omitempty"`   // probe round outcomes
+	To       Health         `json:"to,omitempty"`       // lease transition target
 }
 
 // probeOutcome is one host's verdict from a journaled probe round.
@@ -64,6 +70,7 @@ type probeOutcome struct {
 // is byte-deterministic.
 type snapshotState struct {
 	Seed         uint64         `json:"seed"`
+	Preempt      bool           `json:"preempt,omitempty"`
 	ResSeq       int            `json:"res_seq"`
 	Hosts        []snapshotHost `json:"hosts"`
 	Reservations []snapshotRes  `json:"reservations,omitempty"`
@@ -85,6 +92,7 @@ type snapshotRes struct {
 	Seq       int               `json:"seq"`
 	Placement map[string]string `json:"placement,omitempty"`
 	Stranded  []string          `json:"stranded,omitempty"`
+	Preempted bool              `json:"preempted,omitempty"`
 }
 
 // RecoveryInfo summarises what Open restored.
@@ -172,6 +180,12 @@ func Open(dir string, b Backend, opts Options) (*Cluster, RecoveryInfo, error) {
 	}
 	c.replaying = false
 	c.journal = log
+	if opts.Lease.Enabled {
+		// Replay restored suspected/dead verdicts; now re-arm the renewal
+		// windows — lease clocks are not durable (a restarted scheduler
+		// must not condemn every host for its own downtime).
+		c.armLeasesLocked(c.now())
+	}
 	c.mu.Unlock()
 
 	opts.Obs.Add(obs.CounterJournalReplayed, int64(len(rec.Records)))
@@ -263,6 +277,10 @@ func (c *Cluster) applyRecordLocked(r record) error {
 			c.applyProbeLocked(p.Host, perr)
 		}
 		return nil
+	case recLease:
+		return c.applyLeaseLocked(r.Host, r.To)
+	case recLeaseDead:
+		return c.applyLeaseDeadLocked(r.Host, r.Moves, r.Stranded)
 	default:
 		return fmt.Errorf("unknown record kind %q", r.Kind)
 	}
@@ -271,6 +289,43 @@ func (c *Cluster) applyRecordLocked(r record) error {
 // errProbeReplayed stands in for the live probe error during replay; only
 // its non-nilness matters to the threshold state machine.
 var errProbeReplayed = errors.New("probe failed (replayed)")
+
+// applyLeaseLocked replays a pure lease transition: Suspected (host
+// missed its renewal window) or Healthy (a late heartbeat resurrected
+// it — with the probe streak reset and the admission pass the live
+// renewal ran).
+func (c *Cluster) applyLeaseLocked(host string, to Health) error {
+	h, ok := c.hosts[host]
+	if !ok {
+		return fmt.Errorf("no host %s", host)
+	}
+	switch to {
+	case Suspected:
+		h.health = Suspected
+	case Healthy:
+		h.health = Healthy
+		h.fails, h.oks = 0, 0
+		c.admit()
+	default:
+		return fmt.Errorf("lease record with unexpected target state %q", to)
+	}
+	return nil
+}
+
+// applyLeaseDeadLocked replays a lease expiry: health, committed moves,
+// and the orphans with nowhere to go — applyFailLocked's shape with a
+// Dead verdict instead of an operator's Failed.
+func (c *Cluster) applyLeaseDeadLocked(host string, moves []Move, stranded []string) error {
+	h, ok := c.hosts[host]
+	if !ok {
+		return fmt.Errorf("no host %s", host)
+	}
+	h.health = Dead
+	if err := c.applyMovesLocked(moves); err != nil {
+		return err
+	}
+	return c.strandOrphansLocked(h, stranded)
+}
 
 // applyDrainLocked replays a drain's durable effect: the (possibly
 // implicit) cordon plus the committed moves.
@@ -294,10 +349,16 @@ func (c *Cluster) applyFailLocked(host string, moves []Move, stranded []string) 
 	if err := c.applyMovesLocked(moves); err != nil {
 		return err
 	}
+	return c.strandOrphansLocked(h, stranded)
+}
+
+// strandOrphansLocked marks a dead/failed host's unplaceable VMs as
+// stranded on their reservations.
+func (c *Cluster) strandOrphansLocked(h *hostState, stranded []string) error {
 	for _, vm := range stranded {
 		resName, ok := h.vms[vm]
 		if !ok {
-			return fmt.Errorf("stranded VM %s not on host %s", vm, host)
+			return fmt.Errorf("stranded VM %s not on host %s", vm, h.info.Name)
 		}
 		r := c.res[resName]
 		delete(h.vms, vm)
@@ -334,7 +395,7 @@ func (c *Cluster) applyMovesLocked(moves []Move) error {
 
 // snapshotLocked encodes the full durable state (lock held).
 func (c *Cluster) snapshotLocked() ([]byte, error) {
-	st := snapshotState{Seed: c.opts.Seed, ResSeq: c.resSeq}
+	st := snapshotState{Seed: c.opts.Seed, Preempt: c.opts.Preempt, ResSeq: c.resSeq}
 	for _, name := range c.hostNames {
 		h := c.hosts[name]
 		st.Hosts = append(st.Hosts, snapshotHost{
@@ -347,7 +408,7 @@ func (c *Cluster) snapshotLocked() ([]byte, error) {
 		})
 	}
 	for _, r := range c.resByArrival() {
-		sr := snapshotRes{Spec: r.spec, State: r.state, Seq: r.seq}
+		sr := snapshotRes{Spec: r.spec, State: r.state, Seq: r.seq, Preempted: r.preempted}
 		if len(r.placement) > 0 {
 			sr.Placement = make(map[string]string, len(r.placement))
 			for vm, host := range r.placement {
@@ -381,6 +442,12 @@ func (c *Cluster) restoreSnapshotLocked(data []byte) error {
 	if st.Seed != c.opts.Seed {
 		return fmt.Errorf("sched: snapshot seed %d != configured seed %d", st.Seed, c.opts.Seed)
 	}
+	if st.Preempt != c.opts.Preempt {
+		// The wal records after this snapshot were decided under the
+		// snapshot's preemption mode; replaying them under the other mode
+		// would silently diverge from the recorded history.
+		return fmt.Errorf("sched: snapshot preempt=%v != configured preempt=%v", st.Preempt, c.opts.Preempt)
+	}
 	if len(st.Hosts) != len(c.hostNames) {
 		return fmt.Errorf("sched: snapshot has %d hosts, backend discovered %d", len(st.Hosts), len(c.hostNames))
 	}
@@ -406,6 +473,7 @@ func (c *Cluster) restoreSnapshotLocked(data []byte) error {
 			placement: map[string]string{},
 			stranded:  map[string]bool{},
 			seq:       sr.Seq,
+			preempted: sr.Preempted,
 		}
 		for vm, host := range sr.Placement {
 			h, ok := c.hosts[host]

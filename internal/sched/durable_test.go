@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -151,11 +152,23 @@ type durableOp struct {
 // only picks which ops appear — each op's behaviour is a pure function of
 // cluster state, so the same sequence always produces the same states.
 func opSequence(rng *rand.Rand, n int) []durableOp {
+	return opSequenceLease(rng, n, false)
+}
+
+// opSequenceLease optionally mixes in lease collapses (ExpireLease).
+// Those journal two records per op, so the crash matrix — whose
+// invariant is "recovered state matches pre- or post-op exactly" —
+// keeps them out and covers them in a dedicated mid-expiry test.
+func opSequenceLease(rng *rand.Rand, n int, withExpire bool) []durableOp {
 	hosts := []string{"h01", "h02", "h03", "h04", "h05"}
 	var ops []durableOp
 	resSeq := 0
 	for i := 0; i < n; i++ {
-		switch rng.Intn(10) {
+		pick := rng.Intn(12)
+		if !withExpire && pick == 10 {
+			pick = 11
+		}
+		switch pick {
 		case 0, 1, 2:
 			resSeq++
 			name := fmt.Sprintf("res%02d", resSeq)
@@ -165,7 +178,10 @@ func opSequence(rng *rand.Rand, n int) []durableOp {
 			if rng.Intn(2) == 0 {
 				policy = PolicySpread
 			}
-			sp := Spec{Name: name, Tenant: tenant, Count: count, Policy: policy}
+			// Distinct weights make preemption live when Options.Preempt
+			// is on; the rng only picks the weight, so the op itself stays
+			// a pure function of cluster state.
+			sp := Spec{Name: name, Tenant: tenant, Count: count, Policy: policy, Weight: 1 + rng.Intn(3)}
 			ops = append(ops, durableOp{
 				desc: "reserve " + name,
 				run:  func(c *Cluster) error { _, err := c.Reserve(sp); return err },
@@ -199,6 +215,28 @@ func opSequence(rng *rand.Rand, n int) []durableOp {
 			ops = append(ops, durableOp{
 				desc: "fail-host " + h,
 				run:  func(c *Cluster) error { _, err := c.FailHost(h); return err },
+			})
+		case 9:
+			h := hosts[rng.Intn(len(hosts))]
+			ops = append(ops, durableOp{
+				desc: "heartbeat " + h,
+				run: func(c *Cluster) error {
+					err := c.Heartbeat(h)
+					if err != nil && !strings.Contains(err.Error(), "not enabled") &&
+						!strings.Contains(err.Error(), "has failed") {
+						return err
+					}
+					return nil
+				},
+			})
+		case 10:
+			h := hosts[rng.Intn(len(hosts))]
+			ops = append(ops, durableOp{
+				desc: "expire-lease " + h,
+				run: func(c *Cluster) error {
+					_, err := c.ExpireLease(h)
+					return err
+				},
 			})
 		default:
 			ops = append(ops, durableOp{
@@ -238,13 +276,15 @@ func TestReplayEquivalenceProperty(t *testing.T) {
 		for _, every := range []int{1, 3, 1000} { // compact constantly / often / never
 			t.Run(fmt.Sprintf("seed=%d/snapshotEvery=%d", seed, every), func(t *testing.T) {
 				rng := rand.New(rand.NewSource(seed))
-				ops := opSequence(rng, 40)
+				ops := opSequenceLease(rng, 40, true)
 				dir := t.TempDir()
 				opts := Options{
 					Seed:          uint64(seed),
 					Retry:         instantRetry(),
 					SnapshotEvery: every,
 					Health:        HealthPolicy{FailAfter: 2, RecoverAfter: 1},
+					Lease:         LeasePolicy{Enabled: true},
+					Preempt:       true,
 				}
 				live, _, err := Open(dir, flakyBackend(), opts)
 				if err != nil {
@@ -364,6 +404,8 @@ func TestSchedCrashMatrix(t *testing.T) {
 			Retry:         instantRetry(),
 			SnapshotEvery: 5, // exercise compaction crash points too
 			Health:        HealthPolicy{FailAfter: 2, RecoverAfter: 1},
+			Lease:         LeasePolicy{Enabled: true},
+			Preempt:       true,
 			Journal:       journal.Options{Fail: fp},
 		}
 	}
@@ -493,5 +535,178 @@ func TestDrainContextCancellation(t *testing.T) {
 	rec.mu.Unlock()
 	if !cordoned {
 		t.Fatal("cordon from aborted drain lost on recovery")
+	}
+}
+
+// TestCrashMidPreemption kills the journal at every I/O step of a
+// preempting reserve. The eviction lives inside one reserve command
+// record, so recovery lands exactly pre- or post-reserve: either the
+// victim is still active and the newcomer absent, or the victim is
+// preempted/queued and the newcomer placed — never half an eviction.
+func TestCrashMidPreemption(t *testing.T) {
+	setup := func(fp *journal.Failpoints) (string, *Cluster) {
+		dir := t.TempDir()
+		opts := Options{
+			Seed:          3,
+			Retry:         instantRetry(),
+			SnapshotEvery: 2, // the preempting reserve also crosses a compaction
+			Preempt:       true,
+			Journal:       journal.Options{Fail: fp},
+		}
+		c, _, err := Open(dir, Uniform(2, 3), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Reserve(Spec{Name: "batch", Count: 6, Tenant: "batch", Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return dir, c
+	}
+
+	// Dry run: how many I/O steps does the preempting reserve take?
+	fp := &journal.Failpoints{}
+	_, dry := setup(fp)
+	fp.Arm(0, 0)
+	if _, err := dry.Reserve(Spec{Name: "prod", Count: 4, Tenant: "prod", Weight: 5}); err != nil {
+		t.Fatal(err)
+	}
+	steps := fp.Steps()
+	pre := `"batch","tenant":"batch","state":"active"`
+	dry.Close()
+	if steps == 0 {
+		t.Fatal("preempting reserve performed no journal I/O")
+	}
+	_ = pre
+
+	for failAt := 1; failAt <= steps; failAt++ {
+		for _, torn := range []float64{0, 1} {
+			tag := fmt.Sprintf("failAt=%d torn=%.0f", failAt, torn)
+			mfp := &journal.Failpoints{}
+			dir, c := setup(mfp)
+			preStatus := statusJSON(t, c)
+			mfp.Arm(failAt, torn)
+			_, rerr := c.Reserve(Spec{Name: "prod", Count: 4, Tenant: "prod", Weight: 5})
+			if rerr == nil {
+				t.Fatalf("%s: reserve survived the armed failpoint", tag)
+			}
+			c.Close()
+			mfp.Arm(0, 0)
+			rec, _, err := Open(dir, Uniform(2, 3), Options{
+				Seed: 3, Retry: instantRetry(), SnapshotEvery: 2, Preempt: true,
+				Journal: journal.Options{Fail: mfp},
+			})
+			if err != nil {
+				t.Fatalf("%s: recovery: %v", tag, err)
+			}
+			checkInvariants(t, rec, tag)
+			st := rec.Status()
+			var batch, prod *ReservationStatus
+			for i := range st.Reservations {
+				switch st.Reservations[i].Name {
+				case "batch":
+					batch = &st.Reservations[i]
+				case "prod":
+					prod = &st.Reservations[i]
+				}
+			}
+			if batch == nil {
+				t.Fatalf("%s: victim reservation lost", tag)
+			}
+			switch {
+			case prod == nil: // pre-reserve state
+				if got := statusJSON(t, rec); !bytes.Equal(got, preStatus) {
+					t.Fatalf("%s: pre-reserve state drifted\n--- recovered\n%s\n--- pre\n%s", tag, got, preStatus)
+				}
+			default: // post-reserve state
+				if prod.State != ResActive || batch.State != ResQueued || !batch.Preempted {
+					t.Fatalf("%s: half-applied preemption: prod=%+v batch=%+v", tag, prod, batch)
+				}
+			}
+			rec.Close()
+		}
+	}
+}
+
+// TestCrashMidLeaseExpiry: ExpireLease journals two records (suspect,
+// then dead-with-moves). A crash between them recovers a Suspected host
+// — a valid intermediate state the lease loop finishes off — and a
+// crash after either boundary recovers exactly that boundary.
+func TestCrashMidLeaseExpiry(t *testing.T) {
+	mkOpts := func(fp *journal.Failpoints) Options {
+		return Options{
+			Seed:          11,
+			Retry:         instantRetry(),
+			SnapshotEvery: 1000,
+			Lease:         LeasePolicy{Enabled: true},
+			Journal:       journal.Options{Fail: fp},
+		}
+	}
+	setup := func(fp *journal.Failpoints) (string, *Cluster) {
+		dir := t.TempDir()
+		c, _, err := Open(dir, Uniform(3, 4), mkOpts(fp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Reserve(Spec{Name: "web", Count: 6, Tenant: "ops"}); err != nil {
+			t.Fatal(err)
+		}
+		return dir, c
+	}
+
+	fp := &journal.Failpoints{}
+	_, dry := setup(fp)
+	fp.Arm(0, 0)
+	if _, err := dry.ExpireLease("h01"); err != nil && !errors.Is(err, ErrDegraded) {
+		t.Fatal(err)
+	}
+	steps := fp.Steps()
+	dry.Close()
+	if steps < 2 {
+		t.Fatalf("expire journaled %d I/O steps, want >= 2 (suspect + dead)", steps)
+	}
+
+	for failAt := 1; failAt <= steps; failAt++ {
+		for _, torn := range []float64{0, 1} {
+			tag := fmt.Sprintf("failAt=%d torn=%.0f", failAt, torn)
+			mfp := &journal.Failpoints{}
+			dir, c := setup(mfp)
+			mfp.Arm(failAt, torn)
+			if _, err := c.ExpireLease("h01"); err == nil {
+				t.Fatalf("%s: expire survived the armed failpoint", tag)
+			}
+			c.Close()
+			mfp.Arm(0, 0)
+			rec, _, err := Open(dir, Uniform(3, 4), mkOpts(mfp))
+			if err != nil {
+				t.Fatalf("%s: recovery: %v", tag, err)
+			}
+			checkInvariants(t, rec, tag)
+			rec.mu.Lock()
+			h := rec.hosts["h01"].health
+			vms := len(rec.hosts["h01"].vms)
+			rec.mu.Unlock()
+			switch h {
+			case Healthy: // crash before the suspect record landed
+			case Suspected: // valid intermediate: VMs still aboard
+				if vms == 0 {
+					t.Fatalf("%s: suspected host already emptied", tag)
+				}
+				// The lease machinery can finish the collapse after recovery.
+				if _, err := rec.ExpireLease("h01"); err != nil && !errors.Is(err, ErrDegraded) {
+					t.Fatalf("%s: finishing the collapse: %v", tag, err)
+				}
+				if got := hostHealth(rec, "h01"); got != Dead {
+					t.Fatalf("%s: collapse did not finish: %s", tag, got)
+				}
+			case Dead: // both records landed
+				if vms != 0 {
+					t.Fatalf("%s: dead host still holds %d VMs", tag, vms)
+				}
+			default:
+				t.Fatalf("%s: unexpected health %s", tag, h)
+			}
+			checkInvariants(t, rec, tag+" (post)")
+			rec.Close()
+		}
 	}
 }

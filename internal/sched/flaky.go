@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// FlakyBackend decorates any Backend with deterministic, FNV-seeded
+// fault schedules: per-host probe and migration failure rates, and
+// silenced hosts that stop answering heartbeats (and everything else).
+// Whether a given call fails is a pure function of (seed, operation,
+// arguments) — no randomness source, no call ordering — so a chaos
+// drill that sets the same rates under the same seed reproduces the
+// same faults byte-for-byte at any worker count and across a crash.
+type FlakyBackend struct {
+	inner Backend
+	seed  uint64
+
+	mu          sync.Mutex
+	migrateRate map[string]float64 // keyed by target host
+	probeRate   map[string]float64
+	probeCount  map[string]int // per-host probe index, so rates sample over rounds
+	silent      map[string]bool
+}
+
+// NewFlakyBackend wraps a backend with an FNV-seeded fault schedule.
+func NewFlakyBackend(inner Backend, seed uint64) *FlakyBackend {
+	return &FlakyBackend{
+		inner:       inner,
+		seed:        seed,
+		migrateRate: map[string]float64{},
+		probeRate:   map[string]float64{},
+		probeCount:  map[string]int{},
+		silent:      map[string]bool{},
+	}
+}
+
+// SetMigrateFailRate makes migrations *to* the host fail at the given
+// rate (0..1), decided per (vm, host, attempt) — retries of the same
+// move re-roll, so a 0.5-rate host still drains, slowly.
+func (b *FlakyBackend) SetMigrateFailRate(host string, rate float64) {
+	b.mu.Lock()
+	b.migrateRate[host] = rate
+	b.mu.Unlock()
+}
+
+// SetProbeFailRate makes the host's health probes fail at the given
+// rate (0..1), decided per (host, consecutive probe index).
+func (b *FlakyBackend) SetProbeFailRate(host string, rate float64) {
+	b.mu.Lock()
+	b.probeRate[host] = rate
+	b.mu.Unlock()
+}
+
+// Silence makes the host stop answering: probes and heartbeats error,
+// migrations to it fail. The lease machinery turns sustained silence
+// into suspected, then dead.
+func (b *FlakyBackend) Silence(host string) {
+	b.mu.Lock()
+	b.silent[host] = true
+	b.mu.Unlock()
+}
+
+// Unsilence lets the host answer again.
+func (b *FlakyBackend) Unsilence(host string) {
+	b.mu.Lock()
+	delete(b.silent, host)
+	b.mu.Unlock()
+}
+
+// Silenced reports whether the host is currently silenced.
+func (b *FlakyBackend) Silenced(host string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.silent[host]
+}
+
+// roll is the deterministic coin: FNV-1a over (seed, key) mapped to
+// [0,1), compared against the rate.
+func (b *FlakyBackend) roll(key string, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", b.seed, key)
+	return float64(h.Sum64()%1000)/1000.0 < rate
+}
+
+// Discover passes through to the wrapped backend.
+func (b *FlakyBackend) Discover() ([]HostInfo, error) { return b.inner.Discover() }
+
+// Probe errors for silenced hosts, rolls the host's fault schedule,
+// then consults the wrapped backend.
+func (b *FlakyBackend) Probe(host string) error {
+	b.mu.Lock()
+	silent, rate := b.silent[host], b.probeRate[host]
+	n := b.probeCount[host]
+	b.probeCount[host] = n + 1
+	b.mu.Unlock()
+	if silent {
+		return fmt.Errorf("flaky: host %s is silent", host)
+	}
+	if b.roll(fmt.Sprintf("probe/%s/%d", host, n), rate) {
+		return fmt.Errorf("flaky: probe %d of %s dropped (scheduled fault)", n, host)
+	}
+	return b.inner.Probe(host)
+}
+
+// Migrate fails moves onto silenced or scheduled-faulty targets, then
+// consults the wrapped backend.
+func (b *FlakyBackend) Migrate(vm, from, to string, attempt int) error {
+	b.mu.Lock()
+	silent, rate := b.silent[to], b.migrateRate[to]
+	b.mu.Unlock()
+	if silent {
+		return fmt.Errorf("flaky: target %s is silent", to)
+	}
+	if b.roll(fmt.Sprintf("migrate/%s/%s/%d", to, vm, attempt), rate) {
+		return fmt.Errorf("flaky: migration of %s to %s dropped (scheduled fault, attempt %d)", vm, to, attempt)
+	}
+	return b.inner.Migrate(vm, from, to, attempt)
+}
+
+// Heartbeat implements the Heartbeater extension: silenced hosts miss
+// their renewals; everyone else renews (or defers to the wrapped
+// backend when it is a Heartbeater too).
+func (b *FlakyBackend) Heartbeat(host string) error {
+	b.mu.Lock()
+	silent := b.silent[host]
+	b.mu.Unlock()
+	if silent {
+		return fmt.Errorf("flaky: host %s is silent", host)
+	}
+	if hb, ok := b.inner.(Heartbeater); ok {
+		return hb.Heartbeat(host)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"testing"
+)
+
+// TestFlakyBackendDeterministic: whether a call fails is a pure function
+// of (seed, operation, arguments) — call order does not matter.
+func TestFlakyBackendDeterministic(t *testing.T) {
+	mk := func(seed uint64) *FlakyBackend {
+		b := NewFlakyBackend(Uniform(4, 4), seed)
+		b.SetMigrateFailRate("h02", 0.5)
+		return b
+	}
+	outcome := func(b *FlakyBackend, vm string, attempt int) bool {
+		return b.Migrate(vm, "h01", "h02", attempt) != nil
+	}
+
+	a, b := mk(7), mk(7)
+	vms := []string{"web-vm001", "web-vm002", "web-vm003", "web-vm004"}
+	// Forward on one, reverse on the other: identical verdict per call.
+	for i, vm := range vms {
+		rv := vms[len(vms)-1-i]
+		if outcome(a, vm, 1) != outcome(b, vm, 1) {
+			t.Fatalf("migrate %s verdict differs across call orders", vm)
+		}
+		_ = rv
+		if outcome(b, rv, 1) != outcome(a, rv, 1) {
+			t.Fatalf("migrate %s verdict differs across call orders", rv)
+		}
+	}
+	// Retries re-roll: across enough (vm, attempt) pairs both verdicts
+	// appear at rate 0.5.
+	saw := map[bool]int{}
+	for _, vm := range vms {
+		for attempt := 1; attempt <= 8; attempt++ {
+			saw[outcome(a, vm, attempt)]++
+		}
+	}
+	if saw[true] == 0 || saw[false] == 0 {
+		t.Fatalf("rate 0.5 produced one-sided verdicts: %v", saw)
+	}
+	// A different seed de-correlates the schedule.
+	c := mk(8)
+	diff := false
+	for _, vm := range vms {
+		for attempt := 1; attempt <= 8; attempt++ {
+			if outcome(mk(7), vm, attempt) != outcome(c, vm, attempt) {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("seeds 7 and 8 produced identical schedules")
+	}
+}
+
+// TestFlakyBackendProbeRounds: probe faults are keyed by consecutive
+// probe index, so a fractional rate samples across rounds.
+func TestFlakyBackendProbeRounds(t *testing.T) {
+	b := NewFlakyBackend(Uniform(1, 1), 3)
+	b.SetProbeFailRate("h01", 0.5)
+	saw := map[bool]int{}
+	for i := 0; i < 32; i++ {
+		saw[b.Probe("h01") != nil]++
+	}
+	if saw[true] == 0 || saw[false] == 0 {
+		t.Fatalf("probe rate 0.5 produced one-sided verdicts over rounds: %v", saw)
+	}
+	// rate 0 never fails, rate 1 always fails.
+	b.SetProbeFailRate("h01", 0)
+	if err := b.Probe("h01"); err != nil {
+		t.Fatalf("rate 0 probe failed: %v", err)
+	}
+	b.SetProbeFailRate("h01", 1)
+	if err := b.Probe("h01"); err == nil {
+		t.Fatal("rate 1 probe succeeded")
+	}
+}
+
+// TestFlakyBackendSilence: silence overrides everything and is
+// reversible.
+func TestFlakyBackendSilence(t *testing.T) {
+	b := NewFlakyBackend(Uniform(2, 2), 1)
+	b.Silence("h01")
+	if !b.Silenced("h01") {
+		t.Fatal("Silenced lied")
+	}
+	if err := b.Probe("h01"); err == nil {
+		t.Fatal("silent probe succeeded")
+	}
+	if err := b.Heartbeat("h01"); err == nil {
+		t.Fatal("silent heartbeat succeeded")
+	}
+	if err := b.Migrate("x-vm001", "h02", "h01", 1); err == nil {
+		t.Fatal("migration onto silent host succeeded")
+	}
+	if err := b.Heartbeat("h02"); err != nil {
+		t.Fatalf("heartbeat of quiet-but-alive host: %v", err)
+	}
+	b.Unsilence("h01")
+	if err := b.Heartbeat("h01"); err != nil {
+		t.Fatalf("heartbeat after unsilence: %v", err)
+	}
+}

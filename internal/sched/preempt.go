@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"sort"
+
+	"autonetkit/internal/obs"
+)
+
+// Deterministic preemption: when Options.Preempt is set and a new
+// reservation cannot fit, reservations whose tenants carry strictly
+// lower fair-share weight are evicted — re-queued, not failed — until
+// the newcomer places. The victim order is a total order (lowest weight
+// first, then youngest arrival, then name), and the chosen set is the
+// shortest prefix of that order whose eviction lets the newcomer place
+// all-or-nothing; if even evicting every candidate is not enough, all
+// of them are restored untouched. Everything here is a pure function of
+// (cluster state, spec, seed), so the journaled reserve command record
+// replays the same evictions byte-for-byte.
+
+// preemptLocked tries to make room for r by evicting lower-weight
+// reservations. Returns true when r ended up fully placed. Lock held;
+// called from reserveLocked after tryPlace failed.
+func (c *Cluster) preemptLocked(r *reservation) bool {
+	if !c.opts.Preempt {
+		return false
+	}
+	w := c.weight(r.spec.tenant())
+	var cands []*reservation
+	for _, v := range c.res {
+		if v == r || (v.state != ResActive && v.state != ResDegraded) {
+			continue
+		}
+		if c.weight(v.spec.tenant()) >= w {
+			continue
+		}
+		cands = append(cands, v)
+	}
+	if len(cands) == 0 {
+		return false
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		wi, wj := c.weight(cands[i].spec.tenant()), c.weight(cands[j].spec.tenant())
+		if wi != wj {
+			return wi < wj // cheapest victims first
+		}
+		if cands[i].seq != cands[j].seq {
+			return cands[i].seq > cands[j].seq // youngest first
+		}
+		return cands[i].spec.Name < cands[j].spec.Name
+	})
+
+	// Evict greedily, snapshotting each victim so a failed fit restores
+	// the cluster exactly.
+	type saved struct {
+		r         *reservation
+		placement map[string]string
+		stranded  map[string]bool
+		state     ResState
+		preempted bool
+	}
+	var evicted []saved
+	placed := false
+	for _, v := range cands {
+		evicted = append(evicted, saved{
+			r:         v,
+			placement: v.placement,
+			stranded:  v.stranded,
+			state:     v.state,
+			preempted: v.preempted,
+		})
+		for vm, host := range v.placement {
+			delete(c.hosts[host].vms, vm)
+		}
+		v.placement = map[string]string{}
+		v.stranded = map[string]bool{}
+		v.state = ResQueued
+		v.preempted = true
+		if c.tryPlace(r) {
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		for i := len(evicted) - 1; i >= 0; i-- {
+			s := evicted[i]
+			s.r.placement = s.placement
+			s.r.stranded = s.stranded
+			s.r.state = s.state
+			s.r.preempted = s.preempted
+			for vm, host := range s.placement {
+				c.hosts[host].vms[vm] = s.r.spec.Name
+			}
+		}
+		return false
+	}
+	for _, s := range evicted {
+		c.count(obs.CounterPreemptions, 1)
+		c.emit("preempt", "%s: %d VMs evicted for %s (weight %d < %d), re-queued",
+			s.r.spec.Name, len(s.r.vms), r.spec.Name, c.weight(s.r.spec.tenant()), w)
+	}
+	return true
+}

@@ -43,6 +43,15 @@ const (
 	Healthy   Health = "healthy"
 	Unhealthy Health = "unhealthy"
 	Failed    Health = "failed"
+	// Suspected: the host missed its lease-renewal window — it may be
+	// dead or merely silent. No new placements; its VMs stay put until
+	// the grace window decides.
+	Suspected Health = "suspected"
+	// Dead: the host stayed silent past the grace window. Its capacity
+	// is gone and its VMs were re-placed (or stranded) like a FailHost,
+	// but a late heartbeat can still resurrect it (unlike Failed, which
+	// is an operator verdict).
+	Dead Health = "dead"
 )
 
 // ResState is a reservation's lifecycle state.
@@ -95,6 +104,15 @@ type Options struct {
 	Seed uint64
 	// Health configures the probe thresholds.
 	Health HealthPolicy
+	// Lease configures heartbeat leases (liveness under silence): hosts
+	// that stop renewing are suspected, then declared dead and their VMs
+	// re-placed. Disabled unless Lease.Enabled.
+	Lease LeasePolicy
+	// Preempt lets a reservation whose tenant has strictly higher
+	// fair-share weight evict lower-weight reservations when it cannot
+	// fit — the minimal-cost victim set, deterministically chosen.
+	// Victims re-queue (keeping their arrival order) instead of failing.
+	Preempt bool
 	// Retry bounds per-VM migration attempts during drains (the shared
 	// deploy retry policy: exponential backoff, deterministic jitter).
 	Retry retry.Policy
@@ -122,8 +140,8 @@ func (o Options) snapshotEvery() int {
 
 // Event is one cluster state change, in sequence order.
 type Event struct {
-	Seq  int
-	Kind string // reserve, queue, admit, release, cordon, uncordon, unhealthy, recovered, host-failed, replace, stranded, drain, degraded
+	Seq    int
+	Kind   string // reserve, queue, admit, release, cordon, uncordon, unhealthy, recovered, host-failed, replace, stranded, drain, degraded
 	Detail string
 }
 
@@ -174,6 +192,10 @@ type hostState struct {
 	vms      map[string]string // vm -> reservation
 	fails    int               // consecutive probe failures
 	oks      int               // consecutive probe successes while unhealthy
+	// renewedAt is the host's last lease renewal (leases enabled only).
+	// Not durable: Open re-arms fresh windows rather than condemning
+	// every host for the downtime.
+	renewedAt time.Time
 }
 
 func (h *hostState) free() int { return h.info.Capacity - len(h.vms) }
@@ -186,6 +208,10 @@ func (h *hostState) stateLabel() string {
 	switch {
 	case h.health == Failed:
 		return string(Failed)
+	case h.health == Dead:
+		return string(Dead)
+	case h.health == Suspected:
+		return string(Suspected)
 	case h.health == Unhealthy:
 		return string(Unhealthy)
 	case h.cordoned:
@@ -201,7 +227,8 @@ type reservation struct {
 	state     ResState
 	placement map[string]string // vm -> host
 	stranded  map[string]bool
-	seq       int // arrival order (FIFO within tenant)
+	seq       int  // arrival order (FIFO within tenant)
+	preempted bool // evicted by a higher-weight reservation; cleared on re-admission
 }
 
 // Cluster owns a pool of substrate hosts and schedules reservations onto
@@ -228,6 +255,8 @@ type Cluster struct {
 
 	probeStop chan struct{}
 	probeDone chan struct{}
+	leaseStop chan struct{}
+	leaseDone chan struct{}
 }
 
 // New builds a cluster over the backend's discovered hosts.
@@ -247,16 +276,22 @@ func New(b Backend, opts Options) (*Cluster, error) {
 		weights: map[string]int{},
 	}
 	for _, info := range infos {
+		if info.Name == "" {
+			return nil, fmt.Errorf("sched: backend discovered a host with an empty name")
+		}
 		if info.Capacity <= 0 {
-			return nil, fmt.Errorf("sched: host %s has capacity %d", info.Name, info.Capacity)
+			return nil, fmt.Errorf("sched: host %s discovered with non-positive capacity %d (backend misconfigured?)", info.Name, info.Capacity)
 		}
 		if _, dup := c.hosts[info.Name]; dup {
-			return nil, fmt.Errorf("sched: duplicate host %s", info.Name)
+			return nil, fmt.Errorf("sched: backend discovered duplicate host %s (capacity would double-count)", info.Name)
 		}
 		c.hosts[info.Name] = &hostState{info: info, health: Healthy, vms: map[string]string{}}
 		c.hostNames = append(c.hostNames, info.Name)
 	}
 	sort.Strings(c.hostNames)
+	if opts.Lease.Enabled {
+		c.armLeasesLocked(c.now())
+	}
 	return c, nil
 }
 
@@ -462,6 +497,7 @@ type ReservationStatus struct {
 	Hosts     []string          `json:"hosts,omitempty"`
 	Stranded  []string          `json:"stranded,omitempty"`
 	Placement map[string]string `json:"placement,omitempty"`
+	Preempted bool              `json:"preempted,omitempty"`
 }
 
 // Reserve requests capacity. When the cluster can hold the whole
@@ -530,10 +566,18 @@ func (c *Cluster) reserveLocked(sp Spec) (ReservationStatus, error) {
 		c.emit("queue", "%s: %d VMs queued behind tenant %s's earlier request", sp.Name, len(vms), tenant)
 		return c.statusOf(r), nil
 	}
-	if c.tryPlace(r) {
+	placed, preempted := c.tryPlace(r), false
+	if !placed && c.preemptLocked(r) {
+		placed, preempted = true, true
+	}
+	if placed {
 		r.state = ResActive
 		c.emit("reserve", "%s: %d VMs placed across %d hosts (tenant %s, policy %s)",
 			sp.Name, len(vms), len(hostSet(r.placement)), tenant, sp.policy())
+		if preempted {
+			// Evicted victims may still fit in the capacity left over.
+			c.admit()
+		}
 	} else {
 		r.state = ResQueued
 		c.count(obs.CounterReservationsQueued, 1)
@@ -591,7 +635,7 @@ func (c *Cluster) cordonLocked(host string) error {
 	if !ok {
 		return fmt.Errorf("sched: no host %s", host)
 	}
-	if h.health == Failed {
+	if h.health == Failed || h.health == Dead {
 		return fmt.Errorf("sched: host %s has failed", host)
 	}
 	if h.cordoned {
@@ -654,7 +698,7 @@ func (c *Cluster) DrainContext(ctx context.Context, host string) (DrainResult, e
 	if !ok {
 		return DrainResult{}, fmt.Errorf("sched: no host %s", host)
 	}
-	if h.health == Failed {
+	if h.health == Failed || h.health == Dead {
 		return DrainResult{}, fmt.Errorf("sched: host %s has failed", host)
 	}
 	if !h.cordoned {
@@ -698,7 +742,7 @@ func (c *Cluster) FailHost(host string) (DrainResult, error) {
 	if !ok {
 		return DrainResult{}, fmt.Errorf("sched: no host %s", host)
 	}
-	if h.health == Failed {
+	if h.health == Failed || h.health == Dead {
 		return DrainResult{}, fmt.Errorf("sched: host %s has already failed", host)
 	}
 	h.health = Failed
@@ -783,23 +827,29 @@ func (c *Cluster) migrateVM(ctx context.Context, r *reservation, vm string, from
 	}
 	target := plan[vm]
 	pol := c.opts.Retry
-	var lastErr error
-	for attempt := 1; attempt <= pol.Attempts(); attempt++ {
-		if err := ctx.Err(); err != nil {
-			return "", false, err
+	err := pol.Do(ctx, target, func(attempt int) error {
+		return c.backend.Migrate(vm, from.info.Name, target, attempt)
+	})
+	switch {
+	case err == nil:
+		return target, true, nil
+	case ctx.Err() != nil:
+		return "", false, ctx.Err()
+	case errors.Is(err, retry.ErrCircuitOpen):
+		// The target's breaker is open: don't burn the retry budget, the
+		// VM strands immediately and heals once the host proves itself.
+		c.count(obs.CounterBreakerShortCircuits, 1)
+		c.emit("stranded", "%s: circuit open for %s: migration not attempted", vm, target)
+		return "", false, nil
+	default:
+		var ex *retry.ExhaustedError
+		if errors.As(err, &ex) {
+			c.emit("stranded", "%s: migration to %s failed after %d attempts: %v", vm, target, ex.Attempts, ex.Last)
+		} else {
+			c.emit("stranded", "%s: migration to %s failed: %v", vm, target, err)
 		}
-		lastErr = c.backend.Migrate(vm, from.info.Name, target, attempt)
-		if lastErr == nil {
-			return target, true, nil
-		}
-		if attempt < pol.Attempts() {
-			if err := pol.SleepCtx(ctx, pol.Delay(target, attempt)); err != nil {
-				return "", false, err
-			}
-		}
+		return "", false, nil
 	}
-	c.emit("stranded", "%s: migration to %s failed after %d attempts: %v", vm, target, pol.Attempts(), lastErr)
-	return "", false, nil
 }
 
 // admit re-places stranded VMs and then admits queued reservations in
@@ -847,6 +897,7 @@ func (c *Cluster) admit() {
 				continue
 			}
 			head.state = ResActive
+			head.preempted = false
 			c.emit("admit", "%s: %d VMs admitted from queue (tenant %s, share %s)",
 				head.spec.Name, len(head.vms), tenant, c.shareString(tenant))
 			admitted = true
@@ -948,7 +999,9 @@ func (c *Cluster) ProbeAll() []ProbeResult {
 	}
 	names := make([]string, 0, len(c.hostNames))
 	for _, name := range c.hostNames {
-		if c.hosts[name].health != Failed {
+		// Suspected and dead hosts belong to the lease state machine; a
+		// probe answer is not a lease renewal, so skip them here.
+		if h := c.hosts[name].health; h == Healthy || h == Unhealthy {
 			names = append(names, name)
 		}
 	}
@@ -970,7 +1023,7 @@ func (c *Cluster) ProbeAll() []ProbeResult {
 	changed := false
 	for _, name := range names {
 		h, ok := c.hosts[name]
-		if !ok || h.health == Failed {
+		if !ok || (h.health != Healthy && h.health != Unhealthy) {
 			continue
 		}
 		err := errs[name]
@@ -1011,7 +1064,7 @@ func (c *Cluster) ProbeAll() []ProbeResult {
 // is ignored — the resulting drains were journaled separately).
 func (c *Cluster) applyProbeLocked(name string, probeErr error) (autoDrain bool) {
 	h, ok := c.hosts[name]
-	if !ok || h.health == Failed {
+	if !ok || (h.health != Healthy && h.health != Unhealthy) {
 		return false
 	}
 	if probeErr != nil {
@@ -1117,11 +1170,12 @@ func (c *Cluster) VMsOn(host string) []string {
 
 func (c *Cluster) statusOf(r *reservation) ReservationStatus {
 	st := ReservationStatus{
-		Name:   r.spec.Name,
-		Tenant: r.spec.tenant(),
-		State:  r.state,
-		Weight: c.weight(r.spec.tenant()),
-		VMs:    len(r.vms),
+		Name:      r.spec.Name,
+		Tenant:    r.spec.tenant(),
+		State:     r.state,
+		Weight:    c.weight(r.spec.tenant()),
+		VMs:       len(r.vms),
+		Preempted: r.preempted,
 	}
 	if len(r.placement) > 0 {
 		st.Placement = make(map[string]string, len(r.placement))

@@ -625,6 +625,16 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(NewStaticBackend(HostInfo{Name: "h", Capacity: 1}, HostInfo{Name: "h", Capacity: 1}), Options{}); err == nil {
 		t.Fatal("duplicate host should error")
 	}
+	if _, err := New(NewStaticBackend(HostInfo{Name: "h", Capacity: -3}), Options{}); err == nil {
+		t.Fatal("negative capacity should error")
+	}
+	if _, err := New(NewStaticBackend(HostInfo{Name: "", Capacity: 4}), Options{}); err == nil {
+		t.Fatal("empty host name should error")
+	}
+	// Open validates Discover the same way New does.
+	if _, _, err := Open(t.TempDir(), NewStaticBackend(HostInfo{Name: "", Capacity: 4}), Options{}); err == nil {
+		t.Fatal("Open with empty host name should error")
+	}
 }
 
 // TestPlacementDeterminism: identical (specs, seed) yield byte-identical

@@ -11,17 +11,19 @@ import (
 // structured half of a graceful-degradation error, and the footer of
 // Status output.
 type CapacityReport struct {
-	Hosts         int `json:"hosts"`
-	Schedulable   int `json:"schedulable"`
-	Cordoned      int `json:"cordoned"`
-	Unhealthy     int `json:"unhealthy"`
-	Failed        int `json:"failed"`
-	TotalSlots    int `json:"total_slots"` // across schedulable hosts
-	UsedSlots     int `json:"used_slots"`  // across schedulable hosts
-	FreeSlots     int `json:"free_slots"`
-	QueuedVMs     int `json:"queued_vms"`
-	StrandedVMs   int `json:"stranded_vms"`
-	WantedVMs     int `json:"wanted_vms,omitempty"` // unplaceable demand that triggered this report
+	Hosts       int `json:"hosts"`
+	Schedulable int `json:"schedulable"`
+	Cordoned    int `json:"cordoned"`
+	Unhealthy   int `json:"unhealthy"`
+	Failed      int `json:"failed"`
+	Suspected   int `json:"suspected,omitempty"`
+	Dead        int `json:"dead,omitempty"`
+	TotalSlots  int `json:"total_slots"` // across schedulable hosts
+	UsedSlots   int `json:"used_slots"`  // across schedulable hosts
+	FreeSlots   int `json:"free_slots"`
+	QueuedVMs   int `json:"queued_vms"`
+	StrandedVMs int `json:"stranded_vms"`
+	WantedVMs   int `json:"wanted_vms,omitempty"` // unplaceable demand that triggered this report
 }
 
 // Summary renders the report as one line.
@@ -38,6 +40,10 @@ func (c *Cluster) capacityLocked(wanted int) CapacityReport {
 		switch {
 		case h.health == Failed:
 			rep.Failed++
+		case h.health == Dead:
+			rep.Dead++
+		case h.health == Suspected:
+			rep.Suspected++
 		case h.health == Unhealthy:
 			rep.Unhealthy++
 		case h.cordoned:
@@ -125,6 +131,9 @@ func (s Status) Table() string {
 	for _, r := range s.Reservations {
 		hosts := summarizeVMs(r.Hosts, 4)
 		state := string(r.State)
+		if r.Preempted {
+			state = "preempted"
+		}
 		if len(r.Stranded) > 0 {
 			state = fmt.Sprintf("%s(%d)", r.State, len(r.Stranded))
 		}

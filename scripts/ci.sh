@@ -11,8 +11,8 @@ go vet ./...
 echo "== go build"
 go build ./...
 
-echo "== go test -race"
-go test -race ./...
+echo "== go test -race (shuffled: catches inter-test order dependence)"
+go test -race -shuffle=on ./...
 
 echo "== golden output diff (testdata/golden_fig5)"
 go test -race -run 'TestGoldenFig5Tree' -count=1 .
@@ -46,9 +46,24 @@ rm -rf "$state_dir" /tmp/ci_journal_whole.$$ /tmp/ci_journal_part1.$$ /tmp/ci_jo
 echo "== golden scheduler crash drill (testdata/journal/crash_drill; crash-sched under a running lab)"
 go test -race -run 'TestGoldenSchedCrashDrill|TestAnkschedStateDirByteIdentity' -count=1 .
 
-echo "== scheduler crash-point matrix (every journal I/O step, -race)"
-go test -race -run 'TestSchedCrashMatrix|TestReplayEquivalenceProperty' -count=1 ./internal/sched/
+echo "== scheduler crash-point matrix (every journal I/O step, -race; includes crash mid-preemption and mid-lease-expiry)"
+go test -race -run 'TestSchedCrashMatrix|TestReplayEquivalenceProperty|TestCrashMidPreemption|TestCrashMidLeaseExpiry' -count=1 ./internal/sched/
 go test -race -run 'TestJournalCrashMatrix' -count=1 ./internal/journal/
+
+echo "== golden lease drill (testdata/lease/hostile; leases + preemption, uncrashed vs split-across-processes byte identity)"
+state_dir=$(mktemp -d /tmp/ci_lease.XXXXXX)
+lease_args=(-hosts 4 -cap 8 -seed 2013 -lease -preempt)
+cat testdata/lease/hostile.sched testdata/lease/status.sched \
+  | go run ./cmd/anksched -script - "${lease_args[@]}" | diff -u testdata/lease/hostile.report -
+go run ./cmd/anksched -script testdata/lease/hostile.sched "${lease_args[@]}" \
+  -state-dir "$state_dir" -snapshot-every 5 > /tmp/ci_lease_part1.$$ 2>/dev/null
+go run ./cmd/anksched -script testdata/lease/status.sched "${lease_args[@]}" \
+  -state-dir "$state_dir" > /tmp/ci_lease_part2.$$ 2>/dev/null
+cat /tmp/ci_lease_part1.$$ /tmp/ci_lease_part2.$$ | diff -u testdata/lease/hostile.report -
+rm -rf "$state_dir" /tmp/ci_lease_part1.$$ /tmp/ci_lease_part2.$$
+
+echo "== golden lease chaos drill (testdata/lease/lease_drill; silence-host under a running lab, Workers=1 vs Workers=8 determinism)"
+go test -race -run 'TestGoldenLeaseDrill' -count=1 .
 
 echo "== golden partial-boot drill (testdata/quarantine)"
 go test -race -run 'TestGoldenQuarantineDrill' -count=1 .
@@ -95,6 +110,9 @@ go test -run 'NONE' -bench 'BenchmarkP7_SchedulerDrain' -benchtime 1x .
 
 echo "== journal append + crash-recovery benchmark (1158-router scale)"
 go test -run 'NONE' -bench 'BenchmarkP8_(JournalAppend|SchedulerRecovery)' -benchtime 1x .
+
+echo "== preemption-under-churn + lease-round benchmark (1158-router / 36-host scale)"
+go test -run 'NONE' -bench 'BenchmarkP10_PreemptionUnderChurn' -benchtime 1x .
 
 echo "== fuzz (parsers, 5s each)"
 for target in FuzzParseQuagga FuzzParseIOS FuzzParseJunos FuzzParseCBGP; do
